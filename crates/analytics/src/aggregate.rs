@@ -1,0 +1,195 @@
+//! Single-pass online aggregates.
+//!
+//! The SAQL state maintainer computes per-group aggregates incrementally as
+//! events arrive, never buffering the raw events of a window. `OnlineStats`
+//! carries every numeric aggregate the language exposes (`count`, `sum`,
+//! `avg`, `min`, `max`, `stddev`) in one accumulator; variance uses
+//! Welford's numerically stable recurrence.
+
+/// Incremental numeric aggregate accumulator.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OnlineStats {
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    mean: f64,
+    /// Sum of squared deviations from the running mean (Welford's M2).
+    m2: f64,
+}
+
+impl OnlineStats {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold one observation into the accumulator.
+    pub fn push(&mut self, x: f64) {
+        if self.count == 0 {
+            self.min = x;
+            self.max = x;
+        } else {
+            self.min = self.min.min(x);
+            self.max = self.max.max(x);
+        }
+        self.count += 1;
+        self.sum += x;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merge another accumulator into this one (parallel aggregation),
+    /// using Chan et al.'s pairwise update.
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> f64 {
+        self.sum
+    }
+
+    /// Mean of the observations; 0 when empty (SAQL treats an empty window's
+    /// average as zero rather than erroring, matching Query 2's use of past
+    /// windows that may be empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Population variance; 0 for fewer than two observations.
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9 * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = OnlineStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.variance(), 0.0);
+    }
+
+    #[test]
+    fn basic_moments() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        assert_eq!(s.count(), 8);
+        assert!(close(s.mean(), 5.0));
+        assert!(close(s.variance(), 4.0));
+        assert!(close(s.stddev(), 2.0));
+        assert_eq!(s.min(), Some(2.0));
+        assert_eq!(s.max(), Some(9.0));
+        assert!(close(s.sum(), 40.0));
+    }
+
+    #[test]
+    fn single_observation() {
+        let s: OnlineStats = [42.0].into_iter().collect();
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), Some(42.0));
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..1000).map(|i| ((i * 37) % 101) as f64 - 50.0).collect();
+        let sequential: OnlineStats = data.iter().copied().collect();
+        let mut merged = OnlineStats::new();
+        for chunk in data.chunks(77) {
+            let part: OnlineStats = chunk.iter().copied().collect();
+            merged.merge(&part);
+        }
+        assert_eq!(merged.count(), sequential.count());
+        assert!(close(merged.mean(), sequential.mean()));
+        assert!(close(merged.variance(), sequential.variance()));
+        assert_eq!(merged.min(), sequential.min());
+        assert_eq!(merged.max(), sequential.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let s: OnlineStats = [1.0, 2.0].into_iter().collect();
+        let mut a = s.clone();
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, s);
+        let mut b = OnlineStats::new();
+        b.merge(&s);
+        assert_eq!(b.count(), 2);
+        assert!(close(b.mean(), 1.5));
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Naive sum-of-squares loses all precision here; Welford must not.
+        let base = 1e9;
+        let s: OnlineStats = [base + 4.0, base + 7.0, base + 13.0, base + 16.0]
+            .into_iter()
+            .collect();
+        assert!(close(s.variance(), 22.5), "variance = {}", s.variance());
+    }
+}

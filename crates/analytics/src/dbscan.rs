@@ -1,0 +1,186 @@
+//! DBSCAN density-based clustering.
+//!
+//! The paper's outlier-based anomaly model (Query 4) groups per-entity window
+//! states into comparison points and runs `DBSCAN(eps, minpts)`; points that
+//! end up in no cluster (*noise*) are the peer-comparison outliers that feed
+//! the `cluster.outlier` alert flag.
+//!
+//! Classic algorithm (Ester et al. 1996), O(n²) pairwise region queries —
+//! cluster stages run once per window close over at most a few thousand
+//! group points, so quadratic is well within budget (see bench `e8`).
+
+use crate::distance::Metric;
+
+/// Cluster assignment for one input point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DbscanLabel {
+    /// Not density-reachable from any core point: an outlier.
+    Noise,
+    /// Member of the cluster with the given dense id (0-based).
+    Cluster(usize),
+}
+
+impl DbscanLabel {
+    /// Whether this point is an outlier.
+    pub fn is_noise(&self) -> bool {
+        matches!(self, DbscanLabel::Noise)
+    }
+
+    /// The cluster id, if clustered.
+    pub fn cluster_id(&self) -> Option<usize> {
+        match self {
+            DbscanLabel::Cluster(id) => Some(*id),
+            DbscanLabel::Noise => None,
+        }
+    }
+}
+
+/// Run DBSCAN over `points` with radius `eps` and density threshold
+/// `min_pts` (minimum neighbourhood size *including the point itself*,
+/// matching the original paper's definition).
+///
+/// Returns one label per input point, in input order.
+pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize, metric: Metric) -> Vec<DbscanLabel> {
+    assert!(eps > 0.0, "eps must be positive");
+    let n = points.len();
+    // 0 = unvisited, 1 = noise, 2+ = cluster id + 2.
+    const UNVISITED: usize = 0;
+    const NOISE: usize = 1;
+    let mut labels = vec![UNVISITED; n];
+    let mut next_cluster = 0usize;
+
+    let neighbours = |i: usize| -> Vec<usize> {
+        (0..n)
+            .filter(|&j| metric.distance(&points[i], &points[j]) <= eps)
+            .collect()
+    };
+
+    for i in 0..n {
+        if labels[i] != UNVISITED {
+            continue;
+        }
+        let seeds = neighbours(i);
+        if seeds.len() < min_pts {
+            labels[i] = NOISE;
+            continue;
+        }
+        // Start a new cluster and expand it breadth-first.
+        let cluster = next_cluster;
+        next_cluster += 1;
+        labels[i] = cluster + 2;
+        let mut queue = seeds;
+        let mut qi = 0;
+        while qi < queue.len() {
+            let j = queue[qi];
+            qi += 1;
+            if labels[j] == NOISE {
+                // Border point: density-reachable but not core.
+                labels[j] = cluster + 2;
+            }
+            if labels[j] != UNVISITED {
+                continue;
+            }
+            labels[j] = cluster + 2;
+            let jn = neighbours(j);
+            if jn.len() >= min_pts {
+                queue.extend(jn);
+            }
+        }
+    }
+
+    labels
+        .into_iter()
+        .map(|l| match l {
+            NOISE => DbscanLabel::Noise,
+            id => DbscanLabel::Cluster(id - 2),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(xs: &[f64]) -> Vec<Vec<f64>> {
+        xs.iter().map(|&x| vec![x]).collect()
+    }
+
+    #[test]
+    fn single_dense_cluster_plus_outlier() {
+        // Query-4 shape: many hosts with ordinary byte counts, one huge.
+        let points = pts(&[1000.0, 1100.0, 1050.0, 980.0, 1020.0, 9_000_000.0]);
+        let labels = dbscan(&points, 500.0, 3, Metric::Euclidean);
+        for l in &labels[..5] {
+            assert_eq!(l.cluster_id(), Some(0), "{labels:?}");
+        }
+        assert!(labels[5].is_noise(), "{labels:?}");
+    }
+
+    #[test]
+    fn two_separated_clusters() {
+        let points = pts(&[0.0, 1.0, 2.0, 100.0, 101.0, 102.0]);
+        let labels = dbscan(&points, 1.5, 2, Metric::Euclidean);
+        assert_eq!(labels[0].cluster_id(), labels[2].cluster_id());
+        assert_eq!(labels[3].cluster_id(), labels[5].cluster_id());
+        assert_ne!(labels[0].cluster_id(), labels[3].cluster_id());
+        assert!(labels.iter().all(|l| !l.is_noise()));
+    }
+
+    #[test]
+    fn all_noise_when_sparse() {
+        let points = pts(&[0.0, 10.0, 20.0, 30.0]);
+        let labels = dbscan(&points, 1.0, 2, Metric::Euclidean);
+        assert!(labels.iter().all(DbscanLabel::is_noise));
+    }
+
+    #[test]
+    fn border_points_join_cluster() {
+        // Chain: 0 and 2 are core (3 neighbours with eps=1.1), 3 is border
+        // (reachable from 2 but has only 2 neighbours itself at min_pts=3).
+        let points = pts(&[0.0, 1.0, 2.0, 3.0]);
+        let labels = dbscan(&points, 1.1, 3, Metric::Euclidean);
+        assert_eq!(labels[3].cluster_id(), Some(0), "{labels:?}");
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        assert!(dbscan(&[], 1.0, 2, Metric::Euclidean).is_empty());
+        let labels = dbscan(&pts(&[5.0]), 1.0, 2, Metric::Euclidean);
+        assert_eq!(labels, vec![DbscanLabel::Noise]);
+        let labels = dbscan(&pts(&[5.0]), 1.0, 1, Metric::Euclidean);
+        assert_eq!(labels, vec![DbscanLabel::Cluster(0)]);
+    }
+
+    #[test]
+    fn identical_points_form_one_cluster() {
+        let points = pts(&[7.0; 10]);
+        let labels = dbscan(&points, 0.5, 5, Metric::Euclidean);
+        assert!(labels.iter().all(|l| l.cluster_id() == Some(0)));
+    }
+
+    #[test]
+    fn multidimensional_points() {
+        let points = vec![
+            vec![0.0, 0.0],
+            vec![0.5, 0.5],
+            vec![1.0, 0.0],
+            vec![50.0, 50.0],
+        ];
+        let labels = dbscan(&points, 2.0, 2, Metric::Manhattan);
+        assert_eq!(labels[0].cluster_id(), Some(0));
+        assert!(labels[3].is_noise());
+    }
+
+    #[test]
+    #[should_panic(expected = "eps must be positive")]
+    fn zero_eps_panics() {
+        dbscan(&pts(&[1.0]), 0.0, 1, Metric::Euclidean);
+    }
+
+    #[test]
+    fn min_pts_zero_behaves_like_one() {
+        // Degenerate but must not panic or loop.
+        let labels = dbscan(&pts(&[1.0, 100.0]), 1.0, 0, Metric::Euclidean);
+        assert!(labels.iter().all(|l| !l.is_noise()));
+    }
+}

@@ -1,0 +1,76 @@
+//! Distance metrics for the cluster stage.
+//!
+//! SAQL's `cluster(..., distance="ed")` selects the metric used to compare
+//! comparison points; the paper names Euclidean distance (`"ed"`), and we
+//! additionally support Manhattan (`"md"`).
+
+/// A distance metric over `f64` vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Metric {
+    Euclidean,
+    Manhattan,
+}
+
+impl Metric {
+    /// Distance between two equal-length points.
+    ///
+    /// # Panics
+    /// Panics if the points have different dimensionality — the engine
+    /// always builds points from the same state fields, so a mismatch is a
+    /// bug.
+    pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
+        assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+        match self {
+            Metric::Euclidean => a
+                .iter()
+                .zip(b)
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Manhattan => a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum(),
+        }
+    }
+
+    /// The SAQL string code for this metric.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Metric::Euclidean => "ed",
+            Metric::Manhattan => "md",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn euclidean_matches_pythagoras() {
+        assert_eq!(Metric::Euclidean.distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn manhattan_sums_abs_components() {
+        assert_eq!(Metric::Manhattan.distance(&[0.0, 0.0], &[3.0, -4.0]), 7.0);
+    }
+
+    #[test]
+    fn one_dimensional_distances_agree() {
+        for m in [Metric::Euclidean, Metric::Manhattan] {
+            assert_eq!(m.distance(&[10.0], &[4.0]), 6.0);
+        }
+    }
+
+    #[test]
+    fn zero_distance_to_self() {
+        let p = [1.5, -2.5, 99.0];
+        assert_eq!(Metric::Euclidean.distance(&p, &p), 0.0);
+        assert_eq!(Metric::Manhattan.distance(&p, &p), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mismatched_dims_panic() {
+        Metric::Euclidean.distance(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,223 @@
+//! Log-bucketed latency histogram.
+//!
+//! Per-event processing latency spans orders of magnitude (a filtered event
+//! costs nanoseconds; a window close with a cluster stage costs
+//! milliseconds), so fixed-width buckets waste space. This histogram uses
+//! power-of-two buckets with 4 sub-buckets each (≤ ~19% relative quantile
+//! error), constant memory, O(1) record.
+
+/// Log-scale histogram over `u64` samples (typically nanoseconds).
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    /// buckets[b*SUB + s]: samples with `2^b ≤ x < 2^(b+1)`, sub-range s.
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+const BITS: usize = 64;
+const SUB: usize = 4;
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; BITS * SUB],
+            count: 0,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+
+    fn index(x: u64) -> usize {
+        if x == 0 {
+            return 0;
+        }
+        let b = 63 - x.leading_zeros() as usize;
+        // Sub-bucket from the two bits below the leading one.
+        let s = if b >= 2 { ((x >> (b - 2)) & 0b11) as usize } else { 0 };
+        b * SUB + s
+    }
+
+    /// Lower bound of a bucket index (inverse of [`Self::index`]).
+    fn lower_bound(i: usize) -> u64 {
+        let (b, s) = (i / SUB, i % SUB);
+        if b == 0 {
+            return 0;
+        }
+        let base = 1u64 << b;
+        if b >= 2 {
+            base + ((s as u64) << (b - 2))
+        } else {
+            base
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: u64) {
+        self.buckets[Self::index(x)] += 1;
+        self.count += 1;
+        self.sum += x as u128;
+        self.max = self.max.max(x);
+        self.min = self.min.min(x);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Arithmetic mean of the samples (exact).
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1): the lower bound of the bucket
+    /// containing the q-th sample.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        if target == self.count {
+            return Some(self.max);
+        }
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(Self::lower_bound(i).max(self.min).min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Compact human summary: `count / mean / p50 / p99 / max` in the
+    /// sample unit.
+    pub fn summary(&self) -> String {
+        match self.count {
+            0 => "empty".to_string(),
+            _ => format!(
+                "n={} mean={:.0} p50={} p99={} max={}",
+                self.count,
+                self.mean().unwrap_or(0.0),
+                self.quantile(0.50).unwrap_or(0),
+                self.quantile(0.99).unwrap_or(0),
+                self.max
+            ),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.summary(), "empty");
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut h = Histogram::new();
+        h.record(1000);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.min(), Some(1000));
+        assert_eq!(h.max(), Some(1000));
+        assert_eq!(h.quantile(0.5), Some(1000));
+    }
+
+    #[test]
+    fn quantiles_bounded_relative_error() {
+        let mut h = Histogram::new();
+        for x in 1..=100_000u64 {
+            h.record(x);
+        }
+        for (q, expect) in [(0.5, 50_000.0), (0.9, 90_000.0), (0.99, 99_000.0)] {
+            let got = h.quantile(q).unwrap() as f64;
+            let err = (got - expect).abs() / expect;
+            assert!(err < 0.25, "q={q}: got {got}, expect {expect}, err {err}");
+        }
+        assert_eq!(h.quantile(1.0), Some(100_000));
+    }
+
+    #[test]
+    fn mean_is_exact() {
+        let mut h = Histogram::new();
+        for x in [10u64, 20, 30] {
+            h.record(x);
+        }
+        assert_eq!(h.mean(), Some(20.0));
+    }
+
+    #[test]
+    fn zero_samples_supported() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.quantile(0.5), Some(0));
+        assert_eq!(h.min(), Some(0));
+    }
+
+    #[test]
+    fn merge_equals_combined() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut c = Histogram::new();
+        for x in 0..1000u64 {
+            let v = (x * 7919) % 100_000;
+            if x % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            c.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.quantile(0.5), c.quantile(0.5));
+        assert_eq!(a.max(), c.max());
+        assert_eq!(a.mean(), c.mean());
+    }
+
+    #[test]
+    fn bucket_index_monotone() {
+        let mut last = 0usize;
+        for x in [0u64, 1, 2, 3, 4, 7, 8, 100, 1000, 1 << 20, u64::MAX] {
+            let i = Histogram::index(x);
+            assert!(i >= last, "index not monotone at {x}");
+            last = i;
+        }
+    }
+}

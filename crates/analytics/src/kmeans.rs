@@ -1,0 +1,219 @@
+//! k-means clustering with k-means++ seeding.
+//!
+//! The alternative `method="KMEANS(k)"` for SAQL's cluster stage. Outliers
+//! are defined as members of clusters whose population is below a fraction
+//! of the expected uniform share (peer comparison: tiny clusters are the
+//! anomalous peers).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::distance::Metric;
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster assignment per input point.
+    pub assignment: Vec<usize>,
+    /// Final centroids (`<= k`; empty clusters are dropped).
+    pub centroids: Vec<Vec<f64>>,
+    /// Number of Lloyd iterations performed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Population of each cluster.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignment {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+
+    /// Outlier flags: points in clusters smaller than
+    /// `threshold × (n / k)` (peer-comparison smallness test).
+    pub fn outliers(&self, threshold: f64) -> Vec<bool> {
+        if self.assignment.is_empty() {
+            return Vec::new();
+        }
+        let sizes = self.sizes();
+        let expected = self.assignment.len() as f64 / self.centroids.len() as f64;
+        self.assignment
+            .iter()
+            .map(|&a| (sizes[a] as f64) < expected * threshold)
+            .collect()
+    }
+}
+
+/// Run k-means over `points`, deterministic for a given `seed`.
+///
+/// `k` is clamped to the number of points. Runs Lloyd iterations until
+/// assignments stabilize or 100 iterations pass.
+pub fn kmeans(points: &[Vec<f64>], k: usize, metric: Metric, seed: u64) -> KMeansResult {
+    let n = points.len();
+    if n == 0 || k == 0 {
+        return KMeansResult { assignment: Vec::new(), centroids: Vec::new(), iterations: 0 };
+    }
+    let k = k.min(n);
+    let dims = points[0].len();
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ seeding: first centroid uniform, then proportional to
+    // squared distance to the nearest chosen centroid.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    while centroids.len() < k {
+        let d2: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| metric.distance(p, c))
+                    .fold(f64::INFINITY, f64::min)
+                    .powi(2)
+            })
+            .collect();
+        let total: f64 = d2.iter().sum();
+        if total == 0.0 {
+            // All points coincide with centroids; fill arbitrarily.
+            centroids.push(points[rng.gen_range(0..n)].clone());
+            continue;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut chosen = n - 1;
+        for (i, &w) in d2.iter().enumerate() {
+            if target <= w {
+                chosen = i;
+                break;
+            }
+            target -= w;
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignment = vec![0usize; n];
+    let mut iterations = 0;
+    for _ in 0..100 {
+        iterations += 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .map(|(ci, c)| (ci, metric.distance(p, c)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN distances"))
+                .map(|(ci, _)| ci)
+                .expect("at least one centroid");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && iterations > 1 {
+            break;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dims]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignment[i]] += 1;
+            for (s, &x) in sums[assignment[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (ci, c) in centroids.iter_mut().enumerate() {
+            if counts[ci] > 0 {
+                for (cv, s) in c.iter_mut().zip(&sums[ci]) {
+                    *cv = s / counts[ci] as f64;
+                }
+            }
+        }
+    }
+
+    // Drop empty clusters, remapping assignments to dense ids.
+    let sizes = {
+        let mut s = vec![0usize; centroids.len()];
+        for &a in &assignment {
+            s[a] += 1;
+        }
+        s
+    };
+    let mut remap = vec![usize::MAX; centroids.len()];
+    let mut kept = Vec::new();
+    for (ci, c) in centroids.into_iter().enumerate() {
+        if sizes[ci] > 0 {
+            remap[ci] = kept.len();
+            kept.push(c);
+        }
+    }
+    for a in &mut assignment {
+        *a = remap[*a];
+    }
+
+    KMeansResult { assignment, centroids: kept, iterations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts(xs: &[f64]) -> Vec<Vec<f64>> {
+        xs.iter().map(|&x| vec![x]).collect()
+    }
+
+    #[test]
+    fn separates_two_obvious_clusters() {
+        let points = pts(&[1.0, 2.0, 3.0, 100.0, 101.0, 102.0]);
+        let r = kmeans(&points, 2, Metric::Euclidean, 7);
+        assert_eq!(r.centroids.len(), 2);
+        assert_eq!(r.assignment[0], r.assignment[1]);
+        assert_eq!(r.assignment[3], r.assignment[5]);
+        assert_ne!(r.assignment[0], r.assignment[3]);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let points = pts(&[5.0, 6.0, 7.0, 50.0, 51.0, 90.0]);
+        let a = kmeans(&points, 3, Metric::Euclidean, 42);
+        let b = kmeans(&points, 3, Metric::Euclidean, 42);
+        assert_eq!(a.assignment, b.assignment);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_clamped_to_point_count() {
+        let points = pts(&[1.0, 2.0]);
+        let r = kmeans(&points, 10, Metric::Euclidean, 1);
+        assert!(r.centroids.len() <= 2);
+        assert_eq!(r.assignment.len(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = kmeans(&[], 3, Metric::Euclidean, 1);
+        assert!(r.assignment.is_empty());
+        assert!(r.centroids.is_empty());
+    }
+
+    #[test]
+    fn outlier_flags_small_cluster() {
+        // 9 points near 0, 1 point at 1000: the singleton cluster is the
+        // outlier peer group.
+        let mut xs = vec![0.0, 1.0, 2.0, 0.5, 1.5, 0.2, 1.2, 0.8, 1.8];
+        xs.push(1000.0);
+        let r = kmeans(&pts(&xs), 2, Metric::Euclidean, 3);
+        let outliers = r.outliers(0.5);
+        assert!(outliers[9], "{outliers:?}");
+        assert!(outliers[..9].iter().all(|&o| !o), "{outliers:?}");
+    }
+
+    #[test]
+    fn identical_points_converge() {
+        let r = kmeans(&pts(&[4.0; 8]), 3, Metric::Euclidean, 9);
+        // All in one surviving cluster (others empty and dropped).
+        assert!(!r.centroids.is_empty());
+        assert!(r.assignment.iter().all(|&a| a < r.centroids.len()));
+    }
+}

@@ -1,0 +1,159 @@
+//! Moving averages for time-series anomaly models.
+//!
+//! The paper's Query 2 computes a simple moving average (SMA) over the last
+//! three window states to detect network-transfer spikes. [`Sma`] provides
+//! the general fixed-length version; [`Ema`] the exponential variant used by
+//! smoother baselines.
+
+use std::collections::VecDeque;
+
+/// Simple moving average over the most recent `len` observations.
+#[derive(Debug, Clone)]
+pub struct Sma {
+    len: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl Sma {
+    /// # Panics
+    /// Panics if `len` is zero.
+    pub fn new(len: usize) -> Self {
+        assert!(len > 0, "SMA length must be positive");
+        Sma { len, buf: VecDeque::with_capacity(len), sum: 0.0 }
+    }
+
+    /// Push an observation, evicting the oldest when full. Returns the new
+    /// average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        if self.buf.len() == self.len {
+            self.sum -= self.buf.pop_front().expect("buffer is full");
+        }
+        self.buf.push_back(x);
+        self.sum += x;
+        self.value()
+    }
+
+    /// Current average (0 when no observations yet).
+    pub fn value(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            self.sum / self.buf.len() as f64
+        }
+    }
+
+    /// Whether the window is fully populated.
+    pub fn warmed_up(&self) -> bool {
+        self.buf.len() == self.len
+    }
+
+    /// Observations currently held, oldest first.
+    pub fn window(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Spike test used by SMA anomaly models: is `x` greater than the
+    /// current average by `factor`? (The query form
+    /// `ss[0].avg > (ss[0]+ss[1]+ss[2])/3` is the `factor = 1.0` case with
+    /// the candidate included.)
+    pub fn is_spike(&self, x: f64, factor: f64) -> bool {
+        self.warmed_up() && x > self.value() * factor
+    }
+}
+
+/// Exponential moving average with smoothing factor `alpha` ∈ (0, 1].
+#[derive(Debug, Clone)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ema {
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "EMA alpha must be in (0, 1]");
+        Ema { alpha, value: None }
+    }
+
+    /// Push an observation; returns the new smoothed value.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let v = match self.value {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current smoothed value, if any observation has been seen.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sma_before_warmup_averages_what_it_has() {
+        let mut s = Sma::new(3);
+        assert_eq!(s.push(6.0), 6.0);
+        assert_eq!(s.push(12.0), 9.0);
+        assert!(!s.warmed_up());
+        assert_eq!(s.push(0.0), 6.0);
+        assert!(s.warmed_up());
+    }
+
+    #[test]
+    fn sma_evicts_oldest() {
+        let mut s = Sma::new(2);
+        s.push(1.0);
+        s.push(3.0);
+        assert_eq!(s.push(5.0), 4.0); // window [3, 5]
+        assert_eq!(s.window().collect::<Vec<_>>(), vec![3.0, 5.0]);
+    }
+
+    #[test]
+    fn sma_spike_detection_matches_query2_semantics() {
+        // Query 2: alert when current avg exceeds the 3-window mean and an
+        // absolute floor. Model the three window states as SMA inputs.
+        let mut s = Sma::new(3);
+        for w in [1000.0, 1100.0, 900.0] {
+            s.push(w);
+        }
+        assert!(!s.is_spike(950.0, 1.0));
+        assert!(!s.is_spike(1400.0, 1.5));
+        assert!(s.is_spike(50_000.0, 1.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn sma_zero_len_panics() {
+        Sma::new(0);
+    }
+
+    #[test]
+    fn ema_first_value_passthrough() {
+        let mut e = Ema::new(0.5);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.push(10.0), 10.0);
+        assert_eq!(e.push(20.0), 15.0);
+        assert_eq!(e.push(20.0), 17.5);
+    }
+
+    #[test]
+    fn ema_alpha_one_tracks_input() {
+        let mut e = Ema::new(1.0);
+        e.push(3.0);
+        assert_eq!(e.push(9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ema_bad_alpha_panics() {
+        Ema::new(1.5);
+    }
+}

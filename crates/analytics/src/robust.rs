@@ -1,0 +1,155 @@
+//! Robust statistics: median, percentiles, MAD, and z-scores.
+//!
+//! Outlier thresholds over heavy-tailed monitoring data (bytes transferred,
+//! process counts) are far more stable on medians/MAD than on means/stddev;
+//! these helpers back the extended anomaly models and the benchmark report
+//! generator.
+
+/// Median of a slice (averaging the two central elements for even lengths).
+/// Returns `None` for an empty slice. `O(n)` via quickselect.
+pub fn median(data: &[f64]) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let n = data.len();
+    let mut buf = data.to_vec();
+    if n % 2 == 1 {
+        Some(select(&mut buf, n / 2))
+    } else {
+        let hi = select(&mut buf, n / 2);
+        // After select, elements left of n/2 are <= buf[n/2]; the lower
+        // median is the max of that prefix.
+        let lo = buf[..n / 2]
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max);
+        Some((lo + hi) / 2.0)
+    }
+}
+
+/// The `q`-th percentile (0 ≤ q ≤ 100) using nearest-rank interpolation.
+/// Returns `None` for an empty slice.
+pub fn percentile(data: &[f64], q: f64) -> Option<f64> {
+    if data.is_empty() || !(0.0..=100.0).contains(&q) {
+        return None;
+    }
+    let mut buf = data.to_vec();
+    buf.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in monitoring data"));
+    let rank = (q / 100.0) * (buf.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let frac = rank - lo as f64;
+    Some(buf[lo] + (buf[hi] - buf[lo]) * frac)
+}
+
+/// Median absolute deviation (unscaled). Returns `None` for empty input.
+pub fn mad(data: &[f64]) -> Option<f64> {
+    let m = median(data)?;
+    let deviations: Vec<f64> = data.iter().map(|x| (x - m).abs()).collect();
+    median(&deviations)
+}
+
+/// Modified z-score of `x` relative to `data` (0.6745 · |x − median| / MAD).
+/// Values above ~3.5 are conventionally outliers. Returns `None` when the
+/// MAD is zero (constant data) or the input is empty.
+pub fn modified_zscore(data: &[f64], x: f64) -> Option<f64> {
+    let m = median(data)?;
+    let d = mad(data)?;
+    if d == 0.0 {
+        return None;
+    }
+    Some(0.6745 * (x - m).abs() / d)
+}
+
+/// Hoare quickselect: the `k`-th smallest element (0-based), reordering `buf`.
+fn select(buf: &mut [f64], k: usize) -> f64 {
+    let (mut lo, mut hi) = (0usize, buf.len() - 1);
+    loop {
+        if lo == hi {
+            return buf[lo];
+        }
+        // Median-of-three pivot, robust against sorted inputs.
+        let mid = lo + (hi - lo) / 2;
+        if buf[mid] < buf[lo] {
+            buf.swap(mid, lo);
+        }
+        if buf[hi] < buf[lo] {
+            buf.swap(hi, lo);
+        }
+        if buf[hi] < buf[mid] {
+            buf.swap(hi, mid);
+        }
+        let pivot = buf[mid];
+        let (mut i, mut j) = (lo, hi);
+        while i <= j {
+            while buf[i] < pivot {
+                i += 1;
+            }
+            while buf[j] > pivot {
+                j -= 1;
+            }
+            if i <= j {
+                buf.swap(i, j);
+                i += 1;
+                if j == 0 {
+                    break;
+                }
+                j -= 1;
+            }
+        }
+        if k <= j {
+            hi = j;
+        } else if k >= i {
+            lo = i;
+        } else {
+            return buf[k];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn median_matches_sort_based_reference() {
+        let data: Vec<f64> = (0..501).map(|i| ((i * 7919) % 1009) as f64).collect();
+        let mut sorted = data.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(median(&data), Some(sorted[250]));
+    }
+
+    #[test]
+    fn percentile_endpoints_and_interpolation() {
+        let data = [10.0, 20.0, 30.0, 40.0];
+        assert_eq!(percentile(&data, 0.0), Some(10.0));
+        assert_eq!(percentile(&data, 100.0), Some(40.0));
+        assert_eq!(percentile(&data, 50.0), Some(25.0));
+        assert_eq!(percentile(&data, 150.0), None);
+        assert_eq!(percentile(&[], 50.0), None);
+    }
+
+    #[test]
+    fn mad_of_symmetric_data() {
+        assert_eq!(mad(&[1.0, 2.0, 3.0, 4.0, 5.0]), Some(1.0));
+        assert_eq!(mad(&[5.0, 5.0, 5.0]), Some(0.0));
+    }
+
+    #[test]
+    fn modified_zscore_flags_outlier() {
+        let data = [100.0, 102.0, 98.0, 101.0, 99.0, 100.0];
+        let z_in = modified_zscore(&data, 101.0).unwrap();
+        let z_out = modified_zscore(&data, 500.0).unwrap();
+        assert!(z_in < 3.5, "inlier z = {z_in}");
+        assert!(z_out > 3.5, "outlier z = {z_out}");
+        assert_eq!(modified_zscore(&[5.0, 5.0], 9.0), None);
+    }
+}

@@ -1,0 +1,95 @@
+//! Capability matrix: what a generic CEP engine can and cannot express of
+//! the paper's anomaly-model families.
+//!
+//! The paper's motivation is exactly this gap: existing stream systems
+//! "lack explicit language constructs for expressing anomaly models". This
+//! module encodes the comparison programmatically so the experiment harness
+//! can report it (and tests pin it down).
+
+use saql_lang::semantic::QueryKind;
+
+/// A feature a query needs from its execution engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Per-event conjunctive filters.
+    Filter,
+    /// Tumbling-window grouped aggregation.
+    WindowAggregate,
+    /// Multievent temporal sequencing with attribute joins
+    /// (`with evt1 -> evt2`, shared variables).
+    TemporalJoin,
+    /// Access to previous windows' states (`ss[1].avg_amount`).
+    WindowHistory,
+    /// Invariant training and violation detection.
+    InvariantTraining,
+    /// Peer-group clustering with outlier flags.
+    Clustering,
+}
+
+impl Capability {
+    /// Capabilities each SAQL anomaly-model family requires.
+    pub fn required_for(kind: QueryKind) -> &'static [Capability] {
+        match kind {
+            QueryKind::Rule => &[Capability::Filter, Capability::TemporalJoin],
+            QueryKind::TimeSeries => {
+                &[Capability::Filter, Capability::WindowAggregate, Capability::WindowHistory]
+            }
+            QueryKind::Invariant => &[
+                Capability::Filter,
+                Capability::WindowAggregate,
+                Capability::InvariantTraining,
+            ],
+            QueryKind::Outlier => {
+                &[Capability::Filter, Capability::WindowAggregate, Capability::Clustering]
+            }
+        }
+    }
+
+    /// Whether MiniCep (≈ out-of-the-box Siddhi/Esper/Flink operators for
+    /// this workload) supports the capability.
+    pub fn supported_by_minicep(&self) -> bool {
+        matches!(self, Capability::Filter | Capability::WindowAggregate)
+    }
+
+    /// Whether a whole query family is expressible in MiniCep.
+    pub fn supports(kind: QueryKind) -> bool {
+        Self::required_for(kind).iter().all(Capability::supported_by_minicep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minicep_cannot_express_anomaly_models() {
+        // The paper's core claim, pinned as a test: only plain filtering /
+        // aggregation workloads fit the generic engine.
+        assert!(!Capability::supports(QueryKind::Rule), "temporal joins unsupported");
+        assert!(!Capability::supports(QueryKind::TimeSeries), "window history unsupported");
+        assert!(!Capability::supports(QueryKind::Invariant));
+        assert!(!Capability::supports(QueryKind::Outlier));
+    }
+
+    #[test]
+    fn base_capabilities_supported() {
+        assert!(Capability::Filter.supported_by_minicep());
+        assert!(Capability::WindowAggregate.supported_by_minicep());
+        assert!(!Capability::TemporalJoin.supported_by_minicep());
+        assert!(!Capability::Clustering.supported_by_minicep());
+    }
+
+    #[test]
+    fn paper_queries_need_unsupported_features() {
+        for (src, expected) in [
+            (saql_lang::corpus::QUERY1_EXFILTRATION, QueryKind::Rule),
+            (saql_lang::corpus::QUERY2_TIME_SERIES, QueryKind::TimeSeries),
+            (saql_lang::corpus::QUERY3_INVARIANT, QueryKind::Invariant),
+            (saql_lang::corpus::QUERY4_OUTLIER, QueryKind::Outlier),
+        ] {
+            let q = saql_lang::compile(src).unwrap();
+            assert_eq!(q.kind, expected);
+            assert!(!Capability::supports(q.kind));
+        }
+    }
+}

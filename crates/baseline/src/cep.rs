@@ -1,0 +1,378 @@
+//! The MiniCep engine: filters, tumbling windows, grouped aggregation.
+
+use std::collections::HashMap;
+
+use saql_model::glob::like_match;
+use saql_model::{EntityType, Event, Operation, Timestamp};
+use saql_stream::SharedEvent;
+
+/// A conjunctive event filter (what a generic CEP `WHERE` clause gives us).
+#[derive(Debug, Clone, Default)]
+pub struct Filter {
+    /// Host id must equal.
+    pub host: Option<String>,
+    /// Subject executable matches this LIKE pattern.
+    pub exe_like: Option<String>,
+    /// Operation must be one of these (empty = any).
+    pub ops: Vec<Operation>,
+    /// Object family must equal.
+    pub family: Option<EntityType>,
+    /// Network destination must equal.
+    pub dst_ip: Option<String>,
+}
+
+impl Filter {
+    pub fn accepts(&self, e: &Event) -> bool {
+        if let Some(host) = &self.host {
+            if &*e.agent_id != host {
+                return false;
+            }
+        }
+        if let Some(p) = &self.exe_like {
+            if !like_match(p, &e.subject.exe_name) {
+                return false;
+            }
+        }
+        if !self.ops.is_empty() && !self.ops.contains(&e.op) {
+            return false;
+        }
+        if let Some(f) = self.family {
+            if e.family() != f {
+                return false;
+            }
+        }
+        if let Some(ip) = &self.dst_ip {
+            match &e.object {
+                saql_model::Entity::Network(n) => {
+                    if &*n.dst_ip != ip {
+                        return false;
+                    }
+                }
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+/// Grouping key for windowed aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GroupBy {
+    /// One global group.
+    #[default]
+    None,
+    /// Group by subject executable name.
+    SubjectExe,
+    /// Group by network destination IP.
+    DstIp,
+}
+
+impl GroupBy {
+    fn key(&self, e: &Event) -> Option<String> {
+        match self {
+            GroupBy::None => Some("<all>".to_string()),
+            GroupBy::SubjectExe => Some(e.subject.exe_name.to_string()),
+            GroupBy::DstIp => match &e.object {
+                saql_model::Entity::Network(n) => Some(n.dst_ip.to_string()),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Aggregation over `event.amount`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaselineAgg {
+    Count,
+    Sum,
+    Avg,
+}
+
+/// One MiniCep query.
+#[derive(Debug, Clone)]
+pub struct CepQuery {
+    pub name: String,
+    pub filter: Filter,
+    /// Tumbling window size; `None` = emit each matching event immediately.
+    pub window_ms: Option<u64>,
+    pub group_by: GroupBy,
+    pub agg: BaselineAgg,
+    /// Emit only groups whose aggregate exceeds this at window close.
+    pub threshold: Option<f64>,
+}
+
+/// An output record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CepRecord {
+    pub query: String,
+    pub ts: Timestamp,
+    pub group: String,
+    pub value: f64,
+}
+
+#[derive(Debug, Default)]
+struct AggState {
+    count: u64,
+    sum: f64,
+}
+
+impl AggState {
+    fn value(&self, agg: BaselineAgg) -> f64 {
+        match agg {
+            BaselineAgg::Count => self.count as f64,
+            BaselineAgg::Sum => self.sum,
+            BaselineAgg::Avg => {
+                if self.count == 0 {
+                    0.0
+                } else {
+                    self.sum / self.count as f64
+                }
+            }
+        }
+    }
+}
+
+struct QueryState {
+    query: CepQuery,
+    /// Open tumbling windows: window index → group → aggregate.
+    open: HashMap<u64, HashMap<String, AggState>>,
+    watermark: Timestamp,
+}
+
+/// Execution counters for the comparison benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CepStats {
+    pub events: u64,
+    /// Filter evaluations (every query scans every event).
+    pub filter_checks: u64,
+    /// Deep copies of event payloads made for per-query processing.
+    pub data_copies: u64,
+    pub records: u64,
+}
+
+/// The MiniCep engine.
+pub struct MiniCep {
+    queries: Vec<QueryState>,
+    stats: CepStats,
+}
+
+impl MiniCep {
+    pub fn new() -> Self {
+        MiniCep { queries: Vec::new(), stats: CepStats::default() }
+    }
+
+    pub fn add(&mut self, query: CepQuery) {
+        self.queries.push(QueryState { query, open: HashMap::new(), watermark: Timestamp::ZERO });
+    }
+
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn stats(&self) -> CepStats {
+        self.stats
+    }
+
+    /// Push one event through every query.
+    pub fn process(&mut self, event: &SharedEvent) -> Vec<CepRecord> {
+        self.stats.events += 1;
+        let mut out = Vec::new();
+        for qs in &mut self.queries {
+            self.stats.filter_checks += 1;
+            // Generic engines hand each operator graph its own event copy.
+            let copy: Event = Event::clone(event);
+            self.stats.data_copies += 1;
+
+            // Close due windows first.
+            if copy.ts > qs.watermark {
+                qs.watermark = copy.ts;
+            }
+            if let Some(w) = qs.query.window_ms {
+                let due: Vec<u64> = qs
+                    .open
+                    .keys()
+                    .copied()
+                    .filter(|&k| (k + 1) * w <= qs.watermark.as_millis())
+                    .collect();
+                for k in due {
+                    flush_window(qs, k, &mut out, &mut self.stats);
+                }
+            }
+
+            if !qs.query.filter.accepts(&copy) {
+                continue;
+            }
+            match qs.query.window_ms {
+                None => {
+                    self.stats.records += 1;
+                    out.push(CepRecord {
+                        query: qs.query.name.clone(),
+                        ts: copy.ts,
+                        group: qs.query.group_by.key(&copy).unwrap_or_default(),
+                        value: copy.amount as f64,
+                    });
+                }
+                Some(w) => {
+                    let Some(group) = qs.query.group_by.key(&copy) else { continue };
+                    let k = copy.ts.as_millis() / w;
+                    let st = qs.open.entry(k).or_default().entry(group).or_default();
+                    st.count += 1;
+                    st.sum += copy.amount as f64;
+                }
+            }
+        }
+        out
+    }
+
+    /// Flush all open windows (end of stream).
+    pub fn finish(&mut self) -> Vec<CepRecord> {
+        let mut out = Vec::new();
+        for qs in &mut self.queries {
+            let mut ks: Vec<u64> = qs.open.keys().copied().collect();
+            ks.sort_unstable();
+            for k in ks {
+                flush_window(qs, k, &mut out, &mut self.stats);
+            }
+        }
+        out
+    }
+}
+
+impl Default for MiniCep {
+    fn default() -> Self {
+        MiniCep::new()
+    }
+}
+
+fn flush_window(qs: &mut QueryState, k: u64, out: &mut Vec<CepRecord>, stats: &mut CepStats) {
+    let Some(groups) = qs.open.remove(&k) else { return };
+    let w = qs.query.window_ms.expect("windowed query");
+    let end = Timestamp::from_millis((k + 1) * w);
+    let mut rows: Vec<(String, f64)> = groups
+        .into_iter()
+        .map(|(g, st)| (g, st.value(qs.query.agg)))
+        .collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    for (group, value) in rows {
+        if qs.query.threshold.is_none_or(|t| value > t) {
+            stats.records += 1;
+            out.push(CepRecord { query: qs.query.name.clone(), ts: end, group, value });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::{NetworkInfo, ProcessInfo};
+    use std::sync::Arc;
+
+    fn send(id: u64, ts: u64, host: &str, exe: &str, dst: &str, amount: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, host, ts)
+                .subject(ProcessInfo::new(1, exe, "u"))
+                .sends(NetworkInfo::new("10.0.0.1", 40000, dst, 443, "tcp"))
+                .amount(amount)
+                .build(),
+        )
+    }
+
+    fn sum_by_exe(name: &str, window_ms: u64, threshold: Option<f64>) -> CepQuery {
+        CepQuery {
+            name: name.into(),
+            filter: Filter { family: Some(EntityType::Network), ..Filter::default() },
+            window_ms: Some(window_ms),
+            group_by: GroupBy::SubjectExe,
+            agg: BaselineAgg::Sum,
+            threshold,
+        }
+    }
+
+    #[test]
+    fn unwindowed_filter_emits_immediately() {
+        let mut cep = MiniCep::new();
+        cep.add(CepQuery {
+            name: "f".into(),
+            filter: Filter { exe_like: Some("%sql%".into()), ..Filter::default() },
+            window_ms: None,
+            group_by: GroupBy::SubjectExe,
+            agg: BaselineAgg::Count,
+            threshold: None,
+        });
+        let recs = cep.process(&send(1, 10, "h", "sqlservr.exe", "1.1.1.1", 500));
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].group, "sqlservr.exe");
+        assert!(cep.process(&send(2, 20, "h", "chrome.exe", "1.1.1.1", 500)).is_empty());
+    }
+
+    #[test]
+    fn windowed_sum_per_group() {
+        let mut cep = MiniCep::new();
+        cep.add(sum_by_exe("s", 60_000, None));
+        cep.process(&send(1, 1_000, "h", "a.exe", "1.1.1.1", 100));
+        cep.process(&send(2, 2_000, "h", "a.exe", "1.1.1.1", 150));
+        cep.process(&send(3, 3_000, "h", "b.exe", "1.1.1.1", 70));
+        // Next window closes the first.
+        let recs = cep.process(&send(4, 61_000, "h", "a.exe", "1.1.1.1", 5));
+        let a = recs.iter().find(|r| r.group == "a.exe").unwrap();
+        assert_eq!(a.value, 250.0);
+        let b = recs.iter().find(|r| r.group == "b.exe").unwrap();
+        assert_eq!(b.value, 70.0);
+    }
+
+    #[test]
+    fn threshold_suppresses_small_groups() {
+        let mut cep = MiniCep::new();
+        cep.add(sum_by_exe("s", 60_000, Some(200.0)));
+        cep.process(&send(1, 1_000, "h", "a.exe", "1.1.1.1", 300));
+        cep.process(&send(2, 2_000, "h", "b.exe", "1.1.1.1", 50));
+        let recs = cep.finish();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].group, "a.exe");
+    }
+
+    #[test]
+    fn per_query_copies_counted() {
+        let mut cep = MiniCep::new();
+        for i in 0..8 {
+            cep.add(sum_by_exe(&format!("q{i}"), 60_000, None));
+        }
+        cep.process(&send(1, 1_000, "h", "a.exe", "1.1.1.1", 10));
+        assert_eq!(cep.stats().data_copies, 8);
+        assert_eq!(cep.stats().filter_checks, 8);
+    }
+
+    #[test]
+    fn filter_dimensions() {
+        let f = Filter {
+            host: Some("db".into()),
+            exe_like: Some("%sql%".into()),
+            ops: vec![Operation::Write],
+            family: Some(EntityType::Network),
+            dst_ip: Some("9.9.9.9".into()),
+        };
+        let hit = send(1, 1, "db", "sqlservr.exe", "9.9.9.9", 5);
+        assert!(f.accepts(&hit));
+        assert!(!f.accepts(&send(2, 1, "web", "sqlservr.exe", "9.9.9.9", 5)));
+        assert!(!f.accepts(&send(3, 1, "db", "chrome.exe", "9.9.9.9", 5)));
+        assert!(!f.accepts(&send(4, 1, "db", "sqlservr.exe", "8.8.8.8", 5)));
+    }
+
+    #[test]
+    fn avg_aggregation() {
+        let mut cep = MiniCep::new();
+        cep.add(CepQuery {
+            name: "avg".into(),
+            filter: Filter::default(),
+            window_ms: Some(10_000),
+            group_by: GroupBy::DstIp,
+            agg: BaselineAgg::Avg,
+            threshold: None,
+        });
+        cep.process(&send(1, 1_000, "h", "a.exe", "2.2.2.2", 100));
+        cep.process(&send(2, 2_000, "h", "a.exe", "2.2.2.2", 300));
+        let recs = cep.finish();
+        assert_eq!(recs[0].value, 200.0);
+    }
+}

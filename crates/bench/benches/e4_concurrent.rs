@@ -1,0 +1,57 @@
+//! E4 — concurrent-query scalability: the master–dependent-query scheme vs
+//! naive per-query execution with per-query data copies, at 1–64 concurrent
+//! compatible queries.
+//!
+//! Expected shape (paper): shared execution keeps per-event work roughly
+//! constant as compatible queries grow, while the naive scheme scales
+//! linearly in both scans and copies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use saql_bench::{stream, variant_queries};
+use saql_engine::scheduler::{NaiveScheduler, Scheduler};
+
+fn bench_scaling(c: &mut Criterion) {
+    let events = stream(20_000, 11);
+    let mut group = c.benchmark_group("e4_concurrent");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(events.len() as u64));
+
+    for n in [1usize, 4, 16, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("master-dependent", n),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut s = Scheduler::new();
+                    for q in variant_queries(n) {
+                        s.add(q);
+                    }
+                    let mut alerts = 0usize;
+                    for e in events {
+                        alerts += s.process(e).len();
+                    }
+                    alerts += s.finish().len();
+                    alerts
+                });
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("naive-copies", n), &events, |b, events| {
+            b.iter(|| {
+                let mut s = NaiveScheduler::new();
+                for q in variant_queries(n) {
+                    s.add(q);
+                }
+                let mut alerts = 0usize;
+                for e in events {
+                    alerts += s.process(e).len();
+                }
+                alerts += s.finish().len();
+                alerts
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! E7 — parser/compiler cost for the paper's query corpus. Query
+//! compilation is off the hot path (once per deployment), but the error
+//! reporter's interactivity depends on it being fast.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use saql_lang::corpus;
+
+fn bench_parse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e7_parser");
+    for (name, src) in corpus::DEMO_QUERIES {
+        group.bench_with_input(BenchmarkId::new("parse", name), src, |b, src| {
+            b.iter(|| saql_lang::parse(src).unwrap());
+        });
+    }
+    for (i, src) in corpus::PAPER_QUERIES.iter().enumerate() {
+        group.bench_with_input(
+            BenchmarkId::new("compile", format!("paper-query-{}", i + 1)),
+            src,
+            |b, src| {
+                b.iter(|| saql_lang::compile(src).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_error_path(c: &mut Criterion) {
+    // Error rendering (spanned caret output) must also be cheap.
+    let broken = corpus::QUERY2_TIME_SERIES.replace("avg(", "bogus_fn(");
+    c.bench_function("e7_error_render", |b| {
+        b.iter(|| {
+            let err = saql_lang::compile(&broken).unwrap_err();
+            err.render(&broken).len()
+        });
+    });
+}
+
+criterion_group!(benches, bench_parse, bench_error_path);
+criterion_main!(benches);

@@ -1,0 +1,69 @@
+//! E8 — analytics-kernel scaling: the cluster stage's DBSCAN/k-means cost
+//! per window close as the number of comparison points (groups) grows.
+//!
+//! Expected shape: DBSCAN is quadratic in points (fine at per-window group
+//! counts, which is what Query 4 produces); k-means is near-linear per
+//! iteration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saql_analytics::{dbscan, kmeans, Metric};
+
+fn points(n: usize, seed: u64) -> Vec<Vec<f64>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            // Dense cluster plus 1% far outliers — the Query-4 shape.
+            if i % 100 == 0 {
+                vec![rng.gen_range(5e8..2e9)]
+            } else {
+                vec![rng.gen_range(900_000.0..1_100_000.0)]
+            }
+        })
+        .collect()
+}
+
+fn bench_dbscan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_dbscan");
+    group.sample_size(10);
+    for n in [100usize, 500, 2_000] {
+        let pts = points(n, 1);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| dbscan::dbscan(pts, 100_000.0, 5, Metric::Euclidean));
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_kmeans");
+    group.sample_size(10);
+    for n in [100usize, 500, 2_000] {
+        let pts = points(n, 2);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &pts, |b, pts| {
+            b.iter(|| kmeans::kmeans(pts, 4, Metric::Euclidean, 7));
+        });
+    }
+    group.finish();
+}
+
+fn bench_online_stats(c: &mut Criterion) {
+    // The state maintainer's inner loop: folding amounts into OnlineStats.
+    let mut rng = StdRng::seed_from_u64(3);
+    let data: Vec<f64> = (0..100_000).map(|_| rng.gen_range(0.0..1e6)).collect();
+    let mut group = c.benchmark_group("e8_online_stats");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("fold-100k", |b| {
+        b.iter(|| {
+            let stats: saql_analytics::OnlineStats = data.iter().copied().collect();
+            stats.stddev()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_dbscan, bench_kmeans, bench_online_stats);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Shared workload builders for the SAQL experiment benches (E3–E9).
+//!
+//! Every bench uses these helpers so workloads stay comparable across
+//! experiments: the same event mixes, the same query variants, the same
+//! seeds. The experiment → bench mapping lives in `DESIGN.md`; measured
+//! results are recorded in `EXPERIMENTS.md`.
+
+use saql_collector::workload::{synthetic_stream, WorkloadConfig};
+use saql_engine::query::{QueryConfig, RunningQuery};
+use saql_stream::SharedEvent;
+
+/// A synthetic stream of `n` events with default mix and ~5% matching the
+/// target pattern, spread over trace time so windows regularly close.
+pub fn stream(n: usize, seed: u64) -> Vec<SharedEvent> {
+    saql_stream::share(synthetic_stream(&WorkloadConfig {
+        seed,
+        events: n,
+        mean_gap_ms: 20, // ~50 events/s of trace time
+        target_fraction: 0.05,
+        ..WorkloadConfig::default()
+    }))
+}
+
+/// One representative query per anomaly-model family, over the synthetic
+/// workload's vocabulary.
+pub fn family_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "rule",
+            "proc a[\"%target.exe\"] write ip i[dstip=\"10.9.9.9\"] as e1\nreturn distinct a, i",
+        ),
+        (
+            "rule-sequence",
+            "proc a start proc b as e1\nproc b write ip i as e2\nwith e1 ->[60 s] e2\nreturn distinct a, b, i",
+        ),
+        (
+            "time-series",
+            "proc p write ip i as evt #time(60 s)\nstate[3] ss { avg_amount := avg(evt.amount) } group by p\nalert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 40000)\nreturn p, ss[0].avg_amount",
+        ),
+        (
+            "invariant",
+            "proc p1 start proc p2 as evt #time(60 s)\nstate ss { set_proc := set(p2.exe_name) } group by p1\ninvariant[5][offline] {\n a := empty_set\n a = a union ss.set_proc\n}\nalert |ss.set_proc diff a| > 0\nreturn p1, ss.set_proc",
+        ),
+        (
+            "outlier",
+            "proc p read || write ip i as evt #time(60 s)\nstate ss { amt := sum(evt.amount) } group by i.dstip\ncluster(points=all(ss.amt), distance=\"ed\", method=\"DBSCAN(100000, 5)\")\nalert cluster.outlier && ss.amt > 100000\nreturn i.dstip, ss.amt",
+        ),
+    ]
+}
+
+/// Compile one of the family queries by name.
+pub fn compile_family(name: &str) -> RunningQuery {
+    let (_, src) = family_queries()
+        .into_iter()
+        .find(|(n, _)| *n == name)
+        .unwrap_or_else(|| panic!("unknown family query `{name}`"));
+    RunningQuery::compile(name, src, QueryConfig::default()).expect("family query compiles")
+}
+
+/// `n` shape-compatible rule-query variants (the concurrent-scaling
+/// workload: same pattern shape, different constraints).
+pub fn variant_queries(n: usize) -> Vec<RunningQuery> {
+    (0..n)
+        .map(|i| {
+            let src = format!(
+                "proc p1[\"%proc-{}.exe\"] start proc p2 as e\nreturn distinct p1, p2",
+                i % 20
+            );
+            RunningQuery::compile(format!("variant-{i}"), &src, QueryConfig::default()).unwrap()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_family_queries_compile() {
+        for (name, _) in family_queries() {
+            let q = compile_family(name);
+            assert_eq!(q.name(), name);
+        }
+    }
+
+    #[test]
+    fn stream_builder_is_deterministic() {
+        let a = stream(100, 3);
+        let b = stream(100, 3);
+        assert_eq!(a.len(), b.len());
+        assert!(a.iter().zip(&b).all(|(x, y)| x == y));
+    }
+
+    #[test]
+    fn variants_share_one_compat_key() {
+        let vs = variant_queries(8);
+        let key = vs[0].compat_key().to_string();
+        assert!(vs.iter().all(|q| q.compat_key() == key));
+    }
+}

@@ -1,0 +1,455 @@
+//! CLI subcommand implementations.
+
+use std::io::{BufRead, Write};
+
+use saql_collector::{AttackConfig, SimConfig, Simulator};
+use saql_engine::{Engine, EngineConfig};
+use saql_lang::corpus;
+use saql_model::Timestamp;
+use saql_stream::replayer::{Replayer, Speed};
+use saql_stream::store::{EventStore, Selection};
+
+use crate::args::Flags;
+
+fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
+    Ok(SimConfig {
+        seed: flags.get_u64("seed", 2020)?,
+        clients: flags.get_usize("clients", 8)?.max(3),
+        duration_ms: flags.get_u64("minutes", 60)? * 60_000,
+        attack: if flags.switch("no-attack") { None } else { Some(AttackConfig::default()) },
+    })
+}
+
+/// `saql demo` — the end-to-end demonstration.
+pub fn demo(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let config = match sim_config(&flags) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+
+    println!("simulating enterprise: {} clients, {} min of monitoring data...", config.clients, config.duration_ms / 60_000);
+    let trace = Simulator::generate(&config);
+    println!("  {} events from {} hosts", trace.events.len(), trace.topology.hosts.len());
+    for (step, first, last) in &trace.attack_spans {
+        println!("  attack {}: {} .. {}", step.label(), first, last);
+    }
+
+    let mut engine = Engine::new(EngineConfig { record_latency: true, ..Default::default() });
+    for (name, src) in corpus::DEMO_QUERIES {
+        if let Err(e) = engine.register(name, src) {
+            return fail(&format!("demo query {name}: {e}"));
+        }
+    }
+    println!("deployed {} queries in {} scheduler group(s)\n", corpus::DEMO_QUERIES.len(), engine.group_count());
+
+    let mut alert_count = 0usize;
+    for event in trace.shared() {
+        for alert in engine.process(&event) {
+            alert_count += 1;
+            println!("{alert}");
+        }
+    }
+    for alert in engine.finish() {
+        alert_count += 1;
+        println!("{alert}");
+    }
+
+    println!("\n{alert_count} alert(s) total");
+    print_stats(&engine);
+    0
+}
+
+/// `saql simulate --out FILE` — generate a trace into an event store.
+pub fn simulate(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(out) = flags.get("out") else {
+        return fail("simulate requires --out FILE");
+    };
+    let config = match sim_config(&flags) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let trace = Simulator::generate(&config);
+    let store = match EventStore::create(out) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot create {out}: {e}")),
+    };
+    if let Err(e) = store.append(&trace.events) {
+        return fail(&format!("write failed: {e}"));
+    }
+    println!(
+        "wrote {} events ({} hosts, attack: {}) to {out}",
+        trace.events.len(),
+        trace.topology.hosts.len(),
+        if config.attack.is_some() { "yes" } else { "no" },
+    );
+    print!("{}", saql_collector::stats::TraceStats::compute(&trace.events).report());
+    0
+}
+
+/// `saql replay --store FILE` — replay stored data through queries.
+pub fn replay(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = flags.get("store") else {
+        return fail("replay requires --store FILE");
+    };
+    let store = match EventStore::open(path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot open {path}: {e}")),
+    };
+
+    let mut selection = Selection::all();
+    selection.hosts = flags.get_all("host").into_iter().map(String::from).collect();
+    if let Some(from) = flags.get("from") {
+        match from.parse() {
+            Ok(ms) => selection.from = Some(Timestamp::from_millis(ms)),
+            Err(_) => return fail("--from expects milliseconds"),
+        }
+    }
+    if let Some(until) = flags.get("until") {
+        match until.parse() {
+            Ok(ms) => selection.until = Some(Timestamp::from_millis(ms)),
+            Err(_) => return fail("--until expects milliseconds"),
+        }
+    }
+    let speed = match flags.get("speed") {
+        None | Some("max") => Speed::Unlimited,
+        Some(v) => match v.parse::<f64>() {
+            Ok(f) if f > 0.0 => Speed::Compressed { factor: f },
+            _ => return fail("--speed expects a positive factor or `max`"),
+        },
+    };
+
+    let mut engine = Engine::new(EngineConfig::default());
+    if flags.switch("demo-queries") {
+        for (name, src) in corpus::DEMO_QUERIES {
+            engine.register(name, src).expect("demo queries compile");
+        }
+    }
+    for file in flags.get_all("query") {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot read {file}: {e}")),
+        };
+        if let Err(e) = engine.register(file, &src) {
+            eprintln!("{}", e.render(&src));
+            return 1;
+        }
+    }
+    if engine.query_names().is_empty() {
+        return fail("no queries deployed (use --demo-queries or --query FILE)");
+    }
+    println!(
+        "replaying {path} ({} queries, {} group(s))...",
+        engine.query_names().len(),
+        engine.group_count()
+    );
+
+    let replayer = Replayer::new(store);
+    let rx = match replayer.replay_channel(&selection, speed, 4096) {
+        Ok(rx) => rx,
+        Err(e) => return fail(&format!("replay failed: {e}")),
+    };
+    let mut events = 0u64;
+    let mut alerts = 0u64;
+    for event in rx {
+        events += 1;
+        for alert in engine.process(&event) {
+            alerts += 1;
+            println!("{alert}");
+        }
+    }
+    for alert in engine.finish() {
+        alerts += 1;
+        println!("{alert}");
+    }
+    println!("\nreplayed {events} events, {alerts} alert(s)");
+    print_stats(&engine);
+    0
+}
+
+/// `saql check FILE...` — validate query files.
+pub fn check(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if flags.positional.is_empty() {
+        return fail("check requires at least one query file");
+    }
+    let mut failures = 0;
+    for file in &flags.positional {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match saql_lang::compile(&src) {
+            Ok(checked) => {
+                println!("{file}: OK ({} anomaly model)", checked.kind.name());
+                print!("{}", saql_lang::pretty::print_query(&checked.ast));
+            }
+            Err(e) => {
+                eprint!("{file}: {}", e.render(&src));
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}
+
+/// `saql repl` — interactive session.
+pub fn repl(argv: &[String], input: &mut dyn BufRead, out: &mut dyn Write) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let store = match flags.get("store") {
+        Some(path) => match EventStore::open(path) {
+            Ok(s) => Some(s),
+            Err(e) => return fail(&format!("cannot open {path}: {e}")),
+        },
+        None => None,
+    };
+    repl_loop(input, out, store)
+}
+
+/// The REPL proper, I/O-parameterized for tests.
+pub fn repl_loop(
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    store: Option<EventStore>,
+) -> i32 {
+    let mut engine = Engine::new(EngineConfig::default());
+    let mut sources: Vec<(String, String)> = Vec::new();
+    let _ = writeln!(
+        out,
+        "SAQL interactive session. Type a query (end with a blank line), or:\n  deploy-demo | list | show <name> | run | stats | errors | quit"
+    );
+    let mut lines = input.lines();
+    loop {
+        let _ = write!(out, "saql> ");
+        let _ = out.flush();
+        let Some(Ok(line)) = lines.next() else { return 0 };
+        let trimmed = line.trim().to_string();
+        match trimmed.as_str() {
+            "" => continue,
+            "quit" | "exit" => return 0,
+            "deploy-demo" => {
+                for (name, src) in corpus::DEMO_QUERIES {
+                    match engine.register(name, src) {
+                        Ok(_) => sources.push((name.to_string(), src.to_string())),
+                        Err(e) => {
+                            let _ = writeln!(out, "error: {e}");
+                        }
+                    }
+                }
+                let _ = writeln!(
+                    out,
+                    "deployed {} queries ({} groups)",
+                    engine.query_names().len(),
+                    engine.group_count()
+                );
+            }
+            "list" => {
+                for name in engine.query_names() {
+                    let _ = writeln!(out, "  {name}");
+                }
+            }
+            "stats" => {
+                for (name, s) in engine.query_stats() {
+                    let _ = writeln!(
+                        out,
+                        "  {name}: seen={} matched={} windows={} alerts={}",
+                        s.events_seen, s.events_matched, s.windows_closed, s.alerts
+                    );
+                }
+            }
+            "errors" => {
+                let recent = engine.recent_errors();
+                if recent.is_empty() {
+                    let _ = writeln!(out, "  no runtime errors");
+                }
+                for e in recent {
+                    let _ = writeln!(out, "  {e}");
+                }
+            }
+            "run" => match &store {
+                None => {
+                    let _ = writeln!(out, "no store attached (start with --store FILE)");
+                }
+                Some(store) => {
+                    let replayer = Replayer::new(match EventStore::open(store.path()) {
+                        Ok(s) => s,
+                        Err(e) => {
+                            let _ = writeln!(out, "store error: {e}");
+                            continue;
+                        }
+                    });
+                    match replayer.replay_iter(&Selection::all()) {
+                        Ok(events) => {
+                            let mut n = 0u64;
+                            for event in events {
+                                for alert in engine.process(&event) {
+                                    n += 1;
+                                    let _ = writeln!(out, "{alert}");
+                                }
+                            }
+                            for alert in engine.finish() {
+                                n += 1;
+                                let _ = writeln!(out, "{alert}");
+                            }
+                            let _ = writeln!(out, "{n} alert(s)");
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "replay error: {e}");
+                        }
+                    }
+                }
+            },
+            cmd if cmd.starts_with("show ") => {
+                let name = cmd.trim_start_matches("show ").trim();
+                match sources.iter().find(|(n, _)| n == name) {
+                    Some((_, src)) => match saql_lang::parse(src) {
+                        Ok(q) => {
+                            let _ = write!(out, "{}", saql_lang::pretty::print_query(&q));
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "error: {e}");
+                        }
+                    },
+                    None => {
+                        let _ = writeln!(out, "unknown query `{name}`");
+                    }
+                }
+            }
+            first_line => {
+                // Multi-line query entry, terminated by a blank line.
+                let mut src = String::from(first_line);
+                src.push('\n');
+                for line in lines.by_ref() {
+                    let Ok(line) = line else { break };
+                    if line.trim().is_empty() {
+                        break;
+                    }
+                    src.push_str(&line);
+                    src.push('\n');
+                }
+                let name = format!("query-{}", engine.query_names().len() + 1);
+                match engine.register(&name, &src) {
+                    Ok(_) => {
+                        sources.push((name.clone(), src));
+                        let _ = writeln!(out, "deployed `{name}`");
+                    }
+                    Err(e) => {
+                        let _ = write!(out, "{}", e.render(&src));
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn print_stats(engine: &Engine) {
+    let sched = engine.scheduler_stats();
+    println!(
+        "scheduler: {} events, {} master checks, {} deliveries, {} data copies",
+        sched.events, sched.master_checks, sched.deliveries, sched.data_copies
+    );
+    if let Some(latency) = engine.latency() {
+        println!("per-event latency (ns): {}", latency.summary());
+    }
+    if engine.error_count() > 0 {
+        println!("runtime errors: {}", engine.error_count());
+        for e in engine.recent_errors().iter().take(5) {
+            println!("  {e}");
+        }
+    }
+}
+
+fn fail(msg: &str) -> i32 {
+    eprintln!("error: {msg}");
+    2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn repl_deploys_and_lists_demo_queries() {
+        let mut input = Cursor::new("deploy-demo\nlist\nquit\n");
+        let mut out = Vec::new();
+        let code = repl_loop(&mut input, &mut out, None);
+        assert_eq!(code, 0);
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("deployed 8 queries"), "{shown}");
+        assert!(shown.contains("c5-exfiltration"), "{shown}");
+    }
+
+    #[test]
+    fn repl_accepts_multiline_query_and_reports_errors() {
+        let mut input = Cursor::new(
+            "proc p1[\"%cmd.exe\"] start proc p2 as e1\nreturn p1, p2\n\nproc p teleport proc q as e\n\nquit\n",
+        );
+        let mut out = Vec::new();
+        repl_loop(&mut input, &mut out, None);
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("deployed `query-1`"), "{shown}");
+        assert!(shown.contains("unknown operation `teleport`"), "{shown}");
+    }
+
+    #[test]
+    fn repl_run_without_store_explains() {
+        let mut input = Cursor::new("run\nquit\n");
+        let mut out = Vec::new();
+        repl_loop(&mut input, &mut out, None);
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("no store attached"), "{shown}");
+    }
+
+    #[test]
+    fn repl_runs_store_end_to_end() {
+        // Store a small attack trace, deploy demo queries, run.
+        let trace = Simulator::generate(&SimConfig {
+            seed: 5,
+            clients: 4,
+            duration_ms: 45 * 60_000,
+            attack: Some(AttackConfig {
+                start: Timestamp::from_millis(20 * 60_000),
+                step_gap_ms: 3 * 60_000,
+            }),
+        });
+        let mut path = std::env::temp_dir();
+        path.push(format!("saql-cli-repl-{}.bin", std::process::id()));
+        let store = EventStore::create(&path).unwrap();
+        store.append(&trace.events).unwrap();
+
+        let mut input = Cursor::new("deploy-demo\nrun\nstats\nquit\n");
+        let mut out = Vec::new();
+        let code = repl_loop(&mut input, &mut out, Some(EventStore::open(&path).unwrap()));
+        assert_eq!(code, 0);
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("ALERT c5-exfiltration"), "{shown}");
+        assert!(shown.contains("alerts="), "{shown}");
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,74 @@
+//! `saql` — the command-line UI of the SAQL system (paper Fig. 3).
+//!
+//! Subcommands:
+//!
+//! * `saql demo` — run the full APT demonstration: simulate the enterprise,
+//!   deploy the 8 demo queries, stream the trace, print alerts live;
+//! * `saql simulate --out FILE [...]` — generate a trace into an event store;
+//! * `saql replay --store FILE [...]` — replay a stored trace (host and
+//!   time-range selection, optional compression) through deployed queries;
+//! * `saql check FILE...` — parse + semantically check query files, printing
+//!   canonical form or spanned errors;
+//! * `saql repl [--store FILE]` — interactive session: type a query (blank
+//!   line to finish), `run` to stream the store through deployed queries.
+
+use std::io::{BufRead, Write};
+
+mod args;
+mod commands;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let code = run(&argv);
+    std::process::exit(code);
+}
+
+fn run(argv: &[String]) -> i32 {
+    match argv.first().map(String::as_str) {
+        Some("demo") => commands::demo(&argv[1..]),
+        Some("simulate") => commands::simulate(&argv[1..]),
+        Some("replay") => commands::replay(&argv[1..]),
+        Some("check") => commands::check(&argv[1..]),
+        Some("repl") => {
+            let stdin = std::io::stdin();
+            let mut out = std::io::stdout();
+            commands::repl(&argv[1..], &mut stdin.lock(), &mut out)
+        }
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{}", USAGE);
+            0
+        }
+        Some(other) => {
+            eprintln!("unknown command `{other}`\n\n{USAGE}");
+            2
+        }
+    }
+}
+
+const USAGE: &str = "\
+SAQL — stream-based anomaly query system over system monitoring data
+
+USAGE:
+    saql demo       [--clients N] [--minutes M] [--seed S]
+    saql simulate   --out FILE [--clients N] [--minutes M] [--seed S] [--no-attack]
+    saql replay     --store FILE [--host H]... [--from MS] [--until MS]
+                    [--speed FACTOR|max] [--demo-queries] [--query FILE]...
+    saql check      FILE...
+    saql repl       [--store FILE]
+    saql help
+
+EXAMPLES:
+    saql demo --clients 8 --minutes 60
+    saql simulate --out /tmp/trace.saql --minutes 45
+    saql replay --store /tmp/trace.saql --host db-server --demo-queries
+    saql check my-query.saql
+";
+
+/// Interactive REPL loop, separated for tests.
+pub fn repl_loop(
+    input: &mut dyn BufRead,
+    out: &mut dyn Write,
+    store: Option<saql_stream::store::EventStore>,
+) -> i32 {
+    commands::repl_loop(input, out, store)
+}

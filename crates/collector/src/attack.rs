@@ -1,0 +1,408 @@
+//! The APT attack injector: emits the monitoring-trace footprint of the
+//! demo's five attack steps (paper §III), with entity identities wired so
+//! the 8 demo queries' joins and temporal clauses hold.
+
+use saql_model::event::EventBuilder;
+use saql_model::{Event, FileInfo, NetworkInfo, ProcessInfo, Timestamp};
+
+use crate::topology::{ATTACKER_IP, DB_SERVER, VICTIM_CLIENT};
+
+/// The five attack steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum AttackStep {
+    /// c1 — crafted email with a malicious macro-bearing Excel attachment.
+    InitialCompromise,
+    /// c2 — the macro runs, drops `sbblv.exe`, opens a backdoor.
+    MalwareInfection,
+    /// c3 — credential theft (`gsecdump.exe`) and network scan for the DB.
+    PrivilegeEscalation,
+    /// c4 — VBScript dropper creates a backdoor on the DB server.
+    Penetration,
+    /// c5 — database dump via `osql.exe`, exfiltration to the attacker.
+    Exfiltration,
+}
+
+impl AttackStep {
+    pub const ALL: [AttackStep; 5] = [
+        AttackStep::InitialCompromise,
+        AttackStep::MalwareInfection,
+        AttackStep::PrivilegeEscalation,
+        AttackStep::Penetration,
+        AttackStep::Exfiltration,
+    ];
+
+    /// Demo label (`c1`..`c5`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            AttackStep::InitialCompromise => "c1",
+            AttackStep::MalwareInfection => "c2",
+            AttackStep::PrivilegeEscalation => "c3",
+            AttackStep::Penetration => "c4",
+            AttackStep::Exfiltration => "c5",
+        }
+    }
+}
+
+/// Attack timing/parameters.
+#[derive(Debug, Clone)]
+pub struct AttackConfig {
+    /// When step c1 begins (trace time).
+    pub start: Timestamp,
+    /// Gap between consecutive steps.
+    pub step_gap_ms: u64,
+}
+
+impl Default for AttackConfig {
+    fn default() -> Self {
+        // Default start late enough that 10-minute-window queries have
+        // warm history (3 windows) and the invariant query has trained.
+        AttackConfig { start: Timestamp::from_millis(35 * 60_000), step_gap_ms: 4 * 60_000 }
+    }
+}
+
+// Attack process pids live in a reserved range so they never collide with
+// background pids.
+const PID_CSCRIPT: u32 = 50_001;
+const PID_SBBLV_CLIENT: u32 = 50_002;
+const PID_CMD_CLIENT: u32 = 50_003;
+const PID_GSECDUMP: u32 = 50_004;
+const PID_WSCRIPT: u32 = 50_011;
+const PID_SBBLV_DB: u32 = 50_012;
+const PID_CMD_DB: u32 = 50_013;
+const PID_OSQL: u32 = 50_014;
+const PID_EXCEL: u32 = 1200; // the victim's background Excel instance
+const PID_OUTLOOK: u32 = 1100;
+const PID_SQLSERVR: u32 = 2100;
+const PID_SERVICES: u32 = 700;
+
+const MACRO_DOC: &str = "C:\\Users\\victim\\Downloads\\quarterly-report.xlsm";
+const DROPPED_BACKDOOR: &str = "C:\\Users\\victim\\AppData\\Local\\Temp\\sbblv.exe";
+const DROPPER_VBS: &str = "C:\\Windows\\Temp\\update-check.vbs";
+const DB_DUMP: &str = "C:\\DB\\backup1.dmp";
+
+/// Generate the attack events, tagged with their step. Timestamps are
+/// absolute trace time; event ids are assigned later by the simulator.
+pub fn generate(config: &AttackConfig) -> Vec<(AttackStep, Event)> {
+    let mut out = Vec::new();
+    let t0 = config.start.as_millis();
+    let gap = config.step_gap_ms;
+    let victim_user = format!("user-{VICTIM_CLIENT}");
+
+    let ev = |ts: u64| EventBuilder::new(0, VICTIM_CLIENT, ts);
+    let db = |ts: u64| EventBuilder::new(0, DB_SERVER, ts);
+
+    // ---- c1: initial compromise -------------------------------------
+    use AttackStep::*;
+    out.push((
+        InitialCompromise,
+        ev(t0)
+            .subject(ProcessInfo::new(PID_OUTLOOK, "outlook.exe", &victim_user))
+            .receives(NetworkInfo::new("10.0.0.13", 52000, "10.0.1.2", 443, "tcp"))
+            .amount(2_400_000)
+            .build(),
+    ));
+    out.push((
+        InitialCompromise,
+        ev(t0 + 2_000)
+            .subject(ProcessInfo::new(PID_OUTLOOK, "outlook.exe", &victim_user))
+            .writes_file(FileInfo::new(MACRO_DOC))
+            .amount(1_800_000)
+            .build(),
+    ));
+
+    // ---- c2: malware infection --------------------------------------
+    let t2 = t0 + gap;
+    out.push((
+        MalwareInfection,
+        ev(t2)
+            .subject(ProcessInfo::new(PID_EXCEL, "excel.exe", &victim_user))
+            .reads_file(FileInfo::new(MACRO_DOC))
+            .amount(1_800_000)
+            .build(),
+    ));
+    out.push((
+        MalwareInfection,
+        ev(t2 + 1_000)
+            .subject(ProcessInfo::new(PID_EXCEL, "excel.exe", &victim_user))
+            .starts_process(ProcessInfo::new(PID_CSCRIPT, "cscript.exe", &victim_user))
+            .build(),
+    ));
+    out.push((
+        MalwareInfection,
+        ev(t2 + 3_000)
+            .subject(ProcessInfo::new(PID_CSCRIPT, "cscript.exe", &victim_user))
+            .writes_file(FileInfo::new(DROPPED_BACKDOOR))
+            .amount(350_000)
+            .build(),
+    ));
+    out.push((
+        MalwareInfection,
+        ev(t2 + 4_000)
+            .subject(ProcessInfo::new(PID_CSCRIPT, "cscript.exe", &victim_user))
+            .starts_process(ProcessInfo::new(PID_SBBLV_CLIENT, "sbblv.exe", &victim_user))
+            .build(),
+    ));
+    // Backdoor heartbeat to the attacker.
+    for i in 0..3u64 {
+        out.push((
+            MalwareInfection,
+            ev(t2 + 6_000 + i * 5_000)
+                .subject(ProcessInfo::new(PID_CSCRIPT, "cscript.exe", &victim_user))
+                .sends(NetworkInfo::new("10.0.0.13", 49800, ATTACKER_IP, 443, "tcp"))
+                .amount(1_200)
+                .build(),
+        ));
+    }
+
+    // ---- c3: privilege escalation -----------------------------------
+    let t3 = t0 + 2 * gap;
+    out.push((
+        PrivilegeEscalation,
+        ev(t3)
+            .subject(ProcessInfo::new(PID_SBBLV_CLIENT, "sbblv.exe", &victim_user))
+            .starts_process(ProcessInfo::new(PID_CMD_CLIENT, "cmd.exe", &victim_user))
+            .build(),
+    ));
+    // Port scan: probing internal addresses for the SQL port.
+    for i in 0..12u64 {
+        out.push((
+            PrivilegeEscalation,
+            ev(t3 + 2_000 + i * 400)
+                .subject(ProcessInfo::new(PID_SBBLV_CLIENT, "sbblv.exe", &victim_user))
+                .action(
+                    saql_model::Operation::Connect,
+                    saql_model::Entity::Network(NetworkInfo::new(
+                        "10.0.0.13",
+                        49810,
+                        format!("10.0.1.{}", 1 + i),
+                        1433,
+                        "tcp",
+                    )),
+                )
+                .build(),
+        ));
+    }
+    out.push((
+        PrivilegeEscalation,
+        ev(t3 + 8_000)
+            .subject(ProcessInfo::new(PID_CMD_CLIENT, "cmd.exe", &victim_user))
+            .starts_process(ProcessInfo::new(PID_GSECDUMP, "gsecdump.exe", &victim_user))
+            .build(),
+    ));
+    out.push((
+        PrivilegeEscalation,
+        ev(t3 + 9_000)
+            .subject(ProcessInfo::new(PID_GSECDUMP, "gsecdump.exe", &victim_user))
+            .reads_file(FileInfo::new("C:\\Windows\\System32\\config\\SAM"))
+            .amount(65_536)
+            .build(),
+    ));
+    out.push((
+        PrivilegeEscalation,
+        ev(t3 + 10_000)
+            .subject(ProcessInfo::new(PID_GSECDUMP, "gsecdump.exe", &victim_user))
+            .sends(NetworkInfo::new("10.0.0.13", 49811, ATTACKER_IP, 443, "tcp"))
+            .amount(24_000)
+            .build(),
+    ));
+
+    // ---- c4: penetration into the database server -------------------
+    let t4 = t0 + 3 * gap;
+    out.push((
+        Penetration,
+        db(t4)
+            .subject(ProcessInfo::new(PID_SERVICES, "services.exe", "SYSTEM"))
+            .starts_process(ProcessInfo::new(PID_WSCRIPT, "wscript.exe", "svc-sql"))
+            .build(),
+    ));
+    out.push((
+        Penetration,
+        db(t4 + 1_000)
+            .subject(ProcessInfo::new(PID_WSCRIPT, "wscript.exe", "svc-sql"))
+            .writes_file(FileInfo::new(DROPPER_VBS))
+            .amount(12_000)
+            .build(),
+    ));
+    out.push((
+        Penetration,
+        db(t4 + 2_000)
+            .subject(ProcessInfo::new(PID_WSCRIPT, "wscript.exe", "svc-sql"))
+            .starts_process(ProcessInfo::new(PID_SBBLV_DB, "sbblv.exe", "svc-sql"))
+            .build(),
+    ));
+    out.push((
+        Penetration,
+        db(t4 + 4_000)
+            .subject(ProcessInfo::new(PID_SBBLV_DB, "sbblv.exe", "svc-sql"))
+            .sends(NetworkInfo::new("10.0.1.3", 49900, ATTACKER_IP, 443, "tcp"))
+            .amount(900)
+            .build(),
+    ));
+
+    // ---- c5: data exfiltration --------------------------------------
+    let t5 = t0 + 4 * gap;
+    out.push((
+        Exfiltration,
+        db(t5)
+            .subject(ProcessInfo::new(PID_CMD_DB, "cmd.exe", "svc-sql"))
+            .starts_process(ProcessInfo::new(PID_OSQL, "osql.exe", "svc-sql"))
+            .build(),
+    ));
+    // The server materializes the dump in chunks.
+    for i in 0..5u64 {
+        out.push((
+            Exfiltration,
+            db(t5 + 5_000 + i * 3_000)
+                .subject(ProcessInfo::new(PID_SQLSERVR, "sqlservr.exe", "svc-sql"))
+                .writes_file(FileInfo::new(DB_DUMP))
+                .amount(400_000_000)
+                .build(),
+        ));
+    }
+    out.push((
+        Exfiltration,
+        db(t5 + 25_000)
+            .subject(ProcessInfo::new(PID_SBBLV_DB, "sbblv.exe", "svc-sql"))
+            .reads_file(FileInfo::new(DB_DUMP))
+            .amount(2_000_000_000)
+            .build(),
+    ));
+    // Ship it out in large chunks.
+    for i in 0..10u64 {
+        out.push((
+            Exfiltration,
+            db(t5 + 30_000 + i * 6_000)
+                .subject(ProcessInfo::new(PID_SBBLV_DB, "sbblv.exe", "svc-sql"))
+                .sends(NetworkInfo::new("10.0.1.3", 49901, ATTACKER_IP, 443, "tcp"))
+                .amount(200_000_000)
+                .build(),
+        ));
+    }
+
+    out
+}
+
+/// Time span `[first, last]` of each step in the generated trace.
+pub fn step_spans(events: &[(AttackStep, Event)]) -> Vec<(AttackStep, Timestamp, Timestamp)> {
+    AttackStep::ALL
+        .iter()
+        .filter_map(|step| {
+            let times: Vec<Timestamp> = events
+                .iter()
+                .filter(|(s, _)| s == step)
+                .map(|(_, e)| e.ts)
+                .collect();
+            let first = times.iter().min()?;
+            let last = times.iter().max()?;
+            Some((*step, *first, *last))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_five_steps_present_in_order() {
+        let events = generate(&AttackConfig::default());
+        let spans = step_spans(&events);
+        assert_eq!(spans.len(), 5);
+        for w in spans.windows(2) {
+            assert!(w[0].2 < w[1].1, "steps must not overlap: {spans:?}");
+        }
+    }
+
+    #[test]
+    fn c5_supports_query1_join_chain() {
+        // The c5 events must satisfy Query 1's temporal+join structure:
+        // cmd→osql start, sqlservr→backup1.dmp write, sbblv reads the SAME
+        // file, sbblv talks to the attacker — in that order.
+        let events = generate(&AttackConfig::default());
+        let c5: Vec<&Event> = events
+            .iter()
+            .filter(|(s, _)| *s == AttackStep::Exfiltration)
+            .map(|(_, e)| e)
+            .collect();
+        let start = c5
+            .iter()
+            .find(|e| e.op == saql_model::Operation::Start)
+            .expect("cmd starts osql");
+        let dump_write = c5
+            .iter()
+            .find(|e| {
+                e.op == saql_model::Operation::Write && matches!(&e.object, saql_model::Entity::File(f) if f.name.contains("backup1.dmp"))
+            })
+            .expect("sqlservr writes dump");
+        let dump_read = c5
+            .iter()
+            .find(|e| {
+                e.op == saql_model::Operation::Read && matches!(&e.object, saql_model::Entity::File(f) if f.name.contains("backup1.dmp"))
+            })
+            .expect("sbblv reads dump");
+        let exfil = c5
+            .iter()
+            .find(|e| {
+                matches!(&e.object, saql_model::Entity::Network(n) if &*n.dst_ip == ATTACKER_IP)
+            })
+            .expect("sbblv ships to attacker");
+        assert!(start.ts < dump_write.ts);
+        assert!(dump_write.ts < dump_read.ts);
+        assert!(dump_read.ts < exfil.ts);
+        // Join: the read and write reference the identical file entity.
+        assert_eq!(dump_write.object, dump_read.object);
+        assert_eq!(&*dump_read.subject.exe_name, "sbblv.exe");
+    }
+
+    #[test]
+    fn c2_join_excel_to_backdoor_connection() {
+        let events = generate(&AttackConfig::default());
+        let c2: Vec<&Event> = events
+            .iter()
+            .filter(|(s, _)| *s == AttackStep::MalwareInfection)
+            .map(|(_, e)| e)
+            .collect();
+        let spawn = c2
+            .iter()
+            .find(|e| e.op == saql_model::Operation::Start && &*e.subject.exe_name == "excel.exe")
+            .expect("excel starts cscript");
+        let spawned_pid = match &spawn.object {
+            saql_model::Entity::Process(p) => p.pid,
+            other => panic!("expected process object, got {other}"),
+        };
+        let backdoor = c2
+            .iter()
+            .find(|e| matches!(&e.object, saql_model::Entity::Network(n) if &*n.dst_ip == ATTACKER_IP))
+            .expect("cscript phones home");
+        assert_eq!(backdoor.subject.pid, spawned_pid, "backdoor must run in the spawned process");
+    }
+
+    #[test]
+    fn exfiltration_volume_dominates() {
+        let events = generate(&AttackConfig::default());
+        let exfil_total: u64 = events
+            .iter()
+            .filter(|(s, e)| {
+                *s == AttackStep::Exfiltration
+                    && matches!(&e.object, saql_model::Entity::Network(n) if &*n.dst_ip == ATTACKER_IP)
+            })
+            .map(|(_, e)| e.amount)
+            .sum();
+        assert!(exfil_total >= 2_000_000_000, "exfil volume {exfil_total}");
+    }
+
+    #[test]
+    fn hosts_are_victim_then_db_server() {
+        let events = generate(&AttackConfig::default());
+        for (step, e) in &events {
+            match step {
+                AttackStep::InitialCompromise
+                | AttackStep::MalwareInfection
+                | AttackStep::PrivilegeEscalation => assert_eq!(&*e.agent_id, VICTIM_CLIENT),
+                AttackStep::Penetration | AttackStep::Exfiltration => {
+                    assert_eq!(&*e.agent_id, DB_SERVER)
+                }
+            }
+        }
+    }
+}

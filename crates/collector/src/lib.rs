@@ -1,0 +1,35 @@
+//! # saql-collector
+//!
+//! Synthetic system-monitoring data for the SAQL reproduction.
+//!
+//! The paper deploys auditd/ETW/DTrace agents across a 150-host enterprise
+//! and performs a controlled 5-step APT attack (Fig. 2). This crate is the
+//! substitute substrate: a deterministic enterprise **simulator** that
+//! produces realistic SVO event streams (role-based background workloads for
+//! Windows clients, a mail server, a database server, a web server, and a
+//! domain controller), plus an **attack injector** that emits the exact
+//! c1–c5 traces the demo's 8 queries detect:
+//!
+//! * c1 initial compromise — Outlook writes a macro-bearing `.xlsm`;
+//! * c2 malware infection — Excel runs the macro, a script host drops
+//!   `sbblv.exe` and opens a backdoor to the attacker;
+//! * c3 privilege escalation — `gsecdump.exe` steals credentials, the
+//!   backdoor port-scans for the database;
+//! * c4 penetration — a script host drops a VBScript on the DB server and
+//!   starts another backdoor;
+//! * c5 data exfiltration — `osql.exe` dumps the database to
+//!   `backup1.dmp`, which `sbblv.exe` ships to the attacker.
+//!
+//! Everything is seeded: the same [`SimConfig`] always produces the same
+//! trace, so tests and benchmarks are reproducible.
+
+pub mod attack;
+pub mod background;
+pub mod simulator;
+pub mod stats;
+pub mod topology;
+pub mod workload;
+
+pub use attack::{AttackConfig, AttackStep};
+pub use simulator::{SimConfig, Simulator, Trace};
+pub use topology::{HostRole, Topology, ATTACKER_IP, DB_SERVER, MAIL_SERVER, VICTIM_CLIENT, WEB_SERVER};

@@ -1,0 +1,167 @@
+//! Trace summary statistics.
+//!
+//! Operators sanity-check collected monitoring data before deploying
+//! queries over it: per-host volumes, operation mix, event rates, and data
+//! amounts. The CLI prints this after `saql simulate`, and tests use it to
+//! validate that simulated workloads look like the monitoring mixes the
+//! paper describes (file/network I/O dominating, process starts rare).
+
+use std::collections::BTreeMap;
+
+use saql_model::{Event, Operation, Timestamp};
+
+/// Aggregate statistics over a trace.
+#[derive(Debug, Clone, Default)]
+pub struct TraceStats {
+    pub events: usize,
+    pub first_ts: Option<Timestamp>,
+    pub last_ts: Option<Timestamp>,
+    /// Events per host id.
+    pub per_host: BTreeMap<String, usize>,
+    /// Events per operation.
+    pub per_op: BTreeMap<Operation, usize>,
+    /// Total bytes across event amounts.
+    pub total_amount: u128,
+    /// Distinct subject executables observed.
+    pub distinct_exes: usize,
+}
+
+impl TraceStats {
+    /// Compute statistics over events (one pass).
+    pub fn compute(events: &[Event]) -> TraceStats {
+        let mut stats = TraceStats { events: events.len(), ..TraceStats::default() };
+        let mut exes = std::collections::HashSet::new();
+        for e in events {
+            stats.first_ts = Some(match stats.first_ts {
+                Some(t) => t.min(e.ts),
+                None => e.ts,
+            });
+            stats.last_ts = Some(match stats.last_ts {
+                Some(t) => t.max(e.ts),
+                None => e.ts,
+            });
+            *stats.per_host.entry(e.agent_id.to_string()).or_default() += 1;
+            *stats.per_op.entry(e.op).or_default() += 1;
+            stats.total_amount += e.amount as u128;
+            exes.insert(e.subject.exe_name.clone());
+        }
+        stats.distinct_exes = exes.len();
+        stats
+    }
+
+    /// Trace span in milliseconds (0 for empty traces).
+    pub fn span_ms(&self) -> u64 {
+        match (self.first_ts, self.last_ts) {
+            (Some(a), Some(b)) => b.delta(a).as_millis(),
+            _ => 0,
+        }
+    }
+
+    /// Mean event rate over the trace span (events/second).
+    pub fn events_per_second(&self) -> f64 {
+        let span = self.span_ms();
+        if span == 0 {
+            0.0
+        } else {
+            self.events as f64 * 1000.0 / span as f64
+        }
+    }
+
+    /// Fraction of events with the given operation.
+    pub fn op_fraction(&self, op: Operation) -> f64 {
+        if self.events == 0 {
+            0.0
+        } else {
+            *self.per_op.get(&op).unwrap_or(&0) as f64 / self.events as f64
+        }
+    }
+
+    /// Multi-line human-readable report.
+    pub fn report(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        writeln!(
+            out,
+            "{} events over {:.1} min ({:.0} ev/s), {} hosts, {} distinct executables",
+            self.events,
+            self.span_ms() as f64 / 60_000.0,
+            self.events_per_second(),
+            self.per_host.len(),
+            self.distinct_exes
+        )
+        .unwrap();
+        writeln!(out, "total data amount: {:.2} GB", self.total_amount as f64 / 1e9).unwrap();
+        write!(out, "operations:").unwrap();
+        for (op, n) in &self.per_op {
+            write!(out, " {op}={n}").unwrap();
+        }
+        out.push('\n');
+        let mut hosts: Vec<(&String, &usize)> = self.per_host.iter().collect();
+        hosts.sort_by(|a, b| b.1.cmp(a.1));
+        write!(out, "busiest hosts:").unwrap();
+        for (host, n) in hosts.iter().take(5) {
+            write!(out, " {host}={n}").unwrap();
+        }
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulator::{SimConfig, Simulator};
+
+    fn trace_stats() -> TraceStats {
+        let trace = Simulator::generate(&SimConfig {
+            seed: 77,
+            clients: 4,
+            duration_ms: 10 * 60_000,
+            attack: None,
+        });
+        TraceStats::compute(&trace.events)
+    }
+
+    #[test]
+    fn counts_everything_once() {
+        let stats = trace_stats();
+        assert!(stats.events > 1000);
+        assert_eq!(stats.per_host.values().sum::<usize>(), stats.events);
+        assert_eq!(stats.per_op.values().sum::<usize>(), stats.events);
+    }
+
+    #[test]
+    fn simulated_mix_matches_monitoring_shape() {
+        // File + network I/O dominate; process starts are rare (< 20%).
+        let stats = trace_stats();
+        let io = stats.op_fraction(Operation::Read) + stats.op_fraction(Operation::Write);
+        assert!(io > 0.5, "I/O fraction {io}");
+        assert!(stats.op_fraction(Operation::Start) < 0.2);
+    }
+
+    #[test]
+    fn span_and_rate() {
+        let stats = trace_stats();
+        let span = stats.span_ms();
+        assert!(span > 9 * 60_000 && span <= 10 * 60_000, "span {span}");
+        assert!(stats.events_per_second() > 1.0);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = TraceStats::compute(&[]);
+        assert_eq!(stats.events, 0);
+        assert_eq!(stats.span_ms(), 0);
+        assert_eq!(stats.events_per_second(), 0.0);
+        assert!(stats.report().contains("0 events"));
+    }
+
+    #[test]
+    fn report_lists_hosts_and_ops() {
+        let stats = trace_stats();
+        let report = stats.report();
+        assert!(report.contains("busiest hosts:"), "{report}");
+        assert!(report.contains("write="), "{report}");
+        assert!(report.contains("db-server"), "{report}");
+    }
+}

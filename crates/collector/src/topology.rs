@@ -1,0 +1,121 @@
+//! Enterprise topology: hosts, roles, and well-known constants.
+//!
+//! Mirrors the demo setup of paper Fig. 2: Windows clients behind a
+//! firewall, a mail server, a database server, a Windows domain controller —
+//! plus a web server for the Apache invariant query (paper Query 3).
+
+use std::sync::Arc;
+
+/// The attacker's external address — the paper's obfuscated `XXX.129`.
+pub const ATTACKER_IP: &str = "172.16.9.129";
+
+/// Host id of the SQL database server.
+pub const DB_SERVER: &str = "db-server";
+
+/// Host id of the mail server.
+pub const MAIL_SERVER: &str = "mail-server";
+
+/// Host id of the web server running Apache.
+pub const WEB_SERVER: &str = "web-server";
+
+/// Host id of the domain controller.
+pub const DC_SERVER: &str = "dc-server";
+
+/// The client the attack compromises first.
+pub const VICTIM_CLIENT: &str = "client-3";
+
+/// Role of a host, determining its background workload profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HostRole {
+    /// Windows desktop: Office apps, browser, explorer.
+    Client,
+    /// Mail server: delivers mail to clients.
+    MailServer,
+    /// SQL database server: sqlservr.exe serving internal clients.
+    DbServer,
+    /// Web server: apache.exe spawning worker/helper processes.
+    WebServer,
+    /// Windows domain controller: authentication traffic.
+    DomainController,
+}
+
+/// One host in the enterprise.
+#[derive(Debug, Clone)]
+pub struct Host {
+    pub id: Arc<str>,
+    pub role: HostRole,
+    /// The host's internal IP.
+    pub ip: Arc<str>,
+}
+
+/// The simulated enterprise.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    pub hosts: Vec<Host>,
+}
+
+impl Topology {
+    /// Build the demo topology with `clients` Windows clients (client-1..N)
+    /// plus the four servers. `clients >= 3` guarantees the victim exists.
+    pub fn new(clients: usize) -> Self {
+        assert!(clients >= 3, "topology needs at least 3 clients (victim is client-3)");
+        let mut hosts = Vec::with_capacity(clients + 4);
+        for i in 1..=clients {
+            hosts.push(Host {
+                id: Arc::from(format!("client-{i}").as_str()),
+                role: HostRole::Client,
+                ip: Arc::from(format!("10.0.0.{}", 10 + i).as_str()),
+            });
+        }
+        hosts.push(Host { id: Arc::from(MAIL_SERVER), role: HostRole::MailServer, ip: Arc::from("10.0.1.2") });
+        hosts.push(Host { id: Arc::from(DB_SERVER), role: HostRole::DbServer, ip: Arc::from("10.0.1.3") });
+        hosts.push(Host { id: Arc::from(WEB_SERVER), role: HostRole::WebServer, ip: Arc::from("10.0.1.4") });
+        hosts.push(Host { id: Arc::from(DC_SERVER), role: HostRole::DomainController, ip: Arc::from("10.0.1.5") });
+        Topology { hosts }
+    }
+
+    /// Find a host by id.
+    pub fn host(&self, id: &str) -> Option<&Host> {
+        self.hosts.iter().find(|h| &*h.id == id)
+    }
+
+    /// All client hosts.
+    pub fn clients(&self) -> impl Iterator<Item = &Host> {
+        self.hosts.iter().filter(|h| h.role == HostRole::Client)
+    }
+
+    /// Internal client IPs (used as DB-server peers).
+    pub fn client_ips(&self) -> Vec<Arc<str>> {
+        self.clients().map(|h| h.ip.clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_topology_has_all_roles() {
+        let t = Topology::new(5);
+        assert_eq!(t.hosts.len(), 9);
+        assert!(t.host(VICTIM_CLIENT).is_some());
+        assert_eq!(t.host(DB_SERVER).unwrap().role, HostRole::DbServer);
+        assert_eq!(t.host(WEB_SERVER).unwrap().role, HostRole::WebServer);
+        assert_eq!(t.clients().count(), 5);
+    }
+
+    #[test]
+    fn client_ips_are_distinct() {
+        let t = Topology::new(10);
+        let mut ips = t.client_ips();
+        ips.sort();
+        ips.dedup();
+        assert_eq!(ips.len(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 clients")]
+    fn too_few_clients_panics() {
+        Topology::new(2);
+    }
+}

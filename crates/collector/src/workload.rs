@@ -1,0 +1,177 @@
+//! Parameterized synthetic workloads for benchmarks.
+//!
+//! The enterprise simulator produces *realistic* traces; the benchmark
+//! harness additionally needs *controllable* ones — fixed event counts,
+//! tunable operation mixes, and a dial for what fraction of events match a
+//! target pattern (selectivity). These generators provide that.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use saql_model::event::EventBuilder;
+use saql_model::{Event, FileInfo, NetworkInfo, ProcessInfo};
+
+/// Operation mix of a synthetic stream (weights, need not sum to 1).
+#[derive(Debug, Clone, Copy)]
+pub struct Mix {
+    pub process_start: f64,
+    pub file_io: f64,
+    pub network_io: f64,
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        // Roughly the mix of real system monitoring data: file and network
+        // I/O dominate, process starts are rare.
+        Mix { process_start: 0.05, file_io: 0.55, network_io: 0.40 }
+    }
+}
+
+/// Configuration for [`synthetic_stream`].
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    pub seed: u64,
+    /// Total events to generate.
+    pub events: usize,
+    /// Number of hosts to spread events over.
+    pub hosts: usize,
+    /// Distinct process executables per host.
+    pub procs: usize,
+    /// Mean microseconds of trace time between events (events are spaced
+    /// `1..=2×` this, so rates are controllable but not constant).
+    pub mean_gap_ms: u64,
+    pub mix: Mix,
+    /// Fraction of events matching the *target pattern*
+    /// (`target.exe` writes to `ip 10.9.9.9`) used by selectivity benches.
+    pub target_fraction: f64,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 1,
+            events: 100_000,
+            hosts: 10,
+            procs: 20,
+            mean_gap_ms: 1,
+            mix: Mix::default(),
+            target_fraction: 0.0,
+        }
+    }
+}
+
+/// The pattern that `target_fraction` events match; benches register
+/// queries over it.
+pub const TARGET_QUERY: &str =
+    "proc p[\"%target.exe\"] write ip i[dstip=\"10.9.9.9\"] as evt\nreturn p, i";
+
+/// Generate a synthetic stream: timestamp-ordered, ids dense from 1.
+pub fn synthetic_stream(config: &WorkloadConfig) -> Vec<Event> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::with_capacity(config.events);
+    let mut ts = 0u64;
+    let total_weight = config.mix.process_start + config.mix.file_io + config.mix.network_io;
+    for i in 0..config.events {
+        ts += rng.gen_range(1..=config.mean_gap_ms.max(1) * 2);
+        let host = format!("host-{}", rng.gen_range(0..config.hosts.max(1)));
+        let pid = 1000 + rng.gen_range(0..config.procs.max(1)) as u32;
+        let exe = format!("proc-{}.exe", pid - 1000);
+        let builder = EventBuilder::new(i as u64 + 1, &host, ts)
+            .subject(ProcessInfo::new(pid, &exe, "user"));
+
+        let event = if rng.gen_bool(config.target_fraction.clamp(0.0, 1.0)) {
+            EventBuilder::new(i as u64 + 1, &host, ts)
+                .subject(ProcessInfo::new(4242, "target.exe", "user"))
+                .sends(NetworkInfo::new("10.0.0.1", 40000, "10.9.9.9", 443, "tcp"))
+                .amount(rng.gen_range(100..100_000))
+                .build()
+        } else {
+            let dice = rng.gen_range(0.0..total_weight);
+            if dice < config.mix.process_start {
+                builder
+                    .starts_process(ProcessInfo::new(
+                        20_000 + rng.gen_range(0..10_000),
+                        format!("child-{}.exe", rng.gen_range(0..50)),
+                        "user",
+                    ))
+                    .build()
+            } else if dice < config.mix.process_start + config.mix.file_io {
+                let file = FileInfo::new(format!("C:\\data\\f{}.bin", rng.gen_range(0..500)));
+                let b = builder.amount(rng.gen_range(128..65_536));
+                if rng.gen_bool(0.5) {
+                    b.reads_file(file).build()
+                } else {
+                    b.writes_file(file).build()
+                }
+            } else {
+                let conn = NetworkInfo::new(
+                    "10.0.0.1",
+                    40000,
+                    format!("10.1.{}.{}", rng.gen_range(0..10), rng.gen_range(1..250)),
+                    443,
+                    "tcp",
+                );
+                let b = builder.amount(rng.gen_range(100..50_000));
+                if rng.gen_bool(0.5) {
+                    b.receives(conn).build()
+                } else {
+                    b.sends(conn).build()
+                }
+            }
+        };
+        out.push(event);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_count_and_order() {
+        let events = synthetic_stream(&WorkloadConfig { events: 5_000, ..Default::default() });
+        assert_eq!(events.len(), 5_000);
+        assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = WorkloadConfig { events: 1_000, ..Default::default() };
+        assert_eq!(synthetic_stream(&cfg), synthetic_stream(&cfg));
+    }
+
+    #[test]
+    fn target_fraction_controls_selectivity() {
+        let cfg = WorkloadConfig { events: 20_000, target_fraction: 0.10, ..Default::default() };
+        let events = synthetic_stream(&cfg);
+        let hits = events
+            .iter()
+            .filter(|e| &*e.subject.exe_name == "target.exe")
+            .count();
+        let fraction = hits as f64 / events.len() as f64;
+        assert!((fraction - 0.10).abs() < 0.02, "observed {fraction}");
+    }
+
+    #[test]
+    fn zero_target_fraction_has_no_hits() {
+        let cfg = WorkloadConfig { events: 5_000, ..Default::default() };
+        let events = synthetic_stream(&cfg);
+        assert!(!events.iter().any(|e| &*e.subject.exe_name == "target.exe"));
+    }
+
+    #[test]
+    fn mix_produces_all_families() {
+        let events = synthetic_stream(&WorkloadConfig { events: 10_000, ..Default::default() });
+        let mut fam = std::collections::HashSet::new();
+        for e in &events {
+            fam.insert(e.family());
+        }
+        assert_eq!(fam.len(), 3, "{fam:?}");
+    }
+
+    #[test]
+    fn target_query_compiles_and_matches() {
+        let q = saql_lang::compile(TARGET_QUERY);
+        assert!(q.is_ok());
+    }
+}

@@ -1,0 +1,97 @@
+//! Detection alerts: what the engine reports when a query's conditions are
+//! met by the event stream.
+
+use std::fmt;
+
+use saql_model::Timestamp;
+
+/// Where in the stream an alert fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlertOrigin {
+    /// A rule-based full pattern match; carries the matched event ids in
+    /// pattern order.
+    Match { event_ids: Vec<u64> },
+    /// A stateful model fired when the window `[start, end)` closed for the
+    /// given group key.
+    Window { start: Timestamp, end: Timestamp, group: String },
+}
+
+/// One detection alert.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Alert {
+    /// Name of the query that produced the alert.
+    pub query: String,
+    /// Event time at which the alert fired (last matched event, or window
+    /// end).
+    pub ts: Timestamp,
+    pub origin: AlertOrigin,
+    /// The `return` items: (label, rendered value).
+    pub rows: Vec<(String, String)>,
+}
+
+impl Alert {
+    /// Look up a returned value by its label.
+    pub fn get(&self, label: &str) -> Option<&str> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+impl fmt::Display for Alert {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[ALERT {} @{}]", self.query, self.ts)?;
+        match &self.origin {
+            AlertOrigin::Match { event_ids } => {
+                write!(f, " events={event_ids:?}")?;
+            }
+            AlertOrigin::Window { start, end, group } => {
+                write!(f, " window=[{start}, {end}) group={group}")?;
+            }
+        }
+        for (label, value) in &self.rows {
+            write!(f, " {label}={value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alert_display_and_lookup() {
+        let a = Alert {
+            query: "exfil".into(),
+            ts: Timestamp::from_secs(9),
+            origin: AlertOrigin::Match { event_ids: vec![1, 4, 7] },
+            rows: vec![
+                ("p1".into(), "cmd.exe".into()),
+                ("i1".into(), "172.16.9.129".into()),
+            ],
+        };
+        let s = a.to_string();
+        assert!(s.contains("ALERT exfil"));
+        assert!(s.contains("events=[1, 4, 7]"));
+        assert!(s.contains("i1=172.16.9.129"));
+        assert_eq!(a.get("p1"), Some("cmd.exe"));
+        assert_eq!(a.get("zz"), None);
+    }
+
+    #[test]
+    fn window_origin_display() {
+        let a = Alert {
+            query: "sma".into(),
+            ts: Timestamp::from_secs(600),
+            origin: AlertOrigin::Window {
+                start: Timestamp::ZERO,
+                end: Timestamp::from_secs(600),
+                group: "sqlservr.exe".into(),
+            },
+            rows: vec![],
+        };
+        assert!(a.to_string().contains("group=sqlservr.exe"));
+    }
+}

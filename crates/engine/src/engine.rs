@@ -1,0 +1,238 @@
+//! The engine facade: register SAQL query text, push a stream through, and
+//! collect alerts — the programmatic equivalent of the demo's command-line
+//! UI session.
+
+use saql_lang::LangError;
+use saql_stream::SharedEvent;
+
+use crate::alert::Alert;
+use crate::query::{QueryConfig, QueryStats, RunningQuery};
+use crate::scheduler::{Scheduler, SchedulerStats};
+
+/// Engine-wide configuration.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineConfig {
+    pub query: QueryConfig,
+    /// Track per-event end-to-end latency (one clock read pair per event).
+    pub record_latency: bool,
+}
+
+/// Handle to a registered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QueryId(usize);
+
+/// The SAQL anomaly query engine.
+///
+/// ```
+/// use saql_engine::Engine;
+/// use saql_model::event::EventBuilder;
+/// use saql_model::ProcessInfo;
+/// use std::sync::Arc;
+///
+/// let mut engine = Engine::new(Default::default());
+/// engine
+///     .register("osql-start", "proc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as e1\nreturn p1, p2")
+///     .unwrap();
+/// let event = Arc::new(
+///     EventBuilder::new(1, "db-server", 1_000)
+///         .subject(ProcessInfo::new(10, "cmd.exe", "admin"))
+///         .starts_process(ProcessInfo::new(11, "osql.exe", "admin"))
+///         .build(),
+/// );
+/// let alerts = engine.process(&event);
+/// assert_eq!(alerts.len(), 1);
+/// assert_eq!(alerts[0].query, "osql-start");
+/// ```
+pub struct Engine {
+    scheduler: Scheduler,
+    names: Vec<String>,
+    config: EngineConfig,
+}
+
+impl Engine {
+    pub fn new(config: EngineConfig) -> Self {
+        let mut scheduler = Scheduler::new();
+        if config.record_latency {
+            scheduler.enable_latency_tracking();
+        }
+        Engine { scheduler, names: Vec::new(), config }
+    }
+
+    /// Per-event latency histogram (ns), when
+    /// [`EngineConfig::record_latency`] is on.
+    pub fn latency(&self) -> Option<&saql_analytics::Histogram> {
+        self.scheduler.latency()
+    }
+
+    /// Parse, check, and register a query. Errors carry spans renderable
+    /// against `source` (see [`LangError::render`]).
+    pub fn register(&mut self, name: &str, source: &str) -> Result<QueryId, LangError> {
+        let query = RunningQuery::compile(name, source, self.config.query)?;
+        self.scheduler.add(query);
+        self.names.push(name.to_string());
+        Ok(QueryId(self.names.len() - 1))
+    }
+
+    /// Registered query names, in registration order.
+    pub fn query_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Number of scheduler compatibility groups currently formed.
+    pub fn group_count(&self) -> usize {
+        self.scheduler.group_count()
+    }
+
+    pub fn scheduler_stats(&self) -> SchedulerStats {
+        self.scheduler.stats()
+    }
+
+    /// Per-query execution stats, `(name, stats)` in arbitrary order.
+    pub fn query_stats(&self) -> Vec<(String, QueryStats)> {
+        self.scheduler
+            .queries()
+            .map(|q| (q.name().to_string(), q.stats()))
+            .collect()
+    }
+
+    /// Total runtime errors across queries (the error reporter).
+    pub fn error_count(&self) -> u64 {
+        self.scheduler.queries().map(|q| q.errors().total()).sum()
+    }
+
+    /// Recent runtime error messages across queries.
+    pub fn recent_errors(&self) -> Vec<String> {
+        self.scheduler
+            .queries()
+            .flat_map(|q| q.errors().recent().map(move |e| format!("{}: {e}", q.name())))
+            .collect()
+    }
+
+    /// Push one event through all registered queries.
+    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        self.scheduler.process(event)
+    }
+
+    /// Drive an entire stream and flush; returns all alerts in emission
+    /// order.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for event in stream {
+            alerts.extend(self.scheduler.process(&event));
+        }
+        alerts.extend(self.scheduler.finish());
+        alerts
+    }
+
+    /// Drive a stream, delivering every alert to `sink` as it fires
+    /// (the SIEM-forwarding path; see [`crate::sink`]). Returns the alert
+    /// count.
+    pub fn run_with_sink(
+        &mut self,
+        stream: impl IntoIterator<Item = SharedEvent>,
+        sink: &mut dyn crate::sink::AlertSink,
+    ) -> u64 {
+        let mut n = 0u64;
+        for event in stream {
+            for alert in self.scheduler.process(&event) {
+                n += 1;
+                sink.deliver(&alert);
+            }
+        }
+        for alert in self.scheduler.finish() {
+            n += 1;
+            sink.deliver(&alert);
+        }
+        sink.flush();
+        n
+    }
+
+    /// Flush end-of-stream state (close remaining windows).
+    pub fn finish(&mut self) -> Vec<Alert> {
+        self.scheduler.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::ProcessInfo;
+    use std::sync::Arc;
+
+    fn start(id: u64, ts: u64, parent: &str, child: &str) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", ts)
+                .subject(ProcessInfo::new(1, parent, "u"))
+                .starts_process(ProcessInfo::new(2, child, "u"))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn register_and_run() {
+        let mut e = Engine::new(EngineConfig::default());
+        e.register("q", "proc p1[\"%cmd.exe\"] start proc p2 as e1\nreturn p1, p2").unwrap();
+        let alerts = e.run(vec![
+            start(1, 10, "cmd.exe", "osql.exe"),
+            start(2, 20, "explorer.exe", "notepad.exe"),
+        ]);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].get("p2"), Some("osql.exe"));
+    }
+
+    #[test]
+    fn register_error_carries_span() {
+        let mut e = Engine::new(EngineConfig::default());
+        let err = e.register("bad", "proc p teleport proc q as e\nreturn p").unwrap_err();
+        assert!(err.message.contains("teleport"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn multiple_queries_grouped() {
+        let mut e = Engine::new(EngineConfig::default());
+        for i in 0..8 {
+            e.register(&format!("q{i}"), "proc p start proc q as e\nreturn p").unwrap();
+        }
+        assert_eq!(e.group_count(), 1);
+        assert_eq!(e.query_names().len(), 8);
+    }
+
+    #[test]
+    fn latency_tracking_records_per_event() {
+        let mut e = Engine::new(EngineConfig { record_latency: true, ..Default::default() });
+        e.register("q", "proc p start proc q as e\nreturn p").unwrap();
+        e.run((0..50).map(|i| start(i, i * 10, "a.exe", "b.exe")).collect::<Vec<_>>());
+        let hist = e.latency().expect("tracking enabled");
+        assert_eq!(hist.count(), 50);
+        assert!(hist.quantile(0.5).unwrap() > 0);
+        // Disabled by default.
+        let e2 = Engine::new(EngineConfig::default());
+        assert!(e2.latency().is_none());
+    }
+
+    #[test]
+    fn run_with_sink_streams_json() {
+        let mut e = Engine::new(EngineConfig::default());
+        e.register("q", "proc p start proc q as e\nreturn p, q").unwrap();
+        let mut sink = crate::sink::JsonLinesSink::new(Vec::new());
+        let n = e.run_with_sink(vec![start(1, 10, "cmd.exe", "osql.exe")], &mut sink);
+        assert_eq!(n, 1);
+        let text = String::from_utf8(sink.into_inner()).unwrap();
+        assert!(text.contains("\"query\":\"q\""), "{text}");
+        assert!(text.contains("\"p\":\"cmd.exe\""), "{text}");
+    }
+
+    #[test]
+    fn stats_and_errors_accessible() {
+        let mut e = Engine::new(EngineConfig::default());
+        e.register("q", "proc p start proc q as e\nreturn p").unwrap();
+        e.run(vec![start(1, 10, "a", "b")]);
+        let stats = e.query_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].1.alerts, 1);
+        assert_eq!(e.error_count(), 0);
+        assert!(e.recent_errors().is_empty());
+    }
+}

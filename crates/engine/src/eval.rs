@@ -1,0 +1,390 @@
+//! Expression evaluation over runtime scopes.
+//!
+//! A [`Scope`] assembles whatever context is live when an expression is
+//! evaluated: matched events and entity bindings (rule queries), window
+//! states with history (`ss[1].avg_amount`), invariant variables, and the
+//! cluster outcome of the current group. Name resolution tries, in order:
+//! event aliases, entity variables, state blocks, invariant variables, the
+//! `cluster` pseudo-object — anything unresolved yields [`Value::Missing`].
+
+use std::collections::HashMap;
+
+use saql_lang::ast::{BinOp, CmpOp, Expr, UnaryOp};
+use saql_model::{AttrValue, Entity};
+
+use crate::value::Value;
+
+/// Cluster outcome of a group, exposed as `cluster.outlier`,
+/// `cluster.cluster_id`, and `cluster.size`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterOutcome {
+    pub outlier: bool,
+    /// Dense cluster id; `None` for noise points.
+    pub cluster_id: Option<usize>,
+    /// Population of the point's cluster (1 for noise).
+    pub size: usize,
+}
+
+/// Resolves `ss[i].field` state references.
+pub trait StateLookup {
+    /// Value of `field` of state `name`, `back` windows before the current
+    /// one, for the group in scope. `Missing` when out of history.
+    fn state_value(&self, name: &str, back: usize, field: Option<&str>) -> Value;
+}
+
+/// Empty state lookup for rule-query scopes.
+pub struct NoState;
+
+impl StateLookup for NoState {
+    fn state_value(&self, _: &str, _: usize, _: Option<&str>) -> Value {
+        Value::Missing
+    }
+}
+
+/// Evaluation scope. Build one per alert/return evaluation.
+pub struct Scope<'a> {
+    /// alias → matched event (rule queries; also the single pattern of
+    /// stateful queries while aggregating).
+    pub events: HashMap<&'a str, &'a saql_model::Event>,
+    /// entity variable → bound entity.
+    pub entities: HashMap<&'a str, &'a Entity>,
+    /// Group-key values by `var` / `var.attr` textual form (stateful queries
+    /// evaluate return/alert per group, where only group keys are bound).
+    pub group_keys: HashMap<String, AttrValue>,
+    /// State lookup for `ss[i].field`.
+    pub states: &'a dyn StateLookup,
+    /// Invariant variables of the group in scope (owned: invariant runtimes
+    /// mutate while scopes are alive).
+    pub invariants: HashMap<String, Value>,
+    /// Cluster outcome of the group in scope.
+    pub cluster: Option<ClusterOutcome>,
+}
+
+impl<'a> Scope<'a> {
+    /// An empty scope (everything resolves to `Missing`).
+    pub fn empty() -> Scope<'a> {
+        Scope {
+            events: HashMap::new(),
+            entities: HashMap::new(),
+            group_keys: HashMap::new(),
+            states: &NoState,
+            invariants: HashMap::new(),
+            cluster: None,
+        }
+    }
+
+    fn resolve(&self, base: &str, index: Option<usize>, attr: Option<&str>) -> Value {
+        // 1. `cluster.*` pseudo-object.
+        if base == "cluster" {
+            let Some(c) = self.cluster else { return Value::Missing };
+            return match attr {
+                Some("outlier") => Value::bool(c.outlier),
+                Some("cluster_id") => match c.cluster_id {
+                    Some(id) => Value::int(id as i64),
+                    None => Value::int(-1),
+                },
+                Some("size") => Value::int(c.size as i64),
+                _ => Value::Missing,
+            };
+        }
+        // 2. State reference (with or without `[i]`).
+        let state = self.states.state_value(base, index.unwrap_or(0), attr);
+        if !state.is_missing() {
+            return state;
+        }
+        if index.is_some() {
+            // Indexed refs are necessarily states; don't fall through.
+            return state;
+        }
+        // 3. Event alias attribute: `evt.amount`.
+        if let Some(event) = self.events.get(base) {
+            if let Some(attr) = attr {
+                if let Some(v) = event.attr(attr) {
+                    return Value::Attr(v);
+                }
+                // Fall through to subject/object resolution below via
+                // entities map (aliases don't carry entity attrs).
+                return Value::Missing;
+            }
+            return Value::int(event.id as i64);
+        }
+        // 4. Entity variable: `p1.exe_name`, or `p1` (default attr).
+        if let Some(entity) = self.entities.get(base) {
+            let attr_name = attr.unwrap_or_else(|| entity.entity_type().default_attr());
+            return match entity.attr(attr_name) {
+                Some(v) => Value::Attr(v),
+                None => Value::Missing,
+            };
+        }
+        // 5. Group keys (stateful queries): exact `var.attr` form first,
+        // then bare `var`.
+        let key = match attr {
+            Some(a) => format!("{base}.{a}"),
+            None => base.to_string(),
+        };
+        if let Some(v) = self.group_keys.get(&key) {
+            return Value::Attr(v.clone());
+        }
+        // A bare group key may have been declared as `var` but referenced
+        // with its default attribute spelled out (or vice versa); the
+        // builder inserts both spellings, so no extra logic here.
+        // 6. Invariant variables.
+        if let Some(v) = self.invariants.get(base) {
+            if attr.is_none() {
+                return v.clone();
+            }
+        }
+        Value::Missing
+    }
+}
+
+/// Evaluate an expression in a scope. Total: never panics on stream data;
+/// anything unresolvable is `Missing`.
+pub fn eval(expr: &Expr, scope: &Scope<'_>) -> Value {
+    match expr {
+        Expr::Lit(l) => Value::Attr(l.to_attr()),
+        Expr::EmptySet => Value::empty_set(),
+        Expr::Ref(r) => scope.resolve(&r.base, r.index, r.attr.as_deref()),
+        Expr::Card(e) => eval(e, scope).cardinality(),
+        Expr::Unary { op, expr } => {
+            let v = eval(expr, scope);
+            match op {
+                UnaryOp::Not => match v {
+                    Value::Missing => Value::Missing,
+                    other => Value::bool(!other.truthy()),
+                },
+                UnaryOp::Neg => match v.as_f64() {
+                    Some(x) => Value::float(-x),
+                    None => Value::Missing,
+                },
+            }
+        }
+        Expr::Binary { op, lhs, rhs } => eval_binary(*op, lhs, rhs, scope),
+        // Aggregate calls never appear outside state fields (semantic pass
+        // guarantees it); the state maintainer evaluates field *arguments*,
+        // not the calls themselves.
+        Expr::Call { .. } => Value::Missing,
+    }
+}
+
+fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, scope: &Scope<'_>) -> Value {
+    match op {
+        BinOp::And => {
+            // Short-circuit; Missing && x is false-ish but keep Missing to
+            // distinguish "cannot evaluate yet".
+            let l = eval(lhs, scope);
+            if l.is_missing() {
+                return Value::Missing;
+            }
+            if !l.truthy() {
+                return Value::bool(false);
+            }
+            let r = eval(rhs, scope);
+            if r.is_missing() {
+                return Value::Missing;
+            }
+            Value::bool(r.truthy())
+        }
+        BinOp::Or => {
+            let l = eval(lhs, scope);
+            if !l.is_missing() && l.truthy() {
+                return Value::bool(true);
+            }
+            let r = eval(rhs, scope);
+            if r.is_missing() {
+                return if l.is_missing() { Value::Missing } else { Value::bool(false) };
+            }
+            if r.truthy() {
+                return Value::bool(true);
+            }
+            if l.is_missing() {
+                Value::Missing
+            } else {
+                Value::bool(false)
+            }
+        }
+        BinOp::Cmp(cmp) => {
+            let l = eval(lhs, scope);
+            let r = eval(rhs, scope);
+            if l.is_missing() || r.is_missing() {
+                return Value::Missing;
+            }
+            let result = match cmp {
+                CmpOp::Eq => l.loose_eq(&r),
+                CmpOp::Ne => l.loose_eq(&r).map(|b| !b),
+                CmpOp::Lt => l.loose_cmp(&r).map(|o| o.is_lt()),
+                CmpOp::Le => l.loose_cmp(&r).map(|o| o.is_le()),
+                CmpOp::Gt => l.loose_cmp(&r).map(|o| o.is_gt()),
+                CmpOp::Ge => l.loose_cmp(&r).map(|o| o.is_ge()),
+            };
+            match result {
+                Some(b) => Value::bool(b),
+                None => Value::Missing,
+            }
+        }
+        BinOp::Union => eval(lhs, scope).union(&eval(rhs, scope)),
+        BinOp::Diff => eval(lhs, scope).diff(&eval(rhs, scope)),
+        BinOp::Intersect => eval(lhs, scope).intersect(&eval(rhs, scope)),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let (Some(l), Some(r)) = (eval(lhs, scope).as_f64(), eval(rhs, scope).as_f64())
+            else {
+                return Value::Missing;
+            };
+            let x = match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => {
+                    if r == 0.0 {
+                        return Value::Missing;
+                    }
+                    l / r
+                }
+                BinOp::Mod => {
+                    if r == 0.0 {
+                        return Value::Missing;
+                    }
+                    l % r
+                }
+                _ => unreachable!("arithmetic arm"),
+            };
+            Value::float(x)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_lang::parser::Parser;
+    use saql_model::event::EventBuilder;
+    use saql_model::{FileInfo, ProcessInfo};
+
+    fn expr(src: &str) -> Expr {
+        Parser::new(saql_lang::lexer::lex(src).unwrap()).expr().unwrap()
+    }
+
+    fn ev() -> saql_model::Event {
+        EventBuilder::new(3, "db-server", 1234)
+            .subject(ProcessInfo::new(77, "sqlservr.exe", "svc"))
+            .writes_file(FileInfo::new("backup1.dmp"))
+            .amount(4096)
+            .build()
+    }
+
+    #[test]
+    fn literal_arithmetic() {
+        let s = Scope::empty();
+        assert_eq!(eval(&expr("1 + 2 * 3"), &s).as_f64(), Some(7.0));
+        assert_eq!(eval(&expr("(1 + 2) * 3"), &s).as_f64(), Some(9.0));
+        assert_eq!(eval(&expr("10 / 4"), &s).as_f64(), Some(2.5));
+        assert_eq!(eval(&expr("10 % 3"), &s).as_f64(), Some(1.0));
+        assert_eq!(eval(&expr("-(3)"), &s).as_f64(), Some(-3.0));
+    }
+
+    #[test]
+    fn division_by_zero_is_missing() {
+        let s = Scope::empty();
+        assert!(eval(&expr("1 / 0"), &s).is_missing());
+        assert!(eval(&expr("1 % 0"), &s).is_missing());
+    }
+
+    #[test]
+    fn event_attr_resolution() {
+        let event = ev();
+        let mut s = Scope::empty();
+        s.events.insert("evt", &event);
+        assert_eq!(eval(&expr("evt.amount"), &s).as_f64(), Some(4096.0));
+        assert_eq!(eval(&expr("evt.agentid"), &s).to_string(), "db-server");
+        assert!(eval(&expr("evt.bogus"), &s).is_missing());
+    }
+
+    #[test]
+    fn entity_default_attr_shortcut() {
+        let entity = Entity::Process(ProcessInfo::new(9, "cmd.exe", "u"));
+        let mut s = Scope::empty();
+        s.entities.insert("p1", &entity);
+        assert_eq!(eval(&expr("p1"), &s).to_string(), "cmd.exe");
+        assert_eq!(eval(&expr("p1.pid"), &s).as_f64(), Some(9.0));
+        assert_eq!(eval(&expr("p1.exe_name"), &s).to_string(), "cmd.exe");
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let event = ev();
+        let mut s = Scope::empty();
+        s.events.insert("evt", &event);
+        assert!(eval(&expr("evt.amount > 1000 && evt.amount < 10000"), &s).truthy());
+        assert!(!eval(&expr("evt.amount > 1000 && evt.amount > 10000"), &s).truthy());
+        assert!(eval(&expr("evt.amount = 4096"), &s).truthy());
+        assert!(eval(&expr("!(evt.amount = 4096)"), &s).loose_eq(&Value::bool(false)).unwrap());
+    }
+
+    #[test]
+    fn missing_propagates_and_blocks_alerts() {
+        let s = Scope::empty();
+        let v = eval(&expr("ss[1].avg > 10"), &s);
+        assert!(v.is_missing());
+        assert!(!v.truthy());
+        // Short-circuit still definite when LHS is definite false.
+        assert!(!eval(&expr("1 > 2 && nosuch.x > 1"), &s).truthy());
+        assert!(eval(&expr("1 < 2 || nosuch.x > 1"), &s).truthy());
+    }
+
+    #[test]
+    fn set_expressions() {
+        let mut s = Scope::empty();
+        s.invariants.insert(
+            "a".to_string(),
+            Value::set_from(["cmd.exe".to_string(), "php.exe".to_string()]),
+        );
+        assert_eq!(eval(&expr("|a|"), &s).as_f64(), Some(2.0));
+        assert_eq!(eval(&expr("|a diff empty_set|"), &s).as_f64(), Some(2.0));
+        assert_eq!(eval(&expr("|empty_set diff a|"), &s).as_f64(), Some(0.0));
+        assert!(eval(&expr("|a| > 1"), &s).truthy());
+    }
+
+    #[test]
+    fn cluster_pseudo_object() {
+        let mut s = Scope::empty();
+        s.cluster = Some(ClusterOutcome { outlier: true, cluster_id: None, size: 1 });
+        assert!(eval(&expr("cluster.outlier"), &s).truthy());
+        assert_eq!(eval(&expr("cluster.cluster_id"), &s).as_f64(), Some(-1.0));
+        assert_eq!(eval(&expr("cluster.size"), &s).as_f64(), Some(1.0));
+        s.cluster = None;
+        assert!(eval(&expr("cluster.outlier"), &s).is_missing());
+    }
+
+    #[test]
+    fn group_key_resolution() {
+        let mut s = Scope::empty();
+        s.group_keys.insert("i.dstip".into(), AttrValue::str("10.0.0.9"));
+        s.group_keys.insert("p".into(), AttrValue::str("cmd.exe"));
+        assert_eq!(eval(&expr("i.dstip"), &s).to_string(), "10.0.0.9");
+        assert_eq!(eval(&expr("p"), &s).to_string(), "cmd.exe");
+    }
+
+    #[test]
+    fn query2_alert_shape_with_history() {
+        struct FakeStates;
+        impl StateLookup for FakeStates {
+            fn state_value(&self, name: &str, back: usize, field: Option<&str>) -> Value {
+                if name != "ss" || field != Some("avg_amount") {
+                    return Value::Missing;
+                }
+                match back {
+                    0 => Value::float(50_000.0),
+                    1 => Value::float(1_000.0),
+                    2 => Value::float(2_000.0),
+                    _ => Value::Missing,
+                }
+            }
+        }
+        let mut s = Scope::empty();
+        s.states = &FakeStates;
+        let alert = expr(
+            "(ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)",
+        );
+        assert!(eval(&alert, &s).truthy());
+    }
+}

@@ -1,0 +1,219 @@
+//! Invariant-based anomaly models.
+//!
+//! An `invariant[N][offline]` block trains per-group invariant variables
+//! over each group's first `N` windows (e.g. the set of child processes
+//! Apache is *allowed* to spawn), then switches to detection. In `offline`
+//! mode the invariant freezes after training; in `online` mode it keeps
+//! absorbing non-alerting windows, adapting to drift.
+
+use std::collections::HashMap;
+
+use saql_lang::ast::{InvariantBlock, InvariantMode};
+
+use crate::eval::{eval, Scope};
+use crate::value::Value;
+
+/// Training status of one group's invariant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Still absorbing training windows (no alerts fire).
+    Training { seen: usize },
+    /// Detection mode.
+    Detecting,
+}
+
+#[derive(Debug)]
+struct GroupInvariant {
+    vars: HashMap<String, Value>,
+    phase: Phase,
+}
+
+/// Runtime for one invariant block, tracking per-group training state.
+#[derive(Debug)]
+pub struct InvariantRuntime {
+    block: InvariantBlock,
+    groups: HashMap<String, GroupInvariant>,
+}
+
+impl InvariantRuntime {
+    pub fn new(block: &InvariantBlock) -> Self {
+        InvariantRuntime { block: block.clone(), groups: HashMap::new() }
+    }
+
+    /// Current phase of a group (groups appear on their first window).
+    pub fn phase(&self, group: &str) -> Option<Phase> {
+        self.groups.get(group).map(|g| g.phase)
+    }
+
+    /// Invariant variables of a group, for alert-scope construction.
+    /// Empty while the group is unknown.
+    pub fn vars(&self, group: &str) -> HashMap<String, Value> {
+        match self.groups.get(group) {
+            Some(g) => g.vars.clone(),
+            None => HashMap::new(),
+        }
+    }
+
+    /// Observe one closed window for `group`. `scope` must resolve the state
+    /// fields (`ss.set_proc`) for that window.
+    ///
+    /// Returns `true` if the group is in detection mode **after** this
+    /// window's bookkeeping — i.e. the caller should evaluate the alert
+    /// condition. During training, updates run and no alert is possible.
+    pub fn on_window(&mut self, group: &str, scope: &Scope<'_>) -> bool {
+        let entry = self.groups.entry(group.to_string()).or_insert_with(|| {
+            // First sight of the group: run the `:=` initializers.
+            let mut vars = HashMap::new();
+            for stmt in &self.block.stmts {
+                if stmt.init {
+                    let seeded = eval(&stmt.expr, &Scope::empty());
+                    vars.insert(stmt.var.clone(), seeded);
+                }
+            }
+            GroupInvariant { vars, phase: Phase::Training { seen: 0 } }
+        });
+
+        match entry.phase {
+            Phase::Training { seen } => {
+                Self::run_updates(&self.block, &mut entry.vars, scope);
+                let seen = seen + 1;
+                entry.phase = if seen >= self.block.train_windows {
+                    Phase::Detecting
+                } else {
+                    Phase::Training { seen }
+                };
+                false
+            }
+            Phase::Detecting => true,
+        }
+    }
+
+    /// In `online` mode, absorb a non-alerting detection window into the
+    /// invariant (call after the alert evaluated false).
+    pub fn absorb_online(&mut self, group: &str, scope: &Scope<'_>) {
+        if self.block.mode != InvariantMode::Online {
+            return;
+        }
+        if let Some(entry) = self.groups.get_mut(group) {
+            if entry.phase == Phase::Detecting {
+                Self::run_updates(&self.block, &mut entry.vars, scope);
+            }
+        }
+    }
+
+    fn run_updates(block: &InvariantBlock, vars: &mut HashMap<String, Value>, scope: &Scope<'_>) {
+        for stmt in &block.stmts {
+            if stmt.init {
+                continue;
+            }
+            // Update expressions see the current invariant vars plus the
+            // window scope; graft the vars into a derived scope.
+            let s = Scope {
+                events: scope.events.clone(),
+                entities: scope.entities.clone(),
+                group_keys: scope.group_keys.clone(),
+                states: scope.states,
+                invariants: vars.clone(),
+                cluster: scope.cluster,
+            };
+            let next = eval(&stmt.expr, &s);
+            if !next.is_missing() {
+                vars.insert(stmt.var.clone(), next);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::StateLookup;
+    use saql_lang::parse;
+
+    fn block(train: usize, mode: &str) -> InvariantBlock {
+        let src = format!(
+            "proc p1 start proc p2 as evt #time(10 s)\nstate ss {{ set_proc := set(p2.exe_name) }} group by p1\ninvariant[{train}][{mode}] {{\n a := empty_set\n a = a union ss.set_proc\n}}\nalert |ss.set_proc diff a| > 0\nreturn p1"
+        );
+        parse(&src).unwrap().invariants.remove(0)
+    }
+
+    /// Fake state resolving `ss.set_proc` to a fixed set.
+    struct FixedState(Vec<&'static str>);
+
+    impl StateLookup for FixedState {
+        fn state_value(&self, name: &str, back: usize, field: Option<&str>) -> Value {
+            if name == "ss" && back == 0 && field == Some("set_proc") {
+                Value::set_from(self.0.iter().map(|s| s.to_string()))
+            } else {
+                Value::Missing
+            }
+        }
+    }
+
+    fn scope_with(state: &FixedState) -> Scope<'_> {
+        let mut s = Scope::empty();
+        s.states = state;
+        s
+    }
+
+    #[test]
+    fn trains_then_detects() {
+        let mut inv = InvariantRuntime::new(&block(3, "offline"));
+        let normal = FixedState(vec!["php.exe"]);
+        for i in 0..3 {
+            let ready = inv.on_window("apache.exe", &scope_with(&normal));
+            assert!(!ready, "window {i} must still be training");
+        }
+        assert_eq!(inv.phase("apache.exe"), Some(Phase::Detecting));
+        assert!(inv.on_window("apache.exe", &scope_with(&normal)));
+        // The trained invariant contains the union of training windows.
+        let vars = inv.vars("apache.exe");
+        assert_eq!(vars["a"].to_string(), "{php.exe}");
+    }
+
+    #[test]
+    fn union_accumulates_across_training_windows() {
+        let mut inv = InvariantRuntime::new(&block(2, "offline"));
+        inv.on_window("apache.exe", &scope_with(&FixedState(vec!["php.exe"])));
+        inv.on_window("apache.exe", &scope_with(&FixedState(vec!["rotatelogs.exe"])));
+        let vars = inv.vars("apache.exe");
+        assert_eq!(vars["a"].to_string(), "{php.exe, rotatelogs.exe}");
+    }
+
+    #[test]
+    fn offline_mode_freezes_after_training() {
+        let mut inv = InvariantRuntime::new(&block(1, "offline"));
+        inv.on_window("g", &scope_with(&FixedState(vec!["php.exe"])));
+        // Detection window with a new process; offline must not absorb it.
+        assert!(inv.on_window("g", &scope_with(&FixedState(vec!["cmd.exe"]))));
+        inv.absorb_online("g", &scope_with(&FixedState(vec!["cmd.exe"])));
+        assert_eq!(inv.vars("g")["a"].to_string(), "{php.exe}");
+    }
+
+    #[test]
+    fn online_mode_absorbs_after_training() {
+        let mut inv = InvariantRuntime::new(&block(1, "online"));
+        inv.on_window("g", &scope_with(&FixedState(vec!["php.exe"])));
+        assert!(inv.on_window("g", &scope_with(&FixedState(vec!["cgi.exe"]))));
+        inv.absorb_online("g", &scope_with(&FixedState(vec!["cgi.exe"])));
+        assert_eq!(inv.vars("g")["a"].to_string(), "{cgi.exe, php.exe}");
+    }
+
+    #[test]
+    fn groups_train_independently() {
+        let mut inv = InvariantRuntime::new(&block(2, "offline"));
+        inv.on_window("apache-1", &scope_with(&FixedState(vec!["php.exe"])));
+        inv.on_window("apache-1", &scope_with(&FixedState(vec!["php.exe"])));
+        // apache-2 appears later: still training while apache-1 detects.
+        assert!(!inv.on_window("apache-2", &scope_with(&FixedState(vec!["perl.exe"]))));
+        assert!(inv.on_window("apache-1", &scope_with(&FixedState(vec!["php.exe"]))));
+        assert_eq!(inv.phase("apache-2"), Some(Phase::Training { seen: 1 }));
+    }
+
+    #[test]
+    fn unknown_group_has_no_vars() {
+        let inv = InvariantRuntime::new(&block(2, "offline"));
+        assert!(inv.vars("nobody").is_empty());
+        assert_eq!(inv.phase("nobody"), None);
+    }
+}

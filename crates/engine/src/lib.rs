@@ -1,0 +1,50 @@
+//! # saql-engine
+//!
+//! The SAQL anomaly query engine (paper Fig. 1): takes compiled SAQL queries
+//! and a system event stream, and reports detection alerts.
+//!
+//! Pipeline stages, mirroring the paper's architecture:
+//!
+//! * **multievent matcher** ([`matcher`]) — matches stream events against the
+//!   query's event patterns, maintaining partial matches for temporal
+//!   relationships (`with evt1 -> evt2`) and attribute joins (shared
+//!   variables);
+//! * **state maintainer** ([`window`], [`state`]) — sliding-window management
+//!   and per-group incremental aggregation with window history
+//!   (`state[3] ss { ... }`);
+//! * **invariant models** ([`invariant`]) — per-group invariant training and
+//!   violation detection;
+//! * **cluster stage** ([`cluster`]) — peer-group outlier detection via
+//!   DBSCAN / k-means at window close;
+//! * **alert evaluator** ([`eval`]) — expression evaluation over match
+//!   bindings, window states, invariants, and cluster outcomes;
+//! * **concurrent query scheduler** ([`scheduler`]) — the master–dependent-
+//!   query scheme: semantically compatible queries share one copy of the
+//!   stream; only group masters touch raw events;
+//! * **error reporter** ([`error`]) — collects runtime anomalies (evaluation
+//!   failures, partial-match overflow) without aborting the stream.
+//!
+//! Entry points: [`query::RunningQuery`] for a single query,
+//! [`scheduler::Scheduler`] for concurrent queries, and the [`Engine`]
+//! facade that wires parsing, scheduling and alert collection together.
+
+pub mod alert;
+pub mod cluster;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod invariant;
+pub mod matcher;
+pub mod query;
+pub mod scheduler;
+pub mod sink;
+pub mod state;
+pub mod value;
+pub mod window;
+
+pub use alert::Alert;
+pub use engine::{Engine, EngineConfig};
+pub use error::{EngineError, ErrorReporter};
+pub use query::RunningQuery;
+pub use scheduler::Scheduler;
+pub use value::Value;

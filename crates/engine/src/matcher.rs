@@ -1,0 +1,679 @@
+//! The multievent matcher.
+//!
+//! Matches stream events against a query's event patterns. A single
+//! [`PatternMatcher`] decides whether one event satisfies one pattern
+//! (entity types, operation alternation, attribute constraints with
+//! SQL-LIKE wildcards). The [`MultiMatcher`] composes patterns with the
+//! temporal clause (`with evt1 -> evt2 -> ...`) and attribute joins (shared
+//! variables must bind the same entity), maintaining bounded partial-match
+//! state across the stream.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use saql_lang::ast::{AttrConstraint, CmpOp, EventPattern, GlobalConstraint, Query};
+use saql_model::glob::{is_exact, like_match};
+use saql_model::{AttrValue, Duration, Entity, Event, Operation, Timestamp};
+use saql_stream::SharedEvent;
+
+/// A compiled attribute constraint.
+#[derive(Debug, Clone)]
+pub enum Predicate {
+    /// SQL-LIKE match on a string attribute.
+    Like { attr: Option<String>, pattern: String },
+    /// Direct comparison against a constant.
+    Cmp { attr: Option<String>, op: CmpOp, value: AttrValue },
+}
+
+impl Predicate {
+    /// Compile one AST constraint, choosing LIKE when the pattern carries
+    /// wildcards. Exact string equality is also routed through LIKE for the
+    /// case-insensitive semantics monitoring paths need.
+    pub fn compile(c: &AttrConstraint) -> Predicate {
+        let value = c.value.to_attr();
+        if c.op == CmpOp::Eq {
+            if let AttrValue::Str(s) = &value {
+                if !is_exact(s) {
+                    return Predicate::Like { attr: c.attr.clone(), pattern: s.to_string() };
+                }
+                // Exact strings still match case-insensitively.
+                return Predicate::Like { attr: c.attr.clone(), pattern: s.to_string() };
+            }
+        }
+        Predicate::Cmp { attr: c.attr.clone(), op: c.op, value }
+    }
+
+    /// Check the predicate against an attribute value.
+    pub fn check(&self, actual: Option<AttrValue>) -> bool {
+        let Some(actual) = actual else { return false };
+        match self {
+            Predicate::Like { pattern, .. } => match actual.as_str() {
+                Some(s) => like_match(pattern, s),
+                None => false,
+            },
+            Predicate::Cmp { op, value, .. } => match op {
+                CmpOp::Eq => actual.loose_eq(value),
+                CmpOp::Ne => !actual.loose_eq(value),
+                _ => match actual.loose_cmp(value) {
+                    Some(ord) => match op {
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                        CmpOp::Eq | CmpOp::Ne => unreachable!("handled above"),
+                    },
+                    None => false,
+                },
+            },
+        }
+    }
+
+    fn attr_name(&self) -> Option<&str> {
+        match self {
+            Predicate::Like { attr, .. } | Predicate::Cmp { attr, .. } => attr.as_deref(),
+        }
+    }
+}
+
+/// Compiled global constraints (`agentid = "db-server"`), checked against
+/// event-level attributes before any pattern work.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalFilter {
+    predicates: Vec<(String, Predicate)>,
+}
+
+impl GlobalFilter {
+    pub fn compile(globals: &[GlobalConstraint]) -> GlobalFilter {
+        GlobalFilter {
+            predicates: globals
+                .iter()
+                .map(|g| {
+                    let pred = Predicate::compile(&AttrConstraint {
+                        attr: Some(g.attr.clone()),
+                        op: g.op,
+                        value: g.value.clone(),
+                        span: g.span,
+                    });
+                    (g.attr.clone(), pred)
+                })
+                .collect(),
+        }
+    }
+
+    /// Whether the event passes every global constraint.
+    pub fn accepts(&self, event: &Event) -> bool {
+        self.predicates.iter().all(|(attr, pred)| pred.check(event.attr(attr)))
+    }
+}
+
+/// A compiled event pattern.
+#[derive(Debug, Clone)]
+pub struct PatternMatcher {
+    pub subject_var: String,
+    pub object_var: String,
+    pub alias: String,
+    ops: Vec<Operation>,
+    object_type: saql_model::EntityType,
+    subject_preds: Vec<Predicate>,
+    object_preds: Vec<Predicate>,
+}
+
+impl PatternMatcher {
+    pub fn compile(p: &EventPattern) -> PatternMatcher {
+        PatternMatcher {
+            subject_var: p.subject.var.clone(),
+            object_var: p.object.var.clone(),
+            alias: p.alias.clone(),
+            ops: p.ops.clone(),
+            object_type: p.object.etype,
+            subject_preds: p.subject.constraints.iter().map(Predicate::compile).collect(),
+            object_preds: p.object.constraints.iter().map(Predicate::compile).collect(),
+        }
+    }
+
+    /// Whether the event matches this pattern's *shape* only (object entity
+    /// type and operation alternation), ignoring attribute constraints.
+    /// This is the master query's check in the master–dependent scheme.
+    pub fn shape_matches(&self, event: &Event) -> bool {
+        event.object.entity_type() == self.object_type && self.ops.contains(&event.op)
+    }
+
+    /// Whether the event satisfies this pattern (types, operation,
+    /// constraints) — ignoring joins, which [`MultiMatcher`] enforces.
+    pub fn matches(&self, event: &Event) -> bool {
+        if !self.shape_matches(event) {
+            return false;
+        }
+        for pred in &self.subject_preds {
+            let attr = pred
+                .attr_name()
+                .unwrap_or(saql_model::EntityType::Process.default_attr());
+            if !pred.check(event.subject.attr(attr)) {
+                return false;
+            }
+        }
+        for pred in &self.object_preds {
+            let attr = pred.attr_name().unwrap_or(self.object_type.default_attr());
+            if !pred.check(event.object.attr(attr)) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// A completed multievent match: one event per pattern step plus the final
+/// variable bindings.
+#[derive(Debug, Clone)]
+pub struct FullMatch {
+    /// Matched events in *declaration* order of the patterns.
+    pub events: Vec<SharedEvent>,
+    /// Entity bindings accumulated across the match.
+    pub bindings: HashMap<String, Entity>,
+}
+
+#[derive(Debug, Clone)]
+struct Partial {
+    /// Next step (index into `order`) to satisfy.
+    next: usize,
+    /// events[i] = event matched for `order[i]`; `None` until reached.
+    events: Vec<Option<SharedEvent>>,
+    bindings: HashMap<String, Entity>,
+    last_ts: Timestamp,
+}
+
+/// Partial-match organization strategy (the E10 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherMode {
+    /// Partials are bucketed by their next step; each incoming event tests
+    /// each step's pattern **once** and only visits partials waiting on a
+    /// step it matches.
+    #[default]
+    Indexed,
+    /// Naive scan: every live partial re-tests the event against its next
+    /// pattern (how a straightforward NFA implementation behaves).
+    Scan,
+}
+
+/// Multievent matcher with temporal sequencing and attribute joins.
+///
+/// Partial-match state is bounded by `cap`; when exceeded, the oldest
+/// partials of the fullest step are evicted and
+/// [`MultiMatcher::overflowed`] latches (surfaced through the error
+/// reporter).
+#[derive(Debug)]
+pub struct MultiMatcher {
+    patterns: Vec<PatternMatcher>,
+    /// Temporal sequence as indices into `patterns`.
+    order: Vec<usize>,
+    /// `gaps[i]` = max gap between step i and step i+1.
+    gaps: Vec<Option<Duration>>,
+    /// Partial-match time-to-live: partials idle longer than this are
+    /// dropped (derived from the query window, if any).
+    ttl: Option<Duration>,
+    cap: usize,
+    mode: MatcherMode,
+    /// `partials[s]` = live partials whose next step is `s`
+    /// (`s ∈ 1..order.len()`; index 0 is unused — step-0 extensions come
+    /// from the seed).
+    partials: Vec<VecDeque<Partial>>,
+    live: usize,
+    emitted: HashSet<Vec<u64>>,
+    overflowed: bool,
+}
+
+impl MultiMatcher {
+    /// Build from a checked query. `cap` bounds live partial matches.
+    pub fn compile(query: &Query, cap: usize) -> MultiMatcher {
+        Self::compile_with_mode(query, cap, MatcherMode::default())
+    }
+
+    /// Build with an explicit [`MatcherMode`] (benchmarks compare modes).
+    pub fn compile_with_mode(query: &Query, cap: usize, mode: MatcherMode) -> MultiMatcher {
+        let patterns: Vec<PatternMatcher> =
+            query.patterns.iter().map(PatternMatcher::compile).collect();
+        // Temporal order: the `with` clause's sequence, else declaration
+        // order. Patterns outside the clause are appended in declaration
+        // order (they must still match, after the sequenced ones).
+        let mut order: Vec<usize> = Vec::with_capacity(patterns.len());
+        let mut gaps: Vec<Option<Duration>> = Vec::new();
+        if let Some(t) = &query.temporal {
+            for step in &t.steps {
+                let idx = query
+                    .patterns
+                    .iter()
+                    .position(|p| p.alias == step.alias)
+                    .expect("semantic pass validated aliases");
+                order.push(idx);
+                gaps.push(step.max_gap);
+            }
+            for (i, _) in query.patterns.iter().enumerate() {
+                if !order.contains(&i) {
+                    order.push(i);
+                    gaps.push(None);
+                }
+            }
+        } else {
+            order.extend(0..patterns.len());
+            gaps.resize(patterns.len(), None);
+        }
+        let ttl = query.window().map(|w| w.size);
+        let steps = order.len();
+        MultiMatcher {
+            patterns,
+            order,
+            gaps,
+            ttl,
+            cap,
+            mode,
+            partials: vec![VecDeque::new(); steps],
+            live: 0,
+            emitted: HashSet::new(),
+            overflowed: false,
+        }
+    }
+
+    /// Number of live partial matches (diagnostics / benches).
+    pub fn live_partials(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the partial-match cap was ever hit.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// The compiled patterns, in declaration order.
+    pub fn patterns(&self) -> &[PatternMatcher] {
+        &self.patterns
+    }
+
+    /// Feed one event; returns any full matches it completes.
+    pub fn feed(&mut self, event: &SharedEvent) -> Vec<FullMatch> {
+        let mut completed = Vec::new();
+
+        // Expire idle partials.
+        if let Some(ttl) = self.ttl {
+            let deadline = event.ts - ttl;
+            let mut live = 0;
+            for queue in &mut self.partials {
+                queue.retain(|p| p.last_ts >= deadline);
+                live += queue.len();
+            }
+            self.live = live;
+        }
+
+        let mut new_partials: Vec<Partial> = Vec::new();
+        let mut finished: Vec<Partial> = Vec::new();
+        let steps = self.order.len();
+
+        // Extend existing partials, highest step first so an extension
+        // created this round is never re-extended by the same event
+        // (non-destructive: partials fork, the original stays live for
+        // later occurrences).
+        for step in (0..steps).rev() {
+            if step > 0 {
+                // Indexed mode: test the step's pattern once; skip the whole
+                // bucket on mismatch. Scan mode re-tests per partial, like a
+                // naive NFA (kept for the E10 ablation).
+                if self.mode == MatcherMode::Indexed
+                    && !self.patterns[self.order[step]].matches(event)
+                {
+                    continue;
+                }
+                for p in &self.partials[step] {
+                    if self.mode == MatcherMode::Scan
+                        && !self.patterns[self.order[step]].matches(event)
+                    {
+                        continue;
+                    }
+                    if let Some(ext) = self.try_extend(p, step, event) {
+                        if ext.next == steps {
+                            finished.push(ext);
+                        } else {
+                            new_partials.push(ext);
+                        }
+                    }
+                }
+            } else {
+                // Step 0: try to start a fresh partial.
+                if !self.patterns[self.order[0]].matches(event) {
+                    continue;
+                }
+                let seed = Partial {
+                    next: 0,
+                    events: vec![None; steps],
+                    bindings: HashMap::new(),
+                    last_ts: Timestamp::ZERO,
+                };
+                if let Some(ext) = self.try_extend(&seed, 0, event) {
+                    if ext.next == steps {
+                        finished.push(ext);
+                    } else {
+                        new_partials.push(ext);
+                    }
+                }
+            }
+        }
+
+        for f in finished {
+            self.complete(f, &mut completed);
+        }
+
+        for p in new_partials {
+            if self.live >= self.cap {
+                self.evict_one();
+            }
+            let step = p.next;
+            self.partials[step].push_back(p);
+            self.live += 1;
+        }
+
+        completed
+    }
+
+    /// Drop the oldest partial of the fullest step (cap pressure).
+    fn evict_one(&mut self) {
+        if let Some(queue) = self.partials.iter_mut().max_by_key(|q| q.len()) {
+            if queue.pop_front().is_some() {
+                self.live -= 1;
+                self.overflowed = true;
+            }
+        }
+    }
+
+    /// Temporal/gap/join admission of `event` as `p`'s step `step`
+    /// (pattern shape+constraints are checked by the caller).
+    fn try_extend(&self, p: &Partial, step: usize, event: &SharedEvent) -> Option<Partial> {
+        let pat = &self.patterns[self.order[step]];
+        // Temporal order: strictly after the previous step's event.
+        if step > 0 {
+            if event.ts < p.last_ts {
+                return None;
+            }
+            if let Some(max_gap) = self.gaps[step - 1] {
+                if event.ts.delta(p.last_ts) > max_gap {
+                    return None;
+                }
+            }
+        }
+        // Attribute joins via shared variables.
+        let subject_entity = Entity::Process(event.subject.clone());
+        if let Some(bound) = p.bindings.get(&pat.subject_var) {
+            if *bound != subject_entity {
+                return None;
+            }
+        }
+        if let Some(bound) = p.bindings.get(&pat.object_var) {
+            if *bound != event.object {
+                return None;
+            }
+        }
+        // Same variable as both subject and object of this event
+        // (`proc p start proc p`) must self-join consistently.
+        if pat.subject_var == pat.object_var && event.object != subject_entity {
+            return None;
+        }
+        let mut ext = p.clone();
+        ext.bindings.insert(pat.subject_var.clone(), subject_entity);
+        ext.bindings.insert(pat.object_var.clone(), event.object.clone());
+        ext.events[step] = Some(event.clone());
+        ext.next = step + 1;
+        ext.last_ts = event.ts;
+        Some(ext)
+    }
+
+    fn complete(&mut self, p: Partial, out: &mut Vec<FullMatch>) {
+        // Reorder events from temporal order back to declaration order.
+        let mut by_decl: Vec<Option<SharedEvent>> = vec![None; self.patterns.len()];
+        for (step, ev) in p.events.iter().enumerate() {
+            by_decl[self.order[step]] = ev.clone();
+        }
+        let events: Vec<SharedEvent> =
+            by_decl.into_iter().map(|e| e.expect("all steps matched")).collect();
+        let ids: Vec<u64> = events.iter().map(|e| e.id).collect();
+        if self.emitted.insert(ids) {
+            out.push(FullMatch { events, bindings: p.bindings });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_lang::parse;
+    use saql_model::event::EventBuilder;
+    use saql_model::{FileInfo, NetworkInfo, ProcessInfo};
+    use std::sync::Arc;
+
+    fn start_event(id: u64, ts: u64, parent: (u32, &str), child: (u32, &str)) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "db-server", ts)
+                .subject(ProcessInfo::new(parent.0, parent.1, "svc"))
+                .starts_process(ProcessInfo::new(child.0, child.1, "svc"))
+                .build(),
+        )
+    }
+
+    fn write_file(id: u64, ts: u64, proc_: (u32, &str), file: &str, amount: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "db-server", ts)
+                .subject(ProcessInfo::new(proc_.0, proc_.1, "svc"))
+                .writes_file(FileInfo::new(file))
+                .amount(amount)
+                .build(),
+        )
+    }
+
+    fn read_file(id: u64, ts: u64, proc_: (u32, &str), file: &str) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "db-server", ts)
+                .subject(ProcessInfo::new(proc_.0, proc_.1, "svc"))
+                .reads_file(FileInfo::new(file))
+                .build(),
+        )
+    }
+
+    fn send_ip(id: u64, ts: u64, proc_: (u32, &str), dst: &str, amount: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "db-server", ts)
+                .subject(ProcessInfo::new(proc_.0, proc_.1, "svc"))
+                .sends(NetworkInfo::new("10.0.0.5", 50000, dst, 443, "tcp"))
+                .amount(amount)
+                .build(),
+        )
+    }
+
+    fn matcher(src: &str) -> MultiMatcher {
+        MultiMatcher::compile(&parse(src).unwrap(), 1024)
+    }
+
+    #[test]
+    fn single_pattern_with_like() {
+        let mut m = matcher(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1"#);
+        let hit = start_event(1, 10, (10, r"C:\Windows\System32\cmd.exe"), (11, "osql.exe"));
+        let miss = start_event(2, 20, (10, "powershell.exe"), (12, "osql.exe"));
+        assert_eq!(m.feed(&hit).len(), 1);
+        assert_eq!(m.feed(&miss).len(), 0);
+    }
+
+    #[test]
+    fn operation_alternation() {
+        let mut m = matcher(r#"proc p read || write ip i[dstip="172.16.9.129"] as e"#);
+        let w = send_ip(1, 10, (5, "sbblv.exe"), "172.16.9.129", 100);
+        let other = send_ip(2, 20, (5, "sbblv.exe"), "8.8.8.8", 100);
+        assert_eq!(m.feed(&w).len(), 1);
+        assert_eq!(m.feed(&other).len(), 0);
+    }
+
+    #[test]
+    fn temporal_sequence_and_join_query1() {
+        let src = r#"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="172.16.9.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+"#;
+        let mut m = matcher(src);
+        assert!(m.feed(&start_event(1, 100, (1, "cmd.exe"), (2, "osql.exe"))).is_empty());
+        assert!(m.feed(&write_file(2, 200, (3, "sqlservr.exe"), "backup1.dmp", 1 << 20)).is_empty());
+        assert!(m.feed(&read_file(3, 300, (4, "sbblv.exe"), "backup1.dmp")).is_empty());
+        let full = m.feed(&send_ip(4, 400, (4, "sbblv.exe"), "172.16.9.129", 1 << 20));
+        assert_eq!(full.len(), 1);
+        let ids: Vec<u64> = full[0].events.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2, 3, 4]);
+        // Bound entities include the shared file variable.
+        assert!(matches!(full[0].bindings.get("f1"), Some(Entity::File(f)) if &*f.name == "backup1.dmp"));
+    }
+
+    #[test]
+    fn join_on_file_variable_rejects_different_file() {
+        let src = r#"
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+with evt2 -> evt3
+"#;
+        let mut m = matcher(src);
+        m.feed(&write_file(1, 100, (3, "sqlservr.exe"), "backup1.dmp", 0));
+        // Reads a *different* file: join must fail.
+        assert!(m.feed(&read_file(2, 200, (4, "sbblv.exe"), "other.dmp")).is_empty());
+        // Reads the same file: join succeeds.
+        assert_eq!(m.feed(&read_file(3, 300, (4, "sbblv.exe"), "backup1.dmp")).len(), 1);
+    }
+
+    #[test]
+    fn join_on_process_variable_requires_same_pid() {
+        let src = r#"
+proc p1["%excel.exe"] start proc p2["%cscript.exe"] as e1
+proc p2 write ip i1[dstip="172.16.9.129"] as e2
+with e1 -> e2
+"#;
+        let mut m = matcher(src);
+        m.feed(&start_event(1, 100, (40, "excel.exe"), (41, "cscript.exe")));
+        // Different cscript pid: not the spawned process.
+        assert!(m.feed(&send_ip(2, 200, (99, "cscript.exe"), "172.16.9.129", 10)).is_empty());
+        // The spawned pid 41: join succeeds.
+        assert_eq!(m.feed(&send_ip(3, 300, (41, "cscript.exe"), "172.16.9.129", 10)).len(), 1);
+    }
+
+    #[test]
+    fn temporal_order_enforced() {
+        let src = r#"
+proc a["%x.exe"] write file f["%1"] as e1
+proc b["%y.exe"] read file g["%2"] as e2
+with e1 -> e2
+"#;
+        let mut m = matcher(src);
+        // e2-shaped event arrives first: no match even after e1 arrives.
+        m.feed(&read_file(1, 100, (2, "y.exe"), "f2"));
+        m.feed(&write_file(2, 200, (1, "x.exe"), "f1", 0));
+        assert!(m.live_partials() > 0);
+        // Now a later e2 completes.
+        let full = m.feed(&read_file(3, 300, (2, "y.exe"), "f2"));
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0].events[0].id, 2);
+        assert_eq!(full[0].events[1].id, 3);
+    }
+
+    #[test]
+    fn bounded_gap_expires() {
+        let src = r#"
+proc a["%x.exe"] write file f["%1"] as e1
+proc b["%y.exe"] read file g["%2"] as e2
+with e1 ->[10 s] e2
+"#;
+        let mut m = matcher(src);
+        m.feed(&write_file(1, 0, (1, "x.exe"), "f1", 0));
+        // 20s later: outside the bounded gap.
+        assert!(m.feed(&read_file(2, 20_000, (2, "y.exe"), "f2")).is_empty());
+        // Fresh e1 then an in-window e2.
+        m.feed(&write_file(3, 30_000, (1, "x.exe"), "f1", 0));
+        assert_eq!(m.feed(&read_file(4, 35_000, (2, "y.exe"), "f2")).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_full_matches_are_suppressed() {
+        let mut m = matcher(r#"proc p1["%cmd.exe"] start proc p2 as e1"#);
+        let e = start_event(1, 10, (1, "cmd.exe"), (2, "osql.exe"));
+        assert_eq!(m.feed(&e).len(), 1);
+        assert_eq!(m.feed(&e).len(), 0, "same event id must not re-alert");
+    }
+
+    #[test]
+    fn cap_evicts_and_latches_overflow() {
+        let src = r#"
+proc a["%x.exe"] write file f["%1"] as e1
+proc b["%y.exe"] read file g["%2"] as e2
+with e1 -> e2
+"#;
+        let mut m = MultiMatcher::compile(&parse(src).unwrap(), 4);
+        for i in 0..10 {
+            m.feed(&write_file(i, i * 10, (1, "x.exe"), "f1", 0));
+        }
+        assert!(m.live_partials() <= 4);
+        assert!(m.overflowed());
+    }
+
+    #[test]
+    fn global_filter() {
+        let q = parse("agentid = \"db-server\"\nproc p start proc q as e").unwrap();
+        let f = GlobalFilter::compile(&q.globals);
+        let on_db = start_event(1, 10, (1, "a.exe"), (2, "b.exe"));
+        assert!(f.accepts(&on_db));
+        let elsewhere = Arc::new(
+            EventBuilder::new(2, "client-1", 20)
+                .subject(ProcessInfo::new(1, "a.exe", "u"))
+                .starts_process(ProcessInfo::new(2, "b.exe", "u"))
+                .build(),
+        );
+        assert!(!f.accepts(&elsewhere));
+    }
+
+    #[test]
+    fn indexed_and_scan_modes_agree() {
+        let src = r#"
+proc a["%x.exe"] write file f as e1
+proc b["%y.exe"] read file f as e2
+with e1 -> e2
+"#;
+        let q = parse(src).unwrap();
+        let mut indexed = MultiMatcher::compile_with_mode(&q, 4096, MatcherMode::Indexed);
+        let mut scan = MultiMatcher::compile_with_mode(&q, 4096, MatcherMode::Scan);
+        // Interleave writes/reads over a few files plus noise.
+        let mut events: Vec<SharedEvent> = Vec::new();
+        for i in 0..200u64 {
+            let f = format!("f{}", i % 7);
+            events.push(match i % 3 {
+                0 => write_file(i, i * 10, (1, "x.exe"), &f, 0),
+                1 => read_file(i, i * 10, (2, "y.exe"), &f),
+                _ => start_event(i, i * 10, (3, "noise.exe"), (4, "child.exe")),
+            });
+        }
+        let mut a: Vec<Vec<u64>> = Vec::new();
+        let mut b: Vec<Vec<u64>> = Vec::new();
+        for e in &events {
+            a.extend(indexed.feed(e).iter().map(|m| m.events.iter().map(|x| x.id).collect()));
+            b.extend(scan.feed(e).iter().map(|m| m.events.iter().map(|x| x.id).collect()));
+        }
+        a.sort();
+        b.sort();
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multiple_interleaved_sequences_all_found() {
+        let src = r#"
+proc a["%x.exe"] write file f as e1
+proc b["%y.exe"] read file f as e2
+with e1 -> e2
+"#;
+        let mut m = matcher(src);
+        m.feed(&write_file(1, 10, (1, "x.exe"), "fA", 0));
+        m.feed(&write_file(2, 20, (1, "x.exe"), "fB", 0));
+        let a = m.feed(&read_file(3, 30, (2, "y.exe"), "fA"));
+        assert_eq!(a.len(), 1);
+        let b = m.feed(&read_file(4, 40, (2, "y.exe"), "fB"));
+        assert_eq!(b.len(), 1);
+    }
+}

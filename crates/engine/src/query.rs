@@ -1,0 +1,664 @@
+//! A compiled, running SAQL query: the per-query pipeline tying the
+//! multievent matcher, window driver, state maintainer, invariant runtime,
+//! cluster stage, and alert evaluator together.
+
+use std::collections::{HashMap, HashSet};
+
+use saql_lang::ast::Expr;
+use saql_lang::pretty::print_expr;
+use saql_lang::semantic::{CheckedQuery, QueryKind};
+use saql_model::{Entity, Timestamp};
+use saql_stream::SharedEvent;
+
+use crate::alert::{Alert, AlertOrigin};
+use crate::cluster::{point_of, run_cluster};
+use crate::error::{EngineError, ErrorReporter};
+use crate::eval::{eval, ClusterOutcome, Scope};
+use crate::invariant::InvariantRuntime;
+use crate::matcher::{FullMatch, GlobalFilter, MultiMatcher, PatternMatcher};
+use crate::state::{StateMaintainer, StateView};
+use crate::window::WindowDriver;
+
+/// Tuning knobs for a running query.
+#[derive(Debug, Clone, Copy)]
+pub struct QueryConfig {
+    /// Maximum live partial matches for the multievent matcher.
+    pub partial_match_cap: usize,
+    /// Out-of-order tolerance: windows stay open this long past their end
+    /// so skewed agent feeds still land in their windows.
+    pub allowed_lateness: saql_model::Duration,
+}
+
+impl Default for QueryConfig {
+    fn default() -> Self {
+        QueryConfig {
+            partial_match_cap: 65_536,
+            allowed_lateness: saql_model::Duration::ZERO,
+        }
+    }
+}
+
+/// Execution counters, exposed for the CLI and the benchmarks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryStats {
+    /// Events offered to the query (including globally filtered ones).
+    pub events_seen: u64,
+    /// Events that passed global constraints and matched some pattern.
+    pub events_matched: u64,
+    /// Windows closed.
+    pub windows_closed: u64,
+    /// Alerts emitted.
+    pub alerts: u64,
+    /// Events arriving after their windows already closed.
+    pub late_events: u64,
+}
+
+/// One running query instance.
+pub struct RunningQuery {
+    name: String,
+    checked: CheckedQuery,
+    globals: GlobalFilter,
+    matcher: Option<MultiMatcher>,
+    window: Option<WindowDriver>,
+    patterns: Vec<PatternMatcher>,
+    state: Option<StateMaintainer>,
+    invariant: Option<InvariantRuntime>,
+    distinct_seen: HashSet<Vec<String>>,
+    errors: ErrorReporter,
+    overflow_reported: bool,
+    stats: QueryStats,
+}
+
+impl RunningQuery {
+    /// Build a running instance from a checked query.
+    pub fn new(name: impl Into<String>, checked: CheckedQuery, config: QueryConfig) -> Self {
+        let globals = GlobalFilter::compile(&checked.ast.globals);
+        let patterns: Vec<PatternMatcher> =
+            checked.ast.patterns.iter().map(PatternMatcher::compile).collect();
+        let matcher = (checked.kind == QueryKind::Rule)
+            .then(|| MultiMatcher::compile(&checked.ast, config.partial_match_cap));
+        let window = checked
+            .window
+            .map(|w| WindowDriver::with_lateness(w, config.allowed_lateness));
+        let state = checked.ast.states.first().map(StateMaintainer::new);
+        let invariant = checked.ast.invariants.first().map(InvariantRuntime::new);
+        RunningQuery {
+            name: name.into(),
+            checked,
+            globals,
+            matcher,
+            window,
+            patterns,
+            state,
+            invariant,
+            distinct_seen: HashSet::new(),
+            errors: ErrorReporter::default(),
+            overflow_reported: false,
+            stats: QueryStats::default(),
+        }
+    }
+
+    /// Compile SAQL text directly into a running query.
+    pub fn compile(
+        name: impl Into<String>,
+        source: &str,
+        config: QueryConfig,
+    ) -> Result<Self, saql_lang::LangError> {
+        Ok(RunningQuery::new(name, saql_lang::compile(source)?, config))
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn kind(&self) -> QueryKind {
+        self.checked.kind
+    }
+
+    /// Scheduler-compatibility key (see
+    /// [`saql_lang::semantic::CheckedQuery::compat_key`]).
+    pub fn compat_key(&self) -> &str {
+        &self.checked.compat_key
+    }
+
+    pub fn stats(&self) -> QueryStats {
+        self.stats
+    }
+
+    pub fn errors(&self) -> &ErrorReporter {
+        &self.errors
+    }
+
+    /// Whether the event matches any of this query's pattern shapes —
+    /// what the scheduler's master check performs once per group
+    /// (constraint-free: dependents apply their own constraints).
+    pub fn shape_matches(&self, event: &saql_model::Event) -> bool {
+        self.patterns.iter().any(|p| p.shape_matches(event))
+    }
+
+    /// Advance event time: closes due windows and may emit window alerts.
+    /// Cheap when no window is due (one comparison).
+    pub fn advance_time(&mut self, ts: Timestamp) -> Vec<Alert> {
+        let Some(driver) = &mut self.window else { return Vec::new() };
+        let due = driver.advance(ts);
+        let mut alerts = Vec::new();
+        for k in due {
+            self.close_window(k, &mut alerts);
+        }
+        alerts
+    }
+
+    /// Process the event payload (global constraints, pattern matching,
+    /// state folding). Does *not* advance time — callers pair this with
+    /// [`Self::advance_time`] (the scheduler advances time for every event
+    /// but offers payloads only to shape-matching groups).
+    pub fn process_payload(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        self.stats.events_seen += 1;
+        if !self.globals.accepts(event) {
+            return Vec::new();
+        }
+        match self.checked.kind {
+            QueryKind::Rule => self.process_rule(event),
+            _ => {
+                self.process_stateful(event);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Full per-event processing: time then payload.
+    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        let mut alerts = self.advance_time(event.ts);
+        alerts.extend(self.process_payload(event));
+        alerts
+    }
+
+    /// End of stream: close all remaining windows.
+    pub fn finish(&mut self) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        if let Some(driver) = &mut self.window {
+            for k in driver.drain() {
+                self.close_window(k, &mut alerts);
+            }
+        }
+        alerts
+    }
+
+    // ------------------------------------------------------------------
+    // Rule pipeline
+    // ------------------------------------------------------------------
+
+    fn process_rule(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        let matcher = self.matcher.as_mut().expect("rule queries have a matcher");
+        let fulls = matcher.feed(event);
+        if matcher.overflowed() && !self.overflow_reported {
+            self.overflow_reported = true;
+            let cap = matcher.live_partials().max(1);
+            self.errors.report(EngineError::PartialMatchOverflow {
+                query: self.name.clone(),
+                cap,
+            });
+        }
+        if fulls.is_empty() {
+            return Vec::new();
+        }
+        self.stats.events_matched += 1;
+        let mut alerts = Vec::new();
+        for full in fulls {
+            if let Some(alert) = self.alert_from_match(&full) {
+                alerts.push(alert);
+            }
+        }
+        self.stats.alerts += alerts.len() as u64;
+        alerts
+    }
+
+    fn alert_from_match(&mut self, full: &FullMatch) -> Option<Alert> {
+        let mut scope = Scope::empty();
+        for (pattern, event) in self.checked.ast.patterns.iter().zip(&full.events) {
+            scope.events.insert(pattern.alias.as_str(), event);
+        }
+        for (var, entity) in &full.bindings {
+            scope.entities.insert(var.as_str(), entity);
+        }
+        // Optional alert condition on rule matches.
+        if let Some(alert_expr) = &self.checked.ast.alert {
+            if !eval(alert_expr, &scope).truthy() {
+                return None;
+            }
+        }
+        let rows = self.eval_return(&scope);
+        if !self.pass_distinct(&rows) {
+            return None;
+        }
+        let last_ts = full.events.iter().map(|e| e.ts).max().unwrap_or(Timestamp::ZERO);
+        Some(Alert {
+            query: self.name.clone(),
+            ts: last_ts,
+            origin: AlertOrigin::Match { event_ids: full.events.iter().map(|e| e.id).collect() },
+            rows,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Stateful pipeline
+    // ------------------------------------------------------------------
+
+    fn process_stateful(&mut self, event: &SharedEvent) {
+        let Some(idx) = self.patterns.iter().position(|p| p.matches(event)) else {
+            return;
+        };
+        self.stats.events_matched += 1;
+        let Some(driver) = &mut self.window else { return };
+        let windows = driver.observe(event.ts);
+        if windows.is_empty() {
+            self.stats.late_events += 1;
+            return;
+        }
+        let Some(state) = &mut self.state else { return };
+        let pattern = &self.checked.ast.patterns[idx];
+        let subject_entity = Entity::Process(event.subject.clone());
+        let mut scope = Scope::empty();
+        scope.events.insert(pattern.alias.as_str(), event);
+        scope.entities.insert(pattern.subject.var.as_str(), &subject_entity);
+        scope.entities.insert(pattern.object.var.as_str(), &event.object);
+        if !state.observe(&windows, &scope) {
+            self.errors.report(EngineError::Eval(format!(
+                "group key of state `{}` unresolvable for event {}",
+                state.name(),
+                event.id
+            )));
+        }
+    }
+
+    fn close_window(&mut self, k: u64, alerts: &mut Vec<Alert>) {
+        self.stats.windows_closed += 1;
+        let Some(state) = &mut self.state else { return };
+        let snaps = state.close(k);
+        if snaps.is_empty() {
+            return;
+        }
+        let state = &*state;
+        let assigner = self
+            .window
+            .as_ref()
+            .expect("stateful queries have a window")
+            .assigner();
+        let (w_start, w_end) = assigner.bounds(k);
+
+        // Cluster stage: one comparison point per group that produced all
+        // dimensions.
+        let mut outcomes: HashMap<String, ClusterOutcome> = HashMap::new();
+        if let Some(spec) = &self.checked.ast.cluster {
+            let mut point_groups: Vec<&str> = Vec::new();
+            let mut points: Vec<Vec<f64>> = Vec::new();
+            for (gid, snap) in &snaps {
+                let view = StateView { maintainer: state, group: gid, current_window: k };
+                let mut scope = Scope::empty();
+                scope.states = &view;
+                scope.group_keys =
+                    snap.keys.iter().map(|(s, v)| (s.clone(), v.clone())).collect();
+                if let Some(p) = point_of(spec, &scope) {
+                    point_groups.push(gid);
+                    points.push(p);
+                }
+            }
+            for (gid, outcome) in point_groups.iter().zip(run_cluster(spec, &points, k)) {
+                outcomes.insert((*gid).to_string(), outcome);
+            }
+        }
+
+        for (gid, snap) in &snaps {
+            let view = StateView { maintainer: state, group: gid, current_window: k };
+            let mut scope = Scope::empty();
+            scope.states = &view;
+            scope.group_keys = snap.keys.iter().map(|(s, v)| (s.clone(), v.clone())).collect();
+            scope.cluster = outcomes.get(gid.as_str()).copied();
+
+            // Invariant bookkeeping (training windows never alert).
+            let ready = match &mut self.invariant {
+                Some(inv) => {
+                    let ready = inv.on_window(gid, &scope);
+                    scope.invariants = inv.vars(gid);
+                    ready
+                }
+                None => true,
+            };
+            if !ready {
+                continue;
+            }
+
+            // Alert condition; a stateful query without one emits every
+            // group/window (continuous monitoring).
+            let fired = match &self.checked.ast.alert {
+                Some(expr) => eval(expr, &scope).truthy(),
+                None => true,
+            };
+            if !fired {
+                if let Some(inv) = &mut self.invariant {
+                    inv.absorb_online(gid, &scope);
+                }
+                continue;
+            }
+            let rows = eval_return_in(&self.checked.ast.ret, &scope, gid);
+            if !pass_distinct_in(&mut self.distinct_seen, self.checked.ast.ret.as_ref(), &rows) {
+                continue;
+            }
+            self.stats.alerts += 1;
+            alerts.push(Alert {
+                query: self.name.clone(),
+                ts: w_end,
+                origin: AlertOrigin::Window { start: w_start, end: w_end, group: gid.clone() },
+                rows,
+            });
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Return / distinct helpers
+    // ------------------------------------------------------------------
+
+    fn eval_return(&self, scope: &Scope<'_>) -> Vec<(String, String)> {
+        eval_return_in(&self.checked.ast.ret, scope, "")
+    }
+
+    fn pass_distinct(&mut self, rows: &[(String, String)]) -> bool {
+        pass_distinct_in(&mut self.distinct_seen, self.checked.ast.ret.as_ref(), rows)
+    }
+}
+
+fn item_label(expr: &Expr, alias: &Option<String>) -> String {
+    match alias {
+        Some(a) => a.clone(),
+        None => print_expr(expr),
+    }
+}
+
+fn eval_return_in(
+    ret: &Option<saql_lang::ast::ReturnClause>,
+    scope: &Scope<'_>,
+    group: &str,
+) -> Vec<(String, String)> {
+    match ret {
+        Some(clause) => clause
+            .items
+            .iter()
+            .map(|item| {
+                let value = eval(&item.expr, scope);
+                (item_label(&item.expr, &item.alias), value.to_string())
+            })
+            .collect(),
+        None if !group.is_empty() => vec![("group".to_string(), group.to_string())],
+        None => Vec::new(),
+    }
+}
+
+fn pass_distinct_in(
+    seen: &mut HashSet<Vec<String>>,
+    ret: Option<&saql_lang::ast::ReturnClause>,
+    rows: &[(String, String)],
+) -> bool {
+    if !ret.map(|r| r.distinct).unwrap_or(false) {
+        return true;
+    }
+    let key: Vec<String> = rows.iter().map(|(_, v)| v.clone()).collect();
+    seen.insert(key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::{NetworkInfo, ProcessInfo};
+    use std::sync::Arc;
+
+    fn q(src: &str) -> RunningQuery {
+        RunningQuery::compile("test-query", src, QueryConfig::default()).unwrap()
+    }
+
+    fn start(id: u64, ts: u64, host: &str, parent: (u32, &str), child: (u32, &str)) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, host, ts)
+                .subject(ProcessInfo::new(parent.0, parent.1, "u"))
+                .starts_process(ProcessInfo::new(child.0, child.1, "u"))
+                .build(),
+        )
+    }
+
+    fn send(id: u64, ts: u64, host: &str, proc_: (u32, &str), dst: &str, amount: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, host, ts)
+                .subject(ProcessInfo::new(proc_.0, proc_.1, "u"))
+                .sends(NetworkInfo::new("10.0.0.2", 44000, dst, 443, "tcp"))
+                .amount(amount)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn rule_query_emits_alert_with_rows() {
+        let mut rq = q(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+return distinct p1, p2"#);
+        let alerts = rq.process(&start(1, 10, "db", (1, "cmd.exe"), (2, "osql.exe")));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].get("p1"), Some("cmd.exe"));
+        assert_eq!(alerts[0].get("p2"), Some("osql.exe"));
+        assert!(matches!(alerts[0].origin, AlertOrigin::Match { .. }));
+    }
+
+    #[test]
+    fn distinct_suppresses_repeat_rows() {
+        let mut rq = q(r#"proc p1["%cmd.exe"] start proc p2 as e1
+return distinct p1, p2"#);
+        assert_eq!(rq.process(&start(1, 10, "db", (1, "cmd.exe"), (2, "osql.exe"))).len(), 1);
+        // Different event id, same entity names: suppressed by distinct.
+        assert_eq!(rq.process(&start(2, 20, "db", (1, "cmd.exe"), (3, "osql.exe"))).len(), 0);
+        // New process name: new row.
+        assert_eq!(rq.process(&start(3, 30, "db", (1, "cmd.exe"), (4, "calc.exe"))).len(), 1);
+    }
+
+    #[test]
+    fn global_constraint_filters_hosts() {
+        let mut rq = q("agentid = \"db-server\"\nproc p1 start proc p2 as e1\nreturn p1");
+        assert!(rq.process(&start(1, 10, "client-1", (1, "a"), (2, "b"))).is_empty());
+        assert_eq!(rq.process(&start(2, 20, "db-server", (1, "a"), (2, "b"))).len(), 1);
+    }
+
+    /// The paper's Query 2 (SMA spike) end to end on a synthetic stream.
+    #[test]
+    fn time_series_query_detects_spike() {
+        let mut rq = q(r#"proc p write ip i as evt #time(10 min)
+state[3] ss {
+    avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount"#);
+        let min = 60_000u64;
+        let mut alerts = Vec::new();
+        let mut id = 0;
+        // Three quiet windows then a spike window for sqlservr.exe.
+        for w in 0..4u64 {
+            let amount = if w == 3 { 5_000_000 } else { 2_000 };
+            for j in 0..5 {
+                id += 1;
+                alerts.extend(rq.process(&send(
+                    id,
+                    w * 10 * min + j * min,
+                    "db",
+                    (10, "sqlservr.exe"),
+                    "10.0.0.9",
+                    amount,
+                )));
+            }
+        }
+        alerts.extend(rq.finish());
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        let a = &alerts[0];
+        assert!(matches!(&a.origin, AlertOrigin::Window { group, .. } if group == "sqlservr.exe"));
+        assert_eq!(a.get("p"), Some("sqlservr.exe"));
+        assert_eq!(a.get("ss[0].avg_amount"), Some("5000000.0"));
+    }
+
+    #[test]
+    fn time_series_stays_quiet_on_flat_traffic() {
+        let mut rq = q(r#"proc p write ip i as evt #time(10 min)
+state[3] ss { avg_amount := avg(evt.amount) } group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p"#);
+        let min = 60_000u64;
+        let mut alerts = Vec::new();
+        for w in 0..6u64 {
+            for j in 0..5 {
+                alerts.extend(rq.process(&send(
+                    w * 100 + j,
+                    w * 10 * min + j * min,
+                    "db",
+                    (10, "sqlservr.exe"),
+                    "10.0.0.9",
+                    2_000,
+                )));
+            }
+        }
+        alerts.extend(rq.finish());
+        assert!(alerts.is_empty(), "{alerts:?}");
+    }
+
+    /// The paper's Query 3 (invariant) end to end.
+    #[test]
+    fn invariant_query_detects_unseen_child() {
+        let mut rq = q(r#"proc p1["%apache.exe"] start proc p2 as evt #time(10 s)
+state ss { set_proc := set(p2.exe_name) } group by p1
+invariant[3][offline] {
+    a := empty_set
+    a = a union ss.set_proc
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc"#);
+        let sec = 1_000u64;
+        let mut alerts = Vec::new();
+        let mut id = 0;
+        // Training: 3 windows of normal children.
+        for w in 0..3u64 {
+            for child in ["php-cgi.exe", "rotatelogs.exe"] {
+                id += 1;
+                alerts.extend(rq.process(&start(
+                    id,
+                    w * 10 * sec + sec,
+                    "web",
+                    (80, "apache.exe"),
+                    (100 + id as u32, child),
+                )));
+            }
+        }
+        // Detection window with a normal child: quiet.
+        id += 1;
+        alerts.extend(rq.process(&start(id, 3 * 10 * sec + sec, "web", (80, "apache.exe"), (900, "php-cgi.exe"))));
+        // Next window: the webshell.
+        id += 1;
+        alerts.extend(rq.process(&start(id, 4 * 10 * sec + sec, "web", (80, "apache.exe"), (999, "cmd.exe"))));
+        alerts.extend(rq.finish());
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert!(alerts[0].get("ss.set_proc").unwrap().contains("cmd.exe"));
+    }
+
+    /// The paper's Query 4 (DBSCAN outlier) end to end.
+    #[test]
+    fn outlier_query_flags_exfiltration_ip() {
+        let mut rq = q(r#"proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt"#);
+        let min = 60_000u64;
+        let mut alerts = Vec::new();
+        let mut id = 0;
+        // 8 ordinary client ips with ~50KB each, one attacker ip with 2GB.
+        for c in 0..8u32 {
+            id += 1;
+            alerts.extend(rq.process(&send(
+                id,
+                c as u64 * min,
+                "db",
+                (10, "sqlservr.exe"),
+                &format!("10.0.0.{}", 50 + c),
+                50_000,
+            )));
+        }
+        id += 1;
+        alerts.extend(rq.process(&send(id, 9 * min, "db", (10, "sqlservr.exe"), "172.16.9.129", 2_000_000_000)));
+        alerts.extend(rq.finish());
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
+    }
+
+    #[test]
+    fn stateful_query_without_alert_emits_every_window() {
+        let mut rq = q("proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n");
+        let mut alerts = Vec::new();
+        for w in 0..3u64 {
+            alerts.extend(rq.process(&send(w, w * 60_000 + 1, "db", (1, "x.exe"), "1.1.1.1", 10)));
+        }
+        alerts.extend(rq.finish());
+        assert_eq!(alerts.len(), 3);
+        assert!(alerts.iter().all(|a| a.get("ss[0].n") == Some("1")));
+    }
+
+    #[test]
+    fn allowed_lateness_recovers_out_of_order_events() {
+        let config = QueryConfig {
+            allowed_lateness: saql_model::Duration::from_secs(30),
+            ..QueryConfig::default()
+        };
+        let src = "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n";
+        // Event at 10s, then watermark jumps to 70s, then a straggler at 50s.
+        let events = [
+            send(1, 10_000, "h", (1, "x.exe"), "1.1.1.1", 5),
+            send(2, 70_000, "h", (1, "x.exe"), "1.1.1.1", 5),
+            send(3, 50_000, "h", (1, "x.exe"), "1.1.1.1", 5),
+        ];
+        // Without lateness the straggler is dropped.
+        let mut strict = RunningQuery::compile("strict", src, QueryConfig::default()).unwrap();
+        let mut strict_alerts = Vec::new();
+        for e in &events {
+            strict_alerts.extend(strict.process(e));
+        }
+        strict_alerts.extend(strict.finish());
+        assert_eq!(strict.stats().late_events, 1);
+        let w0 = strict_alerts.iter().find(|a| a.ts == Timestamp::from_secs(60)).unwrap();
+        assert_eq!(w0.get("ss[0].n"), Some("1"));
+
+        // With 30s lateness the first window is still open at watermark 70s.
+        let mut tolerant = RunningQuery::compile("tolerant", src, config).unwrap();
+        let mut tolerant_alerts = Vec::new();
+        for e in &events {
+            tolerant_alerts.extend(tolerant.process(e));
+        }
+        tolerant_alerts.extend(tolerant.finish());
+        assert_eq!(tolerant.stats().late_events, 0);
+        let w0 = tolerant_alerts.iter().find(|a| a.ts == Timestamp::from_secs(60)).unwrap();
+        assert_eq!(w0.get("ss[0].n"), Some("2"));
+    }
+
+    #[test]
+    fn stats_track_pipeline() {
+        let mut rq = q("agentid = \"db\"\nproc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nalert ss[0].n > 100\nreturn p");
+        rq.process(&send(1, 10, "db", (1, "x.exe"), "1.1.1.1", 10));
+        rq.process(&send(2, 20, "other", (1, "x.exe"), "1.1.1.1", 10));
+        rq.finish();
+        let s = rq.stats();
+        assert_eq!(s.events_seen, 2);
+        assert_eq!(s.events_matched, 1);
+        assert_eq!(s.windows_closed, 1);
+        assert_eq!(s.alerts, 0);
+    }
+
+    #[test]
+    fn shape_match_is_constraint_free() {
+        let rq = q(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+return p1"#);
+        // Shape (proc start proc) matches even with different names...
+        assert!(rq.shape_matches(&start(1, 1, "h", (1, "anything.exe"), (2, "else.exe"))));
+        // ...but a different object type does not.
+        assert!(!rq.shape_matches(&send(2, 2, "h", (1, "cmd.exe"), "1.1.1.1", 5)));
+    }
+}

@@ -1,0 +1,377 @@
+//! The concurrent query scheduler: the master–dependent-query scheme.
+//!
+//! Concurrent queries are divided into groups by *semantic compatibility*
+//! (equal [`compat_key`](saql_lang::semantic::CheckedQuery::compat_key):
+//! same event-pattern shapes and window). Each group shares a single copy of
+//! the stream: only the group's **master check** touches the raw event (one
+//! constraint-free shape test per group), and the **dependent** member
+//! queries consume only events their master admits — they never re-scan the
+//! stream. This is how SAQL keeps per-event work and data copies sublinear
+//! in the number of concurrent queries.
+//!
+//! For the benchmark comparison, [`NaiveScheduler`] models how a generic
+//! stream engine hosts the same queries: every query scans every event and
+//! receives its **own deep copy** of the payload (the "multiple copies of
+//! the data" the paper calls out).
+
+use std::collections::HashMap;
+
+use saql_model::Timestamp;
+use saql_stream::SharedEvent;
+
+use crate::alert::Alert;
+use crate::query::RunningQuery;
+
+/// Scheduler execution counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SchedulerStats {
+    /// Events pushed through the scheduler.
+    pub events: u64,
+    /// Master shape checks performed (one per group per event).
+    pub master_checks: u64,
+    /// Events delivered to member queries (post master admit).
+    pub deliveries: u64,
+    /// Logical copies of event data made (always 0: members share the Arc).
+    pub data_copies: u64,
+}
+
+struct Group {
+    key: String,
+    members: Vec<RunningQuery>,
+}
+
+/// Master–dependent concurrent query scheduler.
+pub struct Scheduler {
+    groups: Vec<Group>,
+    by_key: HashMap<String, usize>,
+    stats: SchedulerStats,
+    /// Per-event end-to-end latency in nanoseconds, when enabled.
+    latency: Option<saql_analytics::Histogram>,
+}
+
+impl Scheduler {
+    pub fn new() -> Self {
+        Scheduler {
+            groups: Vec::new(),
+            by_key: HashMap::new(),
+            stats: SchedulerStats::default(),
+            latency: None,
+        }
+    }
+
+    /// Record per-event processing latency (adds one `Instant::now()` pair
+    /// per event; off by default).
+    pub fn enable_latency_tracking(&mut self) {
+        self.latency.get_or_insert_with(saql_analytics::Histogram::new);
+    }
+
+    /// The latency histogram, if tracking is enabled and events were seen.
+    pub fn latency(&self) -> Option<&saql_analytics::Histogram> {
+        self.latency.as_ref()
+    }
+
+    /// Register a running query, grouping it with compatible ones.
+    /// Returns `(group index, member index)`.
+    pub fn add(&mut self, query: RunningQuery) -> (usize, usize) {
+        let key = query.compat_key().to_string();
+        let gi = match self.by_key.get(&key) {
+            Some(&gi) => gi,
+            None => {
+                let gi = self.groups.len();
+                self.groups.push(Group { key: key.clone(), members: Vec::new() });
+                self.by_key.insert(key, gi);
+                gi
+            }
+        };
+        self.groups[gi].members.push(query);
+        (gi, self.groups[gi].members.len() - 1)
+    }
+
+    /// Number of compatibility groups (== master queries == stream copies).
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Total registered queries.
+    pub fn query_count(&self) -> usize {
+        self.groups.iter().map(|g| g.members.len()).sum()
+    }
+
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    /// Sizes of each group, keyed by compat key (diagnostics).
+    pub fn group_sizes(&self) -> Vec<(String, usize)> {
+        self.groups.iter().map(|g| (g.key.clone(), g.members.len())).collect()
+    }
+
+    /// Iterate over registered queries.
+    pub fn queries(&self) -> impl Iterator<Item = &RunningQuery> {
+        self.groups.iter().flat_map(|g| g.members.iter())
+    }
+
+    /// Push one event through every group.
+    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        let started = self.latency.is_some().then(std::time::Instant::now);
+        let alerts = self.process_inner(event);
+        if let (Some(started), Some(hist)) = (started, self.latency.as_mut()) {
+            hist.record(started.elapsed().as_nanos() as u64);
+        }
+        alerts
+    }
+
+    fn process_inner(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        self.stats.events += 1;
+        let mut alerts = Vec::new();
+        for group in &mut self.groups {
+            // Time advances for every member regardless of shape (windows
+            // close on stream time, not on matching events).
+            for q in &mut group.members {
+                alerts.extend(q.advance_time(event.ts));
+            }
+            // Master check: one shape test per group, performed against the
+            // group's first member (all members share the shape by
+            // construction).
+            self.stats.master_checks += 1;
+            let admit = group
+                .members
+                .first()
+                .map(|m| m.shape_matches(event))
+                .unwrap_or(false);
+            if !admit {
+                continue;
+            }
+            for q in &mut group.members {
+                self.stats.deliveries += 1;
+                alerts.extend(q.process_payload(event));
+            }
+        }
+        alerts
+    }
+
+    /// End of stream: flush all members.
+    pub fn finish(&mut self) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for group in &mut self.groups {
+            for q in &mut group.members {
+                alerts.extend(q.finish());
+            }
+        }
+        alerts
+    }
+}
+
+impl Default for Scheduler {
+    fn default() -> Self {
+        Scheduler::new()
+    }
+}
+
+/// Baseline scheduler without sharing: every query checks every event and
+/// gets a private deep copy of the payload, as a generic CEP engine hosting
+/// independent queries would. Exists for the E4 benchmark comparison.
+pub struct NaiveScheduler {
+    queries: Vec<RunningQuery>,
+    stats: SchedulerStats,
+}
+
+impl NaiveScheduler {
+    pub fn new() -> Self {
+        NaiveScheduler { queries: Vec::new(), stats: SchedulerStats::default() }
+    }
+
+    pub fn add(&mut self, query: RunningQuery) {
+        self.queries.push(query);
+    }
+
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    pub fn stats(&self) -> SchedulerStats {
+        self.stats
+    }
+
+    pub fn queries(&self) -> impl Iterator<Item = &RunningQuery> {
+        self.queries.iter()
+    }
+
+    /// Push one event: per query, deep-copy the payload (the per-query data
+    /// copy the master–dependent scheme eliminates) and process it.
+    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        self.stats.events += 1;
+        let mut alerts = Vec::new();
+        for q in &mut self.queries {
+            self.stats.master_checks += 1; // every query scans every event
+            let copy = std::sync::Arc::new(saql_model::Event::clone(event));
+            self.stats.data_copies += 1;
+            self.stats.deliveries += 1;
+            alerts.extend(q.advance_time(event.ts));
+            alerts.extend(q.process_payload(&copy));
+        }
+        alerts
+    }
+
+    pub fn finish(&mut self) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for q in &mut self.queries {
+            alerts.extend(q.finish());
+        }
+        alerts
+    }
+
+    /// Advance time only (parity with [`Scheduler`], used by benches).
+    pub fn advance_time(&mut self, ts: Timestamp) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for q in &mut self.queries {
+            alerts.extend(q.advance_time(ts));
+        }
+        alerts
+    }
+}
+
+impl Default for NaiveScheduler {
+    fn default() -> Self {
+        NaiveScheduler::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryConfig;
+    use saql_model::event::EventBuilder;
+    use saql_model::{NetworkInfo, ProcessInfo};
+    use std::sync::Arc;
+
+    fn rq(name: &str, src: &str) -> RunningQuery {
+        RunningQuery::compile(name, src, QueryConfig::default()).unwrap()
+    }
+
+    fn start(id: u64, ts: u64, parent: &str, child: &str) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", ts)
+                .subject(ProcessInfo::new(1, parent, "u"))
+                .starts_process(ProcessInfo::new(2, child, "u"))
+                .build(),
+        )
+    }
+
+    fn send(id: u64, ts: u64, exe: &str, dst: &str, amount: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", ts)
+                .subject(ProcessInfo::new(1, exe, "u"))
+                .sends(NetworkInfo::new("10.0.0.2", 44000, dst, 443, "tcp"))
+                .amount(amount)
+                .build(),
+        )
+    }
+
+    #[test]
+    fn compatible_queries_share_a_group() {
+        let mut s = Scheduler::new();
+        s.add(rq("a", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1"));
+        s.add(rq("b", "proc x start proc y[\"%osql.exe\"] as e\nreturn x"));
+        s.add(rq("c", "proc p write ip i as e\nreturn p"));
+        assert_eq!(s.query_count(), 3);
+        assert_eq!(s.group_count(), 2, "{:?}", s.group_sizes());
+    }
+
+    #[test]
+    fn master_admits_only_shape_matches() {
+        let mut s = Scheduler::new();
+        s.add(rq("a", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1"));
+        s.add(rq("b", "proc p1[\"%excel.exe\"] start proc p2 as e\nreturn p1"));
+        // A network event: shape check fails once for the whole group.
+        s.process(&send(1, 10, "cmd.exe", "1.1.1.1", 5));
+        assert_eq!(s.stats().master_checks, 1);
+        assert_eq!(s.stats().deliveries, 0);
+        // A process-start event: one check, two deliveries.
+        let alerts = s.process(&start(2, 20, "cmd.exe", "osql.exe"));
+        assert_eq!(s.stats().master_checks, 2);
+        assert_eq!(s.stats().deliveries, 2);
+        // Only query `a`'s constraints match.
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].query, "a");
+    }
+
+    #[test]
+    fn scheduler_results_match_standalone_execution() {
+        let sources = [
+            ("q1", "proc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as e\nreturn distinct p1, p2"),
+            ("q2", "proc p1[\"%excel.exe\"] start proc p2 as e\nreturn distinct p1, p2"),
+            ("q3", "proc p write ip i as evt #time(1 min)\nstate ss { amt := sum(evt.amount) } group by p\nalert ss[0].amt > 100\nreturn p, ss[0].amt"),
+        ];
+        let events: Vec<SharedEvent> = vec![
+            start(1, 1_000, "cmd.exe", "osql.exe"),
+            start(2, 2_000, "excel.exe", "cscript.exe"),
+            send(3, 3_000, "sqlservr.exe", "10.0.0.9", 500),
+            start(4, 61_000, "cmd.exe", "calc.exe"),
+            send(5, 62_000, "sqlservr.exe", "10.0.0.9", 50),
+            send(6, 200_000, "chrome.exe", "8.8.8.8", 10),
+        ];
+
+        let mut standalone_alerts = Vec::new();
+        for (name, src) in sources {
+            let mut q = rq(name, src);
+            for e in &events {
+                standalone_alerts.extend(q.process(e));
+            }
+            standalone_alerts.extend(q.finish());
+        }
+
+        let mut s = Scheduler::new();
+        for (name, src) in sources {
+            s.add(rq(name, src));
+        }
+        let mut sched_alerts = Vec::new();
+        for e in &events {
+            sched_alerts.extend(s.process(e));
+        }
+        sched_alerts.extend(s.finish());
+
+        let norm = |mut v: Vec<Alert>| {
+            v.sort_by(|a, b| (a.query.clone(), format!("{a}")).cmp(&(b.query.clone(), format!("{b}"))));
+            v.into_iter().map(|a| a.to_string()).collect::<Vec<_>>()
+        };
+        assert_eq!(norm(standalone_alerts), norm(sched_alerts));
+    }
+
+    #[test]
+    fn naive_scheduler_copies_per_query() {
+        let mut n = NaiveScheduler::new();
+        for i in 0..4 {
+            n.add(rq(&format!("q{i}"), "proc p start proc q as e\nreturn p"));
+        }
+        n.process(&start(1, 10, "a.exe", "b.exe"));
+        assert_eq!(n.stats().data_copies, 4);
+        assert_eq!(n.stats().master_checks, 4);
+        // Master–dependent makes zero copies for the same workload.
+        let mut s = Scheduler::new();
+        for i in 0..4 {
+            s.add(rq(&format!("q{i}"), "proc p start proc q as e\nreturn p"));
+        }
+        s.process(&start(1, 10, "a.exe", "b.exe"));
+        assert_eq!(s.stats().data_copies, 0);
+        assert_eq!(s.stats().master_checks, 1);
+    }
+
+    #[test]
+    fn window_time_advances_even_without_shape_matches() {
+        // A windowed query over network writes must close its window when a
+        // later *process* event (shape mismatch) advances stream time.
+        let mut s = Scheduler::new();
+        s.add(rq(
+            "w",
+            "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n",
+        ));
+        s.add(rq("r", "proc p start proc q as e\nreturn p"));
+        let mut alerts = Vec::new();
+        alerts.extend(s.process(&send(1, 1_000, "x.exe", "1.1.1.1", 5)));
+        // 10 minutes later, only process events.
+        alerts.extend(s.process(&start(2, 600_000, "a.exe", "b.exe")));
+        let w_alerts: Vec<_> = alerts.iter().filter(|a| a.query == "w").collect();
+        assert_eq!(w_alerts.len(), 1, "window should have closed: {alerts:?}");
+    }
+}

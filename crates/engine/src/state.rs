@@ -1,0 +1,506 @@
+//! The state maintainer: per-group, per-window incremental aggregation with
+//! window history.
+//!
+//! For a block like
+//!
+//! ```text
+//! state[3] ss { avg_amount := avg(evt.amount) } group by p
+//! ```
+//!
+//! the maintainer folds each matching event into the accumulators of its
+//! group (here: the subject process) within each window the event belongs
+//! to. When a window closes, the group states are *snapshotted* into a
+//! bounded history (3 windows here) that alert expressions index as
+//! `ss[0].avg_amount` (current), `ss[1]...` (previous), etc.
+//!
+//! Groups absent from a past window read that field's *neutral value*
+//! (0 for counts/sums/averages, the empty set for `set(...)`) once the
+//! stream has produced at least that window; indexes reaching before the
+//! stream began yield `Missing`, which keeps alerts quiet during warm-up.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use saql_lang::ast::{AggFunc, Expr, GroupKey, StateBlock};
+use saql_model::AttrValue;
+
+use crate::eval::{eval, Scope, StateLookup};
+use crate::value::{SetValues, Value};
+
+/// One field's in-window accumulator.
+#[derive(Debug, Clone)]
+enum FieldAccum {
+    Stats(saql_analytics::OnlineStats),
+    Set(SetValues),
+    /// Order-statistic aggregates (median/percentile) must buffer.
+    Buffer(Vec<f64>),
+}
+
+impl FieldAccum {
+    fn new(agg: AggFunc) -> FieldAccum {
+        match agg {
+            AggFunc::Set | AggFunc::DistinctCount => FieldAccum::Set(SetValues::new()),
+            AggFunc::Median | AggFunc::Percentile(_) => FieldAccum::Buffer(Vec::new()),
+            _ => FieldAccum::Stats(saql_analytics::OnlineStats::new()),
+        }
+    }
+
+    fn fold(&mut self, value: &Value) {
+        match self {
+            FieldAccum::Stats(stats) => {
+                if let Some(x) = value.as_f64() {
+                    stats.push(x);
+                }
+            }
+            FieldAccum::Buffer(buf) => {
+                if let Some(x) = value.as_f64() {
+                    buf.push(x);
+                }
+            }
+            FieldAccum::Set(set) => match value {
+                Value::Attr(a) => {
+                    set.insert(a.to_string());
+                }
+                Value::Set(s) => {
+                    set.extend(s.iter().cloned());
+                }
+                Value::Missing => {}
+            },
+        }
+    }
+
+    fn finalize(self, agg: AggFunc) -> Value {
+        match (agg, self) {
+            (AggFunc::Count, FieldAccum::Stats(s)) => Value::int(s.count() as i64),
+            (AggFunc::Sum, FieldAccum::Stats(s)) => Value::float(s.sum()),
+            (AggFunc::Avg, FieldAccum::Stats(s)) => Value::float(s.mean()),
+            (AggFunc::Stddev, FieldAccum::Stats(s)) => Value::float(s.stddev()),
+            (AggFunc::Min, FieldAccum::Stats(s)) => match s.min() {
+                Some(x) => Value::float(x),
+                None => Value::Missing,
+            },
+            (AggFunc::Max, FieldAccum::Stats(s)) => match s.max() {
+                Some(x) => Value::float(x),
+                None => Value::Missing,
+            },
+            (AggFunc::Set, FieldAccum::Set(s)) => Value::Set(std::sync::Arc::new(s)),
+            (AggFunc::DistinctCount, FieldAccum::Set(s)) => Value::int(s.len() as i64),
+            (AggFunc::Median, FieldAccum::Buffer(buf)) => {
+                match saql_analytics::robust::median(&buf) {
+                    Some(m) => Value::float(m),
+                    None => Value::Missing,
+                }
+            }
+            (AggFunc::Percentile(q), FieldAccum::Buffer(buf)) => {
+                match saql_analytics::robust::percentile(&buf, q as f64) {
+                    Some(p) => Value::float(p),
+                    None => Value::Missing,
+                }
+            }
+            _ => unreachable!("accumulator kind always matches the aggregate"),
+        }
+    }
+}
+
+/// Neutral value of an aggregate over an empty (absent) window.
+fn neutral(agg: AggFunc) -> Value {
+    match agg {
+        AggFunc::Count | AggFunc::DistinctCount => Value::int(0),
+        AggFunc::Sum | AggFunc::Avg | AggFunc::Stddev => Value::float(0.0),
+        AggFunc::Min | AggFunc::Max | AggFunc::Median | AggFunc::Percentile(_) => Value::Missing,
+        AggFunc::Set => Value::empty_set(),
+    }
+}
+
+/// Snapshot of one group's state at a window close.
+#[derive(Debug, Clone)]
+pub struct GroupSnapshot {
+    /// Group-key spellings and values (`"p"` / `"p.exe_name"` →
+    /// `"sqlservr.exe"`); used to build evaluation scopes and alert labels.
+    pub keys: Vec<(String, AttrValue)>,
+    /// Field values in block declaration order.
+    pub values: Vec<Value>,
+}
+
+impl GroupSnapshot {
+    /// Human-readable group id (key values joined).
+    pub fn group_id(&self) -> String {
+        group_id_of(&self.keys)
+    }
+}
+
+fn group_id_of(keys: &[(String, AttrValue)]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    let mut seen = std::collections::HashSet::new();
+    for (_, v) in keys {
+        let s = v.to_string();
+        if seen.insert(s.clone()) {
+            parts.push(s);
+        }
+    }
+    if parts.is_empty() {
+        "<all>".to_string()
+    } else {
+        parts.join("|")
+    }
+}
+
+#[derive(Debug, Clone)]
+struct GroupAccum {
+    keys: Vec<(String, AttrValue)>,
+    accums: Vec<FieldAccum>,
+}
+
+/// The state maintainer for one `state[...]` block.
+#[derive(Debug)]
+pub struct StateMaintainer {
+    name: String,
+    history_len: usize,
+    fields: Vec<(String, AggFunc, Expr)>,
+    group_by: Vec<GroupKey>,
+    /// Accumulators for currently open windows: window id → group id → accum.
+    open: BTreeMap<u64, HashMap<String, GroupAccum>>,
+    /// Closed-window history: group id → recent (window id, snapshot),
+    /// newest at the back, bounded by `history_len`.
+    history: HashMap<String, VecDeque<(u64, GroupSnapshot)>>,
+    /// First window id ever observed (warm-up boundary for neutral values).
+    first_window: Option<u64>,
+}
+
+impl StateMaintainer {
+    pub fn new(block: &StateBlock) -> Self {
+        StateMaintainer {
+            name: block.name.clone(),
+            history_len: block.history,
+            fields: block
+                .fields
+                .iter()
+                .map(|f| (f.name.clone(), f.agg, f.arg.clone()))
+                .collect(),
+            group_by: block.group_by.clone(),
+            open: BTreeMap::new(),
+            history: HashMap::new(),
+            first_window: None,
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Names of the declared fields, in order.
+    pub fn field_names(&self) -> impl Iterator<Item = &str> {
+        self.fields.iter().map(|(n, _, _)| n.as_str())
+    }
+
+    /// Fold one matching event (already wrapped in an evaluation scope) into
+    /// the given windows. Returns `false` if the group key could not be
+    /// computed from this event's bindings.
+    pub fn observe(&mut self, windows: &[u64], scope: &Scope<'_>) -> bool {
+        let Some(keys) = self.group_keys_from(scope) else { return false };
+        let group = group_id_of(&keys);
+        // Evaluate field arguments once; fold into every containing window.
+        let folded: Vec<Value> = self
+            .fields
+            .iter()
+            .map(|(_, _, arg)| eval(arg, scope))
+            .collect();
+        for &k in windows {
+            if self.first_window.is_none() || Some(k) < self.first_window {
+                self.first_window = Some(match self.first_window {
+                    Some(f) => f.min(k),
+                    None => k,
+                });
+            }
+            let groups = self.open.entry(k).or_default();
+            let accum = groups.entry(group.clone()).or_insert_with(|| GroupAccum {
+                keys: keys.clone(),
+                accums: self.fields.iter().map(|(_, agg, _)| FieldAccum::new(*agg)).collect(),
+            });
+            for (acc, v) in accum.accums.iter_mut().zip(&folded) {
+                acc.fold(v);
+            }
+        }
+        true
+    }
+
+    /// Compute the group-key spellings/values for an event scope.
+    ///
+    /// `group by p` binds both `p` and `p.<default_attr>`; `group by i.dstip`
+    /// binds `i.dstip`. An empty `group by` produces the global group.
+    fn group_keys_from(&self, scope: &Scope<'_>) -> Option<Vec<(String, AttrValue)>> {
+        let mut keys = Vec::with_capacity(self.group_by.len() + 1);
+        for gk in &self.group_by {
+            let expr = Expr::Ref(saql_lang::ast::Ref {
+                base: gk.var.clone(),
+                index: None,
+                attr: gk.attr.clone(),
+                span: gk.span,
+            });
+            let value = match eval(&expr, scope) {
+                Value::Attr(a) => a,
+                _ => return None,
+            };
+            match &gk.attr {
+                Some(attr) => keys.push((format!("{}.{}", gk.var, attr), value)),
+                None => {
+                    // Bind the bare var and its default-attribute spelling.
+                    keys.push((gk.var.clone(), value.clone()));
+                    if let Some(entity) = scope.entities.get(gk.var.as_str()) {
+                        let attr = entity.entity_type().default_attr();
+                        keys.push((format!("{}.{}", gk.var, attr), value));
+                    }
+                }
+            }
+        }
+        Some(keys)
+    }
+
+    /// Close window `k`: snapshot every group that observed events in it,
+    /// push the snapshots into history, and return them sorted by group id.
+    pub fn close(&mut self, k: u64) -> Vec<(String, GroupSnapshot)> {
+        let groups = self.open.remove(&k).unwrap_or_default();
+        let mut out: Vec<(String, GroupSnapshot)> = groups
+            .into_iter()
+            .map(|(gid, accum)| {
+                let values: Vec<Value> = accum
+                    .accums
+                    .into_iter()
+                    .zip(&self.fields)
+                    .map(|(acc, (_, agg, _))| acc.finalize(*agg))
+                    .collect();
+                (gid, GroupSnapshot { keys: accum.keys, values })
+            })
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        for (gid, snap) in &out {
+            let hist = self.history.entry(gid.clone()).or_default();
+            hist.push_back((k, snap.clone()));
+            // Keep enough history to serve `ss[history_len - 1]` even with
+            // sliding windows: entries older than the reachable range drop.
+            while hist.len() > self.history_len {
+                hist.pop_front();
+            }
+        }
+        out
+    }
+
+    /// Resolve `name[back].field` for `group` with window `k` as current.
+    pub fn lookup(&self, group: &str, k: u64, back: usize, field: Option<&str>) -> Value {
+        if back >= self.history_len {
+            return Value::Missing;
+        }
+        let Some(target) = k.checked_sub(back as u64) else { return Value::Missing };
+        let field_idx = match field {
+            Some(f) => match self.fields.iter().position(|(n, _, _)| n == f) {
+                Some(i) => i,
+                None => return Value::Missing,
+            },
+            // A bare state reference (`ss`) with exactly one field refers to
+            // it (Query 3's `ss.set_proc` style always names the field, but
+            // invariant updates may use the shorthand).
+            None => {
+                if self.fields.len() == 1 {
+                    0
+                } else {
+                    return Value::Missing;
+                }
+            }
+        };
+        if let Some(hist) = self.history.get(group) {
+            if let Some((_, snap)) = hist.iter().rev().find(|(wk, _)| *wk == target) {
+                return snap.values[field_idx].clone();
+            }
+        }
+        // Absent window: neutral value once past warm-up.
+        match self.first_window {
+            Some(first) if target >= first => neutral(self.fields[field_idx].1),
+            _ => Value::Missing,
+        }
+    }
+}
+
+/// [`StateLookup`] view for evaluating expressions of one group at the close
+/// of window `k`.
+pub struct StateView<'a> {
+    pub maintainer: &'a StateMaintainer,
+    pub group: &'a str,
+    pub current_window: u64,
+}
+
+impl StateLookup for StateView<'_> {
+    fn state_value(&self, name: &str, back: usize, field: Option<&str>) -> Value {
+        if name != self.maintainer.name() {
+            return Value::Missing;
+        }
+        self.maintainer.lookup(self.group, self.current_window, back, field)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_lang::parse;
+    use saql_model::event::EventBuilder;
+    use saql_model::{Entity, NetworkInfo, ProcessInfo};
+
+    fn block(src: &str) -> StateBlock {
+        parse(src).unwrap().states.remove(0)
+    }
+
+    fn net_event(id: u64, ts: u64, exe: &str, dst: &str, amount: u64) -> saql_model::Event {
+        EventBuilder::new(id, "db-server", ts)
+            .subject(ProcessInfo::new(1, exe, "svc"))
+            .sends(NetworkInfo::new("10.0.0.5", 50000, dst, 443, "tcp"))
+            .amount(amount)
+            .build()
+    }
+
+    /// Scope for a matched `proc p write ip i as evt` event.
+    fn scope<'a>(event: &'a saql_model::Event, subject: &'a Entity) -> Scope<'a> {
+        let mut s = Scope::empty();
+        s.events.insert("evt", event);
+        s.entities.insert("p", subject);
+        s.entities.insert("i", &event.object);
+        s
+    }
+
+    const QUERY2_STATE: &str = "proc p write ip i as evt #time(10 min)\nstate[3] ss { avg_amount := avg(evt.amount) } group by p\nreturn p";
+
+    #[test]
+    fn per_group_average_over_one_window() {
+        let mut m = StateMaintainer::new(&block(QUERY2_STATE));
+        for (i, amount) in [100u64, 200, 300].into_iter().enumerate() {
+            let e = net_event(i as u64, 1000, "sqlservr.exe", "10.0.0.9", amount);
+            let subj = Entity::Process(e.subject.clone());
+            assert!(m.observe(&[0], &scope(&e, &subj)));
+        }
+        let e = net_event(9, 1500, "chrome.exe", "8.8.8.8", 50);
+        let subj = Entity::Process(e.subject.clone());
+        m.observe(&[0], &scope(&e, &subj));
+
+        let snaps = m.close(0);
+        assert_eq!(snaps.len(), 2);
+        let sql = snaps.iter().find(|(g, _)| g == "sqlservr.exe").unwrap();
+        assert_eq!(sql.1.values[0].as_f64(), Some(200.0));
+        let chrome = snaps.iter().find(|(g, _)| g == "chrome.exe").unwrap();
+        assert_eq!(chrome.1.values[0].as_f64(), Some(50.0));
+    }
+
+    #[test]
+    fn history_lookup_and_warmup() {
+        let mut m = StateMaintainer::new(&block(QUERY2_STATE));
+        for k in 0..4u64 {
+            let e = net_event(k, k * 600_000, "sqlservr.exe", "10.0.0.9", (k + 1) * 100);
+            let subj = Entity::Process(e.subject.clone());
+            m.observe(&[k], &scope(&e, &subj));
+            m.close(k);
+        }
+        // At window 3: ss[0]=400, ss[1]=300, ss[2]=200.
+        assert_eq!(m.lookup("sqlservr.exe", 3, 0, Some("avg_amount")).as_f64(), Some(400.0));
+        assert_eq!(m.lookup("sqlservr.exe", 3, 1, Some("avg_amount")).as_f64(), Some(300.0));
+        assert_eq!(m.lookup("sqlservr.exe", 3, 2, Some("avg_amount")).as_f64(), Some(200.0));
+        // Beyond declared history: Missing.
+        assert!(m.lookup("sqlservr.exe", 3, 3, Some("avg_amount")).is_missing());
+        // Before the stream began (window 0 is first): ss[1] at window 0.
+        assert!(m.lookup("sqlservr.exe", 0, 1, Some("avg_amount")).is_missing());
+    }
+
+    #[test]
+    fn absent_window_reads_neutral_after_warmup() {
+        let mut m = StateMaintainer::new(&block(QUERY2_STATE));
+        let e = net_event(1, 0, "sqlservr.exe", "10.0.0.9", 500);
+        let subj = Entity::Process(e.subject.clone());
+        m.observe(&[0], &scope(&e, &subj));
+        m.close(0);
+        // Window 1 passes with no events for the group; window 2 has one.
+        let e2 = net_event(2, 1_200_000, "sqlservr.exe", "10.0.0.9", 900);
+        let subj2 = Entity::Process(e2.subject.clone());
+        m.observe(&[2], &scope(&e2, &subj2));
+        m.close(2);
+        // ss[1] (window 1) is neutral 0.0, not Missing.
+        assert_eq!(m.lookup("sqlservr.exe", 2, 1, Some("avg_amount")).as_f64(), Some(0.0));
+        assert_eq!(m.lookup("sqlservr.exe", 2, 2, Some("avg_amount")).as_f64(), Some(500.0));
+    }
+
+    #[test]
+    fn set_aggregation() {
+        let src = "proc p1 start proc p2 as evt #time(10 s)\nstate ss { set_proc := set(p2.exe_name) } group by p1\nreturn p1";
+        let mut m = StateMaintainer::new(&block(src));
+        for (i, child) in ["php.exe", "rotatelogs.exe", "php.exe"].iter().enumerate() {
+            let e = EventBuilder::new(i as u64, "web-server", 100)
+                .subject(ProcessInfo::new(80, "apache.exe", "www"))
+                .starts_process(ProcessInfo::new(100 + i as u32, *child, "www"))
+                .build();
+            let subj = Entity::Process(e.subject.clone());
+            let mut s = Scope::empty();
+            s.events.insert("evt", &e);
+            s.entities.insert("p1", &subj);
+            s.entities.insert("p2", &e.object);
+            m.observe(&[0], &s);
+        }
+        let snaps = m.close(0);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].1.values[0].to_string(), "{php.exe, rotatelogs.exe}");
+    }
+
+    #[test]
+    fn group_key_spellings_bind_both_forms() {
+        let mut m = StateMaintainer::new(&block(QUERY2_STATE));
+        let e = net_event(1, 0, "cmd.exe", "10.0.0.9", 10);
+        let subj = Entity::Process(e.subject.clone());
+        m.observe(&[0], &scope(&e, &subj));
+        let snaps = m.close(0);
+        let keys = &snaps[0].1.keys;
+        assert!(keys.iter().any(|(k, _)| k == "p"));
+        assert!(keys.iter().any(|(k, _)| k == "p.exe_name"));
+    }
+
+    #[test]
+    fn group_by_attr_key() {
+        let src = "proc p write ip i as evt #time(10 min)\nstate ss { amt := sum(evt.amount) } group by i.dstip\nreturn i.dstip";
+        let mut m = StateMaintainer::new(&block(src));
+        for (i, (dst, amount)) in [("10.0.0.9", 100u64), ("10.0.0.9", 150), ("8.8.8.8", 70)]
+            .into_iter()
+            .enumerate()
+        {
+            let e = net_event(i as u64, 0, "sqlservr.exe", dst, amount);
+            let subj = Entity::Process(e.subject.clone());
+            m.observe(&[0], &scope(&e, &subj));
+        }
+        let snaps = m.close(0);
+        assert_eq!(snaps.len(), 2);
+        let by_ip: HashMap<String, f64> = snaps
+            .iter()
+            .map(|(g, s)| (g.clone(), s.values[0].as_f64().unwrap()))
+            .collect();
+        assert_eq!(by_ip["10.0.0.9"], 250.0);
+        assert_eq!(by_ip["8.8.8.8"], 70.0);
+    }
+
+    #[test]
+    fn state_view_implements_lookup() {
+        let mut m = StateMaintainer::new(&block(QUERY2_STATE));
+        let e = net_event(1, 0, "x.exe", "1.1.1.1", 42);
+        let subj = Entity::Process(e.subject.clone());
+        m.observe(&[0], &scope(&e, &subj));
+        m.close(0);
+        let view = StateView { maintainer: &m, group: "x.exe", current_window: 0 };
+        assert_eq!(view.state_value("ss", 0, Some("avg_amount")).as_f64(), Some(42.0));
+        assert!(view.state_value("other", 0, Some("avg_amount")).is_missing());
+    }
+
+    #[test]
+    fn empty_group_by_uses_global_group() {
+        let src = "proc p write ip i as evt #time(10 min)\nstate ss { n := count() }\nreturn p";
+        let mut m = StateMaintainer::new(&block(src));
+        for i in 0..3 {
+            let e = net_event(i, 0, "a.exe", "1.1.1.1", 1);
+            let subj = Entity::Process(e.subject.clone());
+            m.observe(&[0], &scope(&e, &subj));
+        }
+        let snaps = m.close(0);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].0, "<all>");
+        assert_eq!(snaps[0].1.values[0].as_f64(), Some(3.0));
+    }
+}

@@ -1,0 +1,240 @@
+//! Runtime values for SAQL expression evaluation.
+//!
+//! Expressions mix scalars (event attributes, aggregates) with *sets* (the
+//! `set(...)` aggregate and invariant variables) and must degrade gracefully
+//! over missing data: a reference into an absent past window (`ss[2]` before
+//! the third window) yields [`Value::Missing`], which propagates through
+//! arithmetic and makes comparisons false — queries stay quiet until their
+//! history warms up, instead of erroring.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use saql_model::AttrValue;
+
+/// A set of attribute values, normalized to their display strings (SAQL sets
+/// are sets of entity attributes — executable names, ips — which are
+/// strings; numeric members normalize via `Display`).
+pub type SetValues = BTreeSet<String>;
+
+/// A runtime value.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// A scalar attribute value.
+    Attr(AttrValue),
+    /// A set (shared: set states are cloned into window history and
+    /// invariants).
+    Set(Arc<SetValues>),
+    /// Absent data (unknown name at runtime, missing past window, absent
+    /// group). Propagates through operators; truthiness is `false`.
+    Missing,
+}
+
+impl Value {
+    pub fn int(v: i64) -> Value {
+        Value::Attr(AttrValue::Int(v))
+    }
+
+    pub fn float(v: f64) -> Value {
+        Value::Attr(AttrValue::Float(v))
+    }
+
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Attr(AttrValue::str(s))
+    }
+
+    pub fn bool(b: bool) -> Value {
+        Value::Attr(AttrValue::Bool(b))
+    }
+
+    pub fn empty_set() -> Value {
+        Value::Set(Arc::new(BTreeSet::new()))
+    }
+
+    pub fn set_from<I: IntoIterator<Item = String>>(items: I) -> Value {
+        Value::Set(Arc::new(items.into_iter().collect()))
+    }
+
+    /// Numeric view (missing/sets/strings have none).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Attr(a) => a.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Truthiness for alert conditions: `Missing` is false.
+    pub fn truthy(&self) -> bool {
+        match self {
+            Value::Attr(a) => a.truthy(),
+            Value::Set(s) => !s.is_empty(),
+            Value::Missing => false,
+        }
+    }
+
+    pub fn is_missing(&self) -> bool {
+        matches!(self, Value::Missing)
+    }
+
+    /// Cardinality for `|expr|`: set size, or absolute value for numbers.
+    pub fn cardinality(&self) -> Value {
+        match self {
+            Value::Set(s) => Value::int(s.len() as i64),
+            Value::Attr(a) => match a.as_f64() {
+                Some(x) => Value::float(x.abs()),
+                None => Value::Missing,
+            },
+            Value::Missing => Value::Missing,
+        }
+    }
+
+    /// Set union; `Missing` acts as the empty set so invariant updates can
+    /// run before any window has produced a state.
+    pub fn union(&self, other: &Value) -> Value {
+        match (self.as_set(), other.as_set()) {
+            (Some(a), Some(b)) => {
+                let mut out = a.clone();
+                out.extend(b.iter().cloned());
+                Value::Set(Arc::new(out))
+            }
+            _ => Value::Missing,
+        }
+    }
+
+    /// Set difference (`a diff b` = members of `a` not in `b`).
+    pub fn diff(&self, other: &Value) -> Value {
+        match (self.as_set(), other.as_set()) {
+            (Some(a), Some(b)) => {
+                Value::Set(Arc::new(a.difference(b).cloned().collect()))
+            }
+            _ => Value::Missing,
+        }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &Value) -> Value {
+        match (self.as_set(), other.as_set()) {
+            (Some(a), Some(b)) => {
+                Value::Set(Arc::new(a.intersection(b).cloned().collect()))
+            }
+            _ => Value::Missing,
+        }
+    }
+
+    /// View as a set; `Missing` views as the (static) empty set.
+    fn as_set(&self) -> Option<&SetValues> {
+        static EMPTY: std::sync::OnceLock<SetValues> = std::sync::OnceLock::new();
+        match self {
+            Value::Set(s) => Some(s),
+            Value::Missing => Some(EMPTY.get_or_init(BTreeSet::new)),
+            Value::Attr(_) => None,
+        }
+    }
+
+    /// Loose equality matching [`AttrValue::loose_eq`]; sets compare by
+    /// content; `Missing` equals nothing.
+    pub fn loose_eq(&self, other: &Value) -> Option<bool> {
+        match (self, other) {
+            (Value::Missing, _) | (_, Value::Missing) => None,
+            (Value::Attr(a), Value::Attr(b)) => Some(a.loose_eq(b)),
+            (Value::Set(a), Value::Set(b)) => Some(a == b),
+            _ => Some(false),
+        }
+    }
+
+    /// Loose ordering; `None` for incomparable kinds or missing data.
+    pub fn loose_cmp(&self, other: &Value) -> Option<std::cmp::Ordering> {
+        match (self, other) {
+            (Value::Attr(a), Value::Attr(b)) => a.loose_cmp(b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Attr(a) => write!(f, "{a}"),
+            Value::Set(s) => {
+                write!(f, "{{")?;
+                for (i, m) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{m}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Missing => write!(f, "<missing>"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[&str]) -> Value {
+        Value::set_from(items.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn cardinality_of_sets_and_numbers() {
+        assert_eq!(set(&["a", "b"]).cardinality().as_f64(), Some(2.0));
+        assert_eq!(Value::int(-7).cardinality().as_f64(), Some(7.0));
+        assert!(Value::Missing.cardinality().is_missing());
+        assert!(Value::str("x").cardinality().is_missing());
+    }
+
+    #[test]
+    fn union_diff_intersect() {
+        let a = set(&["x", "y"]);
+        let b = set(&["y", "z"]);
+        assert_eq!(a.union(&b).to_string(), "{x, y, z}");
+        assert_eq!(a.diff(&b).to_string(), "{x}");
+        assert_eq!(a.intersect(&b).to_string(), "{y}");
+    }
+
+    #[test]
+    fn missing_acts_as_empty_set_in_set_ops() {
+        let a = set(&["p.exe"]);
+        assert_eq!(Value::Missing.union(&a).to_string(), "{p.exe}");
+        assert_eq!(a.diff(&Value::Missing).to_string(), "{p.exe}");
+        assert_eq!(a.intersect(&Value::Missing).to_string(), "{}");
+    }
+
+    #[test]
+    fn set_ops_with_scalars_are_missing() {
+        assert!(set(&["a"]).union(&Value::int(3)).is_missing());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(!Value::Missing.truthy());
+        assert!(set(&["a"]).truthy());
+        assert!(!Value::empty_set().truthy());
+        assert!(Value::int(1).truthy());
+        assert!(!Value::bool(false).truthy());
+    }
+
+    #[test]
+    fn loose_eq_and_cmp() {
+        assert_eq!(Value::int(3).loose_eq(&Value::float(3.0)), Some(true));
+        assert_eq!(Value::Missing.loose_eq(&Value::int(3)), None);
+        assert_eq!(set(&["a"]).loose_eq(&set(&["a"])), Some(true));
+        assert_eq!(set(&["a"]).loose_eq(&Value::int(1)), Some(false));
+        assert_eq!(
+            Value::int(1).loose_cmp(&Value::int(2)),
+            Some(std::cmp::Ordering::Less)
+        );
+        assert_eq!(set(&["a"]).loose_cmp(&set(&["b"])), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(set(&["b", "a"]).to_string(), "{a, b}");
+        assert_eq!(Value::Missing.to_string(), "<missing>");
+        assert_eq!(Value::float(2.0).to_string(), "2.0");
+    }
+}

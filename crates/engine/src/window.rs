@@ -1,0 +1,241 @@
+//! Sliding-window assignment.
+//!
+//! SAQL windows are event-time based: `#time(size, slide)` defines windows
+//! `W_k = [k·slide, k·slide + size)`. With `slide == size` the windows
+//! tumble (the paper's queries); with `slide < size` they overlap and an
+//! event belongs to several consecutive windows.
+//!
+//! Window *closing* is driven by the stream watermark (the maximum event
+//! time seen): `W_k` closes once the watermark reaches its end. The
+//! [`WindowDriver`] tracks which windows have observed events and hands out
+//! close notifications in window order.
+
+use std::collections::BTreeSet;
+
+use saql_lang::ast::WindowSpec;
+use saql_model::Timestamp;
+
+/// Pure window arithmetic for a `#time(size, slide)` spec.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowAssigner {
+    size_ms: u64,
+    slide_ms: u64,
+}
+
+impl WindowAssigner {
+    pub fn new(spec: WindowSpec) -> Self {
+        let size_ms = spec.size.as_millis();
+        let slide_ms = spec.slide.as_millis();
+        assert!(size_ms > 0 && slide_ms > 0, "parser rejects zero windows");
+        WindowAssigner { size_ms, slide_ms }
+    }
+
+    /// Window ids containing the given event time (inclusive range).
+    pub fn windows_for(&self, ts: Timestamp) -> std::ops::RangeInclusive<u64> {
+        let t = ts.as_millis();
+        let hi = t / self.slide_ms;
+        let lo = if t < self.size_ms {
+            0
+        } else {
+            (t - self.size_ms) / self.slide_ms + 1
+        };
+        lo..=hi
+    }
+
+    /// `[start, end)` bounds of window `k`.
+    pub fn bounds(&self, k: u64) -> (Timestamp, Timestamp) {
+        let start = k * self.slide_ms;
+        (Timestamp::from_millis(start), Timestamp::from_millis(start + self.size_ms))
+    }
+
+    /// Whether window `k` should close at the given watermark.
+    pub fn closes_at(&self, k: u64, watermark: Timestamp) -> bool {
+        self.bounds(k).1 <= watermark
+    }
+}
+
+/// Tracks open windows and the stream watermark for one query.
+///
+/// `allowed_lateness` delays window closing: a window closes only once the
+/// watermark passes `window end + lateness`, so events arriving up to that
+/// much out of timestamp order still land in their window (agent feeds from
+/// many hosts merge with bounded skew).
+#[derive(Debug)]
+pub struct WindowDriver {
+    assigner: WindowAssigner,
+    lateness_ms: u64,
+    watermark: Timestamp,
+    /// Windows that observed at least one matching event and have not
+    /// closed yet.
+    open: BTreeSet<u64>,
+    closed: u64,
+}
+
+impl WindowDriver {
+    pub fn new(spec: WindowSpec) -> Self {
+        Self::with_lateness(spec, saql_model::Duration::ZERO)
+    }
+
+    /// Driver that tolerates events up to `lateness` behind the watermark.
+    pub fn with_lateness(spec: WindowSpec, lateness: saql_model::Duration) -> Self {
+        WindowDriver {
+            assigner: WindowAssigner::new(spec),
+            lateness_ms: lateness.as_millis(),
+            watermark: Timestamp::ZERO,
+            open: BTreeSet::new(),
+            closed: 0,
+        }
+    }
+
+    pub fn assigner(&self) -> &WindowAssigner {
+        &self.assigner
+    }
+
+    fn due(&self, k: u64) -> bool {
+        let close_at = self.assigner.bounds(k).1 + saql_model::Duration::from_millis(self.lateness_ms);
+        close_at <= self.watermark
+    }
+
+    /// Advance the watermark (monotone) and return the window ids that are
+    /// now due to close, in ascending order.
+    pub fn advance(&mut self, ts: Timestamp) -> Vec<u64> {
+        if ts > self.watermark {
+            self.watermark = ts;
+        }
+        let mut due = Vec::new();
+        while let Some(&k) = self.open.first() {
+            if self.due(k) {
+                self.open.remove(&k);
+                due.push(k);
+                self.closed += 1;
+            } else {
+                break;
+            }
+        }
+        due
+    }
+
+    /// Record that a matching event at `ts` contributes to its windows;
+    /// returns the ids the caller should fold the event into (late windows —
+    /// already closed — are excluded).
+    pub fn observe(&mut self, ts: Timestamp) -> Vec<u64> {
+        let mut ks = Vec::new();
+        for k in self.assigner.windows_for(ts) {
+            if !self.due(k) {
+                self.open.insert(k);
+                ks.push(k);
+            }
+        }
+        ks
+    }
+
+    /// Close every still-open window (end of stream), ascending.
+    pub fn drain(&mut self) -> Vec<u64> {
+        let due: Vec<u64> = self.open.iter().copied().collect();
+        self.closed += due.len() as u64;
+        self.open.clear();
+        due
+    }
+
+    /// Total windows closed so far.
+    pub fn closed_count(&self) -> u64 {
+        self.closed
+    }
+
+    pub fn watermark(&self) -> Timestamp {
+        self.watermark
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::Duration;
+
+    fn spec(size_s: u64, slide_s: u64) -> WindowSpec {
+        WindowSpec { size: Duration::from_secs(size_s), slide: Duration::from_secs(slide_s) }
+    }
+
+    #[test]
+    fn tumbling_assignment() {
+        let a = WindowAssigner::new(spec(10, 10));
+        assert_eq!(a.windows_for(Timestamp::from_secs(0)), 0..=0);
+        assert_eq!(a.windows_for(Timestamp::from_millis(9_999)), 0..=0);
+        assert_eq!(a.windows_for(Timestamp::from_secs(10)), 1..=1);
+        assert_eq!(a.windows_for(Timestamp::from_secs(25)), 2..=2);
+    }
+
+    #[test]
+    fn sliding_assignment_overlaps() {
+        // size 10s, slide 5s: ts=12s is in W1 [5,15) and W2 [10,20).
+        let a = WindowAssigner::new(spec(10, 5));
+        assert_eq!(a.windows_for(Timestamp::from_secs(12)), 1..=2);
+        // Early events fall only into the windows that exist.
+        assert_eq!(a.windows_for(Timestamp::from_secs(3)), 0..=0);
+        assert_eq!(a.windows_for(Timestamp::from_secs(7)), 0..=1);
+    }
+
+    #[test]
+    fn bounds_and_closing() {
+        let a = WindowAssigner::new(spec(10, 10));
+        let (s, e) = a.bounds(3);
+        assert_eq!(s, Timestamp::from_secs(30));
+        assert_eq!(e, Timestamp::from_secs(40));
+        assert!(!a.closes_at(3, Timestamp::from_millis(39_999)));
+        assert!(a.closes_at(3, Timestamp::from_secs(40)));
+    }
+
+    #[test]
+    fn driver_closes_in_order() {
+        let mut d = WindowDriver::new(spec(10, 10));
+        d.advance(Timestamp::from_secs(1));
+        assert_eq!(d.observe(Timestamp::from_secs(1)), vec![0]);
+        // Watermark 12s: window 0 (ends at 10s) closes.
+        assert_eq!(d.advance(Timestamp::from_secs(12)), vec![0]);
+        assert_eq!(d.observe(Timestamp::from_secs(12)), vec![1]);
+        // Jump to 35s: window 1 closes; nothing else was open.
+        assert_eq!(d.advance(Timestamp::from_secs(35)), vec![1]);
+        assert_eq!(d.closed_count(), 2);
+    }
+
+    #[test]
+    fn late_events_are_not_observed() {
+        let mut d = WindowDriver::new(spec(10, 10));
+        d.advance(Timestamp::from_secs(25));
+        // ts=5s is in window 0, which already closed at watermark 25s.
+        assert!(d.observe(Timestamp::from_secs(5)).is_empty());
+    }
+
+    #[test]
+    fn drain_closes_everything() {
+        let mut d = WindowDriver::new(spec(10, 10));
+        d.observe(Timestamp::from_secs(1));
+        d.observe(Timestamp::from_secs(15));
+        assert_eq!(d.drain(), vec![0, 1]);
+        assert_eq!(d.drain(), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn allowed_lateness_delays_closing_and_accepts_stragglers() {
+        use saql_model::Duration;
+        let mut d = WindowDriver::with_lateness(spec(10, 10), Duration::from_secs(5));
+        d.advance(Timestamp::from_secs(1));
+        d.observe(Timestamp::from_secs(1));
+        // Watermark 12s: window 0 ends at 10s but lateness holds it open.
+        assert!(d.advance(Timestamp::from_secs(12)).is_empty());
+        // An out-of-order event at 8s still lands in window 0.
+        assert_eq!(d.observe(Timestamp::from_secs(8)), vec![0]);
+        // Watermark 15s (= 10s end + 5s lateness): now it closes.
+        assert_eq!(d.advance(Timestamp::from_secs(15)), vec![0]);
+        // Further stragglers for window 0 are rejected.
+        assert!(d.observe(Timestamp::from_secs(9)).is_empty());
+    }
+
+    #[test]
+    fn watermark_is_monotone() {
+        let mut d = WindowDriver::new(spec(10, 10));
+        d.advance(Timestamp::from_secs(30));
+        d.advance(Timestamp::from_secs(20));
+        assert_eq!(d.watermark(), Timestamp::from_secs(30));
+    }
+}

@@ -1,0 +1,210 @@
+//! Query corpus: the four queries printed in the paper (§II-B, verbatim up to
+//! whitespace) and the eight demonstration queries of §III used to detect the
+//! five-step APT attack.
+//!
+//! The paper obfuscates deployment constants (`agentid = xxx`,
+//! `dstip="XXX.129"`); the demo corpus binds them to the concrete values used
+//! by the `saql-collector` enterprise simulator:
+//!
+//! * DB server host id: `db-server`, victim client: `client-3`,
+//!   web server: `web-server`, mail server: `mail-server`;
+//! * attacker host: `172.16.9.129` (the paper's `XXX.129`).
+
+/// Query 1 (paper §II-B1): rule-based data-exfiltration detection on the SQL
+/// database server, verbatim (bare `xxx` agent id as printed).
+pub const QUERY1_EXFILTRATION: &str = r#"
+agentid = xxx // SQL database server (obfuscated)
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="XXX.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1 // p1 -> p1.exe_name, i1 -> i1.dstip, f1 -> f1.name
+"#;
+
+/// Query 2 (paper §II-B2): time-series (simple-moving-average) network-usage
+/// spike detection, verbatim.
+pub const QUERY2_TIME_SERIES: &str = r#"
+proc p write ip i as evt #time(10 min)
+state[3] ss {
+    avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
+"#;
+
+/// Query 3 (paper §II-B3): invariant-based detection of unseen child
+/// processes spawned by Apache, verbatim.
+pub const QUERY3_INVARIANT: &str = r#"
+proc p1["%apache.exe"] start proc p2 as evt #time(10 s)
+state ss {
+    set_proc := set(p2.exe_name)
+} group by p1
+invariant[10][offline] {
+    a := empty_set // invariant init
+    a = a union ss.set_proc // invariant update
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc
+"#;
+
+/// Query 4 (paper §II-B4): outlier-based (DBSCAN) detection of the suspicious
+/// IP that triggers the database dump, verbatim.
+pub const QUERY4_OUTLIER: &str = r#"
+agentid = xxx // SQL database server (obfuscated)
+proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+state ss {
+    amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt
+"#;
+
+/// All four paper queries in presentation order.
+pub const PAPER_QUERIES: [&str; 4] = [
+    QUERY1_EXFILTRATION,
+    QUERY2_TIME_SERIES,
+    QUERY3_INVARIANT,
+    QUERY4_OUTLIER,
+];
+
+// ---------------------------------------------------------------------------
+// The 8 demonstration queries (§III): one rule-based query per attack step
+// c1–c5, plus three advanced anomaly queries constructed without knowledge of
+// the attack details.
+// ---------------------------------------------------------------------------
+
+/// Demo rule query for step **c1 — Initial Compromise**: Outlook writes a
+/// macro-bearing spreadsheet attachment to disk on the victim client.
+pub const DEMO_C1_INITIAL_COMPROMISE: &str = r#"
+agentid = "client-3"
+proc p1["%outlook.exe"] write file f1["%.xlsm"] as evt1
+return distinct p1, f1
+"#;
+
+/// Demo rule query for step **c2 — Malware Infection**: Excel executes the
+/// embedded macro, which spawns a script host that opens a backdoor to the
+/// attacker host.
+pub const DEMO_C2_MALWARE_INFECTION: &str = r#"
+agentid = "client-3"
+proc p1["%excel.exe"] start proc p2["%cscript.exe"] as evt1
+proc p2 write ip i1[dstip="172.16.9.129"] as evt2
+with evt1 -> evt2
+return distinct p1, p2, i1
+"#;
+
+/// Demo rule query for step **c3 — Privilege Escalation**: the database
+/// cracking tool `gsecdump.exe` runs and ships credentials to the attacker.
+pub const DEMO_C3_PRIVILEGE_ESCALATION: &str = r#"
+agentid = "client-3"
+proc p1 start proc p2["%gsecdump.exe"] as evt1
+proc p2 write ip i1[dstip="172.16.9.129"] as evt2
+with evt1 -> evt2
+return distinct p1, p2, i1
+"#;
+
+/// Demo rule query for step **c4 — Penetration into Database Server**: a
+/// script host drops a VBScript on the DB server which starts another
+/// backdoor process.
+pub const DEMO_C4_PENETRATION: &str = r#"
+agentid = "db-server"
+proc p1["%wscript.exe"] write file f1["%.vbs"] as evt1
+proc p1 start proc p2["%sbblv.exe"] as evt2
+with evt1 -> evt2
+return distinct p1, f1, p2
+"#;
+
+/// Demo rule query for step **c5 — Data Exfiltration**: the paper's Query 1
+/// with the deployment constants bound to the simulator's values.
+pub const DEMO_C5_EXFILTRATION: &str = r#"
+agentid = "db-server"
+proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1
+proc p3["%sqlservr.exe"] write file f1["%backup1.dmp"] as evt2
+proc p4["%sbblv.exe"] read file f1 as evt3
+proc p4 read || write ip i1[dstip="172.16.9.129"] as evt4
+with evt1 -> evt2 -> evt3 -> evt4
+return distinct p1, p2, p3, f1, p4, i1
+"#;
+
+/// Demo advanced query (invariant-based, targets c2 without attack
+/// knowledge): learn all processes Excel starts during training; alert on
+/// any unseen child process.
+pub const DEMO_INVARIANT_EXCEL: &str = r#"
+agentid = "client-3"
+proc p1["%excel.exe"] start proc p2 as evt #time(10 s)
+state ss {
+    set_proc := set(p2.exe_name)
+} group by p1
+invariant[100][offline] {
+    a := empty_set
+    a = a union ss.set_proc
+}
+alert |ss.set_proc diff a| > 0
+return p1, ss.set_proc
+"#;
+
+/// Demo advanced query (time-series SMA, targets c5 without attack
+/// knowledge): per-process network-transfer spike detection on the DB server.
+pub const DEMO_TIME_SERIES_DB: &str = r#"
+agentid = "db-server"
+proc p write ip i as evt #time(10 min)
+state[3] ss {
+    avg_amount := avg(evt.amount)
+} group by p
+alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
+return p, ss[0].avg_amount
+"#;
+
+/// Demo advanced query (outlier-based DBSCAN peer comparison, targets c5):
+/// detect destination IPs receiving outlying volumes from any process on the
+/// DB server.
+pub const DEMO_OUTLIER_DB: &str = r#"
+agentid = "db-server"
+proc p read || write ip i as evt #time(10 min)
+state ss {
+    amt := sum(evt.amount)
+} group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt
+"#;
+
+/// All eight demonstration queries with human-readable names, in the order
+/// the demo deploys them.
+pub const DEMO_QUERIES: [(&str, &str); 8] = [
+    ("c1-initial-compromise", DEMO_C1_INITIAL_COMPROMISE),
+    ("c2-malware-infection", DEMO_C2_MALWARE_INFECTION),
+    ("c3-privilege-escalation", DEMO_C3_PRIVILEGE_ESCALATION),
+    ("c4-penetration", DEMO_C4_PENETRATION),
+    ("c5-exfiltration", DEMO_C5_EXFILTRATION),
+    ("invariant-excel-children", DEMO_INVARIANT_EXCEL),
+    ("time-series-db-network", DEMO_TIME_SERIES_DB),
+    ("outlier-db-peer", DEMO_OUTLIER_DB),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_paper_queries_parse() {
+        for (i, q) in PAPER_QUERIES.iter().enumerate() {
+            crate::parse(q).unwrap_or_else(|e| panic!("paper query {} failed: {}", i + 1, e.render(q)));
+        }
+    }
+
+    #[test]
+    fn all_demo_queries_parse() {
+        for (name, q) in DEMO_QUERIES {
+            crate::parse(q).unwrap_or_else(|e| panic!("demo query {name} failed: {}", e.render(q)));
+        }
+    }
+
+    #[test]
+    fn all_demo_queries_check() {
+        for (name, q) in DEMO_QUERIES {
+            crate::compile(q).unwrap_or_else(|e| panic!("demo query {name} failed: {}", e.render(q)));
+        }
+    }
+}

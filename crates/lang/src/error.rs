@@ -1,0 +1,135 @@
+//! Spanned language errors (the SAQL *error reporter*).
+
+use std::fmt;
+
+/// A half-open byte region of the query source, with 1-based line/column of
+/// its start for human-readable rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
+        Span { start, end, line, col }
+    }
+
+    /// Merge two spans into the smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: self.line.min(other.line),
+            col: if other.line < self.line { other.col } else { self.col },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Phase that produced an error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    Lex,
+    Parse,
+    Semantic,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Phase::Lex => write!(f, "lex"),
+            Phase::Parse => write!(f, "parse"),
+            Phase::Semantic => write!(f, "semantic"),
+        }
+    }
+}
+
+/// A spanned SAQL language error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LangError {
+    pub phase: Phase,
+    pub message: String,
+    pub span: Span,
+}
+
+impl LangError {
+    pub fn lex(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Lex, message: message.into(), span }
+    }
+
+    pub fn parse(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Parse, message: message.into(), span }
+    }
+
+    pub fn semantic(message: impl Into<String>, span: Span) -> Self {
+        LangError { phase: Phase::Semantic, message: message.into(), span }
+    }
+
+    /// Render the error with the offending source line and a caret marker:
+    ///
+    /// ```text
+    /// parse error at 3:9: expected entity type
+    ///   |
+    /// 3 | proc p1[ start proc p2
+    ///   |         ^
+    /// ```
+    pub fn render(&self, source: &str) -> String {
+        let mut out = format!("{self}\n");
+        if let Some(line_text) = source.lines().nth(self.span.line.saturating_sub(1) as usize) {
+            let ln = self.span.line;
+            let gutter = " ".repeat(ln.to_string().len());
+            out.push_str(&format!("{gutter} |\n{ln} | {line_text}\n{gutter} | "));
+            out.push_str(&" ".repeat(self.span.col.saturating_sub(1) as usize));
+            let width = (self.span.end - self.span.start).max(1);
+            out.push_str(&"^".repeat(width.min(line_text.len() + 1)));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for LangError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+    }
+}
+
+impl std::error::Error for LangError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span::new(4, 8, 1, 5);
+        let b = Span::new(10, 12, 2, 1);
+        let m = a.to(b);
+        assert_eq!((m.start, m.end), (4, 12));
+        assert_eq!(m.line, 1);
+    }
+
+    #[test]
+    fn render_points_at_column() {
+        let src = "alert x >\nreturn p";
+        let err = LangError::parse("expected expression", Span::new(9, 10, 1, 9));
+        let shown = err.render(src);
+        assert!(shown.contains("parse error at 1:9"), "{shown}");
+        assert!(shown.contains("1 | alert x >"), "{shown}");
+        assert!(shown.lines().last().unwrap().trim_end().ends_with('^'), "{shown}");
+    }
+
+    #[test]
+    fn display_mentions_phase() {
+        let err = LangError::semantic("unknown variable `p9`", Span::default());
+        assert!(err.to_string().contains("semantic error"));
+    }
+}

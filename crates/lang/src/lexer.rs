@@ -1,0 +1,403 @@
+//! Hand-written lexer for SAQL.
+//!
+//! Notable lexical rules:
+//! * `//` starts a line comment (the paper's queries are annotated this way);
+//! * string literals use double quotes with `\"`, `\\`, `\n`, `\t` escapes;
+//! * identifiers may contain `_` and digits after the first character and may
+//!   look like Windows paths only inside strings — bare `%` is an operator
+//!   (modulo); wildcard patterns always appear inside string literals;
+//! * newlines are insignificant (statements are keyword-delimited).
+
+use crate::error::{LangError, Span};
+use crate::token::{Tok, Token};
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+/// Tokenize SAQL source text. The returned vector always ends with
+/// [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
+    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, LangError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia();
+            let start = (self.pos, self.line, self.col);
+            if self.pos >= self.bytes.len() {
+                out.push(Token::new(Tok::Eof, self.span_from(start)));
+                return Ok(out);
+            }
+            let c = self.bytes[self.pos];
+            let tok = match c {
+                b'(' => self.one(Tok::LParen),
+                b')' => self.one(Tok::RParen),
+                b'[' => self.one(Tok::LBracket),
+                b']' => self.one(Tok::RBracket),
+                b'{' => self.one(Tok::LBrace),
+                b'}' => self.one(Tok::RBrace),
+                b',' => self.one(Tok::Comma),
+                b'.' => self.one(Tok::Dot),
+                b'#' => self.one(Tok::Hash),
+                b';' => self.one(Tok::Semi),
+                b'+' => self.one(Tok::Plus),
+                b'*' => self.one(Tok::Star),
+                b'%' => self.one(Tok::Percent),
+                b'/' => self.one(Tok::Slash),
+                b'-' => {
+                    if self.peek(1) == Some(b'>') {
+                        self.two(Tok::Arrow)
+                    } else {
+                        self.one(Tok::Minus)
+                    }
+                }
+                b'|' => {
+                    if self.peek(1) == Some(b'|') {
+                        self.two(Tok::PipePipe)
+                    } else {
+                        self.one(Tok::Pipe)
+                    }
+                }
+                b'&' => {
+                    if self.peek(1) == Some(b'&') {
+                        self.two(Tok::AmpAmp)
+                    } else {
+                        return Err(LangError::lex(
+                            "single `&` is not an operator (did you mean `&&`?)",
+                            self.span_here(1),
+                        ));
+                    }
+                }
+                b'!' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.two(Tok::NotEq)
+                    } else {
+                        self.one(Tok::Bang)
+                    }
+                }
+                b':' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.two(Tok::Walrus)
+                    } else {
+                        return Err(LangError::lex(
+                            "single `:` is not an operator (did you mean `:=`?)",
+                            self.span_here(1),
+                        ));
+                    }
+                }
+                b'=' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.two(Tok::EqEq)
+                    } else {
+                        self.one(Tok::Assign)
+                    }
+                }
+                b'<' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.two(Tok::Le)
+                    } else {
+                        self.one(Tok::Lt)
+                    }
+                }
+                b'>' => {
+                    if self.peek(1) == Some(b'=') {
+                        self.two(Tok::Ge)
+                    } else {
+                        self.one(Tok::Gt)
+                    }
+                }
+                b'"' => self.string()?,
+                b'0'..=b'9' => self.number()?,
+                c if c == b'_' || c.is_ascii_alphabetic() => self.ident(),
+                other => {
+                    return Err(LangError::lex(
+                        format!("unexpected character `{}`", other as char),
+                        self.span_here(1),
+                    ))
+                }
+            };
+            out.push(Token::new(tok, self.span_from(start)));
+        }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b' ') | Some(b'\t') | Some(b'\r') => self.advance(1),
+                Some(b'\n') => {
+                    self.pos += 1;
+                    self.line += 1;
+                    self.col = 1;
+                }
+                Some(b'/') if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.advance(1);
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+        self.col += n as u32;
+    }
+
+    fn one(&mut self, tok: Tok) -> Tok {
+        self.advance(1);
+        tok
+    }
+
+    fn two(&mut self, tok: Tok) -> Tok {
+        self.advance(2);
+        tok
+    }
+
+    fn span_here(&self, len: usize) -> Span {
+        Span::new(self.pos, self.pos + len, self.line, self.col)
+    }
+
+    fn span_from(&self, start: (usize, u32, u32)) -> Span {
+        Span::new(start.0, self.pos, start.1, start.2)
+    }
+
+    fn ident(&mut self) -> Tok {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|c| c.is_ascii_alphanumeric() || *c == b'_')
+        {
+            self.advance(1);
+        }
+        Tok::Ident(self.src[start..self.pos].to_string())
+    }
+
+    fn number(&mut self) -> Result<Tok, LangError> {
+        let start = self.pos;
+        let (line, col) = (self.line, self.col);
+        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+            self.advance(1);
+        }
+        let mut float = false;
+        // A dot starts a fraction only when followed by a digit; `ss[0].f`
+        // must lex the dot as punctuation.
+        if self.bytes.get(self.pos) == Some(&b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        {
+            float = true;
+            self.advance(1);
+            while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
+                self.advance(1);
+            }
+        }
+        let text = &self.src[start..self.pos];
+        if float {
+            text.parse::<f64>()
+                .map(Tok::Float)
+                .map_err(|_| LangError::lex("invalid float literal", Span::new(start, self.pos, line, col)))
+        } else {
+            text.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|_| {
+                    LangError::lex(
+                        "integer literal out of range",
+                        Span::new(start, self.pos, line, col),
+                    )
+                })
+        }
+    }
+
+    fn string(&mut self) -> Result<Tok, LangError> {
+        let (start, line, col) = (self.pos, self.line, self.col);
+        self.advance(1); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None | Some(b'\n') => {
+                    return Err(LangError::lex(
+                        "unterminated string literal",
+                        Span::new(start, self.pos, line, col),
+                    ))
+                }
+                Some(b'"') => {
+                    self.advance(1);
+                    return Ok(Tok::Str(out));
+                }
+                Some(b'\\') => {
+                    let esc = self.peek(1);
+                    match esc {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        _ => {
+                            return Err(LangError::lex(
+                                "unknown escape sequence",
+                                self.span_here(2),
+                            ))
+                        }
+                    }
+                    self.advance(2);
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 scalar so multi-byte characters
+                    // inside strings don't split.
+                    let ch = self.src[self.pos..].chars().next().unwrap();
+                    out.push(ch);
+                    self.advance(ch.len_utf8());
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_event_pattern_line() {
+        let toks = kinds(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as evt1"#);
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("proc".into()),
+                Tok::Ident("p1".into()),
+                Tok::LBracket,
+                Tok::Str("%cmd.exe".into()),
+                Tok::RBracket,
+                Tok::Ident("start".into()),
+                Tok::Ident("proc".into()),
+                Tok::Ident("p2".into()),
+                Tok::LBracket,
+                Tok::Str("%osql.exe".into()),
+                Tok::RBracket,
+                Tok::Ident("as".into()),
+                Tok::Ident("evt1".into()),
+                Tok::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = kinds("alert x // this is ignored\nreturn p");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Ident("alert".into()),
+                Tok::Ident("x".into()),
+                Tok::Ident("return".into()),
+                Tok::Ident("p".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        let toks = kinds("-> := == != <= >= && ||");
+        assert_eq!(
+            toks,
+            vec![
+                Tok::Arrow,
+                Tok::Walrus,
+                Tok::EqEq,
+                Tok::NotEq,
+                Tok::Le,
+                Tok::Ge,
+                Tok::AmpAmp,
+                Tok::PipePipe,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn pipe_vs_pipepipe() {
+        assert_eq!(
+            kinds("|ss.s| || x"),
+            vec![
+                Tok::Pipe,
+                Tok::Ident("ss".into()),
+                Tok::Dot,
+                Tok::Ident("s".into()),
+                Tok::Pipe,
+                Tok::PipePipe,
+                Tok::Ident("x".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_ints_floats_and_member_dots() {
+        assert_eq!(kinds("10"), vec![Tok::Int(10), Tok::Eof]);
+        assert_eq!(kinds("10.5"), vec![Tok::Float(10.5), Tok::Eof]);
+        // `ss[0].f` — the dot is punctuation, not a fraction.
+        assert_eq!(
+            kinds("0.f"),
+            vec![Tok::Int(0), Tok::Dot, Tok::Ident("f".into()), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn string_escapes() {
+        assert_eq!(kinds(r#""a\"b\\c\n""#), vec![Tok::Str("a\"b\\c\n".into()), Tok::Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        let err = lex("\"oops").unwrap_err();
+        assert!(err.message.contains("unterminated"));
+        assert_eq!(err.span.line, 1);
+    }
+
+    #[test]
+    fn unknown_char_is_error_with_position() {
+        let err = lex("alert ?").unwrap_err();
+        assert!(err.message.contains("unexpected character"));
+        assert_eq!(err.span.col, 7);
+    }
+
+    #[test]
+    fn single_amp_and_colon_rejected() {
+        assert!(lex("a & b").unwrap_err().message.contains("&&"));
+        assert!(lex("a : b").unwrap_err().message.contains(":="));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let toks = lex("a\n  bb\n").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[1].span.col, 3);
+    }
+
+    #[test]
+    fn int_overflow_reported() {
+        let err = lex("99999999999999999999").unwrap_err();
+        assert!(err.message.contains("out of range"));
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("\"héllo→\""), vec![Tok::Str("héllo→".into()), Tok::Eof]);
+    }
+}

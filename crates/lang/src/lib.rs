@@ -1,0 +1,53 @@
+//! # saql-lang
+//!
+//! The **S**tream-based **A**nomaly **Q**uery **L**anguage: lexer, AST,
+//! parser, semantic checker and pretty-printer.
+//!
+//! SAQL uniquely integrates language primitives for the four major families
+//! of anomaly models over system monitoring data (Gao et al., ICDE 2020):
+//!
+//! * **rule-based** — event patterns with attribute constraints and temporal
+//!   relationships (`with evt1 -> evt2`);
+//! * **time-series** — sliding windows (`#time(10 min)`) and per-group
+//!   stateful aggregation with window-history access (`ss[1].avg_amount`);
+//! * **invariant-based** — `invariant[N][offline] { ... }` blocks that train
+//!   a value over the first N windows and detect later violations;
+//! * **outlier-based** — `cluster(points=all(...), distance="ed",
+//!   method="DBSCAN(eps,minpts)")` peer grouping with `cluster.outlier`.
+//!
+//! The original system generated its parser with ANTLR 4; this reproduction
+//! uses a hand-written lexer and recursive-descent parser (no build-time
+//! codegen, precise spanned errors — the paper's *error reporter* role).
+//!
+//! Entry points: [`parse`] (text → [`ast::Query`]) and [`check`]
+//! (AST → [`semantic::CheckedQuery`], the engine's input), or the one-shot
+//! [`compile`].
+
+pub mod ast;
+pub mod corpus;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod semantic;
+pub mod token;
+
+pub use ast::Query;
+pub use error::{LangError, Span};
+pub use semantic::CheckedQuery;
+
+/// Parse SAQL query text into an AST.
+pub fn parse(input: &str) -> Result<ast::Query, LangError> {
+    let tokens = lexer::lex(input)?;
+    parser::Parser::new(tokens).parse_query()
+}
+
+/// Run semantic analysis over a parsed query.
+pub fn check(query: ast::Query) -> Result<semantic::CheckedQuery, LangError> {
+    semantic::check(query)
+}
+
+/// Parse and check in one step.
+pub fn compile(input: &str) -> Result<semantic::CheckedQuery, LangError> {
+    check(parse(input)?)
+}

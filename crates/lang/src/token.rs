@@ -1,0 +1,123 @@
+//! Token kinds produced by the SAQL lexer.
+
+use std::fmt;
+
+use crate::error::Span;
+
+/// A lexical token kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are resolved contextually by the
+    /// parser; operation names like `read` double as identifiers elsewhere).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// Double-quoted string literal (quotes stripped, escapes resolved).
+    Str(String),
+
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Dot,
+    Hash,
+    Pipe,     // |
+    PipePipe, // ||
+    AmpAmp,   // &&
+    Bang,     // !
+    Arrow,    // ->
+    Walrus,   // :=
+    Assign,   // =
+    EqEq,     // ==
+    NotEq,    // !=
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Semi,
+    /// End of input sentinel.
+    Eof,
+}
+
+impl Tok {
+    /// Human-readable description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            Tok::Ident(s) => format!("identifier `{s}`"),
+            Tok::Int(v) => format!("integer `{v}`"),
+            Tok::Float(v) => format!("number `{v}`"),
+            Tok::Str(s) => format!("string \"{s}\""),
+            Tok::Eof => "end of query".to_string(),
+            other => format!("`{}`", other.symbol()),
+        }
+    }
+
+    /// Source symbol for punctuation/operator tokens.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            Tok::LParen => "(",
+            Tok::RParen => ")",
+            Tok::LBracket => "[",
+            Tok::RBracket => "]",
+            Tok::LBrace => "{",
+            Tok::RBrace => "}",
+            Tok::Comma => ",",
+            Tok::Dot => ".",
+            Tok::Hash => "#",
+            Tok::Pipe => "|",
+            Tok::PipePipe => "||",
+            Tok::AmpAmp => "&&",
+            Tok::Bang => "!",
+            Tok::Arrow => "->",
+            Tok::Walrus => ":=",
+            Tok::Assign => "=",
+            Tok::EqEq => "==",
+            Tok::NotEq => "!=",
+            Tok::Lt => "<",
+            Tok::Le => "<=",
+            Tok::Gt => ">",
+            Tok::Ge => ">=",
+            Tok::Plus => "+",
+            Tok::Minus => "-",
+            Tok::Star => "*",
+            Tok::Slash => "/",
+            Tok::Percent => "%",
+            Tok::Semi => ";",
+            _ => "?",
+        }
+    }
+
+    /// Whether this token is the given identifier/keyword.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Tok::Ident(s) if s == kw)
+    }
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+/// A token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub tok: Tok,
+    pub span: Span,
+}
+
+impl Token {
+    pub fn new(tok: Tok, span: Span) -> Self {
+        Token { tok, span }
+    }
+}

@@ -1,0 +1,229 @@
+//! Dynamically typed attribute values.
+//!
+//! SAQL queries reference event and entity attributes by name
+//! (`evt.amount`, `p1.exe_name`, `i1.dstip`, `agentid`). The engine resolves
+//! such references against events at runtime, producing [`AttrValue`]s that
+//! flow through constraint checks, aggregations, and alert expressions.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A dynamically typed attribute value.
+///
+/// Strings are reference counted (`Arc<str>`) because the same value (an
+/// executable name, a host id) is typically shared by many events; cloning an
+/// `AttrValue` is always cheap.
+#[derive(Debug, Clone)]
+pub enum AttrValue {
+    /// Signed integer (pids, ports, counts).
+    Int(i64),
+    /// Floating point (aggregate results, amounts in derived units).
+    Float(f64),
+    /// String (names, ips, host ids).
+    Str(Arc<str>),
+    /// Boolean (alert sub-expressions, cluster flags).
+    Bool(bool),
+}
+
+impl AttrValue {
+    /// Build a string value from anything string-like.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        AttrValue::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Numeric view of the value, if it has one.
+    ///
+    /// Integers widen to `f64`; booleans map to 0.0 / 1.0 (convenient for
+    /// counting alert conditions); strings have no numeric view.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            AttrValue::Int(i) => Some(*i as f64),
+            AttrValue::Float(f) => Some(*f),
+            AttrValue::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            AttrValue::Str(_) => None,
+        }
+    }
+
+    /// Integer view of the value, if exact.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            AttrValue::Int(i) => Some(*i),
+            AttrValue::Float(f) if f.fract() == 0.0 => Some(*f as i64),
+            _ => None,
+        }
+    }
+
+    /// String view of the value (strings only).
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            AttrValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean view. Numbers are truthy when non-zero, strings when non-empty.
+    pub fn truthy(&self) -> bool {
+        match self {
+            AttrValue::Bool(b) => *b,
+            AttrValue::Int(i) => *i != 0,
+            AttrValue::Float(f) => *f != 0.0,
+            AttrValue::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// Type name used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            AttrValue::Int(_) => "int",
+            AttrValue::Float(_) => "float",
+            AttrValue::Str(_) => "string",
+            AttrValue::Bool(_) => "bool",
+        }
+    }
+
+    /// SAQL equality: numeric types compare by value (`1 == 1.0`), strings
+    /// and booleans compare within their own type. Cross-kind comparisons
+    /// (string vs number) are `false`, never an error — monitoring data is
+    /// heterogeneous and queries should not abort mid-stream.
+    pub fn loose_eq(&self, other: &AttrValue) -> bool {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => a == b,
+            (AttrValue::Bool(a), AttrValue::Bool(b)) => a == b,
+            _ => match (self.as_f64(), other.as_f64()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+
+    /// SAQL ordering: numbers order numerically, strings lexicographically.
+    /// Returns `None` for incomparable kinds.
+    pub fn loose_cmp(&self, other: &AttrValue) -> Option<Ordering> {
+        match (self, other) {
+            (AttrValue::Str(a), AttrValue::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => {
+                let (a, b) = (self.as_f64()?, other.as_f64()?);
+                a.partial_cmp(&b)
+            }
+        }
+    }
+}
+
+impl PartialEq for AttrValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.loose_eq(other)
+    }
+}
+
+impl fmt::Display for AttrValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrValue::Int(i) => write!(f, "{i}"),
+            AttrValue::Float(x) => {
+                if x.fract() == 0.0 && x.abs() < 1e15 {
+                    write!(f, "{:.1}", x)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            AttrValue::Str(s) => write!(f, "{s}"),
+            AttrValue::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for AttrValue {
+    fn from(v: i64) -> Self {
+        AttrValue::Int(v)
+    }
+}
+
+impl From<u64> for AttrValue {
+    fn from(v: u64) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<u32> for AttrValue {
+    fn from(v: u32) -> Self {
+        AttrValue::Int(v as i64)
+    }
+}
+
+impl From<f64> for AttrValue {
+    fn from(v: f64) -> Self {
+        AttrValue::Float(v)
+    }
+}
+
+impl From<bool> for AttrValue {
+    fn from(v: bool) -> Self {
+        AttrValue::Bool(v)
+    }
+}
+
+impl From<&str> for AttrValue {
+    fn from(v: &str) -> Self {
+        AttrValue::str(v)
+    }
+}
+
+impl From<Arc<str>> for AttrValue {
+    fn from(v: Arc<str>) -> Self {
+        AttrValue::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_loose_eq_crosses_int_float() {
+        assert_eq!(AttrValue::Int(3), AttrValue::Float(3.0));
+        assert_ne!(AttrValue::Int(3), AttrValue::Float(3.5));
+    }
+
+    #[test]
+    fn string_and_number_never_equal() {
+        assert_ne!(AttrValue::str("3"), AttrValue::Int(3));
+    }
+
+    #[test]
+    fn bool_numeric_view() {
+        assert_eq!(AttrValue::Bool(true).as_f64(), Some(1.0));
+        assert_eq!(AttrValue::Bool(false).as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn as_i64_rejects_fractional() {
+        assert_eq!(AttrValue::Float(2.0).as_i64(), Some(2));
+        assert_eq!(AttrValue::Float(2.5).as_i64(), None);
+    }
+
+    #[test]
+    fn cmp_orders_numbers_and_strings() {
+        use std::cmp::Ordering::*;
+        assert_eq!(AttrValue::Int(1).loose_cmp(&AttrValue::Float(2.0)), Some(Less));
+        assert_eq!(AttrValue::str("b").loose_cmp(&AttrValue::str("a")), Some(Greater));
+        assert_eq!(AttrValue::str("a").loose_cmp(&AttrValue::Int(1)), None);
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(AttrValue::Int(1).truthy());
+        assert!(!AttrValue::Int(0).truthy());
+        assert!(AttrValue::str("x").truthy());
+        assert!(!AttrValue::str("").truthy());
+        assert!(!AttrValue::Float(0.0).truthy());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(AttrValue::Int(7).to_string(), "7");
+        assert_eq!(AttrValue::Float(7.0).to_string(), "7.0");
+        assert_eq!(AttrValue::str("x").to_string(), "x");
+        assert_eq!(AttrValue::Bool(true).to_string(), "true");
+    }
+}

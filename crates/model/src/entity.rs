@@ -1,0 +1,252 @@
+//! System entities: processes, files, and network connections.
+//!
+//! Following the convention established by the system-monitoring literature
+//! (BackTracker, SAQL, AIQL), subjects are always processes, and objects can
+//! be files, processes, or network connections.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attr::AttrValue;
+
+/// The kind of a system entity, as written in SAQL queries
+/// (`proc`, `file`, `ip`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum EntityType {
+    Process,
+    File,
+    Network,
+}
+
+impl EntityType {
+    /// The SAQL keyword for this entity type.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            EntityType::Process => "proc",
+            EntityType::File => "file",
+            EntityType::Network => "ip",
+        }
+    }
+
+    /// The *default attribute* used by the context-aware syntax shortcuts of
+    /// the SAQL `return` clause: `p1` means `p1.exe_name`, `f1` means
+    /// `f1.name`, `i1` means `i1.dstip`.
+    pub fn default_attr(&self) -> &'static str {
+        match self {
+            EntityType::Process => "exe_name",
+            EntityType::File => "name",
+            EntityType::Network => "dstip",
+        }
+    }
+
+    /// Parse a SAQL entity-type keyword.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        match kw {
+            "proc" | "process" => Some(EntityType::Process),
+            "file" => Some(EntityType::File),
+            "ip" | "conn" | "network" => Some(EntityType::Network),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for EntityType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A process entity. Processes are the only possible event subjects.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ProcessInfo {
+    /// OS process id.
+    pub pid: u32,
+    /// Executable name (e.g. `C:\Windows\System32\cmd.exe` or `cmd.exe`).
+    pub exe_name: Arc<str>,
+    /// User account the process runs as.
+    pub user: Arc<str>,
+}
+
+impl ProcessInfo {
+    pub fn new(pid: u32, exe_name: impl AsRef<str>, user: impl AsRef<str>) -> Self {
+        ProcessInfo {
+            pid,
+            exe_name: Arc::from(exe_name.as_ref()),
+            user: Arc::from(user.as_ref()),
+        }
+    }
+
+    /// Resolve a named attribute of this process.
+    pub fn attr(&self, name: &str) -> Option<AttrValue> {
+        match name {
+            "pid" => Some(AttrValue::Int(self.pid as i64)),
+            "exe_name" | "name" => Some(AttrValue::Str(self.exe_name.clone())),
+            "user" => Some(AttrValue::Str(self.user.clone())),
+            _ => None,
+        }
+    }
+
+    /// A stable identity key for joins: two event patterns binding the same
+    /// process variable must observe the same pid + executable.
+    pub fn identity(&self) -> (u32, &str) {
+        (self.pid, &self.exe_name)
+    }
+}
+
+/// A file entity.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FileInfo {
+    /// Absolute path or file name.
+    pub name: Arc<str>,
+}
+
+impl FileInfo {
+    pub fn new(name: impl AsRef<str>) -> Self {
+        FileInfo { name: Arc::from(name.as_ref()) }
+    }
+
+    /// Resolve a named attribute of this file.
+    pub fn attr(&self, name: &str) -> Option<AttrValue> {
+        match name {
+            "name" | "path" => Some(AttrValue::Str(self.name.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// A network-connection entity (the `ip` entity type in SAQL).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct NetworkInfo {
+    pub src_ip: Arc<str>,
+    pub src_port: u16,
+    pub dst_ip: Arc<str>,
+    pub dst_port: u16,
+    /// Transport protocol, e.g. `tcp` / `udp`.
+    pub protocol: Arc<str>,
+}
+
+impl NetworkInfo {
+    pub fn new(
+        src_ip: impl AsRef<str>,
+        src_port: u16,
+        dst_ip: impl AsRef<str>,
+        dst_port: u16,
+        protocol: impl AsRef<str>,
+    ) -> Self {
+        NetworkInfo {
+            src_ip: Arc::from(src_ip.as_ref()),
+            src_port,
+            dst_ip: Arc::from(dst_ip.as_ref()),
+            dst_port,
+            protocol: Arc::from(protocol.as_ref()),
+        }
+    }
+
+    /// Resolve a named attribute of this connection.
+    pub fn attr(&self, name: &str) -> Option<AttrValue> {
+        match name {
+            "srcip" | "src_ip" => Some(AttrValue::Str(self.src_ip.clone())),
+            "srcport" | "src_port" => Some(AttrValue::Int(self.src_port as i64)),
+            "dstip" | "dst_ip" => Some(AttrValue::Str(self.dst_ip.clone())),
+            "dstport" | "dst_port" => Some(AttrValue::Int(self.dst_port as i64)),
+            "protocol" | "proto" => Some(AttrValue::Str(self.protocol.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// A system entity: the object of an SVO event (subjects are always
+/// [`ProcessInfo`]).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Entity {
+    Process(ProcessInfo),
+    File(FileInfo),
+    Network(NetworkInfo),
+}
+
+impl Entity {
+    /// The type tag of this entity.
+    pub fn entity_type(&self) -> EntityType {
+        match self {
+            Entity::Process(_) => EntityType::Process,
+            Entity::File(_) => EntityType::File,
+            Entity::Network(_) => EntityType::Network,
+        }
+    }
+
+    /// Resolve a named attribute.
+    pub fn attr(&self, name: &str) -> Option<AttrValue> {
+        match self {
+            Entity::Process(p) => p.attr(name),
+            Entity::File(f) => f.attr(name),
+            Entity::Network(n) => n.attr(name),
+        }
+    }
+
+    /// The default attribute value of the entity (see
+    /// [`EntityType::default_attr`]). Always present.
+    pub fn default_attr_value(&self) -> AttrValue {
+        self.attr(self.entity_type().default_attr())
+            .expect("default attribute is always defined")
+    }
+}
+
+impl fmt::Display for Entity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Entity::Process(p) => write!(f, "proc({}, pid={})", p.exe_name, p.pid),
+            Entity::File(x) => write!(f, "file({})", x.name),
+            Entity::Network(n) => write!(
+                f,
+                "ip({}:{} -> {}:{}/{})",
+                n.src_ip, n.src_port, n.dst_ip, n.dst_port, n.protocol
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_attrs_match_paper_shortcuts() {
+        assert_eq!(EntityType::Process.default_attr(), "exe_name");
+        assert_eq!(EntityType::File.default_attr(), "name");
+        assert_eq!(EntityType::Network.default_attr(), "dstip");
+    }
+
+    #[test]
+    fn process_attr_resolution() {
+        let p = ProcessInfo::new(42, "cmd.exe", "alice");
+        assert_eq!(p.attr("pid"), Some(AttrValue::Int(42)));
+        assert_eq!(p.attr("exe_name"), Some(AttrValue::str("cmd.exe")));
+        assert_eq!(p.attr("user"), Some(AttrValue::str("alice")));
+        assert_eq!(p.attr("bogus"), None);
+    }
+
+    #[test]
+    fn network_attr_resolution() {
+        let n = NetworkInfo::new("10.0.0.1", 55000, "10.0.0.129", 443, "tcp");
+        assert_eq!(n.attr("dstip"), Some(AttrValue::str("10.0.0.129")));
+        assert_eq!(n.attr("dstport"), Some(AttrValue::Int(443)));
+        assert_eq!(n.attr("srcport"), Some(AttrValue::Int(55000)));
+        assert_eq!(n.attr("proto"), Some(AttrValue::str("tcp")));
+    }
+
+    #[test]
+    fn entity_default_attr_value() {
+        let e = Entity::File(FileInfo::new("/tmp/backup1.dmp"));
+        assert_eq!(e.default_attr_value(), AttrValue::str("/tmp/backup1.dmp"));
+        let e = Entity::Network(NetworkInfo::new("a", 1, "b", 2, "tcp"));
+        assert_eq!(e.default_attr_value(), AttrValue::str("b"));
+    }
+
+    #[test]
+    fn keyword_roundtrip() {
+        for t in [EntityType::Process, EntityType::File, EntityType::Network] {
+            assert_eq!(EntityType::from_keyword(t.keyword()), Some(t));
+        }
+        assert_eq!(EntityType::from_keyword("widget"), None);
+    }
+}

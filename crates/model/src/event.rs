@@ -1,0 +1,342 @@
+//! System events: ⟨subject, operation, object⟩ (SVO) records.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::attr::AttrValue;
+use crate::entity::{Entity, EntityType, ProcessInfo};
+use crate::time::Timestamp;
+
+/// Globally unique, monotonically increasing event id assigned by the
+/// collection layer.
+pub type EventId = u64;
+
+/// The operation of an SVO event.
+///
+/// Events are categorized into three families by their object: *process
+/// events* (`start`, `end`, `execute`), *file events* (`read`, `write`,
+/// `delete`, `rename`), and *network events* (`read`/`write` on a connection,
+/// plus `connect`/`accept` for the handshake itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Operation {
+    /// Subject spawns the object process.
+    Start,
+    /// Subject terminates the object process.
+    End,
+    /// Subject loads/executes the object (file as program image).
+    Execute,
+    /// Subject reads from the object (file contents or inbound network data).
+    Read,
+    /// Subject writes to the object (file contents or outbound network data).
+    Write,
+    /// Subject deletes the object file.
+    Delete,
+    /// Subject renames the object file.
+    Rename,
+    /// Subject initiates the object connection.
+    Connect,
+    /// Subject accepts the object connection.
+    Accept,
+}
+
+impl Operation {
+    /// All operations, in a stable order (used by the codec and by tests).
+    pub const ALL: [Operation; 9] = [
+        Operation::Start,
+        Operation::End,
+        Operation::Execute,
+        Operation::Read,
+        Operation::Write,
+        Operation::Delete,
+        Operation::Rename,
+        Operation::Connect,
+        Operation::Accept,
+    ];
+
+    /// SAQL keyword for the operation.
+    pub fn keyword(&self) -> &'static str {
+        match self {
+            Operation::Start => "start",
+            Operation::End => "end",
+            Operation::Execute => "execute",
+            Operation::Read => "read",
+            Operation::Write => "write",
+            Operation::Delete => "delete",
+            Operation::Rename => "rename",
+            Operation::Connect => "connect",
+            Operation::Accept => "accept",
+        }
+    }
+
+    /// Parse a SAQL operation keyword.
+    pub fn from_keyword(kw: &str) -> Option<Self> {
+        Operation::ALL.iter().copied().find(|op| op.keyword() == kw)
+    }
+
+    /// Whether this operation is legal for the given object entity type.
+    /// The collector and the semantic checker both enforce this.
+    pub fn valid_for(&self, object: EntityType) -> bool {
+        match object {
+            EntityType::Process => {
+                matches!(self, Operation::Start | Operation::End | Operation::Execute)
+            }
+            EntityType::File => matches!(
+                self,
+                Operation::Read
+                    | Operation::Write
+                    | Operation::Delete
+                    | Operation::Rename
+                    | Operation::Execute
+            ),
+            EntityType::Network => matches!(
+                self,
+                Operation::Read | Operation::Write | Operation::Connect | Operation::Accept
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Operation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.keyword())
+    }
+}
+
+/// A system event in SVO form, as collected from a monitoring agent.
+///
+/// Events are immutable once produced; the stream layer passes them around as
+/// `Arc<Event>` so that concurrent queries sharing a stream (the
+/// master–dependent-query scheme) never copy event payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Unique id assigned at collection time (monotone per stream).
+    pub id: EventId,
+    /// Host that produced the event (the paper's `agentid`).
+    pub agent_id: Arc<str>,
+    /// Event time in milliseconds since the epoch of the trace.
+    pub ts: Timestamp,
+    /// The acting process.
+    pub subject: ProcessInfo,
+    /// What the subject did.
+    pub op: Operation,
+    /// The entity acted upon.
+    pub object: Entity,
+    /// Data amount in bytes (network send/recv and file I/O sizes); zero for
+    /// events without a data payload (process start etc.).
+    pub amount: u64,
+}
+
+impl Event {
+    /// Resolve an *event-level* attribute (`evt.amount`, `evt.agentid`,
+    /// `evt.ts`, `evt.op`, `evt.id`).
+    pub fn attr(&self, name: &str) -> Option<AttrValue> {
+        match name {
+            "amount" => Some(AttrValue::Int(self.amount as i64)),
+            "agentid" | "agent_id" | "host" => Some(AttrValue::Str(self.agent_id.clone())),
+            "ts" | "time" | "starttime" => Some(AttrValue::Int(self.ts.as_millis() as i64)),
+            "op" | "operation" => Some(AttrValue::str(self.op.keyword())),
+            "id" => Some(AttrValue::Int(self.id as i64)),
+            _ => None,
+        }
+    }
+
+    /// The event family by object type: `file`, `process` or `network`.
+    pub fn family(&self) -> EntityType {
+        self.object.entity_type()
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} @{}ms {}] proc({}, pid={}) {} {}",
+            self.id,
+            self.ts.as_millis(),
+            self.agent_id,
+            self.subject.exe_name,
+            self.subject.pid,
+            self.op,
+            self.object
+        )?;
+        if self.amount > 0 {
+            write!(f, " amount={}", self.amount)?;
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Event`], used by tests, examples and the collector.
+///
+/// ```
+/// use saql_model::event::EventBuilder;
+/// use saql_model::{Operation, ProcessInfo};
+///
+/// let evt = EventBuilder::new(1, "host-1", 1_000)
+///     .subject(ProcessInfo::new(100, "cmd.exe", "alice"))
+///     .starts_process(ProcessInfo::new(101, "osql.exe", "alice"))
+///     .build();
+/// assert_eq!(evt.op, Operation::Start);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventBuilder {
+    id: EventId,
+    agent_id: Arc<str>,
+    ts: Timestamp,
+    subject: Option<ProcessInfo>,
+    op: Option<Operation>,
+    object: Option<Entity>,
+    amount: u64,
+}
+
+impl EventBuilder {
+    /// Start building an event with the mandatory spatial/temporal tags.
+    pub fn new(id: EventId, agent_id: impl AsRef<str>, ts_millis: u64) -> Self {
+        EventBuilder {
+            id,
+            agent_id: Arc::from(agent_id.as_ref()),
+            ts: Timestamp::from_millis(ts_millis),
+            subject: None,
+            op: None,
+            object: None,
+            amount: 0,
+        }
+    }
+
+    /// Set the acting process.
+    pub fn subject(mut self, p: ProcessInfo) -> Self {
+        self.subject = Some(p);
+        self
+    }
+
+    /// Set operation and object explicitly.
+    pub fn action(mut self, op: Operation, object: Entity) -> Self {
+        self.op = Some(op);
+        self.object = Some(object);
+        self
+    }
+
+    /// Shortcut: the subject starts a child process.
+    pub fn starts_process(self, child: ProcessInfo) -> Self {
+        self.action(Operation::Start, Entity::Process(child))
+    }
+
+    /// Shortcut: the subject reads a file.
+    pub fn reads_file(self, file: crate::entity::FileInfo) -> Self {
+        self.action(Operation::Read, Entity::File(file))
+    }
+
+    /// Shortcut: the subject writes a file.
+    pub fn writes_file(self, file: crate::entity::FileInfo) -> Self {
+        self.action(Operation::Write, Entity::File(file))
+    }
+
+    /// Shortcut: the subject sends data over a connection.
+    pub fn sends(self, conn: crate::entity::NetworkInfo) -> Self {
+        self.action(Operation::Write, Entity::Network(conn))
+    }
+
+    /// Shortcut: the subject receives data over a connection.
+    pub fn receives(self, conn: crate::entity::NetworkInfo) -> Self {
+        self.action(Operation::Read, Entity::Network(conn))
+    }
+
+    /// Set the data amount in bytes.
+    pub fn amount(mut self, bytes: u64) -> Self {
+        self.amount = bytes;
+        self
+    }
+
+    /// Finish the event.
+    ///
+    /// # Panics
+    /// Panics if subject, operation, or object is missing, or if the
+    /// operation is invalid for the object type — builders are only used by
+    /// code we control (tests/collector), so malformed construction is a bug.
+    pub fn build(self) -> Event {
+        let subject = self.subject.expect("event subject not set");
+        let op = self.op.expect("event operation not set");
+        let object = self.object.expect("event object not set");
+        assert!(
+            op.valid_for(object.entity_type()),
+            "operation {op} is invalid for {} objects",
+            object.entity_type()
+        );
+        Event {
+            id: self.id,
+            agent_id: self.agent_id,
+            ts: self.ts,
+            subject,
+            op,
+            object,
+            amount: self.amount,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::entity::{FileInfo, NetworkInfo};
+
+    fn sample() -> Event {
+        EventBuilder::new(7, "db-server", 123_456)
+            .subject(ProcessInfo::new(501, "sqlservr.exe", "svc-sql"))
+            .writes_file(FileInfo::new("backup1.dmp"))
+            .amount(1 << 20)
+            .build()
+    }
+
+    #[test]
+    fn event_attr_resolution() {
+        let e = sample();
+        assert_eq!(e.attr("amount"), Some(AttrValue::Int(1 << 20)));
+        assert_eq!(e.attr("agentid"), Some(AttrValue::str("db-server")));
+        assert_eq!(e.attr("ts"), Some(AttrValue::Int(123_456)));
+        assert_eq!(e.attr("op"), Some(AttrValue::str("write")));
+        assert_eq!(e.attr("nope"), None);
+    }
+
+    #[test]
+    fn event_family_is_object_type() {
+        assert_eq!(sample().family(), EntityType::File);
+    }
+
+    #[test]
+    fn operation_keyword_roundtrip() {
+        for op in Operation::ALL {
+            assert_eq!(Operation::from_keyword(op.keyword()), Some(op));
+        }
+        assert_eq!(Operation::from_keyword("levitate"), None);
+    }
+
+    #[test]
+    fn operation_validity_matrix() {
+        assert!(Operation::Start.valid_for(EntityType::Process));
+        assert!(!Operation::Start.valid_for(EntityType::File));
+        assert!(Operation::Read.valid_for(EntityType::Network));
+        assert!(!Operation::Delete.valid_for(EntityType::Network));
+        assert!(Operation::Execute.valid_for(EntityType::File));
+        assert!(!Operation::Connect.valid_for(EntityType::Process));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid for")]
+    fn builder_rejects_invalid_op_object_combo() {
+        EventBuilder::new(1, "h", 0)
+            .subject(ProcessInfo::new(1, "a", "u"))
+            .action(Operation::Delete, Entity::Network(NetworkInfo::new("a", 1, "b", 2, "tcp")))
+            .build();
+    }
+
+    #[test]
+    fn display_includes_amount_only_when_nonzero() {
+        let shown = sample().to_string();
+        assert!(shown.contains("amount=1048576"), "{shown}");
+        let e = EventBuilder::new(1, "h", 0)
+            .subject(ProcessInfo::new(1, "cmd.exe", "u"))
+            .starts_process(ProcessInfo::new(2, "osql.exe", "u"))
+            .build();
+        assert!(!e.to_string().contains("amount"), "{e}");
+    }
+}

@@ -1,0 +1,120 @@
+//! SQL-`LIKE` style wildcard matching for SAQL attribute patterns.
+//!
+//! SAQL entity declarations constrain attributes with patterns such as
+//! `proc p1["%cmd.exe"]`, where `%` matches any (possibly empty) substring
+//! and `_` matches exactly one character. Matching is case-insensitive for
+//! ASCII, mirroring Windows path semantics in the paper's queries
+//! (`%osql.exe` must match `C:\...\OSQL.EXE`).
+
+/// Returns `true` if `text` matches the `LIKE`-style `pattern`.
+///
+/// * `%` — any run of characters (including empty);
+/// * `_` — exactly one character;
+/// * everything else matches itself, ASCII case-insensitively.
+///
+/// The implementation is the classic two-pointer algorithm with backtracking
+/// to the most recent `%`; it runs in O(|text| · |pattern|) worst case and
+/// O(|text|) for patterns with a single `%`, and allocates nothing.
+pub fn like_match(pattern: &str, text: &str) -> bool {
+    let p: Vec<char> = pattern.chars().collect();
+    let t: Vec<char> = text.chars().collect();
+
+    let (mut pi, mut ti) = (0usize, 0usize);
+    // Position of the last `%` seen in the pattern, and the text position the
+    // star is currently assumed to cover up to.
+    let mut star: Option<usize> = None;
+    let mut star_ti = 0usize;
+
+    while ti < t.len() {
+        if pi < p.len() && (p[pi] == '_' || eq_ci(p[pi], t[ti])) {
+            pi += 1;
+            ti += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = Some(pi);
+            star_ti = ti;
+            pi += 1;
+        } else if let Some(sp) = star {
+            // Grow the region the star covers by one character and retry.
+            pi = sp + 1;
+            star_ti += 1;
+            ti = star_ti;
+        } else {
+            return false;
+        }
+    }
+    // Remaining pattern must be all `%`.
+    p[pi..].iter().all(|&c| c == '%')
+}
+
+#[inline]
+fn eq_ci(a: char, b: char) -> bool {
+    a == b || a.eq_ignore_ascii_case(&b)
+}
+
+/// Returns `true` if the pattern contains no wildcard characters, i.e. it is
+/// an exact (case-insensitive) string constraint. The query compiler uses
+/// this to pick a cheaper comparison.
+pub fn is_exact(pattern: &str) -> bool {
+    !pattern.contains(['%', '_'])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_match_case_insensitive() {
+        assert!(like_match("cmd.exe", "cmd.exe"));
+        assert!(like_match("cmd.exe", "CMD.EXE"));
+        assert!(!like_match("cmd.exe", "cmd.ex"));
+    }
+
+    #[test]
+    fn leading_percent_matches_path_prefix() {
+        assert!(like_match("%cmd.exe", r"C:\Windows\System32\cmd.exe"));
+        assert!(like_match("%osql.exe", "OSQL.EXE"));
+        assert!(!like_match("%cmd.exe", r"C:\Windows\cmd.exe.bak"));
+    }
+
+    #[test]
+    fn trailing_and_inner_percent() {
+        assert!(like_match("backup%", "backup1.dmp"));
+        assert!(like_match("%backup%.dmp", "db-backup1.dmp"));
+        assert!(like_match("a%b%c", "aXXbYYc"));
+        assert!(!like_match("a%b%c", "aXXcYYb"));
+    }
+
+    #[test]
+    fn underscore_matches_single_char() {
+        assert!(like_match("backup_.dmp", "backup1.dmp"));
+        assert!(!like_match("backup_.dmp", "backup12.dmp"));
+        assert!(!like_match("backup_.dmp", "backup.dmp"));
+    }
+
+    #[test]
+    fn percent_matches_empty() {
+        assert!(like_match("%", ""));
+        assert!(like_match("%%", "abc"));
+        assert!(like_match("a%", "a"));
+    }
+
+    #[test]
+    fn empty_pattern_only_matches_empty_text() {
+        assert!(like_match("", ""));
+        assert!(!like_match("", "x"));
+    }
+
+    #[test]
+    fn backtracking_stress() {
+        // Pattern that forces the star to re-cover repeatedly.
+        assert!(like_match("%a%a%a%", "bbabbabba"));
+        assert!(!like_match("%a%a%a%a%", "bbabbabba"));
+    }
+
+    #[test]
+    fn exactness_detection() {
+        assert!(is_exact("cmd.exe"));
+        assert!(!is_exact("%cmd.exe"));
+        assert!(!is_exact("cmd_exe"));
+    }
+}

@@ -1,0 +1,112 @@
+//! String interner.
+//!
+//! System monitoring streams are dominated by a small vocabulary of strings —
+//! executable names, host ids, file-path prefixes. The collector interns these
+//! so every event shares one `Arc<str>` per distinct string instead of
+//! carrying its own allocation, which both shrinks resident memory and makes
+//! equality checks in the matcher pointer-comparison-fast in the common case.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// An interned string handle: a dense index into the interner's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(pub u32);
+
+/// A string interner mapping strings to dense [`Symbol`]s and shared
+/// `Arc<str>` values.
+///
+/// Not internally synchronized: each producer thread owns its interner (the
+/// collector creates one per agent), or callers wrap it in a lock.
+#[derive(Debug, Default)]
+pub struct Interner {
+    map: HashMap<Arc<str>, Symbol>,
+    strings: Vec<Arc<str>>,
+}
+
+impl Interner {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern a string, returning its symbol. Idempotent.
+    pub fn intern(&mut self, s: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(s) {
+            return sym;
+        }
+        let arc: Arc<str> = Arc::from(s);
+        let sym = Symbol(self.strings.len() as u32);
+        self.strings.push(arc.clone());
+        self.map.insert(arc, sym);
+        sym
+    }
+
+    /// Intern and return the shared `Arc<str>` (what event fields store).
+    pub fn get_or_intern_arc(&mut self, s: &str) -> Arc<str> {
+        let sym = self.intern(s);
+        self.strings[sym.0 as usize].clone()
+    }
+
+    /// Resolve a symbol back to its string.
+    pub fn resolve(&self, sym: Symbol) -> Option<&str> {
+        self.strings.get(sym.0 as usize).map(|a| a.as_ref())
+    }
+
+    /// Look up a string without interning it.
+    pub fn lookup(&self, s: &str) -> Option<Symbol> {
+        self.map.get(s).copied()
+    }
+
+    /// Number of distinct interned strings.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("cmd.exe");
+        let b = i.intern("cmd.exe");
+        assert_eq!(a, b);
+        assert_eq!(i.len(), 1);
+    }
+
+    #[test]
+    fn symbols_are_dense_and_resolvable() {
+        let mut i = Interner::new();
+        let a = i.intern("a");
+        let b = i.intern("b");
+        assert_eq!(a, Symbol(0));
+        assert_eq!(b, Symbol(1));
+        assert_eq!(i.resolve(a), Some("a"));
+        assert_eq!(i.resolve(b), Some("b"));
+        assert_eq!(i.resolve(Symbol(99)), None);
+    }
+
+    #[test]
+    fn arc_is_shared() {
+        let mut i = Interner::new();
+        let x = i.get_or_intern_arc("host-1");
+        let y = i.get_or_intern_arc("host-1");
+        assert!(Arc::ptr_eq(&x, &y));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut i = Interner::new();
+        assert_eq!(i.lookup("ghost"), None);
+        assert!(i.is_empty());
+        i.intern("ghost");
+        assert_eq!(i.lookup("ghost"), Some(Symbol(0)));
+    }
+}

@@ -1,0 +1,142 @@
+//! Bounded event channels.
+//!
+//! Agents (or the replayer) publish events; the engine consumes them. The
+//! channel carries `Arc<Event>` — the master–dependent-query scheme depends
+//! on every consumer observing the *same allocation*, so cloning a stream
+//! item never copies event payloads.
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+
+use crate::SharedEvent;
+
+/// Producer half of an event channel.
+#[derive(Debug, Clone)]
+pub struct EventSender {
+    tx: Sender<SharedEvent>,
+}
+
+/// Consumer half of an event channel. Iterate to drain until all senders
+/// drop.
+#[derive(Debug, Clone)]
+pub struct EventReceiver {
+    rx: Receiver<SharedEvent>,
+}
+
+/// Create a bounded event channel with room for `capacity` in-flight events.
+pub fn event_channel(capacity: usize) -> (EventSender, EventReceiver) {
+    let (tx, rx) = bounded(capacity);
+    (EventSender { tx }, EventReceiver { rx })
+}
+
+impl EventSender {
+    /// Blocking send; returns `false` if all receivers are gone.
+    pub fn send(&self, event: SharedEvent) -> bool {
+        self.tx.send(event).is_ok()
+    }
+
+    /// Non-blocking send; returns the event back if the channel is full or
+    /// disconnected.
+    pub fn try_send(&self, event: SharedEvent) -> Result<(), SharedEvent> {
+        self.tx.try_send(event).map_err(|e| match e {
+            TrySendError::Full(ev) | TrySendError::Disconnected(ev) => ev,
+        })
+    }
+}
+
+impl EventReceiver {
+    /// Blocking receive; `None` when the stream has ended.
+    pub fn recv(&self) -> Option<SharedEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Receive with a timeout; `Ok(None)` when the stream ended, `Err(())`
+    /// on timeout.
+    #[allow(clippy::result_unit_err)] // timeout carries no information
+    pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<Option<SharedEvent>, ()> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(RecvTimeoutError::Disconnected) => Ok(None),
+            Err(RecvTimeoutError::Timeout) => Err(()),
+        }
+    }
+
+    /// Number of events currently buffered.
+    pub fn backlog(&self) -> usize {
+        self.rx.len()
+    }
+}
+
+impl IntoIterator for EventReceiver {
+    type Item = SharedEvent;
+    type IntoIter = crossbeam::channel::IntoIter<SharedEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.rx.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::ProcessInfo;
+    use std::sync::Arc;
+
+    fn ev(id: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", id * 10)
+                .subject(ProcessInfo::new(1, "a.exe", "u"))
+                .starts_process(ProcessInfo::new(2, "b.exe", "u"))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn send_receive_in_order() {
+        let (tx, rx) = event_channel(8);
+        for i in 0..5 {
+            assert!(tx.send(ev(i)));
+        }
+        drop(tx);
+        let ids: Vec<u64> = rx.into_iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn try_send_reports_full() {
+        let (tx, _rx) = event_channel(1);
+        assert!(tx.try_send(ev(1)).is_ok());
+        assert!(tx.try_send(ev(2)).is_err());
+    }
+
+    #[test]
+    fn recv_none_after_all_senders_drop() {
+        let (tx, rx) = event_channel(4);
+        let tx2 = tx.clone();
+        tx.send(ev(1));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv().map(|e| e.id), Some(1));
+        assert!(rx.recv().is_none());
+    }
+
+    #[test]
+    fn cross_thread_transfer_shares_allocation() {
+        let (tx, rx) = event_channel(4);
+        let event = ev(9);
+        let clone = event.clone();
+        std::thread::spawn(move || tx.send(event)).join().unwrap();
+        let got = rx.recv().unwrap();
+        assert!(Arc::ptr_eq(&got, &clone));
+    }
+
+    #[test]
+    fn backlog_counts_buffered() {
+        let (tx, rx) = event_channel(8);
+        tx.send(ev(1));
+        tx.send(ev(2));
+        assert_eq!(rx.backlog(), 2);
+        rx.recv();
+        assert_eq!(rx.backlog(), 1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # saql-stream
+//!
+//! Stream infrastructure for SAQL: the *system event stream* the paper's
+//! architecture (Fig. 1) feeds into the anomaly query engine.
+//!
+//! * [`channel`] — bounded multi-producer event channels (crossbeam-backed)
+//!   carrying `Arc<Event>` so concurrent queries share payloads;
+//! * [`merge`] — k-way, timestamp-ordered merging of per-host agent feeds
+//!   into the single enterprise-wide stream;
+//! * [`store`] — a file-backed event store (the databases behind the demo's
+//!   replayer), using the compact binary codec from `saql-model`;
+//! * [`replayer`] — the stream replayer (paper Fig. 4): select hosts and a
+//!   time range, then replay stored data as a stream at a configurable
+//!   speed.
+
+pub mod channel;
+pub mod merge;
+pub mod replayer;
+pub mod segment;
+pub mod store;
+
+use std::sync::Arc;
+
+use saql_model::Event;
+
+/// The unit flowing through every SAQL stream: shared, immutable events.
+pub type SharedEvent = Arc<Event>;
+
+/// Wrap raw events into shared stream items.
+pub fn share(events: impl IntoIterator<Item = Event>) -> Vec<SharedEvent> {
+    events.into_iter().map(Arc::new).collect()
+}

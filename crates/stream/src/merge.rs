@@ -1,0 +1,131 @@
+//! K-way timestamp-ordered merge of per-host event feeds.
+//!
+//! Each data-collection agent emits events in local timestamp order; the
+//! central server aggregates them into one enterprise-wide stream ordered by
+//! event time (ties broken by event id, then input index, making the merge
+//! deterministic).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SharedEvent;
+
+struct HeapEntry {
+    event: SharedEvent,
+    source: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse: BinaryHeap is a max-heap, we want the earliest first.
+        (other.event.ts, other.event.id, other.source)
+            .cmp(&(self.event.ts, self.event.id, self.source))
+    }
+}
+
+/// Merge per-source event iterators (each already sorted by timestamp) into
+/// one globally ordered iterator.
+pub struct MergedStream<I: Iterator<Item = SharedEvent>> {
+    sources: Vec<I>,
+    heap: BinaryHeap<HeapEntry>,
+}
+
+impl<I: Iterator<Item = SharedEvent>> MergedStream<I> {
+    pub fn new(mut sources: Vec<I>) -> Self {
+        let mut heap = BinaryHeap::with_capacity(sources.len());
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some(event) = src.next() {
+                heap.push(HeapEntry { event, source: i });
+            }
+        }
+        MergedStream { sources, heap }
+    }
+}
+
+impl<I: Iterator<Item = SharedEvent>> Iterator for MergedStream<I> {
+    type Item = SharedEvent;
+
+    fn next(&mut self) -> Option<SharedEvent> {
+        let HeapEntry { event, source } = self.heap.pop()?;
+        if let Some(next) = self.sources[source].next() {
+            self.heap.push(HeapEntry { event: next, source });
+        }
+        Some(event)
+    }
+}
+
+/// Convenience: merge vectors of shared events.
+pub fn merge_feeds(feeds: Vec<Vec<SharedEvent>>) -> impl Iterator<Item = SharedEvent> {
+    MergedStream::new(feeds.into_iter().map(|f| f.into_iter()).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::ProcessInfo;
+    use std::sync::Arc;
+
+    fn ev(id: u64, host: &str, ts: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, host, ts)
+                .subject(ProcessInfo::new(1, "a.exe", "u"))
+                .starts_process(ProcessInfo::new(2, "b.exe", "u"))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn merges_in_timestamp_order() {
+        let a = vec![ev(1, "h1", 10), ev(3, "h1", 30), ev(5, "h1", 50)];
+        let b = vec![ev(2, "h2", 20), ev(4, "h2", 40)];
+        let ts: Vec<u64> = merge_feeds(vec![a, b]).map(|e| e.ts.as_millis()).collect();
+        assert_eq!(ts, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn tie_break_by_event_id_is_deterministic() {
+        let a = vec![ev(2, "h1", 100)];
+        let b = vec![ev(1, "h2", 100)];
+        let ids: Vec<u64> = merge_feeds(vec![a.clone(), b.clone()]).map(|e| e.id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        let ids_swapped: Vec<u64> = merge_feeds(vec![b, a]).map(|e| e.id).collect();
+        assert_eq!(ids_swapped, vec![1, 2]);
+    }
+
+    #[test]
+    fn empty_and_uneven_feeds() {
+        let feeds = vec![vec![], vec![ev(1, "h", 5)], vec![]];
+        let ids: Vec<u64> = merge_feeds(feeds).map(|e| e.id).collect();
+        assert_eq!(ids, vec![1]);
+        assert_eq!(merge_feeds(vec![]).count(), 0);
+    }
+
+    #[test]
+    fn large_merge_is_fully_ordered() {
+        let feeds: Vec<Vec<SharedEvent>> = (0..8)
+            .map(|s| {
+                (0..100)
+                    .map(|i| ev(s * 1000 + i, "h", s * 7 + i * 13))
+                    .collect()
+            })
+            .collect();
+        let merged: Vec<u64> = merge_feeds(feeds).map(|e| e.ts.as_millis()).collect();
+        assert_eq!(merged.len(), 800);
+        assert!(merged.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

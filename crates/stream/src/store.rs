@@ -1,0 +1,280 @@
+//! File-backed event store.
+//!
+//! The demo stores collected monitoring data "in databases" so the stream
+//! replayer can re-create the attack stream on demand. This store is the
+//! functional equivalent: an append-only file of codec-encoded records plus
+//! query helpers for host/time-range selection.
+//!
+//! Layout: a fixed 8-byte header (`SAQLSTO1`) followed by back-to-back
+//! records in `saql_model::codec` format.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+
+use bytes::{Bytes, BytesMut};
+use saql_model::codec::{self, DecodeError};
+use saql_model::{Event, Timestamp};
+
+const MAGIC: &[u8; 8] = b"SAQLSTO1";
+
+/// Errors from store operations.
+#[derive(Debug)]
+pub enum StoreError {
+    Io(io::Error),
+    /// File did not begin with the store magic.
+    BadMagic,
+    Decode(DecodeError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O error: {e}"),
+            StoreError::BadMagic => write!(f, "not a SAQL event store (bad magic)"),
+            StoreError::Decode(e) => write!(f, "corrupt store record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<DecodeError> for StoreError {
+    fn from(e: DecodeError) -> Self {
+        StoreError::Decode(e)
+    }
+}
+
+/// An append-only, file-backed event store.
+#[derive(Debug)]
+pub struct EventStore {
+    path: PathBuf,
+}
+
+/// Host/time selection for reads (the replayer UI's knobs).
+#[derive(Debug, Clone, Default)]
+pub struct Selection {
+    /// Keep only events from these hosts; empty = all hosts.
+    pub hosts: Vec<String>,
+    /// Inclusive lower bound on event time.
+    pub from: Option<Timestamp>,
+    /// Exclusive upper bound on event time.
+    pub until: Option<Timestamp>,
+}
+
+impl Selection {
+    /// Select everything.
+    pub fn all() -> Self {
+        Selection::default()
+    }
+
+    /// Restrict to one host.
+    pub fn host(host: impl Into<String>) -> Self {
+        Selection { hosts: vec![host.into()], ..Selection::default() }
+    }
+
+    /// Restrict the time range `[from, until)`.
+    pub fn between(mut self, from: Timestamp, until: Timestamp) -> Self {
+        self.from = Some(from);
+        self.until = Some(until);
+        self
+    }
+
+    /// Whether an event passes the selection.
+    pub fn matches(&self, event: &Event) -> bool {
+        if !self.hosts.is_empty() && !self.hosts.iter().any(|h| **h == *event.agent_id) {
+            return false;
+        }
+        if let Some(from) = self.from {
+            if event.ts < from {
+                return false;
+            }
+        }
+        if let Some(until) = self.until {
+            if event.ts >= until {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl EventStore {
+    /// Create a new store file (truncating any existing one).
+    pub fn create(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = File::create(&path)?;
+        f.write_all(MAGIC)?;
+        Ok(EventStore { path })
+    }
+
+    /// Open an existing store, validating the header.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut f = File::open(&path)?;
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic).map_err(|_| StoreError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        Ok(EventStore { path })
+    }
+
+    /// Append a batch of events.
+    pub fn append(&self, events: &[Event]) -> Result<(), StoreError> {
+        let mut f = OpenOptions::new().append(true).open(&self.path)?;
+        let mut buf = BytesMut::with_capacity(events.len() * 96);
+        for e in events {
+            codec::encode_event(&mut buf, e);
+        }
+        f.write_all(&buf)?;
+        Ok(())
+    }
+
+    /// Read every stored event matching `selection`, in stored order.
+    pub fn read(&self, selection: &Selection) -> Result<Vec<Event>, StoreError> {
+        let mut f = File::open(&self.path)?;
+        let mut raw = Vec::new();
+        f.read_to_end(&mut raw)?;
+        if raw.len() < MAGIC.len() || &raw[..MAGIC.len()] != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        let mut data = Bytes::from(raw).slice(MAGIC.len()..);
+        let mut out = Vec::new();
+        while !data.is_empty() {
+            let event = codec::decode_event(&mut data)?;
+            if selection.matches(&event) {
+                out.push(event);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Total number of stored events (full scan).
+    pub fn len(&self) -> Result<usize, StoreError> {
+        Ok(self.read(&Selection::all())?.len())
+    }
+
+    /// Whether the store holds no events.
+    pub fn is_empty(&self) -> Result<bool, StoreError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Distinct host ids present in the store, sorted.
+    pub fn hosts(&self) -> Result<Vec<String>, StoreError> {
+        let mut hosts: Vec<String> = self
+            .read(&Selection::all())?
+            .iter()
+            .map(|e| e.agent_id.to_string())
+            .collect();
+        hosts.sort();
+        hosts.dedup();
+        Ok(hosts)
+    }
+
+    /// Path of the backing file.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::ProcessInfo;
+
+    fn ev(id: u64, host: &str, ts: u64) -> Event {
+        EventBuilder::new(id, host, ts)
+            .subject(ProcessInfo::new(1, "a.exe", "u"))
+            .starts_process(ProcessInfo::new(2, "b.exe", "u"))
+            .build()
+    }
+
+    fn tmp(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("saql-store-test-{}-{name}.bin", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_append_read() {
+        let path = tmp("roundtrip");
+        let store = EventStore::create(&path).unwrap();
+        let events = vec![ev(1, "h1", 10), ev(2, "h2", 20), ev(3, "h1", 30)];
+        store.append(&events).unwrap();
+        let back = store.read(&Selection::all()).unwrap();
+        assert_eq!(back, events);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn selection_by_host_and_time() {
+        let path = tmp("selection");
+        let store = EventStore::create(&path).unwrap();
+        store
+            .append(&[ev(1, "h1", 10), ev(2, "h2", 20), ev(3, "h1", 30), ev(4, "h1", 40)])
+            .unwrap();
+        let h1 = store.read(&Selection::host("h1")).unwrap();
+        assert_eq!(h1.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 3, 4]);
+        let sel = Selection::host("h1")
+            .between(Timestamp::from_millis(20), Timestamp::from_millis(40));
+        let ranged = store.read(&sel).unwrap();
+        assert_eq!(ranged.iter().map(|e| e.id).collect::<Vec<_>>(), vec![3]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn multiple_appends_accumulate() {
+        let path = tmp("appends");
+        let store = EventStore::create(&path).unwrap();
+        store.append(&[ev(1, "h", 1)]).unwrap();
+        store.append(&[ev(2, "h", 2)]).unwrap();
+        assert_eq!(store.len().unwrap(), 2);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn reopen_preserves_data() {
+        let path = tmp("reopen");
+        {
+            let store = EventStore::create(&path).unwrap();
+            store.append(&[ev(7, "h", 70)]).unwrap();
+        }
+        let store = EventStore::open(&path).unwrap();
+        assert_eq!(store.read(&Selection::all()).unwrap()[0].id, 7);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn hosts_listing() {
+        let path = tmp("hosts");
+        let store = EventStore::create(&path).unwrap();
+        store.append(&[ev(1, "zeta", 1), ev(2, "alpha", 2), ev(3, "zeta", 3)]).unwrap();
+        assert_eq!(store.hosts().unwrap(), vec!["alpha".to_string(), "zeta".to_string()]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOTASTORE").unwrap();
+        assert!(matches!(EventStore::open(&path), Err(StoreError::BadMagic)));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_store() {
+        let path = tmp("empty");
+        let store = EventStore::create(&path).unwrap();
+        assert!(store.is_empty().unwrap());
+        assert!(store.hosts().unwrap().is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+}

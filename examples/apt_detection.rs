@@ -1,0 +1,82 @@
+//! The complete demonstration scenario of the paper (§III): simulate an
+//! enterprise, perform the 5-step APT attack, and detect every step in real
+//! time with the 8 demo SAQL queries.
+//!
+//! ```sh
+//! cargo run --example apt_detection
+//! ```
+
+use std::collections::BTreeMap;
+
+use saql::collector::{AttackConfig, SimConfig, Simulator};
+use saql::SaqlSystem;
+
+fn main() {
+    println!("=== SAQL demo: APT attack detection ===\n");
+
+    // 1. Simulate the enterprise of Fig. 2: 8 Windows clients, mail server,
+    //    DB server, web server, domain controller — one hour of monitoring
+    //    data with the attack injected at the 35-minute mark.
+    let config = SimConfig {
+        seed: 2020,
+        clients: 8,
+        duration_ms: 60 * 60_000,
+        attack: Some(AttackConfig::default()),
+    };
+    let trace = Simulator::generate(&config);
+    println!(
+        "simulated {} events across {} hosts ({} attack events)",
+        trace.events.len(),
+        trace.topology.hosts.len(),
+        trace.attack_ids.iter().map(|(_, ids)| ids.len()).sum::<usize>(),
+    );
+    for (step, first, last) in &trace.attack_spans {
+        println!("  {}: {:>7} .. {:>7}", step.label(), first, last);
+    }
+
+    // 2. Deploy the 8 demo queries (5 rule-based + invariant + SMA +
+    //    DBSCAN outlier).
+    let mut system = SaqlSystem::new();
+    system.deploy_demo_queries().expect("demo queries compile");
+    println!(
+        "\ndeployed {} queries in {} scheduler group(s)",
+        saql::corpus::DEMO_QUERIES.len(),
+        system.engine().group_count()
+    );
+
+    // 3. Stream the trace through the engine and collect alerts.
+    let alerts = system.run_events(trace.shared());
+
+    let mut by_query: BTreeMap<&str, Vec<&saql::Alert>> = BTreeMap::new();
+    for a in &alerts {
+        by_query.entry(a.query.as_str()).or_default().push(a);
+    }
+
+    println!("\n--- detections ---");
+    for (query, hits) in &by_query {
+        println!("{query}: {} alert(s)", hits.len());
+        if let Some(first) = hits.first() {
+            println!("    e.g. {first}");
+        }
+    }
+
+    // 4. Scorecard: every attack step must be caught.
+    println!("\n--- scorecard ---");
+    let mut all_detected = true;
+    for (step_query, label) in [
+        ("c1-initial-compromise", "c1 initial compromise"),
+        ("c2-malware-infection", "c2 malware infection"),
+        ("c3-privilege-escalation", "c3 privilege escalation"),
+        ("c4-penetration", "c4 penetration into DB server"),
+        ("c5-exfiltration", "c5 data exfiltration"),
+        ("invariant-excel-children", "c2 via invariant model (no attack knowledge)"),
+        ("time-series-db-network", "c5 via SMA time-series model"),
+        ("outlier-db-peer", "c5 via DBSCAN outlier model"),
+    ] {
+        let detected = by_query.contains_key(step_query);
+        all_detected &= detected;
+        println!("  [{}] {label}", if detected { "DETECTED" } else { " MISSED "});
+    }
+    assert!(all_detected, "every attack step must be detected");
+    println!("\nall 5 attack steps detected, including by the 3 knowledge-free anomaly models");
+}

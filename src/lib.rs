@@ -1,0 +1,91 @@
+//! # SAQL — Stream-based Anomaly Query Language
+//!
+//! A from-scratch Rust reproduction of **"Querying Streaming System
+//! Monitoring Data for Enterprise System Anomaly Detection"** (Gao et al.,
+//! ICDE 2020) — the SAQL system: a stream-based query engine that detects
+//! abnormal system behaviors over enterprise-wide system monitoring data in
+//! real time.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`model`] — system entities, SVO events, attributes, binary codec;
+//! * [`lang`] — the SAQL language: lexer, parser, semantic checker,
+//!   pretty-printer, and the paper's query corpus;
+//! * [`analytics`] — aggregates, moving averages, DBSCAN, k-means;
+//! * [`stream`] — event channels, k-way host merge, event store, replayer;
+//! * [`engine`] — multievent matcher, sliding windows, state maintainer,
+//!   invariants, cluster stage, alert evaluator, and the master–dependent
+//!   concurrent query scheduler;
+//! * [`collector`] — the enterprise simulator and APT attack injector;
+//! * [`baseline`] — MiniCep, a generic CEP engine used as the comparison
+//!   baseline.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use saql::SaqlSystem;
+//! use saql::collector::{SimConfig, Simulator};
+//!
+//! // Simulate a small enterprise trace containing the 5-step APT attack.
+//! let trace = Simulator::generate(&SimConfig { clients: 4, ..SimConfig::default() });
+//!
+//! // Deploy the paper's 8 demo queries and stream the trace through.
+//! let mut system = SaqlSystem::new();
+//! system.deploy_demo_queries().unwrap();
+//! let alerts = system.run_events(trace.shared());
+//! assert!(!alerts.is_empty());
+//! ```
+
+pub use saql_analytics as analytics;
+pub use saql_baseline as baseline;
+pub use saql_collector as collector;
+pub use saql_engine as engine;
+pub use saql_lang as lang;
+pub use saql_model as model;
+pub use saql_stream as stream;
+
+pub use saql_engine::{Alert, Engine, EngineConfig};
+pub use saql_lang::corpus;
+
+/// High-level handle: an engine pre-wired for the demo workflow.
+pub struct SaqlSystem {
+    engine: Engine,
+}
+
+impl SaqlSystem {
+    /// A fresh system with default configuration.
+    pub fn new() -> Self {
+        SaqlSystem { engine: Engine::new(EngineConfig::default()) }
+    }
+
+    /// Access the underlying engine.
+    pub fn engine(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Register one query.
+    pub fn deploy(&mut self, name: &str, source: &str) -> Result<(), saql_lang::LangError> {
+        self.engine.register(name, source).map(|_| ())
+    }
+
+    /// Register the paper's eight demonstration queries (five rule-based —
+    /// one per attack step — plus the invariant, time-series, and outlier
+    /// anomaly queries).
+    pub fn deploy_demo_queries(&mut self) -> Result<(), saql_lang::LangError> {
+        for (name, source) in corpus::DEMO_QUERIES {
+            self.deploy(name, source)?;
+        }
+        Ok(())
+    }
+
+    /// Stream events through and flush; returns every alert.
+    pub fn run_events(&mut self, events: Vec<stream::SharedEvent>) -> Vec<Alert> {
+        self.engine.run(events)
+    }
+}
+
+impl Default for SaqlSystem {
+    fn default() -> Self {
+        SaqlSystem::new()
+    }
+}

@@ -1,0 +1,134 @@
+//! Extensions beyond the four verbatim paper queries: order-statistic
+//! aggregates (`median`, `percentile`), the robust `ZSCORE` outlier method,
+//! and cross-host grouping on event attributes (`group by evt.agentid`).
+//! These are natural members of the anomaly-model families the language is
+//! built for (DESIGN.md §5).
+
+use saql::engine::{Engine, EngineConfig};
+use saql::model::event::EventBuilder;
+use saql::model::{NetworkInfo, ProcessInfo};
+use saql::stream::SharedEvent;
+use std::sync::Arc;
+
+fn send(id: u64, ts: u64, host: &str, exe: &str, dst: &str, amount: u64) -> SharedEvent {
+    Arc::new(
+        EventBuilder::new(id, host, ts)
+            .subject(ProcessInfo::new(1, exe, "u"))
+            .sends(NetworkInfo::new("10.0.0.2", 44000, dst, 443, "tcp"))
+            .amount(amount)
+            .build(),
+    )
+}
+
+#[test]
+fn median_aggregate_is_robust_to_one_outlier() {
+    // avg would be dragged up by the single large transfer; median is not.
+    let query = "proc p write ip i as evt #time(1 min)\nstate ss { med := median(evt.amount) } group by p\nalert ss[0].med > 1000\nreturn p, ss[0].med";
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("median", query).unwrap();
+    let mut events = Vec::new();
+    for (i, amount) in [100u64, 120, 110, 90, 10_000_000].into_iter().enumerate() {
+        events.push(send(i as u64 + 1, 1_000 + i as u64, "h", "a.exe", "1.1.1.1", amount));
+    }
+    let alerts = engine.run(events);
+    assert!(alerts.is_empty(), "median must not spike on one outlier: {alerts:?}");
+}
+
+#[test]
+fn percentile_aggregate_end_to_end() {
+    let query = "proc p write ip i as evt #time(1 min)\nstate ss { p95 := percentile(evt.amount, 95) } group by p\nalert ss[0].p95 > 900\nreturn p, ss[0].p95";
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("p95", query).unwrap();
+    // 10 transfers of 100 bytes and 10 of 1000: the 95th percentile lands
+    // in the upper mode.
+    let mut events: Vec<SharedEvent> = (0..10)
+        .map(|i| send(i + 1, 1_000 + i, "h", "a.exe", "1.1.1.1", 100))
+        .collect();
+    events.extend((0..10).map(|i| send(50 + i, 2_000 + i, "h", "a.exe", "1.1.1.1", 1_000)));
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    let p95: f64 = alerts[0].get("ss[0].p95").unwrap().parse().unwrap();
+    assert!(p95 > 900.0, "p95 = {p95}");
+}
+
+#[test]
+fn percentile_rank_validation() {
+    let bad = "proc p write ip i as evt #time(1 min)\nstate ss { p := percentile(evt.amount, 150) } group by p\nalert ss[0].p > 1\nreturn p";
+    let err = saql::lang::compile(bad).unwrap_err();
+    assert!(err.message.contains("0..=100"), "{err}");
+}
+
+#[test]
+fn percentile_pretty_roundtrip() {
+    let src = "proc p write ip i as evt #time(1 min)\nstate ss { p99 := percentile(evt.amount, 99)\n med := median(evt.amount) } group by p\nalert ss[0].p99 > 1\nreturn p";
+    let q1 = saql::lang::parse(src).unwrap();
+    let printed = saql::lang::pretty::print_query(&q1);
+    assert!(printed.contains("percentile((evt.amount), 99)") || printed.contains("percentile(evt.amount, 99)"), "{printed}");
+    let q2 = saql::lang::parse(&printed).unwrap();
+    assert_eq!(printed, saql::lang::pretty::print_query(&q2));
+}
+
+#[test]
+fn zscore_outlier_method_flags_exfiltration() {
+    let query = r#"proc p read || write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), method="ZSCORE(3.5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt"#;
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("zscore", query).unwrap();
+    let mut events = Vec::new();
+    let mut id = 0;
+    for c in 0..9u32 {
+        for j in 0..3u64 {
+            id += 1;
+            events.push(send(id, j * 60_000, "h", "sqlservr.exe", &format!("10.0.0.{c}"), 500_000));
+        }
+    }
+    id += 1;
+    events.push(send(id, 5 * 60_000, "h", "sqlservr.exe", "172.16.9.129", 2_000_000_000));
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
+}
+
+#[test]
+fn zscore_stays_quiet_on_uniform_peers() {
+    let query = r#"proc p write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), method="ZSCORE(3.5)")
+alert cluster.outlier
+return i.dstip"#;
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("zscore", query).unwrap();
+    let events: Vec<SharedEvent> = (0..12)
+        .map(|i| send(i + 1, i * 1_000, "h", "a.exe", &format!("10.0.0.{}", i % 6), 1_000 + i % 7))
+        .collect();
+    let alerts = engine.run(events);
+    assert!(alerts.is_empty(), "{alerts:?}");
+}
+
+#[test]
+fn group_by_event_attribute_crosses_hosts() {
+    // Count network writes per *host* — grouping on evt.agentid, which no
+    // entity variable carries.
+    let query = "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by evt.agentid\nalert ss[0].n >= 2\nreturn evt.agentid, ss[0].n";
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("per-host", query).unwrap();
+    let events = vec![
+        send(1, 1_000, "client-1", "a.exe", "1.1.1.1", 10),
+        send(2, 2_000, "client-2", "a.exe", "1.1.1.1", 10),
+        send(3, 3_000, "client-1", "b.exe", "1.1.1.1", 10),
+    ];
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].get("evt.agentid"), Some("client-1"));
+    assert_eq!(alerts[0].get("ss[0].n"), Some("2"));
+}
+
+#[test]
+fn group_by_bare_event_alias_is_rejected() {
+    let query = "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by evt\nalert ss[0].n > 1\nreturn p";
+    let err = saql::lang::compile(query).unwrap_err();
+    assert!(err.message.contains("needs an attribute"), "{err}");
+}

@@ -1,0 +1,239 @@
+//! Experiment E1: the four queries printed in the paper (§II-B) parse,
+//! check, classify, and execute with the semantics the paper describes.
+
+use saql::engine::{Engine, EngineConfig};
+use saql::lang::semantic::QueryKind;
+use saql::lang::{compile, corpus, parse};
+use saql::model::event::EventBuilder;
+use saql::model::{FileInfo, NetworkInfo, ProcessInfo};
+use saql::stream::SharedEvent;
+use std::sync::Arc;
+
+#[test]
+fn all_paper_queries_compile_with_expected_kinds() {
+    let kinds: Vec<QueryKind> = corpus::PAPER_QUERIES
+        .iter()
+        .map(|q| compile(q).expect("paper query must compile").kind)
+        .collect();
+    assert_eq!(
+        kinds,
+        vec![QueryKind::Rule, QueryKind::TimeSeries, QueryKind::Invariant, QueryKind::Outlier]
+    );
+}
+
+#[test]
+fn paper_queries_pretty_print_roundtrip() {
+    for src in corpus::PAPER_QUERIES {
+        let q1 = parse(src).unwrap();
+        let printed = saql::lang::pretty::print_query(&q1);
+        let q2 = parse(&printed).unwrap();
+        assert_eq!(printed, saql::lang::pretty::print_query(&q2));
+    }
+}
+
+fn db_event(id: u64, ts: u64) -> EventBuilder {
+    EventBuilder::new(id, "xxx", ts) // Query 1/4 use the obfuscated agent id verbatim
+}
+
+/// Query 1 executes verbatim: the four-step exfiltration chain on the
+/// obfuscated host (`agentid = xxx`, `dstip = "XXX.129"`) triggers exactly
+/// one alert with the paper's return attributes.
+#[test]
+fn query1_detects_exfiltration_chain() {
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("query1", corpus::QUERY1_EXFILTRATION).unwrap();
+
+    let events: Vec<SharedEvent> = vec![
+        Arc::new(
+            db_event(1, 1_000)
+                .subject(ProcessInfo::new(10, "cmd.exe", "admin"))
+                .starts_process(ProcessInfo::new(11, "osql.exe", "admin"))
+                .build(),
+        ),
+        Arc::new(
+            db_event(2, 5_000)
+                .subject(ProcessInfo::new(20, "sqlservr.exe", "svc"))
+                .writes_file(FileInfo::new("C:\\DB\\backup1.dmp"))
+                .amount(1 << 30)
+                .build(),
+        ),
+        Arc::new(
+            db_event(3, 9_000)
+                .subject(ProcessInfo::new(30, "sbblv.exe", "svc"))
+                .reads_file(FileInfo::new("C:\\DB\\backup1.dmp"))
+                .amount(1 << 30)
+                .build(),
+        ),
+        Arc::new(
+            db_event(4, 12_000)
+                .subject(ProcessInfo::new(30, "sbblv.exe", "svc"))
+                .sends(NetworkInfo::new("10.0.1.3", 49901, "XXX.129", 443, "tcp"))
+                .amount(1 << 30)
+                .build(),
+        ),
+    ];
+
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    let a = &alerts[0];
+    assert_eq!(a.get("p1"), Some("cmd.exe"));
+    assert_eq!(a.get("p2"), Some("osql.exe"));
+    assert_eq!(a.get("p3"), Some("sqlservr.exe"));
+    assert_eq!(a.get("f1"), Some("C:\\DB\\backup1.dmp"));
+    assert_eq!(a.get("p4"), Some("sbblv.exe"));
+    assert_eq!(a.get("i1"), Some("XXX.129"));
+}
+
+/// Query 1 stays silent when the temporal order is violated (dump read
+/// before it was written) even though all four shapes appear.
+#[test]
+fn query1_respects_temporal_order() {
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("query1", corpus::QUERY1_EXFILTRATION).unwrap();
+    let events: Vec<SharedEvent> = vec![
+        Arc::new(
+            db_event(1, 1_000)
+                .subject(ProcessInfo::new(30, "sbblv.exe", "svc"))
+                .reads_file(FileInfo::new("backup1.dmp"))
+                .build(),
+        ),
+        Arc::new(
+            db_event(2, 2_000)
+                .subject(ProcessInfo::new(10, "cmd.exe", "admin"))
+                .starts_process(ProcessInfo::new(11, "osql.exe", "admin"))
+                .build(),
+        ),
+        Arc::new(
+            db_event(3, 3_000)
+                .subject(ProcessInfo::new(20, "sqlservr.exe", "svc"))
+                .writes_file(FileInfo::new("backup1.dmp"))
+                .build(),
+        ),
+        Arc::new(
+            db_event(4, 4_000)
+                .subject(ProcessInfo::new(30, "sbblv.exe", "svc"))
+                .sends(NetworkInfo::new("10.0.1.3", 49901, "XXX.129", 443, "tcp"))
+                .build(),
+        ),
+    ];
+    let alerts = engine.run(events);
+    assert!(alerts.is_empty(), "{alerts:?}");
+}
+
+/// Query 2 executes verbatim: three flat 10-minute windows then a spike
+/// window produce exactly one alert carrying the three window averages.
+#[test]
+fn query2_detects_moving_average_spike() {
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("query2", corpus::QUERY2_TIME_SERIES).unwrap();
+    let min = 60_000u64;
+    let mut events = Vec::new();
+    let mut id = 0u64;
+    for w in 0..4u64 {
+        let amount = if w == 3 { 9_000_000 } else { 3_000 };
+        for j in 0..6u64 {
+            id += 1;
+            events.push(Arc::new(
+                EventBuilder::new(id, "db-server", w * 10 * min + j * min)
+                    .subject(ProcessInfo::new(10, "sqlservr.exe", "svc"))
+                    .sends(NetworkInfo::new("10.0.1.3", 1433, "10.0.0.14", 49200, "tcp"))
+                    .amount(amount)
+                    .build(),
+            ) as SharedEvent);
+        }
+    }
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    let a = &alerts[0];
+    assert_eq!(a.get("p"), Some("sqlservr.exe"));
+    assert_eq!(a.get("ss[0].avg_amount"), Some("9000000.0"));
+    assert_eq!(a.get("ss[1].avg_amount"), Some("3000.0"));
+    assert_eq!(a.get("ss[2].avg_amount"), Some("3000.0"));
+}
+
+/// Query 3 executes verbatim: ten training windows learn Apache's children;
+/// a later unseen child raises exactly one alert.
+#[test]
+fn query3_learns_invariant_then_alerts() {
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("query3", corpus::QUERY3_INVARIANT).unwrap();
+    let sec = 1_000u64;
+    let mut events: Vec<SharedEvent> = Vec::new();
+    let mut id = 0u64;
+    // 10 training windows (10s each) of benign children.
+    for w in 0..10u64 {
+        id += 1;
+        events.push(Arc::new(
+            EventBuilder::new(id, "web-server", w * 10 * sec + sec)
+                .subject(ProcessInfo::new(80, "apache.exe", "www"))
+                .starts_process(ProcessInfo::new(5000 + id as u32, "php-cgi.exe", "www"))
+                .build(),
+        ));
+    }
+    // Detection window with a benign child: quiet.
+    id += 1;
+    events.push(Arc::new(
+        EventBuilder::new(id, "web-server", 10 * 10 * sec + sec)
+            .subject(ProcessInfo::new(80, "apache.exe", "www"))
+            .starts_process(ProcessInfo::new(6000, "php-cgi.exe", "www"))
+            .build(),
+    ));
+    // Detection window with the webshell: alert.
+    id += 1;
+    events.push(Arc::new(
+        EventBuilder::new(id, "web-server", 11 * 10 * sec + sec)
+            .subject(ProcessInfo::new(80, "apache.exe", "www"))
+            .starts_process(ProcessInfo::new(6001, "cmd.exe", "www"))
+            .build(),
+    ));
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].get("p1"), Some("apache.exe"));
+    assert!(alerts[0].get("ss.set_proc").unwrap().contains("cmd.exe"));
+}
+
+/// Query 4 executes verbatim: DBSCAN peer comparison over per-destination
+/// volumes flags only the exfiltration target.
+#[test]
+fn query4_flags_outlier_destination() {
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("query4", corpus::QUERY4_OUTLIER).unwrap();
+    let min = 60_000u64;
+    let mut events: Vec<SharedEvent> = Vec::new();
+    let mut id = 0u64;
+    // Seven peers around 1.5 MB each (above the 1 MB floor, clustered),
+    // one destination at 2 GB.
+    for c in 0..7u32 {
+        for j in 0..3u64 {
+            id += 1;
+            events.push(Arc::new(
+                db_event(id, j * 2 * min)
+                    .subject(ProcessInfo::new(10, "sqlservr.exe", "svc"))
+                    .sends(NetworkInfo::new("10.0.1.3", 1433, format!("10.0.0.{}", 50 + c), 49200, "tcp"))
+                    .amount(500_000)
+                    .build(),
+            ));
+        }
+    }
+    id += 1;
+    events.push(Arc::new(
+        db_event(id, 9 * min)
+            .subject(ProcessInfo::new(10, "sqlservr.exe", "svc"))
+            .sends(NetworkInfo::new("10.0.1.3", 49901, "XXX.129", 443, "tcp"))
+            .amount(2_000_000_000)
+            .build(),
+    ));
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].get("i.dstip"), Some("XXX.129"));
+}
+
+/// Error reporting renders spans for broken variants of the paper queries.
+#[test]
+fn malformed_variants_produce_spanned_errors() {
+    let broken = corpus::QUERY2_TIME_SERIES.replace("avg(evt.amount)", "harmonic_mean(evt.amount)");
+    let err = compile(&broken).unwrap_err();
+    assert!(err.message.contains("harmonic_mean"));
+    let rendered = err.render(&broken);
+    assert!(rendered.contains("^"), "{rendered}");
+}

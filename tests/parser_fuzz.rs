@@ -1,0 +1,124 @@
+//! Robustness fuzzing: the language front end must be *total* — any input
+//! produces `Ok` or a spanned error, never a panic — and the evaluator must
+//! be total over arbitrary expressions and empty scopes. This is the error
+//! reporter's contract: a mistyped query in the CLI can never take the
+//! engine down.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary printable soup never panics the lexer/parser.
+    #[test]
+    fn parser_is_total_over_printable_soup(input in "[ -~\\n]{0,200}") {
+        let _ = saql::lang::parse(&input);
+    }
+
+    /// Token-shaped soup (identifiers, operators, literals in random order)
+    /// digs deeper into parser productions; still must not panic.
+    #[test]
+    fn parser_is_total_over_token_soup(tokens in proptest::collection::vec(
+        prop_oneof![
+            Just("proc".to_string()),
+            Just("file".to_string()),
+            Just("ip".to_string()),
+            Just("state".to_string()),
+            Just("invariant".to_string()),
+            Just("cluster".to_string()),
+            Just("alert".to_string()),
+            Just("return".to_string()),
+            Just("with".to_string()),
+            Just("as".to_string()),
+            Just("group".to_string()),
+            Just("by".to_string()),
+            Just("->".to_string()),
+            Just(":=".to_string()),
+            Just("||".to_string()),
+            Just("&&".to_string()),
+            Just("#time".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just("[".to_string()),
+            Just("]".to_string()),
+            Just("{".to_string()),
+            Just("}".to_string()),
+            Just("\"x\"".to_string()),
+            Just("10".to_string()),
+            Just("min".to_string()),
+            Just("p1".to_string()),
+            Just("evt".to_string()),
+            Just(">".to_string()),
+            Just("=".to_string()),
+        ],
+        0..40,
+    )) {
+        let input = tokens.join(" ");
+        let _ = saql::lang::parse(&input);
+    }
+
+    /// Semantic checking is total over whatever parses.
+    #[test]
+    fn semantic_check_is_total(input in "[ -~\\n]{0,200}") {
+        if let Ok(query) = saql::lang::parse(&input) {
+            let _ = saql::lang::check(query);
+        }
+    }
+
+    /// Spanned error rendering never panics, whatever the source looked
+    /// like (spans must stay in bounds even for weird line structures).
+    #[test]
+    fn error_rendering_is_total(input in "[ -~\\n\\t]{0,200}") {
+        if let Err(e) = saql::lang::parse(&input) {
+            let rendered = e.render(&input);
+            prop_assert!(rendered.contains("error"));
+        }
+    }
+
+    /// Expression evaluation is total over random alert expressions in an
+    /// empty scope (everything resolves to Missing).
+    #[test]
+    fn eval_is_total_over_random_alerts(
+        ops in proptest::collection::vec(
+            prop_oneof![
+                Just("+"), Just("-"), Just("*"), Just("/"), Just("%"),
+                Just(">"), Just("<"), Just("="), Just("!="),
+                Just("&&"), Just("||"), Just("union"), Just("diff"),
+            ],
+            1..8,
+        ),
+        operands in proptest::collection::vec(
+            prop_oneof![
+                Just("1".to_string()),
+                Just("2.5".to_string()),
+                Just("\"s\"".to_string()),
+                Just("true".to_string()),
+                Just("empty_set".to_string()),
+                Just("nothing".to_string()),
+                Just("ss[0].f".to_string()),
+                Just("|a|".to_string()),
+                Just("cluster.outlier".to_string()),
+            ],
+            2..9,
+        ),
+    ) {
+        // Interleave operands with operators to form a plausible expression.
+        let mut src = String::from("alert ");
+        for (i, operand) in operands.iter().enumerate() {
+            if i > 0 {
+                src.push(' ');
+                src.push_str(ops[(i - 1) % ops.len()]);
+                src.push(' ');
+            }
+            src.push_str(operand);
+        }
+        if let Ok(q) = saql::lang::parse(&src) {
+            if let Some(alert) = &q.alert {
+                let scope = saql::engine::eval::Scope::empty();
+                let v = saql::engine::eval::eval(alert, &scope);
+                // Whatever it is, truthiness must be decidable.
+                let _ = v.truthy();
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Deeper window and cluster semantics: overlapping sliding windows
+//! (`#time(size, slide)`), multi-dimensional comparison points, k-means
+//! outlier queries, and end-of-stream flushing.
+
+use saql::engine::{Engine, EngineConfig};
+use saql::model::event::EventBuilder;
+use saql::model::{NetworkInfo, ProcessInfo};
+use saql::stream::SharedEvent;
+use std::sync::Arc;
+
+fn send(id: u64, ts: u64, exe: &str, dst: &str, amount: u64) -> SharedEvent {
+    Arc::new(
+        EventBuilder::new(id, "h", ts)
+            .subject(ProcessInfo::new(1, exe, "u"))
+            .sends(NetworkInfo::new("10.0.0.2", 44000, dst, 443, "tcp"))
+            .amount(amount)
+            .build(),
+    )
+}
+
+#[test]
+fn sliding_windows_count_events_in_every_overlap() {
+    // size 60s, slide 20s: an event at 50s belongs to windows starting at
+    // 0s, 20s, 40s — three overlapping counts.
+    let query = "proc p write ip i as evt #time(60 s, 20 s)\nstate ss { n := count() } group by p\nreturn p, ss[0].n";
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("sliding", query).unwrap();
+    let mut alerts = Vec::new();
+    alerts.extend(engine.process(&send(1, 50_000, "a.exe", "1.1.1.1", 10)));
+    // Push the watermark far ahead so every containing window closes.
+    alerts.extend(engine.process(&send(2, 500_000, "a.exe", "1.1.1.1", 10)));
+    alerts.extend(engine.finish());
+    let ones: Vec<_> = alerts
+        .iter()
+        .filter(|a| a.get("ss[0].n") == Some("1") && a.ts.as_millis() <= 120_000)
+        .collect();
+    assert_eq!(ones.len(), 3, "event must appear in 3 overlapping windows: {alerts:?}");
+}
+
+#[test]
+fn sliding_window_history_is_indexed_by_slide_steps() {
+    // size 40s slide 20s: ss[1] refers to the window one *slide* back.
+    let query = "proc p write ip i as evt #time(40 s, 20 s)\nstate[2] ss { amt := sum(evt.amount) } group by p\nalert ss[0].amt > ss[1].amt * 2 && ss[0].amt > 100\nreturn p, ss[0].amt, ss[1].amt";
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("sliding-hist", query).unwrap();
+    let mut events = Vec::new();
+    // Steady 100 bytes per 20s slot, then a burst.
+    for (i, slot) in (0..6u64).enumerate() {
+        events.push(send(i as u64 + 1, slot * 20_000 + 1_000, "a.exe", "1.1.1.1", 100));
+    }
+    events.push(send(50, 6 * 20_000 + 2_000, "a.exe", "1.1.1.1", 5_000));
+    events.push(send(51, 10 * 20_000, "a.exe", "1.1.1.1", 1)); // advance watermark
+    let alerts = engine.run(events);
+    assert!(
+        alerts.iter().any(|a| a.get("ss[0].amt").is_some_and(|v| v.starts_with("5"))),
+        "burst window must alert: {alerts:?}"
+    );
+}
+
+#[test]
+fn multi_dimensional_cluster_points() {
+    // Two dimensions: volume and connection count. The attacker is average
+    // in count but extreme in volume — only multi-dim distance sees it.
+    let query = r#"proc p write ip i as evt #time(10 min)
+state ss {
+    amt := sum(evt.amount)
+    conns := count()
+} group by i.dstip
+cluster(points=all(ss.amt, ss.conns), distance="ed", method="DBSCAN(200000, 4)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt, ss.conns"#;
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("multi-dim", query).unwrap();
+    let mut events = Vec::new();
+    let mut id = 0u64;
+    for c in 0..6u32 {
+        for j in 0..10u64 {
+            id += 1;
+            events.push(send(id, j * 30_000, "sqlservr.exe", &format!("10.0.0.{c}"), 50_000));
+        }
+    }
+    for j in 0..10u64 {
+        id += 1;
+        events.push(send(id, j * 30_000 + 5_000, "sqlservr.exe", "172.16.9.129", 300_000_000));
+    }
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
+    assert_eq!(alerts[0].get("ss.conns"), Some("10"));
+}
+
+#[test]
+fn kmeans_outlier_query_end_to_end() {
+    let query = r#"proc p write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="KMEANS(2)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt"#;
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("kmeans", query).unwrap();
+    let mut events = Vec::new();
+    let mut id = 0u64;
+    for c in 0..11u32 {
+        id += 1;
+        events.push(send(id, c as u64 * 1_000, "a.exe", &format!("10.0.0.{c}"), 400_000 + c as u64));
+    }
+    id += 1;
+    events.push(send(id, 60_000, "a.exe", "172.16.9.129", 3_000_000_000));
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
+}
+
+#[test]
+fn finish_flushes_partial_windows() {
+    let query = "proc p write ip i as evt #time(10 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n";
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("flush", query).unwrap();
+    // Single event; the window never closes by watermark.
+    let mid = engine.process(&send(1, 5_000, "a.exe", "1.1.1.1", 10));
+    assert!(mid.is_empty());
+    let flushed = engine.finish();
+    assert_eq!(flushed.len(), 1);
+    assert_eq!(flushed[0].get("ss[0].n"), Some("1"));
+}
+
+#[test]
+fn cluster_with_fewer_points_than_min_pts_marks_all_noise() {
+    // Only two destinations, DBSCAN needs 5 neighbours: both are noise, but
+    // the volume floor keeps the small one quiet.
+    let query = r#"proc p write ip i as evt #time(10 min)
+state ss { amt := sum(evt.amount) } group by i.dstip
+cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
+alert cluster.outlier && ss.amt > 1000000
+return i.dstip, ss.amt"#;
+    let mut engine = Engine::new(EngineConfig::default());
+    engine.register("sparse", query).unwrap();
+    let events = vec![
+        send(1, 1_000, "a.exe", "10.0.0.1", 2_000_000),
+        send(2, 2_000, "a.exe", "10.0.0.2", 500),
+    ];
+    let alerts = engine.run(events);
+    assert_eq!(alerts.len(), 1, "{alerts:?}");
+    assert_eq!(alerts[0].get("i.dstip"), Some("10.0.0.1"));
+}
