@@ -137,7 +137,9 @@ mod tests {
 
     #[test]
     fn basic_moments() {
-        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.count(), 8);
         assert!(close(s.mean(), 5.0));
         assert!(close(s.variance(), 4.0));

@@ -19,7 +19,13 @@ impl Metric {
     /// always builds points from the same state fields, so a mismatch is a
     /// bug.
     pub fn distance(&self, a: &[f64], b: &[f64]) -> f64 {
-        assert_eq!(a.len(), b.len(), "dimension mismatch: {} vs {}", a.len(), b.len());
+        assert_eq!(
+            a.len(),
+            b.len(),
+            "dimension mismatch: {} vs {}",
+            a.len(),
+            b.len()
+        );
         match self {
             Metric::Euclidean => a
                 .iter()

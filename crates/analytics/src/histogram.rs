@@ -37,7 +37,11 @@ impl Histogram {
         }
         let b = 63 - x.leading_zeros() as usize;
         // Sub-bucket from the two bits below the leading one.
-        let s = if b >= 2 { ((x >> (b - 2)) & 0b11) as usize } else { 0 };
+        let s = if b >= 2 {
+            ((x >> (b - 2)) & 0b11) as usize
+        } else {
+            0
+        };
         b * SUB + s
     }
 

@@ -53,7 +53,11 @@ impl KMeansResult {
 pub fn kmeans(points: &[Vec<f64>], k: usize, metric: Metric, seed: u64) -> KMeansResult {
     let n = points.len();
     if n == 0 || k == 0 {
-        return KMeansResult { assignment: Vec::new(), centroids: Vec::new(), iterations: 0 };
+        return KMeansResult {
+            assignment: Vec::new(),
+            centroids: Vec::new(),
+            iterations: 0,
+        };
     }
     let k = k.min(n);
     let dims = points[0].len();
@@ -152,7 +156,11 @@ pub fn kmeans(points: &[Vec<f64>], k: usize, metric: Metric, seed: u64) -> KMean
         *a = remap[*a];
     }
 
-    KMeansResult { assignment, centroids: kept, iterations }
+    KMeansResult {
+        assignment,
+        centroids: kept,
+        iterations,
+    }
 }
 
 #[cfg(test)]

@@ -23,8 +23,8 @@ pub mod moving;
 pub mod robust;
 
 pub use aggregate::OnlineStats;
-pub use histogram::Histogram;
 pub use dbscan::{dbscan, DbscanLabel};
 pub use distance::Metric;
+pub use histogram::Histogram;
 pub use kmeans::{kmeans, KMeansResult};
 pub use moving::{Ema, Sma};

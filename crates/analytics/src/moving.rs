@@ -20,7 +20,11 @@ impl Sma {
     /// Panics if `len` is zero.
     pub fn new(len: usize) -> Self {
         assert!(len > 0, "SMA length must be positive");
-        Sma { len, buf: VecDeque::with_capacity(len), sum: 0.0 }
+        Sma {
+            len,
+            buf: VecDeque::with_capacity(len),
+            sum: 0.0,
+        }
     }
 
     /// Push an observation, evicting the oldest when full. Returns the new

@@ -31,17 +31,21 @@ impl Capability {
     pub fn required_for(kind: QueryKind) -> &'static [Capability] {
         match kind {
             QueryKind::Rule => &[Capability::Filter, Capability::TemporalJoin],
-            QueryKind::TimeSeries => {
-                &[Capability::Filter, Capability::WindowAggregate, Capability::WindowHistory]
-            }
+            QueryKind::TimeSeries => &[
+                Capability::Filter,
+                Capability::WindowAggregate,
+                Capability::WindowHistory,
+            ],
             QueryKind::Invariant => &[
                 Capability::Filter,
                 Capability::WindowAggregate,
                 Capability::InvariantTraining,
             ],
-            QueryKind::Outlier => {
-                &[Capability::Filter, Capability::WindowAggregate, Capability::Clustering]
-            }
+            QueryKind::Outlier => &[
+                Capability::Filter,
+                Capability::WindowAggregate,
+                Capability::Clustering,
+            ],
         }
     }
 
@@ -53,7 +57,9 @@ impl Capability {
 
     /// Whether a whole query family is expressible in MiniCep.
     pub fn supports(kind: QueryKind) -> bool {
-        Self::required_for(kind).iter().all(Capability::supported_by_minicep)
+        Self::required_for(kind)
+            .iter()
+            .all(Capability::supported_by_minicep)
     }
 }
 
@@ -65,8 +71,14 @@ mod tests {
     fn minicep_cannot_express_anomaly_models() {
         // The paper's core claim, pinned as a test: only plain filtering /
         // aggregation workloads fit the generic engine.
-        assert!(!Capability::supports(QueryKind::Rule), "temporal joins unsupported");
-        assert!(!Capability::supports(QueryKind::TimeSeries), "window history unsupported");
+        assert!(
+            !Capability::supports(QueryKind::Rule),
+            "temporal joins unsupported"
+        );
+        assert!(
+            !Capability::supports(QueryKind::TimeSeries),
+            "window history unsupported"
+        );
         assert!(!Capability::supports(QueryKind::Invariant));
         assert!(!Capability::supports(QueryKind::Outlier));
     }

@@ -158,11 +158,18 @@ pub struct MiniCep {
 
 impl MiniCep {
     pub fn new() -> Self {
-        MiniCep { queries: Vec::new(), stats: CepStats::default() }
+        MiniCep {
+            queries: Vec::new(),
+            stats: CepStats::default(),
+        }
     }
 
     pub fn add(&mut self, query: CepQuery) {
-        self.queries.push(QueryState { query, open: HashMap::new(), watermark: Timestamp::ZERO });
+        self.queries.push(QueryState {
+            query,
+            open: HashMap::new(),
+            watermark: Timestamp::ZERO,
+        });
     }
 
     pub fn query_count(&self) -> usize {
@@ -213,7 +220,9 @@ impl MiniCep {
                     });
                 }
                 Some(w) => {
-                    let Some(group) = qs.query.group_by.key(&copy) else { continue };
+                    let Some(group) = qs.query.group_by.key(&copy) else {
+                        continue;
+                    };
                     let k = copy.ts.as_millis() / w;
                     let st = qs.open.entry(k).or_default().entry(group).or_default();
                     st.count += 1;
@@ -245,7 +254,9 @@ impl Default for MiniCep {
 }
 
 fn flush_window(qs: &mut QueryState, k: u64, out: &mut Vec<CepRecord>, stats: &mut CepStats) {
-    let Some(groups) = qs.open.remove(&k) else { return };
+    let Some(groups) = qs.open.remove(&k) else {
+        return;
+    };
     let w = qs.query.window_ms.expect("windowed query");
     let end = Timestamp::from_millis((k + 1) * w);
     let mut rows: Vec<(String, f64)> = groups
@@ -256,7 +267,12 @@ fn flush_window(qs: &mut QueryState, k: u64, out: &mut Vec<CepRecord>, stats: &m
     for (group, value) in rows {
         if qs.query.threshold.is_none_or(|t| value > t) {
             stats.records += 1;
-            out.push(CepRecord { query: qs.query.name.clone(), ts: end, group, value });
+            out.push(CepRecord {
+                query: qs.query.name.clone(),
+                ts: end,
+                group,
+                value,
+            });
         }
     }
 }
@@ -281,7 +297,10 @@ mod tests {
     fn sum_by_exe(name: &str, window_ms: u64, threshold: Option<f64>) -> CepQuery {
         CepQuery {
             name: name.into(),
-            filter: Filter { family: Some(EntityType::Network), ..Filter::default() },
+            filter: Filter {
+                family: Some(EntityType::Network),
+                ..Filter::default()
+            },
             window_ms: Some(window_ms),
             group_by: GroupBy::SubjectExe,
             agg: BaselineAgg::Sum,
@@ -294,7 +313,10 @@ mod tests {
         let mut cep = MiniCep::new();
         cep.add(CepQuery {
             name: "f".into(),
-            filter: Filter { exe_like: Some("%sql%".into()), ..Filter::default() },
+            filter: Filter {
+                exe_like: Some("%sql%".into()),
+                ..Filter::default()
+            },
             window_ms: None,
             group_by: GroupBy::SubjectExe,
             agg: BaselineAgg::Count,
@@ -303,7 +325,9 @@ mod tests {
         let recs = cep.process(&send(1, 10, "h", "sqlservr.exe", "1.1.1.1", 500));
         assert_eq!(recs.len(), 1);
         assert_eq!(recs[0].group, "sqlservr.exe");
-        assert!(cep.process(&send(2, 20, "h", "chrome.exe", "1.1.1.1", 500)).is_empty());
+        assert!(cep
+            .process(&send(2, 20, "h", "chrome.exe", "1.1.1.1", 500))
+            .is_empty());
     }
 
     #[test]

@@ -21,7 +21,10 @@ fn bench_modes(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(events.len() as u64));
 
-    for (label, mode) in [("indexed", MatcherMode::Indexed), ("scan", MatcherMode::Scan)] {
+    for (label, mode) in [
+        ("indexed", MatcherMode::Indexed),
+        ("scan", MatcherMode::Scan),
+    ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &events, |b, events| {
             b.iter(|| {
                 let mut m = MultiMatcher::compile_with_mode(&query, 65_536, mode);

@@ -39,8 +39,7 @@ fn bench_engines(c: &mut Criterion) {
 
     group.bench_with_input("saql-engine", &events, |b, events| {
         b.iter(|| {
-            let mut q =
-                RunningQuery::compile("saql", SAQL_QUERY, QueryConfig::default()).unwrap();
+            let mut q = RunningQuery::compile("saql", SAQL_QUERY, QueryConfig::default()).unwrap();
             let mut n = 0usize;
             for e in events {
                 n += q.process(e).len();
@@ -98,7 +97,10 @@ fn parity() {
     }
     saql_hits.sort_by(|a, b| a.partial_cmp(b).unwrap());
     cep_hits.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    assert_eq!(saql_hits, cep_hits, "engines disagree on the shared workload");
+    assert_eq!(
+        saql_hits, cep_hits,
+        "engines disagree on the shared workload"
+    );
 }
 
 fn bench_parity_guard(c: &mut Criterion) {

@@ -27,15 +27,19 @@ fn bench_window_size(c: &mut Criterion) {
     group.sample_size(10);
     group.throughput(Throughput::Elements(events.len() as u64));
     for window_s in [1u64, 10, 60, 600] {
-        group.bench_with_input(BenchmarkId::from_parameter(window_s), &events, |b, events| {
-            b.iter(|| {
-                let mut q = windowed_query(window_s, false);
-                for e in events {
-                    q.process(e);
-                }
-                q.finish().len()
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(window_s),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut q = windowed_query(window_s, false);
+                    for e in events {
+                        q.process(e);
+                    }
+                    q.finish().len()
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -44,7 +48,11 @@ fn bench_group_cardinality(c: &mut Criterion) {
     let mut group = c.benchmark_group("e6_group_cardinality");
     group.sample_size(10);
     // Group count is driven by the workload's process/ip vocabulary.
-    for (label, procs) in [("10-groups", 10usize), ("100-groups", 100), ("1000-groups", 1000)] {
+    for (label, procs) in [
+        ("10-groups", 10usize),
+        ("100-groups", 100),
+        ("1000-groups", 1000),
+    ] {
         let events = saql_stream::share(synthetic_stream(&WorkloadConfig {
             seed: 5,
             events: 50_000,

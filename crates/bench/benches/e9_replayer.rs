@@ -8,7 +8,11 @@ use saql_stream::replayer::Replayer;
 use saql_stream::store::{EventStore, Selection};
 
 fn bench_store_roundtrip(c: &mut Criterion) {
-    let events = synthetic_stream(&WorkloadConfig { seed: 9, events: 50_000, ..Default::default() });
+    let events = synthetic_stream(&WorkloadConfig {
+        seed: 9,
+        events: 50_000,
+        ..Default::default()
+    });
     let dir = std::env::temp_dir();
 
     let mut group = c.benchmark_group("e9_replayer");
@@ -38,7 +42,10 @@ fn bench_store_roundtrip(c: &mut Criterion) {
     group.bench_function("replay-host-selected-50k", |b| {
         b.iter(|| {
             let replayer = Replayer::new(EventStore::open(&path).unwrap());
-            replayer.replay_iter(&Selection::host("host-3")).unwrap().count()
+            replayer
+                .replay_iter(&Selection::host("host-3"))
+                .unwrap()
+                .count()
         });
     });
 
@@ -48,7 +55,11 @@ fn bench_store_roundtrip(c: &mut Criterion) {
 
     let encoded = saql_model::codec::encode_batch(&events);
     group.bench_function("codec-decode-50k", |b| {
-        b.iter(|| saql_model::codec::decode_batch(encoded.clone()).unwrap().len());
+        b.iter(|| {
+            saql_model::codec::decode_batch(encoded.clone())
+                .unwrap()
+                .len()
+        });
     });
 
     group.finish();

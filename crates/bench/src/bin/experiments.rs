@@ -52,7 +52,12 @@ fn table_e2_detection() {
             "outlier-db-peer" => "c5",
             _ => "?",
         };
-        println!("{:<28} {:>8} {:>10}", name, n, if n > 0 { target } else { "MISSED" });
+        println!(
+            "{:<28} {:>8} {:>10}",
+            name,
+            n,
+            if n > 0 { target } else { "MISSED" }
+        );
     }
     println!(
         "events: {}, total alerts: {}, clean-trace alerts: {}\n",
@@ -80,7 +85,10 @@ fn clean_alerts() -> usize {
 fn table_e3_throughput() {
     println!("== E3: single-query throughput by anomaly-model family ==");
     let events = stream(200_000, 42);
-    println!("{:<16} {:>12} {:>14} {:>8}", "family", "events/s", "ns/event", "alerts");
+    println!(
+        "{:<16} {:>12} {:>14} {:>8}",
+        "family", "events/s", "ns/event", "alerts"
+    );
     for (name, _) in family_queries() {
         let mut q = compile_family(name);
         let t0 = Instant::now();
@@ -214,12 +222,20 @@ fn table_e5_baseline() {
 fn table_e5_capabilities() {
     println!("== E5b: anomaly-model expressibility (generic CEP vs SAQL) ==");
     println!("{:<16} {:>10} {:>6}", "model family", "MiniCep", "SAQL");
-    for kind in [QueryKind::Rule, QueryKind::TimeSeries, QueryKind::Invariant, QueryKind::Outlier]
-    {
+    for kind in [
+        QueryKind::Rule,
+        QueryKind::TimeSeries,
+        QueryKind::Invariant,
+        QueryKind::Outlier,
+    ] {
         println!(
             "{:<16} {:>10} {:>6}",
             kind.name(),
-            if Capability::supports(kind) { "yes" } else { "no" },
+            if Capability::supports(kind) {
+                "yes"
+            } else {
+                "no"
+            },
             "yes"
         );
     }

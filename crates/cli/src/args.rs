@@ -30,7 +30,11 @@ impl Flags {
                     let value = argv
                         .get(i + 1)
                         .ok_or_else(|| format!("flag --{name} needs a value"))?;
-                    flags.values.entry(name.to_string()).or_default().push(value.clone());
+                    flags
+                        .values
+                        .entry(name.to_string())
+                        .or_default()
+                        .push(value.clone());
                     i += 2;
                 }
             } else {
@@ -42,7 +46,10 @@ impl Flags {
     }
 
     pub fn get(&self, name: &str) -> Option<&str> {
-        self.values.get(name).and_then(|v| v.first()).map(String::as_str)
+        self.values
+            .get(name)
+            .and_then(|v| v.first())
+            .map(String::as_str)
     }
 
     pub fn get_all(&self, name: &str) -> Vec<&str> {
@@ -59,7 +66,9 @@ impl Flags {
     pub fn get_u64(&self, name: &str, default: u64) -> Result<u64, String> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name} expects a number, got `{v}`")),
         }
     }
 
@@ -78,7 +87,10 @@ mod tests {
 
     #[test]
     fn parses_values_switches_positional() {
-        let f = Flags::parse(&argv("--out a.bin --host h1 --host h2 --no-attack file.saql")).unwrap();
+        let f = Flags::parse(&argv(
+            "--out a.bin --host h1 --host h2 --no-attack file.saql",
+        ))
+        .unwrap();
         assert_eq!(f.get("out"), Some("a.bin"));
         assert_eq!(f.get_all("host"), vec!["h1", "h2"]);
         assert!(f.switch("no-attack"));

@@ -16,7 +16,11 @@ fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
         seed: flags.get_u64("seed", 2020)?,
         clients: flags.get_usize("clients", 8)?.max(3),
         duration_ms: flags.get_u64("minutes", 60)? * 60_000,
-        attack: if flags.switch("no-attack") { None } else { Some(AttackConfig::default()) },
+        attack: if flags.switch("no-attack") {
+            None
+        } else {
+            Some(AttackConfig::default())
+        },
     })
 }
 
@@ -31,20 +35,35 @@ pub fn demo(argv: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
 
-    println!("simulating enterprise: {} clients, {} min of monitoring data...", config.clients, config.duration_ms / 60_000);
+    println!(
+        "simulating enterprise: {} clients, {} min of monitoring data...",
+        config.clients,
+        config.duration_ms / 60_000
+    );
     let trace = Simulator::generate(&config);
-    println!("  {} events from {} hosts", trace.events.len(), trace.topology.hosts.len());
+    println!(
+        "  {} events from {} hosts",
+        trace.events.len(),
+        trace.topology.hosts.len()
+    );
     for (step, first, last) in &trace.attack_spans {
         println!("  attack {}: {} .. {}", step.label(), first, last);
     }
 
-    let mut engine = Engine::new(EngineConfig { record_latency: true, ..Default::default() });
+    let mut engine = Engine::new(EngineConfig {
+        record_latency: true,
+        ..Default::default()
+    });
     for (name, src) in corpus::DEMO_QUERIES {
         if let Err(e) = engine.register(name, src) {
             return fail(&format!("demo query {name}: {e}"));
         }
     }
-    println!("deployed {} queries in {} scheduler group(s)\n", corpus::DEMO_QUERIES.len(), engine.group_count());
+    println!(
+        "deployed {} queries in {} scheduler group(s)\n",
+        corpus::DEMO_QUERIES.len(),
+        engine.group_count()
+    );
 
     let mut alert_count = 0usize;
     for event in trace.shared() {
@@ -90,7 +109,10 @@ pub fn simulate(argv: &[String]) -> i32 {
         trace.topology.hosts.len(),
         if config.attack.is_some() { "yes" } else { "no" },
     );
-    print!("{}", saql_collector::stats::TraceStats::compute(&trace.events).report());
+    print!(
+        "{}",
+        saql_collector::stats::TraceStats::compute(&trace.events).report()
+    );
     0
 }
 
@@ -109,7 +131,11 @@ pub fn replay(argv: &[String]) -> i32 {
     };
 
     let mut selection = Selection::all();
-    selection.hosts = flags.get_all("host").into_iter().map(String::from).collect();
+    selection.hosts = flags
+        .get_all("host")
+        .into_iter()
+        .map(String::from)
+        .collect();
     if let Some(from) = flags.get("from") {
         match from.parse() {
             Ok(ms) => selection.from = Some(Timestamp::from_millis(ms)),
@@ -232,11 +258,7 @@ pub fn repl(argv: &[String], input: &mut dyn BufRead, out: &mut dyn Write) -> i3
 }
 
 /// The REPL proper, I/O-parameterized for tests.
-pub fn repl_loop(
-    input: &mut dyn BufRead,
-    out: &mut dyn Write,
-    store: Option<EventStore>,
-) -> i32 {
+pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<EventStore>) -> i32 {
     let mut engine = Engine::new(EngineConfig::default());
     let mut sources: Vec<(String, String)> = Vec::new();
     let _ = writeln!(
@@ -247,7 +269,9 @@ pub fn repl_loop(
     loop {
         let _ = write!(out, "saql> ");
         let _ = out.flush();
-        let Some(Ok(line)) = lines.next() else { return 0 };
+        let Some(Ok(line)) = lines.next() else {
+            return 0;
+        };
         let trimmed = line.trim().to_string();
         match trimmed.as_str() {
             "" => continue,

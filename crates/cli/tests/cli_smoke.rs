@@ -1,0 +1,99 @@
+//! End-to-end smoke tests driving the compiled `saql` binary: `saql help`,
+//! `saql check` on corpus query files (OK and error paths), and the
+//! hand-rolled flag parser's failure modes as seen from the command line.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn saql(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_saql"))
+        .args(args)
+        .output()
+        .expect("spawn saql binary")
+}
+
+fn temp_file(name: &str, contents: &str) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("saql-cli-smoke-{}-{name}", std::process::id()));
+    std::fs::write(&path, contents).unwrap();
+    path
+}
+
+#[test]
+fn help_prints_usage_and_exits_zero() {
+    for invocation in [&["help"][..], &["--help"], &["-h"], &[]] {
+        let out = saql(invocation);
+        assert!(out.status.success(), "saql {invocation:?} failed: {out:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("USAGE"), "no usage in: {text}");
+        for cmd in ["demo", "simulate", "replay", "check", "repl"] {
+            assert!(text.contains(cmd), "usage missing `{cmd}`");
+        }
+    }
+}
+
+#[test]
+fn unknown_command_exits_two_with_usage_on_stderr() {
+    let out = saql(&["frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command `frobnicate`"));
+    assert!(err.contains("USAGE"));
+}
+
+#[test]
+fn check_accepts_every_corpus_demo_query() {
+    for (name, src) in saql_lang::corpus::DEMO_QUERIES {
+        let path = temp_file(&format!("{name}.saql"), src);
+        let out = saql(&["check", path.to_str().unwrap()]);
+        let _ = std::fs::remove_file(&path);
+        assert!(out.status.success(), "{name} rejected: {out:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(": OK ("), "{name}: no OK line in: {text}");
+    }
+}
+
+#[test]
+fn check_reports_spanned_error_and_exits_one() {
+    let path = temp_file("broken.saql", "proc p1 [ oops\nreturn");
+    let out = saql(&["check", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error"), "no rendered error in: {err}");
+}
+
+#[test]
+fn check_without_files_is_a_usage_error() {
+    let out = saql(&["check"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("at least one query file"));
+}
+
+#[test]
+fn missing_flag_value_is_reported() {
+    let out = saql(&["simulate", "--out"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--out needs a value"), "got: {err}");
+}
+
+#[test]
+fn simulate_then_check_store_exists() {
+    let mut store = std::env::temp_dir();
+    store.push(format!("saql-cli-smoke-{}-trace.bin", std::process::id()));
+    let out = saql(&[
+        "simulate",
+        "--out",
+        store.to_str().unwrap(),
+        "--clients",
+        "2",
+        "--minutes",
+        "1",
+    ]);
+    let written = std::fs::metadata(&store).map(|m| m.len()).unwrap_or(0);
+    let _ = std::fs::remove_file(&store);
+    assert!(out.status.success(), "simulate failed: {out:?}");
+    assert!(written > 0, "simulate produced an empty store");
+}

@@ -56,7 +56,10 @@ impl Default for AttackConfig {
     fn default() -> Self {
         // Default start late enough that 10-minute-window queries have
         // warm history (3 windows) and the invariant query has trained.
-        AttackConfig { start: Timestamp::from_millis(35 * 60_000), step_gap_ms: 4 * 60_000 }
+        AttackConfig {
+            start: Timestamp::from_millis(35 * 60_000),
+            step_gap_ms: 4 * 60_000,
+        }
     }
 }
 
@@ -139,7 +142,11 @@ pub fn generate(config: &AttackConfig) -> Vec<(AttackStep, Event)> {
         MalwareInfection,
         ev(t2 + 4_000)
             .subject(ProcessInfo::new(PID_CSCRIPT, "cscript.exe", &victim_user))
-            .starts_process(ProcessInfo::new(PID_SBBLV_CLIENT, "sbblv.exe", &victim_user))
+            .starts_process(ProcessInfo::new(
+                PID_SBBLV_CLIENT,
+                "sbblv.exe",
+                &victim_user,
+            ))
             .build(),
     ));
     // Backdoor heartbeat to the attacker.
@@ -148,7 +155,13 @@ pub fn generate(config: &AttackConfig) -> Vec<(AttackStep, Event)> {
             MalwareInfection,
             ev(t2 + 6_000 + i * 5_000)
                 .subject(ProcessInfo::new(PID_CSCRIPT, "cscript.exe", &victim_user))
-                .sends(NetworkInfo::new("10.0.0.13", 49800, ATTACKER_IP, 443, "tcp"))
+                .sends(NetworkInfo::new(
+                    "10.0.0.13",
+                    49800,
+                    ATTACKER_IP,
+                    443,
+                    "tcp",
+                ))
                 .amount(1_200)
                 .build(),
         ));
@@ -159,7 +172,11 @@ pub fn generate(config: &AttackConfig) -> Vec<(AttackStep, Event)> {
     out.push((
         PrivilegeEscalation,
         ev(t3)
-            .subject(ProcessInfo::new(PID_SBBLV_CLIENT, "sbblv.exe", &victim_user))
+            .subject(ProcessInfo::new(
+                PID_SBBLV_CLIENT,
+                "sbblv.exe",
+                &victim_user,
+            ))
             .starts_process(ProcessInfo::new(PID_CMD_CLIENT, "cmd.exe", &victim_user))
             .build(),
     ));
@@ -168,7 +185,11 @@ pub fn generate(config: &AttackConfig) -> Vec<(AttackStep, Event)> {
         out.push((
             PrivilegeEscalation,
             ev(t3 + 2_000 + i * 400)
-                .subject(ProcessInfo::new(PID_SBBLV_CLIENT, "sbblv.exe", &victim_user))
+                .subject(ProcessInfo::new(
+                    PID_SBBLV_CLIENT,
+                    "sbblv.exe",
+                    &victim_user,
+                ))
                 .action(
                     saql_model::Operation::Connect,
                     saql_model::Entity::Network(NetworkInfo::new(
@@ -201,7 +222,13 @@ pub fn generate(config: &AttackConfig) -> Vec<(AttackStep, Event)> {
         PrivilegeEscalation,
         ev(t3 + 10_000)
             .subject(ProcessInfo::new(PID_GSECDUMP, "gsecdump.exe", &victim_user))
-            .sends(NetworkInfo::new("10.0.0.13", 49811, ATTACKER_IP, 443, "tcp"))
+            .sends(NetworkInfo::new(
+                "10.0.0.13",
+                49811,
+                ATTACKER_IP,
+                443,
+                "tcp",
+            ))
             .amount(24_000)
             .build(),
     ));
@@ -374,7 +401,10 @@ mod tests {
             .iter()
             .find(|e| matches!(&e.object, saql_model::Entity::Network(n) if &*n.dst_ip == ATTACKER_IP))
             .expect("cscript phones home");
-        assert_eq!(backdoor.subject.pid, spawned_pid, "backdoor must run in the spawned process");
+        assert_eq!(
+            backdoor.subject.pid, spawned_pid,
+            "backdoor must run in the spawned process"
+        );
     }
 
     #[test]

@@ -41,7 +41,13 @@ pub struct BackgroundGen<'a> {
 
 impl<'a> BackgroundGen<'a> {
     pub fn new(host: &'a Host, client_ips: &'a [std::sync::Arc<str>], rng: &'a mut StdRng) -> Self {
-        BackgroundGen { host, client_ips, rng, next_pid: 5000, out: Vec::new() }
+        BackgroundGen {
+            host,
+            client_ips,
+            rng,
+            next_pid: 5000,
+            out: Vec::new(),
+        }
     }
 
     /// Generate the host's background events over `[0, duration_ms)`,
@@ -95,7 +101,13 @@ impl<'a> BackgroundGen<'a> {
             let e = self
                 .builder(t)
                 .subject(ProcessInfo::new(pids::CHROME, "chrome.exe", &user))
-                .sends(NetworkInfo::new(self.host.ip.as_ref(), 44321, dst, 443, "tcp"))
+                .sends(NetworkInfo::new(
+                    self.host.ip.as_ref(),
+                    44321,
+                    dst,
+                    443,
+                    "tcp",
+                ))
                 .amount(amount)
                 .build();
             self.out.push(e);
@@ -108,7 +120,13 @@ impl<'a> BackgroundGen<'a> {
             let e = self
                 .builder(t)
                 .subject(ProcessInfo::new(pids::OUTLOOK, "outlook.exe", &user))
-                .receives(NetworkInfo::new(self.host.ip.as_ref(), 52000, "10.0.1.2", 443, "tcp"))
+                .receives(NetworkInfo::new(
+                    self.host.ip.as_ref(),
+                    52000,
+                    "10.0.1.2",
+                    443,
+                    "tcp",
+                ))
                 .amount(amount)
                 .build();
             self.out.push(e);
@@ -130,7 +148,10 @@ impl<'a> BackgroundGen<'a> {
         // Explorer writing user documents every ~20s.
         let mut t = self.jitter(20_000);
         while t < duration {
-            let doc = format!("C:\\Users\\{user}\\Documents\\notes-{}.txt", self.rng.gen_range(1..20));
+            let doc = format!(
+                "C:\\Users\\{user}\\Documents\\notes-{}.txt",
+                self.rng.gen_range(1..20)
+            );
             let amount = self.rng.gen_range(100..10_000);
             let e = self
                 .builder(t)
@@ -168,14 +189,19 @@ impl<'a> BackgroundGen<'a> {
             while t < duration {
                 let amount = self.rng.gen_range(6_000..9_000);
                 let read = self.rng.gen_bool(0.5);
-                let conn =
-                    NetworkInfo::new(self.host.ip.as_ref(), 1433, ip.as_ref(), 49200, "tcp");
-                let b = self
-                    .builder(t)
-                    .subject(ProcessInfo::new(pids::SQLSERVR, "sqlservr.exe", "svc-sql"));
-                let e = if read { b.receives(conn) } else { b.sends(conn) }
-                    .amount(amount)
-                    .build();
+                let conn = NetworkInfo::new(self.host.ip.as_ref(), 1433, ip.as_ref(), 49200, "tcp");
+                let b = self.builder(t).subject(ProcessInfo::new(
+                    pids::SQLSERVR,
+                    "sqlservr.exe",
+                    "svc-sql",
+                ));
+                let e = if read {
+                    b.receives(conn)
+                } else {
+                    b.sends(conn)
+                }
+                .amount(amount)
+                .build();
                 self.out.push(e);
                 t += self.tight_jitter(5_000);
             }
@@ -235,7 +261,13 @@ impl<'a> BackgroundGen<'a> {
             let e = self
                 .builder(t)
                 .subject(ProcessInfo::new(pids::MAILD, "store.exe", "svc-mail"))
-                .sends(NetworkInfo::new(self.host.ip.as_ref(), 443, ip.as_ref(), 52000, "tcp"))
+                .sends(NetworkInfo::new(
+                    self.host.ip.as_ref(),
+                    443,
+                    ip.as_ref(),
+                    52000,
+                    "tcp",
+                ))
                 .amount(amount)
                 .build();
             self.out.push(e);
@@ -253,7 +285,13 @@ impl<'a> BackgroundGen<'a> {
             let e = self
                 .builder(t)
                 .subject(ProcessInfo::new(pids::LSASS, "lsass.exe", "SYSTEM"))
-                .receives(NetworkInfo::new(self.host.ip.as_ref(), 88, ip.as_ref(), 49100, "tcp"))
+                .receives(NetworkInfo::new(
+                    self.host.ip.as_ref(),
+                    88,
+                    ip.as_ref(),
+                    49100,
+                    "tcp",
+                ))
                 .amount(amount)
                 .build();
             self.out.push(e);
@@ -300,7 +338,10 @@ mod tests {
             .iter()
             .filter(|e| &*e.subject.exe_name == "excel.exe" && e.op == saql_model::Operation::Start)
             .count();
-        assert!(excel_starts > 20, "only {excel_starts} excel starts in 10 min");
+        assert!(
+            excel_starts > 20,
+            "only {excel_starts} excel starts in 10 min"
+        );
     }
 
     #[test]

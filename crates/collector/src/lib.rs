@@ -32,4 +32,6 @@ pub mod workload;
 
 pub use attack::{AttackConfig, AttackStep};
 pub use simulator::{SimConfig, Simulator, Trace};
-pub use topology::{HostRole, Topology, ATTACKER_IP, DB_SERVER, MAIL_SERVER, VICTIM_CLIENT, WEB_SERVER};
+pub use topology::{
+    HostRole, Topology, ATTACKER_IP, DB_SERVER, MAIL_SERVER, VICTIM_CLIENT, WEB_SERVER,
+};

@@ -49,12 +49,19 @@ pub struct Trace {
 impl Trace {
     /// Wrap the events for streaming (`Arc<Event>`).
     pub fn shared(&self) -> Vec<SharedEvent> {
-        self.events.iter().cloned().map(std::sync::Arc::new).collect()
+        self.events
+            .iter()
+            .cloned()
+            .map(std::sync::Arc::new)
+            .collect()
     }
 
     /// Events of one host, in order.
     pub fn host_events(&self, host: &str) -> Vec<&Event> {
-        self.events.iter().filter(|e| &*e.agent_id == host).collect()
+        self.events
+            .iter()
+            .filter(|e| &*e.agent_id == host)
+            .collect()
     }
 }
 
@@ -72,8 +79,11 @@ impl Simulator {
         let mut tagged: Vec<(Option<AttackStep>, Event)> = Vec::new();
 
         for (i, host) in topology.hosts.iter().enumerate() {
-            let mut rng = StdRng::seed_from_u64(config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)));
-            let events = BackgroundGen::new(host, &client_ips, &mut rng).generate(config.duration_ms);
+            let mut rng = StdRng::seed_from_u64(
+                config.seed ^ (0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1)),
+            );
+            let events =
+                BackgroundGen::new(host, &client_ips, &mut rng).generate(config.duration_ms);
             tagged.extend(events.into_iter().map(|e| (None, e)));
         }
 
@@ -100,10 +110,8 @@ impl Simulator {
         let attack_spans = attack_ids
             .iter()
             .map(|(step, ids)| {
-                let ts: Vec<Timestamp> = ids
-                    .iter()
-                    .map(|&id| events[(id - 1) as usize].ts)
-                    .collect();
+                let ts: Vec<Timestamp> =
+                    ids.iter().map(|&id| events[(id - 1) as usize].ts).collect();
                 (*step, *ts.iter().min().unwrap(), *ts.iter().max().unwrap())
             })
             .collect();
@@ -122,7 +130,12 @@ mod tests {
     use super::*;
 
     fn small() -> SimConfig {
-        SimConfig { seed: 7, clients: 4, duration_ms: 10 * 60_000, attack: None }
+        SimConfig {
+            seed: 7,
+            clients: 4,
+            duration_ms: 10 * 60_000,
+            attack: None,
+        }
     }
 
     #[test]
@@ -155,7 +168,10 @@ mod tests {
 
     #[test]
     fn attack_trace_has_ground_truth() {
-        let mut cfg = SimConfig { duration_ms: 60 * 60_000, ..small() };
+        let mut cfg = SimConfig {
+            duration_ms: 60 * 60_000,
+            ..small()
+        };
         cfg.attack = Some(AttackConfig::default());
         let t = Simulator::generate(&cfg);
         assert_eq!(t.attack_ids.len(), 5);
@@ -170,11 +186,13 @@ mod tests {
         }
         // Attack events interleave with background (not a block at the end).
         let (_, first_span_start, _) = t.attack_spans[0];
-        let background_after = t
-            .events
-            .iter()
-            .any(|e| e.ts > first_span_start && !t.attack_ids.iter().any(|(_, ids)| ids.contains(&e.id)));
-        assert!(background_after, "background must continue during the attack");
+        let background_after = t.events.iter().any(|e| {
+            e.ts > first_span_start && !t.attack_ids.iter().any(|(_, ids)| ids.contains(&e.id))
+        });
+        assert!(
+            background_after,
+            "background must continue during the attack"
+        );
     }
 
     #[test]

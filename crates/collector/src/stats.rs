@@ -29,7 +29,10 @@ pub struct TraceStats {
 impl TraceStats {
     /// Compute statistics over events (one pass).
     pub fn compute(events: &[Event]) -> TraceStats {
-        let mut stats = TraceStats { events: events.len(), ..TraceStats::default() };
+        let mut stats = TraceStats {
+            events: events.len(),
+            ..TraceStats::default()
+        };
         let mut exes = std::collections::HashSet::new();
         for e in events {
             stats.first_ts = Some(match stats.first_ts {
@@ -90,7 +93,12 @@ impl TraceStats {
             self.distinct_exes
         )
         .unwrap();
-        writeln!(out, "total data amount: {:.2} GB", self.total_amount as f64 / 1e9).unwrap();
+        writeln!(
+            out,
+            "total data amount: {:.2} GB",
+            self.total_amount as f64 / 1e9
+        )
+        .unwrap();
         write!(out, "operations:").unwrap();
         for (op, n) in &self.per_op {
             write!(out, " {op}={n}").unwrap();

@@ -58,7 +58,10 @@ impl Topology {
     /// Build the demo topology with `clients` Windows clients (client-1..N)
     /// plus the four servers. `clients >= 3` guarantees the victim exists.
     pub fn new(clients: usize) -> Self {
-        assert!(clients >= 3, "topology needs at least 3 clients (victim is client-3)");
+        assert!(
+            clients >= 3,
+            "topology needs at least 3 clients (victim is client-3)"
+        );
         let mut hosts = Vec::with_capacity(clients + 4);
         for i in 1..=clients {
             hosts.push(Host {
@@ -67,10 +70,26 @@ impl Topology {
                 ip: Arc::from(format!("10.0.0.{}", 10 + i).as_str()),
             });
         }
-        hosts.push(Host { id: Arc::from(MAIL_SERVER), role: HostRole::MailServer, ip: Arc::from("10.0.1.2") });
-        hosts.push(Host { id: Arc::from(DB_SERVER), role: HostRole::DbServer, ip: Arc::from("10.0.1.3") });
-        hosts.push(Host { id: Arc::from(WEB_SERVER), role: HostRole::WebServer, ip: Arc::from("10.0.1.4") });
-        hosts.push(Host { id: Arc::from(DC_SERVER), role: HostRole::DomainController, ip: Arc::from("10.0.1.5") });
+        hosts.push(Host {
+            id: Arc::from(MAIL_SERVER),
+            role: HostRole::MailServer,
+            ip: Arc::from("10.0.1.2"),
+        });
+        hosts.push(Host {
+            id: Arc::from(DB_SERVER),
+            role: HostRole::DbServer,
+            ip: Arc::from("10.0.1.3"),
+        });
+        hosts.push(Host {
+            id: Arc::from(WEB_SERVER),
+            role: HostRole::WebServer,
+            ip: Arc::from("10.0.1.4"),
+        });
+        hosts.push(Host {
+            id: Arc::from(DC_SERVER),
+            role: HostRole::DomainController,
+            ip: Arc::from("10.0.1.5"),
+        });
         Topology { hosts }
     }
 

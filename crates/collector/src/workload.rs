@@ -22,7 +22,11 @@ impl Default for Mix {
     fn default() -> Self {
         // Roughly the mix of real system monitoring data: file and network
         // I/O dominate, process starts are rare.
-        Mix { process_start: 0.05, file_io: 0.55, network_io: 0.40 }
+        Mix {
+            process_start: 0.05,
+            file_io: 0.55,
+            network_io: 0.40,
+        }
     }
 }
 
@@ -75,8 +79,8 @@ pub fn synthetic_stream(config: &WorkloadConfig) -> Vec<Event> {
         let host = format!("host-{}", rng.gen_range(0..config.hosts.max(1)));
         let pid = 1000 + rng.gen_range(0..config.procs.max(1)) as u32;
         let exe = format!("proc-{}.exe", pid - 1000);
-        let builder = EventBuilder::new(i as u64 + 1, &host, ts)
-            .subject(ProcessInfo::new(pid, &exe, "user"));
+        let builder =
+            EventBuilder::new(i as u64 + 1, &host, ts).subject(ProcessInfo::new(pid, &exe, "user"));
 
         let event = if rng.gen_bool(config.target_fraction.clamp(0.0, 1.0)) {
             EventBuilder::new(i as u64 + 1, &host, ts)
@@ -129,20 +133,30 @@ mod tests {
 
     #[test]
     fn respects_count_and_order() {
-        let events = synthetic_stream(&WorkloadConfig { events: 5_000, ..Default::default() });
+        let events = synthetic_stream(&WorkloadConfig {
+            events: 5_000,
+            ..Default::default()
+        });
         assert_eq!(events.len(), 5_000);
         assert!(events.windows(2).all(|w| w[0].ts <= w[1].ts));
     }
 
     #[test]
     fn deterministic() {
-        let cfg = WorkloadConfig { events: 1_000, ..Default::default() };
+        let cfg = WorkloadConfig {
+            events: 1_000,
+            ..Default::default()
+        };
         assert_eq!(synthetic_stream(&cfg), synthetic_stream(&cfg));
     }
 
     #[test]
     fn target_fraction_controls_selectivity() {
-        let cfg = WorkloadConfig { events: 20_000, target_fraction: 0.10, ..Default::default() };
+        let cfg = WorkloadConfig {
+            events: 20_000,
+            target_fraction: 0.10,
+            ..Default::default()
+        };
         let events = synthetic_stream(&cfg);
         let hits = events
             .iter()
@@ -154,14 +168,20 @@ mod tests {
 
     #[test]
     fn zero_target_fraction_has_no_hits() {
-        let cfg = WorkloadConfig { events: 5_000, ..Default::default() };
+        let cfg = WorkloadConfig {
+            events: 5_000,
+            ..Default::default()
+        };
         let events = synthetic_stream(&cfg);
         assert!(!events.iter().any(|e| &*e.subject.exe_name == "target.exe"));
     }
 
     #[test]
     fn mix_produces_all_families() {
-        let events = synthetic_stream(&WorkloadConfig { events: 10_000, ..Default::default() });
+        let events = synthetic_stream(&WorkloadConfig {
+            events: 10_000,
+            ..Default::default()
+        });
         let mut fam = std::collections::HashSet::new();
         for e in &events {
             fam.insert(e.family());

@@ -1,0 +1,218 @@
+//! Minimal vendored benchmark harness exposing the subset of the
+//! `criterion` API this workspace's benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Throughput`], [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Measurement is a plain wall-clock loop (short warm-up, then a fixed
+//! sample of timed iterations) reporting mean ns/iter and, when a
+//! throughput was declared, derived elements-or-bytes per second. No
+//! statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benchmark
+/// work.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Work volume of one iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark's display identity: function name plus optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(label: &str) -> Self {
+        BenchmarkId {
+            label: label.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(label: String) -> Self {
+        BenchmarkId { label }
+    }
+}
+
+/// Runs closures under timing; handed to bench bodies.
+pub struct Bencher {
+    samples: u64,
+    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    elapsed_per_iter: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, keeping its return value alive via [`black_box`].
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run (also pre-faults lazy state).
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(routine());
+        }
+        self.elapsed_per_iter = start.elapsed() / (self.samples as u32);
+    }
+}
+
+/// Top-level harness state; one per bench binary.
+pub struct Criterion {
+    sample_size: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        run_one(&id.label, self.sample_size, None, f);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    throughput: Option<Throughput>,
+    sample_size: Option<u64>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1) as u64);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.effective_samples(), self.throughput, f);
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.effective_samples(), self.throughput, |b| {
+            f(b, input)
+        });
+    }
+
+    pub fn finish(self) {}
+
+    fn effective_samples(&self) -> u64 {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    samples: u64,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    let mut bencher = Bencher {
+        samples,
+        elapsed_per_iter: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let ns = bencher.elapsed_per_iter.as_nanos().max(1);
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / (ns as f64 / 1e9)),
+        Throughput::Bytes(n) => format!("  {:.0} B/s", n as f64 / (ns as f64 / 1e9)),
+    });
+    println!(
+        "bench {label:<48} {ns:>12} ns/iter{}",
+        rate.unwrap_or_default()
+    );
+}
+
+/// Bundle bench functions into one runnable group, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit the bench binary's `main`, running each group in order. Accepts and
+/// ignores harness CLI arguments (`--bench`, filters) so `cargo bench`
+/// drives it unmodified.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_apis_run() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(4)).sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("f", 4), &4u64, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n * 2
+            });
+        });
+        group.bench_function("plain", |b| b.iter(|| 1u32));
+        group.finish();
+        c.bench_function(BenchmarkId::from_parameter("top"), |b| b.iter(|| 1u32));
+        assert!(runs >= 3, "bench body should have been sampled");
+    }
+}

@@ -1,0 +1,565 @@
+//! Minimal vendored property-testing harness exposing the subset of the
+//! `proptest` crate API this workspace uses: the [`proptest!`] macro,
+//! `prop_assert!`/`prop_assert_eq!`, [`strategy::Strategy`] with `prop_map`,
+//! [`prop_oneof!`]/[`strategy::Just`], [`arbitrary::any`], ranges and tuples
+//! as strategies, [`collection::vec`], and [`string::string_regex`] over a
+//! regex subset (literals, escapes, character classes, `{m,n}`/`{n}`/`?`
+//! quantifiers).
+//!
+//! Cases are generated from a seed derived from the test name, so runs are
+//! deterministic. There is no shrinking: a failing case panics immediately
+//! with the generated inputs left to the assertion message.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Deterministic RNG handed to strategies by the [`crate::proptest!`]
+    /// runner.
+    pub type TestRng = StdRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Transform generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Always produces a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Type-erase a strategy (used by [`crate::prop_oneof!`]).
+    pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+    where
+        S: Strategy + 'static,
+    {
+        Box::new(s)
+    }
+
+    /// Uniform choice among several strategies of one value type.
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let idx = rng.gen_range(0..self.options.len());
+            self.options[idx].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    /// A bare string literal is a regex strategy, as in real proptest.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+                .generate(rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A);
+    tuple_strategy!(A, B);
+    tuple_strategy!(A, B, C);
+    tuple_strategy!(A, B, C, D);
+    tuple_strategy!(A, B, C, D, E);
+    tuple_strategy!(A, B, C, D, E, F);
+    tuple_strategy!(A, B, C, D, E, F, G);
+    tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a default "any value" strategy.
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! arb_uint {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.gen::<u64>() as $t
+                }
+            }
+        )*};
+    }
+
+    arb_uint!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<u64>() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.gen::<f64>()
+        }
+    }
+
+    /// Strategy producing arbitrary values of `T`.
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The `any::<T>()` entry point.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// Allowed lengths for a generated collection.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_excl: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_excl: r.end,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_excl: n + 1,
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from the size range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// The `proptest::collection::vec` entry point.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..self.size.hi_excl);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod string {
+    use super::strategy::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// One regex atom with its repetition bounds.
+    struct Piece {
+        choices: Vec<char>,
+        min: u32,
+        max: u32,
+    }
+
+    /// Strategy generating strings matching a regex subset; build with
+    /// [`string_regex`].
+    pub struct RegexGeneratorStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for piece in &self.pieces {
+                let n = rng.gen_range(piece.min..=piece.max);
+                for _ in 0..n {
+                    out.push(piece.choices[rng.gen_range(0..piece.choices.len())]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Errors from unsupported or malformed patterns.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl std::fmt::Display for Error {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            write!(f, "{}", self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    fn err(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    fn unescape(c: char) -> char {
+        match c {
+            'n' => '\n',
+            't' => '\t',
+            'r' => '\r',
+            other => other,
+        }
+    }
+
+    /// Parse a `[...]` class body (after `[`) into its member characters.
+    fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<Vec<char>, Error> {
+        let mut members = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| err("unterminated character class"))?;
+            match c {
+                ']' => break,
+                '\\' => {
+                    let e = chars
+                        .next()
+                        .ok_or_else(|| err("dangling escape in class"))?;
+                    members.push(unescape(e));
+                }
+                _ => {
+                    if chars.peek() == Some(&'-') {
+                        let mut look = chars.clone();
+                        look.next();
+                        match look.peek() {
+                            Some(&']') | None => members.push(c), // literal '-' handled next loop
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                if (hi as u32) < (c as u32) {
+                                    return Err(err("descending class range"));
+                                }
+                                for code in (c as u32)..=(hi as u32) {
+                                    members.push(char::from_u32(code).unwrap());
+                                }
+                            }
+                        }
+                    } else {
+                        members.push(c);
+                    }
+                }
+            }
+        }
+        if members.is_empty() {
+            return Err(err("empty character class"));
+        }
+        Ok(members)
+    }
+
+    /// Parse a `{m,n}` / `{n}` quantifier body (after `{`).
+    fn parse_counts(chars: &mut std::iter::Peekable<std::str::Chars>) -> Result<(u32, u32), Error> {
+        let mut body = String::new();
+        loop {
+            match chars.next() {
+                Some('}') => break,
+                Some(c) => body.push(c),
+                None => return Err(err("unterminated quantifier")),
+            }
+        }
+        let parse = |s: &str| {
+            s.trim()
+                .parse::<u32>()
+                .map_err(|_| err("bad quantifier number"))
+        };
+        match body.split_once(',') {
+            Some((lo, hi)) => Ok((parse(lo)?, parse(hi)?)),
+            None => {
+                let n = parse(&body)?;
+                Ok((n, n))
+            }
+        }
+    }
+
+    /// Build a generator for the supported regex subset: literal chars,
+    /// `\`-escapes, `[...]` classes (with ranges), and `{m,n}`/`{n}`/`?`
+    /// quantifiers. No groups, alternation, or anchors.
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut pieces = Vec::new();
+        while let Some(c) = chars.next() {
+            let choices = match c {
+                '[' => parse_class(&mut chars)?,
+                '\\' => {
+                    let e = chars.next().ok_or_else(|| err("dangling escape"))?;
+                    vec![unescape(e)]
+                }
+                '(' | ')' | '|' | '*' | '+' | '^' | '$' => {
+                    return Err(err(format!("unsupported regex construct `{c}`")));
+                }
+                lit => vec![lit],
+            };
+            let (min, max) = match chars.peek() {
+                Some('{') => {
+                    chars.next();
+                    parse_counts(&mut chars)?
+                }
+                Some('?') => {
+                    chars.next();
+                    (0, 1)
+                }
+                _ => (1, 1),
+            };
+            if max < min {
+                return Err(err("quantifier max below min"));
+            }
+            pieces.push(Piece { choices, min, max });
+        }
+        Ok(RegexGeneratorStrategy { pieces })
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+        use rand::SeedableRng;
+
+        fn gen_one(pattern: &str, seed: u64) -> String {
+            let mut rng = TestRng::seed_from_u64(seed);
+            string_regex(pattern).unwrap().generate(&mut rng)
+        }
+
+        #[test]
+        fn class_with_ranges_escapes_and_trailing_dash() {
+            for seed in 0..50 {
+                let s = gen_one("[a-zA-Z0-9._\\\\:-]{0,24}", seed);
+                assert!(s.len() <= 24);
+                assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || ['.', '_', '\\', ':', '-'].contains(&c)));
+            }
+        }
+
+        #[test]
+        fn optional_and_literal_suffix() {
+            for seed in 0..50 {
+                let s = gen_one("%?[a-z]{1,8}\\.exe", seed);
+                let body = s.strip_prefix('%').unwrap_or(&s);
+                let stem = body.strip_suffix(".exe").expect("suffix");
+                assert!((1..=8).contains(&stem.len()));
+                assert!(stem.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+
+        #[test]
+        fn space_to_tilde_class_with_newline() {
+            for seed in 0..20 {
+                let s = gen_one("[ -~\\n]{0,200}", seed);
+                assert!(s.len() <= 200);
+                assert!(s.chars().all(|c| (' '..='~').contains(&c) || c == '\n'));
+            }
+        }
+
+        #[test]
+        fn exact_count_quantifier() {
+            assert_eq!(gen_one("[x]{5}", 1), "xxxxx");
+        }
+
+        #[test]
+        fn rejects_unsupported_constructs() {
+            assert!(string_regex("(a|b)").is_err());
+            assert!(string_regex("a*").is_err());
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::SeedableRng;
+
+    /// Subset of proptest's run configuration: just the case count.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    /// Deterministic per-test RNG, seeded from the test's name.
+    pub fn rng_for(test_name: &str) -> super::strategy::TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        super::strategy::TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a proptest body. Unlike real proptest this panics rather
+/// than returning `Err`, which is equivalent for a non-shrinking runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniform choice among strategies producing one value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (@run ($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..config.cases {
+                    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                        $(let $arg = $crate::strategy::Strategy::generate(&($strategy), &mut rng);)+
+                        $body
+                    }));
+                    if let Err(payload) = result {
+                        eprintln!(
+                            "proptest case {}/{} of `{}` failed (deterministic seed; rerun reproduces it)",
+                            case + 1, config.cases, stringify!($name),
+                        );
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@run ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@run ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}

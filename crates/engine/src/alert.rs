@@ -13,7 +13,11 @@ pub enum AlertOrigin {
     Match { event_ids: Vec<u64> },
     /// A stateful model fired when the window `[start, end)` closed for the
     /// given group key.
-    Window { start: Timestamp, end: Timestamp, group: String },
+    Window {
+        start: Timestamp,
+        end: Timestamp,
+        group: String,
+    },
 }
 
 /// One detection alert.
@@ -66,7 +70,9 @@ mod tests {
         let a = Alert {
             query: "exfil".into(),
             ts: Timestamp::from_secs(9),
-            origin: AlertOrigin::Match { event_ids: vec![1, 4, 7] },
+            origin: AlertOrigin::Match {
+                event_ids: vec![1, 4, 7],
+            },
             rows: vec![
                 ("p1".into(), "cmd.exe".into()),
                 ("i1".into(), "172.16.9.129".into()),

@@ -6,8 +6,8 @@
 //! no dense cluster (DBSCAN noise, or tiny k-means clusters) set
 //! `cluster.outlier` for their group's alert evaluation.
 
-use saql_lang::ast::{ClusterMethod, ClusterSpec, Distance};
 use saql_analytics::{dbscan, kmeans, Metric};
+use saql_lang::ast::{ClusterMethod, ClusterSpec, Distance};
 
 use crate::eval::{eval, ClusterOutcome, Scope};
 
@@ -23,7 +23,10 @@ pub fn metric_of(d: Distance) -> Metric {
 /// or non-numeric (the group then skips clustering and cannot be an
 /// outlier this window).
 pub fn point_of(spec: &ClusterSpec, scope: &Scope<'_>) -> Option<Vec<f64>> {
-    spec.points.iter().map(|e| eval(e, scope).as_f64()).collect()
+    spec.points
+        .iter()
+        .map(|e| eval(e, scope).as_f64())
+        .collect()
 }
 
 /// Cluster the groups' points and produce one outcome per point, in input
@@ -57,7 +60,11 @@ pub fn run_cluster(spec: &ClusterSpec, points: &[Vec<f64>], seed: u64) -> Vec<Cl
                         cluster_id: Some(id),
                         size: sizes[id],
                     },
-                    None => ClusterOutcome { outlier: true, cluster_id: None, size: 1 },
+                    None => ClusterOutcome {
+                        outlier: true,
+                        cluster_id: None,
+                        size: 1,
+                    },
                 })
                 .collect()
         }
@@ -123,7 +130,13 @@ mod tests {
         // Query-4 scenario: ordinary per-ip byte counts plus one huge dump.
         let spec = spec("DBSCAN(100000, 5)");
         let points = pts(&[
-            40_000.0, 55_000.0, 48_000.0, 61_000.0, 52_000.0, 45_000.0, 58_000.0,
+            40_000.0,
+            55_000.0,
+            48_000.0,
+            61_000.0,
+            52_000.0,
+            45_000.0,
+            58_000.0,
             2_000_000_000.0,
         ]);
         let outcomes = run_cluster(&spec, &points, 0);

@@ -55,7 +55,11 @@ impl Engine {
         if config.record_latency {
             scheduler.enable_latency_tracking();
         }
-        Engine { scheduler, names: Vec::new(), config }
+        Engine {
+            scheduler,
+            names: Vec::new(),
+            config,
+        }
     }
 
     /// Per-event latency histogram (ns), when
@@ -104,7 +108,11 @@ impl Engine {
     pub fn recent_errors(&self) -> Vec<String> {
         self.scheduler
             .queries()
-            .flat_map(|q| q.errors().recent().map(move |e| format!("{}: {e}", q.name())))
+            .flat_map(|q| {
+                q.errors()
+                    .recent()
+                    .map(move |e| format!("{}: {e}", q.name()))
+            })
             .collect()
     }
 
@@ -172,7 +180,11 @@ mod tests {
     #[test]
     fn register_and_run() {
         let mut e = Engine::new(EngineConfig::default());
-        e.register("q", "proc p1[\"%cmd.exe\"] start proc p2 as e1\nreturn p1, p2").unwrap();
+        e.register(
+            "q",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e1\nreturn p1, p2",
+        )
+        .unwrap();
         let alerts = e.run(vec![
             start(1, 10, "cmd.exe", "osql.exe"),
             start(2, 20, "explorer.exe", "notepad.exe"),
@@ -184,7 +196,9 @@ mod tests {
     #[test]
     fn register_error_carries_span() {
         let mut e = Engine::new(EngineConfig::default());
-        let err = e.register("bad", "proc p teleport proc q as e\nreturn p").unwrap_err();
+        let err = e
+            .register("bad", "proc p teleport proc q as e\nreturn p")
+            .unwrap_err();
         assert!(err.message.contains("teleport"));
         assert_eq!(err.span.line, 1);
     }
@@ -193,7 +207,8 @@ mod tests {
     fn multiple_queries_grouped() {
         let mut e = Engine::new(EngineConfig::default());
         for i in 0..8 {
-            e.register(&format!("q{i}"), "proc p start proc q as e\nreturn p").unwrap();
+            e.register(&format!("q{i}"), "proc p start proc q as e\nreturn p")
+                .unwrap();
         }
         assert_eq!(e.group_count(), 1);
         assert_eq!(e.query_names().len(), 8);
@@ -201,9 +216,17 @@ mod tests {
 
     #[test]
     fn latency_tracking_records_per_event() {
-        let mut e = Engine::new(EngineConfig { record_latency: true, ..Default::default() });
-        e.register("q", "proc p start proc q as e\nreturn p").unwrap();
-        e.run((0..50).map(|i| start(i, i * 10, "a.exe", "b.exe")).collect::<Vec<_>>());
+        let mut e = Engine::new(EngineConfig {
+            record_latency: true,
+            ..Default::default()
+        });
+        e.register("q", "proc p start proc q as e\nreturn p")
+            .unwrap();
+        e.run(
+            (0..50)
+                .map(|i| start(i, i * 10, "a.exe", "b.exe"))
+                .collect::<Vec<_>>(),
+        );
         let hist = e.latency().expect("tracking enabled");
         assert_eq!(hist.count(), 50);
         assert!(hist.quantile(0.5).unwrap() > 0);
@@ -215,7 +238,8 @@ mod tests {
     #[test]
     fn run_with_sink_streams_json() {
         let mut e = Engine::new(EngineConfig::default());
-        e.register("q", "proc p start proc q as e\nreturn p, q").unwrap();
+        e.register("q", "proc p start proc q as e\nreturn p, q")
+            .unwrap();
         let mut sink = crate::sink::JsonLinesSink::new(Vec::new());
         let n = e.run_with_sink(vec![start(1, 10, "cmd.exe", "osql.exe")], &mut sink);
         assert_eq!(n, 1);
@@ -227,7 +251,8 @@ mod tests {
     #[test]
     fn stats_and_errors_accessible() {
         let mut e = Engine::new(EngineConfig::default());
-        e.register("q", "proc p start proc q as e\nreturn p").unwrap();
+        e.register("q", "proc p start proc q as e\nreturn p")
+            .unwrap();
         e.run(vec![start(1, 10, "a", "b")]);
         let stats = e.query_stats();
         assert_eq!(stats.len(), 1);

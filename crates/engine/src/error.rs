@@ -46,7 +46,11 @@ pub struct ErrorReporter {
 
 impl ErrorReporter {
     pub fn new(capacity: usize) -> Self {
-        ErrorReporter { recent: VecDeque::with_capacity(capacity), capacity, total: 0 }
+        ErrorReporter {
+            recent: VecDeque::with_capacity(capacity),
+            capacity,
+            total: 0,
+        }
     }
 
     /// Record an error, evicting the oldest if at capacity.
@@ -98,9 +102,14 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        let e = EngineError::PartialMatchOverflow { query: "q1".into(), cap: 10 };
+        let e = EngineError::PartialMatchOverflow {
+            query: "q1".into(),
+            cap: 10,
+        };
         assert!(e.to_string().contains("q1"));
-        assert!(EngineError::UnresolvedName("zz".into()).to_string().contains("zz"));
+        assert!(EngineError::UnresolvedName("zz".into())
+            .to_string()
+            .contains("zz"));
     }
 
     #[test]

@@ -76,7 +76,9 @@ impl<'a> Scope<'a> {
     fn resolve(&self, base: &str, index: Option<usize>, attr: Option<&str>) -> Value {
         // 1. `cluster.*` pseudo-object.
         if base == "cluster" {
-            let Some(c) = self.cluster else { return Value::Missing };
+            let Some(c) = self.cluster else {
+                return Value::Missing;
+            };
             return match attr {
                 Some("outlier") => Value::bool(c.outlier),
                 Some("cluster_id") => match c.cluster_id {
@@ -192,7 +194,11 @@ fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, scope: &Scope<'_>) -> Value {
             }
             let r = eval(rhs, scope);
             if r.is_missing() {
-                return if l.is_missing() { Value::Missing } else { Value::bool(false) };
+                return if l.is_missing() {
+                    Value::Missing
+                } else {
+                    Value::bool(false)
+                };
             }
             if r.truthy() {
                 return Value::bool(true);
@@ -226,8 +232,7 @@ fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, scope: &Scope<'_>) -> Value {
         BinOp::Diff => eval(lhs, scope).diff(&eval(rhs, scope)),
         BinOp::Intersect => eval(lhs, scope).intersect(&eval(rhs, scope)),
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            let (Some(l), Some(r)) = (eval(lhs, scope).as_f64(), eval(rhs, scope).as_f64())
-            else {
+            let (Some(l), Some(r)) = (eval(lhs, scope).as_f64(), eval(rhs, scope).as_f64()) else {
                 return Value::Missing;
             };
             let x = match op {
@@ -261,7 +266,9 @@ mod tests {
     use saql_model::{FileInfo, ProcessInfo};
 
     fn expr(src: &str) -> Expr {
-        Parser::new(saql_lang::lexer::lex(src).unwrap()).expr().unwrap()
+        Parser::new(saql_lang::lexer::lex(src).unwrap())
+            .expr()
+            .unwrap()
     }
 
     fn ev() -> saql_model::Event {
@@ -317,7 +324,9 @@ mod tests {
         assert!(eval(&expr("evt.amount > 1000 && evt.amount < 10000"), &s).truthy());
         assert!(!eval(&expr("evt.amount > 1000 && evt.amount > 10000"), &s).truthy());
         assert!(eval(&expr("evt.amount = 4096"), &s).truthy());
-        assert!(eval(&expr("!(evt.amount = 4096)"), &s).loose_eq(&Value::bool(false)).unwrap());
+        assert!(eval(&expr("!(evt.amount = 4096)"), &s)
+            .loose_eq(&Value::bool(false))
+            .unwrap());
     }
 
     #[test]
@@ -347,7 +356,11 @@ mod tests {
     #[test]
     fn cluster_pseudo_object() {
         let mut s = Scope::empty();
-        s.cluster = Some(ClusterOutcome { outlier: true, cluster_id: None, size: 1 });
+        s.cluster = Some(ClusterOutcome {
+            outlier: true,
+            cluster_id: None,
+            size: 1,
+        });
         assert!(eval(&expr("cluster.outlier"), &s).truthy());
         assert_eq!(eval(&expr("cluster.cluster_id"), &s).as_f64(), Some(-1.0));
         assert_eq!(eval(&expr("cluster.size"), &s).as_f64(), Some(1.0));
@@ -358,7 +371,8 @@ mod tests {
     #[test]
     fn group_key_resolution() {
         let mut s = Scope::empty();
-        s.group_keys.insert("i.dstip".into(), AttrValue::str("10.0.0.9"));
+        s.group_keys
+            .insert("i.dstip".into(), AttrValue::str("10.0.0.9"));
         s.group_keys.insert("p".into(), AttrValue::str("cmd.exe"));
         assert_eq!(eval(&expr("i.dstip"), &s).to_string(), "10.0.0.9");
         assert_eq!(eval(&expr("p"), &s).to_string(), "cmd.exe");

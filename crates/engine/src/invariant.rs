@@ -37,7 +37,10 @@ pub struct InvariantRuntime {
 
 impl InvariantRuntime {
     pub fn new(block: &InvariantBlock) -> Self {
-        InvariantRuntime { block: block.clone(), groups: HashMap::new() }
+        InvariantRuntime {
+            block: block.clone(),
+            groups: HashMap::new(),
+        }
     }
 
     /// Current phase of a group (groups appear on their first window).
@@ -70,7 +73,10 @@ impl InvariantRuntime {
                     vars.insert(stmt.var.clone(), seeded);
                 }
             }
-            GroupInvariant { vars, phase: Phase::Training { seen: 0 } }
+            GroupInvariant {
+                vars,
+                phase: Phase::Training { seen: 0 },
+            }
         });
 
         match entry.phase {
@@ -175,7 +181,10 @@ mod tests {
     fn union_accumulates_across_training_windows() {
         let mut inv = InvariantRuntime::new(&block(2, "offline"));
         inv.on_window("apache.exe", &scope_with(&FixedState(vec!["php.exe"])));
-        inv.on_window("apache.exe", &scope_with(&FixedState(vec!["rotatelogs.exe"])));
+        inv.on_window(
+            "apache.exe",
+            &scope_with(&FixedState(vec!["rotatelogs.exe"])),
+        );
         let vars = inv.vars("apache.exe");
         assert_eq!(vars["a"].to_string(), "{php.exe, rotatelogs.exe}");
     }

@@ -11,7 +11,7 @@
 use std::collections::{HashMap, HashSet, VecDeque};
 
 use saql_lang::ast::{AttrConstraint, CmpOp, EventPattern, GlobalConstraint, Query};
-use saql_model::glob::{is_exact, like_match};
+use saql_model::glob::like_match;
 use saql_model::{AttrValue, Duration, Entity, Event, Operation, Timestamp};
 use saql_stream::SharedEvent;
 
@@ -19,9 +19,16 @@ use saql_stream::SharedEvent;
 #[derive(Debug, Clone)]
 pub enum Predicate {
     /// SQL-LIKE match on a string attribute.
-    Like { attr: Option<String>, pattern: String },
+    Like {
+        attr: Option<String>,
+        pattern: String,
+    },
     /// Direct comparison against a constant.
-    Cmp { attr: Option<String>, op: CmpOp, value: AttrValue },
+    Cmp {
+        attr: Option<String>,
+        op: CmpOp,
+        value: AttrValue,
+    },
 }
 
 impl Predicate {
@@ -32,14 +39,19 @@ impl Predicate {
         let value = c.value.to_attr();
         if c.op == CmpOp::Eq {
             if let AttrValue::Str(s) = &value {
-                if !is_exact(s) {
-                    return Predicate::Like { attr: c.attr.clone(), pattern: s.to_string() };
-                }
-                // Exact strings still match case-insensitively.
-                return Predicate::Like { attr: c.attr.clone(), pattern: s.to_string() };
+                // Wildcard patterns need LIKE; exact strings go through it
+                // too for the case-insensitive semantics.
+                return Predicate::Like {
+                    attr: c.attr.clone(),
+                    pattern: s.to_string(),
+                };
             }
         }
-        Predicate::Cmp { attr: c.attr.clone(), op: c.op, value }
+        Predicate::Cmp {
+            attr: c.attr.clone(),
+            op: c.op,
+            value,
+        }
     }
 
     /// Check the predicate against an attribute value.
@@ -101,7 +113,9 @@ impl GlobalFilter {
 
     /// Whether the event passes every global constraint.
     pub fn accepts(&self, event: &Event) -> bool {
-        self.predicates.iter().all(|(attr, pred)| pred.check(event.attr(attr)))
+        self.predicates
+            .iter()
+            .all(|(attr, pred)| pred.check(event.attr(attr)))
     }
 }
 
@@ -125,8 +139,18 @@ impl PatternMatcher {
             alias: p.alias.clone(),
             ops: p.ops.clone(),
             object_type: p.object.etype,
-            subject_preds: p.subject.constraints.iter().map(Predicate::compile).collect(),
-            object_preds: p.object.constraints.iter().map(Predicate::compile).collect(),
+            subject_preds: p
+                .subject
+                .constraints
+                .iter()
+                .map(Predicate::compile)
+                .collect(),
+            object_preds: p
+                .object
+                .constraints
+                .iter()
+                .map(Predicate::compile)
+                .collect(),
         }
     }
 
@@ -415,7 +439,8 @@ impl MultiMatcher {
         }
         let mut ext = p.clone();
         ext.bindings.insert(pat.subject_var.clone(), subject_entity);
-        ext.bindings.insert(pat.object_var.clone(), event.object.clone());
+        ext.bindings
+            .insert(pat.object_var.clone(), event.object.clone());
         ext.events[step] = Some(event.clone());
         ext.next = step + 1;
         ext.last_ts = event.ts;
@@ -428,11 +453,16 @@ impl MultiMatcher {
         for (step, ev) in p.events.iter().enumerate() {
             by_decl[self.order[step]] = ev.clone();
         }
-        let events: Vec<SharedEvent> =
-            by_decl.into_iter().map(|e| e.expect("all steps matched")).collect();
+        let events: Vec<SharedEvent> = by_decl
+            .into_iter()
+            .map(|e| e.expect("all steps matched"))
+            .collect();
         let ids: Vec<u64> = events.iter().map(|e| e.id).collect();
         if self.emitted.insert(ids) {
-            out.push(FullMatch { events, bindings: p.bindings });
+            out.push(FullMatch {
+                events,
+                bindings: p.bindings,
+            });
         }
     }
 }
@@ -490,7 +520,12 @@ mod tests {
     #[test]
     fn single_pattern_with_like() {
         let mut m = matcher(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1"#);
-        let hit = start_event(1, 10, (10, r"C:\Windows\System32\cmd.exe"), (11, "osql.exe"));
+        let hit = start_event(
+            1,
+            10,
+            (10, r"C:\Windows\System32\cmd.exe"),
+            (11, "osql.exe"),
+        );
         let miss = start_event(2, 20, (10, "powershell.exe"), (12, "osql.exe"));
         assert_eq!(m.feed(&hit).len(), 1);
         assert_eq!(m.feed(&miss).len(), 0);
@@ -515,15 +550,29 @@ proc p4 read || write ip i1[dstip="172.16.9.129"] as evt4
 with evt1 -> evt2 -> evt3 -> evt4
 "#;
         let mut m = matcher(src);
-        assert!(m.feed(&start_event(1, 100, (1, "cmd.exe"), (2, "osql.exe"))).is_empty());
-        assert!(m.feed(&write_file(2, 200, (3, "sqlservr.exe"), "backup1.dmp", 1 << 20)).is_empty());
-        assert!(m.feed(&read_file(3, 300, (4, "sbblv.exe"), "backup1.dmp")).is_empty());
+        assert!(m
+            .feed(&start_event(1, 100, (1, "cmd.exe"), (2, "osql.exe")))
+            .is_empty());
+        assert!(m
+            .feed(&write_file(
+                2,
+                200,
+                (3, "sqlservr.exe"),
+                "backup1.dmp",
+                1 << 20
+            ))
+            .is_empty());
+        assert!(m
+            .feed(&read_file(3, 300, (4, "sbblv.exe"), "backup1.dmp"))
+            .is_empty());
         let full = m.feed(&send_ip(4, 400, (4, "sbblv.exe"), "172.16.9.129", 1 << 20));
         assert_eq!(full.len(), 1);
         let ids: Vec<u64> = full[0].events.iter().map(|e| e.id).collect();
         assert_eq!(ids, vec![1, 2, 3, 4]);
         // Bound entities include the shared file variable.
-        assert!(matches!(full[0].bindings.get("f1"), Some(Entity::File(f)) if &*f.name == "backup1.dmp"));
+        assert!(
+            matches!(full[0].bindings.get("f1"), Some(Entity::File(f)) if &*f.name == "backup1.dmp")
+        );
     }
 
     #[test]
@@ -536,9 +585,15 @@ with evt2 -> evt3
         let mut m = matcher(src);
         m.feed(&write_file(1, 100, (3, "sqlservr.exe"), "backup1.dmp", 0));
         // Reads a *different* file: join must fail.
-        assert!(m.feed(&read_file(2, 200, (4, "sbblv.exe"), "other.dmp")).is_empty());
+        assert!(m
+            .feed(&read_file(2, 200, (4, "sbblv.exe"), "other.dmp"))
+            .is_empty());
         // Reads the same file: join succeeds.
-        assert_eq!(m.feed(&read_file(3, 300, (4, "sbblv.exe"), "backup1.dmp")).len(), 1);
+        assert_eq!(
+            m.feed(&read_file(3, 300, (4, "sbblv.exe"), "backup1.dmp"))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -551,9 +606,15 @@ with e1 -> e2
         let mut m = matcher(src);
         m.feed(&start_event(1, 100, (40, "excel.exe"), (41, "cscript.exe")));
         // Different cscript pid: not the spawned process.
-        assert!(m.feed(&send_ip(2, 200, (99, "cscript.exe"), "172.16.9.129", 10)).is_empty());
+        assert!(m
+            .feed(&send_ip(2, 200, (99, "cscript.exe"), "172.16.9.129", 10))
+            .is_empty());
         // The spawned pid 41: join succeeds.
-        assert_eq!(m.feed(&send_ip(3, 300, (41, "cscript.exe"), "172.16.9.129", 10)).len(), 1);
+        assert_eq!(
+            m.feed(&send_ip(3, 300, (41, "cscript.exe"), "172.16.9.129", 10))
+                .len(),
+            1
+        );
     }
 
     #[test]
@@ -652,8 +713,17 @@ with e1 -> e2
         let mut a: Vec<Vec<u64>> = Vec::new();
         let mut b: Vec<Vec<u64>> = Vec::new();
         for e in &events {
-            a.extend(indexed.feed(e).iter().map(|m| m.events.iter().map(|x| x.id).collect()));
-            b.extend(scan.feed(e).iter().map(|m| m.events.iter().map(|x| x.id).collect()));
+            a.extend(
+                indexed
+                    .feed(e)
+                    .iter()
+                    .map(|m| m.events.iter().map(|x| x.id).collect()),
+            );
+            b.extend(
+                scan.feed(e)
+                    .iter()
+                    .map(|m| m.events.iter().map(|x| x.id).collect()),
+            );
         }
         a.sort();
         b.sort();

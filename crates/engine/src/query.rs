@@ -73,8 +73,12 @@ impl RunningQuery {
     /// Build a running instance from a checked query.
     pub fn new(name: impl Into<String>, checked: CheckedQuery, config: QueryConfig) -> Self {
         let globals = GlobalFilter::compile(&checked.ast.globals);
-        let patterns: Vec<PatternMatcher> =
-            checked.ast.patterns.iter().map(PatternMatcher::compile).collect();
+        let patterns: Vec<PatternMatcher> = checked
+            .ast
+            .patterns
+            .iter()
+            .map(PatternMatcher::compile)
+            .collect();
         let matcher = (checked.kind == QueryKind::Rule)
             .then(|| MultiMatcher::compile(&checked.ast, config.partial_match_cap));
         let window = checked
@@ -139,7 +143,9 @@ impl RunningQuery {
     /// Advance event time: closes due windows and may emit window alerts.
     /// Cheap when no window is due (one comparison).
     pub fn advance_time(&mut self, ts: Timestamp) -> Vec<Alert> {
-        let Some(driver) = &mut self.window else { return Vec::new() };
+        let Some(driver) = &mut self.window else {
+            return Vec::new();
+        };
         let due = driver.advance(ts);
         let mut alerts = Vec::new();
         for k in due {
@@ -231,11 +237,18 @@ impl RunningQuery {
         if !self.pass_distinct(&rows) {
             return None;
         }
-        let last_ts = full.events.iter().map(|e| e.ts).max().unwrap_or(Timestamp::ZERO);
+        let last_ts = full
+            .events
+            .iter()
+            .map(|e| e.ts)
+            .max()
+            .unwrap_or(Timestamp::ZERO);
         Some(Alert {
             query: self.name.clone(),
             ts: last_ts,
-            origin: AlertOrigin::Match { event_ids: full.events.iter().map(|e| e.id).collect() },
+            origin: AlertOrigin::Match {
+                event_ids: full.events.iter().map(|e| e.id).collect(),
+            },
             rows,
         })
     }
@@ -249,7 +262,9 @@ impl RunningQuery {
             return;
         };
         self.stats.events_matched += 1;
-        let Some(driver) = &mut self.window else { return };
+        let Some(driver) = &mut self.window else {
+            return;
+        };
         let windows = driver.observe(event.ts);
         if windows.is_empty() {
             self.stats.late_events += 1;
@@ -260,8 +275,12 @@ impl RunningQuery {
         let subject_entity = Entity::Process(event.subject.clone());
         let mut scope = Scope::empty();
         scope.events.insert(pattern.alias.as_str(), event);
-        scope.entities.insert(pattern.subject.var.as_str(), &subject_entity);
-        scope.entities.insert(pattern.object.var.as_str(), &event.object);
+        scope
+            .entities
+            .insert(pattern.subject.var.as_str(), &subject_entity);
+        scope
+            .entities
+            .insert(pattern.object.var.as_str(), &event.object);
         if !state.observe(&windows, &scope) {
             self.errors.report(EngineError::Eval(format!(
                 "group key of state `{}` unresolvable for event {}",
@@ -293,11 +312,18 @@ impl RunningQuery {
             let mut point_groups: Vec<&str> = Vec::new();
             let mut points: Vec<Vec<f64>> = Vec::new();
             for (gid, snap) in &snaps {
-                let view = StateView { maintainer: state, group: gid, current_window: k };
+                let view = StateView {
+                    maintainer: state,
+                    group: gid,
+                    current_window: k,
+                };
                 let mut scope = Scope::empty();
                 scope.states = &view;
-                scope.group_keys =
-                    snap.keys.iter().map(|(s, v)| (s.clone(), v.clone())).collect();
+                scope.group_keys = snap
+                    .keys
+                    .iter()
+                    .map(|(s, v)| (s.clone(), v.clone()))
+                    .collect();
                 if let Some(p) = point_of(spec, &scope) {
                     point_groups.push(gid);
                     points.push(p);
@@ -309,10 +335,18 @@ impl RunningQuery {
         }
 
         for (gid, snap) in &snaps {
-            let view = StateView { maintainer: state, group: gid, current_window: k };
+            let view = StateView {
+                maintainer: state,
+                group: gid,
+                current_window: k,
+            };
             let mut scope = Scope::empty();
             scope.states = &view;
-            scope.group_keys = snap.keys.iter().map(|(s, v)| (s.clone(), v.clone())).collect();
+            scope.group_keys = snap
+                .keys
+                .iter()
+                .map(|(s, v)| (s.clone(), v.clone()))
+                .collect();
             scope.cluster = outcomes.get(gid.as_str()).copied();
 
             // Invariant bookkeeping (training windows never alert).
@@ -341,14 +375,22 @@ impl RunningQuery {
                 continue;
             }
             let rows = eval_return_in(&self.checked.ast.ret, &scope, gid);
-            if !pass_distinct_in(&mut self.distinct_seen, self.checked.ast.ret.as_ref(), &rows) {
+            if !pass_distinct_in(
+                &mut self.distinct_seen,
+                self.checked.ast.ret.as_ref(),
+                &rows,
+            ) {
                 continue;
             }
             self.stats.alerts += 1;
             alerts.push(Alert {
                 query: self.name.clone(),
                 ts: w_end,
-                origin: AlertOrigin::Window { start: w_start, end: w_end, group: gid.clone() },
+                origin: AlertOrigin::Window {
+                    start: w_start,
+                    end: w_end,
+                    group: gid.clone(),
+                },
                 rows,
             });
         }
@@ -425,7 +467,14 @@ mod tests {
         )
     }
 
-    fn send(id: u64, ts: u64, host: &str, proc_: (u32, &str), dst: &str, amount: u64) -> SharedEvent {
+    fn send(
+        id: u64,
+        ts: u64,
+        host: &str,
+        proc_: (u32, &str),
+        dst: &str,
+        amount: u64,
+    ) -> SharedEvent {
         Arc::new(
             EventBuilder::new(id, host, ts)
                 .subject(ProcessInfo::new(proc_.0, proc_.1, "u"))
@@ -450,18 +499,36 @@ return distinct p1, p2"#);
     fn distinct_suppresses_repeat_rows() {
         let mut rq = q(r#"proc p1["%cmd.exe"] start proc p2 as e1
 return distinct p1, p2"#);
-        assert_eq!(rq.process(&start(1, 10, "db", (1, "cmd.exe"), (2, "osql.exe"))).len(), 1);
+        assert_eq!(
+            rq.process(&start(1, 10, "db", (1, "cmd.exe"), (2, "osql.exe")))
+                .len(),
+            1
+        );
         // Different event id, same entity names: suppressed by distinct.
-        assert_eq!(rq.process(&start(2, 20, "db", (1, "cmd.exe"), (3, "osql.exe"))).len(), 0);
+        assert_eq!(
+            rq.process(&start(2, 20, "db", (1, "cmd.exe"), (3, "osql.exe")))
+                .len(),
+            0
+        );
         // New process name: new row.
-        assert_eq!(rq.process(&start(3, 30, "db", (1, "cmd.exe"), (4, "calc.exe"))).len(), 1);
+        assert_eq!(
+            rq.process(&start(3, 30, "db", (1, "cmd.exe"), (4, "calc.exe")))
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn global_constraint_filters_hosts() {
         let mut rq = q("agentid = \"db-server\"\nproc p1 start proc p2 as e1\nreturn p1");
-        assert!(rq.process(&start(1, 10, "client-1", (1, "a"), (2, "b"))).is_empty());
-        assert_eq!(rq.process(&start(2, 20, "db-server", (1, "a"), (2, "b"))).len(), 1);
+        assert!(rq
+            .process(&start(1, 10, "client-1", (1, "a"), (2, "b")))
+            .is_empty());
+        assert_eq!(
+            rq.process(&start(2, 20, "db-server", (1, "a"), (2, "b")))
+                .len(),
+            1
+        );
     }
 
     /// The paper's Query 2 (SMA spike) end to end on a synthetic stream.
@@ -552,10 +619,22 @@ return p1, ss.set_proc"#);
         }
         // Detection window with a normal child: quiet.
         id += 1;
-        alerts.extend(rq.process(&start(id, 3 * 10 * sec + sec, "web", (80, "apache.exe"), (900, "php-cgi.exe"))));
+        alerts.extend(rq.process(&start(
+            id,
+            3 * 10 * sec + sec,
+            "web",
+            (80, "apache.exe"),
+            (900, "php-cgi.exe"),
+        )));
         // Next window: the webshell.
         id += 1;
-        alerts.extend(rq.process(&start(id, 4 * 10 * sec + sec, "web", (80, "apache.exe"), (999, "cmd.exe"))));
+        alerts.extend(rq.process(&start(
+            id,
+            4 * 10 * sec + sec,
+            "web",
+            (80, "apache.exe"),
+            (999, "cmd.exe"),
+        )));
         alerts.extend(rq.finish());
         assert_eq!(alerts.len(), 1, "{alerts:?}");
         assert!(alerts[0].get("ss.set_proc").unwrap().contains("cmd.exe"));
@@ -564,11 +643,13 @@ return p1, ss.set_proc"#);
     /// The paper's Query 4 (DBSCAN outlier) end to end.
     #[test]
     fn outlier_query_flags_exfiltration_ip() {
-        let mut rq = q(r#"proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+        let mut rq = q(
+            r#"proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
 state ss { amt := sum(evt.amount) } group by i.dstip
 cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
 alert cluster.outlier && ss.amt > 1000000
-return i.dstip, ss.amt"#);
+return i.dstip, ss.amt"#,
+        );
         let min = 60_000u64;
         let mut alerts = Vec::new();
         let mut id = 0;
@@ -585,7 +666,14 @@ return i.dstip, ss.amt"#);
             )));
         }
         id += 1;
-        alerts.extend(rq.process(&send(id, 9 * min, "db", (10, "sqlservr.exe"), "172.16.9.129", 2_000_000_000)));
+        alerts.extend(rq.process(&send(
+            id,
+            9 * min,
+            "db",
+            (10, "sqlservr.exe"),
+            "172.16.9.129",
+            2_000_000_000,
+        )));
         alerts.extend(rq.finish());
         assert_eq!(alerts.len(), 1, "{alerts:?}");
         assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
@@ -624,7 +712,10 @@ return i.dstip, ss.amt"#);
         }
         strict_alerts.extend(strict.finish());
         assert_eq!(strict.stats().late_events, 1);
-        let w0 = strict_alerts.iter().find(|a| a.ts == Timestamp::from_secs(60)).unwrap();
+        let w0 = strict_alerts
+            .iter()
+            .find(|a| a.ts == Timestamp::from_secs(60))
+            .unwrap();
         assert_eq!(w0.get("ss[0].n"), Some("1"));
 
         // With 30s lateness the first window is still open at watermark 70s.
@@ -635,7 +726,10 @@ return i.dstip, ss.amt"#);
         }
         tolerant_alerts.extend(tolerant.finish());
         assert_eq!(tolerant.stats().late_events, 0);
-        let w0 = tolerant_alerts.iter().find(|a| a.ts == Timestamp::from_secs(60)).unwrap();
+        let w0 = tolerant_alerts
+            .iter()
+            .find(|a| a.ts == Timestamp::from_secs(60))
+            .unwrap();
         assert_eq!(w0.get("ss[0].n"), Some("2"));
     }
 

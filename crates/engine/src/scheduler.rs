@@ -62,7 +62,8 @@ impl Scheduler {
     /// Record per-event processing latency (adds one `Instant::now()` pair
     /// per event; off by default).
     pub fn enable_latency_tracking(&mut self) {
-        self.latency.get_or_insert_with(saql_analytics::Histogram::new);
+        self.latency
+            .get_or_insert_with(saql_analytics::Histogram::new);
     }
 
     /// The latency histogram, if tracking is enabled and events were seen.
@@ -78,7 +79,10 @@ impl Scheduler {
             Some(&gi) => gi,
             None => {
                 let gi = self.groups.len();
-                self.groups.push(Group { key: key.clone(), members: Vec::new() });
+                self.groups.push(Group {
+                    key: key.clone(),
+                    members: Vec::new(),
+                });
                 self.by_key.insert(key, gi);
                 gi
             }
@@ -103,7 +107,10 @@ impl Scheduler {
 
     /// Sizes of each group, keyed by compat key (diagnostics).
     pub fn group_sizes(&self) -> Vec<(String, usize)> {
-        self.groups.iter().map(|g| (g.key.clone(), g.members.len())).collect()
+        self.groups
+            .iter()
+            .map(|g| (g.key.clone(), g.members.len()))
+            .collect()
     }
 
     /// Iterate over registered queries.
@@ -178,7 +185,10 @@ pub struct NaiveScheduler {
 
 impl NaiveScheduler {
     pub fn new() -> Self {
-        NaiveScheduler { queries: Vec::new(), stats: SchedulerStats::default() }
+        NaiveScheduler {
+            queries: Vec::new(),
+            stats: SchedulerStats::default(),
+        }
     }
 
     pub fn add(&mut self, query: RunningQuery) {
@@ -271,7 +281,10 @@ mod tests {
     #[test]
     fn compatible_queries_share_a_group() {
         let mut s = Scheduler::new();
-        s.add(rq("a", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1"));
+        s.add(rq(
+            "a",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1",
+        ));
         s.add(rq("b", "proc x start proc y[\"%osql.exe\"] as e\nreturn x"));
         s.add(rq("c", "proc p write ip i as e\nreturn p"));
         assert_eq!(s.query_count(), 3);
@@ -281,8 +294,14 @@ mod tests {
     #[test]
     fn master_admits_only_shape_matches() {
         let mut s = Scheduler::new();
-        s.add(rq("a", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1"));
-        s.add(rq("b", "proc p1[\"%excel.exe\"] start proc p2 as e\nreturn p1"));
+        s.add(rq(
+            "a",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1",
+        ));
+        s.add(rq(
+            "b",
+            "proc p1[\"%excel.exe\"] start proc p2 as e\nreturn p1",
+        ));
         // A network event: shape check fails once for the whole group.
         s.process(&send(1, 10, "cmd.exe", "1.1.1.1", 5));
         assert_eq!(s.stats().master_checks, 1);
@@ -332,7 +351,9 @@ mod tests {
         sched_alerts.extend(s.finish());
 
         let norm = |mut v: Vec<Alert>| {
-            v.sort_by(|a, b| (a.query.clone(), format!("{a}")).cmp(&(b.query.clone(), format!("{b}"))));
+            v.sort_by(|a, b| {
+                (a.query.clone(), format!("{a}")).cmp(&(b.query.clone(), format!("{b}")))
+            });
             v.into_iter().map(|a| a.to_string()).collect::<Vec<_>>()
         };
         assert_eq!(norm(standalone_alerts), norm(sched_alerts));

@@ -66,7 +66,10 @@ pub struct JsonLinesSink<W: Write> {
 
 impl<W: Write> JsonLinesSink<W> {
     pub fn new(writer: W) -> Self {
-        JsonLinesSink { writer, write_errors: 0 }
+        JsonLinesSink {
+            writer,
+            write_errors: 0,
+        }
     }
 
     /// Recover the writer (flushes first).
@@ -136,7 +139,11 @@ fn json_string(out: &mut String, s: &str) {
 
 impl<W: Write> AlertSink for JsonLinesSink<W> {
     fn deliver(&mut self, alert: &Alert) {
-        if self.writer.write_all(Self::render(alert).as_bytes()).is_err() {
+        if self
+            .writer
+            .write_all(Self::render(alert).as_bytes())
+            .is_err()
+        {
             self.write_errors += 1;
         }
     }
@@ -179,7 +186,10 @@ mod tests {
                 end: Timestamp::from_secs(7),
                 group: "sqlservr.exe".into(),
             },
-            rows: vec![("p".into(), "sqlservr.exe".into()), ("amt".into(), "1.5".into())],
+            rows: vec![
+                ("p".into(), "sqlservr.exe".into()),
+                ("amt".into(), "1.5".into()),
+            ],
         }
     }
 
@@ -217,7 +227,9 @@ mod tests {
         let match_alert = Alert {
             query: "rule \"q\"".into(),
             ts: Timestamp::from_millis(9),
-            origin: AlertOrigin::Match { event_ids: vec![1, 2] },
+            origin: AlertOrigin::Match {
+                event_ids: vec![1, 2],
+            },
             rows: vec![("f".into(), "C:\\dump\\a.bin".into())],
         };
         sink.deliver(&match_alert);
@@ -225,7 +237,11 @@ mod tests {
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].contains("\"origin\":\"window\""), "{}", lines[0]);
-        assert!(lines[0].contains("\"group\":\"sqlservr.exe\""), "{}", lines[0]);
+        assert!(
+            lines[0].contains("\"group\":\"sqlservr.exe\""),
+            "{}",
+            lines[0]
+        );
         assert!(lines[1].contains("\"event_ids\":[1,2]"), "{}", lines[1]);
         // Quotes and backslashes escape correctly.
         assert!(lines[1].contains("rule \\\"q\\\""), "{}", lines[1]);
@@ -244,7 +260,9 @@ mod tests {
         let mut a = CollectSink::default();
         let mut b = CollectSink::default();
         {
-            let mut tee = TeeSink { sinks: vec![&mut a, &mut b] };
+            let mut tee = TeeSink {
+                sinks: vec![&mut a, &mut b],
+            };
             tee.deliver(&sample("t"));
         }
         assert_eq!(a.alerts.len(), 1);

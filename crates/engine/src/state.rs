@@ -196,7 +196,9 @@ impl StateMaintainer {
     /// the given windows. Returns `false` if the group key could not be
     /// computed from this event's bindings.
     pub fn observe(&mut self, windows: &[u64], scope: &Scope<'_>) -> bool {
-        let Some(keys) = self.group_keys_from(scope) else { return false };
+        let Some(keys) = self.group_keys_from(scope) else {
+            return false;
+        };
         let group = group_id_of(&keys);
         // Evaluate field arguments once; fold into every containing window.
         let folded: Vec<Value> = self
@@ -214,7 +216,11 @@ impl StateMaintainer {
             let groups = self.open.entry(k).or_default();
             let accum = groups.entry(group.clone()).or_insert_with(|| GroupAccum {
                 keys: keys.clone(),
-                accums: self.fields.iter().map(|(_, agg, _)| FieldAccum::new(*agg)).collect(),
+                accums: self
+                    .fields
+                    .iter()
+                    .map(|(_, agg, _)| FieldAccum::new(*agg))
+                    .collect(),
             });
             for (acc, v) in accum.accums.iter_mut().zip(&folded) {
                 acc.fold(v);
@@ -268,7 +274,13 @@ impl StateMaintainer {
                     .zip(&self.fields)
                     .map(|(acc, (_, agg, _))| acc.finalize(*agg))
                     .collect();
-                (gid, GroupSnapshot { keys: accum.keys, values })
+                (
+                    gid,
+                    GroupSnapshot {
+                        keys: accum.keys,
+                        values,
+                    },
+                )
             })
             .collect();
         out.sort_by(|a, b| a.0.cmp(&b.0));
@@ -289,7 +301,9 @@ impl StateMaintainer {
         if back >= self.history_len {
             return Value::Missing;
         }
-        let Some(target) = k.checked_sub(back as u64) else { return Value::Missing };
+        let Some(target) = k.checked_sub(back as u64) else {
+            return Value::Missing;
+        };
         let field_idx = match field {
             Some(f) => match self.fields.iter().position(|(n, _, _)| n == f) {
                 Some(i) => i,
@@ -332,7 +346,8 @@ impl StateLookup for StateView<'_> {
         if name != self.maintainer.name() {
             return Value::Missing;
         }
-        self.maintainer.lookup(self.group, self.current_window, back, field)
+        self.maintainer
+            .lookup(self.group, self.current_window, back, field)
     }
 }
 
@@ -396,13 +411,26 @@ mod tests {
             m.close(k);
         }
         // At window 3: ss[0]=400, ss[1]=300, ss[2]=200.
-        assert_eq!(m.lookup("sqlservr.exe", 3, 0, Some("avg_amount")).as_f64(), Some(400.0));
-        assert_eq!(m.lookup("sqlservr.exe", 3, 1, Some("avg_amount")).as_f64(), Some(300.0));
-        assert_eq!(m.lookup("sqlservr.exe", 3, 2, Some("avg_amount")).as_f64(), Some(200.0));
+        assert_eq!(
+            m.lookup("sqlservr.exe", 3, 0, Some("avg_amount")).as_f64(),
+            Some(400.0)
+        );
+        assert_eq!(
+            m.lookup("sqlservr.exe", 3, 1, Some("avg_amount")).as_f64(),
+            Some(300.0)
+        );
+        assert_eq!(
+            m.lookup("sqlservr.exe", 3, 2, Some("avg_amount")).as_f64(),
+            Some(200.0)
+        );
         // Beyond declared history: Missing.
-        assert!(m.lookup("sqlservr.exe", 3, 3, Some("avg_amount")).is_missing());
+        assert!(m
+            .lookup("sqlservr.exe", 3, 3, Some("avg_amount"))
+            .is_missing());
         // Before the stream began (window 0 is first): ss[1] at window 0.
-        assert!(m.lookup("sqlservr.exe", 0, 1, Some("avg_amount")).is_missing());
+        assert!(m
+            .lookup("sqlservr.exe", 0, 1, Some("avg_amount"))
+            .is_missing());
     }
 
     #[test]
@@ -418,8 +446,14 @@ mod tests {
         m.observe(&[2], &scope(&e2, &subj2));
         m.close(2);
         // ss[1] (window 1) is neutral 0.0, not Missing.
-        assert_eq!(m.lookup("sqlservr.exe", 2, 1, Some("avg_amount")).as_f64(), Some(0.0));
-        assert_eq!(m.lookup("sqlservr.exe", 2, 2, Some("avg_amount")).as_f64(), Some(500.0));
+        assert_eq!(
+            m.lookup("sqlservr.exe", 2, 1, Some("avg_amount")).as_f64(),
+            Some(0.0)
+        );
+        assert_eq!(
+            m.lookup("sqlservr.exe", 2, 2, Some("avg_amount")).as_f64(),
+            Some(500.0)
+        );
     }
 
     #[test]
@@ -440,7 +474,10 @@ mod tests {
         }
         let snaps = m.close(0);
         assert_eq!(snaps.len(), 1);
-        assert_eq!(snaps[0].1.values[0].to_string(), "{php.exe, rotatelogs.exe}");
+        assert_eq!(
+            snaps[0].1.values[0].to_string(),
+            "{php.exe, rotatelogs.exe}"
+        );
     }
 
     #[test]
@@ -484,9 +521,18 @@ mod tests {
         let subj = Entity::Process(e.subject.clone());
         m.observe(&[0], &scope(&e, &subj));
         m.close(0);
-        let view = StateView { maintainer: &m, group: "x.exe", current_window: 0 };
-        assert_eq!(view.state_value("ss", 0, Some("avg_amount")).as_f64(), Some(42.0));
-        assert!(view.state_value("other", 0, Some("avg_amount")).is_missing());
+        let view = StateView {
+            maintainer: &m,
+            group: "x.exe",
+            current_window: 0,
+        };
+        assert_eq!(
+            view.state_value("ss", 0, Some("avg_amount")).as_f64(),
+            Some(42.0)
+        );
+        assert!(view
+            .state_value("other", 0, Some("avg_amount"))
+            .is_missing());
     }
 
     #[test]

@@ -105,9 +105,7 @@ impl Value {
     /// Set difference (`a diff b` = members of `a` not in `b`).
     pub fn diff(&self, other: &Value) -> Value {
         match (self.as_set(), other.as_set()) {
-            (Some(a), Some(b)) => {
-                Value::Set(Arc::new(a.difference(b).cloned().collect()))
-            }
+            (Some(a), Some(b)) => Value::Set(Arc::new(a.difference(b).cloned().collect())),
             _ => Value::Missing,
         }
     }
@@ -115,9 +113,7 @@ impl Value {
     /// Set intersection.
     pub fn intersect(&self, other: &Value) -> Value {
         match (self.as_set(), other.as_set()) {
-            (Some(a), Some(b)) => {
-                Value::Set(Arc::new(a.intersection(b).cloned().collect()))
-            }
+            (Some(a), Some(b)) => Value::Set(Arc::new(a.intersection(b).cloned().collect())),
             _ => Value::Missing,
         }
     }

@@ -45,7 +45,10 @@ impl WindowAssigner {
     /// `[start, end)` bounds of window `k`.
     pub fn bounds(&self, k: u64) -> (Timestamp, Timestamp) {
         let start = k * self.slide_ms;
-        (Timestamp::from_millis(start), Timestamp::from_millis(start + self.size_ms))
+        (
+            Timestamp::from_millis(start),
+            Timestamp::from_millis(start + self.size_ms),
+        )
     }
 
     /// Whether window `k` should close at the given watermark.
@@ -92,7 +95,8 @@ impl WindowDriver {
     }
 
     fn due(&self, k: u64) -> bool {
-        let close_at = self.assigner.bounds(k).1 + saql_model::Duration::from_millis(self.lateness_ms);
+        let close_at =
+            self.assigner.bounds(k).1 + saql_model::Duration::from_millis(self.lateness_ms);
         close_at <= self.watermark
     }
 
@@ -153,7 +157,10 @@ mod tests {
     use saql_model::Duration;
 
     fn spec(size_s: u64, slide_s: u64) -> WindowSpec {
-        WindowSpec { size: Duration::from_secs(size_s), slide: Duration::from_secs(slide_s) }
+        WindowSpec {
+            size: Duration::from_secs(size_s),
+            slide: Duration::from_secs(slide_s),
+        }
     }
 
     #[test]

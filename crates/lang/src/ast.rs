@@ -255,11 +255,18 @@ pub enum Distance {
 /// (`"DBSCAN(100000, 5)"`, `"KMEANS(3)"`, `"ZSCORE(3.5)"`).
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClusterMethod {
-    Dbscan { eps: f64, min_pts: usize },
-    KMeans { k: usize },
+    Dbscan {
+        eps: f64,
+        min_pts: usize,
+    },
+    KMeans {
+        k: usize,
+    },
     /// Robust modified-z-score outlier test over 1-D points: a point is an
     /// outlier when `0.6745·|x − median| / MAD > threshold`.
-    ZScore { threshold: f64 },
+    ZScore {
+        threshold: f64,
+    },
 }
 
 /// `cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000,5)")`.
@@ -348,19 +355,35 @@ pub enum Expr {
     /// The empty-set literal used to initialize invariants.
     EmptySet,
     Ref(Ref),
-    Unary { op: UnaryOp, expr: Box<Expr> },
-    Binary { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Unary {
+        op: UnaryOp,
+        expr: Box<Expr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
     /// `|expr|` — set cardinality (or absolute value for numbers).
     Card(Box<Expr>),
     /// A function call; only aggregation functions are accepted by the
     /// semantic pass, and only inside state fields.
-    Call { name: String, args: Vec<Expr>, span: Span },
+    Call {
+        name: String,
+        args: Vec<Expr>,
+        span: Span,
+    },
 }
 
 impl Expr {
     /// Convenience constructor for references without index/attr.
     pub fn var(name: impl Into<String>) -> Expr {
-        Expr::Ref(Ref { base: name.into(), index: None, attr: None, span: Span::default() })
+        Expr::Ref(Ref {
+            base: name.into(),
+            index: None,
+            attr: None,
+            span: Span::default(),
+        })
     }
 
     /// Walk the expression tree, applying `f` to every node (pre-order).

@@ -190,7 +190,8 @@ mod tests {
     #[test]
     fn all_paper_queries_parse() {
         for (i, q) in PAPER_QUERIES.iter().enumerate() {
-            crate::parse(q).unwrap_or_else(|e| panic!("paper query {} failed: {}", i + 1, e.render(q)));
+            crate::parse(q)
+                .unwrap_or_else(|e| panic!("paper query {} failed: {}", i + 1, e.render(q)));
         }
     }
 
@@ -204,7 +205,8 @@ mod tests {
     #[test]
     fn all_demo_queries_check() {
         for (name, q) in DEMO_QUERIES {
-            crate::compile(q).unwrap_or_else(|e| panic!("demo query {name} failed: {}", e.render(q)));
+            crate::compile(q)
+                .unwrap_or_else(|e| panic!("demo query {name} failed: {}", e.render(q)));
         }
     }
 }

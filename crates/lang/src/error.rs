@@ -14,7 +14,12 @@ pub struct Span {
 
 impl Span {
     pub fn new(start: usize, end: usize, line: u32, col: u32) -> Self {
-        Span { start, end, line, col }
+        Span {
+            start,
+            end,
+            line,
+            col,
+        }
     }
 
     /// Merge two spans into the smallest span covering both.
@@ -23,7 +28,11 @@ impl Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
             line: self.line.min(other.line),
-            col: if other.line < self.line { other.col } else { self.col },
+            col: if other.line < self.line {
+                other.col
+            } else {
+                self.col
+            },
         }
     }
 }
@@ -62,15 +71,27 @@ pub struct LangError {
 
 impl LangError {
     pub fn lex(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Lex, message: message.into(), span }
+        LangError {
+            phase: Phase::Lex,
+            message: message.into(),
+            span,
+        }
     }
 
     pub fn parse(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Parse, message: message.into(), span }
+        LangError {
+            phase: Phase::Parse,
+            message: message.into(),
+            span,
+        }
     }
 
     pub fn semantic(message: impl Into<String>, span: Span) -> Self {
-        LangError { phase: Phase::Semantic, message: message.into(), span }
+        LangError {
+            phase: Phase::Semantic,
+            message: message.into(),
+            span,
+        }
     }
 
     /// Render the error with the offending source line and a caret marker:
@@ -83,7 +104,10 @@ impl LangError {
     /// ```
     pub fn render(&self, source: &str) -> String {
         let mut out = format!("{self}\n");
-        if let Some(line_text) = source.lines().nth(self.span.line.saturating_sub(1) as usize) {
+        if let Some(line_text) = source
+            .lines()
+            .nth(self.span.line.saturating_sub(1) as usize)
+        {
             let ln = self.span.line;
             let gutter = " ".repeat(ln.to_string().len());
             out.push_str(&format!("{gutter} |\n{ln} | {line_text}\n{gutter} | "));
@@ -124,7 +148,10 @@ mod tests {
         let shown = err.render(src);
         assert!(shown.contains("parse error at 1:9"), "{shown}");
         assert!(shown.contains("1 | alert x >"), "{shown}");
-        assert!(shown.lines().last().unwrap().trim_end().ends_with('^'), "{shown}");
+        assert!(
+            shown.lines().last().unwrap().trim_end().ends_with('^'),
+            "{shown}"
+        );
     }
 
     #[test]

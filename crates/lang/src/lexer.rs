@@ -22,7 +22,14 @@ struct Lexer<'a> {
 /// Tokenize SAQL source text. The returned vector always ends with
 /// [`Tok::Eof`].
 pub fn lex(src: &str) -> Result<Vec<Token>, LangError> {
-    Lexer { src, bytes: src.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+    Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
 }
 
 impl<'a> Lexer<'a> {
@@ -194,7 +201,8 @@ impl<'a> Lexer<'a> {
         let mut float = false;
         // A dot starts a fraction only when followed by a digit; `ss[0].f`
         // must lex the dot as punctuation.
-        if self.bytes.get(self.pos) == Some(&b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit())
+        if self.bytes.get(self.pos) == Some(&b'.')
+            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
         {
             float = true;
             self.advance(1);
@@ -204,18 +212,19 @@ impl<'a> Lexer<'a> {
         }
         let text = &self.src[start..self.pos];
         if float {
-            text.parse::<f64>()
-                .map(Tok::Float)
-                .map_err(|_| LangError::lex("invalid float literal", Span::new(start, self.pos, line, col)))
+            text.parse::<f64>().map(Tok::Float).map_err(|_| {
+                LangError::lex(
+                    "invalid float literal",
+                    Span::new(start, self.pos, line, col),
+                )
+            })
         } else {
-            text.parse::<i64>()
-                .map(Tok::Int)
-                .map_err(|_| {
-                    LangError::lex(
-                        "integer literal out of range",
-                        Span::new(start, self.pos, line, col),
-                    )
-                })
+            text.parse::<i64>().map(Tok::Int).map_err(|_| {
+                LangError::lex(
+                    "integer literal out of range",
+                    Span::new(start, self.pos, line, col),
+                )
+            })
         }
     }
 
@@ -359,7 +368,10 @@ mod tests {
 
     #[test]
     fn string_escapes() {
-        assert_eq!(kinds(r#""a\"b\\c\n""#), vec![Tok::Str("a\"b\\c\n".into()), Tok::Eof]);
+        assert_eq!(
+            kinds(r#""a\"b\\c\n""#),
+            vec![Tok::Str("a\"b\\c\n".into()), Tok::Eof]
+        );
     }
 
     #[test]
@@ -398,6 +410,9 @@ mod tests {
 
     #[test]
     fn unicode_in_strings() {
-        assert_eq!(kinds("\"héllo→\""), vec![Tok::Str("héllo→".into()), Tok::Eof]);
+        assert_eq!(
+            kinds("\"héllo→\""),
+            vec![Tok::Str("héllo→".into()), Tok::Eof]
+        );
     }
 }

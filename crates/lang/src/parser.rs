@@ -72,7 +72,11 @@ impl Parser {
             Ok(self.bump().span)
         } else {
             Err(LangError::parse(
-                format!("expected {}, found {}", tok.describe(), self.peek().describe()),
+                format!(
+                    "expected {}, found {}",
+                    tok.describe(),
+                    self.peek().describe()
+                ),
                 self.span(),
             ))
         }
@@ -127,7 +131,10 @@ impl Parser {
     fn expect_usize(&mut self, what: &str) -> Result<(usize, Span), LangError> {
         let (v, span) = self.expect_int(what)?;
         if v < 0 {
-            return Err(LangError::parse(format!("{what} must be non-negative"), span));
+            return Err(LangError::parse(
+                format!("{what} must be non-negative"),
+                span,
+            ));
         }
         Ok((v as usize, span))
     }
@@ -145,8 +152,8 @@ impl Parser {
             match self.peek().clone() {
                 Tok::Eof => break,
                 Tok::Ident(kw) => {
-                    let is_entity =
-                        EntityType::from_keyword(&kw).is_some() && matches!(self.peek2(), Tok::Ident(_));
+                    let is_entity = EntityType::from_keyword(&kw).is_some()
+                        && matches!(self.peek2(), Tok::Ident(_));
                     if is_entity {
                         q.patterns.push(self.event_pattern()?);
                     } else {
@@ -209,7 +216,12 @@ impl Parser {
         let (attr, start) = self.expect_ident("attribute name")?;
         let op = self.cmp_op("global constraint")?;
         let value = self.literal_or_bareword()?;
-        Ok(GlobalConstraint { attr, op, value, span: start.to(self.prev_span()) })
+        Ok(GlobalConstraint {
+            attr,
+            op,
+            value,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn cmp_op(&mut self, ctx: &str) -> Result<CmpOp, LangError> {
@@ -222,7 +234,10 @@ impl Parser {
             Tok::Ge => CmpOp::Ge,
             other => {
                 return Err(LangError::parse(
-                    format!("expected comparison operator in {ctx}, found {}", other.describe()),
+                    format!(
+                        "expected comparison operator in {ctx}, found {}",
+                        other.describe()
+                    ),
                     self.span(),
                 ))
             }
@@ -280,8 +295,19 @@ impl Parser {
         let object = self.entity_decl()?;
         self.expect_kw("as")?;
         let (alias, _) = self.expect_ident("event alias")?;
-        let window = if self.peek() == &Tok::Hash { Some(self.window_spec()?) } else { None };
-        Ok(EventPattern { subject, ops, object, alias, window, span: start.to(self.prev_span()) })
+        let window = if self.peek() == &Tok::Hash {
+            Some(self.window_spec()?)
+        } else {
+            None
+        };
+        Ok(EventPattern {
+            subject,
+            ops,
+            object,
+            alias,
+            window,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn operation(&mut self) -> Result<Operation, LangError> {
@@ -305,7 +331,12 @@ impl Parser {
             }
             self.expect(Tok::RBracket)?;
         }
-        Ok(EntityDecl { etype, var, constraints, span: start.to(self.prev_span()) })
+        Ok(EntityDecl {
+            etype,
+            var,
+            constraints,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn attr_constraint(&mut self) -> Result<AttrConstraint, LangError> {
@@ -323,7 +354,12 @@ impl Parser {
         let (attr, _) = self.expect_ident("attribute name")?;
         let op = self.cmp_op("attribute constraint")?;
         let value = self.literal_or_bareword()?;
-        Ok(AttrConstraint { attr: Some(attr), op, value, span: start.to(self.prev_span()) })
+        Ok(AttrConstraint {
+            attr: Some(attr),
+            op,
+            value,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn window_spec(&mut self) -> Result<WindowSpec, LangError> {
@@ -331,7 +367,11 @@ impl Parser {
         self.expect_kw("time")?;
         self.expect(Tok::LParen)?;
         let size = self.duration()?;
-        let slide = if self.eat(&Tok::Comma) { self.duration()? } else { size };
+        let slide = if self.eat(&Tok::Comma) {
+            self.duration()?
+        } else {
+            size
+        };
         self.expect(Tok::RParen)?;
         if slide > size {
             return Err(LangError::parse(
@@ -360,7 +400,11 @@ impl Parser {
         let start = self.expect_kw("with")?;
         let mut steps = Vec::new();
         let (first, fspan) = self.expect_ident("event alias")?;
-        steps.push(TemporalStep { alias: first, max_gap: None, span: fspan });
+        steps.push(TemporalStep {
+            alias: first,
+            max_gap: None,
+            span: fspan,
+        });
         while self.eat(&Tok::Arrow) {
             // Optional bounded gap: `->[30 s]`.
             let max_gap = if self.eat(&Tok::LBracket) {
@@ -372,7 +416,11 @@ impl Parser {
             };
             steps.last_mut().expect("non-empty").max_gap = max_gap;
             let (alias, aspan) = self.expect_ident("event alias")?;
-            steps.push(TemporalStep { alias, max_gap: None, span: aspan });
+            steps.push(TemporalStep {
+                alias,
+                max_gap: None,
+                span: aspan,
+            });
         }
         if steps.len() < 2 {
             return Err(LangError::parse(
@@ -380,7 +428,10 @@ impl Parser {
                 start,
             ));
         }
-        Ok(TemporalClause { steps, span: start.to(self.prev_span()) })
+        Ok(TemporalClause {
+            steps,
+            span: start.to(self.prev_span()),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -420,7 +471,13 @@ impl Parser {
         if fields.is_empty() {
             return Err(LangError::parse("state block has no fields", start));
         }
-        Ok(StateBlock { history, name, fields, group_by, span: start.to(self.prev_span()) })
+        Ok(StateBlock {
+            history,
+            name,
+            fields,
+            group_by,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn state_field(&mut self) -> Result<StateField, LangError> {
@@ -434,7 +491,10 @@ impl Parser {
             self.expect(Tok::Comma)?;
             let (q, qspan) = self.expect_int("percentile rank (0-100)")?;
             if !(0..=100).contains(&q) {
-                return Err(LangError::parse("percentile rank must be in 0..=100", qspan));
+                return Err(LangError::parse(
+                    "percentile rank must be in 0..=100",
+                    qspan,
+                ));
             }
             self.expect(Tok::RParen)?;
             return Ok(StateField {
@@ -444,8 +504,9 @@ impl Parser {
                 span: start.to(self.prev_span()),
             });
         }
-        let agg = AggFunc::from_name(&func)
-            .ok_or_else(|| LangError::parse(format!("unknown aggregation function `{func}`"), fspan))?;
+        let agg = AggFunc::from_name(&func).ok_or_else(|| {
+            LangError::parse(format!("unknown aggregation function `{func}`"), fspan)
+        })?;
         // `count()` needs no argument; every value contributes 1.
         let arg = if agg == AggFunc::Count && self.peek() == &Tok::RParen {
             Expr::Lit(Literal::Int(1))
@@ -453,7 +514,12 @@ impl Parser {
             self.expr()?
         };
         self.expect(Tok::RParen)?;
-        Ok(StateField { name, agg, arg, span: start.to(self.prev_span()) })
+        Ok(StateField {
+            name,
+            agg,
+            arg,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn group_key(&mut self) -> Result<GroupKey, LangError> {
@@ -463,7 +529,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(GroupKey { var, attr, span: start.to(self.prev_span()) })
+        Ok(GroupKey {
+            var,
+            attr,
+            span: start.to(self.prev_span()),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -476,7 +546,10 @@ impl Parser {
         let (train_windows, tspan) = self.expect_usize("training window count")?;
         self.expect(Tok::RBracket)?;
         if train_windows == 0 {
-            return Err(LangError::parse("invariant needs at least one training window", tspan));
+            return Err(LangError::parse(
+                "invariant needs at least one training window",
+                tspan,
+            ));
         }
         let mode = if self.eat(&Tok::LBracket) {
             let (m, mspan) = self.expect_ident("invariant mode (offline/online)")?;
@@ -505,7 +578,12 @@ impl Parser {
         if stmts.is_empty() {
             return Err(LangError::parse("invariant block has no statements", start));
         }
-        Ok(InvariantBlock { train_windows, mode, stmts, span: start.to(self.prev_span()) })
+        Ok(InvariantBlock {
+            train_windows,
+            mode,
+            stmts,
+            span: start.to(self.prev_span()),
+        })
     }
 
     fn invariant_stmt(&mut self) -> Result<InvariantStmt, LangError> {
@@ -515,14 +593,22 @@ impl Parser {
             Tok::Assign => false,
             other => {
                 return Err(LangError::parse(
-                    format!("expected `:=` (init) or `=` (update), found {}", other.describe()),
+                    format!(
+                        "expected `:=` (init) or `=` (update), found {}",
+                        other.describe()
+                    ),
                     self.span(),
                 ))
             }
         };
         self.bump();
         let expr = self.expr()?;
-        Ok(InvariantStmt { var, init, expr, span: start.to(self.prev_span()) })
+        Ok(InvariantStmt {
+            var,
+            init,
+            expr,
+            span: start.to(self.prev_span()),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -581,9 +667,8 @@ impl Parser {
             }
         }
         let rspan = self.expect(Tok::RParen)?;
-        let method = method.ok_or_else(|| {
-            LangError::parse("cluster spec is missing `method=...`", rspan)
-        })?;
+        let method = method
+            .ok_or_else(|| LangError::parse("cluster spec is missing `method=...`", rspan))?;
         Ok(ClusterSpec {
             points,
             distance: distance.unwrap_or(Distance::Euclidean),
@@ -608,12 +693,20 @@ impl Parser {
             } else {
                 None
             };
-            items.push(ReturnItem { expr, alias, span: ispan.to(self.prev_span()) });
+            items.push(ReturnItem {
+                expr,
+                alias,
+                span: ispan.to(self.prev_span()),
+            });
             if !self.eat(&Tok::Comma) {
                 break;
             }
         }
-        Ok(ReturnClause { distinct, items, span: start.to(self.prev_span()) })
+        Ok(ReturnClause {
+            distinct,
+            items,
+            span: start.to(self.prev_span()),
+        })
     }
 
     // ------------------------------------------------------------------
@@ -629,7 +722,11 @@ impl Parser {
         let mut lhs = self.and_expr()?;
         while self.eat(&Tok::PipePipe) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -638,7 +735,11 @@ impl Parser {
         let mut lhs = self.cmp_expr()?;
         while self.eat(&Tok::AmpAmp) {
             let rhs = self.cmp_expr()?;
-            lhs = Expr::Binary { op: BinOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -657,7 +758,11 @@ impl Parser {
         if let Some(op) = op {
             self.bump();
             let rhs = self.set_expr()?;
-            Ok(Expr::Binary { op: BinOp::Cmp(op), lhs: Box::new(lhs), rhs: Box::new(rhs) })
+            Ok(Expr::Binary {
+                op: BinOp::Cmp(op),
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            })
         } else {
             Ok(lhs)
         }
@@ -677,7 +782,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.add_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -691,7 +800,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.mul_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -706,7 +819,11 @@ impl Parser {
             };
             self.bump();
             let rhs = self.unary_expr()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -714,11 +831,17 @@ impl Parser {
         match self.peek() {
             Tok::Minus => {
                 self.bump();
-                Ok(Expr::Unary { op: UnaryOp::Neg, expr: Box::new(self.unary_expr()?) })
+                Ok(Expr::Unary {
+                    op: UnaryOp::Neg,
+                    expr: Box::new(self.unary_expr()?),
+                })
             }
             Tok::Bang => {
                 self.bump();
-                Ok(Expr::Unary { op: UnaryOp::Not, expr: Box::new(self.unary_expr()?) })
+                Ok(Expr::Unary {
+                    op: UnaryOp::Not,
+                    expr: Box::new(self.unary_expr()?),
+                })
             }
             _ => self.primary_expr(),
         }
@@ -770,7 +893,11 @@ impl Parser {
                         }
                     }
                     self.expect(Tok::RParen)?;
-                    return Ok(Expr::Call { name, args, span: start.to(self.prev_span()) });
+                    return Ok(Expr::Call {
+                        name,
+                        args,
+                        span: start.to(self.prev_span()),
+                    });
                 }
                 // Reference: base, optional `[index]`, optional `.attr`.
                 let index = if self.eat(&Tok::LBracket) {
@@ -785,7 +912,12 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Expr::Ref(Ref { base: name, index, attr, span: start.to(self.prev_span()) }))
+                Ok(Expr::Ref(Ref {
+                    base: name,
+                    index,
+                    attr,
+                    span: start.to(self.prev_span()),
+                }))
             }
             other => Err(LangError::parse(
                 format!("expected expression, found {}", other.describe()),
@@ -814,11 +946,17 @@ fn parse_method(text: &str, span: Span) -> Result<ClusterMethod, LangError> {
     match name.to_ascii_uppercase().as_str() {
         "DBSCAN" => {
             if args.len() != 2 {
-                return Err(bad(format!("DBSCAN expects (eps, minpts), got {} args", args.len())));
+                return Err(bad(format!(
+                    "DBSCAN expects (eps, minpts), got {} args",
+                    args.len()
+                )));
             }
-            let eps: f64 = args[0].parse().map_err(|_| bad(format!("bad DBSCAN eps `{}`", args[0])))?;
-            let min_pts: usize =
-                args[1].parse().map_err(|_| bad(format!("bad DBSCAN minpts `{}`", args[1])))?;
+            let eps: f64 = args[0]
+                .parse()
+                .map_err(|_| bad(format!("bad DBSCAN eps `{}`", args[0])))?;
+            let min_pts: usize = args[1]
+                .parse()
+                .map_err(|_| bad(format!("bad DBSCAN minpts `{}`", args[1])))?;
             if eps <= 0.0 {
                 return Err(bad("DBSCAN eps must be positive".into()));
             }
@@ -828,7 +966,9 @@ fn parse_method(text: &str, span: Span) -> Result<ClusterMethod, LangError> {
             if args.len() != 1 {
                 return Err(bad(format!("KMEANS expects (k), got {} args", args.len())));
             }
-            let k: usize = args[0].parse().map_err(|_| bad(format!("bad KMEANS k `{}`", args[0])))?;
+            let k: usize = args[0]
+                .parse()
+                .map_err(|_| bad(format!("bad KMEANS k `{}`", args[0])))?;
             if k == 0 {
                 return Err(bad("KMEANS k must be at least 1".into()));
             }
@@ -836,7 +976,10 @@ fn parse_method(text: &str, span: Span) -> Result<ClusterMethod, LangError> {
         }
         "ZSCORE" | "Z-SCORE" => {
             if args.len() != 1 {
-                return Err(bad(format!("ZSCORE expects (threshold), got {} args", args.len())));
+                return Err(bad(format!(
+                    "ZSCORE expects (threshold), got {} args",
+                    args.len()
+                )));
             }
             let threshold: f64 = args[0]
                 .parse()
@@ -862,7 +1005,10 @@ mod tests {
         assert_eq!(q.globals[0].attr, "agentid");
         assert_eq!(q.patterns.len(), 4);
         assert_eq!(q.patterns[0].alias, "evt1");
-        assert_eq!(q.patterns[0].subject.constraints[0].value, Literal::Str("%cmd.exe".into()));
+        assert_eq!(
+            q.patterns[0].subject.constraints[0].value,
+            Literal::Str("%cmd.exe".into())
+        );
         // `read || write` alternation on evt4.
         assert_eq!(q.patterns[3].ops, vec![Operation::Read, Operation::Write]);
         let t = q.temporal.as_ref().unwrap();
@@ -900,7 +1046,11 @@ mod tests {
         assert!(!inv.stmts[1].init);
         // Alert uses set cardinality of a diff.
         match q.alert.as_ref().unwrap() {
-            Expr::Binary { op: BinOp::Cmp(CmpOp::Gt), lhs, .. } => {
+            Expr::Binary {
+                op: BinOp::Cmp(CmpOp::Gt),
+                lhs,
+                ..
+            } => {
                 assert!(matches!(**lhs, Expr::Card(_)));
             }
             other => panic!("unexpected alert shape: {other:?}"),
@@ -912,7 +1062,13 @@ mod tests {
         let q = parse(crate::corpus::QUERY4_OUTLIER).unwrap();
         let c = q.cluster.as_ref().unwrap();
         assert_eq!(c.distance, Distance::Euclidean);
-        assert_eq!(c.method, ClusterMethod::Dbscan { eps: 100000.0, min_pts: 5 });
+        assert_eq!(
+            c.method,
+            ClusterMethod::Dbscan {
+                eps: 100000.0,
+                min_pts: 5
+            }
+        );
         assert_eq!(c.points.len(), 1);
         let st = &q.states[0];
         assert_eq!(st.group_by[0].var, "i");
@@ -946,9 +1102,11 @@ mod tests {
 
     #[test]
     fn multi_constraint_entity() {
-        let q = parse(r#"proc p read ip i[dstip="10.0.0.1" && dstport=443] as e
-return p"#)
-            .unwrap();
+        let q = parse(
+            r#"proc p read ip i[dstip="10.0.0.1" && dstport=443] as e
+return p"#,
+        )
+        .unwrap();
         let c = &q.patterns[0].object.constraints;
         assert_eq!(c.len(), 2);
         assert_eq!(c[0].attr.as_deref(), Some("dstip"));
@@ -968,9 +1126,21 @@ return p"#)
         let q = parse("alert a + b * c > d && e").unwrap();
         // Shape: ((a + (b*c)) > d) && e
         match q.alert.unwrap() {
-            Expr::Binary { op: BinOp::And, lhs, .. } => match *lhs {
-                Expr::Binary { op: BinOp::Cmp(CmpOp::Gt), lhs, .. } => match *lhs {
-                    Expr::Binary { op: BinOp::Add, rhs, .. } => {
+            Expr::Binary {
+                op: BinOp::And,
+                lhs,
+                ..
+            } => match *lhs {
+                Expr::Binary {
+                    op: BinOp::Cmp(CmpOp::Gt),
+                    lhs,
+                    ..
+                } => match *lhs {
+                    Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    } => {
                         assert!(matches!(*rhs, Expr::Binary { op: BinOp::Mul, .. }));
                     }
                     o => panic!("bad add shape: {o:?}"),
@@ -985,9 +1155,19 @@ return p"#)
     fn set_ops_bind_tighter_than_comparison() {
         let q = parse("alert |a diff b| >= 1").unwrap();
         match q.alert.unwrap() {
-            Expr::Binary { op: BinOp::Cmp(CmpOp::Ge), lhs, .. } => match *lhs {
+            Expr::Binary {
+                op: BinOp::Cmp(CmpOp::Ge),
+                lhs,
+                ..
+            } => match *lhs {
                 Expr::Card(inner) => {
-                    assert!(matches!(*inner, Expr::Binary { op: BinOp::Diff, .. }))
+                    assert!(matches!(
+                        *inner,
+                        Expr::Binary {
+                            op: BinOp::Diff,
+                            ..
+                        }
+                    ))
                 }
                 o => panic!("bad card: {o:?}"),
             },

@@ -13,7 +13,14 @@ use crate::ast::*;
 pub fn print_query(q: &Query) -> String {
     let mut out = String::new();
     for g in &q.globals {
-        writeln!(out, "{} {} {}", g.attr, g.op.symbol(), print_literal(&g.value)).unwrap();
+        writeln!(
+            out,
+            "{} {} {}",
+            g.attr,
+            g.op.symbol(),
+            print_literal(&g.value)
+        )
+        .unwrap();
     }
     for p in &q.patterns {
         writeln!(out, "{}", print_pattern(p)).unwrap();
@@ -233,7 +240,13 @@ mod tests {
     /// Strip spans so two ASTs compare structurally.
     fn reparse(q: &Query) -> Query {
         let text = print_query(q);
-        parse(&text).unwrap_or_else(|e| panic!("printer output failed to parse: {}\n{}", e.render(&text), text))
+        parse(&text).unwrap_or_else(|e| {
+            panic!(
+                "printer output failed to parse: {}\n{}",
+                e.render(&text),
+                text
+            )
+        })
     }
 
     #[test]
@@ -251,7 +264,11 @@ mod tests {
         for (name, src) in DEMO_QUERIES {
             let q1 = parse(src).unwrap();
             let q2 = reparse(&q1);
-            assert_eq!(print_query(&q1), print_query(&q2), "roundtrip drift in {name}");
+            assert_eq!(
+                print_query(&q1),
+                print_query(&q2),
+                "roundtrip drift in {name}"
+            );
         }
     }
 
@@ -266,7 +283,10 @@ mod tests {
 
     #[test]
     fn bounded_gap_prints() {
-        let q = parse("proc a start proc b as e1\nproc b start proc c as e2\nwith e1 ->[45 s] e2\nreturn a").unwrap();
+        let q = parse(
+            "proc a start proc b as e1\nproc b start proc c as e2\nwith e1 ->[45 s] e2\nreturn a",
+        )
+        .unwrap();
         let text = print_query(&q);
         assert!(text.contains("->[45 s]"), "{text}");
         let q2 = parse(&text).unwrap();

@@ -267,7 +267,10 @@ impl Checker {
             }
             if !seen.insert(step.alias.clone()) {
                 return Err(LangError::semantic(
-                    format!("event `{}` appears twice in the temporal clause", step.alias),
+                    format!(
+                        "event `{}` appears twice in the temporal clause",
+                        step.alias
+                    ),
                     step.span,
                 ));
             }
@@ -455,7 +458,10 @@ impl Checker {
         }
         if r.index.is_some() {
             return Err(LangError::semantic(
-                format!("`{}` is not a state block; `[i]` indexing is only for states", r.base),
+                format!(
+                    "`{}` is not a state block; `[i]` indexing is only for states",
+                    r.base
+                ),
                 r.span,
             ));
         }
@@ -497,7 +503,12 @@ mod tests {
             .collect();
         assert_eq!(
             kinds,
-            vec![QueryKind::Rule, QueryKind::TimeSeries, QueryKind::Invariant, QueryKind::Outlier]
+            vec![
+                QueryKind::Rule,
+                QueryKind::TimeSeries,
+                QueryKind::Invariant,
+                QueryKind::Outlier
+            ]
         );
     }
 
@@ -515,20 +526,16 @@ mod tests {
 
     #[test]
     fn variable_type_consistency() {
-        let err = compile(
-            "proc p start proc q as e1\nproc p read file q as e2\nreturn p",
-        )
-        .unwrap_err();
+        let err =
+            compile("proc p start proc q as e1\nproc p read file q as e2\nreturn p").unwrap_err();
         assert!(err.message.contains("re-used"), "{err}");
     }
 
     #[test]
     fn variable_reuse_same_type_is_a_join() {
         // `f1` in two patterns — the Query-1 join idiom.
-        compile(
-            "proc a write file f1 as e1\nproc b read file f1 as e2\nwith e1 -> e2\nreturn f1",
-        )
-        .unwrap();
+        compile("proc a write file f1 as e1\nproc b read file f1 as e2\nwith e1 -> e2\nreturn f1")
+            .unwrap();
     }
 
     #[test]
@@ -616,14 +623,20 @@ mod tests {
             "proc p write ip i as evt #time(1 min)\nstate ss { s := sum(evt.amount) } group by p\ncluster(points=all(1), method=\"DBSCAN(10, 2)\")\nalert cluster.outlier\nreturn p",
         )
         .unwrap_err();
-        assert!(err.message.contains("must reference a state field"), "{err}");
+        assert!(
+            err.message.contains("must reference a state field"),
+            "{err}"
+        );
     }
 
     #[test]
     fn agg_call_outside_state_rejected() {
-        let err = compile("proc p write ip i as evt\nalert avg(evt.amount) > 5\nreturn p")
-            .unwrap_err();
-        assert!(err.message.contains("only allowed in state fields"), "{err}");
+        let err =
+            compile("proc p write ip i as evt\nalert avg(evt.amount) > 5\nreturn p").unwrap_err();
+        assert!(
+            err.message.contains("only allowed in state fields"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -205,8 +205,14 @@ mod tests {
     #[test]
     fn cmp_orders_numbers_and_strings() {
         use std::cmp::Ordering::*;
-        assert_eq!(AttrValue::Int(1).loose_cmp(&AttrValue::Float(2.0)), Some(Less));
-        assert_eq!(AttrValue::str("b").loose_cmp(&AttrValue::str("a")), Some(Greater));
+        assert_eq!(
+            AttrValue::Int(1).loose_cmp(&AttrValue::Float(2.0)),
+            Some(Less)
+        );
+        assert_eq!(
+            AttrValue::str("b").loose_cmp(&AttrValue::str("a")),
+            Some(Greater)
+        );
         assert_eq!(AttrValue::str("a").loose_cmp(&AttrValue::Int(1)), None);
     }
 

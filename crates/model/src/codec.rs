@@ -85,9 +85,12 @@ fn get_str(buf: &mut Bytes) -> Result<std::sync::Arc<str>, DecodeError> {
     if buf.remaining() < len {
         return Err(DecodeError::Truncated);
     }
-    let raw = buf.copy_to_bytes(len);
-    let s = std::str::from_utf8(&raw).map_err(|_| DecodeError::BadUtf8)?;
-    Ok(std::sync::Arc::from(s))
+    // Validate in place and copy once straight into the Arc; an
+    // intermediate `copy_to_bytes` would allocate a second time per field.
+    let s = std::str::from_utf8(&buf.chunk()[..len]).map_err(|_| DecodeError::BadUtf8)?;
+    let out = std::sync::Arc::from(s);
+    buf.advance(len);
+    Ok(out)
 }
 
 fn op_tag(op: Operation) -> u8 {
@@ -111,7 +114,11 @@ fn get_process(buf: &mut Bytes) -> Result<ProcessInfo, DecodeError> {
     let pid = get_varint(buf)? as u32;
     let exe_name = get_str(buf)?;
     let user = get_str(buf)?;
-    Ok(ProcessInfo { pid, exe_name, user })
+    Ok(ProcessInfo {
+        pid,
+        exe_name,
+        user,
+    })
 }
 
 const ENTITY_PROCESS: u8 = 0;
@@ -145,14 +152,22 @@ fn get_entity(buf: &mut Bytes) -> Result<Entity, DecodeError> {
     }
     match buf.get_u8() {
         ENTITY_PROCESS => Ok(Entity::Process(get_process(buf)?)),
-        ENTITY_FILE => Ok(Entity::File(FileInfo { name: get_str(buf)? })),
+        ENTITY_FILE => Ok(Entity::File(FileInfo {
+            name: get_str(buf)?,
+        })),
         ENTITY_NETWORK => {
             let src_ip = get_str(buf)?;
             let src_port = get_varint(buf)? as u16;
             let dst_ip = get_str(buf)?;
             let dst_port = get_varint(buf)? as u16;
             let protocol = get_str(buf)?;
-            Ok(Entity::Network(NetworkInfo { src_ip, src_port, dst_ip, dst_port, protocol }))
+            Ok(Entity::Network(NetworkInfo {
+                src_ip,
+                src_port,
+                dst_ip,
+                dst_port,
+                protocol,
+            }))
         }
         t => Err(DecodeError::BadTag("entity", t)),
     }
@@ -189,7 +204,15 @@ pub fn decode_event(buf: &mut Bytes) -> Result<Event, DecodeError> {
     let op = op_from_tag(buf.get_u8())?;
     let object = get_entity(buf)?;
     let amount = get_varint(buf)?;
-    Ok(Event { id, agent_id, ts, subject, op, object, amount })
+    Ok(Event {
+        id,
+        agent_id,
+        ts,
+        subject,
+        op,
+        object,
+        amount,
+    })
 }
 
 /// Encode a batch of events into one buffer (records back to back).
@@ -229,7 +252,13 @@ mod tests {
                 .build(),
             EventBuilder::new(3, "db-server", 9_500)
                 .subject(ProcessInfo::new(502, "sbblv.exe", "svc"))
-                .sends(NetworkInfo::new("10.0.0.5", 50000, "172.16.0.129", 443, "tcp"))
+                .sends(NetworkInfo::new(
+                    "10.0.0.5",
+                    50000,
+                    "172.16.0.129",
+                    443,
+                    "tcp",
+                ))
                 .amount(1 << 30)
                 .build(),
         ]
@@ -260,7 +289,10 @@ mod tests {
         let data = encode_batch(&evts[..1]);
         for cut in 1..data.len() - 1 {
             let mut short = data.slice(..cut);
-            assert!(decode_event(&mut short).is_err(), "cut at {cut} should fail");
+            assert!(
+                decode_event(&mut short).is_err(),
+                "cut at {cut} should fail"
+            );
         }
     }
 
@@ -287,7 +319,10 @@ mod tests {
         let pos = raw.windows(6).position(|w| w == b"victim").unwrap() + 6;
         raw[pos] = 42;
         let mut data = Bytes::from(raw);
-        assert_eq!(decode_event(&mut data), Err(DecodeError::BadTag("operation", 42)));
+        assert_eq!(
+            decode_event(&mut data),
+            Err(DecodeError::BadTag("operation", 42))
+        );
     }
 
     #[test]
@@ -305,6 +340,10 @@ mod tests {
     fn typical_record_is_compact() {
         let mut buf = BytesMut::new();
         encode_event(&mut buf, &events()[0]);
-        assert!(buf.len() < 96, "record unexpectedly large: {} bytes", buf.len());
+        assert!(
+            buf.len() < 96,
+            "record unexpectedly large: {} bytes",
+            buf.len()
+        );
     }
 }

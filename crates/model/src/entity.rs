@@ -102,7 +102,9 @@ pub struct FileInfo {
 
 impl FileInfo {
     pub fn new(name: impl AsRef<str>) -> Self {
-        FileInfo { name: Arc::from(name.as_ref()) }
+        FileInfo {
+            name: Arc::from(name.as_ref()),
+        }
     }
 
     /// Resolve a named attribute of this file.

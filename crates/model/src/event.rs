@@ -325,7 +325,10 @@ mod tests {
     fn builder_rejects_invalid_op_object_combo() {
         EventBuilder::new(1, "h", 0)
             .subject(ProcessInfo::new(1, "a", "u"))
-            .action(Operation::Delete, Entity::Network(NetworkInfo::new("a", 1, "b", 2, "tcp")))
+            .action(
+                Operation::Delete,
+                Entity::Network(NetworkInfo::new("a", 1, "b", 2, "tcp")),
+            )
             .build();
     }
 

@@ -133,8 +133,14 @@ mod tests {
         assert_eq!(Duration::parse(10, "min"), Some(Duration::from_mins(10)));
         assert_eq!(Duration::parse(10, "s"), Some(Duration::from_secs(10)));
         assert_eq!(Duration::parse(500, "ms"), Some(Duration::from_millis(500)));
-        assert_eq!(Duration::parse(2, "h"), Some(Duration::from_millis(7_200_000)));
-        assert_eq!(Duration::parse(1, "day"), Some(Duration::from_millis(86_400_000)));
+        assert_eq!(
+            Duration::parse(2, "h"),
+            Some(Duration::from_millis(7_200_000))
+        );
+        assert_eq!(
+            Duration::parse(1, "day"),
+            Some(Duration::from_millis(86_400_000))
+        );
         assert_eq!(Duration::parse(1, "fortnight"), None);
     }
 

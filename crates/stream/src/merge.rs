@@ -32,8 +32,11 @@ impl PartialOrd for HeapEntry {
 impl Ord for HeapEntry {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse: BinaryHeap is a max-heap, we want the earliest first.
-        (other.event.ts, other.event.id, other.source)
-            .cmp(&(self.event.ts, self.event.id, self.source))
+        (other.event.ts, other.event.id, other.source).cmp(&(
+            self.event.ts,
+            self.event.id,
+            self.source,
+        ))
     }
 }
 
@@ -62,7 +65,10 @@ impl<I: Iterator<Item = SharedEvent>> Iterator for MergedStream<I> {
     fn next(&mut self) -> Option<SharedEvent> {
         let HeapEntry { event, source } = self.heap.pop()?;
         if let Some(next) = self.sources[source].next() {
-            self.heap.push(HeapEntry { event: next, source });
+            self.heap.push(HeapEntry {
+                event: next,
+                source,
+            });
         }
         Some(event)
     }
@@ -101,7 +107,9 @@ mod tests {
     fn tie_break_by_event_id_is_deterministic() {
         let a = vec![ev(2, "h1", 100)];
         let b = vec![ev(1, "h2", 100)];
-        let ids: Vec<u64> = merge_feeds(vec![a.clone(), b.clone()]).map(|e| e.id).collect();
+        let ids: Vec<u64> = merge_feeds(vec![a.clone(), b.clone()])
+            .map(|e| e.id)
+            .collect();
         assert_eq!(ids, vec![1, 2]);
         let ids_swapped: Vec<u64> = merge_feeds(vec![b, a]).map(|e| e.id).collect();
         assert_eq!(ids_swapped, vec![1, 2]);

@@ -107,7 +107,10 @@ mod tests {
 
     fn store_with(name: &str, events: &[Event]) -> (EventStore, PathBuf) {
         let mut p = std::env::temp_dir();
-        p.push(format!("saql-replayer-test-{}-{name}.bin", std::process::id()));
+        p.push(format!(
+            "saql-replayer-test-{}-{name}.bin",
+            std::process::id()
+        ));
         let store = EventStore::create(&p).unwrap();
         store.append(events).unwrap();
         (store, p)
@@ -121,7 +124,11 @@ mod tests {
             &[ev(2, "h2", 200), ev(1, "h1", 100), ev(3, "h1", 300)],
         );
         let r = Replayer::new(store);
-        let ids: Vec<u64> = r.replay_iter(&Selection::all()).unwrap().map(|e| e.id).collect();
+        let ids: Vec<u64> = r
+            .replay_iter(&Selection::all())
+            .unwrap()
+            .map(|e| e.id)
+            .collect();
         assert_eq!(ids, vec![1, 2, 3]);
         std::fs::remove_file(path).unwrap();
     }
@@ -133,7 +140,8 @@ mod tests {
             &[ev(1, "h1", 100), ev(2, "h2", 200), ev(3, "h1", 300)],
         );
         let r = Replayer::new(store);
-        let sel = Selection::host("h1").between(Timestamp::from_millis(0), Timestamp::from_millis(250));
+        let sel =
+            Selection::host("h1").between(Timestamp::from_millis(0), Timestamp::from_millis(250));
         let ids: Vec<u64> = r.replay_iter(&sel).unwrap().map(|e| e.id).collect();
         assert_eq!(ids, vec![1]);
         std::fs::remove_file(path).unwrap();
@@ -144,7 +152,9 @@ mod tests {
         let events: Vec<Event> = (0..50).map(|i| ev(i, "h", i * 10)).collect();
         let (store, path) = store_with("chan", &events);
         let r = Replayer::new(store);
-        let rx = r.replay_channel(&Selection::all(), Speed::Unlimited, 16).unwrap();
+        let rx = r
+            .replay_channel(&Selection::all(), Speed::Unlimited, 16)
+            .unwrap();
         let got: Vec<u64> = rx.into_iter().map(|e| e.id).collect();
         assert_eq!(got.len(), 50);
         assert!(got.windows(2).all(|w| w[0] < w[1]));
@@ -164,7 +174,10 @@ mod tests {
         let n = rx.into_iter().count();
         let elapsed = start.elapsed();
         assert_eq!(n, 3);
-        assert!(elapsed >= WallDuration::from_millis(15), "too fast: {elapsed:?}");
+        assert!(
+            elapsed >= WallDuration::from_millis(15),
+            "too fast: {elapsed:?}"
+        );
         std::fs::remove_file(path).unwrap();
     }
 
@@ -172,7 +185,9 @@ mod tests {
     fn empty_selection_yields_empty_stream() {
         let (store, path) = store_with("none", &[ev(1, "h1", 100)]);
         let r = Replayer::new(store);
-        let rx = r.replay_channel(&Selection::host("h9"), Speed::Unlimited, 4).unwrap();
+        let rx = r
+            .replay_channel(&Selection::host("h9"), Speed::Unlimited, 4)
+            .unwrap();
         assert_eq!(rx.into_iter().count(), 0);
         std::fs::remove_file(path).unwrap();
     }

@@ -49,9 +49,7 @@ impl SegmentMeta {
                 return false;
             }
         }
-        if !selection.hosts.is_empty()
-            && !selection.hosts.iter().any(|h| self.hosts.contains(h))
-        {
+        if !selection.hosts.is_empty() && !selection.hosts.iter().any(|h| self.hosts.contains(h)) {
             return false;
         }
         true
@@ -82,7 +80,10 @@ impl SegmentedStore {
         assert!(segment_events > 0, "segments must hold at least one event");
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(SegmentedStore { dir, segment_events })
+        Ok(SegmentedStore {
+            dir,
+            segment_events,
+        })
     }
 
     /// Open an existing store directory.
@@ -94,7 +95,10 @@ impl SegmentedStore {
                 format!("{} is not a directory", dir.display()),
             )));
         }
-        Ok(SegmentedStore { dir, segment_events })
+        Ok(SegmentedStore {
+            dir,
+            segment_events,
+        })
     }
 
     /// Append a batch, flushing one or more immutable segments.
@@ -217,7 +221,13 @@ fn parse_header(data: &mut Bytes, path: &Path) -> Result<SegmentMeta, StoreError
         let host = std::str::from_utf8(&raw).map_err(|_| StoreError::BadMagic)?;
         hosts.insert(host.to_string());
     }
-    Ok(SegmentMeta { path: path.to_path_buf(), events, min_ts, max_ts, hosts })
+    Ok(SegmentMeta {
+        path: path.to_path_buf(),
+        events,
+        min_ts,
+        max_ts,
+        hosts,
+    })
 }
 
 fn read_meta(path: &Path) -> Result<SegmentMeta, StoreError> {
@@ -277,8 +287,7 @@ mod tests {
         // 4 segments covering ts 0..3500 in slabs.
         let events: Vec<Event> = (0..40).map(|i| ev(i, "h1", i * 100)).collect();
         store.append(&events).unwrap();
-        let sel = Selection::all()
-            .between(Timestamp::from_millis(0), Timestamp::from_millis(500));
+        let sel = Selection::all().between(Timestamp::from_millis(0), Timestamp::from_millis(500));
         let (got, stats) = store.read(&sel).unwrap();
         assert_eq!(got.len(), 5);
         assert_eq!(stats.segments_scanned, 1, "{stats:?}");
@@ -293,8 +302,12 @@ mod tests {
         let dir = tmp_dir("host-prune");
         let store = SegmentedStore::create(&dir, 5).unwrap();
         // Per-host appends produce per-host segments.
-        store.append(&(0..5).map(|i| ev(i, "web", i * 10)).collect::<Vec<_>>()).unwrap();
-        store.append(&(5..10).map(|i| ev(i, "db", i * 10)).collect::<Vec<_>>()).unwrap();
+        store
+            .append(&(0..5).map(|i| ev(i, "web", i * 10)).collect::<Vec<_>>())
+            .unwrap();
+        store
+            .append(&(5..10).map(|i| ev(i, "db", i * 10)).collect::<Vec<_>>())
+            .unwrap();
         let (got, stats) = store.read(&Selection::host("db")).unwrap();
         assert_eq!(got.len(), 5);
         assert_eq!(stats.segments_skipped, 1, "{stats:?}");

@@ -76,7 +76,10 @@ impl Selection {
 
     /// Restrict to one host.
     pub fn host(host: impl Into<String>) -> Self {
-        Selection { hosts: vec![host.into()], ..Selection::default() }
+        Selection {
+            hosts: vec![host.into()],
+            ..Selection::default()
+        }
     }
 
     /// Restrict the time range `[from, until)`.
@@ -219,12 +222,17 @@ mod tests {
         let path = tmp("selection");
         let store = EventStore::create(&path).unwrap();
         store
-            .append(&[ev(1, "h1", 10), ev(2, "h2", 20), ev(3, "h1", 30), ev(4, "h1", 40)])
+            .append(&[
+                ev(1, "h1", 10),
+                ev(2, "h2", 20),
+                ev(3, "h1", 30),
+                ev(4, "h1", 40),
+            ])
             .unwrap();
         let h1 = store.read(&Selection::host("h1")).unwrap();
         assert_eq!(h1.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 3, 4]);
-        let sel = Selection::host("h1")
-            .between(Timestamp::from_millis(20), Timestamp::from_millis(40));
+        let sel =
+            Selection::host("h1").between(Timestamp::from_millis(20), Timestamp::from_millis(40));
         let ranged = store.read(&sel).unwrap();
         assert_eq!(ranged.iter().map(|e| e.id).collect::<Vec<_>>(), vec![3]);
         std::fs::remove_file(path).unwrap();
@@ -256,8 +264,13 @@ mod tests {
     fn hosts_listing() {
         let path = tmp("hosts");
         let store = EventStore::create(&path).unwrap();
-        store.append(&[ev(1, "zeta", 1), ev(2, "alpha", 2), ev(3, "zeta", 3)]).unwrap();
-        assert_eq!(store.hosts().unwrap(), vec!["alpha".to_string(), "zeta".to_string()]);
+        store
+            .append(&[ev(1, "zeta", 1), ev(2, "alpha", 2), ev(3, "zeta", 3)])
+            .unwrap();
+        assert_eq!(
+            store.hosts().unwrap(),
+            vec!["alpha".to_string(), "zeta".to_string()]
+        );
         std::fs::remove_file(path).unwrap();
     }
 

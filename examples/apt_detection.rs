@@ -28,7 +28,11 @@ fn main() {
         "simulated {} events across {} hosts ({} attack events)",
         trace.events.len(),
         trace.topology.hosts.len(),
-        trace.attack_ids.iter().map(|(_, ids)| ids.len()).sum::<usize>(),
+        trace
+            .attack_ids
+            .iter()
+            .map(|(_, ids)| ids.len())
+            .sum::<usize>(),
     );
     for (step, first, last) in &trace.attack_spans {
         println!("  {}: {:>7} .. {:>7}", step.label(), first, last);
@@ -69,13 +73,19 @@ fn main() {
         ("c3-privilege-escalation", "c3 privilege escalation"),
         ("c4-penetration", "c4 penetration into DB server"),
         ("c5-exfiltration", "c5 data exfiltration"),
-        ("invariant-excel-children", "c2 via invariant model (no attack knowledge)"),
+        (
+            "invariant-excel-children",
+            "c2 via invariant model (no attack knowledge)",
+        ),
         ("time-series-db-network", "c5 via SMA time-series model"),
         ("outlier-db-peer", "c5 via DBSCAN outlier model"),
     ] {
         let detected = by_query.contains_key(step_query);
         all_detected &= detected;
-        println!("  [{}] {label}", if detected { "DETECTED" } else { " MISSED "});
+        println!(
+            "  [{}] {label}",
+            if detected { "DETECTED" } else { " MISSED " }
+        );
     }
     assert!(all_detected, "every attack step must be detected");
     println!("\nall 5 attack steps detected, including by the 3 knowledge-free anomaly models");

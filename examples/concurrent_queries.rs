@@ -21,7 +21,10 @@ fn queries(n: usize) -> Vec<(String, String)> {
             if i % 2 == 0 {
                 (
                     format!("proc-watch-{i}"),
-                    format!("proc p1[\"%proc-{}.exe\"] start proc p2 as e\nreturn distinct p1, p2", i % 10),
+                    format!(
+                        "proc p1[\"%proc-{}.exe\"] start proc p2 as e\nreturn distinct p1, p2",
+                        i % 10
+                    ),
                 )
             } else {
                 (
@@ -83,10 +86,7 @@ fn main() {
     let s = shared.stats();
     let n = naive.stats();
     println!("\n--- per-event work (lower is better) ---");
-    println!(
-        "{:<22} {:>14} {:>14}",
-        "", "master-dependent", "naive"
-    );
+    println!("{:<22} {:>14} {:>14}", "", "master-dependent", "naive");
     println!(
         "{:<22} {:>14} {:>14}",
         "stream scans/event",

@@ -27,7 +27,10 @@ return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
     engine.register("network-spike", query).unwrap_or_else(|e| {
         panic!("query failed to compile:\n{}", e.render(query));
     });
-    println!("registered query `network-spike` ({} group(s))", engine.group_count());
+    println!(
+        "registered query `network-spike` ({} group(s))",
+        engine.group_count()
+    );
 
     // Synthesize four 10-minute windows of database traffic: three quiet,
     // then an exfiltration-sized burst.
@@ -41,13 +44,22 @@ return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
             events.push(Arc::new(
                 EventBuilder::new(id, "db-server", window * 10 * minute + j * minute)
                     .subject(ProcessInfo::new(2100, "sqlservr.exe", "svc-sql"))
-                    .sends(NetworkInfo::new("10.0.1.3", 1433, "10.0.0.14", 49200, "tcp"))
+                    .sends(NetworkInfo::new(
+                        "10.0.1.3",
+                        1433,
+                        "10.0.0.14",
+                        49200,
+                        "tcp",
+                    ))
                     .amount(amount)
                     .build(),
             ));
         }
     }
-    println!("streaming {} events covering 40 minutes of trace time...\n", events.len());
+    println!(
+        "streaming {} events covering 40 minutes of trace time...\n",
+        events.len()
+    );
 
     let alerts = engine.run(events);
     for alert in &alerts {
@@ -58,5 +70,9 @@ return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
         alerts.len(),
         engine.query_stats()[0].1
     );
-    assert_eq!(alerts.len(), 1, "expected exactly the spike window to alert");
+    assert_eq!(
+        alerts.len(),
+        1,
+        "expected exactly the spike window to alert"
+    );
 }

@@ -33,8 +33,10 @@ fn main() {
     // 2. Replay only the database server for the second half hour — the
     //    replayer UI's host + time-range selection.
     let replayer = Replayer::new(EventStore::open(&path).expect("open store"));
-    let selection = Selection::host("db-server")
-        .between(Timestamp::from_millis(30 * 60_000), Timestamp::from_millis(60 * 60_000));
+    let selection = Selection::host("db-server").between(
+        Timestamp::from_millis(30 * 60_000),
+        Timestamp::from_millis(60 * 60_000),
+    );
     let events: Vec<_> = replayer.replay_iter(&selection).expect("replay").collect();
     println!(
         "replaying db-server 30..60 min: {} events (of {} total)",
@@ -44,8 +46,12 @@ fn main() {
 
     // 3. Run the exfiltration queries over the replayed stream.
     let mut system = SaqlSystem::new();
-    system.deploy("c5-exfiltration", saql::corpus::DEMO_C5_EXFILTRATION).unwrap();
-    system.deploy("outlier-db-peer", saql::corpus::DEMO_OUTLIER_DB).unwrap();
+    system
+        .deploy("c5-exfiltration", saql::corpus::DEMO_C5_EXFILTRATION)
+        .unwrap();
+    system
+        .deploy("outlier-db-peer", saql::corpus::DEMO_OUTLIER_DB)
+        .unwrap();
     let alerts = system.run_events(events);
     println!("\n--- alerts from replayed stream ---");
     for a in &alerts {
@@ -56,7 +62,11 @@ fn main() {
     // 4. Paced replay: compress one hour of trace into ~1 second of wall
     //    time through a bounded channel (how the CLI drives live demos).
     let rx = replayer
-        .replay_channel(&Selection::host("db-server"), Speed::Compressed { factor: 3600.0 }, 256)
+        .replay_channel(
+            &Selection::host("db-server"),
+            Speed::Compressed { factor: 3600.0 },
+            256,
+        )
         .expect("channel replay");
     let started = std::time::Instant::now();
     let replayed = rx.into_iter().count();

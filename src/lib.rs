@@ -55,7 +55,9 @@ pub struct SaqlSystem {
 impl SaqlSystem {
     /// A fresh system with default configuration.
     pub fn new() -> Self {
-        SaqlSystem { engine: Engine::new(EngineConfig::default()) }
+        SaqlSystem {
+            engine: Engine::new(EngineConfig::default()),
+        }
     }
 
     /// Access the underlying engine.

@@ -43,11 +43,10 @@ fn all_attack_steps_detected_by_rule_queries() {
     system.deploy_demo_queries().unwrap();
     let alerts = system.run_events(trace.shared());
 
-    let by_query: HashMap<&str, usize> =
-        alerts.iter().fold(HashMap::new(), |mut m, a| {
-            *m.entry(a.query.as_str()).or_default() += 1;
-            m
-        });
+    let by_query: HashMap<&str, usize> = alerts.iter().fold(HashMap::new(), |mut m, a| {
+        *m.entry(a.query.as_str()).or_default() += 1;
+        m
+    });
 
     for step_query in [
         "c1-initial-compromise",
@@ -94,7 +93,10 @@ fn advanced_queries_detect_without_attack_knowledge() {
     );
 
     // Outlier query: the attacker destination's outlying volume.
-    let outlier: Vec<_> = alerts.iter().filter(|a| a.query == "outlier-db-peer").collect();
+    let outlier: Vec<_> = alerts
+        .iter()
+        .filter(|a| a.query == "outlier-db-peer")
+        .collect();
     assert!(
         outlier
             .iter()
@@ -127,7 +129,9 @@ fn rule_alerts_reference_ground_truth_events() {
 
     let mut checked = 0;
     for alert in &alerts {
-        let Some(step) = step_of(&alert.query) else { continue };
+        let Some(step) = step_of(&alert.query) else {
+            continue;
+        };
         if let saql::engine::alert::AlertOrigin::Match { event_ids } = &alert.origin {
             for id in event_ids {
                 assert!(
@@ -138,7 +142,10 @@ fn rule_alerts_reference_ground_truth_events() {
             checked += 1;
         }
     }
-    assert!(checked >= 5, "expected at least one match alert per step, checked {checked}");
+    assert!(
+        checked >= 5,
+        "expected at least one match alert per step, checked {checked}"
+    );
 }
 
 #[test]
@@ -171,8 +178,11 @@ fn scheduler_and_standalone_agree_on_detections() {
     // Concurrent: all eight share the scheduler.
     let mut system = SaqlSystem::new();
     system.deploy_demo_queries().unwrap();
-    let mut concurrent: Vec<String> =
-        system.run_events(events).iter().map(|a| a.to_string()).collect();
+    let mut concurrent: Vec<String> = system
+        .run_events(events)
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
     concurrent.sort();
 
     assert_eq!(standalone, concurrent);
@@ -195,8 +205,15 @@ fn detection_latency_is_within_one_window() {
     system.deploy_demo_queries().unwrap();
     let alerts = system.run_events(trace.shared());
 
-    let rule = alerts.iter().find(|a| a.query == "c5-exfiltration").unwrap();
-    assert!(rule.ts >= c5_start && rule.ts <= c5_end, "rule alert at {}", rule.ts);
+    let rule = alerts
+        .iter()
+        .find(|a| a.query == "c5-exfiltration")
+        .unwrap();
+    assert!(
+        rule.ts >= c5_start && rule.ts <= c5_end,
+        "rule alert at {}",
+        rule.ts
+    );
 
     let window_ms = 10 * 60_000;
     for q in ["time-series-db-network", "outlier-db-peer"] {

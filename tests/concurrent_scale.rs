@@ -77,7 +77,11 @@ fn naive_scheduler_scales_checks_and_copies_linearly() {
 
 #[test]
 fn scheduler_matches_naive_results_across_mixed_queries() {
-    let mut cfg = WorkloadConfig { events: 5_000, target_fraction: 0.05, ..Default::default() };
+    let mut cfg = WorkloadConfig {
+        events: 5_000,
+        target_fraction: 0.05,
+        ..Default::default()
+    };
     cfg.mean_gap_ms = 50; // spread trace time so windows close mid-stream
     let events = share(synthetic_stream(&cfg));
 

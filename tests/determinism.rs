@@ -36,7 +36,11 @@ fn different_seeds_differ_in_background_but_all_detect() {
     let b = run_once(405);
     // Alert content differs (timing, ids) but both detect the attack steps.
     for alerts in [&a, &b] {
-        for q in ["c1-initial-compromise", "c5-exfiltration", "outlier-db-peer"] {
+        for q in [
+            "c1-initial-compromise",
+            "c5-exfiltration",
+            "outlier-db-peer",
+        ] {
             assert!(alerts.iter().any(|s| s.contains(q)), "{q} missing");
         }
     }

@@ -45,8 +45,9 @@ fn all_events_at_the_same_timestamp() {
     engine
         .register("q", "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n")
         .unwrap();
-    let events: Vec<SharedEvent> =
-        (0..100).map(|i| send(i, 42_000, "h", "a.exe", "1.1.1.1", 1)).collect();
+    let events: Vec<SharedEvent> = (0..100)
+        .map(|i| send(i, 42_000, "h", "a.exe", "1.1.1.1", 1))
+        .collect();
     let alerts = engine.run(events);
     assert_eq!(alerts.len(), 1);
     assert_eq!(alerts[0].get("ss[0].n"), Some("100"));
@@ -58,8 +59,9 @@ fn huge_amounts_do_not_overflow_aggregates() {
     engine
         .register("q", "proc p write ip i as evt #time(1 min)\nstate ss { s := sum(evt.amount) } group by p\nalert ss[0].s > 0\nreturn p, ss[0].s")
         .unwrap();
-    let events: Vec<SharedEvent> =
-        (0..16).map(|i| send(i, 1_000 + i, "h", "a.exe", "1.1.1.1", u64::MAX / 32)).collect();
+    let events: Vec<SharedEvent> = (0..16)
+        .map(|i| send(i, 1_000 + i, "h", "a.exe", "1.1.1.1", u64::MAX / 32))
+        .collect();
     let alerts = engine.run(events);
     assert_eq!(alerts.len(), 1);
     // f64 accumulation: large but finite.
@@ -73,7 +75,10 @@ fn partial_match_cap_degrades_gracefully() {
     // tiny cap it must keep running, flag the overflow, and still detect a
     // chain whose prefix survived.
     let src = "proc a[\"%x.exe\"] write file f as e1\nproc b[\"%y.exe\"] read file f as e2\nwith e1 -> e2\nreturn distinct a, b, f";
-    let config = QueryConfig { partial_match_cap: 8, ..QueryConfig::default() };
+    let config = QueryConfig {
+        partial_match_cap: 8,
+        ..QueryConfig::default()
+    };
     let mut q = RunningQuery::compile("capped", src, config).unwrap();
     for i in 0..100u64 {
         let e = Arc::new(
@@ -109,11 +114,16 @@ fn many_groups_in_one_window() {
         .register("q", "proc p write ip i as evt #time(1 min)\nstate ss { s := sum(evt.amount) } group by i.dstip\nreturn i.dstip, ss[0].s")
         .unwrap();
     let dst = |i: u64| format!("10.{}.{}.{}", i % 4, (i / 4) % 250, i % 250);
-    let events: Vec<SharedEvent> =
-        (0..5_000).map(|i| send(i, 1_000 + i % 50, "h", "a.exe", &dst(i), 10)).collect();
+    let events: Vec<SharedEvent> = (0..5_000)
+        .map(|i| send(i, 1_000 + i % 50, "h", "a.exe", &dst(i), 10))
+        .collect();
     let distinct: std::collections::HashSet<String> = (0..5_000).map(dst).collect();
     let alerts = engine.run(events);
-    assert_eq!(alerts.len(), distinct.len(), "one alert per distinct destination group");
+    assert_eq!(
+        alerts.len(),
+        distinct.len(),
+        "one alert per distinct destination group"
+    );
     assert!(alerts.len() >= 1_000);
 }
 
@@ -135,8 +145,14 @@ fn self_spawning_process_pattern() {
     // event whose child equals its parent identity can match.
     let src = "proc p start proc p as e\nreturn p";
     let mut q = RunningQuery::compile("selfjoin", src, QueryConfig::default()).unwrap();
-    assert!(q.process(&start(1, 10, (5, "a.exe"), (6, "a.exe"))).is_empty());
-    assert_eq!(q.process(&start(2, 20, (7, "fork.exe"), (7, "fork.exe"))).len(), 1);
+    assert!(q
+        .process(&start(1, 10, (5, "a.exe"), (6, "a.exe")))
+        .is_empty());
+    assert_eq!(
+        q.process(&start(2, 20, (7, "fork.exe"), (7, "fork.exe")))
+            .len(),
+        1
+    );
 }
 
 #[test]
@@ -174,7 +190,12 @@ fn min_max_aggregates_on_empty_history_stay_missing() {
 #[test]
 fn duplicate_event_ids_do_not_duplicate_rule_alerts() {
     let mut engine = Engine::new(EngineConfig::default());
-    engine.register("q", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2").unwrap();
+    engine
+        .register(
+            "q",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+        )
+        .unwrap();
     let e = start(7, 10, (1, "cmd.exe"), (2, "osql.exe"));
     let mut alerts = Vec::new();
     alerts.extend(engine.process(&e));
@@ -186,8 +207,15 @@ fn duplicate_event_ids_do_not_duplicate_rule_alerts() {
 fn queries_are_isolated_under_one_engine() {
     // A query with a tiny matcher cap must not affect its neighbours.
     let mut engine = Engine::new(EngineConfig::default());
-    engine.register("wide", "proc p start proc q as e\nreturn distinct p, q").unwrap();
-    engine.register("narrow", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2").unwrap();
+    engine
+        .register("wide", "proc p start proc q as e\nreturn distinct p, q")
+        .unwrap();
+    engine
+        .register(
+            "narrow",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+        )
+        .unwrap();
     let mut alerts = Vec::new();
     for i in 0..50u64 {
         alerts.extend(engine.process(&start(i, i * 10, (1, "cmd.exe"), (2, &format!("c{i}.exe")))));

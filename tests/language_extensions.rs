@@ -28,10 +28,20 @@ fn median_aggregate_is_robust_to_one_outlier() {
     engine.register("median", query).unwrap();
     let mut events = Vec::new();
     for (i, amount) in [100u64, 120, 110, 90, 10_000_000].into_iter().enumerate() {
-        events.push(send(i as u64 + 1, 1_000 + i as u64, "h", "a.exe", "1.1.1.1", amount));
+        events.push(send(
+            i as u64 + 1,
+            1_000 + i as u64,
+            "h",
+            "a.exe",
+            "1.1.1.1",
+            amount,
+        ));
     }
     let alerts = engine.run(events);
-    assert!(alerts.is_empty(), "median must not spike on one outlier: {alerts:?}");
+    assert!(
+        alerts.is_empty(),
+        "median must not spike on one outlier: {alerts:?}"
+    );
 }
 
 #[test]
@@ -63,7 +73,11 @@ fn percentile_pretty_roundtrip() {
     let src = "proc p write ip i as evt #time(1 min)\nstate ss { p99 := percentile(evt.amount, 99)\n med := median(evt.amount) } group by p\nalert ss[0].p99 > 1\nreturn p";
     let q1 = saql::lang::parse(src).unwrap();
     let printed = saql::lang::pretty::print_query(&q1);
-    assert!(printed.contains("percentile((evt.amount), 99)") || printed.contains("percentile(evt.amount, 99)"), "{printed}");
+    assert!(
+        printed.contains("percentile((evt.amount), 99)")
+            || printed.contains("percentile(evt.amount, 99)"),
+        "{printed}"
+    );
     let q2 = saql::lang::parse(&printed).unwrap();
     assert_eq!(printed, saql::lang::pretty::print_query(&q2));
 }
@@ -82,11 +96,25 @@ return i.dstip, ss.amt"#;
     for c in 0..9u32 {
         for j in 0..3u64 {
             id += 1;
-            events.push(send(id, j * 60_000, "h", "sqlservr.exe", &format!("10.0.0.{c}"), 500_000));
+            events.push(send(
+                id,
+                j * 60_000,
+                "h",
+                "sqlservr.exe",
+                &format!("10.0.0.{c}"),
+                500_000,
+            ));
         }
     }
     id += 1;
-    events.push(send(id, 5 * 60_000, "h", "sqlservr.exe", "172.16.9.129", 2_000_000_000));
+    events.push(send(
+        id,
+        5 * 60_000,
+        "h",
+        "sqlservr.exe",
+        "172.16.9.129",
+        2_000_000_000,
+    ));
     let alerts = engine.run(events);
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
@@ -102,7 +130,16 @@ return i.dstip"#;
     let mut engine = Engine::new(EngineConfig::default());
     engine.register("zscore", query).unwrap();
     let events: Vec<SharedEvent> = (0..12)
-        .map(|i| send(i + 1, i * 1_000, "h", "a.exe", &format!("10.0.0.{}", i % 6), 1_000 + i % 7))
+        .map(|i| {
+            send(
+                i + 1,
+                i * 1_000,
+                "h",
+                "a.exe",
+                &format!("10.0.0.{}", i % 6),
+                1_000 + i % 7,
+            )
+        })
         .collect();
     let alerts = engine.run(events);
     assert!(alerts.is_empty(), "{alerts:?}");

@@ -17,7 +17,12 @@ fn all_paper_queries_compile_with_expected_kinds() {
         .collect();
     assert_eq!(
         kinds,
-        vec![QueryKind::Rule, QueryKind::TimeSeries, QueryKind::Invariant, QueryKind::Outlier]
+        vec![
+            QueryKind::Rule,
+            QueryKind::TimeSeries,
+            QueryKind::Invariant,
+            QueryKind::Outlier
+        ]
     );
 }
 
@@ -41,7 +46,9 @@ fn db_event(id: u64, ts: u64) -> EventBuilder {
 #[test]
 fn query1_detects_exfiltration_chain() {
     let mut engine = Engine::new(EngineConfig::default());
-    engine.register("query1", corpus::QUERY1_EXFILTRATION).unwrap();
+    engine
+        .register("query1", corpus::QUERY1_EXFILTRATION)
+        .unwrap();
 
     let events: Vec<SharedEvent> = vec![
         Arc::new(
@@ -89,7 +96,9 @@ fn query1_detects_exfiltration_chain() {
 #[test]
 fn query1_respects_temporal_order() {
     let mut engine = Engine::new(EngineConfig::default());
-    engine.register("query1", corpus::QUERY1_EXFILTRATION).unwrap();
+    engine
+        .register("query1", corpus::QUERY1_EXFILTRATION)
+        .unwrap();
     let events: Vec<SharedEvent> = vec![
         Arc::new(
             db_event(1, 1_000)
@@ -125,7 +134,9 @@ fn query1_respects_temporal_order() {
 #[test]
 fn query2_detects_moving_average_spike() {
     let mut engine = Engine::new(EngineConfig::default());
-    engine.register("query2", corpus::QUERY2_TIME_SERIES).unwrap();
+    engine
+        .register("query2", corpus::QUERY2_TIME_SERIES)
+        .unwrap();
     let min = 60_000u64;
     let mut events = Vec::new();
     let mut id = 0u64;
@@ -136,7 +147,13 @@ fn query2_detects_moving_average_spike() {
             events.push(Arc::new(
                 EventBuilder::new(id, "db-server", w * 10 * min + j * min)
                     .subject(ProcessInfo::new(10, "sqlservr.exe", "svc"))
-                    .sends(NetworkInfo::new("10.0.1.3", 1433, "10.0.0.14", 49200, "tcp"))
+                    .sends(NetworkInfo::new(
+                        "10.0.1.3",
+                        1433,
+                        "10.0.0.14",
+                        49200,
+                        "tcp",
+                    ))
                     .amount(amount)
                     .build(),
             ) as SharedEvent);
@@ -209,7 +226,13 @@ fn query4_flags_outlier_destination() {
             events.push(Arc::new(
                 db_event(id, j * 2 * min)
                     .subject(ProcessInfo::new(10, "sqlservr.exe", "svc"))
-                    .sends(NetworkInfo::new("10.0.1.3", 1433, format!("10.0.0.{}", 50 + c), 49200, "tcp"))
+                    .sends(NetworkInfo::new(
+                        "10.0.1.3",
+                        1433,
+                        format!("10.0.0.{}", 50 + c),
+                        49200,
+                        "tcp",
+                    ))
                     .amount(500_000)
                     .build(),
             ));

@@ -21,7 +21,8 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_process() -> impl Strategy<Value = ProcessInfo> {
-    (any::<u32>(), arb_name(), arb_name()).prop_map(|(pid, exe, user)| ProcessInfo::new(pid, exe, user))
+    (any::<u32>(), arb_name(), arb_name())
+        .prop_map(|(pid, exe, user)| ProcessInfo::new(pid, exe, user))
 }
 
 fn arb_entity() -> impl Strategy<Value = Entity> {
@@ -37,7 +38,7 @@ fn arb_event() -> impl Strategy<Value = saql::model::Event> {
     (
         any::<u64>(),
         arb_name(),
-        any::<u32>(),          // ts (bounded)
+        any::<u32>(), // ts (bounded)
         arb_process(),
         arb_entity(),
         any::<u64>(),
@@ -95,9 +96,7 @@ fn reference_like(p: &[char], t: &[char]) -> bool {
             reference_like(&p[1..], t) || (!t.is_empty() && reference_like(p, &t[1..]))
         }
         (Some('_'), Some(_)) => reference_like(&p[1..], &t[1..]),
-        (Some(&pc), Some(&tc)) if pc.eq_ignore_ascii_case(&tc) => {
-            reference_like(&p[1..], &t[1..])
-        }
+        (Some(&pc), Some(&tc)) if pc.eq_ignore_ascii_case(&tc) => reference_like(&p[1..], &t[1..]),
         _ => false,
     }
 }

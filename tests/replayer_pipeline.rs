@@ -34,8 +34,11 @@ fn live_and_replayed_streams_produce_identical_alerts() {
     // Live run.
     let mut live = SaqlSystem::new();
     live.deploy_demo_queries().unwrap();
-    let mut live_alerts: Vec<String> =
-        live.run_events(trace.shared()).iter().map(|a| a.to_string()).collect();
+    let mut live_alerts: Vec<String> = live
+        .run_events(trace.shared())
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
     live_alerts.sort();
 
     // Store, then replay through the replayer.
@@ -47,8 +50,11 @@ fn live_and_replayed_streams_produce_identical_alerts() {
 
     let mut replay_sys = SaqlSystem::new();
     replay_sys.deploy_demo_queries().unwrap();
-    let mut replay_alerts: Vec<String> =
-        replay_sys.run_events(replayed).iter().map(|a| a.to_string()).collect();
+    let mut replay_alerts: Vec<String> = replay_sys
+        .run_events(replayed)
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
     replay_alerts.sort();
 
     assert_eq!(live_alerts, replay_alerts);
@@ -90,15 +96,18 @@ fn time_range_selection_cuts_the_attack_out() {
 
     // Replay only the pre-attack prefix: everything must stay quiet.
     let replayer = Replayer::new(EventStore::open(&path).unwrap());
-    let selection =
-        Selection::all().between(saql::model::Timestamp::ZERO, attack_start);
+    let selection = Selection::all().between(saql::model::Timestamp::ZERO, attack_start);
     let events: Vec<_> = replayer.replay_iter(&selection).unwrap().collect();
     assert!(!events.is_empty());
 
     let mut system = SaqlSystem::new();
     system.deploy_demo_queries().unwrap();
     let alerts = system.run_events(events);
-    assert!(alerts.is_empty(), "{:?}", alerts.iter().take(3).collect::<Vec<_>>());
+    assert!(
+        alerts.is_empty(),
+        "{:?}",
+        alerts.iter().take(3).collect::<Vec<_>>()
+    );
     std::fs::remove_file(path).unwrap();
 }
 

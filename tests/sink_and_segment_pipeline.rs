@@ -28,7 +28,9 @@ fn channel_sink_feeds_consumer_thread() {
 
     // Consumer: counts c5 alerts on its own thread.
     let consumer = std::thread::spawn(move || {
-        rx.into_iter().filter(|a| a.query == "c5-exfiltration").count()
+        rx.into_iter()
+            .filter(|a| a.query == "c5-exfiltration")
+            .count()
     });
 
     let mut engine = Engine::new(EngineConfig::default());
@@ -56,7 +58,9 @@ fn json_lines_export_round_trips_key_fields() {
     let mut json = JsonLinesSink::new(Vec::new());
     let mut collect = CollectSink::default();
     {
-        let mut tee = TeeSink { sinks: vec![&mut json, &mut collect] };
+        let mut tee = TeeSink {
+            sinks: vec![&mut json, &mut collect],
+        };
         engine.run_with_sink(trace.shared(), &mut tee);
     }
     let text = String::from_utf8(json.into_inner()).unwrap();
@@ -85,8 +89,10 @@ fn segmented_store_prunes_and_detects() {
     store.append(&trace.events).unwrap();
 
     // Select only the attack tail on the DB server: most segments skip.
-    let selection = Selection::host("db-server")
-        .between(Timestamp::from_millis(25 * 60_000), Timestamp::from_millis(45 * 60_000));
+    let selection = Selection::host("db-server").between(
+        Timestamp::from_millis(25 * 60_000),
+        Timestamp::from_millis(45 * 60_000),
+    );
     let (events, stats) = store.read(&selection).unwrap();
     assert!(stats.segments_skipped > 0, "{stats:?}");
     assert!(stats.events_decoded < trace.events.len(), "{stats:?}");
@@ -94,10 +100,17 @@ fn segmented_store_prunes_and_detects() {
 
     // The selected slice still powers the exfiltration detection.
     let mut engine = Engine::new(EngineConfig::default());
-    engine.register("c5", saql::corpus::DEMO_C5_EXFILTRATION).unwrap();
+    engine
+        .register("c5", saql::corpus::DEMO_C5_EXFILTRATION)
+        .unwrap();
     let mut sorted = events;
     sorted.sort_by_key(|e| (e.ts, e.id));
-    let alerts = engine.run(sorted.into_iter().map(std::sync::Arc::new).collect::<Vec<_>>());
+    let alerts = engine.run(
+        sorted
+            .into_iter()
+            .map(std::sync::Arc::new)
+            .collect::<Vec<_>>(),
+    );
     assert!(alerts.iter().any(|a| a.query == "c5"), "{alerts:?}");
     std::fs::remove_dir_all(dir).unwrap();
 }
@@ -120,7 +133,10 @@ fn segmented_and_flat_store_agree() {
     for selection in [
         Selection::all(),
         Selection::host("client-3"),
-        Selection::all().between(Timestamp::from_millis(0), Timestamp::from_millis(10 * 60_000)),
+        Selection::all().between(
+            Timestamp::from_millis(0),
+            Timestamp::from_millis(10 * 60_000),
+        ),
     ] {
         let (mut a, _) = seg.read(&selection).unwrap();
         let mut b = flat.read(&selection).unwrap();

@@ -34,7 +34,11 @@ fn sliding_windows_count_events_in_every_overlap() {
         .iter()
         .filter(|a| a.get("ss[0].n") == Some("1") && a.ts.as_millis() <= 120_000)
         .collect();
-    assert_eq!(ones.len(), 3, "event must appear in 3 overlapping windows: {alerts:?}");
+    assert_eq!(
+        ones.len(),
+        3,
+        "event must appear in 3 overlapping windows: {alerts:?}"
+    );
 }
 
 #[test]
@@ -46,13 +50,21 @@ fn sliding_window_history_is_indexed_by_slide_steps() {
     let mut events = Vec::new();
     // Steady 100 bytes per 20s slot, then a burst.
     for (i, slot) in (0..6u64).enumerate() {
-        events.push(send(i as u64 + 1, slot * 20_000 + 1_000, "a.exe", "1.1.1.1", 100));
+        events.push(send(
+            i as u64 + 1,
+            slot * 20_000 + 1_000,
+            "a.exe",
+            "1.1.1.1",
+            100,
+        ));
     }
     events.push(send(50, 6 * 20_000 + 2_000, "a.exe", "1.1.1.1", 5_000));
     events.push(send(51, 10 * 20_000, "a.exe", "1.1.1.1", 1)); // advance watermark
     let alerts = engine.run(events);
     assert!(
-        alerts.iter().any(|a| a.get("ss[0].amt").is_some_and(|v| v.starts_with("5"))),
+        alerts
+            .iter()
+            .any(|a| a.get("ss[0].amt").is_some_and(|v| v.starts_with("5"))),
         "burst window must alert: {alerts:?}"
     );
 }
@@ -76,12 +88,24 @@ return i.dstip, ss.amt, ss.conns"#;
     for c in 0..6u32 {
         for j in 0..10u64 {
             id += 1;
-            events.push(send(id, j * 30_000, "sqlservr.exe", &format!("10.0.0.{c}"), 50_000));
+            events.push(send(
+                id,
+                j * 30_000,
+                "sqlservr.exe",
+                &format!("10.0.0.{c}"),
+                50_000,
+            ));
         }
     }
     for j in 0..10u64 {
         id += 1;
-        events.push(send(id, j * 30_000 + 5_000, "sqlservr.exe", "172.16.9.129", 300_000_000));
+        events.push(send(
+            id,
+            j * 30_000 + 5_000,
+            "sqlservr.exe",
+            "172.16.9.129",
+            300_000_000,
+        ));
     }
     let alerts = engine.run(events);
     assert_eq!(alerts.len(), 1, "{alerts:?}");
@@ -102,7 +126,13 @@ return i.dstip, ss.amt"#;
     let mut id = 0u64;
     for c in 0..11u32 {
         id += 1;
-        events.push(send(id, c as u64 * 1_000, "a.exe", &format!("10.0.0.{c}"), 400_000 + c as u64));
+        events.push(send(
+            id,
+            c as u64 * 1_000,
+            "a.exe",
+            &format!("10.0.0.{c}"),
+            400_000 + c as u64,
+        ));
     }
     id += 1;
     events.push(send(id, 60_000, "a.exe", "172.16.9.129", 3_000_000_000));
