@@ -9,10 +9,10 @@
 //! * [`robust`] — median, percentiles, MAD and z-scores for robust
 //!   thresholding;
 //! * [`distance`] — Euclidean (`"ed"`) and Manhattan (`"md"`) metrics;
-//! * [`dbscan`] — density-based clustering with outlier (noise) labelling,
-//!   the method behind the paper's Query 4;
-//! * [`kmeans`] — k-means with k-means++ seeding, the alternative peer-
-//!   grouping method.
+//! * [`mod@dbscan`] — density-based clustering with outlier (noise)
+//!   labelling, the method behind the paper's Query 4;
+//! * [`mod@kmeans`] — k-means with k-means++ seeding, the alternative
+//!   peer-grouping method.
 
 pub mod aggregate;
 pub mod dbscan;

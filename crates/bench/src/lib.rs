@@ -71,6 +71,30 @@ pub fn variant_queries(n: usize) -> Vec<RunningQuery> {
         .collect()
 }
 
+/// `groups × per_group` stateful queries spanning `groups` distinct
+/// compatibility groups, the multi-query workload for the E11 parallel
+/// scaling bench. Groups differ by window length (part of the compat key);
+/// members within a group differ only by alert threshold, so they stay
+/// dependents of one master. Stateful queries keep per-event work high
+/// enough that sharding, not channel overhead, dominates.
+pub fn sharded_queries(groups: usize, per_group: usize) -> Vec<RunningQuery> {
+    let mut out = Vec::with_capacity(groups * per_group);
+    for g in 0..groups {
+        for m in 0..per_group {
+            let src = format!(
+                "proc p write ip i as evt #time({} s)\nstate ss {{ amt := sum(evt.amount) }} group by p\nalert ss[0].amt > {}\nreturn p, ss[0].amt",
+                30 + g,
+                10_000 * (m + 1),
+            );
+            out.push(
+                RunningQuery::compile(format!("shard-g{g}-m{m}"), &src, QueryConfig::default())
+                    .expect("sharded workload query compiles"),
+            );
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +120,15 @@ mod tests {
         let vs = variant_queries(8);
         let key = vs[0].compat_key().to_string();
         assert!(vs.iter().all(|q| q.compat_key() == key));
+    }
+
+    #[test]
+    fn sharded_queries_span_the_declared_groups() {
+        let qs = sharded_queries(6, 3);
+        assert_eq!(qs.len(), 18);
+        let mut keys: Vec<&str> = qs.iter().map(|q| q.compat_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), 6, "one compat key per group");
     }
 }

@@ -11,6 +11,17 @@ use saql_stream::store::{EventStore, Selection};
 
 use crate::args::Flags;
 
+/// Parse `--workers N` into an engine config (0 = serial, the default).
+fn engine_config(flags: &Flags, record_latency: bool) -> Result<EngineConfig, String> {
+    let workers = flags.get_usize("workers", 0)?;
+    Ok(EngineConfig {
+        // The parallel runtime reports no latency histogram.
+        record_latency: record_latency && workers == 0,
+        workers,
+        ..EngineConfig::default()
+    })
+}
+
 fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
     Ok(SimConfig {
         seed: flags.get_u64("seed", 2020)?,
@@ -50,19 +61,24 @@ pub fn demo(argv: &[String]) -> i32 {
         println!("  attack {}: {} .. {}", step.label(), first, last);
     }
 
-    let mut engine = Engine::new(EngineConfig {
-        record_latency: true,
-        ..Default::default()
-    });
+    let engine_cfg = match engine_config(&flags, true) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let mut engine = Engine::new(engine_cfg);
     for (name, src) in corpus::DEMO_QUERIES {
         if let Err(e) = engine.register(name, src) {
             return fail(&format!("demo query {name}: {e}"));
         }
     }
     println!(
-        "deployed {} queries in {} scheduler group(s)\n",
+        "deployed {} queries in {} scheduler group(s){}\n",
         corpus::DEMO_QUERIES.len(),
-        engine.group_count()
+        engine.group_count(),
+        match engine.workers() {
+            0 => String::new(),
+            n => format!(" across {n} worker(s)"),
+        }
     );
 
     let mut alert_count = 0usize;
@@ -156,7 +172,11 @@ pub fn replay(argv: &[String]) -> i32 {
         },
     };
 
-    let mut engine = Engine::new(EngineConfig::default());
+    let engine_cfg = match engine_config(&flags, false) {
+        Ok(c) => c,
+        Err(e) => return fail(&e),
+    };
+    let mut engine = Engine::new(engine_cfg);
     if flags.switch("demo-queries") {
         for (name, src) in corpus::DEMO_QUERIES {
             engine.register(name, src).expect("demo queries compile");

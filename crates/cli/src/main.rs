@@ -49,16 +49,21 @@ const USAGE: &str = "\
 SAQL — stream-based anomaly query system over system monitoring data
 
 USAGE:
-    saql demo       [--clients N] [--minutes M] [--seed S]
+    saql demo       [--clients N] [--minutes M] [--seed S] [--workers W]
     saql simulate   --out FILE [--clients N] [--minutes M] [--seed S] [--no-attack]
     saql replay     --store FILE [--host H]... [--from MS] [--until MS]
                     [--speed FACTOR|max] [--demo-queries] [--query FILE]...
+                    [--workers W]
     saql check      FILE...
     saql repl       [--store FILE]
     saql help
 
+`--workers W` runs queries on the parallel sharded runtime with W worker
+threads (default 0 = serial execution on one thread).
+
 EXAMPLES:
     saql demo --clients 8 --minutes 60
+    saql demo --workers 4
     saql simulate --out /tmp/trace.saql --minutes 45
     saql replay --store /tmp/trace.saql --host db-server --demo-queries
     saql check my-query.saql

@@ -80,6 +80,31 @@ fn missing_flag_value_is_reported() {
 }
 
 #[test]
+fn demo_runs_on_parallel_workers_and_detects_attack() {
+    let out = saql(&[
+        "demo",
+        "--clients",
+        "3",
+        "--minutes",
+        "20",
+        "--workers",
+        "2",
+    ]);
+    assert!(out.status.success(), "demo --workers 2 failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("across 2 worker(s)"), "got: {text}");
+    assert!(text.contains("scheduler:"), "merged stats missing: {text}");
+}
+
+#[test]
+fn demo_rejects_non_numeric_workers() {
+    let out = saql(&["demo", "--workers", "many"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--workers expects a number"), "got: {err}");
+}
+
+#[test]
 fn simulate_then_check_store_exists() {
     let mut store = std::env::temp_dir();
     store.push(format!("saql-cli-smoke-{}-trace.bin", std::process::id()));

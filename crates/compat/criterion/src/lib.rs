@@ -7,8 +7,34 @@
 //! sample of timed iterations) reporting mean ns/iter and, when a
 //! throughput was declared, derived elements-or-bytes per second. No
 //! statistics, plots, or saved baselines.
+//!
+//! Two environment variables serve CI:
+//!
+//! * `SAQL_BENCH_QUICK=1` — quick mode: every benchmark runs a single
+//!   timed sample (after the usual one-iteration warm-up), regardless of
+//!   configured sample sizes. Numbers are smoke-level, but every bench
+//!   body executes, which is what a per-PR perf-tracking job needs.
+//! * `SAQL_BENCH_JSON=path` — after the last group, the bench binary
+//!   writes a JSON summary of every measurement to `path` (one object
+//!   with a `benches` array; see [`write_json_summary`]).
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Results accumulated by every [`run_one`] call in this bench binary,
+/// drained by [`write_json_summary`].
+static RESULTS: Mutex<Vec<Record>> = Mutex::new(Vec::new());
+
+#[derive(Debug, Clone)]
+struct Record {
+    label: String,
+    ns_per_iter: u128,
+    per_sec: Option<(&'static str, f64)>,
+}
+
+fn quick_mode() -> bool {
+    std::env::var("SAQL_BENCH_QUICK").map(|v| v != "0" && !v.is_empty()) == Ok(true)
+}
 
 /// Opaque value barrier preventing the optimizer from deleting benchmark
 /// work.
@@ -155,20 +181,91 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
+    let samples = if quick_mode() { 1 } else { samples };
     let mut bencher = Bencher {
         samples,
         elapsed_per_iter: Duration::ZERO,
     };
     f(&mut bencher);
     let ns = bencher.elapsed_per_iter.as_nanos().max(1);
-    let rate = throughput.map(|t| match t {
-        Throughput::Elements(n) => format!("  {:.0} elem/s", n as f64 / (ns as f64 / 1e9)),
-        Throughput::Bytes(n) => format!("  {:.0} B/s", n as f64 / (ns as f64 / 1e9)),
+    let per_sec = throughput.map(|t| match t {
+        Throughput::Elements(n) => ("elements", n as f64 / (ns as f64 / 1e9)),
+        Throughput::Bytes(n) => ("bytes", n as f64 / (ns as f64 / 1e9)),
+    });
+    let rate = per_sec.map(|(unit, rate)| match unit {
+        "bytes" => format!("  {rate:.0} B/s"),
+        _ => format!("  {rate:.0} elem/s"),
     });
     println!(
         "bench {label:<48} {ns:>12} ns/iter{}",
         rate.unwrap_or_default()
     );
+    RESULTS.lock().unwrap().push(Record {
+        label: label.to_string(),
+        ns_per_iter: ns,
+        per_sec,
+    });
+}
+
+/// Escape a string into a JSON string literal.
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// When `SAQL_BENCH_JSON` names a path, write every recorded measurement
+/// there as one JSON document:
+///
+/// ```json
+/// {"quick":true,"benches":[
+///   {"id":"e11_parallel/serial/64","ns_per_iter":1,"throughput_unit":"elements","throughput_per_sec":2.0}
+/// ]}
+/// ```
+///
+/// Called by [`criterion_main!`] after the last group; a no-op without the
+/// env var. Write failures print to stderr but never fail the bench run.
+pub fn write_json_summary() {
+    let Ok(path) = std::env::var("SAQL_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let records = RESULTS.lock().unwrap();
+    let mut out = String::new();
+    out.push_str(&format!("{{\"quick\":{},\"benches\":[\n", quick_mode()));
+    for (i, r) in records.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "{{\"id\":{},\"ns_per_iter\":{}",
+            json_string(&r.label),
+            r.ns_per_iter
+        ));
+        match r.per_sec {
+            Some((unit, rate)) => out.push_str(&format!(
+                ",\"throughput_unit\":{},\"throughput_per_sec\":{rate:.1}}}",
+                json_string(unit)
+            )),
+            None => out.push_str(",\"throughput_unit\":null,\"throughput_per_sec\":null}"),
+        }
+    }
+    out.push_str("\n]}\n");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("criterion: cannot write {path}: {e}");
+    }
 }
 
 /// Bundle bench functions into one runnable group, criterion-style.
@@ -184,12 +281,14 @@ macro_rules! criterion_group {
 
 /// Emit the bench binary's `main`, running each group in order. Accepts and
 /// ignores harness CLI arguments (`--bench`, filters) so `cargo bench`
-/// drives it unmodified.
+/// drives it unmodified. After the last group it writes the JSON summary
+/// when `SAQL_BENCH_JSON` requests one.
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_summary();
         }
     };
 }
@@ -198,8 +297,48 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    /// Serializes tests that read or write the `SAQL_BENCH_*` env vars.
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn quick_mode_runs_single_sample() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        std::env::set_var("SAQL_BENCH_QUICK", "1");
+        let mut c = Criterion::default();
+        let mut runs = 0u32;
+        c.bench_function("quick-probe", |b| b.iter(|| runs += 1));
+        std::env::remove_var("SAQL_BENCH_QUICK");
+        // One warm-up iteration plus exactly one timed sample.
+        assert_eq!(runs, 2, "quick mode must clamp sampling to 1");
+    }
+
+    #[test]
+    fn json_summary_written_on_request() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let mut path = std::env::temp_dir();
+        path.push(format!("criterion-compat-{}.json", std::process::id()));
+        std::env::set_var("SAQL_BENCH_JSON", &path);
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("jsontest");
+        group.throughput(Throughput::Elements(10)).sample_size(1);
+        group.bench_function("probe \"quoted\"", |b| b.iter(|| 1u32));
+        group.finish();
+        write_json_summary();
+        std::env::remove_var("SAQL_BENCH_JSON");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert!(
+            text.contains("\"id\":\"jsontest/probe \\\"quoted\\\"\""),
+            "escaped id missing: {text}"
+        );
+        assert!(text.contains("\"ns_per_iter\":"), "{text}");
+        assert!(text.contains("\"throughput_unit\":\"elements\""), "{text}");
+        assert!(text.trim_end().ends_with("]}"), "{text}");
+    }
+
     #[test]
     fn group_and_function_apis_run() {
+        let _guard = ENV_LOCK.lock().unwrap();
         let mut c = Criterion::default();
         let mut group = c.benchmark_group("g");
         group.throughput(Throughput::Elements(4)).sample_size(3);

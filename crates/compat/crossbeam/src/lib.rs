@@ -52,6 +52,13 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Outcome of a failed non-blocking receive.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        Empty,
+        Disconnected,
+    }
+
     /// Create a bounded channel holding at most `capacity` in-flight items.
     ///
     /// Unlike real crossbeam, zero-capacity rendezvous channels are not
@@ -128,6 +135,22 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 inner = self.shared.not_empty.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive: `Empty` when nothing is buffered but
+        /// senders remain, `Disconnected` once empty with every sender gone.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if let Some(v) = inner.queue.pop_front() {
+                drop(inner);
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
             }
         }
 
@@ -269,6 +292,16 @@ pub mod channel {
                 rx.recv_timeout(Duration::from_millis(1)),
                 Err(RecvTimeoutError::Timeout)
             );
+        }
+
+        #[test]
+        fn try_recv_distinguishes_empty_from_disconnected() {
+            let (tx, rx) = bounded(2);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            tx.send(5).unwrap();
+            assert_eq!(rx.try_recv(), Ok(5));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
         }
 
         #[test]

@@ -7,6 +7,7 @@ use saql_stream::SharedEvent;
 
 use crate::alert::Alert;
 use crate::query::{QueryConfig, QueryStats, RunningQuery};
+use crate::runtime::{ParallelConfig, ParallelEngine};
 use crate::scheduler::{Scheduler, SchedulerStats};
 
 /// Engine-wide configuration.
@@ -14,7 +15,13 @@ use crate::scheduler::{Scheduler, SchedulerStats};
 pub struct EngineConfig {
     pub query: QueryConfig,
     /// Track per-event end-to-end latency (one clock read pair per event).
+    /// Serial execution only; the parallel runtime reports no histogram.
     pub record_latency: bool,
+    /// Worker threads for the parallel sharded runtime. `0` (the default)
+    /// runs the serial scheduler on the calling thread; any other value
+    /// shards scheduler groups across that many workers (see
+    /// [`crate::runtime`]).
+    pub workers: usize,
 }
 
 /// Handle to a registered query.
@@ -44,35 +51,72 @@ pub struct QueryId(usize);
 /// assert_eq!(alerts[0].query, "osql-start");
 /// ```
 pub struct Engine {
-    scheduler: Scheduler,
+    backend: Backend,
     names: Vec<String>,
     config: EngineConfig,
 }
 
+/// Execution strategy behind the facade: the single-threaded scheduler, or
+/// the sharded multi-threaded runtime.
+enum Backend {
+    Serial(Scheduler),
+    Parallel(ParallelEngine),
+}
+
 impl Engine {
     pub fn new(config: EngineConfig) -> Self {
-        let mut scheduler = Scheduler::new();
-        if config.record_latency {
-            scheduler.enable_latency_tracking();
-        }
+        let backend = if config.workers == 0 {
+            let mut scheduler = Scheduler::new();
+            if config.record_latency {
+                scheduler.enable_latency_tracking();
+            }
+            Backend::Serial(scheduler)
+        } else {
+            Backend::Parallel(ParallelEngine::new(
+                ParallelConfig::with_workers(config.workers),
+                config.query,
+            ))
+        };
         Engine {
-            scheduler,
+            backend,
             names: Vec::new(),
             config,
         }
     }
 
+    /// An engine on the parallel sharded runtime with `workers` threads
+    /// (`0` falls back to serial execution).
+    pub fn with_workers(config: EngineConfig, workers: usize) -> Self {
+        Engine::new(EngineConfig { workers, ..config })
+    }
+
+    /// Worker threads in use (`0` = serial execution on the caller).
+    pub fn workers(&self) -> usize {
+        match &self.backend {
+            Backend::Serial(_) => 0,
+            Backend::Parallel(runtime) => runtime.workers(),
+        }
+    }
+
     /// Per-event latency histogram (ns), when
-    /// [`EngineConfig::record_latency`] is on.
+    /// [`EngineConfig::record_latency`] is on (serial execution only).
     pub fn latency(&self) -> Option<&saql_analytics::Histogram> {
-        self.scheduler.latency()
+        match &self.backend {
+            Backend::Serial(scheduler) => scheduler.latency(),
+            Backend::Parallel(_) => None,
+        }
     }
 
     /// Parse, check, and register a query. Errors carry spans renderable
     /// against `source` (see [`LangError::render`]).
     pub fn register(&mut self, name: &str, source: &str) -> Result<QueryId, LangError> {
         let query = RunningQuery::compile(name, source, self.config.query)?;
-        self.scheduler.add(query);
+        match &mut self.backend {
+            Backend::Serial(scheduler) => {
+                scheduler.add(query);
+            }
+            Backend::Parallel(runtime) => runtime.add(query),
+        }
         self.names.push(name.to_string());
         Ok(QueryId(self.names.len() - 1))
     }
@@ -84,52 +128,83 @@ impl Engine {
 
     /// Number of scheduler compatibility groups currently formed.
     pub fn group_count(&self) -> usize {
-        self.scheduler.group_count()
+        match &self.backend {
+            Backend::Serial(scheduler) => scheduler.group_count(),
+            Backend::Parallel(runtime) => runtime.group_count(),
+        }
     }
 
+    /// Execution counters. In parallel mode these are the merged per-shard
+    /// counters and are complete once [`finish`](Self::finish) ran.
     pub fn scheduler_stats(&self) -> SchedulerStats {
-        self.scheduler.stats()
+        match &self.backend {
+            Backend::Serial(scheduler) => scheduler.stats(),
+            Backend::Parallel(runtime) => runtime.stats(),
+        }
     }
 
-    /// Per-query execution stats, `(name, stats)` in arbitrary order.
+    /// Per-query execution stats, `(name, stats)` in arbitrary order. In
+    /// parallel mode the shards own the queries while the stream is live,
+    /// so stats surface after [`finish`](Self::finish).
     pub fn query_stats(&self) -> Vec<(String, QueryStats)> {
-        self.scheduler
-            .queries()
-            .map(|q| (q.name().to_string(), q.stats()))
-            .collect()
+        match &self.backend {
+            Backend::Serial(scheduler) => scheduler
+                .queries()
+                .map(|q| (q.name().to_string(), q.stats()))
+                .collect(),
+            Backend::Parallel(runtime) => runtime.query_stats(),
+        }
     }
 
     /// Total runtime errors across queries (the error reporter).
     pub fn error_count(&self) -> u64 {
-        self.scheduler.queries().map(|q| q.errors().total()).sum()
+        match &self.backend {
+            Backend::Serial(scheduler) => scheduler.queries().map(|q| q.errors().total()).sum(),
+            Backend::Parallel(runtime) => runtime.error_count(),
+        }
     }
 
     /// Recent runtime error messages across queries.
     pub fn recent_errors(&self) -> Vec<String> {
-        self.scheduler
-            .queries()
-            .flat_map(|q| {
-                q.errors()
-                    .recent()
-                    .map(move |e| format!("{}: {e}", q.name()))
-            })
-            .collect()
-    }
-
-    /// Push one event through all registered queries.
-    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
-        self.scheduler.process(event)
-    }
-
-    /// Drive an entire stream and flush; returns all alerts in emission
-    /// order.
-    pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
-        let mut alerts = Vec::new();
-        for event in stream {
-            alerts.extend(self.scheduler.process(&event));
+        match &self.backend {
+            Backend::Serial(scheduler) => scheduler
+                .queries()
+                .flat_map(|q| {
+                    q.errors()
+                        .recent()
+                        .map(move |e| format!("{}: {e}", q.name()))
+                })
+                .collect(),
+            Backend::Parallel(runtime) => runtime.recent_errors(),
         }
-        alerts.extend(self.scheduler.finish());
-        alerts
+    }
+
+    /// Push one event through all registered queries. Serial execution
+    /// returns this event's alerts synchronously; the parallel runtime
+    /// returns alerts as they arrive from the workers (everything is
+    /// delivered by [`finish`](Self::finish)).
+    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        match &mut self.backend {
+            Backend::Serial(scheduler) => scheduler.process(event),
+            Backend::Parallel(runtime) => runtime.process(event),
+        }
+    }
+
+    /// Drive an entire stream and flush; returns all alerts. Serial
+    /// execution yields emission order; parallel yields the same alerts as
+    /// a multiset, interleaved across shards.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
+        match &mut self.backend {
+            Backend::Serial(scheduler) => {
+                let mut alerts = Vec::new();
+                for event in stream {
+                    alerts.extend(scheduler.process(&event));
+                }
+                alerts.extend(scheduler.finish());
+                alerts
+            }
+            Backend::Parallel(runtime) => runtime.run(stream),
+        }
     }
 
     /// Drive a stream, delivering every alert to `sink` as it fires
@@ -140,24 +215,33 @@ impl Engine {
         stream: impl IntoIterator<Item = SharedEvent>,
         sink: &mut dyn crate::sink::AlertSink,
     ) -> u64 {
-        let mut n = 0u64;
-        for event in stream {
-            for alert in self.scheduler.process(&event) {
-                n += 1;
-                sink.deliver(&alert);
+        match &mut self.backend {
+            Backend::Serial(scheduler) => {
+                let mut n = 0u64;
+                for event in stream {
+                    for alert in scheduler.process(&event) {
+                        n += 1;
+                        sink.deliver(&alert);
+                    }
+                }
+                for alert in scheduler.finish() {
+                    n += 1;
+                    sink.deliver(&alert);
+                }
+                sink.flush();
+                n
             }
+            Backend::Parallel(runtime) => runtime.run_with_sink(stream, sink),
         }
-        for alert in self.scheduler.finish() {
-            n += 1;
-            sink.deliver(&alert);
-        }
-        sink.flush();
-        n
     }
 
-    /// Flush end-of-stream state (close remaining windows).
+    /// Flush end-of-stream state (close remaining windows; in parallel
+    /// mode, drain and join the workers).
     pub fn finish(&mut self) -> Vec<Alert> {
-        self.scheduler.finish()
+        match &mut self.backend {
+            Backend::Serial(scheduler) => scheduler.finish(),
+            Backend::Parallel(runtime) => runtime.finish(),
+        }
     }
 }
 
@@ -233,6 +317,51 @@ mod tests {
         // Disabled by default.
         let e2 = Engine::new(EngineConfig::default());
         assert!(e2.latency().is_none());
+    }
+
+    #[test]
+    fn parallel_backend_matches_serial_results() {
+        let events: Vec<SharedEvent> = (0..100)
+            .map(|i| {
+                if i % 3 == 0 {
+                    start(i, i * 1_000, "cmd.exe", "osql.exe")
+                } else {
+                    start(i, i * 1_000, "explorer.exe", "notepad.exe")
+                }
+            })
+            .collect();
+        let sources = [
+            (
+                "a",
+                "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+            ),
+            (
+                "b",
+                "proc p1 start proc p2[\"%notepad.exe\"] as e\nreturn p1, p2",
+            ),
+        ];
+        let mut serial = Engine::new(EngineConfig::default());
+        let mut parallel = Engine::with_workers(EngineConfig::default(), 2);
+        assert_eq!(serial.workers(), 0);
+        assert_eq!(parallel.workers(), 2);
+        for (name, src) in sources {
+            serial.register(name, src).unwrap();
+            parallel.register(name, src).unwrap();
+        }
+        let norm = |mut v: Vec<Alert>| {
+            let mut keys: Vec<String> = v.drain(..).map(|a| format!("{}|{a}", a.query)).collect();
+            keys.sort();
+            keys
+        };
+        let serial_alerts = norm(serial.run(events.clone()));
+        let parallel_alerts = norm(parallel.run(events));
+        assert_eq!(serial_alerts, parallel_alerts);
+        assert_eq!(
+            parallel.scheduler_stats().events,
+            serial.scheduler_stats().events
+        );
+        assert_eq!(parallel.query_stats().len(), 2);
+        assert!(parallel.latency().is_none());
     }
 
     #[test]

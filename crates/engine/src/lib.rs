@@ -21,6 +21,9 @@
 //! * **concurrent query scheduler** ([`scheduler`]) — the master–dependent-
 //!   query scheme: semantically compatible queries share one copy of the
 //!   stream; only group masters touch raw events;
+//! * **parallel runtime** ([`runtime`], [`shard`]) — scheduler groups
+//!   partitioned across worker threads with batched event dispatch over
+//!   bounded channels and a merged alert channel;
 //! * **error reporter** ([`error`]) — collects runtime anomalies (evaluation
 //!   failures, partial-match overflow) without aborting the stream.
 //!
@@ -36,7 +39,9 @@ pub mod eval;
 pub mod invariant;
 pub mod matcher;
 pub mod query;
+pub mod runtime;
 pub mod scheduler;
+pub mod shard;
 pub mod sink;
 pub mod state;
 pub mod value;
@@ -46,5 +51,6 @@ pub use alert::Alert;
 pub use engine::{Engine, EngineConfig};
 pub use error::{EngineError, ErrorReporter};
 pub use query::RunningQuery;
+pub use runtime::{ParallelConfig, ParallelEngine};
 pub use scheduler::Scheduler;
 pub use value::Value;

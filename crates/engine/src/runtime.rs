@@ -1,0 +1,689 @@
+//! The parallel sharded execution runtime: scheduler groups partitioned
+//! across worker threads, events fanned out in batches.
+//!
+//! ```text
+//!                 ┌── bounded batch channel ──► worker 0 (groups 0, N, …)──┐
+//!   coordinator ──┼── bounded batch channel ──► worker 1 (groups 1, …)    ─┼─► merged
+//!   (batches the  └── bounded batch channel ──► worker N-1 (…)           ──┘   alert
+//!    event stream)                                                            channel
+//! ```
+//!
+//! Design points:
+//!
+//! * **Groups are the sharding unit.** Queries are grouped by compatibility
+//!   key first (preserving the master–dependent sharing win), then whole
+//!   groups are dealt round-robin across shards. Two compatible queries
+//!   never land on different shards.
+//! * **Every shard sees every event.** Windows close on stream time, so a
+//!   shard cannot skip events that miss its shapes; the coordinator
+//!   broadcasts each [`EventBatch`] to all workers. Batches carry
+//!   `Arc<Event>`s, so the broadcast clones handles, never payloads.
+//! * **Batched dispatch.** Events buffer into an [`EventBatch`] and ship
+//!   when full, amortizing channel synchronization over
+//!   [`ParallelConfig::batch_size`] events.
+//! * **Non-blocking backpressure.** The coordinator never blocks on a full
+//!   batch channel while alerts back up: it drains the merged alert channel
+//!   between send retries, so a worker stalled on a full alert channel
+//!   cannot deadlock the dispatcher.
+//! * **Graceful drain.** [`ParallelEngine::finish`] flushes the partial
+//!   batch, closes the batch channels, drains alerts until every worker's
+//!   sink disconnects, then joins workers and merges their
+//!   [`ShardReport`]s into engine-wide [`SchedulerStats`].
+
+use crossbeam::channel::{bounded, Receiver, TryRecvError, TrySendError};
+use saql_stream::batch::DEFAULT_BATCH_SIZE;
+use saql_stream::{EventBatch, SharedEvent};
+use std::collections::HashMap;
+use std::thread::JoinHandle;
+
+use crate::alert::Alert;
+use crate::query::{QueryConfig, QueryStats, RunningQuery};
+use crate::scheduler::SchedulerStats;
+use crate::shard::{run_worker, Shard, ShardReport};
+use crate::sink::{AlertSink, ChannelSink};
+
+/// Tuning knobs for the parallel runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ParallelConfig {
+    /// Worker threads (also the shard count). Zero clamps to one.
+    pub workers: usize,
+    /// Events per dispatched batch.
+    pub batch_size: usize,
+    /// Batches buffered per worker channel before the coordinator backs
+    /// off.
+    pub batch_backlog: usize,
+    /// Alerts buffered in the merged channel before workers block.
+    pub alert_backlog: usize,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            workers: 4,
+            batch_size: DEFAULT_BATCH_SIZE,
+            batch_backlog: 4,
+            alert_backlog: 4096,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// Defaults with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ParallelConfig {
+            workers,
+            ..ParallelConfig::default()
+        }
+    }
+
+    fn normalized(mut self) -> Self {
+        self.workers = self.workers.max(1);
+        self.batch_size = self.batch_size.max(1);
+        self.batch_backlog = self.batch_backlog.max(1);
+        self.alert_backlog = self.alert_backlog.max(1);
+        self
+    }
+}
+
+/// Live worker-thread state while a stream is in flight.
+struct Running {
+    batch_txs: Vec<crossbeam::channel::Sender<EventBatch>>,
+    alerts_rx: Receiver<Alert>,
+    reports_rx: Receiver<ShardReport>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Merged end-of-stream state, available after [`ParallelEngine::finish`].
+#[derive(Debug, Default)]
+struct Drained {
+    stats: SchedulerStats,
+    shard_stats: Vec<(usize, SchedulerStats)>,
+    query_stats: Vec<(String, QueryStats)>,
+    error_count: u64,
+    recent_errors: Vec<String>,
+    dropped_alerts: u64,
+}
+
+/// A sharded, multi-threaded counterpart to the serial [`crate::Engine`]
+/// execution path: same queries, same alerts (as a multiset), spread over
+/// `workers` threads.
+///
+/// Lifecycle: [`add`](Self::add)/[`register`](Self::register) queries, then
+/// push events ([`process`](Self::process) or [`run`](Self::run)); worker
+/// threads spawn lazily on the first event and shut down in
+/// [`finish`](Self::finish). A finished engine can be inspected
+/// ([`stats`](Self::stats), [`query_stats`](Self::query_stats)) but not
+/// restarted.
+pub struct ParallelEngine {
+    config: ParallelConfig,
+    query_config: QueryConfig,
+    pending: Vec<RunningQuery>,
+    names: Vec<String>,
+    group_count: usize,
+    buffer: EventBatch,
+    running: Option<Running>,
+    drained: Option<Drained>,
+}
+
+impl ParallelEngine {
+    pub fn new(config: ParallelConfig, query_config: QueryConfig) -> Self {
+        let config = config.normalized();
+        ParallelEngine {
+            config,
+            query_config,
+            pending: Vec::new(),
+            names: Vec::new(),
+            group_count: 0,
+            buffer: EventBatch::with_capacity(config.batch_size),
+            running: None,
+            drained: None,
+        }
+    }
+
+    /// Worker threads this runtime shards over.
+    pub fn workers(&self) -> usize {
+        self.config.workers
+    }
+
+    /// Compile and register a query. Must happen before the first event.
+    pub fn register(&mut self, name: &str, source: &str) -> Result<(), saql_lang::LangError> {
+        let query = RunningQuery::compile(name, source, self.query_config)?;
+        self.add(query);
+        Ok(())
+    }
+
+    /// Register an already-compiled query. Must happen before the first
+    /// event; later additions would miss the already-dispatched prefix of
+    /// the stream, so they panic instead of silently under-reporting.
+    pub fn add(&mut self, query: RunningQuery) {
+        assert!(
+            self.running.is_none() && self.drained.is_none(),
+            "queries must be registered before the stream starts"
+        );
+        self.names.push(query.name().to_string());
+        self.pending.push(query);
+    }
+
+    /// Registered query names, in registration order.
+    pub fn query_names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Compatibility groups across all shards (known once started; before
+    /// that, computed from the pending set).
+    pub fn group_count(&self) -> usize {
+        if self.running.is_some() || self.drained.is_some() {
+            return self.group_count;
+        }
+        let mut keys: Vec<&str> = self.pending.iter().map(|q| q.compat_key()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        keys.len()
+    }
+
+    /// Push one event. Returns alerts that have *arrived* from workers so
+    /// far — delivery is asynchronous, so they may stem from earlier events
+    /// and alerts for this event may surface later (or in
+    /// [`finish`](Self::finish)).
+    ///
+    /// Panics when called after [`finish`](Self::finish): the workers are
+    /// gone, so unlike the serial scheduler this engine cannot resume a
+    /// drained stream (silently buffering the events would lose them).
+    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
+        self.assert_not_drained();
+        let mut alerts = Vec::new();
+        self.ensure_started();
+        self.buffer.push(event.clone());
+        if self.buffer.is_full() {
+            let batch = self.buffer.take();
+            self.dispatch(batch, &mut alerts);
+        } else if let Some(running) = &self.running {
+            drain_ready(&running.alerts_rx, &mut alerts);
+        }
+        alerts
+    }
+
+    /// Drive an entire stream to completion and return all alerts. Unlike
+    /// the serial engine, ordering across queries is not stream order —
+    /// equality with serial execution holds for the alert *multiset*.
+    pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
+        self.assert_not_drained();
+        let mut alerts = Vec::new();
+        self.ensure_started();
+        for event in stream {
+            self.buffer.push(event);
+            if self.buffer.is_full() {
+                let batch = self.buffer.take();
+                self.dispatch(batch, &mut alerts);
+            }
+        }
+        alerts.extend(self.finish());
+        alerts
+    }
+
+    /// Drive a stream, delivering every alert to `sink` as it arrives from
+    /// the workers. Returns the alert count.
+    pub fn run_with_sink(
+        &mut self,
+        stream: impl IntoIterator<Item = SharedEvent>,
+        sink: &mut dyn AlertSink,
+    ) -> u64 {
+        self.assert_not_drained();
+        let mut n = 0u64;
+        let mut pending = Vec::new();
+        self.ensure_started();
+        for event in stream {
+            self.buffer.push(event);
+            if self.buffer.is_full() {
+                let batch = self.buffer.take();
+                self.dispatch(batch, &mut pending);
+            }
+            for alert in pending.drain(..) {
+                n += 1;
+                sink.deliver(&alert);
+            }
+        }
+        for alert in self.finish() {
+            n += 1;
+            sink.deliver(&alert);
+        }
+        sink.flush();
+        n
+    }
+
+    /// End of stream: flush the partial batch, drain the workers, merge
+    /// their reports, and return every remaining alert. Idempotent.
+    pub fn finish(&mut self) -> Vec<Alert> {
+        self.ensure_started();
+        let mut alerts = Vec::new();
+        if !self.buffer.is_empty() {
+            let batch = self.buffer.take();
+            self.dispatch(batch, &mut alerts);
+        }
+        let Some(running) = self.running.take() else {
+            return alerts;
+        };
+        // Closing the batch channels is the drain signal; workers flush
+        // their remaining windows and hang up their alert sinks.
+        drop(running.batch_txs);
+        while let Ok(alert) = running.alerts_rx.recv() {
+            alerts.push(alert);
+        }
+        let mut drained = Drained::default();
+        let mut reports: Vec<ShardReport> = Vec::new();
+        while let Ok(report) = running.reports_rx.recv() {
+            reports.push(report);
+        }
+        // A panicked worker never sends its report, so its groups' alerts
+        // are missing from the run — that must not pass silently.
+        let expected_reports = running.handles.len();
+        for handle in running.handles {
+            if handle.join().is_err() {
+                drained.error_count += 1;
+                drained
+                    .recent_errors
+                    .push("shard worker panicked; its alerts are lost".to_string());
+            }
+        }
+        if reports.len() < expected_reports {
+            let missing = expected_reports - reports.len();
+            drained.error_count += missing as u64;
+            drained.recent_errors.push(format!(
+                "{missing} shard report(s) missing; merged stats are partial"
+            ));
+        }
+        reports.sort_by_key(|r| r.id);
+        for report in reports {
+            drained.stats.absorb_shard(report.stats);
+            drained.shard_stats.push((report.id, report.stats));
+            drained.query_stats.extend(report.query_stats);
+            drained.error_count += report.error_count;
+            drained.recent_errors.extend(report.recent_errors);
+            drained.dropped_alerts += report.dropped_alerts;
+        }
+        self.drained = Some(drained);
+        alerts
+    }
+
+    /// Merged scheduler counters; complete after [`finish`](Self::finish),
+    /// zero before.
+    pub fn stats(&self) -> SchedulerStats {
+        self.drained.as_ref().map(|d| d.stats).unwrap_or_default()
+    }
+
+    /// Per-shard `(shard id, counters)`, after [`finish`](Self::finish) —
+    /// the work-partition audit: summed master checks equal the serial
+    /// scheduler's, split across shards.
+    pub fn shard_stats(&self) -> Vec<(usize, SchedulerStats)> {
+        self.drained
+            .as_ref()
+            .map(|d| d.shard_stats.clone())
+            .unwrap_or_default()
+    }
+
+    /// Per-query `(name, stats)`, available after [`finish`](Self::finish)
+    /// (shards own the queries while the stream is live).
+    pub fn query_stats(&self) -> Vec<(String, QueryStats)> {
+        self.drained
+            .as_ref()
+            .map(|d| d.query_stats.clone())
+            .unwrap_or_default()
+    }
+
+    /// Total runtime errors across queries, after [`finish`](Self::finish).
+    pub fn error_count(&self) -> u64 {
+        self.drained.as_ref().map(|d| d.error_count).unwrap_or(0)
+    }
+
+    /// Recent runtime error messages, after [`finish`](Self::finish).
+    pub fn recent_errors(&self) -> Vec<String> {
+        self.drained
+            .as_ref()
+            .map(|d| d.recent_errors.clone())
+            .unwrap_or_default()
+    }
+
+    /// Alerts lost because a worker's sink disconnected (0 in normal runs).
+    pub fn dropped_alerts(&self) -> u64 {
+        self.drained.as_ref().map(|d| d.dropped_alerts).unwrap_or(0)
+    }
+
+    /// Partition pending groups over shards and spawn the workers.
+    fn ensure_started(&mut self) {
+        if self.running.is_some() || self.drained.is_some() {
+            return;
+        }
+        let mut shards: Vec<Shard> = (0..self.config.workers).map(Shard::new).collect();
+        let mut assignment: HashMap<String, usize> = HashMap::new();
+        let mut next_group = 0usize;
+        for query in self.pending.drain(..) {
+            let key = query.compat_key().to_string();
+            let shard_idx = *assignment.entry(key).or_insert_with(|| {
+                let idx = next_group % shards.len();
+                next_group += 1;
+                idx
+            });
+            shards[shard_idx].assign(query);
+        }
+        self.group_count = next_group;
+
+        let (alert_sink, alerts_rx) = ChannelSink::new(self.config.alert_backlog);
+        let (reports_tx, reports_rx) = bounded::<ShardReport>(self.config.workers);
+        let mut batch_txs = Vec::with_capacity(self.config.workers);
+        let mut handles = Vec::with_capacity(self.config.workers);
+        for shard in shards {
+            let (batch_tx, batch_rx) = bounded::<EventBatch>(self.config.batch_backlog);
+            let sink = alert_sink.clone();
+            let reports = reports_tx.clone();
+            handles.push(std::thread::spawn(move || {
+                run_worker(shard, batch_rx, sink, reports)
+            }));
+            batch_txs.push(batch_tx);
+        }
+        // Drop the coordinator's copies so the channels disconnect once the
+        // last worker hangs up.
+        drop(alert_sink);
+        drop(reports_tx);
+        self.running = Some(Running {
+            batch_txs,
+            alerts_rx,
+            reports_rx,
+            handles,
+        });
+    }
+
+    fn assert_not_drained(&self) {
+        assert!(
+            self.drained.is_none(),
+            "ParallelEngine cannot process events after finish(): the \
+             workers have shut down (create a fresh engine to run again)"
+        );
+    }
+
+    /// Broadcast one batch to every worker, draining arrived alerts while
+    /// any batch channel is full (backpressure without deadlock). The last
+    /// worker takes the batch by value — N-1 clones for N workers.
+    fn dispatch(&mut self, batch: EventBatch, alerts: &mut Vec<Alert>) {
+        let running = self
+            .running
+            .as_ref()
+            .expect("dispatch only happens while running");
+        let last = running.batch_txs.len() - 1;
+        let mut batch = Some(batch);
+        for (i, tx) in running.batch_txs.iter().enumerate() {
+            let mut item = if i == last {
+                batch
+                    .take()
+                    .expect("batch consumed only by the last worker")
+            } else {
+                batch
+                    .as_ref()
+                    .expect("batch lives until the last worker")
+                    .clone()
+            };
+            loop {
+                match tx.try_send(item) {
+                    Ok(()) => break,
+                    Err(TrySendError::Full(back)) => {
+                        item = back;
+                        // Workers are behind: sleep on the alert channel
+                        // instead of spinning, so a saturated machine gives
+                        // this core to the workers. Forwarded alerts keep
+                        // draining either way, preserving deadlock freedom.
+                        if let Ok(alert) = running
+                            .alerts_rx
+                            .recv_timeout(std::time::Duration::from_millis(1))
+                        {
+                            alerts.push(alert);
+                        }
+                        drain_ready(&running.alerts_rx, alerts);
+                    }
+                    // A worker can only disappear if it panicked; drop its
+                    // share rather than wedge the stream (finish() reports
+                    // the dead shard).
+                    Err(TrySendError::Disconnected(_)) => break,
+                }
+            }
+        }
+        drain_ready(&running.alerts_rx, alerts);
+    }
+}
+
+impl Drop for ParallelEngine {
+    fn drop(&mut self) {
+        // Never leak worker threads: close channels and join.
+        if self.running.is_some() {
+            let _ = self.finish();
+        }
+    }
+}
+
+/// Move every already-arrived alert out of the channel without blocking.
+fn drain_ready(rx: &Receiver<Alert>, out: &mut Vec<Alert>) {
+    loop {
+        match rx.try_recv() {
+            Ok(alert) => out.push(alert),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::Scheduler;
+    use saql_model::event::EventBuilder;
+    use saql_model::{NetworkInfo, ProcessInfo};
+    use std::sync::Arc;
+
+    fn rq(name: &str, src: &str) -> RunningQuery {
+        RunningQuery::compile(name, src, QueryConfig::default()).unwrap()
+    }
+
+    fn start(id: u64, ts: u64, parent: &str, child: &str) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", ts)
+                .subject(ProcessInfo::new(1, parent, "u"))
+                .starts_process(ProcessInfo::new(2, child, "u"))
+                .build(),
+        )
+    }
+
+    fn send(id: u64, ts: u64, exe: &str, dst: &str, amount: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", ts)
+                .subject(ProcessInfo::new(1, exe, "u"))
+                .sends(NetworkInfo::new("10.0.0.2", 44000, dst, 443, "tcp"))
+                .amount(amount)
+                .build(),
+        )
+    }
+
+    fn sources() -> Vec<(&'static str, &'static str)> {
+        vec![
+            ("rule-a", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn distinct p1, p2"),
+            ("rule-b", "proc x start proc y[\"%osql.exe\"] as e\nreturn distinct x, y"),
+            ("window", "proc p write ip i as evt #time(1 min)\nstate ss { amt := sum(evt.amount) } group by p\nalert ss[0].amt > 100\nreturn p, ss[0].amt"),
+            ("count", "proc p write ip i as evt #time(2 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n"),
+        ]
+    }
+
+    fn events() -> Vec<SharedEvent> {
+        let mut out = Vec::new();
+        for i in 0..200u64 {
+            out.push(start(i * 3 + 1, i * 5_000, "cmd.exe", "osql.exe"));
+            out.push(send(
+                i * 3 + 2,
+                i * 5_000 + 1_000,
+                "sqlservr.exe",
+                "10.0.0.9",
+                90 + i,
+            ));
+            out.push(start(
+                i * 3 + 3,
+                i * 5_000 + 2_000,
+                "explorer.exe",
+                "calc.exe",
+            ));
+        }
+        out
+    }
+
+    fn sorted(mut alerts: Vec<Alert>) -> Vec<String> {
+        let mut keys: Vec<String> = alerts
+            .drain(..)
+            .map(|a| format!("{}|{a}", a.query))
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    #[test]
+    fn matches_serial_scheduler_across_worker_counts() {
+        let mut serial = Scheduler::new();
+        for (name, src) in sources() {
+            serial.add(rq(name, src));
+        }
+        let mut serial_alerts = Vec::new();
+        for e in events() {
+            serial_alerts.extend(serial.process(&e));
+        }
+        serial_alerts.extend(serial.finish());
+
+        for workers in [1usize, 2, 3, 8] {
+            let mut par = ParallelEngine::new(
+                ParallelConfig {
+                    workers,
+                    batch_size: 16,
+                    ..ParallelConfig::default()
+                },
+                QueryConfig::default(),
+            );
+            for (name, src) in sources() {
+                par.register(name, src).unwrap();
+            }
+            let par_alerts = par.run(events());
+            assert_eq!(
+                sorted(par_alerts),
+                sorted(serial_alerts.clone()),
+                "alert multiset diverged at {workers} workers"
+            );
+            assert_eq!(par.dropped_alerts(), 0);
+        }
+    }
+
+    #[test]
+    fn merged_stats_match_serial_counters() {
+        let mut serial = Scheduler::new();
+        for (name, src) in sources() {
+            serial.add(rq(name, src));
+        }
+        for e in events() {
+            serial.process(&e);
+        }
+        serial.finish();
+        let expect = serial.stats();
+
+        let mut par = ParallelEngine::new(ParallelConfig::with_workers(3), QueryConfig::default());
+        for (name, src) in sources() {
+            par.register(name, src).unwrap();
+        }
+        par.run(events());
+        let got = par.stats();
+        assert_eq!(got.events, expect.events);
+        assert_eq!(got.master_checks, expect.master_checks);
+        assert_eq!(got.deliveries, expect.deliveries);
+        assert_eq!(got.data_copies, 0);
+    }
+
+    #[test]
+    fn compatible_queries_stay_on_one_shard() {
+        let mut par = ParallelEngine::new(ParallelConfig::with_workers(4), QueryConfig::default());
+        for i in 0..8 {
+            par.register(
+                &format!("q{i}"),
+                "proc p start proc q as e\nreturn distinct p, q",
+            )
+            .unwrap();
+        }
+        assert_eq!(par.group_count(), 1);
+        par.run(vec![start(1, 10, "cmd.exe", "osql.exe")]);
+        // One group ⇒ exactly one master check per event, same as serial.
+        assert_eq!(par.stats().master_checks, 1);
+        assert_eq!(par.stats().deliveries, 8);
+    }
+
+    #[test]
+    fn finish_without_events_flushes_cleanly() {
+        let mut par = ParallelEngine::new(ParallelConfig::with_workers(2), QueryConfig::default());
+        par.register("q", "proc p start proc q as e\nreturn p")
+            .unwrap();
+        assert!(par.finish().is_empty());
+        assert_eq!(par.stats().events, 0);
+        // Idempotent.
+        assert!(par.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot process events after finish")]
+    fn process_after_finish_panics_clearly() {
+        let mut par = ParallelEngine::new(ParallelConfig::with_workers(2), QueryConfig::default());
+        par.register("q", "proc p start proc q as e\nreturn p")
+            .unwrap();
+        par.run(vec![start(1, 10, "a.exe", "b.exe")]);
+        par.process(&start(2, 20, "a.exe", "b.exe"));
+    }
+
+    #[test]
+    fn incremental_process_delivers_everything_by_finish() {
+        let mut par = ParallelEngine::new(
+            ParallelConfig {
+                workers: 2,
+                batch_size: 8,
+                ..ParallelConfig::default()
+            },
+            QueryConfig::default(),
+        );
+        par.register(
+            "q",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+        )
+        .unwrap();
+        let mut alerts = Vec::new();
+        for e in events() {
+            alerts.extend(par.process(&e));
+        }
+        alerts.extend(par.finish());
+        assert_eq!(alerts.len(), 200, "one alert per cmd.exe start");
+    }
+
+    #[test]
+    fn run_with_sink_counts_all_alerts() {
+        let mut par = ParallelEngine::new(ParallelConfig::with_workers(2), QueryConfig::default());
+        par.register(
+            "q",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+        )
+        .unwrap();
+        let mut sink = crate::sink::CollectSink::default();
+        let n = par.run_with_sink(events(), &mut sink);
+        assert_eq!(n, 200);
+        assert_eq!(sink.alerts.len(), 200);
+    }
+
+    #[test]
+    fn query_stats_surface_after_finish() {
+        let mut par = ParallelEngine::new(ParallelConfig::with_workers(3), QueryConfig::default());
+        for (name, src) in sources() {
+            par.register(name, src).unwrap();
+        }
+        assert!(par.query_stats().is_empty(), "stats only after finish");
+        par.run(events());
+        let stats = par.query_stats();
+        assert_eq!(stats.len(), sources().len());
+        assert!(stats
+            .iter()
+            .any(|(name, s)| name == "rule-a" && s.alerts > 0));
+        assert_eq!(par.error_count(), 0);
+    }
+}

@@ -35,6 +35,19 @@ pub struct SchedulerStats {
     pub data_copies: u64,
 }
 
+impl SchedulerStats {
+    /// Fold one shard's counters into an engine-wide view. Every shard of
+    /// the parallel runtime observes the full event stream, so `events`
+    /// merges as a maximum, while the per-group work counters — checks,
+    /// deliveries, copies — add up across the disjoint group subsets.
+    pub fn absorb_shard(&mut self, shard: SchedulerStats) {
+        self.events = self.events.max(shard.events);
+        self.master_checks += shard.master_checks;
+        self.deliveries += shard.deliveries;
+        self.data_copies += shard.data_copies;
+    }
+}
+
 struct Group {
     key: String,
     members: Vec<RunningQuery>,

@@ -1,0 +1,203 @@
+//! Shard workers for the parallel runtime: each shard owns a disjoint
+//! subset of scheduler groups and drives them with its own
+//! [`Scheduler`].
+//!
+//! The unit of distribution is the *compatibility group*, not the query:
+//! splitting a group across shards would force every shard to run its own
+//! master check for the same shape, duplicating exactly the work the
+//! master–dependent-query scheme exists to share. The runtime therefore
+//! assigns whole groups round-robin, and every shard observes the full
+//! event stream (group state depends on stream time, so windows must
+//! advance on every shard regardless of which groups matched).
+//!
+//! Shards are plain values until the runtime moves them onto worker
+//! threads, which is why this module carries the compile-time guarantee
+//! that all group state — queries, matchers, window drivers, invariant
+//! models — is [`Send`].
+
+use crossbeam::channel::{Receiver, Sender};
+use saql_stream::EventBatch;
+
+use crate::query::{QueryStats, RunningQuery};
+use crate::scheduler::{Scheduler, SchedulerStats};
+use crate::sink::{AlertSink, ChannelSink};
+
+/// One worker's slice of the engine: a scheduler over a subset of groups.
+pub struct Shard {
+    id: usize,
+    scheduler: Scheduler,
+}
+
+/// End-of-stream summary a shard sends back to the runtime on drain.
+#[derive(Debug)]
+pub struct ShardReport {
+    /// Which shard produced this report.
+    pub id: usize,
+    /// The shard scheduler's execution counters.
+    pub stats: SchedulerStats,
+    /// Per-query `(name, stats)` for the queries this shard hosted.
+    pub query_stats: Vec<(String, QueryStats)>,
+    /// Total runtime errors across the shard's queries.
+    pub error_count: u64,
+    /// Recent runtime error messages, `name: message` formatted.
+    pub recent_errors: Vec<String>,
+    /// Alerts this shard failed to forward (receiver hung up).
+    pub dropped_alerts: u64,
+}
+
+impl Shard {
+    pub fn new(id: usize) -> Self {
+        Shard {
+            id,
+            scheduler: Scheduler::new(),
+        }
+    }
+
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Host a query on this shard. Compatible queries assigned to the same
+    /// shard regroup under one master, exactly as in the serial scheduler.
+    pub fn assign(&mut self, query: RunningQuery) {
+        self.scheduler.add(query);
+    }
+
+    /// Compatibility groups hosted here.
+    pub fn group_count(&self) -> usize {
+        self.scheduler.group_count()
+    }
+
+    /// Queries hosted here.
+    pub fn query_count(&self) -> usize {
+        self.scheduler.query_count()
+    }
+
+    /// Push one batch through the shard's groups, forwarding every alert.
+    pub fn process_batch(&mut self, batch: &EventBatch, sink: &mut dyn AlertSink) {
+        for event in batch {
+            for alert in self.scheduler.process(event) {
+                sink.deliver(&alert);
+            }
+        }
+    }
+
+    /// End of stream: flush remaining windows and summarize.
+    pub fn finish(mut self, sink: &mut dyn AlertSink) -> ShardReport {
+        for alert in self.scheduler.finish() {
+            sink.deliver(&alert);
+        }
+        sink.flush();
+        ShardReport {
+            id: self.id,
+            stats: self.scheduler.stats(),
+            query_stats: self
+                .scheduler
+                .queries()
+                .map(|q| (q.name().to_string(), q.stats()))
+                .collect(),
+            error_count: self.scheduler.queries().map(|q| q.errors().total()).sum(),
+            recent_errors: self
+                .scheduler
+                .queries()
+                .flat_map(|q| {
+                    q.errors()
+                        .recent()
+                        .map(move |e| format!("{}: {e}", q.name()))
+                })
+                .collect(),
+            dropped_alerts: 0,
+        }
+    }
+}
+
+/// The worker-thread body: drain batches until the runtime closes the
+/// channel, then flush and report. The runtime owns thread spawning; this
+/// stays a plain function so tests can drive a worker synchronously.
+pub(crate) fn run_worker(
+    mut shard: Shard,
+    batches: Receiver<EventBatch>,
+    mut sink: ChannelSink,
+    reports: Sender<ShardReport>,
+) {
+    while let Ok(batch) = batches.recv() {
+        shard.process_batch(&batch, &mut sink);
+    }
+    let mut report = shard.finish(&mut sink);
+    report.dropped_alerts = sink.dropped;
+    // The runtime may already be gone (engine dropped mid-stream); a lost
+    // report is fine then.
+    let _ = reports.send(report);
+}
+
+// The architectural unlock this module asserts: a shard (scheduler groups
+// and everything inside them) can move to another thread.
+#[allow(dead_code)]
+fn assert_send<T: Send>() {}
+const _: fn() = assert_send::<Shard>;
+const _: fn() = assert_send::<ShardReport>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::query::QueryConfig;
+    use crate::sink::CollectSink;
+    use saql_model::event::EventBuilder;
+    use saql_model::ProcessInfo;
+    use saql_stream::SharedEvent;
+    use std::sync::Arc;
+
+    fn rq(name: &str, src: &str) -> RunningQuery {
+        RunningQuery::compile(name, src, QueryConfig::default()).unwrap()
+    }
+
+    fn start(id: u64, ts: u64, parent: &str, child: &str) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", ts)
+                .subject(ProcessInfo::new(1, parent, "u"))
+                .starts_process(ProcessInfo::new(2, child, "u"))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn shard_processes_batches_and_reports() {
+        let mut shard = Shard::new(3);
+        shard.assign(rq(
+            "q",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+        ));
+        assert_eq!(shard.group_count(), 1);
+        let mut batch = EventBatch::with_capacity(4);
+        batch.push(start(1, 10, "cmd.exe", "osql.exe"));
+        batch.push(start(2, 20, "explorer.exe", "notepad.exe"));
+        let mut sink = CollectSink::default();
+        shard.process_batch(&batch, &mut sink);
+        assert_eq!(sink.alerts.len(), 1);
+        let report = shard.finish(&mut sink);
+        assert_eq!(report.id, 3);
+        assert_eq!(report.stats.events, 2);
+        assert_eq!(report.query_stats.len(), 1);
+        assert_eq!(report.error_count, 0);
+    }
+
+    #[test]
+    fn worker_drains_channel_then_reports() {
+        let mut shard = Shard::new(0);
+        shard.assign(rq("q", "proc p start proc q as e\nreturn p, q"));
+        let (batch_tx, batch_rx) = crossbeam::channel::bounded::<EventBatch>(4);
+        let (sink, alerts_rx) = ChannelSink::new(64);
+        let (report_tx, report_rx) = crossbeam::channel::bounded::<ShardReport>(1);
+        let handle = std::thread::spawn(move || run_worker(shard, batch_rx, sink, report_tx));
+        let mut batch = EventBatch::with_capacity(2);
+        batch.push(start(1, 10, "a.exe", "b.exe"));
+        batch_tx.send(batch).unwrap();
+        drop(batch_tx);
+        handle.join().unwrap();
+        let alerts: Vec<_> = alerts_rx.into_iter().collect();
+        assert_eq!(alerts.len(), 1);
+        let report = report_rx.recv().unwrap();
+        assert_eq!(report.stats.events, 1);
+        assert_eq!(report.dropped_alerts, 0);
+    }
+}

@@ -36,17 +36,29 @@ impl AlertSink for CollectSink {
 }
 
 /// Forwards alerts into a bounded channel (blocking when full, dropping
-/// when all receivers hung up).
+/// when all receivers hung up). Cloning yields another producer into the
+/// *same* channel (with its own `dropped` counter) — the parallel runtime
+/// hands one clone to each shard worker to merge their alerts.
 pub struct ChannelSink {
     tx: Sender<Alert>,
     pub dropped: u64,
 }
 
 impl ChannelSink {
-    /// Create a sink and its receiving half.
+    /// Create a sink and its receiving half. A zero capacity clamps to one
+    /// (the vendored crossbeam has no rendezvous channels).
     pub fn new(capacity: usize) -> (ChannelSink, Receiver<Alert>) {
-        let (tx, rx) = bounded(capacity);
+        let (tx, rx) = bounded(capacity.max(1));
         (ChannelSink { tx, dropped: 0 }, rx)
+    }
+}
+
+impl Clone for ChannelSink {
+    fn clone(&self) -> Self {
+        ChannelSink {
+            tx: self.tx.clone(),
+            dropped: 0,
+        }
     }
 }
 

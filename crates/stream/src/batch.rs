@@ -1,0 +1,196 @@
+//! Event batches: the unit of work the parallel runtime ships to shard
+//! workers.
+//!
+//! Sending events across a channel one at a time pays synchronization cost
+//! per event; a batch amortizes it over [`EventBatch::capacity`] events.
+//! Batches carry [`SharedEvent`]s, so cloning a batch (to fan one batch out
+//! to several workers) clones `Arc` handles only — never event payloads.
+//! This preserves the master–dependent-query invariant that every consumer
+//! observes the *same allocation* of every event.
+
+use crate::SharedEvent;
+
+/// Default number of events per batch when callers don't specify one.
+pub const DEFAULT_BATCH_SIZE: usize = 256;
+
+/// A fixed-capacity run of consecutive stream events.
+#[derive(Debug, Clone)]
+pub struct EventBatch {
+    events: Vec<SharedEvent>,
+    capacity: usize,
+}
+
+impl EventBatch {
+    /// An empty batch that fills up after `capacity` pushes. Zero clamps to
+    /// one: a batch that can never accept an event is a foot-gun, not a
+    /// configuration.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        EventBatch {
+            events: Vec::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Wrap an existing run of events (capacity = its length, min 1).
+    pub fn from_events(events: Vec<SharedEvent>) -> Self {
+        let capacity = events.len().max(1);
+        EventBatch { events, capacity }
+    }
+
+    /// Append one event. Returns `false` (rejecting the push) when full.
+    pub fn push(&mut self, event: SharedEvent) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.events.push(event);
+        true
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    pub fn is_full(&self) -> bool {
+        self.events.len() >= self.capacity
+    }
+
+    /// The configured fill limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The batched events, in stream order.
+    pub fn events(&self) -> &[SharedEvent] {
+        &self.events
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, SharedEvent> {
+        self.events.iter()
+    }
+
+    /// Drain this batch into a fresh empty one with the same capacity,
+    /// returning the filled batch (the dispatch handoff).
+    pub fn take(&mut self) -> EventBatch {
+        let capacity = self.capacity;
+        std::mem::replace(self, EventBatch::with_capacity(capacity))
+    }
+}
+
+impl<'a> IntoIterator for &'a EventBatch {
+    type Item = &'a SharedEvent;
+    type IntoIter = std::slice::Iter<'a, SharedEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.iter()
+    }
+}
+
+impl IntoIterator for EventBatch {
+    type Item = SharedEvent;
+    type IntoIter = std::vec::IntoIter<SharedEvent>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.events.into_iter()
+    }
+}
+
+/// Split a stream into consecutive batches of at most `batch_size` events.
+pub fn batched(
+    events: impl IntoIterator<Item = SharedEvent>,
+    batch_size: usize,
+) -> Vec<EventBatch> {
+    let batch_size = batch_size.max(1);
+    let mut out = Vec::new();
+    let mut current = EventBatch::with_capacity(batch_size);
+    for event in events {
+        current.push(event);
+        if current.is_full() {
+            out.push(current.take());
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::ProcessInfo;
+    use std::sync::Arc;
+
+    fn ev(id: u64) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, "h", id * 10)
+                .subject(ProcessInfo::new(1, "a.exe", "u"))
+                .starts_process(ProcessInfo::new(2, "b.exe", "u"))
+                .build(),
+        )
+    }
+
+    #[test]
+    fn push_respects_capacity() {
+        let mut b = EventBatch::with_capacity(2);
+        assert!(b.push(ev(1)));
+        assert!(!b.is_full());
+        assert!(b.push(ev(2)));
+        assert!(b.is_full());
+        assert!(!b.push(ev(3)), "full batch must reject pushes");
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_to_one() {
+        let mut b = EventBatch::with_capacity(0);
+        assert_eq!(b.capacity(), 1);
+        assert!(b.push(ev(1)));
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn take_hands_off_and_resets() {
+        let mut b = EventBatch::with_capacity(4);
+        b.push(ev(1));
+        b.push(ev(2));
+        let full = b.take();
+        assert_eq!(full.len(), 2);
+        assert!(b.is_empty());
+        assert_eq!(b.capacity(), 4);
+    }
+
+    #[test]
+    fn clone_shares_event_allocations() {
+        let mut b = EventBatch::with_capacity(2);
+        b.push(ev(7));
+        let c = b.clone();
+        assert!(Arc::ptr_eq(&b.events()[0], &c.events()[0]));
+    }
+
+    #[test]
+    fn batched_splits_in_order() {
+        let events: Vec<SharedEvent> = (0..10).map(ev).collect();
+        let batches = batched(events, 4);
+        assert_eq!(
+            batches.iter().map(EventBatch::len).collect::<Vec<_>>(),
+            vec![4, 4, 2]
+        );
+        let ids: Vec<u64> = batches
+            .iter()
+            .flat_map(|b| b.iter().map(|e| e.id))
+            .collect();
+        assert_eq!(ids, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batched_clamps_zero_size() {
+        let batches = batched((0..3).map(ev).collect::<Vec<_>>(), 0);
+        assert_eq!(batches.len(), 3);
+    }
+}

@@ -23,8 +23,12 @@ pub struct EventReceiver {
 }
 
 /// Create a bounded event channel with room for `capacity` in-flight events.
+///
+/// A `capacity` of zero clamps to one: the vendored crossbeam stand-in has
+/// no rendezvous channels, and a channel that can never buffer an event is
+/// a misconfiguration, not a feature (it used to panic here).
 pub fn event_channel(capacity: usize) -> (EventSender, EventReceiver) {
-    let (tx, rx) = bounded(capacity);
+    let (tx, rx) = bounded(capacity.max(1));
     (EventSender { tx }, EventReceiver { rx })
 }
 
@@ -100,6 +104,14 @@ mod tests {
         drop(tx);
         let ids: Vec<u64> = rx.into_iter().map(|e| e.id).collect();
         assert_eq!(ids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_clamps_instead_of_panicking() {
+        let (tx, rx) = event_channel(0);
+        assert!(tx.try_send(ev(1)).is_ok(), "clamped channel buffers one");
+        assert!(tx.try_send(ev(2)).is_err(), "clamped capacity is exactly 1");
+        assert_eq!(rx.recv().map(|e| e.id), Some(1));
     }
 
     #[test]

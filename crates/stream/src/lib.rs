@@ -5,6 +5,8 @@
 //!
 //! * [`channel`] — bounded multi-producer event channels (crossbeam-backed)
 //!   carrying `Arc<Event>` so concurrent queries share payloads;
+//! * [`batch`] — fixed-capacity event batches, the dispatch unit of the
+//!   parallel engine runtime (amortizes channel overhead);
 //! * [`merge`] — k-way, timestamp-ordered merging of per-host agent feeds
 //!   into the single enterprise-wide stream;
 //! * [`store`] — a file-backed event store (the databases behind the demo's
@@ -13,6 +15,7 @@
 //!   time range, then replay stored data as a stream at a configurable
 //!   speed.
 
+pub mod batch;
 pub mod channel;
 pub mod merge;
 pub mod replayer;
@@ -25,6 +28,8 @@ use saql_model::Event;
 
 /// The unit flowing through every SAQL stream: shared, immutable events.
 pub type SharedEvent = Arc<Event>;
+
+pub use batch::EventBatch;
 
 /// Wrap raw events into shared stream items.
 pub fn share(events: impl IntoIterator<Item = Event>) -> Vec<SharedEvent> {

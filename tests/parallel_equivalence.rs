@@ -1,0 +1,166 @@
+//! Property test for the parallel sharded runtime: on random event
+//! streams, [`ParallelEngine`] emits exactly the same alert *multiset* as
+//! the serial [`Engine`], for every worker count from 1 to 8.
+//!
+//! The query set spans all the execution paths whose state the shards
+//! carry: plain rules, `distinct` suppression, and stateful windows of
+//! different lengths (so the queries split into several compatibility
+//! groups and actually exercise the partitioner).
+
+use proptest::prelude::*;
+
+use saql::engine::query::QueryConfig;
+use saql::engine::runtime::{ParallelConfig, ParallelEngine};
+use saql::engine::{Alert, Engine, EngineConfig};
+use saql::model::event::EventBuilder;
+use saql::model::{NetworkInfo, ProcessInfo};
+use saql::stream::SharedEvent;
+use std::sync::Arc;
+
+/// The fixed deployment every generated stream runs against.
+fn query_set() -> Vec<(&'static str, &'static str)> {
+    vec![
+        (
+            "rule-cmd",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+        ),
+        (
+            "rule-distinct",
+            "proc p1 start proc p2 as e\nreturn distinct p1, p2",
+        ),
+        (
+            "window-sum",
+            "proc p write ip i as evt #time(30 s)\nstate ss { amt := sum(evt.amount) } group by p\nalert ss[0].amt > 500\nreturn p, ss[0].amt",
+        ),
+        (
+            "window-count",
+            "proc p write ip i as evt #time(45 s)\nstate ss { n := count() } group by p\nreturn p, ss[0].n",
+        ),
+        (
+            "window-read",
+            "proc p read ip i as evt #time(60 s)\nstate ss { amt := sum(evt.amount) } group by i.dstip\nreturn i.dstip, ss[0].amt",
+        ),
+    ]
+}
+
+/// One generated stream step: which shape, which actors, how far time
+/// advances.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    kind: u8,
+    actor: u8,
+    peer: u8,
+    amount: u64,
+    gap_ms: u64,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..3, 0u8..3, 0u64..400, 0u64..20_000).prop_map(
+            |(kind, actor, peer, amount, gap_ms)| Step {
+                kind,
+                actor,
+                peer,
+                amount,
+                gap_ms,
+            },
+        ),
+        1..120,
+    )
+}
+
+fn materialize(steps: &[Step]) -> Vec<SharedEvent> {
+    const PROCS: [&str; 3] = ["cmd.exe", "sqlservr.exe", "chrome.exe"];
+    const CHILDREN: [&str; 3] = ["osql.exe", "calc.exe", "cmd.exe"];
+    const IPS: [&str; 3] = ["10.0.0.9", "8.8.8.8", "172.16.9.1"];
+    let mut ts = 0u64;
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            ts += s.gap_ms;
+            let id = i as u64 + 1;
+            let subject = ProcessInfo::new(100 + s.actor as u32, PROCS[s.actor as usize], "u");
+            let builder = EventBuilder::new(id, "host", ts).subject(subject);
+            let event = match s.kind {
+                0 => builder.starts_process(ProcessInfo::new(
+                    200 + s.peer as u32,
+                    CHILDREN[s.peer as usize],
+                    "u",
+                )),
+                1 | 2 => builder
+                    .sends(NetworkInfo::new(
+                        "10.0.0.2",
+                        44_000,
+                        IPS[s.peer as usize],
+                        443,
+                        "tcp",
+                    ))
+                    .amount(s.amount),
+                _ => builder
+                    .action(
+                        saql::model::Operation::Read,
+                        saql::model::Entity::Network(NetworkInfo::new(
+                            "10.0.0.2",
+                            44_001,
+                            IPS[s.peer as usize],
+                            443,
+                            "tcp",
+                        )),
+                    )
+                    .amount(s.amount),
+            };
+            Arc::new(event.build())
+        })
+        .collect()
+}
+
+/// Order-insensitive alert fingerprint.
+fn multiset(mut alerts: Vec<Alert>) -> Vec<String> {
+    let mut keys: Vec<String> = alerts
+        .drain(..)
+        .map(|a| format!("{}|{a}", a.query))
+        .collect();
+    keys.sort();
+    keys
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn parallel_engine_matches_serial_alert_multiset(steps in arb_steps()) {
+        let events = materialize(&steps);
+
+        let mut serial = Engine::new(EngineConfig::default());
+        for (name, src) in query_set() {
+            serial.register(name, src).unwrap();
+        }
+        let expected = multiset(serial.run(events.clone()));
+
+        for workers in 1usize..=8 {
+            let mut parallel = ParallelEngine::new(
+                // A small batch size forces mid-stream dispatches even on
+                // short generated streams.
+                ParallelConfig {
+                    workers,
+                    batch_size: 7,
+                    ..ParallelConfig::default()
+                },
+                QueryConfig::default(),
+            );
+            for (name, src) in query_set() {
+                parallel.register(name, src).unwrap();
+            }
+            let got = multiset(parallel.run(events.clone()));
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "alert multiset diverged at {} workers over {} events",
+                workers,
+                events.len()
+            );
+            prop_assert_eq!(parallel.dropped_alerts(), 0);
+        }
+    }
+}
