@@ -22,6 +22,134 @@ fn engine_config(flags: &Flags, record_latency: bool) -> Result<EngineConfig, St
     })
 }
 
+/// One staged control-plane operation on the live engine.
+#[derive(Debug)]
+enum StagedOp {
+    Register { name: String, path: String },
+    Deregister { name: String },
+    Pause { name: String },
+    Resume { name: String },
+}
+
+/// Staged query-lifecycle operations parsed from the repeatable
+/// `--register-at N:NAME=FILE`, `--deregister-at N:NAME`,
+/// `--pause-at N:NAME`, and `--resume-at N:NAME` flags. An operation at
+/// position `N` applies once `N` events have been processed (so `0` is
+/// before the first event); ties apply registrations first, then
+/// deregistrations, pauses, and resumes.
+#[derive(Debug, Default)]
+pub struct Schedule {
+    ops: Vec<(u64, StagedOp)>,
+    next: usize,
+}
+
+impl Schedule {
+    pub fn parse(flags: &Flags) -> Result<Schedule, String> {
+        let mut ops: Vec<(u64, StagedOp)> = Vec::new();
+        for spec in flags.get_all("register-at") {
+            let (at, rest) = split_position("register-at", spec)?;
+            let Some((name, path)) = rest.split_once('=') else {
+                return Err(format!("--register-at expects N:NAME=FILE, got `{spec}`"));
+            };
+            ops.push((
+                at,
+                StagedOp::Register {
+                    name: name.to_string(),
+                    path: path.to_string(),
+                },
+            ));
+        }
+        type OpCtor = fn(String) -> StagedOp;
+        let ctors: [(&str, OpCtor); 3] = [
+            ("deregister-at", |name| StagedOp::Deregister { name }),
+            ("pause-at", |name| StagedOp::Pause { name }),
+            ("resume-at", |name| StagedOp::Resume { name }),
+        ];
+        for (flag, make) in ctors {
+            for spec in flags.get_all(flag) {
+                let (at, name) = split_position(flag, spec)?;
+                ops.push((at, make(name.to_string())));
+            }
+        }
+        // Stable: ties keep the register → deregister → pause → resume
+        // insertion order from above.
+        ops.sort_by_key(|(at, _)| *at);
+        Ok(Schedule { ops, next: 0 })
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Apply every operation due once `processed` events have gone through
+    /// the engine. Alerts flushed by a deregistration surface through the
+    /// normal `engine.process`/`engine.finish` returns.
+    pub fn apply_due(&mut self, processed: u64, engine: &mut Engine) -> Result<(), String> {
+        while self
+            .ops
+            .get(self.next)
+            .is_some_and(|(at, _)| *at <= processed)
+        {
+            let (at, op) = &self.ops[self.next];
+            self.next += 1;
+            match op {
+                StagedOp::Register { name, path } => {
+                    let src = std::fs::read_to_string(path)
+                        .map_err(|e| format!("--register-at {name}: cannot read {path}: {e}"))?;
+                    match engine.register(name, &src) {
+                        Ok(id) => println!(
+                            "[control +{at}] registered `{name}` as {id} ({} group(s) now)",
+                            engine.group_count()
+                        ),
+                        Err(e) => return Err(format!("--register-at {name}:\n{}", e.render(&src))),
+                    }
+                }
+                StagedOp::Deregister { name } => {
+                    let id = live_id(engine, "deregister-at", name)?;
+                    engine
+                        .deregister(id)
+                        .map_err(|e| format!("--deregister-at {name}: {e}"))?;
+                    println!("[control +{at}] deregistered `{name}` ({id}); open windows flushed");
+                }
+                StagedOp::Pause { name } => {
+                    let id = live_id(engine, "pause-at", name)?;
+                    engine
+                        .pause(id)
+                        .map_err(|e| format!("--pause-at {name}: {e}"))?;
+                    println!("[control +{at}] paused `{name}` ({id})");
+                }
+                StagedOp::Resume { name } => {
+                    let id = live_id(engine, "resume-at", name)?;
+                    engine
+                        .resume(id)
+                        .map_err(|e| format!("--resume-at {name}: {e}"))?;
+                    println!("[control +{at}] resumed `{name}` ({id})");
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn split_position<'a>(flag: &str, spec: &'a str) -> Result<(u64, &'a str), String> {
+    let Some((at, rest)) = spec.split_once(':') else {
+        return Err(format!("--{flag} expects N:..., got `{spec}`"));
+    };
+    let at = at
+        .parse()
+        .map_err(|_| format!("--{flag} expects a numeric event position, got `{at}`"))?;
+    Ok((at, rest))
+}
+
+fn live_id(engine: &Engine, flag: &str, name: &str) -> Result<saql_engine::QueryId, String> {
+    engine.find(name).ok_or_else(|| {
+        format!(
+            "--{flag}: no live query `{name}` (deployed: {})",
+            engine.query_names().join(", ")
+        )
+    })
+}
+
 fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
     Ok(SimConfig {
         seed: flags.get_u64("seed", 2020)?,
@@ -65,6 +193,10 @@ pub fn demo(argv: &[String]) -> i32 {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };
+    let mut schedule = match Schedule::parse(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
     let mut engine = Engine::new(engine_cfg);
     for (name, src) in corpus::DEMO_QUERIES {
         if let Err(e) = engine.register(name, src) {
@@ -82,11 +214,19 @@ pub fn demo(argv: &[String]) -> i32 {
     );
 
     let mut alert_count = 0usize;
+    let mut processed = 0u64;
     for event in trace.shared() {
+        if let Err(e) = schedule.apply_due(processed, &mut engine) {
+            return fail(&e);
+        }
         for alert in engine.process(&event) {
             alert_count += 1;
             println!("{alert}");
         }
+        processed += 1;
+    }
+    if let Err(e) = schedule.apply_due(processed, &mut engine) {
+        return fail(&e);
     }
     for alert in engine.finish() {
         alert_count += 1;
@@ -176,6 +316,10 @@ pub fn replay(argv: &[String]) -> i32 {
         Ok(c) => c,
         Err(e) => return fail(&e),
     };
+    let mut schedule = match Schedule::parse(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
     let mut engine = Engine::new(engine_cfg);
     if flags.switch("demo-queries") {
         for (name, src) in corpus::DEMO_QUERIES {
@@ -192,8 +336,8 @@ pub fn replay(argv: &[String]) -> i32 {
             return 1;
         }
     }
-    if engine.query_names().is_empty() {
-        return fail("no queries deployed (use --demo-queries or --query FILE)");
+    if engine.query_names().is_empty() && schedule.is_empty() {
+        return fail("no queries deployed (use --demo-queries, --query FILE, or --register-at)");
     }
     println!(
         "replaying {path} ({} queries, {} group(s))...",
@@ -209,11 +353,17 @@ pub fn replay(argv: &[String]) -> i32 {
     let mut events = 0u64;
     let mut alerts = 0u64;
     for event in rx {
+        if let Err(e) = schedule.apply_due(events, &mut engine) {
+            return fail(&e);
+        }
         events += 1;
         for alert in engine.process(&event) {
             alerts += 1;
             println!("{alert}");
         }
+    }
+    if let Err(e) = schedule.apply_due(events, &mut engine) {
+        return fail(&e);
     }
     for alert in engine.finish() {
         alerts += 1;
@@ -281,9 +431,12 @@ pub fn repl(argv: &[String], input: &mut dyn BufRead, out: &mut dyn Write) -> i3
 pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<EventStore>) -> i32 {
     let mut engine = Engine::new(EngineConfig::default());
     let mut sources: Vec<(String, String)> = Vec::new();
+    // Monotonic ad-hoc query counter: live-count-based names would collide
+    // after an `undeploy` (names free up, but earlier `query-N` may remain).
+    let mut adhoc_seq = 0usize;
     let _ = writeln!(
         out,
-        "SAQL interactive session. Type a query (end with a blank line), or:\n  deploy-demo | list | show <name> | run | stats | errors | quit"
+        "SAQL interactive session. Type a query (end with a blank line), or:\n  deploy-demo | list | show <name> | undeploy <name> | pause <name> |\n  resume <name> | run | stats | errors | quit"
     );
     let mut lines = input.lines();
     loop {
@@ -313,8 +466,13 @@ pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<Eve
                 );
             }
             "list" => {
-                for name in engine.query_names() {
-                    let _ = writeln!(out, "  {name}");
+                for (name, id) in engine.query_names().iter().zip(engine.query_ids()) {
+                    let flag = if engine.is_paused(id) {
+                        " [paused]"
+                    } else {
+                        ""
+                    };
+                    let _ = writeln!(out, "  {name}{flag}");
                 }
             }
             "stats" => {
@@ -368,6 +526,48 @@ pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<Eve
                     }
                 }
             },
+            cmd if cmd.starts_with("undeploy ") => {
+                let name = cmd.trim_start_matches("undeploy ").trim();
+                match engine.find(name) {
+                    Some(id) => match engine.deregister(id) {
+                        Ok(()) => {
+                            sources.retain(|(n, _)| n != name);
+                            let _ = writeln!(out, "undeployed `{name}` (windows flushed)");
+                        }
+                        Err(e) => {
+                            let _ = writeln!(out, "error: {e}");
+                        }
+                    },
+                    None => {
+                        let _ = writeln!(out, "unknown query `{name}`");
+                    }
+                }
+            }
+            cmd if cmd.starts_with("pause ") || cmd.starts_with("resume ") => {
+                let resume = cmd.starts_with("resume ");
+                let name = cmd.split_once(' ').map(|(_, n)| n.trim()).unwrap_or("");
+                match engine.find(name) {
+                    Some(id) => {
+                        let result = if resume {
+                            engine.resume(id)
+                        } else {
+                            engine.pause(id)
+                        };
+                        match result {
+                            Ok(()) => {
+                                let verb = if resume { "resumed" } else { "paused" };
+                                let _ = writeln!(out, "{verb} `{name}`");
+                            }
+                            Err(e) => {
+                                let _ = writeln!(out, "error: {e}");
+                            }
+                        }
+                    }
+                    None => {
+                        let _ = writeln!(out, "unknown query `{name}`");
+                    }
+                }
+            }
             cmd if cmd.starts_with("show ") => {
                 let name = cmd.trim_start_matches("show ").trim();
                 match sources.iter().find(|(n, _)| n == name) {
@@ -396,7 +596,8 @@ pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<Eve
                     src.push_str(&line);
                     src.push('\n');
                 }
-                let name = format!("query-{}", engine.query_names().len() + 1);
+                adhoc_seq += 1;
+                let name = format!("query-{adhoc_seq}");
                 match engine.register(&name, &src) {
                     Ok(_) => {
                         sources.push((name.clone(), src));
@@ -417,6 +618,15 @@ fn print_stats(engine: &Engine) {
         "scheduler: {} events, {} master checks, {} deliveries, {} data copies",
         sched.events, sched.master_checks, sched.deliveries, sched.data_copies
     );
+    for (id, s) in engine.shard_stats() {
+        println!(
+            "  shard {id}: {} master checks, {} deliveries",
+            s.master_checks, s.deliveries
+        );
+    }
+    if engine.dropped_alerts() > 0 {
+        println!("dropped alerts: {}", engine.dropped_alerts());
+    }
     if let Some(latency) = engine.latency() {
         println!("per-event latency (ns): {}", latency.summary());
     }
@@ -459,6 +669,125 @@ mod tests {
         let shown = String::from_utf8(out).unwrap();
         assert!(shown.contains("deployed `query-1`"), "{shown}");
         assert!(shown.contains("unknown operation `teleport`"), "{shown}");
+    }
+
+    #[test]
+    fn schedule_parses_and_orders_lifecycle_flags() {
+        let argv: Vec<String> = [
+            "--deregister-at",
+            "300:watch",
+            "--register-at",
+            "100:watch=w.saql",
+            "--pause-at",
+            "200:c2-malware-infection",
+            "--resume-at",
+            "250:c2-malware-infection",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let flags = Flags::parse(&argv).unwrap();
+        let schedule = Schedule::parse(&flags).unwrap();
+        assert!(!schedule.is_empty());
+        let positions: Vec<u64> = schedule.ops.iter().map(|(at, _)| *at).collect();
+        assert_eq!(positions, vec![100, 200, 250, 300]);
+        assert!(matches!(
+            &schedule.ops[0].1,
+            StagedOp::Register { name, path } if name == "watch" && path == "w.saql"
+        ));
+        assert!(matches!(&schedule.ops[3].1, StagedOp::Deregister { name } if name == "watch"));
+    }
+
+    #[test]
+    fn schedule_rejects_malformed_specs() {
+        let parse = |s: &str| {
+            let argv: Vec<String> = s.split_whitespace().map(String::from).collect();
+            Schedule::parse(&Flags::parse(&argv).unwrap())
+        };
+        assert!(parse("--register-at watch=w.saql").is_err(), "missing N:");
+        assert!(parse("--register-at 5:watch").is_err(), "missing =FILE");
+        assert!(parse("--pause-at ten:watch").is_err(), "non-numeric N");
+        assert!(parse("--deregister-at 5:w").is_ok());
+    }
+
+    #[test]
+    fn schedule_applies_ops_against_live_engine() {
+        let mut query_file = std::env::temp_dir();
+        query_file.push(format!("saql-cli-sched-{}.saql", std::process::id()));
+        std::fs::write(&query_file, "proc p start proc q as e\nreturn p, q").unwrap();
+        let argv: Vec<String> = [
+            format!("--register-at 1:late={}", query_file.display()),
+            "--pause-at 2:late".to_string(),
+            "--resume-at 3:late".to_string(),
+            "--deregister-at 4:late".to_string(),
+        ]
+        .iter()
+        .flat_map(|s| s.split(' ').map(String::from))
+        .collect();
+        let mut schedule = Schedule::parse(&Flags::parse(&argv).unwrap()).unwrap();
+        let mut engine = Engine::new(EngineConfig::default());
+        for processed in 0..=5u64 {
+            schedule.apply_due(processed, &mut engine).unwrap();
+            match processed {
+                0 => assert!(engine.find("late").is_none()),
+                1 => assert!(engine.find("late").is_some()),
+                2 => assert!(engine.is_paused(engine.find("late").unwrap())),
+                3 => assert!(!engine.is_paused(engine.find("late").unwrap())),
+                _ => assert!(engine.find("late").is_none(), "deregistered"),
+            }
+        }
+        std::fs::remove_file(query_file).unwrap();
+    }
+
+    #[test]
+    fn schedule_fails_on_unknown_query_name() {
+        let argv: Vec<String> = ["--pause-at", "0:ghost"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut schedule = Schedule::parse(&Flags::parse(&argv).unwrap()).unwrap();
+        let mut engine = Engine::new(EngineConfig::default());
+        let err = schedule.apply_due(0, &mut engine).unwrap_err();
+        assert!(err.contains("no live query `ghost`"), "{err}");
+    }
+
+    #[test]
+    fn repl_lifecycle_commands_round_trip() {
+        let mut input = Cursor::new(
+            "deploy-demo\npause c2-malware-infection\nlist\nresume c2-malware-infection\nundeploy c2-malware-infection\nlist\npause ghost\nquit\n",
+        );
+        let mut out = Vec::new();
+        let code = repl_loop(&mut input, &mut out, None);
+        assert_eq!(code, 0);
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("paused `c2-malware-infection`"), "{shown}");
+        assert!(shown.contains("c2-malware-infection [paused]"), "{shown}");
+        assert!(shown.contains("resumed `c2-malware-infection`"), "{shown}");
+        assert!(
+            shown.contains("undeployed `c2-malware-infection`"),
+            "{shown}"
+        );
+        assert!(shown.contains("unknown query `ghost`"), "{shown}");
+        // After undeploy the second `list` no longer shows the query.
+        let after = shown.split("undeployed").nth(1).unwrap();
+        assert!(!after.contains("c2-malware-infection [paused]"), "{shown}");
+    }
+
+    #[test]
+    fn repl_adhoc_names_stay_unique_after_undeploy() {
+        // Deploy two ad-hoc queries, undeploy the first, deploy a third:
+        // the auto-name must not collide with the still-live `query-2`.
+        let mut input = Cursor::new(
+            "proc a start proc b as e\nreturn a\n\nproc c start proc d as e\nreturn c\n\nundeploy query-1\nproc x start proc y as e\nreturn y\n\nlist\nquit\n",
+        );
+        let mut out = Vec::new();
+        repl_loop(&mut input, &mut out, None);
+        let shown = String::from_utf8(out).unwrap();
+        assert!(shown.contains("deployed `query-1`"), "{shown}");
+        assert!(shown.contains("deployed `query-2`"), "{shown}");
+        assert!(shown.contains("undeployed `query-1`"), "{shown}");
+        assert!(shown.contains("deployed `query-3`"), "{shown}");
+        assert!(!shown.contains("already registered"), "{shown}");
     }
 
     #[test]

@@ -50,10 +50,11 @@ SAQL — stream-based anomaly query system over system monitoring data
 
 USAGE:
     saql demo       [--clients N] [--minutes M] [--seed S] [--workers W]
+                    [LIFECYCLE]...
     saql simulate   --out FILE [--clients N] [--minutes M] [--seed S] [--no-attack]
     saql replay     --store FILE [--host H]... [--from MS] [--until MS]
                     [--speed FACTOR|max] [--demo-queries] [--query FILE]...
-                    [--workers W]
+                    [--workers W] [LIFECYCLE]...
     saql check      FILE...
     saql repl       [--store FILE]
     saql help
@@ -61,11 +62,20 @@ USAGE:
 `--workers W` runs queries on the parallel sharded runtime with W worker
 threads (default 0 = serial execution on one thread).
 
+LIFECYCLE (repeatable; staged query control-plane operations, applied live
+mid-stream once N events have been processed — on both backends):
+    --register-at N:NAME=FILE    attach the query in FILE as NAME
+    --deregister-at N:NAME       detach NAME (flushes its open windows)
+    --pause-at N:NAME            freeze NAME (sees no events until resumed)
+    --resume-at N:NAME           re-attach a paused NAME
+
 EXAMPLES:
     saql demo --clients 8 --minutes 60
     saql demo --workers 4
+    saql demo --register-at 5000:exfil=my-query.saql --deregister-at 20000:exfil
     saql simulate --out /tmp/trace.saql --minutes 45
     saql replay --store /tmp/trace.saql --host db-server --demo-queries
+    saql replay --store /tmp/trace.saql --demo-queries --pause-at 1000:c2-ipc
     saql check my-query.saql
 ";
 

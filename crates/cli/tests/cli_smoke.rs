@@ -105,6 +105,59 @@ fn demo_rejects_non_numeric_workers() {
 }
 
 #[test]
+fn demo_staged_lifecycle_registers_and_deregisters_live() {
+    // A query attached mid-stream and detached before the end: the control
+    // plane must work on both backends without restarting the engine.
+    let query = temp_file(
+        "live.saql",
+        "proc p1 start proc p2 as e\nreturn distinct p1, p2",
+    );
+    let spec = format!("10:live-watch={}", query.to_str().unwrap());
+    for workers in ["0", "2"] {
+        let out = saql(&[
+            "demo",
+            "--clients",
+            "3",
+            "--minutes",
+            "10",
+            "--workers",
+            workers,
+            "--register-at",
+            &spec,
+            "--pause-at",
+            "50:live-watch",
+            "--resume-at",
+            "100:live-watch",
+            "--deregister-at",
+            "200:live-watch",
+        ]);
+        assert!(out.status.success(), "workers={workers}: {out:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("registered `live-watch`"), "{text}");
+        assert!(text.contains("paused `live-watch`"), "{text}");
+        assert!(text.contains("resumed `live-watch`"), "{text}");
+        assert!(text.contains("deregistered `live-watch`"), "{text}");
+    }
+    let _ = std::fs::remove_file(&query);
+}
+
+#[test]
+fn demo_staged_lifecycle_rejects_unknown_names() {
+    let out = saql(&[
+        "demo",
+        "--clients",
+        "3",
+        "--minutes",
+        "5",
+        "--deregister-at",
+        "0:ghost",
+    ]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("no live query `ghost`"), "got: {err}");
+}
+
+#[test]
 fn simulate_then_check_store_exists() {
     let mut store = std::env::temp_dir();
     store.push(format!("saql-cli-smoke-{}-trace.bin", std::process::id()));

@@ -183,6 +183,12 @@ pub mod channel {
             }
         }
 
+        /// Non-blocking draining iterator: yields whatever is currently
+        /// buffered, then stops (regardless of sender liveness).
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { rx: self }
+        }
+
         /// Number of items currently buffered.
         pub fn len(&self) -> usize {
             self.shared.inner.lock().unwrap().queue.len()
@@ -245,6 +251,19 @@ pub mod channel {
         }
     }
 
+    /// Non-blocking iterator over currently-buffered items (see
+    /// [`Receiver::try_iter`]).
+    pub struct TryIter<'a, T> {
+        rx: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.rx.try_recv().ok()
+        }
+    }
+
     /// Draining iterator: yields until the channel is empty and disconnected.
     pub struct IntoIter<T> {
         rx: Receiver<T>,
@@ -302,6 +321,19 @@ pub mod channel {
             assert_eq!(rx.try_recv(), Ok(5));
             drop(tx);
             assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn try_iter_drains_buffered_without_blocking() {
+            let (tx, rx) = bounded(4);
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            let got: Vec<i32> = rx.try_iter().collect();
+            assert_eq!(got, vec![1, 2]);
+            // Sender still alive: try_iter stops instead of blocking.
+            assert_eq!(rx.try_iter().next(), None);
+            tx.send(3).unwrap();
+            assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![3]);
         }
 
         #[test]

@@ -5,6 +5,8 @@ use std::fmt;
 
 use saql_model::Timestamp;
 
+use crate::query::QueryId;
+
 /// Where in the stream an alert fired.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AlertOrigin {
@@ -25,6 +27,11 @@ pub enum AlertOrigin {
 pub struct Alert {
     /// Name of the query that produced the alert.
     pub query: String,
+    /// Control-plane id of the query that produced the alert
+    /// ([`QueryId::UNASSIGNED`] when emitted by a standalone
+    /// [`crate::RunningQuery`]). This is the routing key for per-query
+    /// subscriptions ([`crate::Engine::subscribe`]).
+    pub query_id: QueryId,
     /// Event time at which the alert fired (last matched event, or window
     /// end).
     pub ts: Timestamp,
@@ -69,6 +76,7 @@ mod tests {
     fn alert_display_and_lookup() {
         let a = Alert {
             query: "exfil".into(),
+            query_id: QueryId::new(3),
             ts: Timestamp::from_secs(9),
             origin: AlertOrigin::Match {
                 event_ids: vec![1, 4, 7],
@@ -84,12 +92,16 @@ mod tests {
         assert!(s.contains("i1=172.16.9.129"));
         assert_eq!(a.get("p1"), Some("cmd.exe"));
         assert_eq!(a.get("zz"), None);
+        assert_eq!(a.query_id, QueryId::new(3));
+        assert_eq!(a.query_id.to_string(), "q#3");
+        assert_eq!(QueryId::UNASSIGNED.to_string(), "q#unassigned");
     }
 
     #[test]
     fn window_origin_display() {
         let a = Alert {
             query: "sma".into(),
+            query_id: QueryId::UNASSIGNED,
             ts: Timestamp::from_secs(600),
             origin: AlertOrigin::Window {
                 start: Timestamp::ZERO,

@@ -1,17 +1,31 @@
-//! The engine facade: register SAQL query text, push a stream through, and
-//! collect alerts — the programmatic equivalent of the demo's command-line
-//! UI session.
+//! The engine facade: the query *control plane* over a running stream.
+//!
+//! [`Engine::register`] attaches a SAQL query to a live engine and returns a
+//! [`QueryId`] handle; [`deregister`](Engine::deregister),
+//! [`pause`](Engine::pause)/[`resume`](Engine::resume), and
+//! [`subscribe`](Engine::subscribe) operate on that handle **mid-stream on
+//! both backends** — the serial scheduler applies them immediately, the
+//! parallel runtime ships them as control messages applied at batch
+//! boundaries (see [`crate::runtime`]). This is the analyst-session model of
+//! the paper: queries are submitted, tuned, and retired against a stream
+//! that never stops.
 
-use saql_lang::LangError;
+use std::collections::HashMap;
+
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
+use saql_lang::{LangError, Span};
 use saql_stream::SharedEvent;
 
 use crate::alert::Alert;
+use crate::error::EngineError;
 use crate::query::{QueryConfig, QueryStats, RunningQuery};
 use crate::runtime::{ParallelConfig, ParallelEngine};
 use crate::scheduler::{Scheduler, SchedulerStats};
 
+pub use crate::query::QueryId;
+
 /// Engine-wide configuration.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct EngineConfig {
     pub query: QueryConfig,
     /// Track per-event end-to-end latency (one clock read pair per event).
@@ -22,11 +36,36 @@ pub struct EngineConfig {
     /// shards scheduler groups across that many workers (see
     /// [`crate::runtime`]).
     pub workers: usize,
+    /// Alerts buffered per [`Engine::subscribe`] channel before further
+    /// alerts for that subscriber are dropped (and counted in
+    /// [`Engine::dropped_alerts`]). Zero clamps to one.
+    pub subscription_backlog: usize,
 }
 
-/// Handle to a registered query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct QueryId(usize);
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            query: QueryConfig::default(),
+            record_latency: false,
+            workers: 0,
+            subscription_backlog: 1024,
+        }
+    }
+}
+
+/// Lifecycle state of a registered query, tracked by the facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum QueryStatus {
+    Active,
+    Paused,
+    Removed,
+}
+
+/// One registry row; the row index is the query's [`QueryId`].
+struct QueryEntry {
+    name: String,
+    status: QueryStatus,
+}
 
 /// The SAQL anomaly query engine.
 ///
@@ -52,7 +91,27 @@ pub struct QueryId(usize);
 /// ```
 pub struct Engine {
     backend: Backend,
-    names: Vec<String>,
+    /// Registry of every query ever registered; row index == `QueryId`.
+    /// Ids are never reused, so deregistered rows stay as tombstones.
+    registry: Vec<QueryEntry>,
+    /// Per-query subscription routing table.
+    subscriptions: HashMap<QueryId, Vec<Sender<Alert>>>,
+    /// Subscriptions of deregistered queries awaiting closure: on the
+    /// parallel backend the final window flush arrives asynchronously, so
+    /// the channel must stay routable until [`finish`](Self::finish) has
+    /// delivered everything. (Serial deregistration closes immediately.)
+    retired_subscriptions: Vec<QueryId>,
+    /// Alerts dropped because a subscription channel was full.
+    subscription_drops: u64,
+    /// Alerts produced by control-plane operations (e.g. the window flush
+    /// of a deregistered query) waiting to be returned by the next
+    /// [`process`](Self::process)/[`finish`](Self::finish) call. Already
+    /// routed to subscribers.
+    pending: Vec<Alert>,
+    /// Whether [`finish`](Self::finish) has run. The serial backend stays
+    /// fully operable afterwards; the parallel backend's workers are gone,
+    /// so its control plane rejects further changes.
+    finished: bool,
     config: EngineConfig,
 }
 
@@ -60,7 +119,8 @@ pub struct Engine {
 /// the sharded multi-threaded runtime.
 enum Backend {
     Serial(Scheduler),
-    Parallel(ParallelEngine),
+    // Boxed: the runtime's coordinator state dwarfs the serial scheduler.
+    Parallel(Box<ParallelEngine>),
 }
 
 impl Engine {
@@ -72,14 +132,19 @@ impl Engine {
             }
             Backend::Serial(scheduler)
         } else {
-            Backend::Parallel(ParallelEngine::new(
+            Backend::Parallel(Box::new(ParallelEngine::new(
                 ParallelConfig::with_workers(config.workers),
                 config.query,
-            ))
+            )))
         };
         Engine {
             backend,
-            names: Vec::new(),
+            registry: Vec::new(),
+            subscriptions: HashMap::new(),
+            retired_subscriptions: Vec::new(),
+            subscription_drops: 0,
+            pending: Vec::new(),
+            finished: false,
             config,
         }
     }
@@ -99,7 +164,12 @@ impl Engine {
     }
 
     /// Per-event latency histogram (ns), when
-    /// [`EngineConfig::record_latency`] is on (serial execution only).
+    /// [`EngineConfig::record_latency`] is on.
+    ///
+    /// **Serial backend only.** The parallel runtime overlaps events across
+    /// worker threads, so a single wall-clock pair per event is not
+    /// meaningful there; this always returns `None` when `workers > 0`,
+    /// regardless of the config flag.
     pub fn latency(&self) -> Option<&saql_analytics::Histogram> {
         match &self.backend {
             Backend::Serial(scheduler) => scheduler.latency(),
@@ -107,24 +177,262 @@ impl Engine {
         }
     }
 
-    /// Parse, check, and register a query. Errors carry spans renderable
-    /// against `source` (see [`LangError::render`]).
+    // ------------------------------------------------------------------
+    // Control plane
+    // ------------------------------------------------------------------
+
+    /// Parse, check, and attach a query to the engine — before the first
+    /// event or live, mid-stream. Returns the [`QueryId`] handle for the
+    /// other control-plane calls ([`deregister`](Self::deregister),
+    /// [`pause`](Self::pause), [`resume`](Self::resume),
+    /// [`subscribe`](Self::subscribe)). Compile errors carry spans
+    /// renderable against `source` (see [`LangError::render`]); registering
+    /// a name that is already live is rejected the same way, so
+    /// [`query_stats`](Self::query_stats) names stay unambiguous.
+    ///
+    /// A live attach/detach session:
+    ///
+    /// ```
+    /// use saql_engine::{Engine, EngineConfig};
+    /// use saql_model::event::EventBuilder;
+    /// use saql_model::ProcessInfo;
+    /// use std::sync::Arc;
+    ///
+    /// let start = |id: u64, ts: u64, parent: &str, child: &str| Arc::new(
+    ///     EventBuilder::new(id, "host", ts)
+    ///         .subject(ProcessInfo::new(1, parent, "u"))
+    ///         .starts_process(ProcessInfo::new(2, child, "u"))
+    ///         .build(),
+    /// );
+    /// let mut engine = Engine::new(EngineConfig::default());
+    ///
+    /// // Attach a query and subscribe to exactly its alerts.
+    /// let id = engine
+    ///     .register("cmd-watch", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2")
+    ///     .unwrap();
+    /// let inbox = engine.subscribe(id).unwrap();
+    /// engine.process(&start(1, 10, "cmd.exe", "osql.exe"));
+    /// assert_eq!(inbox.try_recv().unwrap().query, "cmd-watch");
+    ///
+    /// // Live names are exclusive while registered...
+    /// assert!(engine.register("cmd-watch", "proc p start proc q as e\nreturn p").is_err());
+    ///
+    /// // ...detach mid-stream and the name frees up; the stream never stops.
+    /// engine.deregister(id).unwrap();
+    /// let id2 = engine
+    ///     .register("cmd-watch", "proc p start proc q as e\nreturn p")
+    ///     .unwrap();
+    /// assert_ne!(id, id2, "ids are never reused");
+    /// let alerts = engine.process(&start(2, 20, "cmd.exe", "calc.exe"));
+    /// assert_eq!(alerts.len(), 1);
+    /// assert_eq!(alerts[0].query_id, id2);
+    /// ```
     pub fn register(&mut self, name: &str, source: &str) -> Result<QueryId, LangError> {
-        let query = RunningQuery::compile(name, source, self.config.query)?;
-        match &mut self.backend {
+        if self.parallel_finished() {
+            return Err(LangError::semantic(
+                EngineError::EngineFinished.to_string(),
+                Span::default(),
+            ));
+        }
+        if self
+            .registry
+            .iter()
+            .any(|e| e.status != QueryStatus::Removed && e.name == name)
+        {
+            return Err(LangError::semantic(
+                format!(
+                    "query name `{name}` is already registered on this engine \
+                     (deregister it first, or pick another name)"
+                ),
+                Span::default(),
+            ));
+        }
+        let mut query = RunningQuery::compile(name, source, self.config.query)?;
+        let id = QueryId::new(self.registry.len());
+        query.set_id(id);
+        let drained = match &mut self.backend {
             Backend::Serial(scheduler) => {
                 scheduler.add(query);
+                Vec::new()
             }
             Backend::Parallel(runtime) => runtime.add(query),
-        }
-        self.names.push(name.to_string());
-        Ok(QueryId(self.names.len() - 1))
+        };
+        self.absorb(drained);
+        self.registry.push(QueryEntry {
+            name: name.to_string(),
+            status: QueryStatus::Active,
+        });
+        Ok(id)
     }
 
-    /// Registered query names, in registration order.
-    pub fn query_names(&self) -> &[String] {
-        &self.names
+    /// Detach a query from the engine at the current stream position. Its
+    /// open windows are flushed — those final alerts surface through the
+    /// normal delivery path (the next [`process`](Self::process) /
+    /// [`finish`](Self::finish) return, and any subscribers) — then the
+    /// query, its stats, and its compatibility-group membership are gone.
+    /// The id is retired, never reused; the name becomes available again.
+    pub fn deregister(&mut self, id: QueryId) -> Result<(), EngineError> {
+        self.expect_mutable()?;
+        self.expect_live(id)?;
+        let serial = matches!(self.backend, Backend::Serial(_));
+        let drained = match &mut self.backend {
+            Backend::Serial(scheduler) => {
+                let mut query = scheduler
+                    .remove(id)
+                    .expect("facade registry and scheduler agree on live ids");
+                query.finish()
+            }
+            Backend::Parallel(runtime) => runtime.remove(id),
+        };
+        self.absorb(drained);
+        self.registry[id.index()].status = QueryStatus::Removed;
+        // Close the query's subscriptions once the final flush is routed:
+        // serial flushes synchronously (routed by `absorb` just above); the
+        // parallel flush arrives asynchronously, so its channels stay
+        // routable until `finish` has delivered everything.
+        if serial {
+            self.subscriptions.remove(&id);
+        } else {
+            self.retired_subscriptions.push(id);
+        }
+        Ok(())
     }
+
+    /// Detach a query from the stream without removing it: while paused it
+    /// sees no events and no time, and emits nothing. Idempotent.
+    pub fn pause(&mut self, id: QueryId) -> Result<(), EngineError> {
+        self.expect_mutable()?;
+        self.expect_live(id)?;
+        let drained = match &mut self.backend {
+            Backend::Serial(scheduler) => {
+                scheduler.pause(id);
+                Vec::new()
+            }
+            Backend::Parallel(runtime) => runtime.pause(id),
+        };
+        self.absorb(drained);
+        self.registry[id.index()].status = QueryStatus::Paused;
+        Ok(())
+    }
+
+    /// Re-attach a paused query at the current stream position. Events
+    /// that arrived during the pause are gone for this query; stream time
+    /// catches up on the next event. Idempotent.
+    pub fn resume(&mut self, id: QueryId) -> Result<(), EngineError> {
+        self.expect_mutable()?;
+        self.expect_live(id)?;
+        let drained = match &mut self.backend {
+            Backend::Serial(scheduler) => {
+                scheduler.resume(id);
+                Vec::new()
+            }
+            Backend::Parallel(runtime) => runtime.resume(id),
+        };
+        self.absorb(drained);
+        self.registry[id.index()].status = QueryStatus::Active;
+        Ok(())
+    }
+
+    /// Open a per-query alert channel: the receiver gets a clone of every
+    /// alert this query emits from now on (including the final window
+    /// flush if the query is later deregistered), and nothing from any
+    /// other query. Alerts still flow through the normal
+    /// [`process`](Self::process)/[`run`](Self::run) returns — subscribers
+    /// are an additional fan-out, the per-user delivery path. The channel
+    /// closes (the receiver disconnects) once its query is deregistered
+    /// and the flush is delivered — immediately on the serial backend, at
+    /// [`finish`](Self::finish) on the parallel one.
+    ///
+    /// The channel buffers [`EngineConfig::subscription_backlog`] alerts; a
+    /// full channel drops further alerts for that subscriber (counted in
+    /// [`dropped_alerts`](Self::dropped_alerts)) rather than stalling the
+    /// stream. Dropping the receiver unsubscribes.
+    pub fn subscribe(&mut self, id: QueryId) -> Result<Receiver<Alert>, EngineError> {
+        self.subscribe_with_capacity(id, self.config.subscription_backlog)
+    }
+
+    /// [`subscribe`](Self::subscribe) with an explicit channel capacity
+    /// (zero clamps to one).
+    pub fn subscribe_with_capacity(
+        &mut self,
+        id: QueryId,
+        capacity: usize,
+    ) -> Result<Receiver<Alert>, EngineError> {
+        // A subscription opened after the parallel drain could never close
+        // or deliver; reject it rather than hand out a dead channel.
+        self.expect_mutable()?;
+        self.expect_live(id)?;
+        let (tx, rx) = bounded(capacity.max(1));
+        self.subscriptions.entry(id).or_default().push(tx);
+        Ok(rx)
+    }
+
+    /// Whether this id names a live (active or paused) query.
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.registry
+            .get(id.index())
+            .is_some_and(|e| e.status != QueryStatus::Removed)
+    }
+
+    /// Whether this live query is currently paused.
+    pub fn is_paused(&self, id: QueryId) -> bool {
+        self.registry
+            .get(id.index())
+            .is_some_and(|e| e.status == QueryStatus::Paused)
+    }
+
+    /// The live query registered under `name`, if any.
+    pub fn find(&self, name: &str) -> Option<QueryId> {
+        self.registry
+            .iter()
+            .position(|e| e.status != QueryStatus::Removed && e.name == name)
+            .map(QueryId::new)
+    }
+
+    /// Live query names, in registration order.
+    pub fn query_names(&self) -> Vec<String> {
+        self.registry
+            .iter()
+            .filter(|e| e.status != QueryStatus::Removed)
+            .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// Live query ids, in registration order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.registry
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.status != QueryStatus::Removed)
+            .map(|(i, _)| QueryId::new(i))
+            .collect()
+    }
+
+    fn expect_live(&self, id: QueryId) -> Result<(), EngineError> {
+        if self.contains(id) {
+            Ok(())
+        } else {
+            Err(EngineError::UnknownQuery(id))
+        }
+    }
+
+    /// Whether the deployment can still change: always on the serial
+    /// backend, and until [`finish`](Self::finish) on the parallel one.
+    fn parallel_finished(&self) -> bool {
+        self.finished && matches!(self.backend, Backend::Parallel(_))
+    }
+
+    fn expect_mutable(&self) -> Result<(), EngineError> {
+        if self.parallel_finished() {
+            Err(EngineError::EngineFinished)
+        } else {
+            Ok(())
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
 
     /// Number of scheduler compatibility groups currently formed.
     pub fn group_count(&self) -> usize {
@@ -143,7 +451,31 @@ impl Engine {
         }
     }
 
-    /// Per-query execution stats, `(name, stats)` in arbitrary order. In
+    /// Per-shard `(shard id, counters)` — the work-partition view of the
+    /// parallel runtime, available after [`finish`](Self::finish). Serial
+    /// execution has no shards, so this is empty there (use
+    /// [`scheduler_stats`](Self::scheduler_stats)).
+    pub fn shard_stats(&self) -> Vec<(usize, SchedulerStats)> {
+        match &self.backend {
+            Backend::Serial(_) => Vec::new(),
+            Backend::Parallel(runtime) => runtime.shard_stats(),
+        }
+    }
+
+    /// Alerts dropped on their way to a consumer: full per-query
+    /// subscription channels (both backends, counted live), plus parallel
+    /// worker sinks whose receiver hung up (complete after
+    /// [`finish`](Self::finish); 0 in normal runs).
+    pub fn dropped_alerts(&self) -> u64 {
+        let backend = match &self.backend {
+            Backend::Serial(_) => 0,
+            Backend::Parallel(runtime) => runtime.dropped_alerts(),
+        };
+        backend + self.subscription_drops
+    }
+
+    /// Per-query execution stats, `(name, stats)` in arbitrary order, for
+    /// live queries (deregistered queries leave with their stats). In
     /// parallel mode the shards own the queries while the stream is live,
     /// so stats surface after [`finish`](Self::finish).
     pub fn query_stats(&self) -> Vec<(String, QueryStats)> {
@@ -179,69 +511,127 @@ impl Engine {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Data plane
+    // ------------------------------------------------------------------
+
     /// Push one event through all registered queries. Serial execution
     /// returns this event's alerts synchronously; the parallel runtime
     /// returns alerts as they arrive from the workers (everything is
-    /// delivered by [`finish`](Self::finish)).
+    /// delivered by [`finish`](Self::finish)). Alerts buffered by
+    /// control-plane operations (a deregistration's window flush) are
+    /// prepended.
     pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
-        match &mut self.backend {
+        let fresh = match &mut self.backend {
             Backend::Serial(scheduler) => scheduler.process(event),
             Backend::Parallel(runtime) => runtime.process(event),
-        }
+        };
+        self.route(&fresh);
+        self.drain_pending(fresh)
     }
 
     /// Drive an entire stream and flush; returns all alerts. Serial
     /// execution yields emission order; parallel yields the same alerts as
     /// a multiset, interleaved across shards.
     pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
-        match &mut self.backend {
-            Backend::Serial(scheduler) => {
-                let mut alerts = Vec::new();
-                for event in stream {
-                    alerts.extend(scheduler.process(&event));
-                }
-                alerts.extend(scheduler.finish());
-                alerts
-            }
-            Backend::Parallel(runtime) => runtime.run(stream),
+        let mut alerts = Vec::new();
+        for event in stream {
+            alerts.extend(self.process(&event));
         }
+        alerts.extend(self.finish());
+        alerts
     }
 
     /// Drive a stream, delivering every alert to `sink` as it fires
-    /// (the SIEM-forwarding path; see [`crate::sink`]). Returns the alert
-    /// count.
+    /// (the SIEM-forwarding path; see [`crate::sink`]). Per-query
+    /// subscribers still receive their copies. Returns the alert count.
     pub fn run_with_sink(
         &mut self,
         stream: impl IntoIterator<Item = SharedEvent>,
         sink: &mut dyn crate::sink::AlertSink,
     ) -> u64 {
-        match &mut self.backend {
-            Backend::Serial(scheduler) => {
-                let mut n = 0u64;
-                for event in stream {
-                    for alert in scheduler.process(&event) {
-                        n += 1;
-                        sink.deliver(&alert);
-                    }
-                }
-                for alert in scheduler.finish() {
-                    n += 1;
-                    sink.deliver(&alert);
-                }
-                sink.flush();
-                n
+        let mut n = 0u64;
+        for event in stream {
+            for alert in self.process(&event) {
+                n += 1;
+                sink.deliver(&alert);
             }
-            Backend::Parallel(runtime) => runtime.run_with_sink(stream, sink),
         }
+        for alert in self.finish() {
+            n += 1;
+            sink.deliver(&alert);
+        }
+        sink.flush();
+        n
     }
 
     /// Flush end-of-stream state (close remaining windows; in parallel
     /// mode, drain and join the workers).
     pub fn finish(&mut self) -> Vec<Alert> {
-        match &mut self.backend {
+        let fresh = match &mut self.backend {
             Backend::Serial(scheduler) => scheduler.finish(),
             Backend::Parallel(runtime) => runtime.finish(),
+        };
+        self.finished = true;
+        self.route(&fresh);
+        // Every deregistered query's flush is now delivered: close the
+        // subscriptions that were kept routable for it.
+        for id in self.retired_subscriptions.drain(..) {
+            self.subscriptions.remove(&id);
         }
+        self.drain_pending(fresh)
+    }
+
+    /// Buffer control-plane alerts for the next data-plane return, routing
+    /// them to subscribers first.
+    fn absorb(&mut self, alerts: Vec<Alert>) {
+        if alerts.is_empty() {
+            return;
+        }
+        self.route(&alerts);
+        self.pending.extend(alerts);
+    }
+
+    /// Prepend buffered control-plane alerts to a data-plane batch.
+    fn drain_pending(&mut self, fresh: Vec<Alert>) -> Vec<Alert> {
+        if self.pending.is_empty() {
+            return fresh;
+        }
+        let mut alerts = std::mem::take(&mut self.pending);
+        alerts.extend(fresh);
+        alerts
+    }
+
+    /// Fan alerts out to their queries' subscribers. A full channel drops
+    /// (and counts) rather than stalling the stream; a disconnected
+    /// receiver unsubscribes.
+    fn route(&mut self, alerts: &[Alert]) {
+        if self.subscriptions.is_empty() {
+            return;
+        }
+        let mut dropped = 0u64;
+        let mut pruned = false;
+        for alert in alerts {
+            if let Some(senders) = self.subscriptions.get_mut(&alert.query_id) {
+                senders.retain(|tx| match tx.try_send(alert.clone()) {
+                    Ok(()) => true,
+                    Err(TrySendError::Full(_)) => {
+                        dropped += 1;
+                        true
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        pruned = true;
+                        false
+                    }
+                });
+            }
+        }
+        if pruned {
+            // Keep the no-subscriber fast path honest: a query whose every
+            // receiver hung up should cost nothing again.
+            self.subscriptions.retain(|_, senders| !senders.is_empty());
+        }
+        self.subscription_drops += dropped;
     }
 }
 
@@ -288,6 +678,67 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_names_rejected_until_deregistered() {
+        let src = "proc p start proc q as e\nreturn p";
+        for workers in [0usize, 2] {
+            let mut e = Engine::with_workers(EngineConfig::default(), workers);
+            let id = e.register("watch", src).unwrap();
+            let err = e.register("watch", src).unwrap_err();
+            assert!(err.message.contains("already registered"), "{err:?}");
+            // The engine is untouched by the rejected registration.
+            assert_eq!(e.query_names(), vec!["watch".to_string()]);
+            e.deregister(id).unwrap();
+            let id2 = e.register("watch", src).unwrap();
+            assert_ne!(id, id2);
+            assert_eq!(e.query_names(), vec!["watch".to_string()]);
+        }
+    }
+
+    #[test]
+    fn control_plane_rejects_unknown_ids() {
+        let mut e = Engine::new(EngineConfig::default());
+        let ghost = QueryId::new(7);
+        assert!(matches!(
+            e.deregister(ghost),
+            Err(EngineError::UnknownQuery(id)) if id == ghost
+        ));
+        assert!(e.pause(ghost).is_err());
+        assert!(e.resume(ghost).is_err());
+        assert!(e.subscribe(ghost).is_err());
+        let id = e
+            .register("q", "proc p start proc q as e\nreturn p")
+            .unwrap();
+        e.deregister(id).unwrap();
+        assert!(e.deregister(id).is_err(), "retired ids are not live");
+        assert!(!e.contains(id));
+    }
+
+    #[test]
+    fn parallel_control_plane_errors_after_finish_instead_of_panicking() {
+        let src = "proc p start proc q as e\nreturn p";
+        let mut e = Engine::with_workers(EngineConfig::default(), 2);
+        let id = e.register("q", src).unwrap();
+        e.run(vec![start(1, 10, "a.exe", "b.exe")]); // run() ends in finish()
+        assert!(matches!(e.deregister(id), Err(EngineError::EngineFinished)));
+        assert!(matches!(e.pause(id), Err(EngineError::EngineFinished)));
+        assert!(matches!(e.resume(id), Err(EngineError::EngineFinished)));
+        assert!(matches!(e.subscribe(id), Err(EngineError::EngineFinished)));
+        let err = e.register("late", src).unwrap_err();
+        assert!(err.message.contains("already finished"), "{err:?}");
+        // Locationless: no caret blaming the (valid) query text.
+        assert!(!err.render(src).contains('^'), "{}", err.render(src));
+        // Serial engines stay fully operable after finish.
+        let mut s = Engine::new(EngineConfig::default());
+        let sid = s.register("q", src).unwrap();
+        s.run(vec![start(1, 10, "a.exe", "b.exe")]);
+        s.pause(sid).unwrap();
+        s.resume(sid).unwrap();
+        s.deregister(sid).unwrap();
+        s.register("q2", src).unwrap();
+        assert_eq!(s.process(&start(2, 20, "a.exe", "b.exe")).len(), 1);
+    }
+
+    #[test]
     fn multiple_queries_grouped() {
         let mut e = Engine::new(EngineConfig::default());
         for i in 0..8 {
@@ -296,6 +747,159 @@ mod tests {
         }
         assert_eq!(e.group_count(), 1);
         assert_eq!(e.query_names().len(), 8);
+        assert_eq!(e.query_ids().len(), 8);
+    }
+
+    #[test]
+    fn subscription_delivers_only_that_query() {
+        for workers in [0usize, 2] {
+            let mut e = Engine::with_workers(EngineConfig::default(), workers);
+            let id_a = e
+                .register(
+                    "a",
+                    "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+                )
+                .unwrap();
+            let id_b = e
+                .register(
+                    "b",
+                    "proc p1 start proc p2[\"%notepad.exe\"] as e\nreturn p1, p2",
+                )
+                .unwrap();
+            let inbox_a = e.subscribe(id_a).unwrap();
+            let inbox_b = e.subscribe(id_b).unwrap();
+            e.run(vec![
+                start(1, 10, "cmd.exe", "osql.exe"),
+                start(2, 20, "explorer.exe", "notepad.exe"),
+                start(3, 30, "cmd.exe", "calc.exe"),
+            ]);
+            let got_a: Vec<Alert> = inbox_a.try_iter().collect();
+            let got_b: Vec<Alert> = inbox_b.try_iter().collect();
+            assert_eq!(got_a.len(), 2, "workers={workers}");
+            assert!(got_a.iter().all(|a| a.query_id == id_a && a.query == "a"));
+            assert_eq!(got_b.len(), 1, "workers={workers}");
+            assert_eq!(got_b[0].query_id, id_b);
+            assert_eq!(e.dropped_alerts(), 0);
+        }
+    }
+
+    #[test]
+    fn full_subscription_drops_and_counts_instead_of_stalling() {
+        let mut e = Engine::new(EngineConfig::default());
+        let id = e
+            .register("q", "proc p start proc q as e\nreturn p, q")
+            .unwrap();
+        let inbox = e.subscribe_with_capacity(id, 1).unwrap();
+        e.process(&start(1, 10, "a.exe", "b.exe"));
+        e.process(&start(2, 20, "a.exe", "b.exe"));
+        e.process(&start(3, 30, "a.exe", "b.exe"));
+        assert_eq!(inbox.try_iter().count(), 1, "capacity-1 channel");
+        assert_eq!(e.dropped_alerts(), 2);
+        // A dropped receiver unsubscribes (pruned from the routing table)
+        // without counting further drops.
+        drop(inbox);
+        e.process(&start(4, 40, "a.exe", "b.exe"));
+        assert_eq!(e.dropped_alerts(), 2);
+        assert!(
+            e.subscriptions.is_empty(),
+            "disconnected subscriber must be pruned"
+        );
+    }
+
+    #[test]
+    fn deregister_flushes_open_windows_through_normal_delivery() {
+        let mut e = Engine::new(EngineConfig::default());
+        let id = e
+            .register(
+                "w",
+                "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n",
+            )
+            .unwrap();
+        let inbox = e.subscribe(id).unwrap();
+        let write = Arc::new(
+            EventBuilder::new(1, "h", 1_000)
+                .subject(ProcessInfo::new(1, "x.exe", "u"))
+                .sends(saql_model::NetworkInfo::new(
+                    "10.0.0.2", 44000, "1.1.1.1", 443, "tcp",
+                ))
+                .amount(5)
+                .build(),
+        );
+        assert!(e.process(&write).is_empty(), "window still open");
+        e.deregister(id).unwrap();
+        // The flush alert surfaces on the next data-plane call and reached
+        // the subscriber.
+        let alerts = e.process(&start(2, 2_000, "a.exe", "b.exe"));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].query_id, id);
+        assert_eq!(inbox.try_iter().count(), 1);
+        assert!(e.query_stats().is_empty(), "stats left with the query");
+        // Serial deregistration closes the subscription immediately (the
+        // flush was routed synchronously): no channel lingers, and the
+        // receiver observes the disconnect.
+        assert!(e.subscriptions.is_empty(), "subscription closed");
+        assert!(inbox.try_recv().is_err());
+    }
+
+    #[test]
+    fn parallel_deregister_keeps_subscription_routable_until_finish() {
+        let mut e = Engine::with_workers(EngineConfig::default(), 2);
+        let id = e
+            .register(
+                "w",
+                "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n",
+            )
+            .unwrap();
+        let inbox = e.subscribe(id).unwrap();
+        let write = Arc::new(
+            EventBuilder::new(1, "h", 1_000)
+                .subject(ProcessInfo::new(1, "x.exe", "u"))
+                .sends(saql_model::NetworkInfo::new(
+                    "10.0.0.2", 44000, "1.1.1.1", 443, "tcp",
+                ))
+                .amount(5)
+                .build(),
+        );
+        e.process(&write);
+        e.deregister(id).unwrap();
+        assert!(
+            !e.subscriptions.is_empty(),
+            "parallel flush is asynchronous: channel stays routable"
+        );
+        e.finish();
+        assert!(e.subscriptions.is_empty(), "closed once flush delivered");
+        assert_eq!(inbox.try_iter().count(), 1, "flush reached subscriber");
+        assert!(inbox.try_recv().is_err(), "receiver sees the disconnect");
+    }
+
+    #[test]
+    fn pause_and_resume_mid_stream_serial_matches_parallel() {
+        let run = |workers: usize| -> Vec<String> {
+            let mut e = Engine::with_workers(EngineConfig::default(), workers);
+            let id = e
+                .register(
+                    "q",
+                    "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+                )
+                .unwrap();
+            let mut alerts = Vec::new();
+            alerts.extend(e.process(&start(1, 10, "cmd.exe", "a.exe")));
+            e.pause(id).unwrap();
+            assert!(e.is_paused(id));
+            alerts.extend(e.process(&start(2, 20, "cmd.exe", "b.exe")));
+            e.resume(id).unwrap();
+            assert!(!e.is_paused(id));
+            alerts.extend(e.process(&start(3, 30, "cmd.exe", "c.exe")));
+            alerts.extend(e.finish());
+            let mut keys: Vec<String> = alerts.iter().map(|a| a.to_string()).collect();
+            keys.sort();
+            keys
+        };
+        let serial = run(0);
+        assert_eq!(serial.len(), 2, "event 2 fell inside the pause");
+        for workers in [1usize, 2, 4] {
+            assert_eq!(run(workers), serial, "workers={workers}");
+        }
     }
 
     #[test]
@@ -362,6 +966,15 @@ mod tests {
         );
         assert_eq!(parallel.query_stats().len(), 2);
         assert!(parallel.latency().is_none());
+        // The facade surfaces the per-shard work partition after finish.
+        let shards = parallel.shard_stats();
+        assert_eq!(shards.len(), 2);
+        assert_eq!(
+            shards.iter().map(|(_, s)| s.master_checks).sum::<u64>(),
+            serial.scheduler_stats().master_checks
+        );
+        assert!(serial.shard_stats().is_empty(), "serial has no shards");
+        assert_eq!(parallel.dropped_alerts(), 0);
     }
 
     #[test]
@@ -374,6 +987,7 @@ mod tests {
         assert_eq!(n, 1);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.contains("\"query\":\"q\""), "{text}");
+        assert!(text.contains("\"query_id\":0"), "{text}");
         assert!(text.contains("\"p\":\"cmd.exe\""), "{text}");
     }
 

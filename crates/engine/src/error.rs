@@ -18,6 +18,13 @@ pub enum EngineError {
     PartialMatchOverflow { query: String, cap: usize },
     /// A query referenced a name that could not be resolved at runtime.
     UnresolvedName(String),
+    /// A control-plane operation (deregister, pause, resume, subscribe)
+    /// named a query id that is not live on this engine.
+    UnknownQuery(crate::query::QueryId),
+    /// A control-plane operation arrived after `finish()` on the parallel
+    /// backend: the worker threads have shut down, so the deployment can
+    /// no longer change (create a fresh engine to run again).
+    EngineFinished,
 }
 
 impl fmt::Display for EngineError {
@@ -29,6 +36,14 @@ impl fmt::Display for EngineError {
                 "partial-match cap ({cap}) reached in query `{query}`; oldest state evicted"
             ),
             EngineError::UnresolvedName(name) => write!(f, "unresolved name `{name}`"),
+            EngineError::UnknownQuery(id) => {
+                write!(f, "no live query {id} (never registered, or deregistered)")
+            }
+            EngineError::EngineFinished => write!(
+                f,
+                "engine already finished: the parallel workers have shut \
+                 down (create a fresh engine to run again)"
+            ),
         }
     }
 }

@@ -29,7 +29,10 @@
 //!
 //! Entry points: [`query::RunningQuery`] for a single query,
 //! [`scheduler::Scheduler`] for concurrent queries, and the [`Engine`]
-//! facade that wires parsing, scheduling and alert collection together.
+//! facade that wires parsing, scheduling and alert collection together —
+//! including the live query control plane ([`Engine::register`] /
+//! [`Engine::deregister`] / [`Engine::pause`] / [`Engine::subscribe`]),
+//! which attaches and detaches queries mid-stream on both backends.
 
 pub mod alert;
 pub mod cluster;
@@ -50,7 +53,7 @@ pub mod window;
 pub use alert::Alert;
 pub use engine::{Engine, EngineConfig};
 pub use error::{EngineError, ErrorReporter};
-pub use query::RunningQuery;
+pub use query::{QueryId, RunningQuery};
 pub use runtime::{ParallelConfig, ParallelEngine};
 pub use scheduler::Scheduler;
 pub use value::Value;

@@ -19,6 +19,41 @@ use crate::matcher::{FullMatch, GlobalFilter, MultiMatcher, PatternMatcher};
 use crate::state::{StateMaintainer, StateView};
 use crate::window::WindowDriver;
 
+/// Handle to a registered query: the key of the engine's control plane.
+///
+/// Ids are assigned at registration ([`crate::Engine::register`]) and stay
+/// valid for the engine's lifetime — they are never reused, even after the
+/// query is deregistered. Every [`Alert`] carries the id of the query that
+/// produced it, which is what makes per-query subscription routing possible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct QueryId(usize);
+
+impl QueryId {
+    /// Placeholder carried by queries compiled outside an engine
+    /// (standalone [`RunningQuery`]s in tests and benches).
+    pub const UNASSIGNED: QueryId = QueryId(usize::MAX);
+
+    /// An id from a raw registration index.
+    pub fn new(index: usize) -> Self {
+        QueryId(index)
+    }
+
+    /// The raw registration index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl std::fmt::Display for QueryId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if *self == QueryId::UNASSIGNED {
+            write!(f, "q#unassigned")
+        } else {
+            write!(f, "q#{}", self.0)
+        }
+    }
+}
+
 /// Tuning knobs for a running query.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryConfig {
@@ -56,6 +91,8 @@ pub struct QueryStats {
 /// One running query instance.
 pub struct RunningQuery {
     name: String,
+    id: QueryId,
+    paused: bool,
     checked: CheckedQuery,
     globals: GlobalFilter,
     matcher: Option<MultiMatcher>,
@@ -88,6 +125,8 @@ impl RunningQuery {
         let invariant = checked.ast.invariants.first().map(InvariantRuntime::new);
         RunningQuery {
             name: name.into(),
+            id: QueryId::UNASSIGNED,
+            paused: false,
             checked,
             globals,
             matcher,
@@ -113,6 +152,29 @@ impl RunningQuery {
 
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The engine-assigned id ([`QueryId::UNASSIGNED`] for standalone
+    /// instances). Stamped onto every alert this query emits.
+    pub fn id(&self) -> QueryId {
+        self.id
+    }
+
+    /// Assign the control-plane id (done once, at registration).
+    pub fn set_id(&mut self, id: QueryId) {
+        self.id = id;
+    }
+
+    /// Whether the query is detached from the stream (sees no events, no
+    /// time, emits nothing) until resumed.
+    pub fn is_paused(&self) -> bool {
+        self.paused
+    }
+
+    /// Pause or resume this query. While paused a query's windows do not
+    /// advance; events arriving during the pause are simply never seen.
+    pub fn set_paused(&mut self, paused: bool) {
+        self.paused = paused;
     }
 
     pub fn kind(&self) -> QueryKind {
@@ -245,6 +307,7 @@ impl RunningQuery {
             .unwrap_or(Timestamp::ZERO);
         Some(Alert {
             query: self.name.clone(),
+            query_id: self.id,
             ts: last_ts,
             origin: AlertOrigin::Match {
                 event_ids: full.events.iter().map(|e| e.id).collect(),
@@ -385,6 +448,7 @@ impl RunningQuery {
             self.stats.alerts += 1;
             alerts.push(Alert {
                 query: self.name.clone(),
+                query_id: self.id,
                 ts: w_end,
                 origin: AlertOrigin::Window {
                     start: w_start,

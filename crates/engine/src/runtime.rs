@@ -25,8 +25,16 @@
 //!   batch channel while alerts back up: it drains the merged alert channel
 //!   between send retries, so a worker stalled on a full alert channel
 //!   cannot deadlock the dispatcher.
+//! * **Live query lifecycle.** Queries can be added, removed, paused, and
+//!   resumed *mid-stream*: the coordinator flushes its partial batch, then
+//!   ships a [`ControlMsg`] to the owning shard on the same bounded channel
+//!   as the event batches. Each worker therefore sees a total order of
+//!   batches and controls, so every lifecycle operation takes effect at an
+//!   exact stream position — identical to performing it on the serial
+//!   scheduler at that position (the work-partition audit and the
+//!   serial/parallel equivalence property survive).
 //! * **Graceful drain.** [`ParallelEngine::finish`] flushes the partial
-//!   batch, closes the batch channels, drains alerts until every worker's
+//!   batch, closes the shard channels, drains alerts until every worker's
 //!   sink disconnects, then joins workers and merges their
 //!   [`ShardReport`]s into engine-wide [`SchedulerStats`].
 
@@ -37,9 +45,9 @@ use std::collections::HashMap;
 use std::thread::JoinHandle;
 
 use crate::alert::Alert;
-use crate::query::{QueryConfig, QueryStats, RunningQuery};
+use crate::query::{QueryConfig, QueryId, QueryStats, RunningQuery};
 use crate::scheduler::SchedulerStats;
-use crate::shard::{run_worker, Shard, ShardReport};
+use crate::shard::{run_worker, ControlMsg, Shard, ShardMsg, ShardReport};
 use crate::sink::{AlertSink, ChannelSink};
 
 /// Tuning knobs for the parallel runtime.
@@ -87,10 +95,17 @@ impl ParallelConfig {
 
 /// Live worker-thread state while a stream is in flight.
 struct Running {
-    batch_txs: Vec<crossbeam::channel::Sender<EventBatch>>,
+    shard_txs: Vec<crossbeam::channel::Sender<ShardMsg>>,
     alerts_rx: Receiver<Alert>,
     reports_rx: Receiver<ShardReport>,
     handles: Vec<JoinHandle<()>>,
+}
+
+/// Coordinator-side record of one live (registered, not yet removed)
+/// query: enough to route control messages to its owning shard.
+struct QueryInfo {
+    name: String,
+    key: String,
 }
 
 /// Merged end-of-stream state, available after [`ParallelEngine::finish`].
@@ -108,17 +123,33 @@ struct Drained {
 /// execution path: same queries, same alerts (as a multiset), spread over
 /// `workers` threads.
 ///
-/// Lifecycle: [`add`](Self::add)/[`register`](Self::register) queries, then
-/// push events ([`process`](Self::process) or [`run`](Self::run)); worker
-/// threads spawn lazily on the first event and shut down in
-/// [`finish`](Self::finish). A finished engine can be inspected
-/// ([`stats`](Self::stats), [`query_stats`](Self::query_stats)) but not
-/// restarted.
+/// Lifecycle: [`add`](Self::add)/[`register`](Self::register) queries —
+/// before the first event *or mid-stream* — then push events
+/// ([`process`](Self::process) or [`run`](Self::run)); worker threads spawn
+/// lazily on the first event and shut down in [`finish`](Self::finish).
+/// While the stream is live, [`remove`](Self::remove),
+/// [`pause`](Self::pause), and [`resume`](Self::resume) reconfigure the
+/// deployment without stopping the workers. A finished engine can be
+/// inspected ([`stats`](Self::stats), [`query_stats`](Self::query_stats))
+/// but not restarted.
 pub struct ParallelEngine {
     config: ParallelConfig,
     query_config: QueryConfig,
+    /// Queries registered before the workers spawn.
     pending: Vec<RunningQuery>,
-    names: Vec<String>,
+    /// Live queries in registration order (pending or shard-hosted).
+    queries: Vec<(QueryId, QueryInfo)>,
+    /// Next id handed out by [`register`](Self::register) (standalone use;
+    /// the [`crate::Engine`] facade assigns ids itself and calls
+    /// [`add`](Self::add)).
+    next_id: usize,
+    /// Compat key → owning shard, for queries currently hosted on workers.
+    assignment: HashMap<String, usize>,
+    /// Compat key → live member count on the owning shard.
+    key_members: HashMap<String, usize>,
+    /// Round-robin cursor for assigning fresh compat keys to shards.
+    next_group: usize,
+    /// Snapshot of the group count at drain time.
     group_count: usize,
     buffer: EventBatch,
     running: Option<Running>,
@@ -132,7 +163,11 @@ impl ParallelEngine {
             config,
             query_config,
             pending: Vec::new(),
-            names: Vec::new(),
+            queries: Vec::new(),
+            next_id: 0,
+            assignment: HashMap::new(),
+            key_members: HashMap::new(),
+            next_group: 0,
             group_count: 0,
             buffer: EventBatch::with_capacity(config.batch_size),
             running: None,
@@ -145,35 +180,142 @@ impl ParallelEngine {
         self.config.workers
     }
 
-    /// Compile and register a query. Must happen before the first event.
-    pub fn register(&mut self, name: &str, source: &str) -> Result<(), saql_lang::LangError> {
-        let query = RunningQuery::compile(name, source, self.query_config)?;
+    /// Compile and register a query, before the first event or mid-stream.
+    /// Returns the id to use for later control-plane calls.
+    pub fn register(&mut self, name: &str, source: &str) -> Result<QueryId, saql_lang::LangError> {
+        let mut query = RunningQuery::compile(name, source, self.query_config)?;
+        let id = QueryId::new(self.next_id);
+        self.next_id += 1;
+        query.set_id(id);
         self.add(query);
-        Ok(())
+        Ok(id)
     }
 
-    /// Register an already-compiled query. Must happen before the first
-    /// event; later additions would miss the already-dispatched prefix of
-    /// the stream, so they panic instead of silently under-reporting.
-    pub fn add(&mut self, query: RunningQuery) {
-        assert!(
-            self.running.is_none() && self.drained.is_none(),
-            "queries must be registered before the stream starts"
-        );
-        self.names.push(query.name().to_string());
-        self.pending.push(query);
+    /// Register an already-compiled query (carrying its control-plane id).
+    ///
+    /// Legal at any stream position: before the workers spawn the query
+    /// joins the pending set; afterwards the coordinator flushes its
+    /// partial batch and ships an [`ControlMsg::AddQuery`] to the owning
+    /// shard — a compat key already hosted somewhere keeps its shard, so
+    /// the newcomer joins the existing group and shares its master. The
+    /// returned alerts are any that arrived from the workers while
+    /// flushing (delivery is asynchronous; see [`process`](Self::process)).
+    ///
+    /// Panics after [`finish`](Self::finish): the workers are gone, so the
+    /// query could never observe an event (same lifecycle rule as
+    /// [`process`](Self::process)).
+    pub fn add(&mut self, query: RunningQuery) -> Vec<Alert> {
+        self.assert_not_drained();
+        let mut alerts = Vec::new();
+        self.queries.push((
+            query.id(),
+            QueryInfo {
+                name: query.name().to_string(),
+                key: query.compat_key().to_string(),
+            },
+        ));
+        self.next_id = self.next_id.max(query.id().index().saturating_add(1));
+        if self.running.is_some() {
+            self.flush_partial(&mut alerts);
+            let key = query.compat_key().to_string();
+            let shard = self.shard_for(&key);
+            *self.key_members.entry(key).or_insert(0) += 1;
+            self.send_control(shard, ControlMsg::AddQuery(Box::new(query)), &mut alerts);
+        } else {
+            self.pending.push(query);
+        }
+        alerts
     }
 
-    /// Registered query names, in registration order.
-    pub fn query_names(&self) -> &[String] {
-        &self.names
+    /// Deregister a live query at the current stream position. Its pending
+    /// window state is flushed (the returned/later-drained alerts include
+    /// the flush), its compatibility group dissolves if it was the last
+    /// member, and its per-query stats leave the engine with it. Unknown
+    /// ids are a no-op.
+    pub fn remove(&mut self, id: QueryId) -> Vec<Alert> {
+        self.assert_not_drained();
+        let mut alerts = Vec::new();
+        let Some(pos) = self.queries.iter().position(|(qid, _)| *qid == id) else {
+            return alerts;
+        };
+        let (_, info) = self.queries.remove(pos);
+        if self.running.is_some() {
+            self.flush_partial(&mut alerts);
+            let shard = self.assignment[&info.key];
+            let members = self
+                .key_members
+                .get_mut(&info.key)
+                .expect("hosted key has a member count");
+            *members -= 1;
+            if *members == 0 {
+                self.key_members.remove(&info.key);
+                self.assignment.remove(&info.key);
+            }
+            self.send_control(shard, ControlMsg::RemoveQuery(id), &mut alerts);
+        } else {
+            self.pending.retain(|q| q.id() != id);
+        }
+        alerts
     }
 
-    /// Compatibility groups across all shards (known once started; before
-    /// that, computed from the pending set).
+    /// Detach a live query from the stream until [`resume`](Self::resume):
+    /// it sees no events and no time, and emits nothing. Unknown ids are a
+    /// no-op.
+    pub fn pause(&mut self, id: QueryId) -> Vec<Alert> {
+        self.set_paused(id, true)
+    }
+
+    /// Re-attach a paused query at the current stream position.
+    pub fn resume(&mut self, id: QueryId) -> Vec<Alert> {
+        self.set_paused(id, false)
+    }
+
+    fn set_paused(&mut self, id: QueryId, paused: bool) -> Vec<Alert> {
+        self.assert_not_drained();
+        let mut alerts = Vec::new();
+        let Some((_, info)) = self.queries.iter().find(|(qid, _)| *qid == id) else {
+            return alerts;
+        };
+        if self.running.is_some() {
+            let shard = self.assignment[&info.key];
+            self.flush_partial(&mut alerts);
+            let msg = if paused {
+                ControlMsg::Pause(id)
+            } else {
+                ControlMsg::Resume(id)
+            };
+            self.send_control(shard, msg, &mut alerts);
+        } else if let Some(q) = self.pending.iter_mut().find(|q| q.id() == id) {
+            q.set_paused(paused);
+        }
+        alerts
+    }
+
+    /// Whether a query with this id is live (registered and not removed).
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.queries.iter().any(|(qid, _)| *qid == id)
+    }
+
+    /// Live query names, in registration order.
+    pub fn query_names(&self) -> Vec<String> {
+        self.queries
+            .iter()
+            .map(|(_, info)| info.name.clone())
+            .collect()
+    }
+
+    /// Live query ids, in registration order.
+    pub fn query_ids(&self) -> Vec<QueryId> {
+        self.queries.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Compatibility groups across all shards.
     pub fn group_count(&self) -> usize {
-        if self.running.is_some() || self.drained.is_some() {
+        if self.drained.is_some() {
             return self.group_count;
+        }
+        if self.running.is_some() {
+            return self.key_members.len();
         }
         let mut keys: Vec<&str> = self.pending.iter().map(|q| q.compat_key()).collect();
         keys.sort_unstable();
@@ -256,16 +398,14 @@ impl ParallelEngine {
     pub fn finish(&mut self) -> Vec<Alert> {
         self.ensure_started();
         let mut alerts = Vec::new();
-        if !self.buffer.is_empty() {
-            let batch = self.buffer.take();
-            self.dispatch(batch, &mut alerts);
-        }
+        self.flush_partial(&mut alerts);
+        self.group_count = self.key_members.len();
         let Some(running) = self.running.take() else {
             return alerts;
         };
-        // Closing the batch channels is the drain signal; workers flush
+        // Closing the shard channels is the drain signal; workers flush
         // their remaining windows and hang up their alert sinks.
-        drop(running.batch_txs);
+        drop(running.shard_txs);
         while let Ok(alert) = running.alerts_rx.recv() {
             alerts.push(alert);
         }
@@ -354,64 +494,78 @@ impl ParallelEngine {
             return;
         }
         let mut shards: Vec<Shard> = (0..self.config.workers).map(Shard::new).collect();
-        let mut assignment: HashMap<String, usize> = HashMap::new();
-        let mut next_group = 0usize;
-        for query in self.pending.drain(..) {
+        for query in std::mem::take(&mut self.pending) {
             let key = query.compat_key().to_string();
-            let shard_idx = *assignment.entry(key).or_insert_with(|| {
-                let idx = next_group % shards.len();
-                next_group += 1;
-                idx
-            });
+            let shard_idx = self.shard_for(&key);
+            *self.key_members.entry(key).or_insert(0) += 1;
             shards[shard_idx].assign(query);
         }
-        self.group_count = next_group;
 
         let (alert_sink, alerts_rx) = ChannelSink::new(self.config.alert_backlog);
         let (reports_tx, reports_rx) = bounded::<ShardReport>(self.config.workers);
-        let mut batch_txs = Vec::with_capacity(self.config.workers);
+        let mut shard_txs = Vec::with_capacity(self.config.workers);
         let mut handles = Vec::with_capacity(self.config.workers);
         for shard in shards {
-            let (batch_tx, batch_rx) = bounded::<EventBatch>(self.config.batch_backlog);
+            let (shard_tx, shard_rx) = bounded::<ShardMsg>(self.config.batch_backlog);
             let sink = alert_sink.clone();
             let reports = reports_tx.clone();
             handles.push(std::thread::spawn(move || {
-                run_worker(shard, batch_rx, sink, reports)
+                run_worker(shard, shard_rx, sink, reports)
             }));
-            batch_txs.push(batch_tx);
+            shard_txs.push(shard_tx);
         }
         // Drop the coordinator's copies so the channels disconnect once the
         // last worker hangs up.
         drop(alert_sink);
         drop(reports_tx);
         self.running = Some(Running {
-            batch_txs,
+            shard_txs,
             alerts_rx,
             reports_rx,
             handles,
         });
     }
 
+    /// The shard hosting `key`, assigning fresh keys round-robin.
+    fn shard_for(&mut self, key: &str) -> usize {
+        if let Some(&shard) = self.assignment.get(key) {
+            return shard;
+        }
+        let shard = self.next_group % self.config.workers;
+        self.next_group += 1;
+        self.assignment.insert(key.to_string(), shard);
+        shard
+    }
+
     fn assert_not_drained(&self) {
         assert!(
             self.drained.is_none(),
-            "ParallelEngine cannot process events after finish(): the \
-             workers have shut down (create a fresh engine to run again)"
+            "ParallelEngine cannot process events or lifecycle changes \
+             after finish(): the workers have shut down (create a fresh \
+             engine to run again)"
         );
     }
 
+    /// Dispatch the buffered partial batch, if any — the barrier that puts
+    /// a control message at an exact stream position.
+    fn flush_partial(&mut self, alerts: &mut Vec<Alert>) {
+        if let Some(batch) = self.buffer.take_if_nonempty() {
+            self.dispatch(batch, alerts);
+        }
+    }
+
     /// Broadcast one batch to every worker, draining arrived alerts while
-    /// any batch channel is full (backpressure without deadlock). The last
+    /// any shard channel is full (backpressure without deadlock). The last
     /// worker takes the batch by value — N-1 clones for N workers.
     fn dispatch(&mut self, batch: EventBatch, alerts: &mut Vec<Alert>) {
         let running = self
             .running
             .as_ref()
             .expect("dispatch only happens while running");
-        let last = running.batch_txs.len() - 1;
+        let last = running.shard_txs.len() - 1;
         let mut batch = Some(batch);
-        for (i, tx) in running.batch_txs.iter().enumerate() {
-            let mut item = if i == last {
+        for (i, tx) in running.shard_txs.iter().enumerate() {
+            let item = if i == last {
                 batch
                     .take()
                     .expect("batch consumed only by the last worker")
@@ -421,31 +575,56 @@ impl ParallelEngine {
                     .expect("batch lives until the last worker")
                     .clone()
             };
-            loop {
-                match tx.try_send(item) {
-                    Ok(()) => break,
-                    Err(TrySendError::Full(back)) => {
-                        item = back;
-                        // Workers are behind: sleep on the alert channel
-                        // instead of spinning, so a saturated machine gives
-                        // this core to the workers. Forwarded alerts keep
-                        // draining either way, preserving deadlock freedom.
-                        if let Ok(alert) = running
-                            .alerts_rx
-                            .recv_timeout(std::time::Duration::from_millis(1))
-                        {
-                            alerts.push(alert);
-                        }
-                        drain_ready(&running.alerts_rx, alerts);
-                    }
-                    // A worker can only disappear if it panicked; drop its
-                    // share rather than wedge the stream (finish() reports
-                    // the dead shard).
-                    Err(TrySendError::Disconnected(_)) => break,
-                }
-            }
+            send_draining(tx, ShardMsg::Events(item), &running.alerts_rx, alerts);
         }
         drain_ready(&running.alerts_rx, alerts);
+    }
+
+    /// Ship one control message to a single shard, with the same
+    /// drain-while-full backpressure discipline as batch dispatch.
+    fn send_control(&mut self, shard: usize, msg: ControlMsg, alerts: &mut Vec<Alert>) {
+        let running = self
+            .running
+            .as_ref()
+            .expect("control messages only flow while running");
+        send_draining(
+            &running.shard_txs[shard],
+            ShardMsg::Control(msg),
+            &running.alerts_rx,
+            alerts,
+        );
+        drain_ready(&running.alerts_rx, alerts);
+    }
+}
+
+/// Push one message into a shard channel, draining forwarded alerts while
+/// the channel is full so a stalled worker cannot deadlock the coordinator.
+fn send_draining(
+    tx: &crossbeam::channel::Sender<ShardMsg>,
+    msg: ShardMsg,
+    alerts_rx: &Receiver<Alert>,
+    alerts: &mut Vec<Alert>,
+) {
+    let mut item = msg;
+    loop {
+        match tx.try_send(item) {
+            Ok(()) => return,
+            Err(TrySendError::Full(back)) => {
+                item = back;
+                // Workers are behind: sleep on the alert channel instead of
+                // spinning, so a saturated machine gives this core to the
+                // workers. Forwarded alerts keep draining either way,
+                // preserving deadlock freedom.
+                if let Ok(alert) = alerts_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                    alerts.push(alert);
+                }
+                drain_ready(alerts_rx, alerts);
+            }
+            // A worker can only disappear if it panicked; drop its share
+            // rather than wedge the stream (finish() reports the dead
+            // shard).
+            Err(TrySendError::Disconnected(_)) => return,
+        }
     }
 }
 
@@ -625,7 +804,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot process events after finish")]
+    #[should_panic(expected = "cannot process events or lifecycle changes after finish")]
     fn process_after_finish_panics_clearly() {
         let mut par = ParallelEngine::new(ParallelConfig::with_workers(2), QueryConfig::default());
         par.register("q", "proc p start proc q as e\nreturn p")
@@ -669,6 +848,120 @@ mod tests {
         let n = par.run_with_sink(events(), &mut sink);
         assert_eq!(n, 200);
         assert_eq!(sink.alerts.len(), 200);
+    }
+
+    #[test]
+    fn mid_stream_register_joins_existing_group() {
+        let mut par = ParallelEngine::new(
+            ParallelConfig {
+                workers: 2,
+                batch_size: 4,
+                ..ParallelConfig::default()
+            },
+            QueryConfig::default(),
+        );
+        par.register(
+            "a",
+            "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+        )
+        .unwrap();
+        let mut alerts = Vec::new();
+        // Start the stream, then attach a compatible query mid-flight.
+        for i in 0..10u64 {
+            alerts.extend(par.process(&start(i + 1, (i + 1) * 1_000, "cmd.exe", "osql.exe")));
+        }
+        let id_b = par
+            .register(
+                "b",
+                "proc p1 start proc p2[\"%osql.exe\"] as e\nreturn p1, p2",
+            )
+            .unwrap();
+        assert!(par.contains(id_b));
+        assert_eq!(par.group_count(), 1, "same compat key joins the group");
+        for i in 10..20u64 {
+            alerts.extend(par.process(&start(i + 1, (i + 1) * 1_000, "cmd.exe", "osql.exe")));
+        }
+        alerts.extend(par.finish());
+        let a_count = alerts.iter().filter(|a| a.query == "a").count();
+        let b_count = alerts.iter().filter(|a| a.query == "b").count();
+        assert_eq!(a_count, 20, "a saw the whole stream");
+        assert_eq!(b_count, 10, "b saw exactly the post-registration suffix");
+        // One group ⇒ one master check per event, even with the newcomer.
+        assert_eq!(par.stats().master_checks, 20);
+        assert_eq!(par.query_stats().len(), 2);
+    }
+
+    #[test]
+    fn mid_stream_remove_flushes_windows_and_dissolves_group() {
+        let mut par = ParallelEngine::new(
+            ParallelConfig {
+                workers: 3,
+                batch_size: 4,
+                ..ParallelConfig::default()
+            },
+            QueryConfig::default(),
+        );
+        let id_w = par
+            .register(
+                "w",
+                "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n",
+            )
+            .unwrap();
+        par.register("r", "proc p start proc q as e\nreturn distinct p, q")
+            .unwrap();
+        let mut alerts = Vec::new();
+        alerts.extend(par.process(&send(1, 1_000, "x.exe", "1.1.1.1", 5)));
+        alerts.extend(par.process(&start(2, 2_000, "a.exe", "b.exe")));
+        assert_eq!(par.group_count(), 2);
+        // Deregister the window query mid-stream: its open window flushes.
+        alerts.extend(par.remove(id_w));
+        assert!(!par.contains(id_w));
+        assert_eq!(par.group_count(), 1, "write-group dissolved");
+        alerts.extend(par.process(&send(3, 3_000, "x.exe", "1.1.1.1", 5)));
+        alerts.extend(par.finish());
+        let w_alerts: Vec<_> = alerts.iter().filter(|a| a.query == "w").collect();
+        assert_eq!(w_alerts.len(), 1, "{alerts:?}");
+        assert_eq!(
+            w_alerts[0].get("ss[0].n"),
+            Some("1"),
+            "post-removal event unseen"
+        );
+        assert_eq!(w_alerts[0].query_id, id_w);
+        // Removed queries leave the stats with them.
+        assert_eq!(par.query_stats().len(), 1);
+    }
+
+    #[test]
+    fn mid_stream_pause_resume_skips_exactly_the_paused_span() {
+        let mut par = ParallelEngine::new(
+            ParallelConfig {
+                workers: 2,
+                batch_size: 2,
+                ..ParallelConfig::default()
+            },
+            QueryConfig::default(),
+        );
+        let id = par
+            .register(
+                "q",
+                "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2",
+            )
+            .unwrap();
+        let mut alerts = Vec::new();
+        alerts.extend(par.process(&start(1, 1_000, "cmd.exe", "osql.exe")));
+        alerts.extend(par.pause(id));
+        for i in 2..=5u64 {
+            alerts.extend(par.process(&start(i, i * 1_000, "cmd.exe", "osql.exe")));
+        }
+        alerts.extend(par.resume(id));
+        alerts.extend(par.process(&start(6, 6_000, "cmd.exe", "osql.exe")));
+        alerts.extend(par.finish());
+        assert_eq!(
+            alerts.len(),
+            2,
+            "events 2..=5 fell in the pause: {alerts:?}"
+        );
+        assert!(alerts.iter().all(|a| a.query_id == id));
     }
 
     #[test]

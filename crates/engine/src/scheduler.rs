@@ -20,7 +20,7 @@ use saql_model::Timestamp;
 use saql_stream::SharedEvent;
 
 use crate::alert::Alert;
-use crate::query::RunningQuery;
+use crate::query::{QueryId, RunningQuery};
 
 /// Scheduler execution counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -104,6 +104,62 @@ impl Scheduler {
         (gi, self.groups[gi].members.len() - 1)
     }
 
+    /// Deregister a query by id, returning it (with its pending window
+    /// state intact — the caller decides whether to flush it).
+    ///
+    /// Group maintenance is the interesting part of removal: taking the
+    /// group's first member *promotes* the next dependent to master (all
+    /// members share the shape, so any member's shape test is the master
+    /// check), and taking the last member *dissolves* the group so later
+    /// events no longer pay its master check.
+    pub fn remove(&mut self, id: QueryId) -> Option<RunningQuery> {
+        for gi in 0..self.groups.len() {
+            let Some(mi) = self.groups[gi].members.iter().position(|q| q.id() == id) else {
+                continue;
+            };
+            let query = self.groups[gi].members.remove(mi);
+            if self.groups[gi].members.is_empty() {
+                let dissolved = self.groups.remove(gi);
+                self.by_key.remove(&dissolved.key);
+                // Groups after the dissolved one shifted down by one.
+                for (i, group) in self.groups.iter().enumerate().skip(gi) {
+                    self.by_key.insert(group.key.clone(), i);
+                }
+            }
+            return Some(query);
+        }
+        None
+    }
+
+    /// Detach a query from the stream without removing it (no events, no
+    /// time advance, no alerts until [`resume`](Self::resume)). Returns
+    /// `false` for an unknown id.
+    pub fn pause(&mut self, id: QueryId) -> bool {
+        self.set_paused(id, true)
+    }
+
+    /// Re-attach a paused query. Stream time catches up on the next event,
+    /// closing any windows that came due while detached. Returns `false`
+    /// for an unknown id.
+    pub fn resume(&mut self, id: QueryId) -> bool {
+        self.set_paused(id, false)
+    }
+
+    fn set_paused(&mut self, id: QueryId, paused: bool) -> bool {
+        for group in &mut self.groups {
+            if let Some(q) = group.members.iter_mut().find(|q| q.id() == id) {
+                q.set_paused(paused);
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether a query with this id is registered.
+    pub fn contains(&self, id: QueryId) -> bool {
+        self.queries().any(|q| q.id() == id)
+    }
+
     /// Number of compatibility groups (== master queries == stream copies).
     pub fn group_count(&self) -> usize {
         self.groups.len()
@@ -145,14 +201,26 @@ impl Scheduler {
         self.stats.events += 1;
         let mut alerts = Vec::new();
         for group in &mut self.groups {
-            // Time advances for every member regardless of shape (windows
-            // close on stream time, not on matching events).
+            // Time advances for every attached member regardless of shape
+            // (windows close on stream time, not on matching events).
+            // Paused members are detached: their stream is frozen until
+            // resume.
+            let mut attached = 0usize;
             for q in &mut group.members {
+                if q.is_paused() {
+                    continue;
+                }
+                attached += 1;
                 alerts.extend(q.advance_time(event.ts));
+            }
+            // A fully-paused group has no one to deliver to, so its master
+            // check would be pure waste.
+            if attached == 0 {
+                continue;
             }
             // Master check: one shape test per group, performed against the
             // group's first member (all members share the shape by
-            // construction).
+            // construction, so a paused master still answers for the group).
             self.stats.master_checks += 1;
             let admit = group
                 .members
@@ -163,6 +231,9 @@ impl Scheduler {
                 continue;
             }
             for q in &mut group.members {
+                if q.is_paused() {
+                    continue;
+                }
                 self.stats.deliveries += 1;
                 alerts.extend(q.process_payload(event));
             }
@@ -170,7 +241,8 @@ impl Scheduler {
         alerts
     }
 
-    /// End of stream: flush all members.
+    /// End of stream: flush all members — including paused ones, whose
+    /// windows still hold whatever they absorbed before detaching.
     pub fn finish(&mut self) -> Vec<Alert> {
         let mut alerts = Vec::new();
         for group in &mut self.groups {
@@ -389,6 +461,79 @@ mod tests {
         s.process(&start(1, 10, "a.exe", "b.exe"));
         assert_eq!(s.stats().data_copies, 0);
         assert_eq!(s.stats().master_checks, 1);
+    }
+
+    fn rq_id(name: &str, src: &str, id: usize) -> RunningQuery {
+        let mut q = rq(name, src);
+        q.set_id(QueryId::new(id));
+        q
+    }
+
+    #[test]
+    fn remove_promotes_dependents_and_dissolves_groups() {
+        let mut s = Scheduler::new();
+        s.add(rq_id("a", "proc p start proc q as e\nreturn p", 0));
+        s.add(rq_id("b", "proc p start proc q as e\nreturn q", 1));
+        s.add(rq_id("c", "proc p write ip i as e\nreturn p", 2));
+        assert_eq!(s.group_count(), 2);
+        // Removing the master of the start-group promotes `b`.
+        let removed = s.remove(QueryId::new(0)).expect("a is registered");
+        assert_eq!(removed.name(), "a");
+        assert_eq!(s.group_count(), 2);
+        assert_eq!(s.query_count(), 2);
+        let alerts = s.process(&start(1, 10, "x.exe", "y.exe"));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].query, "b");
+        // Removing the last member dissolves the group: no more master
+        // checks for its shape.
+        let checks_before = s.stats().master_checks;
+        s.remove(QueryId::new(1)).expect("b is registered");
+        assert_eq!(s.group_count(), 1);
+        s.process(&start(2, 20, "x.exe", "y.exe"));
+        // Only the write-group's check remains (and it rejects the shape).
+        assert_eq!(s.stats().master_checks, checks_before + 1);
+        // The ip-write group keyed map survived the index shift.
+        assert!(s.contains(QueryId::new(2)));
+        assert!(!s.contains(QueryId::new(1)));
+        assert!(s.remove(QueryId::new(7)).is_none());
+    }
+
+    #[test]
+    fn paused_queries_see_no_events_or_time() {
+        let mut s = Scheduler::new();
+        s.add(rq_id(
+            "w",
+            "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n",
+            0,
+        ));
+        assert!(s.pause(QueryId::new(0)));
+        // Events and a window boundary pass while paused: nothing happens.
+        let mut alerts = Vec::new();
+        alerts.extend(s.process(&send(1, 1_000, "x.exe", "1.1.1.1", 5)));
+        alerts.extend(s.process(&send(2, 120_000, "x.exe", "1.1.1.1", 5)));
+        assert!(alerts.is_empty());
+        assert_eq!(s.stats().deliveries, 0);
+        assert_eq!(s.stats().master_checks, 0, "fully-paused group skipped");
+        // Resume: the query only ever sees post-resume events.
+        assert!(s.resume(QueryId::new(0)));
+        alerts.extend(s.process(&send(3, 130_000, "x.exe", "1.1.1.1", 5)));
+        alerts.extend(s.finish());
+        assert_eq!(alerts.len(), 1, "{alerts:?}");
+        assert_eq!(alerts[0].get("ss[0].n"), Some("1"));
+        assert!(!s.pause(QueryId::new(9)), "unknown id");
+    }
+
+    #[test]
+    fn pause_of_master_keeps_group_running() {
+        let mut s = Scheduler::new();
+        s.add(rq_id("a", "proc p start proc q as e\nreturn p", 0));
+        s.add(rq_id("b", "proc p start proc q as e\nreturn q", 1));
+        s.pause(QueryId::new(0));
+        let alerts = s.process(&start(1, 10, "x.exe", "y.exe"));
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].query, "b");
+        assert_eq!(s.stats().master_checks, 1);
+        assert_eq!(s.stats().deliveries, 1, "paused member not delivered to");
     }
 
     #[test]

@@ -18,9 +18,50 @@
 use crossbeam::channel::{Receiver, Sender};
 use saql_stream::EventBatch;
 
-use crate::query::{QueryStats, RunningQuery};
+use crate::query::{QueryId, QueryStats, RunningQuery};
 use crate::scheduler::{Scheduler, SchedulerStats};
 use crate::sink::{AlertSink, ChannelSink};
+
+/// A query-lifecycle operation applied by a shard worker between batches.
+///
+/// Control messages travel on the same bounded channel as event batches, so
+/// each worker observes a *total order* of batches and controls: everything
+/// dispatched before the control is processed first, everything after is
+/// processed later. That is what makes mid-stream lifecycle changes
+/// deterministic — the operation takes effect at an exact stream position,
+/// identical to performing it on the serial scheduler at that position.
+pub enum ControlMsg {
+    /// Host a new query (it joins an existing compatibility group on this
+    /// shard when its compat key matches, sharing that group's master).
+    AddQuery(Box<RunningQuery>),
+    /// Deregister a query: flush its pending window state to the alert
+    /// sink, then drop it (dissolving its group if it was the last member).
+    RemoveQuery(QueryId),
+    /// Detach a query from the stream until resumed.
+    Pause(QueryId),
+    /// Re-attach a paused query.
+    Resume(QueryId),
+}
+
+impl std::fmt::Debug for ControlMsg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            // A running query is a live pipeline, not a printable value.
+            ControlMsg::AddQuery(q) => write!(f, "AddQuery({} `{}`)", q.id(), q.name()),
+            ControlMsg::RemoveQuery(id) => write!(f, "RemoveQuery({id})"),
+            ControlMsg::Pause(id) => write!(f, "Pause({id})"),
+            ControlMsg::Resume(id) => write!(f, "Resume({id})"),
+        }
+    }
+}
+
+/// What the runtime ships to a shard worker: event batches interleaved with
+/// control messages, processed strictly in arrival order.
+#[derive(Debug)]
+pub enum ShardMsg {
+    Events(EventBatch),
+    Control(ControlMsg),
+}
 
 /// One worker's slice of the engine: a scheduler over a subset of groups.
 pub struct Shard {
@@ -82,6 +123,30 @@ impl Shard {
         }
     }
 
+    /// Apply one control message at the current batch boundary. Removal
+    /// flushes the departing query's window state through the sink, so a
+    /// deregistered query's last alerts are delivered, not lost.
+    pub fn apply(&mut self, msg: ControlMsg, sink: &mut dyn AlertSink) {
+        match msg {
+            ControlMsg::AddQuery(query) => {
+                self.scheduler.add(*query);
+            }
+            ControlMsg::RemoveQuery(id) => {
+                if let Some(mut query) = self.scheduler.remove(id) {
+                    for alert in query.finish() {
+                        sink.deliver(&alert);
+                    }
+                }
+            }
+            ControlMsg::Pause(id) => {
+                self.scheduler.pause(id);
+            }
+            ControlMsg::Resume(id) => {
+                self.scheduler.resume(id);
+            }
+        }
+    }
+
     /// End of stream: flush remaining windows and summarize.
     pub fn finish(mut self, sink: &mut dyn AlertSink) -> ShardReport {
         for alert in self.scheduler.finish() {
@@ -111,17 +176,21 @@ impl Shard {
     }
 }
 
-/// The worker-thread body: drain batches until the runtime closes the
-/// channel, then flush and report. The runtime owns thread spawning; this
-/// stays a plain function so tests can drive a worker synchronously.
+/// The worker-thread body: drain batches and control messages in arrival
+/// order until the runtime closes the channel, then flush and report. The
+/// runtime owns thread spawning; this stays a plain function so tests can
+/// drive a worker synchronously.
 pub(crate) fn run_worker(
     mut shard: Shard,
-    batches: Receiver<EventBatch>,
+    messages: Receiver<ShardMsg>,
     mut sink: ChannelSink,
     reports: Sender<ShardReport>,
 ) {
-    while let Ok(batch) = batches.recv() {
-        shard.process_batch(&batch, &mut sink);
+    while let Ok(msg) = messages.recv() {
+        match msg {
+            ShardMsg::Events(batch) => shard.process_batch(&batch, &mut sink),
+            ShardMsg::Control(control) => shard.apply(control, &mut sink),
+        }
     }
     let mut report = shard.finish(&mut sink);
     report.dropped_alerts = sink.dropped;
@@ -136,6 +205,7 @@ pub(crate) fn run_worker(
 fn assert_send<T: Send>() {}
 const _: fn() = assert_send::<Shard>;
 const _: fn() = assert_send::<ShardReport>;
+const _: fn() = assert_send::<ShardMsg>;
 
 #[cfg(test)]
 mod tests {
@@ -185,19 +255,88 @@ mod tests {
     fn worker_drains_channel_then_reports() {
         let mut shard = Shard::new(0);
         shard.assign(rq("q", "proc p start proc q as e\nreturn p, q"));
-        let (batch_tx, batch_rx) = crossbeam::channel::bounded::<EventBatch>(4);
+        let (msg_tx, msg_rx) = crossbeam::channel::bounded::<ShardMsg>(4);
         let (sink, alerts_rx) = ChannelSink::new(64);
         let (report_tx, report_rx) = crossbeam::channel::bounded::<ShardReport>(1);
-        let handle = std::thread::spawn(move || run_worker(shard, batch_rx, sink, report_tx));
+        let handle = std::thread::spawn(move || run_worker(shard, msg_rx, sink, report_tx));
         let mut batch = EventBatch::with_capacity(2);
         batch.push(start(1, 10, "a.exe", "b.exe"));
-        batch_tx.send(batch).unwrap();
-        drop(batch_tx);
+        msg_tx.send(ShardMsg::Events(batch)).unwrap();
+        drop(msg_tx);
         handle.join().unwrap();
         let alerts: Vec<_> = alerts_rx.into_iter().collect();
         assert_eq!(alerts.len(), 1);
         let report = report_rx.recv().unwrap();
         assert_eq!(report.stats.events, 1);
         assert_eq!(report.dropped_alerts, 0);
+    }
+
+    #[test]
+    fn control_messages_apply_at_batch_boundaries() {
+        let mut id_counter = 0usize;
+        let mut rq_id = |name: &str, src: &str| {
+            let mut q = rq(name, src);
+            q.set_id(QueryId::new(id_counter));
+            id_counter += 1;
+            q
+        };
+        let mut shard = Shard::new(0);
+        shard.assign(rq_id("a", "proc p start proc q as e\nreturn p, q"));
+        let mut sink = CollectSink::default();
+
+        // Add a second compatible query mid-stream: it joins the group.
+        shard.apply(
+            ControlMsg::AddQuery(Box::new(rq_id("b", "proc p start proc q as e\nreturn q"))),
+            &mut sink,
+        );
+        assert_eq!(shard.group_count(), 1);
+        assert_eq!(shard.query_count(), 2);
+
+        let mut batch = EventBatch::with_capacity(2);
+        batch.push(start(1, 10, "a.exe", "b.exe"));
+        shard.process_batch(&batch, &mut sink);
+        assert_eq!(sink.alerts.len(), 2, "both queries fire");
+
+        // Pause `a`, deliver another event: only `b` fires.
+        shard.apply(ControlMsg::Pause(QueryId::new(0)), &mut sink);
+        let mut batch = EventBatch::with_capacity(2);
+        batch.push(start(2, 20, "a.exe", "b.exe"));
+        shard.process_batch(&batch, &mut sink);
+        assert_eq!(sink.alerts.len(), 3);
+        assert_eq!(sink.alerts[2].query, "b");
+
+        // Resume + remove: removal of the last member dissolves the group.
+        shard.apply(ControlMsg::Resume(QueryId::new(0)), &mut sink);
+        shard.apply(ControlMsg::RemoveQuery(QueryId::new(1)), &mut sink);
+        shard.apply(ControlMsg::RemoveQuery(QueryId::new(0)), &mut sink);
+        assert_eq!(shard.group_count(), 0);
+        assert_eq!(shard.query_count(), 0);
+    }
+
+    #[test]
+    fn remove_flushes_pending_windows_to_sink() {
+        let mut shard = Shard::new(0);
+        let mut q = rq(
+            "w",
+            "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn p, ss[0].n",
+        );
+        q.set_id(QueryId::new(5));
+        shard.assign(q);
+        let mut batch = EventBatch::with_capacity(1);
+        batch.push(Arc::new(
+            EventBuilder::new(1, "h", 1_000)
+                .subject(ProcessInfo::new(1, "x.exe", "u"))
+                .sends(saql_model::NetworkInfo::new(
+                    "10.0.0.2", 44000, "1.1.1.1", 443, "tcp",
+                ))
+                .amount(5)
+                .build(),
+        ));
+        let mut sink = CollectSink::default();
+        shard.process_batch(&batch, &mut sink);
+        assert!(sink.alerts.is_empty(), "window still open");
+        shard.apply(ControlMsg::RemoveQuery(QueryId::new(5)), &mut sink);
+        assert_eq!(sink.alerts.len(), 1, "removal flushed the open window");
+        assert_eq!(sink.alerts[0].query_id, QueryId::new(5));
     }
 }

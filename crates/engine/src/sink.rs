@@ -94,6 +94,12 @@ impl<W: Write> JsonLinesSink<W> {
         let mut out = String::with_capacity(160);
         out.push_str("{\"query\":");
         json_string(&mut out, &alert.query);
+        // Standalone queries carry no id; omit the field rather than emit a
+        // sentinel.
+        if alert.query_id != crate::query::QueryId::UNASSIGNED {
+            out.push_str(",\"query_id\":");
+            out.push_str(&alert.query_id.index().to_string());
+        }
         out.push_str(",\"ts_ms\":");
         out.push_str(&alert.ts.as_millis().to_string());
         match &alert.origin {
@@ -192,6 +198,7 @@ mod tests {
     fn sample(query: &str) -> Alert {
         Alert {
             query: query.into(),
+            query_id: crate::query::QueryId::UNASSIGNED,
             ts: Timestamp::from_secs(7),
             origin: AlertOrigin::Window {
                 start: Timestamp::ZERO,
@@ -238,6 +245,7 @@ mod tests {
         sink.deliver(&sample("exfil"));
         let match_alert = Alert {
             query: "rule \"q\"".into(),
+            query_id: crate::query::QueryId::UNASSIGNED,
             ts: Timestamp::from_millis(9),
             origin: AlertOrigin::Match {
                 event_ids: vec![1, 2],

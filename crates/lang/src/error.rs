@@ -104,6 +104,12 @@ impl LangError {
     /// ```
     pub fn render(&self, source: &str) -> String {
         let mut out = format!("{self}\n");
+        // Line numbers are 1-based; a zero line (`Span::default()`) means
+        // the error has no source location — e.g. a duplicate registration
+        // — so pointing a caret at the query text would mislead.
+        if self.span.line == 0 {
+            return out;
+        }
         if let Some(line_text) = source
             .lines()
             .nth(self.span.line.saturating_sub(1) as usize)
@@ -122,7 +128,11 @@ impl LangError {
 
 impl fmt::Display for LangError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+        if self.span.line == 0 {
+            write!(f, "{} error: {}", self.phase, self.message)
+        } else {
+            write!(f, "{} error at {}: {}", self.phase, self.span, self.message)
+        }
     }
 }
 
@@ -158,5 +168,20 @@ mod tests {
     fn display_mentions_phase() {
         let err = LangError::semantic("unknown variable `p9`", Span::default());
         assert!(err.to_string().contains("semantic error"));
+    }
+
+    #[test]
+    fn locationless_errors_render_without_snippet_or_position() {
+        // A default span means "no source location": no bogus `at 0:0`, no
+        // caret blaming an unrelated line of the query text.
+        let err = LangError::semantic("query name `q` is already registered", Span::default());
+        assert_eq!(
+            err.to_string(),
+            "semantic error: query name `q` is already registered"
+        );
+        let shown = err.render("proc p start proc q as e\nreturn p");
+        assert!(!shown.contains("at 0:0"), "{shown}");
+        assert!(!shown.contains('^'), "{shown}");
+        assert!(!shown.contains("proc p"), "{shown}");
     }
 }

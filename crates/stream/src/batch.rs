@@ -79,6 +79,18 @@ impl EventBatch {
         let capacity = self.capacity;
         std::mem::replace(self, EventBatch::with_capacity(capacity))
     }
+
+    /// [`take`](Self::take), but only when there is something to hand off.
+    /// Dispatchers that must flush at arbitrary points (end of stream,
+    /// control-message boundaries) use this to avoid shipping empty
+    /// batches.
+    pub fn take_if_nonempty(&mut self) -> Option<EventBatch> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(self.take())
+        }
+    }
 }
 
 impl<'a> IntoIterator for &'a EventBatch {
@@ -163,6 +175,17 @@ mod tests {
         assert_eq!(full.len(), 2);
         assert!(b.is_empty());
         assert_eq!(b.capacity(), 4);
+    }
+
+    #[test]
+    fn take_if_nonempty_skips_empty_batches() {
+        let mut b = EventBatch::with_capacity(4);
+        assert!(b.take_if_nonempty().is_none());
+        b.push(ev(1));
+        let taken = b.take_if_nonempty().expect("one event buffered");
+        assert_eq!(taken.len(), 1);
+        assert!(b.is_empty());
+        assert!(b.take_if_nonempty().is_none());
     }
 
     #[test]

@@ -1,16 +1,22 @@
 //! The master–dependent-query scheme under load: 32 concurrent queries over
-//! one stream, compared against naive per-query execution.
+//! one stream, compared against naive per-query execution — then the same
+//! deployment driven as a *live session*: queries attached, paused, and
+//! retired mid-stream through the engine control plane.
 //!
 //! ```sh
 //! cargo run --release --example concurrent_queries
 //! ```
+//!
+//! `SAQL_EXAMPLE_EVENTS` overrides the workload size (default 200000; CI
+//! runs a small value to keep the verify job fast).
 
 use std::time::Instant;
 
 use saql::collector::workload::{synthetic_stream, WorkloadConfig};
 use saql::engine::query::{QueryConfig, RunningQuery};
 use saql::engine::scheduler::{NaiveScheduler, Scheduler};
-use saql::stream::share;
+use saql::stream::{share, SharedEvent};
+use saql::{Engine, EngineConfig};
 
 fn queries(n: usize) -> Vec<(String, String)> {
     // Realistic deployment: many analysts register variants over the same
@@ -41,8 +47,12 @@ fn queries(n: usize) -> Vec<(String, String)> {
 }
 
 fn main() {
+    let workload = std::env::var("SAQL_EXAMPLE_EVENTS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(200_000);
     let events = share(synthetic_stream(&WorkloadConfig {
-        events: 200_000,
+        events: workload,
         ..WorkloadConfig::default()
     }));
     println!("workload: {} events, 32 concurrent queries\n", events.len());
@@ -111,5 +121,66 @@ fn main() {
         events.len() as f64 / naive_time.as_secs_f64(),
         naive_time.as_secs_f64() / shared_time.as_secs_f64(),
         shared_alerts,
+    );
+
+    live_session(&events);
+}
+
+/// The paper's analyst-session scenario: the stream never stops while
+/// queries come and go. Everything below happens on a *running* engine —
+/// the parallel backend applies each operation as a control message at a
+/// batch boundary.
+fn live_session(events: &[SharedEvent]) {
+    println!("\n--- live session (2-worker parallel backend) ---");
+    let mut engine = Engine::new(EngineConfig {
+        workers: 2,
+        ..EngineConfig::default()
+    });
+    let (resident_name, resident_src) = &queries(32)[0];
+    let resident = engine.register(resident_name, resident_src).unwrap();
+    let mut alerts = 0usize;
+
+    // First third: only the resident query watches the stream.
+    let third = events.len().div_ceil(3);
+    for e in &events[..third] {
+        alerts += engine.process(e).len();
+    }
+
+    // An analyst attaches a tuned variant mid-stream and subscribes to
+    // exactly its alerts.
+    let (probe_name, probe_src) = &queries(32)[2];
+    let probe = engine.register(probe_name, probe_src).unwrap();
+    let inbox = engine.subscribe(probe).unwrap();
+    println!(
+        "attached `{probe_name}` mid-stream as {probe} ({} group(s), {} queries live)",
+        engine.group_count(),
+        engine.query_names().len()
+    );
+    for e in &events[third..2 * third] {
+        alerts += engine.process(e).len();
+    }
+
+    // Tuning pass: freeze the resident query, let the probe run alone,
+    // then retire the probe and bring the resident back.
+    engine.pause(resident).unwrap();
+    for e in &events[2 * third..] {
+        alerts += engine.process(e).len();
+    }
+    engine.deregister(probe).unwrap();
+    engine.resume(resident).unwrap();
+    alerts += engine.finish().len();
+
+    let subscribed = inbox.try_iter().count();
+    println!(
+        "session total: {alerts} alerts; {subscribed} routed to the `{probe_name}` subscriber"
+    );
+    println!(
+        "dropped alerts: {}; per-shard work: {:?}",
+        engine.dropped_alerts(),
+        engine
+            .shard_stats()
+            .iter()
+            .map(|(id, s)| (*id, s.master_checks))
+            .collect::<Vec<_>>()
     );
 }

@@ -44,7 +44,7 @@ pub use saql_lang as lang;
 pub use saql_model as model;
 pub use saql_stream as stream;
 
-pub use saql_engine::{Alert, Engine, EngineConfig};
+pub use saql_engine::{Alert, Engine, EngineConfig, QueryId};
 pub use saql_lang::corpus;
 
 /// High-level handle: an engine pre-wired for the demo workflow.
@@ -65,9 +65,10 @@ impl SaqlSystem {
         &mut self.engine
     }
 
-    /// Register one query.
-    pub fn deploy(&mut self, name: &str, source: &str) -> Result<(), saql_lang::LangError> {
-        self.engine.register(name, source).map(|_| ())
+    /// Register one query, returning its control-plane handle (usable with
+    /// [`Engine::deregister`], [`Engine::pause`], [`Engine::subscribe`]).
+    pub fn deploy(&mut self, name: &str, source: &str) -> Result<QueryId, saql_lang::LangError> {
+        self.engine.register(name, source)
     }
 
     /// Register the paper's eight demonstration queries (five rule-based —

@@ -1,6 +1,8 @@
-//! Property test for the parallel sharded runtime: on random event
+//! Property tests for the parallel sharded runtime: on random event
 //! streams, [`ParallelEngine`] emits exactly the same alert *multiset* as
-//! the serial [`Engine`], for every worker count from 1 to 8.
+//! the serial [`Engine`], for every worker count from 1 to 8 — both for a
+//! fixed deployment and under random mid-stream register / deregister /
+//! pause / resume schedules driven through the engine control plane.
 //!
 //! The query set spans all the execution paths whose state the shards
 //! carry: plain rules, `distinct` suppression, and stateful windows of
@@ -11,7 +13,7 @@ use proptest::prelude::*;
 
 use saql::engine::query::QueryConfig;
 use saql::engine::runtime::{ParallelConfig, ParallelEngine};
-use saql::engine::{Alert, Engine, EngineConfig};
+use saql::engine::{Alert, Engine, EngineConfig, QueryId};
 use saql::model::event::EventBuilder;
 use saql::model::{NetworkInfo, ProcessInfo};
 use saql::stream::SharedEvent;
@@ -115,14 +117,109 @@ fn materialize(steps: &[Step]) -> Vec<SharedEvent> {
         .collect()
 }
 
-/// Order-insensitive alert fingerprint.
+/// Order-insensitive alert fingerprint, keyed by the control-plane id as
+/// well as the name (both backends must tag identically).
 fn multiset(mut alerts: Vec<Alert>) -> Vec<String> {
     let mut keys: Vec<String> = alerts
         .drain(..)
-        .map(|a| format!("{}|{a}", a.query))
+        .map(|a| format!("{}|{}|{a}", a.query_id, a.query))
         .collect();
     keys.sort();
     keys
+}
+
+// ---------------------------------------------------------------------
+// Mid-stream lifecycle schedules
+// ---------------------------------------------------------------------
+
+/// The query pool for lifecycle schedules: the fixed deployment above plus
+/// extras that only ever attach mid-stream. Slots 0..5 start registered;
+/// 5..8 start detached.
+fn lifecycle_pool() -> Vec<(&'static str, &'static str)> {
+    let mut pool = query_set();
+    pool.push((
+        "late-rule",
+        "proc p1[\"%sqlservr.exe\"] start proc p2 as e\nreturn p1, p2",
+    ));
+    pool.push((
+        "late-window",
+        "proc p write ip i as evt #time(20 s)\nstate ss { amt := sum(evt.amount) } group by p\nreturn p, ss[0].amt",
+    ));
+    // Same compat key as `rule-cmd`/`rule-distinct`: attaching it joins
+    // their group (and detaching the others can promote it to master).
+    pool.push((
+        "late-join",
+        "proc p1 start proc p2[\"%calc.exe\"] as e\nreturn p1, p2",
+    ));
+    pool
+}
+
+/// One random control-plane operation: applied once `at` events have been
+/// processed (positions past the stream length apply before `finish`).
+#[derive(Debug, Clone, Copy)]
+struct LifecycleOp {
+    at: u8,
+    kind: u8,
+    slot: u8,
+}
+
+fn arb_lifecycle_ops() -> impl Strategy<Value = Vec<LifecycleOp>> {
+    proptest::collection::vec(
+        (0u8..120, 0u8..4, 0u8..8).prop_map(|(at, kind, slot)| LifecycleOp { at, kind, slot }),
+        0..12,
+    )
+}
+
+/// Drive one engine through the stream with the schedule applied at exact
+/// event positions, mirroring validity decisions on harness-side state so
+/// serial and parallel engines receive *identical* control sequences.
+fn run_with_schedule(
+    engine: &mut Engine,
+    events: &[SharedEvent],
+    ops: &[LifecycleOp],
+) -> Vec<Alert> {
+    let pool = lifecycle_pool();
+    let mut ids: Vec<Option<QueryId>> = vec![None; pool.len()];
+    for (slot, (name, src)) in pool.iter().enumerate().take(5) {
+        ids[slot] = Some(engine.register(name, src).unwrap());
+    }
+    let mut sorted: Vec<LifecycleOp> = ops.to_vec();
+    sorted.sort_by_key(|op| op.at);
+    let mut next = 0usize;
+    let mut alerts = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        while next < sorted.len() && (sorted[next].at as usize) <= i {
+            apply_op(engine, &pool, &mut ids, sorted[next]);
+            next += 1;
+        }
+        alerts.extend(engine.process(event));
+    }
+    for op in &sorted[next..] {
+        apply_op(engine, &pool, &mut ids, *op);
+    }
+    alerts.extend(engine.finish());
+    alerts
+}
+
+fn apply_op(
+    engine: &mut Engine,
+    pool: &[(&'static str, &'static str)],
+    ids: &mut [Option<QueryId>],
+    op: LifecycleOp,
+) {
+    let slot = op.slot as usize;
+    let (name, src) = pool[slot];
+    match (op.kind, ids[slot]) {
+        (0, None) => ids[slot] = Some(engine.register(name, src).unwrap()),
+        (0, Some(_)) => {} // already live: registration would be a dup
+        (1, Some(id)) => {
+            engine.deregister(id).unwrap();
+            ids[slot] = None;
+        }
+        (2, Some(id)) => engine.pause(id).unwrap(),
+        (3, Some(id)) => engine.resume(id).unwrap(),
+        _ => {} // deregister/pause/resume of a detached slot: no-op
+    }
 }
 
 proptest! {
@@ -159,6 +256,36 @@ proptest! {
                 "alert multiset diverged at {} workers over {} events",
                 workers,
                 events.len()
+            );
+            prop_assert_eq!(parallel.dropped_alerts(), 0);
+        }
+    }
+
+    /// Random mid-stream register/deregister/pause/resume schedules: every
+    /// lifecycle operation lands at an exact stream position on both
+    /// backends, so the per-query alert multisets (keyed by `QueryId` and
+    /// name) must agree for every worker count.
+    #[test]
+    fn lifecycle_schedules_match_serial_alert_multiset(
+        steps in arb_steps(),
+        ops in arb_lifecycle_ops(),
+    ) {
+        let events = materialize(&steps);
+
+        let mut serial = Engine::new(EngineConfig::default());
+        let expected = multiset(run_with_schedule(&mut serial, &events, &ops));
+
+        for workers in 1usize..=8 {
+            let config = EngineConfig { workers, ..EngineConfig::default() };
+            let mut parallel = Engine::new(config);
+            let got = multiset(run_with_schedule(&mut parallel, &events, &ops));
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "lifecycle alert multiset diverged at {} workers over {} events, ops {:?}",
+                workers,
+                events.len(),
+                ops
             );
             prop_assert_eq!(parallel.dropped_alerts(), 0);
         }
