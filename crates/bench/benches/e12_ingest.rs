@@ -1,0 +1,90 @@
+//! E12 — ingestion throughput: the watermarked K-way merge fusing per-host
+//! feeds, and the JSON-lines event codec (decode is the hot path when
+//! external agents feed the engine over pipes). The ingestion layer must
+//! comfortably outrun the engine so sources never bottleneck sessions.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use saql_collector::workload::{synthetic_stream, WorkloadConfig};
+use saql_model::json::{decode_event_json, encode_event_json};
+use saql_model::{Duration, Event};
+use saql_stream::merge::{MergeConfig, WatermarkMerge};
+use saql_stream::source::IterSource;
+use saql_stream::SharedEvent;
+use std::sync::Arc;
+
+const EVENTS: usize = 50_000;
+
+fn workload() -> Vec<Event> {
+    synthetic_stream(&WorkloadConfig {
+        seed: 12,
+        events: EVENTS,
+        ..Default::default()
+    })
+}
+
+/// Split a stream into `k` per-host-style feeds (round-robin keeps each
+/// feed timestamp-ordered).
+fn split_feeds(events: &[Event], k: usize) -> Vec<Vec<SharedEvent>> {
+    let mut feeds: Vec<Vec<SharedEvent>> = vec![Vec::with_capacity(events.len() / k + 1); k];
+    for (i, e) in events.iter().enumerate() {
+        feeds[i % k].push(Arc::new(e.clone()));
+    }
+    feeds
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let events = workload();
+
+    let mut group = c.benchmark_group("e12_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(EVENTS as u64));
+
+    // K-way watermarked merge throughput at increasing fan-in.
+    for k in [2usize, 8, 32] {
+        let feeds = split_feeds(&events, k);
+        group.bench_function(format!("merge-{k}way-50k"), |b| {
+            b.iter(|| {
+                let mut merge = WatermarkMerge::new(MergeConfig {
+                    lateness: Duration::ZERO,
+                    ..MergeConfig::default()
+                });
+                for (i, feed) in feeds.iter().enumerate() {
+                    merge.attach(Box::new(IterSource::new(format!("f{i}"), feed.clone())));
+                }
+                merge.collect_remaining().len()
+            });
+        });
+    }
+
+    // JSONL encode rate.
+    group.bench_function("jsonl-encode-50k", |b| {
+        b.iter(|| {
+            let mut out = String::with_capacity(EVENTS * 160);
+            for e in &events {
+                encode_event_json(&mut out, e);
+            }
+            out.len()
+        });
+    });
+
+    // JSONL decode rate (the agent-pipe ingest hot path).
+    let mut text = String::with_capacity(EVENTS * 160);
+    for e in &events {
+        encode_event_json(&mut text, e);
+    }
+    group.bench_function("jsonl-decode-50k", |b| {
+        b.iter(|| {
+            let mut n = 0usize;
+            for line in text.lines() {
+                decode_event_json(line).unwrap();
+                n += 1;
+            }
+            n
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -12,7 +12,7 @@ pub struct Flags {
 }
 
 /// Flag names that take no value.
-const SWITCHES: &[&str] = &["no-attack", "demo-queries"];
+const SWITCHES: &[&str] = &["no-attack", "demo-queries", "follow"];
 
 impl Flags {
     /// Parse an argv slice. Unknown flags are collected too; commands

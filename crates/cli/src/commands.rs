@@ -1,12 +1,13 @@
 //! CLI subcommand implementations.
 
-use std::io::{BufRead, Write};
+use std::io::{BufRead, BufReader, Write};
 
-use saql_collector::{AttackConfig, SimConfig, Simulator};
-use saql_engine::{Engine, EngineConfig};
+use saql_collector::{AttackConfig, SimConfig, Simulator, TraceSource};
+use saql_engine::{Engine, EngineConfig, RunSession, SessionStatus};
 use saql_lang::corpus;
 use saql_model::Timestamp;
 use saql_stream::replayer::{Replayer, Speed};
+use saql_stream::source::{ChannelSource, EventSource, JsonLinesSource, StoreSource};
 use saql_stream::store::{EventStore, Selection};
 
 use crate::args::Flags;
@@ -81,6 +82,12 @@ impl Schedule {
         self.ops.is_empty()
     }
 
+    /// Stream position of the next pending operation, if any — lets the
+    /// session pump bound its batch so operations land at exact positions.
+    pub fn next_position(&self) -> Option<u64> {
+        self.ops.get(self.next).map(|(at, _)| *at)
+    }
+
     /// Apply every operation due once `processed` events have gone through
     /// the engine. Alerts flushed by a deregistration surface through the
     /// normal `engine.process`/`engine.finish` returns.
@@ -150,17 +157,209 @@ fn live_id(engine: &Engine, flag: &str, name: &str) -> Result<saql_engine::Query
     })
 }
 
+/// The CLI's simulator defaults — shared by `demo`/`simulate` flags and
+/// the `--source sim:` spec so the two entry points cannot drift.
+fn default_sim_config() -> SimConfig {
+    SimConfig {
+        seed: 2020,
+        clients: 8,
+        duration_ms: 60 * 60_000,
+        attack: Some(AttackConfig::default()),
+    }
+}
+
 fn sim_config(flags: &Flags) -> Result<SimConfig, String> {
+    let defaults = default_sim_config();
     Ok(SimConfig {
-        seed: flags.get_u64("seed", 2020)?,
-        clients: flags.get_usize("clients", 8)?.max(3),
-        duration_ms: flags.get_u64("minutes", 60)? * 60_000,
+        seed: flags.get_u64("seed", defaults.seed)?,
+        clients: flags.get_usize("clients", defaults.clients)?.max(3),
+        duration_ms: flags.get_u64("minutes", defaults.duration_ms / 60_000)? * 60_000,
         attack: if flags.switch("no-attack") {
             None
         } else {
-            Some(AttackConfig::default())
+            defaults.attack
         },
     })
+}
+
+/// Host/time selection shared by `replay` and `export`.
+fn selection_from_flags(flags: &Flags) -> Result<Selection, String> {
+    let mut selection = Selection::all();
+    selection.hosts = flags
+        .get_all("host")
+        .into_iter()
+        .map(String::from)
+        .collect();
+    if let Some(from) = flags.get("from") {
+        match from.parse() {
+            Ok(ms) => selection.from = Some(Timestamp::from_millis(ms)),
+            Err(_) => return Err("--from expects milliseconds".into()),
+        }
+    }
+    if let Some(until) = flags.get("until") {
+        match until.parse() {
+            Ok(ms) => selection.until = Some(Timestamp::from_millis(ms)),
+            Err(_) => return Err("--until expects milliseconds".into()),
+        }
+    }
+    Ok(selection)
+}
+
+fn speed_from_flags(flags: &Flags) -> Result<Speed, String> {
+    match flags.get("speed") {
+        None | Some("max") => Ok(Speed::Unlimited),
+        Some(v) => match v.parse::<f64>() {
+            Ok(f) if f > 0.0 => Ok(Speed::Compressed { factor: f }),
+            _ => Err("--speed expects a positive factor or `max`".into()),
+        },
+    }
+}
+
+/// Build one event source from a `--source` spec:
+///
+/// * `store:FILE` — stream a stored selection (with `--follow`, replay it
+///   paced through the replayer at `--speed` instead);
+/// * `jsonl:FILE` / `jsonl:-` — read JSON-lines events from a file/stdin;
+/// * `sim:KEY=VAL,...` — generate a deterministic trace live
+///   (`seed=`, `clients=`, `minutes=`, `no-attack`).
+fn source_from_spec(
+    spec: &str,
+    selection: &Selection,
+    follow: bool,
+    speed: Speed,
+) -> Result<Box<dyn EventSource>, String> {
+    let Some((kind, rest)) = spec.split_once(':') else {
+        return Err(format!(
+            "--source expects KIND:..., got `{spec}` (kinds: store, jsonl, sim)"
+        ));
+    };
+    match kind {
+        "store" => {
+            let store = EventStore::open(rest).map_err(|e| format!("--source {spec}: {e}"))?;
+            if follow {
+                let source = ChannelSource::replay(
+                    format!("store:{rest}"),
+                    &Replayer::new(store),
+                    selection,
+                    speed,
+                    4096,
+                )
+                .map_err(|e| format!("--source {spec}: {e}"))?;
+                Ok(Box::new(source))
+            } else {
+                let source = StoreSource::open(format!("store:{rest}"), &store, selection)
+                    .map_err(|e| format!("--source {spec}: {e}"))?;
+                Ok(Box::new(source))
+            }
+        }
+        "jsonl" => {
+            let reader: Box<dyn BufRead> = if rest == "-" {
+                Box::new(BufReader::new(std::io::stdin()))
+            } else {
+                let file = std::fs::File::open(rest)
+                    .map_err(|e| format!("--source {spec}: cannot open {rest}: {e}"))?;
+                Box::new(BufReader::new(file))
+            };
+            Ok(Box::new(JsonLinesSource::new(
+                format!("jsonl:{rest}"),
+                reader,
+            )))
+        }
+        "sim" => {
+            let mut config = default_sim_config();
+            for part in rest.split(',').filter(|p| !p.is_empty()) {
+                match part.split_once('=') {
+                    Some(("seed", v)) => {
+                        config.seed = v
+                            .parse()
+                            .map_err(|_| format!("--source {spec}: bad seed `{v}`"))?;
+                    }
+                    Some(("clients", v)) => {
+                        config.clients = v
+                            .parse::<usize>()
+                            .map_err(|_| format!("--source {spec}: bad clients `{v}`"))?
+                            .max(3);
+                    }
+                    Some(("minutes", v)) => {
+                        config.duration_ms = v
+                            .parse::<u64>()
+                            .map_err(|_| format!("--source {spec}: bad minutes `{v}`"))?
+                            * 60_000;
+                    }
+                    None if part == "no-attack" => config.attack = None,
+                    _ => {
+                        return Err(format!(
+                            "--source {spec}: unknown sim option `{part}` \
+                             (use seed=, clients=, minutes=, no-attack)"
+                        ))
+                    }
+                }
+            }
+            Ok(Box::new(TraceSource::generate(&config)))
+        }
+        other => Err(format!(
+            "--source: unknown kind `{other}` (kinds: store, jsonl, sim)"
+        )),
+    }
+}
+
+/// Drive a session to completion: staged lifecycle operations land at
+/// their exact event positions, alerts print as they fire, and the engine
+/// is flushed at the end. Returns the alert count.
+fn pump_to_end(session: &mut RunSession<'_>, schedule: &mut Schedule) -> Result<u64, String> {
+    let mut alerts = 0u64;
+    loop {
+        schedule.apply_due(session.processed(), session.engine())?;
+        // Never pump past the next staged operation.
+        let budget = match schedule.next_position() {
+            Some(at) => (at.saturating_sub(session.processed())).max(1) as usize,
+            None => usize::MAX,
+        };
+        let round = session.pump_max(budget);
+        for alert in &round.alerts {
+            alerts += 1;
+            println!("{alert}");
+        }
+        match round.status {
+            SessionStatus::Done => break,
+            SessionStatus::Active => {}
+            SessionStatus::Idle => std::thread::sleep(std::time::Duration::from_millis(2)),
+        }
+    }
+    // Operations staged past the end of the stream apply before the flush.
+    schedule.apply_due(u64::MAX, session.engine())?;
+    for alert in session.engine().finish() {
+        alerts += 1;
+        println!("{alert}");
+    }
+    Ok(alerts)
+}
+
+/// Print per-source stats; failures and late drops also go to stderr.
+/// Returns whether any source failed (the run is degraded: it completed,
+/// but on less than the full data).
+fn report_sources(session: &RunSession<'_>) -> bool {
+    let mut degraded = false;
+    for (id, s) in session.source_stats() {
+        let mut line = format!("  {id} {}: {} events", s.name, s.events);
+        if s.dropped_late > 0 {
+            line.push_str(&format!(", {} dropped late", s.dropped_late));
+            eprintln!(
+                "warning: {id} {} dropped {} event(s) beyond the lateness bound \
+                 (raise --lateness, or use --store/--follow for a full sort)",
+                s.name, s.dropped_late
+            );
+        }
+        if !s.done {
+            line.push_str(&format!(", lag {}ms", s.lag.as_millis()));
+        }
+        println!("{line}");
+        if let Some(failure) = &s.failure {
+            eprintln!("warning: {id} {}: {failure}", s.name);
+            degraded = true;
+        }
+    }
+    degraded
 }
 
 /// `saql demo` — the end-to-end demonstration.
@@ -213,25 +412,13 @@ pub fn demo(argv: &[String]) -> i32 {
         }
     );
 
-    let mut alert_count = 0usize;
-    let mut processed = 0u64;
-    for event in trace.shared() {
-        if let Err(e) = schedule.apply_due(processed, &mut engine) {
-            return fail(&e);
-        }
-        for alert in engine.process(&event) {
-            alert_count += 1;
-            println!("{alert}");
-        }
-        processed += 1;
-    }
-    if let Err(e) = schedule.apply_due(processed, &mut engine) {
-        return fail(&e);
-    }
-    for alert in engine.finish() {
-        alert_count += 1;
-        println!("{alert}");
-    }
+    let mut session = engine.session();
+    session.attach(TraceSource::whole(&trace));
+    let alert_count = match pump_to_end(&mut session, &mut schedule) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    drop(session);
 
     println!("\n{alert_count} alert(s) total");
     print_stats(&engine);
@@ -272,45 +459,57 @@ pub fn simulate(argv: &[String]) -> i32 {
     0
 }
 
-/// `saql replay --store FILE` — replay stored data through queries.
+/// `saql replay` — replay stored (or piped, or simulated) data through
+/// queries: one or more event sources fused by the session's watermarked
+/// merge.
 pub fn replay(argv: &[String]) -> i32 {
     let flags = match Flags::parse(argv) {
         Ok(f) => f,
         Err(e) => return fail(&e),
     };
-    let Some(path) = flags.get("store") else {
-        return fail("replay requires --store FILE");
-    };
-    let store = match EventStore::open(path) {
+    let selection = match selection_from_flags(&flags) {
         Ok(s) => s,
-        Err(e) => return fail(&format!("cannot open {path}: {e}")),
+        Err(e) => return fail(&e),
+    };
+    let speed = match speed_from_flags(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let follow = flags.switch("follow");
+    let lateness_ms = match flags.get_u64("lateness", 1_000) {
+        Ok(ms) => ms,
+        Err(e) => return fail(&e),
     };
 
-    let mut selection = Selection::all();
-    selection.hosts = flags
-        .get_all("host")
-        .into_iter()
-        .map(String::from)
-        .collect();
-    if let Some(from) = flags.get("from") {
-        match from.parse() {
-            Ok(ms) => selection.from = Some(Timestamp::from_millis(ms)),
-            Err(_) => return fail("--from expects milliseconds"),
+    // `--store FILE` is the classic single-store form: replayed through the
+    // sorting replayer, paced by `--speed`. `--source KIND:...` attaches
+    // additional (or alternative) feeds.
+    let mut sources: Vec<Box<dyn EventSource>> = Vec::new();
+    if let Some(path) = flags.get("store") {
+        let store = match EventStore::open(path) {
+            Ok(s) => s,
+            Err(e) => return fail(&format!("cannot open {path}: {e}")),
+        };
+        match ChannelSource::replay(
+            format!("replay:{path}"),
+            &Replayer::new(store),
+            &selection,
+            speed,
+            4096,
+        ) {
+            Ok(source) => sources.push(Box::new(source)),
+            Err(e) => return fail(&format!("replay failed: {e}")),
         }
     }
-    if let Some(until) = flags.get("until") {
-        match until.parse() {
-            Ok(ms) => selection.until = Some(Timestamp::from_millis(ms)),
-            Err(_) => return fail("--until expects milliseconds"),
+    for spec in flags.get_all("source") {
+        match source_from_spec(spec, &selection, follow, speed) {
+            Ok(source) => sources.push(source),
+            Err(e) => return fail(&e),
         }
     }
-    let speed = match flags.get("speed") {
-        None | Some("max") => Speed::Unlimited,
-        Some(v) => match v.parse::<f64>() {
-            Ok(f) if f > 0.0 => Speed::Compressed { factor: f },
-            _ => return fail("--speed expects a positive factor or `max`"),
-        },
-    };
+    if sources.is_empty() {
+        return fail("replay requires --store FILE or --source KIND:... (store, jsonl, sim)");
+    }
 
     let engine_cfg = match engine_config(&flags, false) {
         Ok(c) => c,
@@ -340,37 +539,82 @@ pub fn replay(argv: &[String]) -> i32 {
         return fail("no queries deployed (use --demo-queries, --query FILE, or --register-at)");
     }
     println!(
-        "replaying {path} ({} queries, {} group(s))...",
+        "replaying {} source(s) ({} queries, {} group(s))...",
+        sources.len(),
         engine.query_names().len(),
         engine.group_count()
     );
 
-    let replayer = Replayer::new(store);
-    let rx = match replayer.replay_channel(&selection, speed, 4096) {
-        Ok(rx) => rx,
-        Err(e) => return fail(&format!("replay failed: {e}")),
+    let mut session = engine.session_with(saql_stream::MergeConfig {
+        lateness: saql_model::Duration::from_millis(lateness_ms),
+        ..saql_stream::MergeConfig::default()
+    });
+    for source in sources {
+        session.attach(source);
+    }
+    let alerts = match pump_to_end(&mut session, &mut schedule) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
     };
-    let mut events = 0u64;
-    let mut alerts = 0u64;
-    for event in rx {
-        if let Err(e) = schedule.apply_due(events, &mut engine) {
-            return fail(&e);
-        }
-        events += 1;
-        for alert in engine.process(&event) {
-            alerts += 1;
-            println!("{alert}");
-        }
-    }
-    if let Err(e) = schedule.apply_due(events, &mut engine) {
-        return fail(&e);
-    }
-    for alert in engine.finish() {
-        alerts += 1;
-        println!("{alert}");
-    }
+    let events = session.processed();
     println!("\nreplayed {events} events, {alerts} alert(s)");
+    let degraded = report_sources(&session);
+    drop(session);
     print_stats(&engine);
+    // A failed source means the run completed on partial data.
+    i32::from(degraded)
+}
+
+/// `saql export --store FILE [--out FILE|-]` — write a stored selection as
+/// JSON-lines events (the interchange format `--source jsonl:` re-ingests),
+/// streaming record by record.
+pub fn export(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let Some(path) = flags.get("store") else {
+        return fail("export requires --store FILE");
+    };
+    let selection = match selection_from_flags(&flags) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let store = match EventStore::open(path) {
+        Ok(s) => s,
+        Err(e) => return fail(&format!("cannot open {path}: {e}")),
+    };
+    let iter = match store.iter(&selection) {
+        Ok(it) => it,
+        Err(e) => return fail(&format!("cannot read {path}: {e}")),
+    };
+    let stdout = std::io::stdout();
+    let mut writer: Box<dyn Write> = match flags.get("out") {
+        None | Some("-") => Box::new(stdout.lock()),
+        Some(out) => match std::fs::File::create(out) {
+            Ok(f) => Box::new(std::io::BufWriter::new(f)),
+            Err(e) => return fail(&format!("cannot create {out}: {e}")),
+        },
+    };
+    // Stream straight through the shared JSONL writer, stopping at the
+    // first corrupt record.
+    let mut corrupt = None;
+    let events = iter.map_while(|record| match record {
+        Ok(event) => Some(event),
+        Err(e) => {
+            corrupt = Some(e);
+            None
+        }
+    });
+    let n = match saql_stream::source::write_events_jsonl(&mut writer, events) {
+        Ok(n) => n,
+        Err(e) => return fail(&format!("write failed: {e}")),
+    };
+    drop(writer);
+    if let Some(e) = corrupt {
+        return fail(&format!("corrupt store {path}: {e}"));
+    }
+    eprintln!("exported {n} event(s) from {path}");
     0
 }
 

@@ -28,6 +28,7 @@ fn run(argv: &[String]) -> i32 {
         Some("demo") => commands::demo(&argv[1..]),
         Some("simulate") => commands::simulate(&argv[1..]),
         Some("replay") => commands::replay(&argv[1..]),
+        Some("export") => commands::export(&argv[1..]),
         Some("check") => commands::check(&argv[1..]),
         Some("repl") => {
             let stdin = std::io::stdin();
@@ -52,15 +53,32 @@ USAGE:
     saql demo       [--clients N] [--minutes M] [--seed S] [--workers W]
                     [LIFECYCLE]...
     saql simulate   --out FILE [--clients N] [--minutes M] [--seed S] [--no-attack]
-    saql replay     --store FILE [--host H]... [--from MS] [--until MS]
+    saql replay     [--store FILE] [--source KIND:...]... [--follow]
+                    [--host H]... [--from MS] [--until MS] [--lateness MS]
                     [--speed FACTOR|max] [--demo-queries] [--query FILE]...
                     [--workers W] [LIFECYCLE]...
+    saql export     --store FILE [--out FILE|-] [--host H]... [--from MS] [--until MS]
     saql check      FILE...
     saql repl       [--store FILE]
     saql help
 
 `--workers W` runs queries on the parallel sharded runtime with W worker
 threads (default 0 = serial execution on one thread).
+
+SOURCES (repeatable; all feeds are fused by a watermarked K-way merge into
+one event-time-ordered stream, so `replay` ingests any mix of):
+    --store FILE                 the classic single store, sorted and paced
+                                 by --speed through the replayer
+    --source store:FILE          stream a store selection record by record
+                                 (with --follow: replay it paced instead)
+    --source jsonl:FILE|-        JSON-lines events from a file or stdin
+                                 (the format `saql export` writes)
+    --source sim:K=V,...         a generated trace, live
+                                 (seed=, clients=, minutes=, no-attack)
+Events out of order beyond `--lateness MS` (default 1000) of trace time
+are dropped and counted per source; a source that fails mid-stream
+(corrupt record, read error) finishes the run on partial data, warns on
+stderr, and exits 1.
 
 LIFECYCLE (repeatable; staged query control-plane operations, applied live
 mid-stream once N events have been processed — on both backends):
@@ -75,7 +93,9 @@ EXAMPLES:
     saql demo --register-at 5000:exfil=my-query.saql --deregister-at 20000:exfil
     saql simulate --out /tmp/trace.saql --minutes 45
     saql replay --store /tmp/trace.saql --host db-server --demo-queries
-    saql replay --store /tmp/trace.saql --demo-queries --pause-at 1000:c2-ipc
+    saql replay --source store:/tmp/a.bin --source jsonl:/tmp/b.jsonl --demo-queries
+    saql replay --source store:/tmp/trace.saql --follow --speed 60 --demo-queries
+    saql export --store /tmp/trace.saql --out /tmp/trace.jsonl
     saql check my-query.saql
 ";
 

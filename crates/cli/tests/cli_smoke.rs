@@ -157,6 +157,168 @@ fn demo_staged_lifecycle_rejects_unknown_names() {
     assert!(err.contains("no live query `ghost`"), "got: {err}");
 }
 
+/// All `[ALERT ...]` lines of a run, sorted (order-insensitive multiset
+/// fingerprint).
+fn alert_lines(stdout: &[u8]) -> Vec<String> {
+    let mut lines: Vec<String> = String::from_utf8_lossy(stdout)
+        .lines()
+        .filter(|l| l.contains("[ALERT "))
+        .map(String::from)
+        .collect();
+    lines.sort();
+    lines
+}
+
+fn simulate_store(name: &str) -> PathBuf {
+    let mut store = std::env::temp_dir();
+    store.push(format!("saql-cli-smoke-{}-{name}.bin", std::process::id()));
+    let out = saql(&[
+        "simulate",
+        "--out",
+        store.to_str().unwrap(),
+        "--clients",
+        "3",
+        "--minutes",
+        "30",
+        "--seed",
+        "77",
+    ]);
+    assert!(out.status.success(), "simulate failed: {out:?}");
+    store
+}
+
+#[test]
+fn jsonl_round_trip_reproduces_replay_alerts() {
+    // store --replay--> alerts  must equal  store --export--> JSONL
+    // --jsonl source--> alerts: the JSON-lines codec and source lose
+    // nothing the queries can see.
+    let store = simulate_store("roundtrip");
+    let jsonl = store.with_extension("jsonl");
+
+    let exported = saql(&[
+        "export",
+        "--store",
+        store.to_str().unwrap(),
+        "--out",
+        jsonl.to_str().unwrap(),
+    ]);
+    assert!(exported.status.success(), "export failed: {exported:?}");
+    let err = String::from_utf8(exported.stderr).unwrap();
+    assert!(err.contains("exported"), "no summary: {err}");
+    let lines = std::fs::read_to_string(&jsonl).unwrap();
+    assert!(lines.lines().count() > 100, "suspiciously small export");
+    assert!(lines.lines().all(|l| l.starts_with('{')), "not JSONL");
+
+    let via_store = saql(&[
+        "replay",
+        "--store",
+        store.to_str().unwrap(),
+        "--demo-queries",
+    ]);
+    assert!(via_store.status.success(), "{via_store:?}");
+    let spec = format!("jsonl:{}", jsonl.to_str().unwrap());
+    let via_jsonl = saql(&["replay", "--source", &spec, "--demo-queries"]);
+    assert!(via_jsonl.status.success(), "{via_jsonl:?}");
+
+    let store_alerts = alert_lines(&via_store.stdout);
+    let jsonl_alerts = alert_lines(&via_jsonl.stdout);
+    assert!(!store_alerts.is_empty(), "attack trace must alert");
+    assert_eq!(store_alerts, jsonl_alerts, "round trip changed alerts");
+
+    let _ = std::fs::remove_file(&store);
+    let _ = std::fs::remove_file(&jsonl);
+}
+
+#[test]
+fn replay_merges_multiple_sources() {
+    // A stored trace and a live simulated feed, fused by the watermarked
+    // merge, on both backends.
+    let store = simulate_store("multisource");
+    let spec = format!("store:{}", store.to_str().unwrap());
+    for workers in ["0", "2"] {
+        let out = saql(&[
+            "replay",
+            "--source",
+            &spec,
+            "--source",
+            "sim:seed=5,clients=3,minutes=10,no-attack",
+            "--demo-queries",
+            "--workers",
+            workers,
+        ]);
+        assert!(out.status.success(), "workers={workers}: {out:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains("replaying 2 source(s)"), "{text}");
+        assert!(text.contains("sim"), "per-source stats missing: {text}");
+        assert!(text.contains("store:"), "per-source stats missing: {text}");
+        assert!(text.contains("[ALERT "), "attack store must alert: {text}");
+    }
+    let _ = std::fs::remove_file(&store);
+}
+
+#[test]
+fn replay_follow_paces_a_store_source() {
+    let store = simulate_store("follow");
+    let spec = format!("store:{}", store.to_str().unwrap());
+    // Aggressive compression so the paced replay finishes instantly-ish.
+    let out = saql(&[
+        "replay",
+        "--source",
+        &spec,
+        "--follow",
+        "--speed",
+        "100000",
+        "--demo-queries",
+    ]);
+    assert!(out.status.success(), "follow replay failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("replayed"), "{text}");
+    let _ = std::fs::remove_file(&store);
+}
+
+#[test]
+fn truncated_store_source_degrades_with_warning_and_exit_one() {
+    // A store chopped mid-record: the streaming source stops at the last
+    // clean event, the run completes on partial data, a warning names the
+    // source on stderr, and the exit code says "degraded".
+    let store = simulate_store("truncated");
+    let raw = std::fs::read(&store).unwrap();
+    std::fs::write(&store, &raw[..raw.len() - 7]).unwrap();
+    let spec = format!("store:{}", store.to_str().unwrap());
+    let out = saql(&["replay", "--source", &spec, "--demo-queries"]);
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("warning:"), "{err}");
+    assert!(err.contains("stream ended early"), "{err}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("replayed"), "run still completes: {text}");
+    // The same corrupt store through `export` fails loudly instead.
+    let exported = saql(&["export", "--store", store.to_str().unwrap()]);
+    assert_eq!(exported.status.code(), Some(2));
+    let err = String::from_utf8(exported.stderr).unwrap();
+    assert!(err.contains("corrupt store"), "{err}");
+    let _ = std::fs::remove_file(&store);
+}
+
+#[test]
+fn replay_rejects_unknown_source_specs() {
+    for (spec, needle) in [
+        ("carrier-pigeon:coop", "unknown kind"),
+        ("nocolon", "expects KIND:"),
+        ("sim:flavor=mint", "unknown sim option"),
+    ] {
+        let out = saql(&["replay", "--source", spec, "--demo-queries"]);
+        assert_eq!(out.status.code(), Some(2), "spec `{spec}` should fail");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains(needle), "spec `{spec}`: {err}");
+    }
+    // No sources at all is still a usage error.
+    let out = saql(&["replay", "--demo-queries"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("--store FILE or --source"), "{err}");
+}
+
 #[test]
 fn simulate_then_check_store_exists() {
     let mut store = std::env::temp_dir();

@@ -25,12 +25,14 @@
 
 pub mod attack;
 pub mod background;
+pub mod feed;
 pub mod simulator;
 pub mod stats;
 pub mod topology;
 pub mod workload;
 
 pub use attack::{AttackConfig, AttackStep};
+pub use feed::TraceSource;
 pub use simulator::{SimConfig, Simulator, Trace};
 pub use topology::{
     HostRole, Topology, ATTACKER_IP, DB_SERVER, MAIL_SERVER, VICTIM_CLIENT, WEB_SERVER,

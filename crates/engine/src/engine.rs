@@ -533,36 +533,38 @@ impl Engine {
     /// Drive an entire stream and flush; returns all alerts. Serial
     /// execution yields emission order; parallel yields the same alerts as
     /// a multiset, interleaved across shards.
+    ///
+    /// A thin wrapper over [`session`](Self::session): one
+    /// [arrival-order](saql_stream::Lateness::ArrivalOrder) iterator source,
+    /// which passes the caller's stream through untouched (no reordering,
+    /// no late drops). Multi-source or live ingestion goes through
+    /// [`Engine::session`] directly.
     pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
-        let mut alerts = Vec::new();
-        for event in stream {
-            alerts.extend(self.process(&event));
-        }
-        alerts.extend(self.finish());
-        alerts
+        let mut session = self.session();
+        session.attach_with(
+            saql_stream::source::IterSource::new("run", stream),
+            saql_stream::Lateness::ArrivalOrder,
+        );
+        session.drain()
     }
 
     /// Drive a stream, delivering every alert to `sink` as it fires
     /// (the SIEM-forwarding path; see [`crate::sink`]). Per-query
     /// subscribers still receive their copies. Returns the alert count.
+    ///
+    /// Like [`run`](Self::run), a thin wrapper over a single-source
+    /// arrival-order [`session`](Self::session).
     pub fn run_with_sink(
         &mut self,
         stream: impl IntoIterator<Item = SharedEvent>,
         sink: &mut dyn crate::sink::AlertSink,
     ) -> u64 {
-        let mut n = 0u64;
-        for event in stream {
-            for alert in self.process(&event) {
-                n += 1;
-                sink.deliver(&alert);
-            }
-        }
-        for alert in self.finish() {
-            n += 1;
-            sink.deliver(&alert);
-        }
-        sink.flush();
-        n
+        let mut session = self.session();
+        session.attach_with(
+            saql_stream::source::IterSource::new("run", stream),
+            saql_stream::Lateness::ArrivalOrder,
+        );
+        session.drain_into(sink)
     }
 
     /// Flush end-of-stream state (close remaining windows; in parallel

@@ -21,6 +21,9 @@ pub enum EngineError {
     /// A control-plane operation (deregister, pause, resume, subscribe)
     /// named a query id that is not live on this engine.
     UnknownQuery(crate::query::QueryId),
+    /// A session operation named a source id that is not attached (never
+    /// attached, or already detached).
+    UnknownSource(saql_stream::SourceId),
     /// A control-plane operation arrived after `finish()` on the parallel
     /// backend: the worker threads have shut down, so the deployment can
     /// no longer change (create a fresh engine to run again).
@@ -38,6 +41,9 @@ impl fmt::Display for EngineError {
             EngineError::UnresolvedName(name) => write!(f, "unresolved name `{name}`"),
             EngineError::UnknownQuery(id) => {
                 write!(f, "no live query {id} (never registered, or deregistered)")
+            }
+            EngineError::UnknownSource(id) => {
+                write!(f, "no attached source {id} (never attached, or detached)")
             }
             EngineError::EngineFinished => write!(
                 f,

@@ -24,6 +24,9 @@
 //! * **parallel runtime** ([`runtime`], [`shard`]) — scheduler groups
 //!   partitioned across worker threads with batched event dispatch over
 //!   bounded channels and a merged alert channel;
+//! * **run sessions** ([`session`]) — pump-driven ingestion from pluggable
+//!   [`saql_stream::EventSource`]s fused by a watermarked K-way merge, with
+//!   mid-stream source attach/detach and per-source stats;
 //! * **error reporter** ([`error`]) — collects runtime anomalies (evaluation
 //!   failures, partial-match overflow) without aborting the stream.
 //!
@@ -44,6 +47,7 @@ pub mod matcher;
 pub mod query;
 pub mod runtime;
 pub mod scheduler;
+pub mod session;
 pub mod shard;
 pub mod sink;
 pub mod state;
@@ -56,4 +60,5 @@ pub use error::{EngineError, ErrorReporter};
 pub use query::{QueryId, RunningQuery};
 pub use runtime::{ParallelConfig, ParallelEngine};
 pub use scheduler::Scheduler;
+pub use session::{Pump, RunSession, SessionStatus};
 pub use value::Value;

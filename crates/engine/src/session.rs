@@ -1,0 +1,440 @@
+//! Source-driven run sessions: the ingestion half of the engine's control
+//! plane.
+//!
+//! PR 3 made *queries* first-class citizens of a running engine
+//! (register/deregister/pause/subscribe); a [`RunSession`] does the same for
+//! *inputs*. Instead of the caller pushing a pre-merged iterator into
+//! [`Engine::run`], the session owns a watermarked K-way merge of pluggable
+//! [`EventSource`]s — streamed store selections, paced replays, JSON-lines
+//! pipes, push-handle channels — and **pumps** the engine from them:
+//! sources attach and detach mid-stream, per-source progress (events, lag,
+//! dropped-late) is observable, and the merged order is a deterministic
+//! function of the per-source event sequences, so serial and parallel
+//! backends agree on multi-source runs.
+//!
+//! The classic entry points survive as thin wrappers: `Engine::run` and
+//! `run_with_sink` are a session with one [`Lateness::ArrivalOrder`]
+//! iterator source, which is an exact pass-through — existing callers see
+//! identical behavior.
+
+use saql_stream::merge::{
+    Lateness, MergeConfig, MergeStatus, SourceId, SourceStats, WatermarkMerge,
+};
+use saql_stream::source::EventSource;
+use saql_stream::SharedEvent;
+
+use crate::alert::Alert;
+use crate::engine::Engine;
+use crate::error::EngineError;
+use crate::sink::AlertSink;
+
+/// Progress of a [`RunSession::pump`] round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SessionStatus {
+    /// Events flowed (or are imminently available).
+    Active,
+    /// No source had anything to deliver; live feeds are waiting on
+    /// external producers. Back off briefly before pumping again.
+    Idle,
+    /// Every attached source reached end-of-stream and drained.
+    Done,
+}
+
+/// What one pump round produced.
+#[derive(Debug)]
+pub struct Pump {
+    /// Alerts raised by the events processed this round (on the parallel
+    /// backend, alerts surface as workers deliver them — everything is in
+    /// once [`Engine::finish`] ran, which [`RunSession::drain`] does).
+    pub alerts: Vec<Alert>,
+    /// Events fed to the engine this round.
+    pub events: u64,
+    /// Session progress after the round.
+    pub status: SessionStatus,
+}
+
+/// A pump-driven engine run over attachable event sources.
+///
+/// Created by [`Engine::session`]. Attach sources, then either call
+/// [`pump`](Self::pump) yourself (interleaving control-plane calls through
+/// [`engine`](Self::engine) at exact stream positions) or let
+/// [`drain`](Self::drain)/[`drain_into`](Self::drain_into) run the stream
+/// to completion and flush.
+///
+/// ```
+/// use saql_engine::{Engine, EngineConfig};
+/// use saql_model::event::EventBuilder;
+/// use saql_model::ProcessInfo;
+/// use saql_stream::source::{push_source, IterSource};
+/// use std::sync::Arc;
+///
+/// let start = |id: u64, host: &str, ts: u64| Arc::new(
+///     EventBuilder::new(id, host, ts)
+///         .subject(ProcessInfo::new(1, "cmd.exe", "u"))
+///         .starts_process(ProcessInfo::new(2, "osql.exe", "u"))
+///         .build(),
+/// );
+///
+/// let mut engine = Engine::new(EngineConfig::default());
+/// engine
+///     .register("watch", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2")
+///     .unwrap();
+///
+/// // One stored feed and one live push feed, merged by watermark.
+/// let (push, live) = push_source("agent-live", 64);
+/// let mut session = engine.session();
+/// let stored = session.attach(IterSource::new(
+///     "agent-stored",
+///     vec![start(1, "h1", 10), start(2, "h1", 30)],
+/// ));
+/// session.attach(live);
+///
+/// push.push(start(3, "h2", 20));
+/// drop(push); // close the live feed
+///
+/// let alerts = session.drain();
+/// assert_eq!(alerts.len(), 3);
+/// // The merge interleaved by event time across sources.
+/// assert_eq!(
+///     alerts.iter().map(|a| a.ts.as_millis()).collect::<Vec<_>>(),
+///     vec![10, 20, 30],
+/// );
+/// # let _ = stored;
+/// ```
+pub struct RunSession<'e> {
+    engine: &'e mut Engine,
+    merge: WatermarkMerge<'e>,
+    batch: Vec<SharedEvent>,
+    processed: u64,
+}
+
+impl Engine {
+    /// Open a source-driven run session with default merge settings.
+    pub fn session(&mut self) -> RunSession<'_> {
+        self.session_with(MergeConfig::default())
+    }
+
+    /// Open a source-driven run session with explicit merge settings
+    /// (default lateness bound, pull batch size).
+    pub fn session_with(&mut self, config: MergeConfig) -> RunSession<'_> {
+        RunSession {
+            engine: self,
+            merge: WatermarkMerge::new(config),
+            batch: Vec::new(),
+            processed: 0,
+        }
+    }
+}
+
+impl<'e> RunSession<'e> {
+    /// Attach a source under the session's default lateness bound. Sources
+    /// can attach at any time, including after pumping has started.
+    pub fn attach<S: EventSource + 'e>(&mut self, source: S) -> SourceId {
+        self.merge.attach(Box::new(source))
+    }
+
+    /// Attach a source with an explicit ordering contract (see
+    /// [`Lateness`]).
+    pub fn attach_with<S: EventSource + 'e>(&mut self, source: S, lateness: Lateness) -> SourceId {
+        self.merge.attach_with(Box::new(source), lateness)
+    }
+
+    /// Detach a source mid-stream: it stops feeding (buffered events are
+    /// discarded) and stops gating the merge frontier; its final stats are
+    /// returned. The id is retired, never reused.
+    pub fn detach(&mut self, id: SourceId) -> Result<SourceStats, EngineError> {
+        self.merge.detach(id).ok_or(EngineError::UnknownSource(id))
+    }
+
+    /// The engine under the session — the query control plane stays fully
+    /// available mid-pump (register/deregister/pause/resume/subscribe land
+    /// at the current stream position).
+    pub fn engine(&mut self) -> &mut Engine {
+        self.engine
+    }
+
+    /// One pump round with the default per-round event budget.
+    pub fn pump(&mut self) -> Pump {
+        self.pump_max(usize::MAX)
+    }
+
+    /// One pump round, feeding at most `max` merged events to the engine.
+    /// Bounding the budget lets callers interleave control-plane changes at
+    /// exact stream positions (see the CLI's staged lifecycle flags).
+    pub fn pump_max(&mut self, max: usize) -> Pump {
+        self.batch.clear();
+        let status = self.merge.poll(&mut self.batch, max);
+        let mut alerts = Vec::new();
+        for event in &self.batch {
+            alerts.extend(self.engine.process(event));
+        }
+        let events = self.batch.len() as u64;
+        self.processed += events;
+        Pump {
+            alerts,
+            events,
+            status: match status {
+                MergeStatus::Active => SessionStatus::Active,
+                MergeStatus::Idle => SessionStatus::Idle,
+                MergeStatus::Done => SessionStatus::Done,
+            },
+        }
+    }
+
+    /// Pump until every source ends, then flush the engine
+    /// ([`Engine::finish`]); returns all alerts. Idle rounds (live sources
+    /// waiting on producers) sleep briefly instead of spinning.
+    pub fn drain(mut self) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        loop {
+            let round = self.pump();
+            alerts.extend(round.alerts);
+            match round.status {
+                SessionStatus::Done => break,
+                SessionStatus::Active => {}
+                SessionStatus::Idle => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        alerts.extend(self.engine.finish());
+        alerts
+    }
+
+    /// Pump until every source ends, delivering each alert to `sink` as it
+    /// fires, then flush engine and sink; returns the alert count.
+    pub fn drain_into(mut self, sink: &mut dyn AlertSink) -> u64 {
+        let mut n = 0u64;
+        loop {
+            let round = self.pump();
+            for alert in &round.alerts {
+                n += 1;
+                sink.deliver(alert);
+            }
+            match round.status {
+                SessionStatus::Done => break,
+                SessionStatus::Active => {}
+                SessionStatus::Idle => std::thread::sleep(std::time::Duration::from_millis(1)),
+            }
+        }
+        for alert in self.engine.finish() {
+            n += 1;
+            sink.deliver(&alert);
+        }
+        sink.flush();
+        n
+    }
+
+    /// Events fed to the engine so far.
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Timestamp of the last event released by the merge.
+    pub fn frontier(&self) -> saql_model::Timestamp {
+        self.merge.frontier()
+    }
+
+    /// Whether every attached source has ended and drained.
+    pub fn is_done(&self) -> bool {
+        self.merge.is_done()
+    }
+
+    /// Sources still attached and not ended.
+    pub fn live_sources(&self) -> usize {
+        self.merge.live_sources()
+    }
+
+    /// Per-source progress: events merged, watermark, lag behind the
+    /// leading source, and dropped-late counts — in attach order, detached
+    /// sources included with their final counters.
+    pub fn source_stats(&self) -> Vec<(SourceId, SourceStats)> {
+        self.merge.source_stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use saql_model::event::EventBuilder;
+    use saql_model::{Duration, ProcessInfo};
+    use saql_stream::source::{push_source, IterSource};
+    use std::sync::Arc;
+
+    fn start(id: u64, host: &str, ts: u64, parent: &str, child: &str) -> SharedEvent {
+        Arc::new(
+            EventBuilder::new(id, host, ts)
+                .subject(ProcessInfo::new(1, parent, "u"))
+                .starts_process(ProcessInfo::new(2, child, "u"))
+                .build(),
+        )
+    }
+
+    const WATCH: &str = "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2";
+
+    #[test]
+    fn multi_source_session_merges_by_event_time() {
+        for workers in [0usize, 2] {
+            let mut engine = Engine::with_workers(EngineConfig::default(), workers);
+            engine.register("watch", WATCH).unwrap();
+            let mut session = engine.session();
+            session.attach(IterSource::new(
+                "h1",
+                vec![
+                    start(1, "h1", 10, "cmd.exe", "a.exe"),
+                    start(3, "h1", 30, "cmd.exe", "c.exe"),
+                ],
+            ));
+            session.attach(IterSource::new(
+                "h2",
+                vec![
+                    start(2, "h2", 20, "cmd.exe", "b.exe"),
+                    start(4, "h2", 40, "cmd.exe", "d.exe"),
+                ],
+            ));
+            let mut alerts = session.drain();
+            let mut children: Vec<String> = alerts
+                .drain(..)
+                .map(|a| a.get("p2").unwrap().to_string())
+                .collect();
+            children.sort();
+            assert_eq!(
+                children,
+                vec!["a.exe", "b.exe", "c.exe", "d.exe"],
+                "workers={workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn serial_session_preserves_merged_emission_order() {
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.register("watch", WATCH).unwrap();
+        let mut session = engine.session();
+        session.attach(IterSource::new(
+            "h1",
+            vec![start(1, "h1", 100, "cmd.exe", "x.exe")],
+        ));
+        session.attach(IterSource::new(
+            "h2",
+            vec![start(2, "h2", 50, "cmd.exe", "y.exe")],
+        ));
+        let alerts = session.drain();
+        let ts: Vec<u64> = alerts.iter().map(|a| a.ts.as_millis()).collect();
+        assert_eq!(ts, vec![50, 100], "event-time order across sources");
+    }
+
+    #[test]
+    fn pump_interleaves_with_query_control_plane() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let first = engine.register("watch", WATCH).unwrap();
+        let mut session = engine.session();
+        session.attach(IterSource::new(
+            "feed",
+            (0..10u64)
+                .map(|i| start(i + 1, "h", (i + 1) * 10, "cmd.exe", "p.exe"))
+                .collect::<Vec<_>>(),
+        ));
+        let mut alerts = Vec::new();
+        // Pump half the stream, swap the deployment live, pump the rest.
+        while session.processed() < 5 {
+            alerts.extend(session.pump_max(1).alerts);
+        }
+        session.engine().deregister(first).unwrap();
+        let rest = session.drain();
+        assert_eq!(alerts.len(), 5, "first half watched");
+        assert!(rest.is_empty(), "second half unwatched");
+    }
+
+    #[test]
+    fn sources_attach_and_detach_mid_pump() {
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.register("watch", WATCH).unwrap();
+        let mut session = engine.session_with(MergeConfig {
+            lateness: Duration::ZERO,
+            ..MergeConfig::default()
+        });
+        let (push, live) = push_source("live", 8);
+        let live_id = session.attach(live);
+        push.push(start(1, "h2", 5, "cmd.exe", "l.exe"));
+        let mut got = 0;
+        while got < 1 {
+            got += session.pump().alerts.len();
+        }
+        // A second source attached mid-run; the silent live source would
+        // gate it, so detach the live feed and let the iterator finish.
+        session.attach(IterSource::new(
+            "late-batch",
+            vec![start(2, "h1", 50, "cmd.exe", "m.exe")],
+        ));
+        let stats = session.detach(live_id).unwrap();
+        assert_eq!(stats.events, 1);
+        assert!(matches!(
+            session.detach(live_id),
+            Err(EngineError::UnknownSource(id)) if id == live_id
+        ));
+        let alerts = session.drain();
+        assert_eq!(alerts.len(), 1);
+        drop(push);
+    }
+
+    #[test]
+    fn session_source_stats_track_drops_and_progress() {
+        let mut engine = Engine::new(EngineConfig::default());
+        engine.register("watch", WATCH).unwrap();
+        let mut session = engine.session();
+        // 40ms straggler within the default 1s bound; a 8s straggler beyond
+        // it is dropped-late.
+        let id = session.attach(IterSource::new(
+            "wobbly",
+            vec![
+                start(1, "h", 10_000, "cmd.exe", "a.exe"),
+                start(2, "h", 9_960, "cmd.exe", "b.exe"),
+                start(3, "h", 2_000, "cmd.exe", "c.exe"),
+            ],
+        ));
+        let mut alerts = Vec::new();
+        loop {
+            let round = session.pump();
+            alerts.extend(round.alerts);
+            if round.status == SessionStatus::Done {
+                break;
+            }
+        }
+        assert_eq!(alerts.len(), 2, "straggler re-sorted, too-late dropped");
+        assert_eq!(session.processed(), 2);
+        assert_eq!(session.frontier().as_millis(), 10_000);
+        assert!(session.is_done());
+        let stats = &session.source_stats()[id.index()].1;
+        assert_eq!(stats.pulled, 3);
+        assert_eq!(stats.events, 2);
+        assert_eq!(stats.dropped_late, 1);
+        assert!(stats.done);
+        alerts.extend(session.engine().finish());
+        assert_eq!(alerts.len(), 2);
+    }
+
+    #[test]
+    fn run_wrapper_matches_manual_session() {
+        // The thin wrapper and an explicit arrival-order session agree even
+        // on an unsorted caller-push stream (run's historic contract).
+        let events = vec![
+            start(1, "h", 300, "cmd.exe", "a.exe"),
+            start(2, "h", 100, "cmd.exe", "b.exe"),
+            start(3, "h", 200, "cmd.exe", "c.exe"),
+        ];
+        let mut direct = Engine::new(EngineConfig::default());
+        direct.register("watch", WATCH).unwrap();
+        let via_run: Vec<String> = direct
+            .run(events.clone())
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+        let mut manual = Engine::new(EngineConfig::default());
+        manual.register("watch", WATCH).unwrap();
+        let mut session = manual.session();
+        session.attach_with(IterSource::new("run", events), Lateness::ArrivalOrder);
+        let via_session: Vec<String> = session.drain().iter().map(|a| a.to_string()).collect();
+        assert_eq!(via_run.len(), 3);
+        assert_eq!(via_run, via_session);
+    }
+}

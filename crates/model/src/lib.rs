@@ -27,6 +27,7 @@ pub mod entity;
 pub mod event;
 pub mod glob;
 pub mod interner;
+pub mod json;
 pub mod time;
 
 pub use attr::AttrValue;

@@ -5,7 +5,7 @@
 //! on every consumer observing the *same allocation*, so cloning a stream
 //! item never copies event payloads.
 
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TrySendError};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender, TryRecvError, TrySendError};
 
 use crate::SharedEvent;
 
@@ -61,6 +61,17 @@ impl EventReceiver {
             Ok(ev) => Ok(Some(ev)),
             Err(RecvTimeoutError::Disconnected) => Ok(None),
             Err(RecvTimeoutError::Timeout) => Err(()),
+        }
+    }
+
+    /// Non-blocking receive; `Ok(None)` when the stream ended, `Err(())`
+    /// when the channel is momentarily empty (the pull-source poll path).
+    #[allow(clippy::result_unit_err)] // emptiness carries no information
+    pub fn try_recv(&self) -> Result<Option<SharedEvent>, ()> {
+        match self.rx.try_recv() {
+            Ok(ev) => Ok(Some(ev)),
+            Err(TryRecvError::Disconnected) => Ok(None),
+            Err(TryRecvError::Empty) => Err(()),
         }
     }
 

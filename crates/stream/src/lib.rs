@@ -8,7 +8,11 @@
 //! * [`batch`] — fixed-capacity event batches, the dispatch unit of the
 //!   parallel engine runtime (amortizes channel overhead);
 //! * [`merge`] — k-way, timestamp-ordered merging of per-host agent feeds
-//!   into the single enterprise-wide stream;
+//!   into the single enterprise-wide stream, including the watermarked
+//!   [`merge::WatermarkMerge`] over pull-based sources;
+//! * [`source`] — the [`EventSource`] ingestion contract and its adapters:
+//!   streamed store selections, paced replays, JSON-lines readers, and
+//!   push-handle channels;
 //! * [`store`] — a file-backed event store (the databases behind the demo's
 //!   replayer), using the compact binary codec from `saql-model`;
 //! * [`replayer`] — the stream replayer (paper Fig. 4): select hosts and a
@@ -20,6 +24,7 @@ pub mod channel;
 pub mod merge;
 pub mod replayer;
 pub mod segment;
+pub mod source;
 pub mod store;
 
 use std::sync::Arc;
@@ -30,6 +35,8 @@ use saql_model::Event;
 pub type SharedEvent = Arc<Event>;
 
 pub use batch::EventBatch;
+pub use merge::{Lateness, MergeConfig, MergeStatus, SourceId, SourceStats, WatermarkMerge};
+pub use source::{EventSource, SourcePoll};
 
 /// Wrap raw events into shared stream items.
 pub fn share(events: impl IntoIterator<Item = Event>) -> Vec<SharedEvent> {

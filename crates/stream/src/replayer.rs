@@ -45,9 +45,20 @@ impl Replayer {
 
     /// Load the selected events, sorted by timestamp (stored order may
     /// interleave hosts arbitrarily).
+    ///
+    /// Equal-timestamp events sort by host, then by stored order — a total,
+    /// content-determined order. (The old `(ts, id)` key interleaved hosts
+    /// whenever per-agent id sequences collided at the same timestamp, so
+    /// two replays of stores written in different append orders could
+    /// disagree; serial/parallel equivalence tests depend on replay order
+    /// being a pure function of the data.)
     pub fn load(&self, selection: &Selection) -> Result<Vec<Event>, StoreError> {
-        let mut events = self.store.read(selection)?;
-        events.sort_by_key(|e| (e.ts, e.id));
+        let mut events: Vec<Event> = Vec::new();
+        for event in self.store.iter(selection)? {
+            events.push(event?);
+        }
+        // Stable sort: stored position is the final tie-break.
+        events.sort_by(|a, b| (a.ts, &*a.agent_id).cmp(&(b.ts, &*b.agent_id)));
         Ok(events)
     }
 
@@ -179,6 +190,44 @@ mod tests {
             "too fast: {elapsed:?}"
         );
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn equal_timestamp_replay_order_is_host_stable() {
+        // Two agents whose id sequences collide at the same timestamp: the
+        // old (ts, id) sort interleaved hosts (h2's id 1 before h1's id 2).
+        // Replay order must group by host and, crucially, not depend on the
+        // order the agents' batches were appended.
+        let batch_h1 = [ev(2, "h1", 100), ev(4, "h1", 100)];
+        let batch_h2 = [ev(1, "h2", 100), ev(3, "h2", 100)];
+        let key = |events: &[SharedEvent]| -> Vec<(String, u64)> {
+            events
+                .iter()
+                .map(|e| (e.agent_id.to_string(), e.id))
+                .collect()
+        };
+        let (store_a, path_a) = store_with("hoststable-a", &batch_h1);
+        store_a.append(&batch_h2).unwrap();
+        let a: Vec<SharedEvent> = Replayer::new(store_a)
+            .replay_iter(&Selection::all())
+            .unwrap()
+            .collect();
+        let (store_b, path_b) = store_with("hoststable-b", &batch_h2);
+        store_b.append(&batch_h1).unwrap();
+        let b: Vec<SharedEvent> = Replayer::new(store_b)
+            .replay_iter(&Selection::all())
+            .unwrap()
+            .collect();
+        let expected = vec![
+            ("h1".to_string(), 2),
+            ("h1".to_string(), 4),
+            ("h2".to_string(), 1),
+            ("h2".to_string(), 3),
+        ];
+        assert_eq!(key(&a), expected, "hosts grouped, per-host order kept");
+        assert_eq!(key(&a), key(&b), "replay order independent of append order");
+        std::fs::remove_file(path_a).unwrap();
+        std::fs::remove_file(path_b).unwrap();
     }
 
     #[test]

@@ -1,0 +1,532 @@
+//! Pull-based event sources: the ingestion boundary of the engine.
+//!
+//! The paper's architecture feeds the query engine from monitoring agents
+//! deployed across an enterprise; this module is that boundary's contract.
+//! An [`EventSource`] is anything the engine can *pull* batches of events
+//! from — a streamed [`EventStore`] selection, a paced [`Replayer`], a
+//! JSON-lines file or pipe, a push-handle channel fed by another thread —
+//! and the watermarked K-way merge ([`crate::merge::WatermarkMerge`]) fuses
+//! any number of them into one deterministic enterprise-wide stream.
+//!
+//! [`EventStore`]: crate::store::EventStore
+//! [`Replayer`]: crate::replayer::Replayer
+
+use std::io::BufRead;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use saql_model::json::{decode_event_json, JsonError};
+use saql_model::Timestamp;
+
+use crate::channel::{event_channel, EventReceiver, EventSender};
+use crate::replayer::{Replayer, Speed};
+use crate::store::{EventIter, EventStore, Selection, StoreError};
+use crate::SharedEvent;
+
+/// Result of one [`EventSource::poll`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SourcePoll {
+    /// At least one event was appended; more may follow.
+    Ready,
+    /// Nothing available right now, but the stream has not ended (live
+    /// feeds waiting on external producers).
+    Idle,
+    /// End of stream: any events appended by this call are the last ones.
+    End,
+}
+
+/// A pull-based stream of shared events.
+///
+/// Implementations append up to `max` events per [`poll`](Self::poll) and
+/// signal end-of-stream with [`SourcePoll::End`]. Events should be roughly
+/// timestamp-ordered; the merge layer absorbs disorder up to the source's
+/// configured [`Lateness`](crate::merge::Lateness) bound and drops (and
+/// counts) the rest.
+pub trait EventSource {
+    /// Human-readable name, surfaced in per-source stats.
+    fn name(&self) -> &str;
+
+    /// Pull up to `max` events, appending them to `out`.
+    fn poll(&mut self, out: &mut Vec<SharedEvent>, max: usize) -> SourcePoll;
+
+    /// Optional watermark punctuation: a promise that no future event from
+    /// this source is earlier than the returned timestamp, even beyond what
+    /// its emitted events imply. Sources that cannot promise more than
+    /// their data return `None` (the default).
+    fn watermark(&self) -> Option<Timestamp> {
+        None
+    }
+
+    /// A failure that ended or degraded this stream (corrupt store record,
+    /// read error, undecodable lines). Surfaced through the merge's
+    /// per-source stats so consumers above the trait boundary can report
+    /// it — a source that fails mid-stream otherwise just looks like a
+    /// clean, short end-of-stream.
+    fn failure(&self) -> Option<String> {
+        None
+    }
+}
+
+impl<S: EventSource + ?Sized> EventSource for Box<S> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn poll(&mut self, out: &mut Vec<SharedEvent>, max: usize) -> SourcePoll {
+        (**self).poll(out, max)
+    }
+
+    fn watermark(&self) -> Option<Timestamp> {
+        (**self).watermark()
+    }
+
+    fn failure(&self) -> Option<String> {
+        (**self).failure()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Iterator adapter
+// ---------------------------------------------------------------------
+
+/// Adapts any in-memory iterator of shared events — the single-source shim
+/// behind the classic `Engine::run(iterator)` entry points.
+pub struct IterSource<I> {
+    name: String,
+    iter: I,
+}
+
+impl<I: Iterator<Item = SharedEvent>> IterSource<I> {
+    pub fn new(name: impl Into<String>, iter: impl IntoIterator<IntoIter = I>) -> Self {
+        IterSource {
+            name: name.into(),
+            iter: iter.into_iter(),
+        }
+    }
+}
+
+impl<I: Iterator<Item = SharedEvent>> EventSource for IterSource<I> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, out: &mut Vec<SharedEvent>, max: usize) -> SourcePoll {
+        for _ in 0..max {
+            match self.iter.next() {
+                Some(event) => out.push(event),
+                None => return SourcePoll::End,
+            }
+        }
+        SourcePoll::Ready
+    }
+}
+
+// ---------------------------------------------------------------------
+// Channel / push-handle source
+// ---------------------------------------------------------------------
+
+/// Producer half of [`push_source`]: hand events (and watermark
+/// punctuation) to a running session from any thread. Dropping every
+/// handle ends the source.
+#[derive(Clone)]
+pub struct PushHandle {
+    tx: EventSender,
+    watermark: Arc<AtomicU64>,
+}
+
+impl PushHandle {
+    /// Blocking push; `false` once the consuming session is gone.
+    pub fn push(&self, event: SharedEvent) -> bool {
+        self.watermark
+            .fetch_max(event.ts.as_millis(), Ordering::Relaxed);
+        self.tx.send(event)
+    }
+
+    /// Non-blocking push; hands the event back when the channel is full or
+    /// the session is gone.
+    pub fn try_push(&self, event: SharedEvent) -> Result<(), SharedEvent> {
+        self.watermark
+            .fetch_max(event.ts.as_millis(), Ordering::Relaxed);
+        self.tx.try_send(event)
+    }
+
+    /// Advance the source's watermark without sending data: "nothing
+    /// earlier than `ts` will follow". Lets a quiet producer stop gating
+    /// the merge frontier.
+    pub fn advance_watermark(&self, ts: Timestamp) {
+        self.watermark.fetch_max(ts.as_millis(), Ordering::Relaxed);
+    }
+}
+
+/// A source fed from a bounded event channel ([`EventReceiver`]).
+pub struct ChannelSource {
+    name: String,
+    rx: EventReceiver,
+    watermark: Arc<AtomicU64>,
+    ended: bool,
+}
+
+impl ChannelSource {
+    pub fn new(name: impl Into<String>, rx: EventReceiver) -> Self {
+        ChannelSource {
+            name: name.into(),
+            rx,
+            watermark: Arc::new(AtomicU64::new(0)),
+            ended: false,
+        }
+    }
+
+    /// A source replaying a stored selection on a background thread at the
+    /// given [`Speed`] — the live "follow" mode of the stream replayer.
+    pub fn replay(
+        name: impl Into<String>,
+        replayer: &Replayer,
+        selection: &Selection,
+        speed: Speed,
+        capacity: usize,
+    ) -> Result<ChannelSource, StoreError> {
+        let rx = replayer.replay_channel(selection, speed, capacity)?;
+        Ok(ChannelSource::new(name, rx))
+    }
+}
+
+impl EventSource for ChannelSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, out: &mut Vec<SharedEvent>, max: usize) -> SourcePoll {
+        if self.ended {
+            return SourcePoll::End;
+        }
+        let mut got = 0;
+        while got < max {
+            match self.rx.try_recv() {
+                Ok(Some(event)) => {
+                    out.push(event);
+                    got += 1;
+                }
+                Ok(None) => {
+                    self.ended = true;
+                    return SourcePoll::End;
+                }
+                Err(()) => break, // empty, producers still connected
+            }
+        }
+        if got > 0 {
+            SourcePoll::Ready
+        } else {
+            SourcePoll::Idle
+        }
+    }
+
+    fn watermark(&self) -> Option<Timestamp> {
+        match self.watermark.load(Ordering::Relaxed) {
+            0 => None,
+            ms => Some(Timestamp::from_millis(ms)),
+        }
+    }
+}
+
+/// A bounded channel source plus its [`PushHandle`]: the push-style entry
+/// into a pull-based session (other threads push, the session pump pulls).
+pub fn push_source(name: impl Into<String>, capacity: usize) -> (PushHandle, ChannelSource) {
+    let (tx, rx) = event_channel(capacity);
+    let mut source = ChannelSource::new(name, rx);
+    let watermark = Arc::new(AtomicU64::new(0));
+    source.watermark = Arc::clone(&watermark);
+    (PushHandle { tx, watermark }, source)
+}
+
+// ---------------------------------------------------------------------
+// Event store source
+// ---------------------------------------------------------------------
+
+/// Streams an [`EventStore`] selection in stored order without ever
+/// materializing the store — the streaming replacement for
+/// `EventStore::read` in ingestion paths.
+pub struct StoreSource {
+    name: String,
+    iter: Option<EventIter>,
+    error: Option<StoreError>,
+}
+
+impl StoreSource {
+    /// Open a streaming source over `store` (header validated eagerly).
+    pub fn open(
+        name: impl Into<String>,
+        store: &EventStore,
+        selection: &Selection,
+    ) -> Result<StoreSource, StoreError> {
+        Ok(StoreSource {
+            name: name.into(),
+            iter: Some(store.iter(selection)?),
+            error: None,
+        })
+    }
+
+    /// The decode/IO error that ended the stream early, if any.
+    pub fn error(&self) -> Option<&StoreError> {
+        self.error.as_ref()
+    }
+}
+
+impl EventSource for StoreSource {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, out: &mut Vec<SharedEvent>, max: usize) -> SourcePoll {
+        let Some(iter) = self.iter.as_mut() else {
+            return SourcePoll::End;
+        };
+        for _ in 0..max {
+            match iter.next() {
+                Some(Ok(event)) => out.push(Arc::new(event)),
+                Some(Err(e)) => {
+                    // A corrupt record poisons everything after it; stop at
+                    // the last clean event and surface the error.
+                    self.error = Some(e);
+                    self.iter = None;
+                    return SourcePoll::End;
+                }
+                None => {
+                    self.iter = None;
+                    return SourcePoll::End;
+                }
+            }
+        }
+        SourcePoll::Ready
+    }
+
+    fn failure(&self) -> Option<String> {
+        self.error
+            .as_ref()
+            .map(|e| format!("stream ended early: {e}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// JSON-lines source
+// ---------------------------------------------------------------------
+
+/// Reads events as JSON lines (see [`saql_model::json`]) from any
+/// [`BufRead`] — files, pipes, or stdin; the ingestion mirror of the
+/// engine's `JsonLinesSink`. Undecodable lines are skipped and counted
+/// ([`decode_errors`](Self::decode_errors)), with the first failure kept
+/// for diagnostics; blank lines are ignored.
+pub struct JsonLinesSource<R> {
+    name: String,
+    reader: R,
+    line: String,
+    lines_read: u64,
+    decode_errors: u64,
+    first_error: Option<(u64, JsonError)>,
+    read_error: Option<std::io::Error>,
+    ended: bool,
+}
+
+impl<R: BufRead> JsonLinesSource<R> {
+    pub fn new(name: impl Into<String>, reader: R) -> Self {
+        JsonLinesSource {
+            name: name.into(),
+            reader,
+            line: String::new(),
+            lines_read: 0,
+            decode_errors: 0,
+            first_error: None,
+            read_error: None,
+            ended: false,
+        }
+    }
+
+    /// Lines that failed to decode (skipped).
+    pub fn decode_errors(&self) -> u64 {
+        self.decode_errors
+    }
+
+    /// First decode failure as `(line number, error)`, 1-based.
+    pub fn first_error(&self) -> Option<&(u64, JsonError)> {
+        self.first_error.as_ref()
+    }
+}
+
+impl<R: BufRead> EventSource for JsonLinesSource<R> {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn poll(&mut self, out: &mut Vec<SharedEvent>, max: usize) -> SourcePoll {
+        if self.ended {
+            return SourcePoll::End;
+        }
+        let mut got = 0;
+        while got < max {
+            self.line.clear();
+            match self.reader.read_line(&mut self.line) {
+                Ok(0) => {
+                    self.ended = true;
+                    return SourcePoll::End;
+                }
+                Err(e) => {
+                    // A read failure is not a clean end-of-stream: stop,
+                    // and surface it through `failure()`.
+                    self.read_error = Some(e);
+                    self.ended = true;
+                    return SourcePoll::End;
+                }
+                Ok(_) => {}
+            }
+            self.lines_read += 1;
+            let trimmed = self.line.trim();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match decode_event_json(trimmed) {
+                Ok(event) => {
+                    out.push(Arc::new(event));
+                    got += 1;
+                }
+                Err(e) => {
+                    self.decode_errors += 1;
+                    if self.first_error.is_none() {
+                        self.first_error = Some((self.lines_read, e));
+                    }
+                }
+            }
+        }
+        SourcePoll::Ready
+    }
+
+    fn failure(&self) -> Option<String> {
+        if let Some(e) = &self.read_error {
+            return Some(format!("stream ended early: read error: {e}"));
+        }
+        self.first_error.as_ref().map(|(line, e)| {
+            format!(
+                "{} line(s) skipped; first at line {line}: {e}",
+                self.decode_errors
+            )
+        })
+    }
+}
+
+/// Write events as JSON lines — the producing half of the JSONL
+/// interchange format that [`JsonLinesSource`] re-ingests (accepts owned
+/// or borrowed events, so streaming producers need not clone).
+pub fn write_events_jsonl<W: std::io::Write, E: std::borrow::Borrow<saql_model::Event>>(
+    writer: &mut W,
+    events: impl IntoIterator<Item = E>,
+) -> std::io::Result<u64> {
+    let mut line = String::with_capacity(192);
+    let mut n = 0;
+    for event in events {
+        line.clear();
+        saql_model::json::encode_event_json(&mut line, event.borrow());
+        writer.write_all(line.as_bytes())?;
+        n += 1;
+    }
+    writer.flush()?;
+    Ok(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use saql_model::event::EventBuilder;
+    use saql_model::{Event, ProcessInfo};
+
+    fn ev(id: u64, host: &str, ts: u64) -> Event {
+        EventBuilder::new(id, host, ts)
+            .subject(ProcessInfo::new(1, "a.exe", "u"))
+            .starts_process(ProcessInfo::new(2, "b.exe", "u"))
+            .build()
+    }
+
+    fn shared(events: Vec<Event>) -> Vec<SharedEvent> {
+        events.into_iter().map(Arc::new).collect()
+    }
+
+    fn drain(source: &mut dyn EventSource) -> Vec<SharedEvent> {
+        let mut out = Vec::new();
+        loop {
+            match source.poll(&mut out, 3) {
+                SourcePoll::End => return out,
+                SourcePoll::Ready => {}
+                SourcePoll::Idle => std::thread::yield_now(),
+            }
+        }
+    }
+
+    #[test]
+    fn iter_source_yields_all_then_ends() {
+        let mut s = IterSource::new("it", shared(vec![ev(1, "h", 1), ev(2, "h", 2)]));
+        let mut out = Vec::new();
+        assert_eq!(s.poll(&mut out, 1), SourcePoll::Ready);
+        assert_eq!(s.poll(&mut out, 8), SourcePoll::End);
+        assert_eq!(out.len(), 2);
+        assert_eq!(s.poll(&mut out, 8), SourcePoll::End, "End is sticky");
+        assert_eq!(s.name(), "it");
+    }
+
+    #[test]
+    fn push_source_carries_events_and_watermark() {
+        let (push, mut source) = push_source("p", 8);
+        let mut out = Vec::new();
+        assert_eq!(source.poll(&mut out, 4), SourcePoll::Idle);
+        assert!(push.push(Arc::new(ev(1, "h", 250))));
+        assert_eq!(source.poll(&mut out, 4), SourcePoll::Ready);
+        assert_eq!(out.len(), 1);
+        assert_eq!(source.watermark(), Some(Timestamp::from_millis(250)));
+        push.advance_watermark(Timestamp::from_millis(900));
+        assert_eq!(source.watermark(), Some(Timestamp::from_millis(900)));
+        drop(push);
+        assert_eq!(source.poll(&mut out, 4), SourcePoll::End);
+    }
+
+    #[test]
+    fn jsonl_source_decodes_skips_and_counts() {
+        let mut text = String::new();
+        for e in [ev(1, "h", 10), ev(2, "h", 20)] {
+            saql_model::json::encode_event_json(&mut text, &e);
+        }
+        text.push_str("not json\n\n");
+        let mut third = String::new();
+        saql_model::json::encode_event_json(&mut third, &ev(3, "h", 30));
+        text.push_str(&third);
+        let mut source = JsonLinesSource::new("jsonl", std::io::Cursor::new(text));
+        let out = drain(&mut source);
+        assert_eq!(out.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(source.decode_errors(), 1);
+        let (line, _) = source.first_error().unwrap();
+        assert_eq!(*line, 3);
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_writer() {
+        let events = vec![ev(1, "h1", 5), ev(2, "h2", 6)];
+        let mut buf = Vec::new();
+        assert_eq!(write_events_jsonl(&mut buf, &events).unwrap(), 2);
+        let mut source = JsonLinesSource::new("rt", std::io::Cursor::new(buf));
+        let back = drain(&mut source);
+        assert_eq!(source.decode_errors(), 0);
+        assert_eq!(back.len(), 2);
+        assert_eq!(*back[0], events[0]);
+        assert_eq!(*back[1], events[1]);
+    }
+
+    #[test]
+    fn store_source_streams_a_selection() {
+        let mut path = std::env::temp_dir();
+        path.push(format!("saql-source-store-{}.bin", std::process::id()));
+        let store = EventStore::create(&path).unwrap();
+        store
+            .append(&[ev(1, "h1", 10), ev(2, "h2", 20), ev(3, "h1", 30)])
+            .unwrap();
+        let mut source = StoreSource::open("store", &store, &Selection::host("h1")).unwrap();
+        let out = drain(&mut source);
+        assert_eq!(out.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 3]);
+        assert!(source.error().is_none());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -141,41 +141,56 @@ impl EventStore {
     }
 
     /// Read every stored event matching `selection`, in stored order.
+    ///
+    /// Materializes the whole selection; ingestion paths should prefer the
+    /// streaming [`iter`](Self::iter), which holds one read chunk at a time.
     pub fn read(&self, selection: &Selection) -> Result<Vec<Event>, StoreError> {
-        let mut f = File::open(&self.path)?;
-        let mut raw = Vec::new();
-        f.read_to_end(&mut raw)?;
-        if raw.len() < MAGIC.len() || &raw[..MAGIC.len()] != MAGIC {
-            return Err(StoreError::BadMagic);
-        }
-        let mut data = Bytes::from(raw).slice(MAGIC.len()..);
-        let mut out = Vec::new();
-        while !data.is_empty() {
-            let event = codec::decode_event(&mut data)?;
-            if selection.matches(&event) {
-                out.push(event);
-            }
-        }
-        Ok(out)
+        self.iter(selection)?.collect()
     }
 
-    /// Total number of stored events (full scan).
+    /// Stream every stored event matching `selection`, in stored order,
+    /// decoding incrementally from fixed-size read chunks — memory stays
+    /// flat no matter how large the store is. The header is validated
+    /// eagerly; per-record IO/decode failures surface as iterator items.
+    pub fn iter(&self, selection: &Selection) -> Result<EventIter, StoreError> {
+        let mut f = File::open(&self.path)?;
+        let mut magic = [0u8; 8];
+        f.read_exact(&mut magic).map_err(|_| StoreError::BadMagic)?;
+        if &magic != MAGIC {
+            return Err(StoreError::BadMagic);
+        }
+        Ok(EventIter {
+            file: Some(f),
+            buf: Bytes::new(),
+            selection: selection.clone(),
+        })
+    }
+
+    /// Total number of stored events (full streaming scan).
     pub fn len(&self) -> Result<usize, StoreError> {
-        Ok(self.read(&Selection::all())?.len())
+        let mut n = 0;
+        for event in self.iter(&Selection::all())? {
+            event?;
+            n += 1;
+        }
+        Ok(n)
     }
 
     /// Whether the store holds no events.
     pub fn is_empty(&self) -> Result<bool, StoreError> {
-        Ok(self.len()? == 0)
+        match self.iter(&Selection::all())?.next() {
+            None => Ok(true),
+            Some(Ok(_)) => Ok(false),
+            Some(Err(e)) => Err(e),
+        }
     }
 
     /// Distinct host ids present in the store, sorted.
     pub fn hosts(&self) -> Result<Vec<String>, StoreError> {
-        let mut hosts: Vec<String> = self
-            .read(&Selection::all())?
-            .iter()
-            .map(|e| e.agent_id.to_string())
-            .collect();
+        let mut hosts: Vec<String> = Vec::new();
+        for event in self.iter(&Selection::all())? {
+            hosts.push(event?.agent_id.to_string());
+        }
         hosts.sort();
         hosts.dedup();
         Ok(hosts)
@@ -184,6 +199,105 @@ impl EventStore {
     /// Path of the backing file.
     pub fn path(&self) -> &Path {
         &self.path
+    }
+}
+
+/// How much of the backing file one [`EventIter`] refill reads.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Streaming iterator over a store selection (see [`EventStore::iter`]).
+///
+/// Records are decoded straight out of a rolling read buffer; a record
+/// split across chunk boundaries is retried after the next refill, so only
+/// `READ_CHUNK` bytes plus one partial record are ever resident.
+#[derive(Debug)]
+pub struct EventIter {
+    /// `None` once EOF was reached (or an error ended the stream).
+    file: Option<File>,
+    /// Undecoded bytes carried between refills.
+    buf: Bytes,
+    selection: Selection,
+}
+
+impl EventIter {
+    /// Append the next chunk of the file to the undecoded remainder.
+    /// Returns whether any new bytes arrived.
+    fn refill(&mut self) -> Result<bool, StoreError> {
+        let Some(file) = self.file.as_mut() else {
+            return Ok(false);
+        };
+        let mut chunk = vec![0u8; READ_CHUNK];
+        let mut filled = 0;
+        while filled < chunk.len() {
+            match file.read(&mut chunk[filled..]) {
+                Ok(0) => break,
+                Ok(n) => filled += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    self.file = None;
+                    return Err(e.into());
+                }
+            }
+        }
+        if filled == 0 {
+            self.file = None;
+            return Ok(false);
+        }
+        if self.buf.is_empty() {
+            chunk.truncate(filled);
+            self.buf = Bytes::from(chunk);
+        } else {
+            let mut joined = Vec::with_capacity(self.buf.len() + filled);
+            joined.extend_from_slice(&self.buf);
+            joined.extend_from_slice(&chunk[..filled]);
+            self.buf = Bytes::from(joined);
+        }
+        Ok(true)
+    }
+}
+
+impl Iterator for EventIter {
+    type Item = Result<Event, StoreError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if !self.buf.is_empty() {
+                // Decode on a cheap view clone: on success advance the real
+                // buffer by what was consumed, on a truncation mid-record
+                // leave it untouched and read more.
+                let mut attempt = self.buf.clone();
+                match codec::decode_event(&mut attempt) {
+                    Ok(event) => {
+                        let consumed = self.buf.len() - attempt.len();
+                        self.buf = self.buf.slice(consumed..);
+                        if self.selection.matches(&event) {
+                            return Some(Ok(event));
+                        }
+                        continue;
+                    }
+                    Err(DecodeError::Truncated) if self.file.is_some() => {}
+                    Err(e) => {
+                        // Corrupt record (or truncated tail at EOF): the
+                        // stream cannot be resynced past it.
+                        self.file = None;
+                        self.buf = Bytes::new();
+                        return Some(Err(e.into()));
+                    }
+                }
+            }
+            match self.refill() {
+                Ok(true) => continue,
+                Ok(false) => {
+                    if self.buf.is_empty() {
+                        return None;
+                    }
+                    // EOF inside a record.
+                    self.buf = Bytes::new();
+                    return Some(Err(DecodeError::Truncated.into()));
+                }
+                Err(e) => return Some(Err(e)),
+            }
+        }
     }
 }
 
@@ -279,6 +393,49 @@ mod tests {
         let path = tmp("badmagic");
         std::fs::write(&path, b"NOTASTORE").unwrap();
         assert!(matches!(EventStore::open(&path), Err(StoreError::BadMagic)));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn iter_streams_across_chunk_boundaries() {
+        // Enough events that records straddle several 64 KiB read chunks.
+        let path = tmp("iterchunks");
+        let store = EventStore::create(&path).unwrap();
+        let events: Vec<Event> = (0..4_000)
+            .map(|i| ev(i, if i % 2 == 0 { "h-even" } else { "h-odd" }, i * 3))
+            .collect();
+        store.append(&events).unwrap();
+        let streamed: Vec<Event> = store
+            .iter(&Selection::all())
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(streamed, events);
+        let odd: Vec<Event> = store
+            .iter(&Selection::host("h-odd"))
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(odd.len(), 2_000);
+        assert!(odd.iter().all(|e| &*e.agent_id == "h-odd"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn iter_reports_truncated_tail() {
+        let path = tmp("itertrunc");
+        let store = EventStore::create(&path).unwrap();
+        store.append(&[ev(1, "h", 10), ev(2, "h", 20)]).unwrap();
+        // Chop the last record in half.
+        let raw = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &raw[..raw.len() - 5]).unwrap();
+        let mut iter = EventStore::open(&path)
+            .unwrap()
+            .iter(&Selection::all())
+            .unwrap();
+        assert_eq!(iter.next().unwrap().unwrap().id, 1);
+        assert!(matches!(iter.next(), Some(Err(StoreError::Decode(_)))));
+        assert!(iter.next().is_none(), "stream ends after the error");
         std::fs::remove_file(path).unwrap();
     }
 

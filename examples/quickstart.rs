@@ -8,6 +8,7 @@
 use saql::engine::{Engine, EngineConfig};
 use saql::model::event::EventBuilder;
 use saql::model::{NetworkInfo, ProcessInfo};
+use saql::stream::source::IterSource;
 use std::sync::Arc;
 
 fn main() {
@@ -61,7 +62,12 @@ return p, ss[0].avg_amount, ss[1].avg_amount, ss[2].avg_amount
         events.len()
     );
 
-    let alerts = engine.run(events);
+    // Run through a source session — the ingestion API. One in-memory
+    // source here; stores, JSONL pipes, live feeds, and multiple sources
+    // at once attach the same way (see examples/multi_host.rs).
+    let mut session = engine.session();
+    session.attach(IterSource::new("db-traffic", events));
+    let alerts = session.drain();
     for alert in &alerts {
         println!("{alert}");
     }

@@ -24,17 +24,26 @@
 //!
 //! ```
 //! use saql::SaqlSystem;
-//! use saql::collector::{SimConfig, Simulator};
+//! use saql::collector::{SimConfig, Simulator, TraceSource};
 //!
 //! // Simulate a small enterprise trace containing the 5-step APT attack.
 //! let trace = Simulator::generate(&SimConfig { clients: 4, ..SimConfig::default() });
 //!
-//! // Deploy the paper's 8 demo queries and stream the trace through.
+//! // Deploy the paper's 8 demo queries, then pump the engine from one
+//! // event source per monitoring agent: a run session fuses them with a
+//! // watermarked K-way merge into the enterprise-wide stream.
 //! let mut system = SaqlSystem::new();
 //! system.deploy_demo_queries().unwrap();
-//! let alerts = system.run_events(trace.shared());
+//! let mut session = system.engine().session();
+//! for feed in TraceSource::per_host(&trace) {
+//!     session.attach(feed);
+//! }
+//! let alerts = session.drain();
 //! assert!(!alerts.is_empty());
 //! ```
+//!
+//! Pre-merged in-memory streams still run through the thin wrapper
+//! [`SaqlSystem::run_events`] / [`Engine::run`].
 
 pub use saql_analytics as analytics;
 pub use saql_baseline as baseline;

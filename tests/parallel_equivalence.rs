@@ -16,6 +16,8 @@ use saql::engine::runtime::{ParallelConfig, ParallelEngine};
 use saql::engine::{Alert, Engine, EngineConfig, QueryId};
 use saql::model::event::EventBuilder;
 use saql::model::{NetworkInfo, ProcessInfo};
+use saql::stream::merge::MergeConfig;
+use saql::stream::source::IterSource;
 use saql::stream::SharedEvent;
 use std::sync::Arc;
 
@@ -72,18 +74,27 @@ fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
 }
 
 fn materialize(steps: &[Step]) -> Vec<SharedEvent> {
+    materialize_on(steps, &[], "host", 0)
+}
+
+/// Materialize steps as one feed: events of `host`, ids from `id_base`,
+/// and — for the multi-source out-of-order tests — per-event forward
+/// `jitter` added to a nondecreasing base timestamp, so arrival order
+/// deviates from timestamp order by at most `max(jitter)`.
+fn materialize_on(steps: &[Step], jitter: &[u64], host: &str, id_base: u64) -> Vec<SharedEvent> {
     const PROCS: [&str; 3] = ["cmd.exe", "sqlservr.exe", "chrome.exe"];
     const CHILDREN: [&str; 3] = ["osql.exe", "calc.exe", "cmd.exe"];
     const IPS: [&str; 3] = ["10.0.0.9", "8.8.8.8", "172.16.9.1"];
-    let mut ts = 0u64;
+    let mut base = 0u64;
     steps
         .iter()
         .enumerate()
         .map(|(i, s)| {
-            ts += s.gap_ms;
-            let id = i as u64 + 1;
+            base += s.gap_ms;
+            let ts = base + jitter.get(i).copied().unwrap_or(0);
+            let id = id_base + i as u64 + 1;
             let subject = ProcessInfo::new(100 + s.actor as u32, PROCS[s.actor as usize], "u");
-            let builder = EventBuilder::new(id, "host", ts).subject(subject);
+            let builder = EventBuilder::new(id, host, ts).subject(subject);
             let event = match s.kind {
                 0 => builder.starts_process(ProcessInfo::new(
                     200 + s.peer as u32,
@@ -222,8 +233,90 @@ fn apply_op(
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-source ingestion sessions
+// ---------------------------------------------------------------------
+
+/// Maximum forward jitter a generated feed applies to its nondecreasing
+/// base timestamps — i.e. the bound on each source's out-of-orderness. The
+/// sessions run with exactly this lateness bound, so nothing is dropped.
+const JITTER_BOUND_MS: u64 = 5_000;
+
+/// 2–4 interleaved feeds: steps plus per-event jitter.
+fn arb_feeds() -> impl Strategy<Value = Vec<Vec<(Step, u64)>>> {
+    let feed = proptest::collection::vec(
+        (
+            (0u8..4, 0u8..3, 0u8..3, 0u64..400, 0u64..20_000).prop_map(
+                |(kind, actor, peer, amount, gap_ms)| Step {
+                    kind,
+                    actor,
+                    peer,
+                    amount,
+                    gap_ms,
+                },
+            ),
+            0u64..JITTER_BOUND_MS,
+        ),
+        1..60,
+    );
+    proptest::collection::vec(feed, 2..5)
+}
+
+/// Drive one engine over the feeds through a source session with the
+/// jitter bound as lateness, collecting all alerts.
+fn run_session_over(engine: &mut Engine, feeds: &[Vec<SharedEvent>]) -> Vec<Alert> {
+    let mut session = engine.session_with(MergeConfig {
+        lateness: saql::model::Duration::from_millis(JITTER_BOUND_MS),
+        ..MergeConfig::default()
+    });
+    for (i, feed) in feeds.iter().enumerate() {
+        session.attach(IterSource::new(format!("feed-{i}"), feed.clone()));
+    }
+    session.drain()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Interleaved sources with bounded out-of-orderness, merged by the
+    /// watermarked session: the alert multiset must be identical on the
+    /// serial backend and on the parallel backend for every worker count —
+    /// the merge output is a pure function of the per-source sequences, so
+    /// the equivalence of PR 2/3 must survive the new ingestion layer.
+    #[test]
+    fn multi_source_sessions_match_across_backends(specs in arb_feeds()) {
+        let feeds: Vec<Vec<SharedEvent>> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, feed)| {
+                let (steps, jitter): (Vec<Step>, Vec<u64>) = feed.iter().copied().unzip();
+                materialize_on(&steps, &jitter, &format!("host-{i}"), i as u64 * 1_000_000)
+            })
+            .collect();
+
+        let mut serial = Engine::new(EngineConfig::default());
+        for (name, src) in query_set() {
+            serial.register(name, src).unwrap();
+        }
+        let expected = multiset(run_session_over(&mut serial, &feeds));
+
+        for workers in 1usize..=8 {
+            let mut parallel =
+                Engine::with_workers(EngineConfig::default(), workers);
+            for (name, src) in query_set() {
+                parallel.register(name, src).unwrap();
+            }
+            let got = multiset(run_session_over(&mut parallel, &feeds));
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "multi-source alert multiset diverged at {} workers over {} feeds",
+                workers,
+                feeds.len()
+            );
+            prop_assert_eq!(parallel.dropped_alerts(), 0);
+        }
+    }
 
     #[test]
     fn parallel_engine_matches_serial_alert_multiset(steps in arb_steps()) {
