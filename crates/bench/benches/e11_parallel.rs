@@ -62,9 +62,9 @@ fn bench_parallel_scaling(c: &mut Criterion) {
                         QueryConfig::default(),
                     );
                     for q in sharded_queries(GROUPS, PER_GROUP) {
-                        engine.add(q);
+                        engine.add(q).unwrap();
                     }
-                    engine.run(events.iter().cloned()).len()
+                    engine.run(events.iter().cloned()).unwrap().len()
                 });
             },
         );
@@ -108,9 +108,9 @@ fn partition_audit(events: &[saql_stream::SharedEvent]) {
 
     let mut par = ParallelEngine::new(ParallelConfig::with_workers(4), QueryConfig::default());
     for q in sharded_queries(GROUPS, PER_GROUP) {
-        par.add(q);
+        par.add(q).unwrap();
     }
-    let par_alerts = par.run(events.iter().cloned()).len();
+    let par_alerts = par.run(events.iter().cloned()).unwrap().len();
 
     let merged = par.stats();
     println!(

@@ -1,0 +1,53 @@
+//! E13 — compile-once query plans: register-program execution vs the
+//! tree-walking interpreter oracle.
+//!
+//! Both modes share the matcher, windows, and state maintainer; what
+//! changes is expression evaluation and scope construction — the
+//! interpreter builds per-evaluation `HashMap` scopes and walks the AST
+//! resolving names by string, the compiled path runs flat register
+//! programs over fixed slot arrays (`DESIGN.md` §8). The workloads are the
+//! E3 families whose per-event path leans on evaluation hardest:
+//!
+//! * `rule` — single-pattern rule query (matcher-dominated; the floor of
+//!   the possible win);
+//! * `rule-sequence` — multi-pattern temporal sequence with joins;
+//! * `time-series` — the stateful-aggregation workload: every matching
+//!   event evaluates group keys + field arguments (the acceptance target:
+//!   compiled ≥ 1.5× interpreter here);
+//! * `outlier` — stateful aggregation plus the per-close cluster stage.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use saql_bench::{compile_family_with_mode, stream};
+use saql_engine::query::ExecMode;
+
+const FAMILIES: [&str; 4] = ["rule", "rule-sequence", "time-series", "outlier"];
+
+fn bench_exec_modes(c: &mut Criterion) {
+    let events = stream(50_000, 42);
+    let mut group = c.benchmark_group("e13_compile");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+
+    for family in FAMILIES {
+        for (label, mode) in [
+            ("interpreter", ExecMode::Interpreted),
+            ("compiled", ExecMode::Compiled),
+        ] {
+            group.bench_with_input(BenchmarkId::new(family, label), &events, |b, events| {
+                b.iter(|| {
+                    let mut q = compile_family_with_mode(family, mode);
+                    let mut alerts = 0usize;
+                    for e in events {
+                        alerts += q.process(e).len();
+                    }
+                    alerts += q.finish().len();
+                    alerts
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_modes);
+criterion_main!(benches);

@@ -37,7 +37,7 @@ fn table_e2_detection() {
     for (name, src) in corpus::DEMO_QUERIES {
         engine.register(name, src).unwrap();
     }
-    let alerts = engine.run(trace.shared());
+    let alerts = engine.run(trace.shared()).unwrap();
     println!("{:<28} {:>8} {:>10}", "query", "alerts", "detects");
     for (name, _) in corpus::DEMO_QUERIES {
         let n = alerts.iter().filter(|a| a.query == name).count();
@@ -78,7 +78,7 @@ fn clean_alerts() -> usize {
     for (name, src) in corpus::DEMO_QUERIES {
         engine.register(name, src).unwrap();
     }
-    engine.run(trace.shared()).len()
+    engine.run(trace.shared()).unwrap().len()
 }
 
 /// E3 — throughput per anomaly-model family.

@@ -50,11 +50,21 @@ pub fn family_queries() -> Vec<(&'static str, &'static str)> {
 
 /// Compile one of the family queries by name.
 pub fn compile_family(name: &str) -> RunningQuery {
+    compile_family_with_mode(name, saql_engine::query::ExecMode::Compiled)
+}
+
+/// Compile one of the family queries with an explicit execution mode (the
+/// E13 compiled-plan vs interpreter comparison).
+pub fn compile_family_with_mode(name: &str, exec: saql_engine::query::ExecMode) -> RunningQuery {
     let (_, src) = family_queries()
         .into_iter()
         .find(|(n, _)| *n == name)
         .unwrap_or_else(|| panic!("unknown family query `{name}`"));
-    RunningQuery::compile(name, src, QueryConfig::default()).expect("family query compiles")
+    let config = QueryConfig {
+        exec,
+        ..QueryConfig::default()
+    };
+    RunningQuery::compile(name, src, config).expect("family query compiles")
 }
 
 /// `n` shape-compatible rule-query variants (the concurrent-scaling

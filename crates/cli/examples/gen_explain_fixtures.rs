@@ -1,0 +1,22 @@
+//! Regenerate the `saql explain` golden fixtures for the demo corpus.
+//!
+//! Run after an intentional plan change:
+//!
+//! ```text
+//! cargo run -p saql-cli --example gen_explain_fixtures
+//! ```
+//!
+//! The golden test (`explain_golden.rs`) diffs `saql explain` output
+//! against these files, so plan regressions show up as readable diffs.
+
+fn main() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/explain");
+    std::fs::create_dir_all(dir).expect("create fixture dir");
+    for (name, src) in saql_lang::corpus::DEMO_QUERIES {
+        let query = saql_engine::RunningQuery::compile(name, src, Default::default())
+            .unwrap_or_else(|e| panic!("demo query {name} failed: {}", e.render(src)));
+        let path = format!("{dir}/{name}.txt");
+        std::fs::write(&path, query.explain()).expect("write fixture");
+        println!("wrote {path}");
+    }
+}

@@ -618,6 +618,45 @@ pub fn export(argv: &[String]) -> i32 {
     0
 }
 
+/// `saql explain FILE...` — print the compiled execution plan of query
+/// files: resolved slots, predicate sets, and register-program listings.
+/// The per-query body is deterministic (the plan-dump golden tests diff it).
+pub fn explain(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    if flags.positional.is_empty() {
+        return fail("explain requires at least one query file");
+    }
+    let mut failures = 0;
+    for file in &flags.positional {
+        let src = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("{file}: cannot read: {e}");
+                failures += 1;
+                continue;
+            }
+        };
+        match saql_engine::RunningQuery::compile(file.as_str(), &src, Default::default()) {
+            Ok(query) => {
+                println!("# {file}");
+                print!("{}", query.explain());
+            }
+            Err(e) => {
+                eprint!("{file}: {}", e.render(&src));
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        1
+    } else {
+        0
+    }
+}
+
 /// `saql check FILE...` — validate query files.
 pub fn check(argv: &[String]) -> i32 {
     let flags = match Flags::parse(argv) {
@@ -753,7 +792,7 @@ pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<Eve
                         Ok(events) => {
                             let mut n = 0u64;
                             for event in events {
-                                for alert in engine.process(&event) {
+                                for alert in engine.process(&event).unwrap_or_default() {
                                     n += 1;
                                     let _ = writeln!(out, "{alert}");
                                 }

@@ -9,6 +9,8 @@
 //!   time-range selection, optional compression) through deployed queries;
 //! * `saql check FILE...` — parse + semantically check query files, printing
 //!   canonical form or spanned errors;
+//! * `saql explain FILE...` — print the compiled execution plan (resolved
+//!   slots, predicate sets, register-program listings) of query files;
 //! * `saql repl [--store FILE]` — interactive session: type a query (blank
 //!   line to finish), `run` to stream the store through deployed queries.
 
@@ -30,6 +32,7 @@ fn run(argv: &[String]) -> i32 {
         Some("replay") => commands::replay(&argv[1..]),
         Some("export") => commands::export(&argv[1..]),
         Some("check") => commands::check(&argv[1..]),
+        Some("explain") => commands::explain(&argv[1..]),
         Some("repl") => {
             let stdin = std::io::stdin();
             let mut out = std::io::stdout();
@@ -59,8 +62,14 @@ USAGE:
                     [--workers W] [LIFECYCLE]...
     saql export     --store FILE [--out FILE|-] [--host H]... [--from MS] [--until MS]
     saql check      FILE...
+    saql explain    FILE...
     saql repl       [--store FILE]
     saql help
+
+`explain` prints the compiled execution plan of each query: resolved slot
+tables, attribute predicates bound to ids, and the register-program
+listing for every expression (state fields, invariants, cluster points,
+alert, return).
 
 `--workers W` runs queries on the parallel sharded runtime with W worker
 threads (default 0 = serial execution on one thread).

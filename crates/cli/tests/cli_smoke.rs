@@ -54,6 +54,37 @@ fn check_accepts_every_corpus_demo_query() {
 }
 
 #[test]
+fn explain_prints_compiled_plan_for_query_files() {
+    let path = temp_file(
+        "explain.saql",
+        "proc p write ip i as evt #time(10 min)\nstate[3] ss { avg_amount := avg(evt.amount) } group by p\nalert ss[0].avg_amount > 10000\nreturn p, ss[0].avg_amount",
+    );
+    let out = saql(&["explain", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert!(out.status.success(), "explain failed: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("kind: time-series"), "{text}");
+    assert!(text.contains("entity[0] = p: proc"), "{text}");
+    assert!(text.contains("group_key[0:p]"), "{text}");
+    assert!(text.contains("state[0].0:avg_amount"), "{text}");
+    assert!(text.contains("const 10000"), "{text}");
+}
+
+#[test]
+fn explain_rejects_broken_queries_and_missing_args() {
+    let path = temp_file("explain-broken.saql", "proc p1 [ oops\nreturn");
+    let out = saql(&["explain", path.to_str().unwrap()]);
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("error"), "no rendered error in: {err}");
+    let out = saql(&["explain"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("at least one query file"), "{err}");
+}
+
+#[test]
 fn check_reports_spanned_error_and_exits_one() {
     let path = temp_file("broken.saql", "proc p1 [ oops\nreturn");
     let out = saql(&["check", path.to_str().unwrap()]);

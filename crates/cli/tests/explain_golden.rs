@@ -1,0 +1,69 @@
+//! Plan-dump golden tests: `saql explain` output for every demo corpus
+//! query is checked in under `tests/fixtures/explain/`, so any change to
+//! name resolution, predicate compilation, or program lowering shows up as
+//! a readable diff instead of a silent behavior shift.
+//!
+//! After an *intentional* plan change, regenerate with:
+//!
+//! ```text
+//! cargo run -p saql-cli --example gen_explain_fixtures
+//! ```
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn fixture(name: &str) -> String {
+    let mut path = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    path.push("tests/fixtures/explain");
+    path.push(format!("{name}.txt"));
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing fixture {} ({e}); regenerate with `cargo run -p saql-cli --example gen_explain_fixtures`", path.display()))
+}
+
+#[test]
+fn explain_output_matches_goldens_for_demo_corpus() {
+    for (name, src) in saql_lang::corpus::DEMO_QUERIES {
+        let mut query_file = std::env::temp_dir();
+        query_file.push(format!(
+            "saql-explain-golden-{}-{name}.saql",
+            std::process::id()
+        ));
+        std::fs::write(&query_file, src).unwrap();
+        let out = Command::new(env!("CARGO_BIN_EXE_saql"))
+            .args(["explain", query_file.to_str().unwrap()])
+            .output()
+            .expect("spawn saql binary");
+        let _ = std::fs::remove_file(&query_file);
+        assert!(out.status.success(), "{name}: {out:?}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        // Drop the `# <file>` header (it carries the temp path); the body
+        // below it is the deterministic plan dump.
+        let body: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        let expected = fixture(name);
+        assert_eq!(
+            body, expected,
+            "plan dump for `{name}` diverged from its golden fixture \
+             (regenerate with `cargo run -p saql-cli --example gen_explain_fixtures` \
+              if the change is intentional)"
+        );
+    }
+}
+
+#[test]
+fn goldens_cover_all_four_anomaly_models() {
+    let kinds: Vec<String> = saql_lang::corpus::DEMO_QUERIES
+        .iter()
+        .map(|(name, _)| fixture(name).lines().next().unwrap_or_default().to_string())
+        .collect();
+    for kind in [
+        "kind: rule-based",
+        "kind: time-series",
+        "kind: invariant-based",
+        "kind: outlier-based",
+    ] {
+        assert!(
+            kinds.iter().any(|k| k == kind),
+            "no golden covers `{kind}`: {kinds:?}"
+        );
+    }
+}

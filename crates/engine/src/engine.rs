@@ -85,7 +85,7 @@ struct QueryEntry {
 ///         .starts_process(ProcessInfo::new(11, "osql.exe", "admin"))
 ///         .build(),
 /// );
-/// let alerts = engine.process(&event);
+/// let alerts = engine.process(&event).unwrap();
 /// assert_eq!(alerts.len(), 1);
 /// assert_eq!(alerts[0].query, "osql-start");
 /// ```
@@ -211,7 +211,7 @@ impl Engine {
     ///     .register("cmd-watch", "proc p1[\"%cmd.exe\"] start proc p2 as e\nreturn p1, p2")
     ///     .unwrap();
     /// let inbox = engine.subscribe(id).unwrap();
-    /// engine.process(&start(1, 10, "cmd.exe", "osql.exe"));
+    /// engine.process(&start(1, 10, "cmd.exe", "osql.exe")).unwrap();
     /// assert_eq!(inbox.try_recv().unwrap().query, "cmd-watch");
     ///
     /// // Live names are exclusive while registered...
@@ -223,7 +223,7 @@ impl Engine {
     ///     .register("cmd-watch", "proc p start proc q as e\nreturn p")
     ///     .unwrap();
     /// assert_ne!(id, id2, "ids are never reused");
-    /// let alerts = engine.process(&start(2, 20, "cmd.exe", "calc.exe"));
+    /// let alerts = engine.process(&start(2, 20, "cmd.exe", "calc.exe")).unwrap();
     /// assert_eq!(alerts.len(), 1);
     /// assert_eq!(alerts[0].query_id, id2);
     /// ```
@@ -255,7 +255,10 @@ impl Engine {
                 scheduler.add(query);
                 Vec::new()
             }
-            Backend::Parallel(runtime) => runtime.add(query),
+            // `parallel_finished` was checked above, so the runtime is live.
+            Backend::Parallel(runtime) => runtime
+                .add(query)
+                .expect("runtime is live: finished engines reject register"),
         };
         self.absorb(drained);
         self.registry.push(QueryEntry {
@@ -282,7 +285,7 @@ impl Engine {
                     .expect("facade registry and scheduler agree on live ids");
                 query.finish()
             }
-            Backend::Parallel(runtime) => runtime.remove(id),
+            Backend::Parallel(runtime) => runtime.remove(id)?,
         };
         self.absorb(drained);
         self.registry[id.index()].status = QueryStatus::Removed;
@@ -308,7 +311,7 @@ impl Engine {
                 scheduler.pause(id);
                 Vec::new()
             }
-            Backend::Parallel(runtime) => runtime.pause(id),
+            Backend::Parallel(runtime) => runtime.pause(id)?,
         };
         self.absorb(drained);
         self.registry[id.index()].status = QueryStatus::Paused;
@@ -326,7 +329,7 @@ impl Engine {
                 scheduler.resume(id);
                 Vec::new()
             }
-            Backend::Parallel(runtime) => runtime.resume(id),
+            Backend::Parallel(runtime) => runtime.resume(id)?,
         };
         self.absorb(drained);
         self.registry[id.index()].status = QueryStatus::Active;
@@ -521,13 +524,18 @@ impl Engine {
     /// delivered by [`finish`](Self::finish)). Alerts buffered by
     /// control-plane operations (a deregistration's window flush) are
     /// prepended.
-    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
+    ///
+    /// Returns [`EngineError::EngineFinished`] on a finished *parallel*
+    /// engine (its workers are gone, so the event would be silently lost);
+    /// the serial backend stays operable after [`finish`](Self::finish)
+    /// and never fails here.
+    pub fn process(&mut self, event: &SharedEvent) -> Result<Vec<Alert>, EngineError> {
         let fresh = match &mut self.backend {
             Backend::Serial(scheduler) => scheduler.process(event),
-            Backend::Parallel(runtime) => runtime.process(event),
+            Backend::Parallel(runtime) => runtime.process(event)?,
         };
         self.route(&fresh);
-        self.drain_pending(fresh)
+        Ok(self.drain_pending(fresh))
     }
 
     /// Drive an entire stream and flush; returns all alerts. Serial
@@ -539,13 +547,21 @@ impl Engine {
     /// which passes the caller's stream through untouched (no reordering,
     /// no late drops). Multi-source or live ingestion goes through
     /// [`Engine::session`] directly.
-    pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
+    ///
+    /// Like [`process`](Self::process), returns
+    /// [`EngineError::EngineFinished`] on a finished *parallel* engine —
+    /// its workers are gone, so the stream would be silently lost.
+    pub fn run(
+        &mut self,
+        stream: impl IntoIterator<Item = SharedEvent>,
+    ) -> Result<Vec<Alert>, EngineError> {
+        self.expect_mutable()?;
         let mut session = self.session();
         session.attach_with(
             saql_stream::source::IterSource::new("run", stream),
             saql_stream::Lateness::ArrivalOrder,
         );
-        session.drain()
+        Ok(session.drain())
     }
 
     /// Drive a stream, delivering every alert to `sink` as it fires
@@ -553,18 +569,20 @@ impl Engine {
     /// subscribers still receive their copies. Returns the alert count.
     ///
     /// Like [`run`](Self::run), a thin wrapper over a single-source
-    /// arrival-order [`session`](Self::session).
+    /// arrival-order [`session`](Self::session), with the same
+    /// [`EngineError::EngineFinished`] contract.
     pub fn run_with_sink(
         &mut self,
         stream: impl IntoIterator<Item = SharedEvent>,
         sink: &mut dyn crate::sink::AlertSink,
-    ) -> u64 {
+    ) -> Result<u64, EngineError> {
+        self.expect_mutable()?;
         let mut session = self.session();
         session.attach_with(
             saql_stream::source::IterSource::new("run", stream),
             saql_stream::Lateness::ArrivalOrder,
         );
-        session.drain_into(sink)
+        Ok(session.drain_into(sink))
     }
 
     /// Flush end-of-stream state (close remaining windows; in parallel
@@ -661,10 +679,12 @@ mod tests {
             "proc p1[\"%cmd.exe\"] start proc p2 as e1\nreturn p1, p2",
         )
         .unwrap();
-        let alerts = e.run(vec![
-            start(1, 10, "cmd.exe", "osql.exe"),
-            start(2, 20, "explorer.exe", "notepad.exe"),
-        ]);
+        let alerts = e
+            .run(vec![
+                start(1, 10, "cmd.exe", "osql.exe"),
+                start(2, 20, "explorer.exe", "notepad.exe"),
+            ])
+            .unwrap();
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].get("p2"), Some("osql.exe"));
     }
@@ -720,7 +740,7 @@ mod tests {
         let src = "proc p start proc q as e\nreturn p";
         let mut e = Engine::with_workers(EngineConfig::default(), 2);
         let id = e.register("q", src).unwrap();
-        e.run(vec![start(1, 10, "a.exe", "b.exe")]); // run() ends in finish()
+        e.run(vec![start(1, 10, "a.exe", "b.exe")]).unwrap(); // run() ends in finish()
         assert!(matches!(e.deregister(id), Err(EngineError::EngineFinished)));
         assert!(matches!(e.pause(id), Err(EngineError::EngineFinished)));
         assert!(matches!(e.resume(id), Err(EngineError::EngineFinished)));
@@ -729,15 +749,32 @@ mod tests {
         assert!(err.message.contains("already finished"), "{err:?}");
         // Locationless: no caret blaming the (valid) query text.
         assert!(!err.render(src).contains('^'), "{}", err.render(src));
+        // The data plane reports the finished engine too (the PR 3 wart
+        // was a panic inside the parallel runtime here).
+        assert!(matches!(
+            e.process(&start(2, 20, "a.exe", "b.exe")),
+            Err(EngineError::EngineFinished)
+        ));
+        // ...and so do whole-stream runs: nothing is silently dropped.
+        assert!(matches!(
+            e.run(vec![start(3, 30, "a.exe", "b.exe")]),
+            Err(EngineError::EngineFinished)
+        ));
+        let mut sink = crate::sink::CollectSink::default();
+        assert!(matches!(
+            e.run_with_sink(vec![start(4, 40, "a.exe", "b.exe")], &mut sink),
+            Err(EngineError::EngineFinished)
+        ));
+        assert!(sink.alerts.is_empty());
         // Serial engines stay fully operable after finish.
         let mut s = Engine::new(EngineConfig::default());
         let sid = s.register("q", src).unwrap();
-        s.run(vec![start(1, 10, "a.exe", "b.exe")]);
+        s.run(vec![start(1, 10, "a.exe", "b.exe")]).unwrap();
         s.pause(sid).unwrap();
         s.resume(sid).unwrap();
         s.deregister(sid).unwrap();
         s.register("q2", src).unwrap();
-        assert_eq!(s.process(&start(2, 20, "a.exe", "b.exe")).len(), 1);
+        assert_eq!(s.process(&start(2, 20, "a.exe", "b.exe")).unwrap().len(), 1);
     }
 
     #[test]
@@ -774,7 +811,8 @@ mod tests {
                 start(1, 10, "cmd.exe", "osql.exe"),
                 start(2, 20, "explorer.exe", "notepad.exe"),
                 start(3, 30, "cmd.exe", "calc.exe"),
-            ]);
+            ])
+            .unwrap();
             let got_a: Vec<Alert> = inbox_a.try_iter().collect();
             let got_b: Vec<Alert> = inbox_b.try_iter().collect();
             assert_eq!(got_a.len(), 2, "workers={workers}");
@@ -792,15 +830,15 @@ mod tests {
             .register("q", "proc p start proc q as e\nreturn p, q")
             .unwrap();
         let inbox = e.subscribe_with_capacity(id, 1).unwrap();
-        e.process(&start(1, 10, "a.exe", "b.exe"));
-        e.process(&start(2, 20, "a.exe", "b.exe"));
-        e.process(&start(3, 30, "a.exe", "b.exe"));
+        e.process(&start(1, 10, "a.exe", "b.exe")).unwrap();
+        e.process(&start(2, 20, "a.exe", "b.exe")).unwrap();
+        e.process(&start(3, 30, "a.exe", "b.exe")).unwrap();
         assert_eq!(inbox.try_iter().count(), 1, "capacity-1 channel");
         assert_eq!(e.dropped_alerts(), 2);
         // A dropped receiver unsubscribes (pruned from the routing table)
         // without counting further drops.
         drop(inbox);
-        e.process(&start(4, 40, "a.exe", "b.exe"));
+        e.process(&start(4, 40, "a.exe", "b.exe")).unwrap();
         assert_eq!(e.dropped_alerts(), 2);
         assert!(
             e.subscriptions.is_empty(),
@@ -827,11 +865,11 @@ mod tests {
                 .amount(5)
                 .build(),
         );
-        assert!(e.process(&write).is_empty(), "window still open");
+        assert!(e.process(&write).unwrap().is_empty(), "window still open");
         e.deregister(id).unwrap();
         // The flush alert surfaces on the next data-plane call and reached
         // the subscriber.
-        let alerts = e.process(&start(2, 2_000, "a.exe", "b.exe"));
+        let alerts = e.process(&start(2, 2_000, "a.exe", "b.exe")).unwrap();
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].query_id, id);
         assert_eq!(inbox.try_iter().count(), 1);
@@ -862,7 +900,7 @@ mod tests {
                 .amount(5)
                 .build(),
         );
-        e.process(&write);
+        e.process(&write).unwrap();
         e.deregister(id).unwrap();
         assert!(
             !e.subscriptions.is_empty(),
@@ -885,13 +923,13 @@ mod tests {
                 )
                 .unwrap();
             let mut alerts = Vec::new();
-            alerts.extend(e.process(&start(1, 10, "cmd.exe", "a.exe")));
+            alerts.extend(e.process(&start(1, 10, "cmd.exe", "a.exe")).unwrap());
             e.pause(id).unwrap();
             assert!(e.is_paused(id));
-            alerts.extend(e.process(&start(2, 20, "cmd.exe", "b.exe")));
+            alerts.extend(e.process(&start(2, 20, "cmd.exe", "b.exe")).unwrap());
             e.resume(id).unwrap();
             assert!(!e.is_paused(id));
-            alerts.extend(e.process(&start(3, 30, "cmd.exe", "c.exe")));
+            alerts.extend(e.process(&start(3, 30, "cmd.exe", "c.exe")).unwrap());
             alerts.extend(e.finish());
             let mut keys: Vec<String> = alerts.iter().map(|a| a.to_string()).collect();
             keys.sort();
@@ -916,7 +954,8 @@ mod tests {
             (0..50)
                 .map(|i| start(i, i * 10, "a.exe", "b.exe"))
                 .collect::<Vec<_>>(),
-        );
+        )
+        .unwrap();
         let hist = e.latency().expect("tracking enabled");
         assert_eq!(hist.count(), 50);
         assert!(hist.quantile(0.5).unwrap() > 0);
@@ -959,8 +998,8 @@ mod tests {
             keys.sort();
             keys
         };
-        let serial_alerts = norm(serial.run(events.clone()));
-        let parallel_alerts = norm(parallel.run(events));
+        let serial_alerts = norm(serial.run(events.clone()).unwrap());
+        let parallel_alerts = norm(parallel.run(events).unwrap());
         assert_eq!(serial_alerts, parallel_alerts);
         assert_eq!(
             parallel.scheduler_stats().events,
@@ -985,7 +1024,9 @@ mod tests {
         e.register("q", "proc p start proc q as e\nreturn p, q")
             .unwrap();
         let mut sink = crate::sink::JsonLinesSink::new(Vec::new());
-        let n = e.run_with_sink(vec![start(1, 10, "cmd.exe", "osql.exe")], &mut sink);
+        let n = e
+            .run_with_sink(vec![start(1, 10, "cmd.exe", "osql.exe")], &mut sink)
+            .unwrap();
         assert_eq!(n, 1);
         let text = String::from_utf8(sink.into_inner()).unwrap();
         assert!(text.contains("\"query\":\"q\""), "{text}");
@@ -998,7 +1039,7 @@ mod tests {
         let mut e = Engine::new(EngineConfig::default());
         e.register("q", "proc p start proc q as e\nreturn p")
             .unwrap();
-        e.run(vec![start(1, 10, "a", "b")]);
+        e.run(vec![start(1, 10, "a", "b")]).unwrap();
         let stats = e.query_stats();
         assert_eq!(stats.len(), 1);
         assert_eq!(stats[0].1.alerts, 1);

@@ -1,7 +1,15 @@
-//! Expression evaluation over runtime scopes.
+//! Expression evaluation: the compiled-program loop and the tree-walking
+//! interpreter.
+//!
+//! The hot path is [`run_program`]: a small loop over a flat [`Program`]
+//! that loads from the fixed slot arrays of an [`ExecCtx`]. The original
+//! tree-walking interpreter ([`eval`] over a [`Scope`]) survives as the
+//! differential-testing oracle; both paths dispatch binary operators
+//! through one shared kernel (`combine`), so they cannot disagree on
+//! operator semantics.
 //!
 //! A [`Scope`] assembles whatever context is live when an expression is
-//! evaluated: matched events and entity bindings (rule queries), window
+//! interpreted: matched events and entity bindings (rule queries), window
 //! states with history (`ss[1].avg_amount`), invariant variables, and the
 //! cluster outcome of the current group. Name resolution tries, in order:
 //! event aliases, entity variables, state blocks, invariant variables, the
@@ -10,8 +18,10 @@
 use std::collections::HashMap;
 
 use saql_lang::ast::{BinOp, CmpOp, Expr, UnaryOp};
+use saql_lang::resolve::ClusterField;
 use saql_model::{AttrValue, Entity};
 
+use crate::plan::{ExecCtx, Op, Program};
 use crate::value::Value;
 
 /// Cluster outcome of a group, exposed as `cluster.outlier`,
@@ -23,6 +33,20 @@ pub struct ClusterOutcome {
     pub cluster_id: Option<usize>,
     /// Population of the point's cluster (1 for noise).
     pub size: usize,
+}
+
+impl ClusterOutcome {
+    /// Field access shared by both execution paths.
+    fn field(self, field: ClusterField) -> Value {
+        match field {
+            ClusterField::Outlier => Value::bool(self.outlier),
+            ClusterField::ClusterId => match self.cluster_id {
+                Some(id) => Value::int(id as i64),
+                None => Value::int(-1),
+            },
+            ClusterField::Size => Value::int(self.size as i64),
+        }
+    }
 }
 
 /// Resolves `ss[i].field` state references.
@@ -38,6 +62,206 @@ pub struct NoState;
 impl StateLookup for NoState {
     fn state_value(&self, _: &str, _: usize, _: Option<&str>) -> Value {
         Value::Missing
+    }
+}
+
+/// Index-based state access for compiled programs: the deploy-time
+/// counterpart of [`StateLookup`] (names and field positions were resolved
+/// when the plan was built).
+pub trait StateSlots {
+    /// Value of field `field` of the query's state block, `back` windows
+    /// before the current one, for the group in scope.
+    fn field(&self, back: usize, field: usize) -> Value;
+}
+
+/// Empty slot lookup for contexts without a state block.
+pub struct NoSlots;
+
+impl StateSlots for NoSlots {
+    fn field(&self, _: usize, _: usize) -> Value {
+        Value::Missing
+    }
+}
+
+/// Evaluate a *load* op (one that reads no registers). `None` for
+/// register-consuming ops.
+fn load_op(op: &Op, ctx: &ExecCtx<'_>, consts: &[Value]) -> Option<Value> {
+    Some(match *op {
+        Op::Const { idx, .. } => consts[idx as usize].clone(),
+        Op::Missing { .. } => Value::Missing,
+        Op::EventId { slot, .. } => match ctx.events.get(slot as usize).copied().flatten() {
+            Some(event) => Value::int(event.id as i64),
+            None => Value::Missing,
+        },
+        Op::EventAttr { slot, attr, .. } => match ctx
+            .events
+            .get(slot as usize)
+            .copied()
+            .flatten()
+            .and_then(|event| event.attr_value(attr))
+        {
+            Some(v) => Value::Attr(v),
+            None => Value::Missing,
+        },
+        Op::EntityAttr { slot, attr, .. } => match ctx
+            .entities
+            .get(slot as usize)
+            .copied()
+            .flatten()
+            .and_then(|entity| entity.attr_value(attr))
+        {
+            Some(v) => Value::Attr(v),
+            None => Value::Missing,
+        },
+        Op::State { back, field, .. } => ctx.states.field(back as usize, field as usize),
+        Op::GroupKey { slot, .. } => match ctx.group_keys.get(slot as usize) {
+            Some(v) => Value::Attr(v.clone()),
+            None => Value::Missing,
+        },
+        Op::Invariant { slot, .. } => ctx
+            .invariants
+            .get(slot as usize)
+            .cloned()
+            .unwrap_or(Value::Missing),
+        Op::Cluster { field, .. } => match ctx.cluster {
+            Some(outcome) => outcome.field(field),
+            None => Value::Missing,
+        },
+        Op::Not { .. } | Op::Neg { .. } | Op::Card { .. } | Op::Bin { .. } => return None,
+    })
+}
+
+/// Execute a compiled program against a context — the per-event
+/// replacement for [`eval`] over a [`Scope`]. `regs` is a caller-owned
+/// scratch register file, reused across calls to keep the hot path
+/// allocation-free once warm.
+pub fn run_program(program: &Program, ctx: &ExecCtx<'_>, regs: &mut Vec<Value>) -> Value {
+    // Single-op programs (a bare attribute load, a constant) skip the
+    // register file entirely — the common shape of state-field arguments
+    // and return items.
+    if let [op] = program.ops.as_slice() {
+        if let Some(v) = load_op(op, ctx, &program.consts) {
+            return v;
+        }
+    }
+    regs.clear();
+    regs.resize(program.regs, Value::Missing);
+    for op in &program.ops {
+        let (dst, value) = match *op {
+            Op::Not { dst, src } => (
+                dst,
+                match &regs[src as usize] {
+                    Value::Missing => Value::Missing,
+                    other => Value::bool(!other.truthy()),
+                },
+            ),
+            Op::Neg { dst, src } => (
+                dst,
+                match regs[src as usize].as_f64() {
+                    Some(x) => Value::float(-x),
+                    None => Value::Missing,
+                },
+            ),
+            Op::Card { dst, src } => (dst, regs[src as usize].cardinality()),
+            Op::Bin { dst, op, lhs, rhs } => {
+                // Straight-line registers are written once: take the
+                // operands to skip refcount traffic on sets/strings.
+                let l = std::mem::replace(&mut regs[lhs as usize], Value::Missing);
+                let r = std::mem::replace(&mut regs[rhs as usize], Value::Missing);
+                (dst, combine(op, l, r))
+            }
+            ref load => (
+                load.dst(),
+                load_op(load, ctx, &program.consts).expect("load ops carry no registers"),
+            ),
+        };
+        regs[dst as usize] = value;
+    }
+    regs.pop().unwrap_or(Value::Missing)
+}
+
+/// The binary-operator kernel shared by the interpreter and the program
+/// loop. `&&`/`||` are *eager* here: evaluation is total and effect-free,
+/// so consuming both operands yields exactly the short-circuit result the
+/// interpreter computes (the interpreter still short-circuits for speed).
+pub(crate) fn combine(op: BinOp, l: Value, r: Value) -> Value {
+    match op {
+        BinOp::And => {
+            if l.is_missing() {
+                return Value::Missing;
+            }
+            if !l.truthy() {
+                return Value::bool(false);
+            }
+            if r.is_missing() {
+                return Value::Missing;
+            }
+            Value::bool(r.truthy())
+        }
+        BinOp::Or => {
+            if !l.is_missing() && l.truthy() {
+                return Value::bool(true);
+            }
+            if r.is_missing() {
+                return if l.is_missing() {
+                    Value::Missing
+                } else {
+                    Value::bool(false)
+                };
+            }
+            if r.truthy() {
+                return Value::bool(true);
+            }
+            if l.is_missing() {
+                Value::Missing
+            } else {
+                Value::bool(false)
+            }
+        }
+        BinOp::Cmp(cmp) => {
+            if l.is_missing() || r.is_missing() {
+                return Value::Missing;
+            }
+            let result = match cmp {
+                CmpOp::Eq => l.loose_eq(&r),
+                CmpOp::Ne => l.loose_eq(&r).map(|b| !b),
+                CmpOp::Lt => l.loose_cmp(&r).map(|o| o.is_lt()),
+                CmpOp::Le => l.loose_cmp(&r).map(|o| o.is_le()),
+                CmpOp::Gt => l.loose_cmp(&r).map(|o| o.is_gt()),
+                CmpOp::Ge => l.loose_cmp(&r).map(|o| o.is_ge()),
+            };
+            match result {
+                Some(b) => Value::bool(b),
+                None => Value::Missing,
+            }
+        }
+        BinOp::Union => l.union(&r),
+        BinOp::Diff => l.diff(&r),
+        BinOp::Intersect => l.intersect(&r),
+        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+            let (Some(a), Some(b)) = (l.as_f64(), r.as_f64()) else {
+                return Value::Missing;
+            };
+            let x = match op {
+                BinOp::Add => a + b,
+                BinOp::Sub => a - b,
+                BinOp::Mul => a * b,
+                BinOp::Div => {
+                    if b == 0.0 {
+                        return Value::Missing;
+                    }
+                    a / b
+                }
+                BinOp::Mod => {
+                    if b == 0.0 {
+                        return Value::Missing;
+                    }
+                    a % b
+                }
+                _ => unreachable!("arithmetic arm"),
+            };
+            Value::float(x)
+        }
     }
 }
 
@@ -170,92 +394,16 @@ pub fn eval(expr: &Expr, scope: &Scope<'_>) -> Value {
 }
 
 fn eval_binary(op: BinOp, lhs: &Expr, rhs: &Expr, scope: &Scope<'_>) -> Value {
+    // Short-circuit the logical operators (the kernel's eager forms agree
+    // on values; skipping the right subtree is pure speed).
+    let l = eval(lhs, scope);
     match op {
-        BinOp::And => {
-            // Short-circuit; Missing && x is false-ish but keep Missing to
-            // distinguish "cannot evaluate yet".
-            let l = eval(lhs, scope);
-            if l.is_missing() {
-                return Value::Missing;
-            }
-            if !l.truthy() {
-                return Value::bool(false);
-            }
-            let r = eval(rhs, scope);
-            if r.is_missing() {
-                return Value::Missing;
-            }
-            Value::bool(r.truthy())
-        }
-        BinOp::Or => {
-            let l = eval(lhs, scope);
-            if !l.is_missing() && l.truthy() {
-                return Value::bool(true);
-            }
-            let r = eval(rhs, scope);
-            if r.is_missing() {
-                return if l.is_missing() {
-                    Value::Missing
-                } else {
-                    Value::bool(false)
-                };
-            }
-            if r.truthy() {
-                return Value::bool(true);
-            }
-            if l.is_missing() {
-                Value::Missing
-            } else {
-                Value::bool(false)
-            }
-        }
-        BinOp::Cmp(cmp) => {
-            let l = eval(lhs, scope);
-            let r = eval(rhs, scope);
-            if l.is_missing() || r.is_missing() {
-                return Value::Missing;
-            }
-            let result = match cmp {
-                CmpOp::Eq => l.loose_eq(&r),
-                CmpOp::Ne => l.loose_eq(&r).map(|b| !b),
-                CmpOp::Lt => l.loose_cmp(&r).map(|o| o.is_lt()),
-                CmpOp::Le => l.loose_cmp(&r).map(|o| o.is_le()),
-                CmpOp::Gt => l.loose_cmp(&r).map(|o| o.is_gt()),
-                CmpOp::Ge => l.loose_cmp(&r).map(|o| o.is_ge()),
-            };
-            match result {
-                Some(b) => Value::bool(b),
-                None => Value::Missing,
-            }
-        }
-        BinOp::Union => eval(lhs, scope).union(&eval(rhs, scope)),
-        BinOp::Diff => eval(lhs, scope).diff(&eval(rhs, scope)),
-        BinOp::Intersect => eval(lhs, scope).intersect(&eval(rhs, scope)),
-        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
-            let (Some(l), Some(r)) = (eval(lhs, scope).as_f64(), eval(rhs, scope).as_f64()) else {
-                return Value::Missing;
-            };
-            let x = match op {
-                BinOp::Add => l + r,
-                BinOp::Sub => l - r,
-                BinOp::Mul => l * r,
-                BinOp::Div => {
-                    if r == 0.0 {
-                        return Value::Missing;
-                    }
-                    l / r
-                }
-                BinOp::Mod => {
-                    if r == 0.0 {
-                        return Value::Missing;
-                    }
-                    l % r
-                }
-                _ => unreachable!("arithmetic arm"),
-            };
-            Value::float(x)
-        }
+        BinOp::And if l.is_missing() => return Value::Missing,
+        BinOp::And if !l.truthy() => return Value::bool(false),
+        BinOp::Or if !l.is_missing() && l.truthy() => return Value::bool(true),
+        _ => {}
     }
+    combine(op, l, eval(rhs, scope))
 }
 
 #[cfg(test)]

@@ -5,12 +5,16 @@
 //! Apache is *allowed* to spawn), then switches to detection. In `offline`
 //! mode the invariant freezes after training; in `online` mode it keeps
 //! absorbing non-alerting windows, adapting to drift.
-
-use std::collections::HashMap;
+//!
+//! The runtime owns *when* statements run (phases, per-group bookkeeping)
+//! but not *how* they evaluate: callers supply an evaluator closure
+//! `(statement index, current variables) → value`, which the engine backs
+//! with either a compiled program or the interpreter oracle. Variables are
+//! slot-indexed (`:=` initialization order) — the close-time contexts read
+//! them as a plain slice.
 
 use saql_lang::ast::{InvariantBlock, InvariantMode};
 
-use crate::eval::{eval, Scope};
 use crate::value::Value;
 
 /// Training status of one group's invariant.
@@ -24,22 +28,47 @@ pub enum Phase {
 
 #[derive(Debug)]
 struct GroupInvariant {
-    vars: HashMap<String, Value>,
+    vars: Vec<Value>,
     phase: Phase,
 }
 
+/// One statement's dispatch row: which variable slot it writes and whether
+/// it is an initializer.
+#[derive(Debug, Clone, Copy)]
+struct StmtRow {
+    slot: usize,
+    init: bool,
+}
+
+/// Evaluate statement `index` with the group's current variables in scope.
+pub type StmtEval<'a> = dyn FnMut(usize, &[Value]) -> Value + 'a;
+
 /// Runtime for one invariant block, tracking per-group training state.
+/// Groups are keyed by their close-time labels (one lookup per group per
+/// window close — never on the per-event path).
 #[derive(Debug)]
 pub struct InvariantRuntime {
-    block: InvariantBlock,
-    groups: HashMap<String, GroupInvariant>,
+    train_windows: usize,
+    mode: InvariantMode,
+    stmts: Vec<StmtRow>,
+    n_vars: usize,
+    groups: std::collections::HashMap<String, GroupInvariant>,
 }
 
 impl InvariantRuntime {
-    pub fn new(block: &InvariantBlock) -> Self {
+    /// Build from the block plus its resolved statement rows
+    /// `(variable slot, is-init)` in block order (see
+    /// [`saql_lang::resolve::ResolvedStmt`]).
+    pub fn new(block: &InvariantBlock, stmts: Vec<(usize, bool)>, n_vars: usize) -> Self {
         InvariantRuntime {
-            block: block.clone(),
-            groups: HashMap::new(),
+            train_windows: block.train_windows,
+            mode: block.mode,
+            stmts: stmts
+                .into_iter()
+                .map(|(slot, init)| StmtRow { slot, init })
+                .collect(),
+            n_vars,
+            groups: std::collections::HashMap::new(),
         }
     }
 
@@ -48,29 +77,31 @@ impl InvariantRuntime {
         self.groups.get(group).map(|g| g.phase)
     }
 
-    /// Invariant variables of a group, for alert-scope construction.
-    /// Empty while the group is unknown.
-    pub fn vars(&self, group: &str) -> HashMap<String, Value> {
+    /// Invariant variables of a group, slot-indexed. Empty while the group
+    /// is unknown.
+    pub fn vars(&self, group: &str) -> &[Value] {
         match self.groups.get(group) {
-            Some(g) => g.vars.clone(),
-            None => HashMap::new(),
+            Some(g) => &g.vars,
+            None => &[],
         }
     }
 
-    /// Observe one closed window for `group`. `scope` must resolve the state
-    /// fields (`ss.set_proc`) for that window.
+    /// Observe one closed window for `group`, evaluating statements through
+    /// `eval`.
     ///
     /// Returns `true` if the group is in detection mode **after** this
     /// window's bookkeeping — i.e. the caller should evaluate the alert
     /// condition. During training, updates run and no alert is possible.
-    pub fn on_window(&mut self, group: &str, scope: &Scope<'_>) -> bool {
+    pub fn on_window(&mut self, group: &str, eval: &mut StmtEval<'_>) -> bool {
+        let stmts = &self.stmts;
+        let n_vars = self.n_vars;
         let entry = self.groups.entry(group.to_string()).or_insert_with(|| {
-            // First sight of the group: run the `:=` initializers.
-            let mut vars = HashMap::new();
-            for stmt in &self.block.stmts {
-                if stmt.init {
-                    let seeded = eval(&stmt.expr, &Scope::empty());
-                    vars.insert(stmt.var.clone(), seeded);
+            // First sight of the group: run the `:=` initializers
+            // (empty context — `eval` ignores the variables for them).
+            let mut vars = vec![Value::Missing; n_vars];
+            for (i, row) in stmts.iter().enumerate() {
+                if row.init {
+                    vars[row.slot] = eval(i, &vars);
                 }
             }
             GroupInvariant {
@@ -81,9 +112,9 @@ impl InvariantRuntime {
 
         match entry.phase {
             Phase::Training { seen } => {
-                Self::run_updates(&self.block, &mut entry.vars, scope);
+                run_updates(stmts, &mut entry.vars, eval);
                 let seen = seen + 1;
-                entry.phase = if seen >= self.block.train_windows {
+                entry.phase = if seen >= self.train_windows {
                     Phase::Detecting
                 } else {
                     Phase::Training { seen }
@@ -96,36 +127,29 @@ impl InvariantRuntime {
 
     /// In `online` mode, absorb a non-alerting detection window into the
     /// invariant (call after the alert evaluated false).
-    pub fn absorb_online(&mut self, group: &str, scope: &Scope<'_>) {
-        if self.block.mode != InvariantMode::Online {
+    pub fn absorb_online(&mut self, group: &str, eval: &mut StmtEval<'_>) {
+        if self.mode != InvariantMode::Online {
             return;
         }
         if let Some(entry) = self.groups.get_mut(group) {
             if entry.phase == Phase::Detecting {
-                Self::run_updates(&self.block, &mut entry.vars, scope);
+                run_updates(&self.stmts, &mut entry.vars, eval);
             }
         }
     }
+}
 
-    fn run_updates(block: &InvariantBlock, vars: &mut HashMap<String, Value>, scope: &Scope<'_>) {
-        for stmt in &block.stmts {
-            if stmt.init {
-                continue;
-            }
-            // Update expressions see the current invariant vars plus the
-            // window scope; graft the vars into a derived scope.
-            let s = Scope {
-                events: scope.events.clone(),
-                entities: scope.entities.clone(),
-                group_keys: scope.group_keys.clone(),
-                states: scope.states,
-                invariants: vars.clone(),
-                cluster: scope.cluster,
-            };
-            let next = eval(&stmt.expr, &s);
-            if !next.is_missing() {
-                vars.insert(stmt.var.clone(), next);
-            }
+fn run_updates(stmts: &[StmtRow], vars: &mut [Value], eval: &mut StmtEval<'_>) {
+    for (i, row) in stmts.iter().enumerate() {
+        if row.init {
+            continue;
+        }
+        // Update expressions see the current invariant variables; a
+        // `Missing` result keeps the previous value (bad data never
+        // erases a trained invariant).
+        let next = eval(i, vars);
+        if !next.is_missing() {
+            vars[row.slot] = next;
         }
     }
 }
@@ -133,7 +157,6 @@ impl InvariantRuntime {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::eval::StateLookup;
     use saql_lang::parse;
 
     fn block(train: usize, mode: &str) -> InvariantBlock {
@@ -143,85 +166,88 @@ mod tests {
         parse(&src).unwrap().invariants.remove(0)
     }
 
-    /// Fake state resolving `ss.set_proc` to a fixed set.
-    struct FixedState(Vec<&'static str>);
-
-    impl StateLookup for FixedState {
-        fn state_value(&self, name: &str, back: usize, field: Option<&str>) -> Value {
-            if name == "ss" && back == 0 && field == Some("set_proc") {
-                Value::set_from(self.0.iter().map(|s| s.to_string()))
-            } else {
-                Value::Missing
-            }
-        }
+    fn runtime(train: usize, mode: &str) -> InvariantRuntime {
+        // Statement rows of the block above: `a := empty_set`, `a = ...`.
+        InvariantRuntime::new(&block(train, mode), vec![(0, true), (0, false)], 1)
     }
 
-    fn scope_with(state: &FixedState) -> Scope<'_> {
-        let mut s = Scope::empty();
-        s.states = state;
-        s
+    /// Evaluator mirroring the block: init seeds the empty set, the update
+    /// unions a fixed per-window set into `a`.
+    fn eval_with<'a>(window_set: &'a [&'a str]) -> impl FnMut(usize, &[Value]) -> Value + 'a {
+        move |stmt, vars| match stmt {
+            0 => Value::empty_set(),
+            _ => vars[0].union(&Value::set_from(window_set.iter().map(|s| s.to_string()))),
+        }
     }
 
     #[test]
     fn trains_then_detects() {
-        let mut inv = InvariantRuntime::new(&block(3, "offline"));
-        let normal = FixedState(vec!["php.exe"]);
+        let mut inv = runtime(3, "offline");
         for i in 0..3 {
-            let ready = inv.on_window("apache.exe", &scope_with(&normal));
+            let ready = inv.on_window("apache.exe", &mut eval_with(&["php.exe"]));
             assert!(!ready, "window {i} must still be training");
         }
         assert_eq!(inv.phase("apache.exe"), Some(Phase::Detecting));
-        assert!(inv.on_window("apache.exe", &scope_with(&normal)));
+        assert!(inv.on_window("apache.exe", &mut eval_with(&["php.exe"])));
         // The trained invariant contains the union of training windows.
-        let vars = inv.vars("apache.exe");
-        assert_eq!(vars["a"].to_string(), "{php.exe}");
+        assert_eq!(inv.vars("apache.exe")[0].to_string(), "{php.exe}");
     }
 
     #[test]
     fn union_accumulates_across_training_windows() {
-        let mut inv = InvariantRuntime::new(&block(2, "offline"));
-        inv.on_window("apache.exe", &scope_with(&FixedState(vec!["php.exe"])));
-        inv.on_window(
-            "apache.exe",
-            &scope_with(&FixedState(vec!["rotatelogs.exe"])),
+        let mut inv = runtime(2, "offline");
+        inv.on_window("apache.exe", &mut eval_with(&["php.exe"]));
+        inv.on_window("apache.exe", &mut eval_with(&["rotatelogs.exe"]));
+        assert_eq!(
+            inv.vars("apache.exe")[0].to_string(),
+            "{php.exe, rotatelogs.exe}"
         );
-        let vars = inv.vars("apache.exe");
-        assert_eq!(vars["a"].to_string(), "{php.exe, rotatelogs.exe}");
     }
 
     #[test]
     fn offline_mode_freezes_after_training() {
-        let mut inv = InvariantRuntime::new(&block(1, "offline"));
-        inv.on_window("g", &scope_with(&FixedState(vec!["php.exe"])));
+        let mut inv = runtime(1, "offline");
+        inv.on_window("g", &mut eval_with(&["php.exe"]));
         // Detection window with a new process; offline must not absorb it.
-        assert!(inv.on_window("g", &scope_with(&FixedState(vec!["cmd.exe"]))));
-        inv.absorb_online("g", &scope_with(&FixedState(vec!["cmd.exe"])));
-        assert_eq!(inv.vars("g")["a"].to_string(), "{php.exe}");
+        assert!(inv.on_window("g", &mut eval_with(&["cmd.exe"])));
+        inv.absorb_online("g", &mut eval_with(&["cmd.exe"]));
+        assert_eq!(inv.vars("g")[0].to_string(), "{php.exe}");
     }
 
     #[test]
     fn online_mode_absorbs_after_training() {
-        let mut inv = InvariantRuntime::new(&block(1, "online"));
-        inv.on_window("g", &scope_with(&FixedState(vec!["php.exe"])));
-        assert!(inv.on_window("g", &scope_with(&FixedState(vec!["cgi.exe"]))));
-        inv.absorb_online("g", &scope_with(&FixedState(vec!["cgi.exe"])));
-        assert_eq!(inv.vars("g")["a"].to_string(), "{cgi.exe, php.exe}");
+        let mut inv = runtime(1, "online");
+        inv.on_window("g", &mut eval_with(&["php.exe"]));
+        assert!(inv.on_window("g", &mut eval_with(&["cgi.exe"])));
+        inv.absorb_online("g", &mut eval_with(&["cgi.exe"]));
+        assert_eq!(inv.vars("g")[0].to_string(), "{cgi.exe, php.exe}");
     }
 
     #[test]
     fn groups_train_independently() {
-        let mut inv = InvariantRuntime::new(&block(2, "offline"));
-        inv.on_window("apache-1", &scope_with(&FixedState(vec!["php.exe"])));
-        inv.on_window("apache-1", &scope_with(&FixedState(vec!["php.exe"])));
+        let mut inv = runtime(2, "offline");
+        inv.on_window("apache-1", &mut eval_with(&["php.exe"]));
+        inv.on_window("apache-1", &mut eval_with(&["php.exe"]));
         // apache-2 appears later: still training while apache-1 detects.
-        assert!(!inv.on_window("apache-2", &scope_with(&FixedState(vec!["perl.exe"]))));
-        assert!(inv.on_window("apache-1", &scope_with(&FixedState(vec!["php.exe"]))));
+        assert!(!inv.on_window("apache-2", &mut eval_with(&["perl.exe"])));
+        assert!(inv.on_window("apache-1", &mut eval_with(&["php.exe"])));
         assert_eq!(inv.phase("apache-2"), Some(Phase::Training { seen: 1 }));
     }
 
     #[test]
+    fn missing_update_keeps_previous_value() {
+        let mut inv = runtime(2, "offline");
+        inv.on_window("g", &mut eval_with(&["php.exe"]));
+        inv.on_window("g", &mut |stmt, _| match stmt {
+            0 => Value::empty_set(),
+            _ => Value::Missing,
+        });
+        assert_eq!(inv.vars("g")[0].to_string(), "{php.exe}");
+    }
+
+    #[test]
     fn unknown_group_has_no_vars() {
-        let inv = InvariantRuntime::new(&block(2, "offline"));
+        let inv = runtime(2, "offline");
         assert!(inv.vars("nobody").is_empty());
         assert_eq!(inv.phase("nobody"), None);
     }

@@ -44,6 +44,7 @@ pub mod error;
 pub mod eval;
 pub mod invariant;
 pub mod matcher;
+pub mod plan;
 pub mod query;
 pub mod runtime;
 pub mod scheduler;

@@ -8,61 +8,74 @@
 //! variables must bind the same entity), maintaining bounded partial-match
 //! state across the stream.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashSet, VecDeque};
 
 use saql_lang::ast::{AttrConstraint, CmpOp, EventPattern, GlobalConstraint, Query};
+use saql_lang::resolve::entity_slot_names;
 use saql_model::glob::like_match;
-use saql_model::{AttrValue, Duration, Entity, Event, Operation, Timestamp};
+use saql_model::{
+    AttrId, AttrNs, AttrRef, AttrTable, AttrValue, Duration, Entity, Event, Operation, Timestamp,
+};
 use saql_stream::SharedEvent;
 
-/// A compiled attribute constraint.
+/// The comparison a predicate performs once its attribute is loaded.
 #[derive(Debug, Clone)]
-pub enum Predicate {
+enum PredTest {
     /// SQL-LIKE match on a string attribute.
-    Like {
-        attr: Option<String>,
-        pattern: String,
-    },
+    Like(String),
     /// Direct comparison against a constant.
-    Cmp {
-        attr: Option<String>,
-        op: CmpOp,
-        value: AttrValue,
-    },
+    Cmp { op: CmpOp, value: AttrValue },
+}
+
+/// A compiled attribute constraint: attribute resolved to an [`AttrId`] at
+/// compile time, checked against **borrowed** attribute views at run time —
+/// the per-event path neither compares attribute names nor clones values.
+#[derive(Debug, Clone)]
+pub struct Predicate {
+    /// Resolved attribute. `None` means the constraint names an attribute
+    /// its target cannot supply; such a predicate never matches (exactly
+    /// what the legacy name-probing produced).
+    attr: Option<AttrId>,
+    /// The attribute as spelled in the query (for explain listings).
+    spelled: String,
+    test: PredTest,
 }
 
 impl Predicate {
-    /// Compile one AST constraint, choosing LIKE when the pattern carries
-    /// wildcards. Exact string equality is also routed through LIKE for the
-    /// case-insensitive semantics monitoring paths need.
-    pub fn compile(c: &AttrConstraint) -> Predicate {
+    /// Compile one AST constraint against an attribute namespace.
+    /// `default_attr` fills the `proc p["%cmd.exe"]` shorthand. LIKE is
+    /// chosen for string equality (wildcards or not — exact strings keep
+    /// the case-insensitive semantics monitoring paths need).
+    pub fn compile(c: &AttrConstraint, ns: AttrNs, default_attr: &str) -> Predicate {
+        let spelled = c.attr.clone().unwrap_or_else(|| default_attr.to_string());
+        let attr = AttrTable::global().resolve(ns, &spelled);
         let value = c.value.to_attr();
-        if c.op == CmpOp::Eq {
-            if let AttrValue::Str(s) = &value {
-                // Wildcard patterns need LIKE; exact strings go through it
-                // too for the case-insensitive semantics.
-                return Predicate::Like {
-                    attr: c.attr.clone(),
-                    pattern: s.to_string(),
-                };
-            }
-        }
-        Predicate::Cmp {
-            attr: c.attr.clone(),
-            op: c.op,
-            value,
+        let test = match (&value, c.op) {
+            (AttrValue::Str(s), CmpOp::Eq) => PredTest::Like(s.to_string()),
+            _ => PredTest::Cmp { op: c.op, value },
+        };
+        Predicate {
+            attr,
+            spelled,
+            test,
         }
     }
 
-    /// Check the predicate against an attribute value.
-    pub fn check(&self, actual: Option<AttrValue>) -> bool {
+    /// The resolved attribute this predicate loads, if any.
+    pub fn attr(&self) -> Option<AttrId> {
+        self.attr
+    }
+
+    /// Check the predicate against a borrowed attribute view. `None`
+    /// (attribute absent) never matches.
+    pub fn check(&self, actual: Option<AttrRef<'_>>) -> bool {
         let Some(actual) = actual else { return false };
-        match self {
-            Predicate::Like { pattern, .. } => match actual.as_str() {
+        match &self.test {
+            PredTest::Like(pattern) => match actual.as_str() {
                 Some(s) => like_match(pattern, s),
                 None => false,
             },
-            Predicate::Cmp { op, value, .. } => match op {
+            PredTest::Cmp { op, value } => match op {
                 CmpOp::Eq => actual.loose_eq(value),
                 CmpOp::Ne => !actual.loose_eq(value),
                 _ => match actual.loose_cmp(value) {
@@ -79,9 +92,31 @@ impl Predicate {
         }
     }
 
-    fn attr_name(&self) -> Option<&str> {
-        match self {
-            Predicate::Like { attr, .. } | Predicate::Cmp { attr, .. } => attr.as_deref(),
+    /// Whether the entity satisfies this predicate (borrowed end to end).
+    pub fn check_entity(&self, entity: &Entity) -> bool {
+        match self.attr {
+            Some(id) => self.check(entity.attr_ref(id)),
+            None => false,
+        }
+    }
+
+    /// Whether the event's *event-level* attributes satisfy this predicate.
+    pub fn check_event(&self, event: &Event) -> bool {
+        match self.attr {
+            Some(id) => self.check(event.attr_ref(id)),
+            None => false,
+        }
+    }
+
+    /// One-line form for explain listings, e.g. `exe_name LIKE "%cmd.exe"`.
+    pub fn render(&self) -> String {
+        let attr = match self.attr {
+            Some(id) => id.name().to_string(),
+            None => format!("<unresolved:{}>", self.spelled),
+        };
+        match &self.test {
+            PredTest::Like(pattern) => format!("{attr} LIKE {pattern:?}"),
+            PredTest::Cmp { op, value } => format!("{attr} {} {value}", op.symbol()),
         }
     }
 }
@@ -90,7 +125,7 @@ impl Predicate {
 /// event-level attributes before any pattern work.
 #[derive(Debug, Clone, Default)]
 pub struct GlobalFilter {
-    predicates: Vec<(String, Predicate)>,
+    predicates: Vec<Predicate>,
 }
 
 impl GlobalFilter {
@@ -99,13 +134,16 @@ impl GlobalFilter {
             predicates: globals
                 .iter()
                 .map(|g| {
-                    let pred = Predicate::compile(&AttrConstraint {
-                        attr: Some(g.attr.clone()),
-                        op: g.op,
-                        value: g.value.clone(),
-                        span: g.span,
-                    });
-                    (g.attr.clone(), pred)
+                    Predicate::compile(
+                        &AttrConstraint {
+                            attr: Some(g.attr.clone()),
+                            op: g.op,
+                            value: g.value.clone(),
+                            span: g.span,
+                        },
+                        AttrNs::Event,
+                        g.attr.as_str(),
+                    )
                 })
                 .collect(),
         }
@@ -113,17 +151,24 @@ impl GlobalFilter {
 
     /// Whether the event passes every global constraint.
     pub fn accepts(&self, event: &Event) -> bool {
-        self.predicates
-            .iter()
-            .all(|(attr, pred)| pred.check(event.attr(attr)))
+        self.predicates.iter().all(|pred| pred.check_event(event))
+    }
+
+    /// The compiled predicates (explain listings).
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.predicates
     }
 }
 
-/// A compiled event pattern.
+/// A compiled event pattern: operations, types, and attribute predicates
+/// resolved to ids, with subject/object bound to entity-variable *slots*
+/// (positions in [`entity_slot_names`]) instead of names.
 #[derive(Debug, Clone)]
 pub struct PatternMatcher {
-    pub subject_var: String,
-    pub object_var: String,
+    /// Entity-variable slot the subject binds.
+    pub subject_slot: usize,
+    /// Entity-variable slot the object binds.
+    pub object_slot: usize,
     pub alias: String,
     ops: Vec<Operation>,
     object_type: saql_model::EntityType,
@@ -132,10 +177,17 @@ pub struct PatternMatcher {
 }
 
 impl PatternMatcher {
-    pub fn compile(p: &EventPattern) -> PatternMatcher {
+    /// Compile one pattern against the query's entity slot table.
+    pub fn compile(p: &EventPattern, slots: &[String]) -> PatternMatcher {
+        let slot_of = |var: &str| {
+            slots
+                .iter()
+                .position(|s| s == var)
+                .expect("slot table covers every pattern variable")
+        };
         PatternMatcher {
-            subject_var: p.subject.var.clone(),
-            object_var: p.object.var.clone(),
+            subject_slot: slot_of(&p.subject.var),
+            object_slot: slot_of(&p.object.var),
             alias: p.alias.clone(),
             ops: p.ops.clone(),
             object_type: p.object.etype,
@@ -143,13 +195,25 @@ impl PatternMatcher {
                 .subject
                 .constraints
                 .iter()
-                .map(Predicate::compile)
+                .map(|c| {
+                    Predicate::compile(
+                        c,
+                        AttrNs::Process,
+                        saql_model::EntityType::Process.default_attr(),
+                    )
+                })
                 .collect(),
             object_preds: p
                 .object
                 .constraints
                 .iter()
-                .map(Predicate::compile)
+                .map(|c| {
+                    Predicate::compile(
+                        c,
+                        AttrNs::of_entity(p.object.etype),
+                        p.object.etype.default_attr(),
+                    )
+                })
                 .collect(),
         }
     }
@@ -163,25 +227,28 @@ impl PatternMatcher {
 
     /// Whether the event satisfies this pattern (types, operation,
     /// constraints) — ignoring joins, which [`MultiMatcher`] enforces.
+    /// Entirely allocation-free: predicates compare borrowed views.
     pub fn matches(&self, event: &Event) -> bool {
         if !self.shape_matches(event) {
             return false;
         }
         for pred in &self.subject_preds {
-            let attr = pred
-                .attr_name()
-                .unwrap_or(saql_model::EntityType::Process.default_attr());
-            if !pred.check(event.subject.attr(attr)) {
+            let actual = pred.attr().and_then(|id| event.subject.attr_ref(id));
+            if !pred.check(actual) {
                 return false;
             }
         }
         for pred in &self.object_preds {
-            let attr = pred.attr_name().unwrap_or(self.object_type.default_attr());
-            if !pred.check(event.object.attr(attr)) {
+            if !pred.check_entity(&event.object) {
                 return false;
             }
         }
         true
+    }
+
+    /// Compiled predicate sets, `(subject, object)` (explain listings).
+    pub fn predicate_sets(&self) -> (&[Predicate], &[Predicate]) {
+        (&self.subject_preds, &self.object_preds)
     }
 }
 
@@ -191,8 +258,10 @@ impl PatternMatcher {
 pub struct FullMatch {
     /// Matched events in *declaration* order of the patterns.
     pub events: Vec<SharedEvent>,
-    /// Entity bindings accumulated across the match.
-    pub bindings: HashMap<String, Entity>,
+    /// Entity bindings by variable slot (see [`entity_slot_names`]). Every
+    /// slot is bound in a full match — each variable appears in some
+    /// pattern, and all patterns matched.
+    pub bindings: Vec<Option<Entity>>,
 }
 
 #[derive(Debug, Clone)]
@@ -201,7 +270,8 @@ struct Partial {
     next: usize,
     /// events[i] = event matched for `order[i]`; `None` until reached.
     events: Vec<Option<SharedEvent>>,
-    bindings: HashMap<String, Entity>,
+    /// Accumulated entity bindings by variable slot.
+    bindings: Vec<Option<Entity>>,
     last_ts: Timestamp,
 }
 
@@ -227,6 +297,8 @@ pub enum MatcherMode {
 #[derive(Debug)]
 pub struct MultiMatcher {
     patterns: Vec<PatternMatcher>,
+    /// Entity-variable slot count (partial bindings are slot-indexed).
+    n_slots: usize,
     /// Temporal sequence as indices into `patterns`.
     order: Vec<usize>,
     /// `gaps[i]` = max gap between step i and step i+1.
@@ -253,8 +325,12 @@ impl MultiMatcher {
 
     /// Build with an explicit [`MatcherMode`] (benchmarks compare modes).
     pub fn compile_with_mode(query: &Query, cap: usize, mode: MatcherMode) -> MultiMatcher {
-        let patterns: Vec<PatternMatcher> =
-            query.patterns.iter().map(PatternMatcher::compile).collect();
+        let slots = entity_slot_names(query);
+        let patterns: Vec<PatternMatcher> = query
+            .patterns
+            .iter()
+            .map(|p| PatternMatcher::compile(p, &slots))
+            .collect();
         // Temporal order: the `with` clause's sequence, else declaration
         // order. Patterns outside the clause are appended in declaration
         // order (they must still match, after the sequenced ones).
@@ -284,6 +360,7 @@ impl MultiMatcher {
         let steps = order.len();
         MultiMatcher {
             patterns,
+            n_slots: slots.len(),
             order,
             gaps,
             ttl,
@@ -366,7 +443,7 @@ impl MultiMatcher {
                 let seed = Partial {
                     next: 0,
                     events: vec![None; steps],
-                    bindings: HashMap::new(),
+                    bindings: vec![None; self.n_slots],
                     last_ts: Timestamp::ZERO,
                 };
                 if let Some(ext) = self.try_extend(&seed, 0, event) {
@@ -420,27 +497,29 @@ impl MultiMatcher {
                 }
             }
         }
-        // Attribute joins via shared variables.
-        let subject_entity = Entity::Process(event.subject.clone());
-        if let Some(bound) = p.bindings.get(&pat.subject_var) {
-            if *bound != subject_entity {
+        // Attribute joins via shared variables (slot-indexed, and checked
+        // against borrowed views before anything is cloned).
+        if let Some(bound) = &p.bindings[pat.subject_slot] {
+            let same = matches!(bound, Entity::Process(pi) if *pi == event.subject);
+            if !same {
                 return None;
             }
         }
-        if let Some(bound) = p.bindings.get(&pat.object_var) {
+        if let Some(bound) = &p.bindings[pat.object_slot] {
             if *bound != event.object {
                 return None;
             }
         }
         // Same variable as both subject and object of this event
         // (`proc p start proc p`) must self-join consistently.
-        if pat.subject_var == pat.object_var && event.object != subject_entity {
+        if pat.subject_slot == pat.object_slot
+            && !matches!(&event.object, Entity::Process(pi) if *pi == event.subject)
+        {
             return None;
         }
         let mut ext = p.clone();
-        ext.bindings.insert(pat.subject_var.clone(), subject_entity);
-        ext.bindings
-            .insert(pat.object_var.clone(), event.object.clone());
+        ext.bindings[pat.subject_slot] = Some(Entity::Process(event.subject.clone()));
+        ext.bindings[pat.object_slot] = Some(event.object.clone());
         ext.events[step] = Some(event.clone());
         ext.next = step + 1;
         ext.last_ts = event.ts;
@@ -569,10 +648,14 @@ with evt1 -> evt2 -> evt3 -> evt4
         assert_eq!(full.len(), 1);
         let ids: Vec<u64> = full[0].events.iter().map(|e| e.id).collect();
         assert_eq!(ids, vec![1, 2, 3, 4]);
-        // Bound entities include the shared file variable.
+        // Bound entities include the shared file variable (by slot).
+        let slots = entity_slot_names(&parse(src).unwrap());
+        let f1 = slots.iter().position(|s| s == "f1").unwrap();
         assert!(
-            matches!(full[0].bindings.get("f1"), Some(Entity::File(f)) if &*f.name == "backup1.dmp")
+            matches!(&full[0].bindings[f1], Some(Entity::File(f)) if &*f.name == "backup1.dmp")
         );
+        // Every slot of a full match is bound.
+        assert!(full[0].bindings.iter().all(|b| b.is_some()));
     }
 
     #[test]

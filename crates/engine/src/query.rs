@@ -1,22 +1,31 @@
 //! A compiled, running SAQL query: the per-query pipeline tying the
 //! multievent matcher, window driver, state maintainer, invariant runtime,
 //! cluster stage, and alert evaluator together.
+//!
+//! Queries compile **once at registration**: names resolve to slots
+//! ([`saql_lang::resolve`]), expressions lower to register programs
+//! ([`crate::plan`]), and attribute constraints bind [`saql_model::AttrId`]s
+//! — the per-event path then runs programs over fixed slot arrays. The
+//! original tree-walking interpreter survives behind
+//! [`ExecMode::Interpreted`] as the differential-testing oracle
+//! (`compiled_plans_match_interpreter` pins the equivalence).
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashSet;
 
-use saql_lang::ast::Expr;
-use saql_lang::pretty::print_expr;
+use saql_lang::ast::{Expr, Query, Ref};
 use saql_lang::semantic::{CheckedQuery, QueryKind};
 use saql_model::{Entity, Timestamp};
 use saql_stream::SharedEvent;
 
 use crate::alert::{Alert, AlertOrigin};
-use crate::cluster::{point_of, run_cluster};
+use crate::cluster::run_cluster;
 use crate::error::{EngineError, ErrorReporter};
-use crate::eval::{eval, ClusterOutcome, Scope};
+use crate::eval::{eval, run_program, ClusterOutcome, NoSlots, Scope};
 use crate::invariant::InvariantRuntime;
 use crate::matcher::{FullMatch, GlobalFilter, MultiMatcher, PatternMatcher};
-use crate::state::{StateMaintainer, StateView};
+use crate::plan::{EntityBind, ExecCtx, QueryPlan};
+use crate::state::{ClosedGroup, KeyAtom, StateMaintainer, StateView};
+use crate::value::Value;
 use crate::window::WindowDriver;
 
 /// Handle to a registered query: the key of the engine's control plane.
@@ -54,6 +63,17 @@ impl std::fmt::Display for QueryId {
     }
 }
 
+/// How a query evaluates its expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Compiled register programs over fixed slot arrays (the default).
+    #[default]
+    Compiled,
+    /// The tree-walking interpreter over per-evaluation scopes — kept as
+    /// the differential-testing oracle.
+    Interpreted,
+}
+
 /// Tuning knobs for a running query.
 #[derive(Debug, Clone, Copy)]
 pub struct QueryConfig {
@@ -62,6 +82,8 @@ pub struct QueryConfig {
     /// Out-of-order tolerance: windows stay open this long past their end
     /// so skewed agent feeds still land in their windows.
     pub allowed_lateness: saql_model::Duration,
+    /// Expression execution strategy (see [`ExecMode`]).
+    pub exec: ExecMode,
 }
 
 impl Default for QueryConfig {
@@ -69,6 +91,7 @@ impl Default for QueryConfig {
         QueryConfig {
             partial_match_cap: 65_536,
             allowed_lateness: saql_model::Duration::ZERO,
+            exec: ExecMode::Compiled,
         }
     }
 }
@@ -93,28 +116,42 @@ pub struct RunningQuery {
     name: String,
     id: QueryId,
     paused: bool,
+    mode: ExecMode,
     checked: CheckedQuery,
+    plan: QueryPlan,
     globals: GlobalFilter,
     matcher: Option<MultiMatcher>,
     window: Option<WindowDriver>,
     patterns: Vec<PatternMatcher>,
     state: Option<StateMaintainer>,
     invariant: Option<InvariantRuntime>,
+    /// Interpreter-mode group-key expressions (pre-built once).
+    interp_keys: Vec<Expr>,
     distinct_seen: HashSet<Vec<String>>,
     errors: ErrorReporter,
     overflow_reported: bool,
     stats: QueryStats,
+    /// Reusable register file for program execution.
+    scratch: Vec<Value>,
+    /// Reusable per-event buffers (window ids, key atoms, field values) —
+    /// the stateful hot path allocates nothing once warm.
+    windows_buf: Vec<u64>,
+    key_buf: Vec<KeyAtom>,
+    fold_buf: Vec<Value>,
 }
 
 impl RunningQuery {
     /// Build a running instance from a checked query.
     pub fn new(name: impl Into<String>, checked: CheckedQuery, config: QueryConfig) -> Self {
+        let plan = QueryPlan::compile(&checked);
+        let plan_scratch = plan.scratch_regs;
         let globals = GlobalFilter::compile(&checked.ast.globals);
+        let slot_names: Vec<String> = plan.entity_vars.iter().map(|(v, _)| v.clone()).collect();
         let patterns: Vec<PatternMatcher> = checked
             .ast
             .patterns
             .iter()
-            .map(PatternMatcher::compile)
+            .map(|p| PatternMatcher::compile(p, &slot_names))
             .collect();
         let matcher = (checked.kind == QueryKind::Rule)
             .then(|| MultiMatcher::compile(&checked.ast, config.partial_match_cap));
@@ -122,22 +159,60 @@ impl RunningQuery {
             .window
             .map(|w| WindowDriver::with_lateness(w, config.allowed_lateness));
         let state = checked.ast.states.first().map(StateMaintainer::new);
-        let invariant = checked.ast.invariants.first().map(InvariantRuntime::new);
+        let invariant = checked.ast.invariants.first().map(|block| {
+            InvariantRuntime::new(
+                block,
+                checked
+                    .resolved
+                    .invariant_stmts
+                    .iter()
+                    .map(|s| (s.slot, s.init))
+                    .collect(),
+                checked.resolved.invariant_vars.len(),
+            )
+        });
+        let interp_keys: Vec<Expr> = checked
+            .ast
+            .states
+            .first()
+            .map(|s| {
+                s.group_by
+                    .iter()
+                    .map(|gk| {
+                        Expr::Ref(Ref {
+                            base: gk.var.clone(),
+                            index: None,
+                            attr: gk.attr.clone(),
+                            span: gk.span,
+                        })
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
         RunningQuery {
             name: name.into(),
             id: QueryId::UNASSIGNED,
             paused: false,
+            mode: config.exec,
             checked,
+            plan,
             globals,
             matcher,
             window,
             patterns,
             state,
             invariant,
+            interp_keys,
             distinct_seen: HashSet::new(),
             errors: ErrorReporter::default(),
             overflow_reported: false,
             stats: QueryStats::default(),
+            // Sized for the largest program up front (`run_program` only
+            // ever resizes within this capacity).
+            scratch: Vec::with_capacity(plan_scratch),
+            windows_buf: Vec::new(),
+            key_buf: Vec::new(),
+            fold_buf: Vec::new(),
         }
     }
 
@@ -179,6 +254,16 @@ impl RunningQuery {
 
     pub fn kind(&self) -> QueryKind {
         self.checked.kind
+    }
+
+    /// The execution strategy this instance runs with.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.mode
+    }
+
+    /// The compiled execution plan (slot tables + programs).
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
     }
 
     /// Scheduler-compatibility key (see
@@ -282,21 +367,62 @@ impl RunningQuery {
     }
 
     fn alert_from_match(&mut self, full: &FullMatch) -> Option<Alert> {
-        let mut scope = Scope::empty();
-        for (pattern, event) in self.checked.ast.patterns.iter().zip(&full.events) {
-            scope.events.insert(pattern.alias.as_str(), event);
-        }
-        for (var, entity) in &full.bindings {
-            scope.entities.insert(var.as_str(), entity);
-        }
-        // Optional alert condition on rule matches.
-        if let Some(alert_expr) = &self.checked.ast.alert {
-            if !eval(alert_expr, &scope).truthy() {
-                return None;
+        let rows = match self.mode {
+            ExecMode::Compiled => {
+                let events: Vec<Option<&saql_model::Event>> =
+                    full.events.iter().map(|e| Some(e.as_ref())).collect();
+                let entities: Vec<Option<EntityBind<'_>>> = full
+                    .bindings
+                    .iter()
+                    .map(|b| b.as_ref().map(EntityBind::Entity))
+                    .collect();
+                let ctx = ExecCtx {
+                    events: &events,
+                    entities: &entities,
+                    group_keys: &[],
+                    states: &NoSlots,
+                    invariants: &[],
+                    cluster: None,
+                };
+                if let Some(prog) = &self.plan.alert {
+                    if !run_program(prog, &ctx, &mut self.scratch).truthy() {
+                        return None;
+                    }
+                }
+                self.plan
+                    .ret
+                    .iter()
+                    .map(|(label, prog)| {
+                        (
+                            label.clone(),
+                            run_program(prog, &ctx, &mut self.scratch).to_string(),
+                        )
+                    })
+                    .collect()
             }
-        }
-        let rows = self.eval_return(&scope);
-        if !self.pass_distinct(&rows) {
+            ExecMode::Interpreted => {
+                let mut scope = Scope::empty();
+                for (pattern, event) in self.checked.ast.patterns.iter().zip(&full.events) {
+                    scope.events.insert(pattern.alias.as_str(), event);
+                }
+                for ((var, _), entity) in self.plan.entity_vars.iter().zip(&full.bindings) {
+                    if let Some(entity) = entity {
+                        scope.entities.insert(var.as_str(), entity);
+                    }
+                }
+                if let Some(alert_expr) = &self.checked.ast.alert {
+                    if !eval(alert_expr, &scope).truthy() {
+                        return None;
+                    }
+                }
+                eval_return_in(&self.checked.ast.ret, &scope, "")
+            }
+        };
+        if !pass_distinct_in(
+            &mut self.distinct_seen,
+            self.checked.ast.ret.as_ref(),
+            &rows,
+        ) {
             return None;
         }
         let last_ts = full
@@ -321,6 +447,10 @@ impl RunningQuery {
     // ------------------------------------------------------------------
 
     fn process_stateful(&mut self, event: &SharedEvent) {
+        /// Slot counts up to this bind on the stack; larger queries fall
+        /// back to a heap array (rare: >8 aliases or variables).
+        const SLOT_STACK: usize = 8;
+
         let Some(idx) = self.patterns.iter().position(|p| p.matches(event)) else {
             return;
         };
@@ -328,23 +458,95 @@ impl RunningQuery {
         let Some(driver) = &mut self.window else {
             return;
         };
-        let windows = driver.observe(event.ts);
-        if windows.is_empty() {
+        driver.observe_into(event.ts, &mut self.windows_buf);
+        if self.windows_buf.is_empty() {
             self.stats.late_events += 1;
             return;
         }
         let Some(state) = &mut self.state else { return };
-        let pattern = &self.checked.ast.patterns[idx];
-        let subject_entity = Entity::Process(event.subject.clone());
-        let mut scope = Scope::empty();
-        scope.events.insert(pattern.alias.as_str(), event);
-        scope
-            .entities
-            .insert(pattern.subject.var.as_str(), &subject_entity);
-        scope
-            .entities
-            .insert(pattern.object.var.as_str(), &event.object);
-        if !state.observe(&windows, &scope) {
+        let plan = &self.plan;
+        let scratch = &mut self.scratch;
+        let key_buf = &mut self.key_buf;
+        let fold_buf = &mut self.fold_buf;
+        let resolved = match self.mode {
+            ExecMode::Compiled => {
+                // Fixed slot arrays (stack-allocated for typical sizes);
+                // the subject binds straight from the event — no `Entity`
+                // clone, no `HashMap`, no string on the hot path.
+                let (n_ev, n_ent) = (plan.aliases.len(), plan.entity_vars.len());
+                let mut ev_stack: [Option<&saql_model::Event>; SLOT_STACK] = [None; SLOT_STACK];
+                let mut ent_stack: [Option<EntityBind<'_>>; SLOT_STACK] = [None; SLOT_STACK];
+                let mut ev_heap: Vec<Option<&saql_model::Event>>;
+                let mut ent_heap: Vec<Option<EntityBind<'_>>>;
+                let (events, entities) = if n_ev <= SLOT_STACK && n_ent <= SLOT_STACK {
+                    (&mut ev_stack[..n_ev], &mut ent_stack[..n_ent])
+                } else {
+                    ev_heap = vec![None; n_ev];
+                    ent_heap = vec![None; n_ent];
+                    (ev_heap.as_mut_slice(), ent_heap.as_mut_slice())
+                };
+                events[idx] = Some(event.as_ref());
+                let (subject_slot, object_slot) = plan.pattern_slots[idx];
+                entities[subject_slot] = Some(EntityBind::Subject(&event.subject));
+                entities[object_slot] = Some(EntityBind::Entity(&event.object));
+                let ok = extract_keys(plan, events, entities, key_buf);
+                if ok {
+                    let ctx = ExecCtx {
+                        events,
+                        entities,
+                        group_keys: &[],
+                        states: &NoSlots,
+                        invariants: &[],
+                        cluster: None,
+                    };
+                    fold_buf.clear();
+                    for prog in &plan.field_programs {
+                        let v = run_program(prog, &ctx, scratch);
+                        fold_buf.push(v);
+                    }
+                }
+                ok
+            }
+            ExecMode::Interpreted => {
+                let pattern = &self.checked.ast.patterns[idx];
+                let subject_entity = Entity::Process(event.subject.clone());
+                let mut scope = Scope::empty();
+                scope.events.insert(pattern.alias.as_str(), event);
+                scope
+                    .entities
+                    .insert(pattern.subject.var.as_str(), &subject_entity);
+                scope
+                    .entities
+                    .insert(pattern.object.var.as_str(), &event.object);
+                key_buf.clear();
+                let mut ok = true;
+                for expr in &self.interp_keys {
+                    match eval(expr, &scope) {
+                        Value::Attr(a) => key_buf.push(KeyAtom::of_owned(a)),
+                        _ => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                if ok {
+                    fold_buf.clear();
+                    let block = self
+                        .checked
+                        .ast
+                        .states
+                        .first()
+                        .expect("stateful queries have a state block");
+                    for field in &block.fields {
+                        fold_buf.push(eval(&field.arg, &scope));
+                    }
+                }
+                ok
+            }
+        };
+        if resolved {
+            state.observe(&self.windows_buf, key_buf, fold_buf);
+        } else {
             self.errors.report(EngineError::Eval(format!(
                 "group key of state `{}` unresolvable for event {}",
                 state.name(),
@@ -356,8 +558,8 @@ impl RunningQuery {
     fn close_window(&mut self, k: u64, alerts: &mut Vec<Alert>) {
         self.stats.windows_closed += 1;
         let Some(state) = &mut self.state else { return };
-        let snaps = state.close(k);
-        if snaps.is_empty() {
+        let closed = state.close(k);
+        if closed.is_empty() {
             return;
         }
         let state = &*state;
@@ -368,58 +570,41 @@ impl RunningQuery {
             .assigner();
         let (w_start, w_end) = assigner.bounds(k);
 
+        let mode = self.mode;
+        let plan = &self.plan;
+        let ast = &self.checked.ast;
+        let scratch = &mut self.scratch;
+        let mut inv_rt = self.invariant.as_mut();
+
         // Cluster stage: one comparison point per group that produced all
-        // dimensions.
-        let mut outcomes: HashMap<String, ClusterOutcome> = HashMap::new();
-        if let Some(spec) = &self.checked.ast.cluster {
-            let mut point_groups: Vec<&str> = Vec::new();
+        // dimensions; outcomes align with `closed` by index.
+        let mut outcomes: Vec<Option<ClusterOutcome>> = vec![None; closed.len()];
+        if let Some(spec) = &ast.cluster {
+            let mut point_groups: Vec<usize> = Vec::new();
             let mut points: Vec<Vec<f64>> = Vec::new();
-            for (gid, snap) in &snaps {
-                let view = StateView {
-                    maintainer: state,
-                    group: gid,
-                    current_window: k,
-                };
-                let mut scope = Scope::empty();
-                scope.states = &view;
-                scope.group_keys = snap
-                    .keys
-                    .iter()
-                    .map(|(s, v)| (s.clone(), v.clone()))
-                    .collect();
-                if let Some(p) = point_of(spec, &scope) {
-                    point_groups.push(gid);
+            for (i, group) in closed.iter().enumerate() {
+                let ge = GroupEval::new(mode, plan, ast, state, k, group, None);
+                if let Some(p) = ge.cluster_point(scratch) {
+                    point_groups.push(i);
                     points.push(p);
                 }
             }
-            for (gid, outcome) in point_groups.iter().zip(run_cluster(spec, &points, k)) {
-                outcomes.insert((*gid).to_string(), outcome);
+            for (i, outcome) in point_groups.iter().zip(run_cluster(spec, &points, k)) {
+                outcomes[*i] = Some(outcome);
             }
         }
 
-        for (gid, snap) in &snaps {
-            let view = StateView {
-                maintainer: state,
-                group: gid,
-                current_window: k,
-            };
-            let mut scope = Scope::empty();
-            scope.states = &view;
-            scope.group_keys = snap
-                .keys
-                .iter()
-                .map(|(s, v)| (s.clone(), v.clone()))
-                .collect();
-            scope.cluster = outcomes.get(gid.as_str()).copied();
+        for (i, group) in closed.iter().enumerate() {
+            let ge = GroupEval::new(mode, plan, ast, state, k, group, outcomes[i]);
 
             // Invariant bookkeeping (training windows never alert).
-            let ready = match &mut self.invariant {
+            let (ready, inv_vars): (bool, Vec<Value>) = match inv_rt.as_deref_mut() {
                 Some(inv) => {
-                    let ready = inv.on_window(gid, &scope);
-                    scope.invariants = inv.vars(gid);
-                    ready
+                    let ready =
+                        inv.on_window(&group.label, &mut |i, vars| ge.stmt(i, vars, scratch));
+                    (ready, inv.vars(&group.label).to_vec())
                 }
-                None => true,
+                None => (true, Vec::new()),
             };
             if !ready {
                 continue;
@@ -427,22 +612,15 @@ impl RunningQuery {
 
             // Alert condition; a stateful query without one emits every
             // group/window (continuous monitoring).
-            let fired = match &self.checked.ast.alert {
-                Some(expr) => eval(expr, &scope).truthy(),
-                None => true,
-            };
+            let fired = ge.alert(&inv_vars, scratch).unwrap_or(true);
             if !fired {
-                if let Some(inv) = &mut self.invariant {
-                    inv.absorb_online(gid, &scope);
+                if let Some(inv) = inv_rt.as_deref_mut() {
+                    inv.absorb_online(&group.label, &mut |i, vars| ge.stmt(i, vars, scratch));
                 }
                 continue;
             }
-            let rows = eval_return_in(&self.checked.ast.ret, &scope, gid);
-            if !pass_distinct_in(
-                &mut self.distinct_seen,
-                self.checked.ast.ret.as_ref(),
-                &rows,
-            ) {
+            let rows = ge.ret_rows(&inv_vars, scratch);
+            if !pass_distinct_in(&mut self.distinct_seen, ast.ret.as_ref(), &rows) {
                 continue;
             }
             self.stats.alerts += 1;
@@ -453,7 +631,7 @@ impl RunningQuery {
                 origin: AlertOrigin::Window {
                     start: w_start,
                     end: w_end,
-                    group: gid.clone(),
+                    group: group.label.clone(),
                 },
                 rows,
             });
@@ -461,22 +639,317 @@ impl RunningQuery {
     }
 
     // ------------------------------------------------------------------
-    // Return / distinct helpers
+    // Explain
     // ------------------------------------------------------------------
 
-    fn eval_return(&self, scope: &Scope<'_>) -> Vec<(String, String)> {
-        eval_return_in(&self.checked.ast.ret, scope, "")
-    }
-
-    fn pass_distinct(&mut self, rows: &[(String, String)]) -> bool {
-        pass_distinct_in(&mut self.distinct_seen, self.checked.ast.ret.as_ref(), rows)
+    /// Human-readable dump of the compiled plan: resolved slots, predicate
+    /// sets, and program listings (`saql explain`). Deterministic — the
+    /// plan-dump golden tests diff this output.
+    pub fn explain(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let plan = &self.plan;
+        let _ = writeln!(out, "kind: {}", self.checked.kind.name());
+        let _ = writeln!(out, "compat key: {}", self.compat_key());
+        if let Some(w) = self.checked.window {
+            let _ = writeln!(
+                out,
+                "window: size={}ms slide={}ms",
+                w.size.as_millis(),
+                w.slide.as_millis()
+            );
+        }
+        if !self.globals.predicates().is_empty() {
+            let _ = writeln!(out, "globals:");
+            for pred in self.globals.predicates() {
+                let _ = writeln!(out, "  {}", pred.render());
+            }
+        }
+        let _ = writeln!(out, "slots:");
+        for (i, alias) in plan.aliases.iter().enumerate() {
+            let _ = writeln!(out, "  event[{i}] = {alias}");
+        }
+        for (i, (var, etype)) in plan.entity_vars.iter().enumerate() {
+            let _ = writeln!(out, "  entity[{i}] = {var}: {}", etype.keyword());
+        }
+        let _ = writeln!(out, "patterns:");
+        for (i, (ast_pat, matcher)) in self
+            .checked
+            .ast
+            .patterns
+            .iter()
+            .zip(&self.patterns)
+            .enumerate()
+        {
+            let ops: Vec<&str> = ast_pat.ops.iter().map(|o| o.keyword()).collect();
+            let _ = writeln!(
+                out,
+                "  [{i}] {}: {} {}[s{}] {} {} {}[s{}]",
+                ast_pat.alias,
+                ast_pat.subject.etype.keyword(),
+                ast_pat.subject.var,
+                matcher.subject_slot,
+                ops.join("||"),
+                ast_pat.object.etype.keyword(),
+                ast_pat.object.var,
+                matcher.object_slot,
+            );
+            let (subject_preds, object_preds) = matcher.predicate_sets();
+            for pred in subject_preds {
+                let _ = writeln!(out, "      subject: {}", pred.render());
+            }
+            for pred in object_preds {
+                let _ = writeln!(out, "      object:  {}", pred.render());
+            }
+        }
+        if !plan.group_keys.is_empty() {
+            let _ = writeln!(out, "group keys:");
+            for (i, key) in plan.group_keys.iter().enumerate() {
+                let source = match key.source {
+                    saql_lang::resolve::KeySource::Entity { slot, attr } => format!(
+                        "entity[{slot}].{}",
+                        attr.map(|a| a.name()).unwrap_or("<unresolved>")
+                    ),
+                    saql_lang::resolve::KeySource::Event { slot, attr } => format!(
+                        "event[{slot}].{}",
+                        attr.map(|a| a.name()).unwrap_or("<unresolved>")
+                    ),
+                };
+                let _ = writeln!(out, "  [{i}] {} <- {source}", key.spellings.join(" | "));
+            }
+        }
+        if !plan.field_programs.is_empty() {
+            let state_name = self
+                .state
+                .as_ref()
+                .map(|s| s.name().to_string())
+                .unwrap_or_default();
+            let _ = writeln!(out, "state {state_name}:");
+            for (name, prog) in plan.state_field_names.iter().zip(&plan.field_programs) {
+                let _ = writeln!(out, "  field {name}:");
+                let _ = write!(out, "{}", prog.listing(plan));
+            }
+        }
+        if !plan.invariant_programs.is_empty() {
+            let _ = writeln!(out, "invariant:");
+            for (slot, init, prog) in &plan.invariant_programs {
+                let var = plan
+                    .invariant_vars
+                    .get(*slot)
+                    .map(String::as_str)
+                    .unwrap_or("?");
+                let op = if *init { ":=" } else { "=" };
+                let _ = writeln!(out, "  {var} {op}");
+                let _ = write!(out, "{}", prog.listing(plan));
+            }
+        }
+        if !plan.cluster_programs.is_empty() {
+            let _ = writeln!(out, "cluster points:");
+            for prog in &plan.cluster_programs {
+                let _ = write!(out, "{}", prog.listing(plan));
+            }
+        }
+        if let Some(prog) = &plan.alert {
+            let _ = writeln!(out, "alert:");
+            let _ = write!(out, "{}", prog.listing(plan));
+        }
+        if !plan.ret.is_empty() {
+            let _ = writeln!(out, "return:");
+            for (label, prog) in &plan.ret {
+                let _ = writeln!(out, "  item {label}:");
+                let _ = write!(out, "{}", prog.listing(plan));
+            }
+        }
+        out
     }
 }
 
-fn item_label(expr: &Expr, alias: &Option<String>) -> String {
-    match alias {
-        Some(a) => a.clone(),
-        None => print_expr(expr),
+/// Extract the group-key values of a matched event from compiled slot
+/// arrays into `out` (cleared first). `false` when any key is unresolvable
+/// (unknown attribute, or a key variable this pattern does not bind) — the
+/// event cannot be grouped.
+fn extract_keys(
+    plan: &QueryPlan,
+    events: &[Option<&saql_model::Event>],
+    entities: &[Option<EntityBind<'_>>],
+    out: &mut Vec<KeyAtom>,
+) -> bool {
+    out.clear();
+    for key in &plan.group_keys {
+        let value = match key.source {
+            saql_lang::resolve::KeySource::Entity { slot, attr } => attr.and_then(|id| {
+                entities
+                    .get(slot)
+                    .copied()
+                    .flatten()
+                    .and_then(|e| e.attr_value(id))
+            }),
+            saql_lang::resolve::KeySource::Event { slot, attr } => attr.and_then(|id| {
+                events
+                    .get(slot)
+                    .copied()
+                    .flatten()
+                    .and_then(|e| e.attr_value(id))
+            }),
+        };
+        match value {
+            Some(v) => out.push(KeyAtom::of_owned(v)),
+            None => return false,
+        }
+    }
+    true
+}
+
+/// Close-time evaluation of one group, dispatching to compiled programs or
+/// the interpreter oracle.
+struct GroupEval<'a> {
+    mode: ExecMode,
+    plan: &'a QueryPlan,
+    ast: &'a Query,
+    view: StateView<'a>,
+    group: &'a ClosedGroup,
+    cluster: Option<ClusterOutcome>,
+}
+
+impl<'a> GroupEval<'a> {
+    fn new(
+        mode: ExecMode,
+        plan: &'a QueryPlan,
+        ast: &'a Query,
+        state: &'a StateMaintainer,
+        k: u64,
+        group: &'a ClosedGroup,
+        cluster: Option<ClusterOutcome>,
+    ) -> GroupEval<'a> {
+        GroupEval {
+            mode,
+            plan,
+            ast,
+            view: StateView {
+                maintainer: state,
+                group: &group.key,
+                current_window: k,
+            },
+            group,
+            cluster,
+        }
+    }
+
+    fn ctx<'b>(&'b self, invariants: &'b [Value]) -> ExecCtx<'b> {
+        ExecCtx {
+            events: &[],
+            entities: &[],
+            group_keys: &self.group.key_vals,
+            states: &self.view,
+            invariants,
+            cluster: self.cluster,
+        }
+    }
+
+    /// The interpreter's close-time scope: group-key spellings, the state
+    /// view, invariant variables by name, and the cluster outcome.
+    fn scope<'b>(&'b self, inv_vars: &[Value], with_cluster: bool) -> Scope<'b> {
+        let mut scope = Scope::empty();
+        scope.states = &self.view;
+        for (key, value) in self.plan.group_keys.iter().zip(&self.group.key_vals) {
+            for spelling in &key.spellings {
+                scope.group_keys.insert(spelling.clone(), value.clone());
+            }
+        }
+        scope.invariants = self
+            .plan
+            .invariant_vars
+            .iter()
+            .cloned()
+            .zip(inv_vars.iter().cloned())
+            .collect();
+        scope.cluster = if with_cluster { self.cluster } else { None };
+        scope
+    }
+
+    /// Evaluate invariant statement `i` with `vars` in scope.
+    fn stmt(&self, i: usize, vars: &[Value], scratch: &mut Vec<Value>) -> Value {
+        match self.mode {
+            ExecMode::Compiled => {
+                let (_, init, prog) = &self.plan.invariant_programs[i];
+                if *init {
+                    run_program(prog, &ExecCtx::empty(), scratch)
+                } else {
+                    run_program(prog, &self.ctx(vars), scratch)
+                }
+            }
+            ExecMode::Interpreted => {
+                let stmt = &self.ast.invariants[0].stmts[i];
+                if stmt.init {
+                    eval(&stmt.expr, &Scope::empty())
+                } else {
+                    eval(&stmt.expr, &self.scope(vars, true))
+                }
+            }
+        }
+    }
+
+    /// Evaluate the cluster point (no invariants or outcomes in scope yet).
+    fn cluster_point(&self, scratch: &mut Vec<Value>) -> Option<Vec<f64>> {
+        match self.mode {
+            ExecMode::Compiled => self
+                .plan
+                .cluster_programs
+                .iter()
+                .map(|prog| run_program(prog, &self.ctx(&[]), scratch).as_f64())
+                .collect(),
+            ExecMode::Interpreted => {
+                let scope = self.scope(&[], false);
+                self.ast
+                    .cluster
+                    .as_ref()
+                    .expect("cluster point evaluation implies a cluster spec")
+                    .points
+                    .iter()
+                    .map(|e| eval(e, &scope).as_f64())
+                    .collect()
+            }
+        }
+    }
+
+    /// Evaluate the alert condition; `None` when the query declares none.
+    fn alert(&self, inv_vars: &[Value], scratch: &mut Vec<Value>) -> Option<bool> {
+        match self.mode {
+            ExecMode::Compiled => self
+                .plan
+                .alert
+                .as_ref()
+                .map(|prog| run_program(prog, &self.ctx(inv_vars), scratch).truthy()),
+            ExecMode::Interpreted => self
+                .ast
+                .alert
+                .as_ref()
+                .map(|expr| eval(expr, &self.scope(inv_vars, true)).truthy()),
+        }
+    }
+
+    /// Evaluate the return rows (the group label when no clause exists).
+    fn ret_rows(&self, inv_vars: &[Value], scratch: &mut Vec<Value>) -> Vec<(String, String)> {
+        match self.mode {
+            ExecMode::Compiled => {
+                if self.plan.ret.is_empty() {
+                    return vec![("group".to_string(), self.group.label.clone())];
+                }
+                let ctx = self.ctx(inv_vars);
+                self.plan
+                    .ret
+                    .iter()
+                    .map(|(label, prog)| {
+                        (label.clone(), run_program(prog, &ctx, scratch).to_string())
+                    })
+                    .collect()
+            }
+            ExecMode::Interpreted => eval_return_in(
+                &self.ast.ret,
+                &self.scope(inv_vars, true),
+                &self.group.label,
+            ),
+        }
     }
 }
 
@@ -491,7 +964,11 @@ fn eval_return_in(
             .iter()
             .map(|item| {
                 let value = eval(&item.expr, scope);
-                (item_label(&item.expr, &item.alias), value.to_string())
+                let label = match &item.alias {
+                    Some(a) => a.clone(),
+                    None => saql_lang::pretty::print_expr(&item.expr),
+                };
+                (label, value.to_string())
             })
             .collect(),
         None if !group.is_empty() => vec![("group".to_string(), group.to_string())],
@@ -522,6 +999,18 @@ mod tests {
         RunningQuery::compile("test-query", src, QueryConfig::default()).unwrap()
     }
 
+    fn q_interp(src: &str) -> RunningQuery {
+        RunningQuery::compile(
+            "test-query",
+            src,
+            QueryConfig {
+                exec: ExecMode::Interpreted,
+                ..QueryConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
     fn start(id: u64, ts: u64, host: &str, parent: (u32, &str), child: (u32, &str)) -> SharedEvent {
         Arc::new(
             EventBuilder::new(id, host, ts)
@@ -550,13 +1039,20 @@ mod tests {
 
     #[test]
     fn rule_query_emits_alert_with_rows() {
-        let mut rq = q(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
-return distinct p1, p2"#);
-        let alerts = rq.process(&start(1, 10, "db", (1, "cmd.exe"), (2, "osql.exe")));
-        assert_eq!(alerts.len(), 1);
-        assert_eq!(alerts[0].get("p1"), Some("cmd.exe"));
-        assert_eq!(alerts[0].get("p2"), Some("osql.exe"));
-        assert!(matches!(alerts[0].origin, AlertOrigin::Match { .. }));
+        for mut rq in [
+            q(r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+return distinct p1, p2"#),
+            q_interp(
+                r#"proc p1["%cmd.exe"] start proc p2["%osql.exe"] as e1
+return distinct p1, p2"#,
+            ),
+        ] {
+            let alerts = rq.process(&start(1, 10, "db", (1, "cmd.exe"), (2, "osql.exe")));
+            assert_eq!(alerts.len(), 1, "{:?}", rq.exec_mode());
+            assert_eq!(alerts[0].get("p1"), Some("cmd.exe"));
+            assert_eq!(alerts[0].get("p2"), Some("osql.exe"));
+            assert!(matches!(alerts[0].origin, AlertOrigin::Match { .. }));
+        }
     }
 
     #[test]
@@ -595,39 +1091,44 @@ return distinct p1, p2"#);
         );
     }
 
-    /// The paper's Query 2 (SMA spike) end to end on a synthetic stream.
+    /// The paper's Query 2 (SMA spike) end to end on a synthetic stream —
+    /// on both execution paths.
     #[test]
     fn time_series_query_detects_spike() {
-        let mut rq = q(r#"proc p write ip i as evt #time(10 min)
+        let src = r#"proc p write ip i as evt #time(10 min)
 state[3] ss {
     avg_amount := avg(evt.amount)
 } group by p
 alert (ss[0].avg_amount > (ss[0].avg_amount + ss[1].avg_amount + ss[2].avg_amount) / 3) && (ss[0].avg_amount > 10000)
-return p, ss[0].avg_amount"#);
-        let min = 60_000u64;
-        let mut alerts = Vec::new();
-        let mut id = 0;
-        // Three quiet windows then a spike window for sqlservr.exe.
-        for w in 0..4u64 {
-            let amount = if w == 3 { 5_000_000 } else { 2_000 };
-            for j in 0..5 {
-                id += 1;
-                alerts.extend(rq.process(&send(
-                    id,
-                    w * 10 * min + j * min,
-                    "db",
-                    (10, "sqlservr.exe"),
-                    "10.0.0.9",
-                    amount,
-                )));
+return p, ss[0].avg_amount"#;
+        for mut rq in [q(src), q_interp(src)] {
+            let min = 60_000u64;
+            let mut alerts = Vec::new();
+            let mut id = 0;
+            // Three quiet windows then a spike window for sqlservr.exe.
+            for w in 0..4u64 {
+                let amount = if w == 3 { 5_000_000 } else { 2_000 };
+                for j in 0..5 {
+                    id += 1;
+                    alerts.extend(rq.process(&send(
+                        id,
+                        w * 10 * min + j * min,
+                        "db",
+                        (10, "sqlservr.exe"),
+                        "10.0.0.9",
+                        amount,
+                    )));
+                }
             }
+            alerts.extend(rq.finish());
+            assert_eq!(alerts.len(), 1, "{:?}: {alerts:?}", rq.exec_mode());
+            let a = &alerts[0];
+            assert!(
+                matches!(&a.origin, AlertOrigin::Window { group, .. } if group == "sqlservr.exe")
+            );
+            assert_eq!(a.get("p"), Some("sqlservr.exe"));
+            assert_eq!(a.get("ss[0].avg_amount"), Some("5000000.0"));
         }
-        alerts.extend(rq.finish());
-        assert_eq!(alerts.len(), 1, "{alerts:?}");
-        let a = &alerts[0];
-        assert!(matches!(&a.origin, AlertOrigin::Window { group, .. } if group == "sqlservr.exe"));
-        assert_eq!(a.get("p"), Some("sqlservr.exe"));
-        assert_eq!(a.get("ss[0].avg_amount"), Some("5000000.0"));
     }
 
     #[test]
@@ -654,93 +1155,95 @@ return p"#);
         assert!(alerts.is_empty(), "{alerts:?}");
     }
 
-    /// The paper's Query 3 (invariant) end to end.
+    /// The paper's Query 3 (invariant) end to end — both execution paths.
     #[test]
     fn invariant_query_detects_unseen_child() {
-        let mut rq = q(r#"proc p1["%apache.exe"] start proc p2 as evt #time(10 s)
+        let src = r#"proc p1["%apache.exe"] start proc p2 as evt #time(10 s)
 state ss { set_proc := set(p2.exe_name) } group by p1
 invariant[3][offline] {
     a := empty_set
     a = a union ss.set_proc
 }
 alert |ss.set_proc diff a| > 0
-return p1, ss.set_proc"#);
-        let sec = 1_000u64;
-        let mut alerts = Vec::new();
-        let mut id = 0;
-        // Training: 3 windows of normal children.
-        for w in 0..3u64 {
-            for child in ["php-cgi.exe", "rotatelogs.exe"] {
-                id += 1;
-                alerts.extend(rq.process(&start(
-                    id,
-                    w * 10 * sec + sec,
-                    "web",
-                    (80, "apache.exe"),
-                    (100 + id as u32, child),
-                )));
+return p1, ss.set_proc"#;
+        for mut rq in [q(src), q_interp(src)] {
+            let sec = 1_000u64;
+            let mut alerts = Vec::new();
+            let mut id = 0;
+            // Training: 3 windows of normal children.
+            for w in 0..3u64 {
+                for child in ["php-cgi.exe", "rotatelogs.exe"] {
+                    id += 1;
+                    alerts.extend(rq.process(&start(
+                        id,
+                        w * 10 * sec + sec,
+                        "web",
+                        (80, "apache.exe"),
+                        (100 + id as u32, child),
+                    )));
+                }
             }
+            // Detection window with a normal child: quiet.
+            id += 1;
+            alerts.extend(rq.process(&start(
+                id,
+                3 * 10 * sec + sec,
+                "web",
+                (80, "apache.exe"),
+                (900, "php-cgi.exe"),
+            )));
+            // Next window: the webshell.
+            id += 1;
+            alerts.extend(rq.process(&start(
+                id,
+                4 * 10 * sec + sec,
+                "web",
+                (80, "apache.exe"),
+                (999, "cmd.exe"),
+            )));
+            alerts.extend(rq.finish());
+            assert_eq!(alerts.len(), 1, "{:?}: {alerts:?}", rq.exec_mode());
+            assert!(alerts[0].get("ss.set_proc").unwrap().contains("cmd.exe"));
         }
-        // Detection window with a normal child: quiet.
-        id += 1;
-        alerts.extend(rq.process(&start(
-            id,
-            3 * 10 * sec + sec,
-            "web",
-            (80, "apache.exe"),
-            (900, "php-cgi.exe"),
-        )));
-        // Next window: the webshell.
-        id += 1;
-        alerts.extend(rq.process(&start(
-            id,
-            4 * 10 * sec + sec,
-            "web",
-            (80, "apache.exe"),
-            (999, "cmd.exe"),
-        )));
-        alerts.extend(rq.finish());
-        assert_eq!(alerts.len(), 1, "{alerts:?}");
-        assert!(alerts[0].get("ss.set_proc").unwrap().contains("cmd.exe"));
     }
 
-    /// The paper's Query 4 (DBSCAN outlier) end to end.
+    /// The paper's Query 4 (DBSCAN outlier) end to end — both paths.
     #[test]
     fn outlier_query_flags_exfiltration_ip() {
-        let mut rq = q(
-            r#"proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
+        let src = r#"proc p["%sqlservr.exe"] read || write ip i as evt #time(10 min)
 state ss { amt := sum(evt.amount) } group by i.dstip
 cluster(points=all(ss.amt), distance="ed", method="DBSCAN(100000, 5)")
 alert cluster.outlier && ss.amt > 1000000
-return i.dstip, ss.amt"#,
-        );
-        let min = 60_000u64;
-        let mut alerts = Vec::new();
-        let mut id = 0;
-        // 8 ordinary client ips with ~50KB each, one attacker ip with 2GB.
-        for c in 0..8u32 {
+return i.dstip, ss.amt"#;
+        for mut rq in [q(src), q_interp(src)] {
+            let min = 60_000u64;
+            let mut alerts = Vec::new();
+            let mut id = 0;
+            // 8 ordinary client ips with ~50KB each, one attacker with 2GB.
+            for c in 0..8u32 {
+                id += 1;
+                alerts.extend(rq.process(&send(
+                    id,
+                    c as u64 * min,
+                    "db",
+                    (10, "sqlservr.exe"),
+                    &format!("10.0.0.{}", 50 + c),
+                    50_000,
+                )));
+            }
             id += 1;
             alerts.extend(rq.process(&send(
                 id,
-                c as u64 * min,
+                9 * min,
                 "db",
                 (10, "sqlservr.exe"),
-                &format!("10.0.0.{}", 50 + c),
-                50_000,
+                "172.16.9.129",
+                2_000_000_000,
             )));
+            alerts.extend(rq.finish());
+            assert_eq!(alerts.len(), 1, "{:?}: {alerts:?}", rq.exec_mode());
+            assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
         }
-        id += 1;
-        alerts.extend(rq.process(&send(
-            id,
-            9 * min,
-            "db",
-            (10, "sqlservr.exe"),
-            "172.16.9.129",
-            2_000_000_000,
-        )));
-        alerts.extend(rq.finish());
-        assert_eq!(alerts.len(), 1, "{alerts:?}");
-        assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
     }
 
     #[test]
@@ -818,5 +1321,27 @@ return p1"#);
         assert!(rq.shape_matches(&start(1, 1, "h", (1, "anything.exe"), (2, "else.exe"))));
         // ...but a different object type does not.
         assert!(!rq.shape_matches(&send(2, 2, "h", (1, "cmd.exe"), "1.1.1.1", 5)));
+    }
+
+    #[test]
+    fn explain_lists_slots_predicates_and_programs() {
+        let rq = q(r#"agentid = "db-server"
+proc p write ip i as evt #time(10 min)
+state[3] ss { avg_amount := avg(evt.amount) } group by p
+alert ss[0].avg_amount > 10000
+return p, ss[0].avg_amount"#);
+        let shown = rq.explain();
+        assert!(shown.contains("kind: time-series"), "{shown}");
+        assert!(shown.contains("agentid LIKE \"db-server\""), "{shown}");
+        assert!(shown.contains("entity[0] = p: proc"), "{shown}");
+        assert!(shown.contains("group keys:"), "{shown}");
+        assert!(
+            shown.contains("p | p.exe_name <- entity[0].exe_name"),
+            "{shown}"
+        );
+        assert!(shown.contains("state[0].0:avg_amount"), "{shown}");
+        assert!(shown.contains("const 10000"), "{shown}");
+        // Deterministic output (golden tests rely on it).
+        assert_eq!(shown, rq.explain());
     }
 }

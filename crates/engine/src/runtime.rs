@@ -45,6 +45,7 @@ use std::collections::HashMap;
 use std::thread::JoinHandle;
 
 use crate::alert::Alert;
+use crate::error::EngineError;
 use crate::query::{QueryConfig, QueryId, QueryStats, RunningQuery};
 use crate::scheduler::SchedulerStats;
 use crate::shard::{run_worker, ControlMsg, Shard, ShardMsg, ShardReport};
@@ -183,11 +184,18 @@ impl ParallelEngine {
     /// Compile and register a query, before the first event or mid-stream.
     /// Returns the id to use for later control-plane calls.
     pub fn register(&mut self, name: &str, source: &str) -> Result<QueryId, saql_lang::LangError> {
+        if self.ensure_not_drained().is_err() {
+            return Err(saql_lang::LangError::semantic(
+                EngineError::EngineFinished.to_string(),
+                saql_lang::Span::default(),
+            ));
+        }
         let mut query = RunningQuery::compile(name, source, self.query_config)?;
         let id = QueryId::new(self.next_id);
         self.next_id += 1;
         query.set_id(id);
-        self.add(query);
+        self.add(query)
+            .expect("drained state checked above; add cannot fail");
         Ok(id)
     }
 
@@ -201,11 +209,12 @@ impl ParallelEngine {
     /// returned alerts are any that arrived from the workers while
     /// flushing (delivery is asynchronous; see [`process`](Self::process)).
     ///
-    /// Panics after [`finish`](Self::finish): the workers are gone, so the
-    /// query could never observe an event (same lifecycle rule as
+    /// After [`finish`](Self::finish) this returns
+    /// [`EngineError::EngineFinished`]: the workers are gone, so the query
+    /// could never observe an event (same lifecycle rule as
     /// [`process`](Self::process)).
-    pub fn add(&mut self, query: RunningQuery) -> Vec<Alert> {
-        self.assert_not_drained();
+    pub fn add(&mut self, query: RunningQuery) -> Result<Vec<Alert>, EngineError> {
+        self.ensure_not_drained()?;
         let mut alerts = Vec::new();
         self.queries.push((
             query.id(),
@@ -224,7 +233,7 @@ impl ParallelEngine {
         } else {
             self.pending.push(query);
         }
-        alerts
+        Ok(alerts)
     }
 
     /// Deregister a live query at the current stream position. Its pending
@@ -232,11 +241,11 @@ impl ParallelEngine {
     /// the flush), its compatibility group dissolves if it was the last
     /// member, and its per-query stats leave the engine with it. Unknown
     /// ids are a no-op.
-    pub fn remove(&mut self, id: QueryId) -> Vec<Alert> {
-        self.assert_not_drained();
+    pub fn remove(&mut self, id: QueryId) -> Result<Vec<Alert>, EngineError> {
+        self.ensure_not_drained()?;
         let mut alerts = Vec::new();
         let Some(pos) = self.queries.iter().position(|(qid, _)| *qid == id) else {
-            return alerts;
+            return Ok(alerts);
         };
         let (_, info) = self.queries.remove(pos);
         if self.running.is_some() {
@@ -255,26 +264,26 @@ impl ParallelEngine {
         } else {
             self.pending.retain(|q| q.id() != id);
         }
-        alerts
+        Ok(alerts)
     }
 
     /// Detach a live query from the stream until [`resume`](Self::resume):
     /// it sees no events and no time, and emits nothing. Unknown ids are a
     /// no-op.
-    pub fn pause(&mut self, id: QueryId) -> Vec<Alert> {
+    pub fn pause(&mut self, id: QueryId) -> Result<Vec<Alert>, EngineError> {
         self.set_paused(id, true)
     }
 
     /// Re-attach a paused query at the current stream position.
-    pub fn resume(&mut self, id: QueryId) -> Vec<Alert> {
+    pub fn resume(&mut self, id: QueryId) -> Result<Vec<Alert>, EngineError> {
         self.set_paused(id, false)
     }
 
-    fn set_paused(&mut self, id: QueryId, paused: bool) -> Vec<Alert> {
-        self.assert_not_drained();
+    fn set_paused(&mut self, id: QueryId, paused: bool) -> Result<Vec<Alert>, EngineError> {
+        self.ensure_not_drained()?;
         let mut alerts = Vec::new();
         let Some((_, info)) = self.queries.iter().find(|(qid, _)| *qid == id) else {
-            return alerts;
+            return Ok(alerts);
         };
         if self.running.is_some() {
             let shard = self.assignment[&info.key];
@@ -288,7 +297,7 @@ impl ParallelEngine {
         } else if let Some(q) = self.pending.iter_mut().find(|q| q.id() == id) {
             q.set_paused(paused);
         }
-        alerts
+        Ok(alerts)
     }
 
     /// Whether a query with this id is live (registered and not removed).
@@ -328,11 +337,12 @@ impl ParallelEngine {
     /// and alerts for this event may surface later (or in
     /// [`finish`](Self::finish)).
     ///
-    /// Panics when called after [`finish`](Self::finish): the workers are
-    /// gone, so unlike the serial scheduler this engine cannot resume a
-    /// drained stream (silently buffering the events would lose them).
-    pub fn process(&mut self, event: &SharedEvent) -> Vec<Alert> {
-        self.assert_not_drained();
+    /// Returns [`EngineError::EngineFinished`] after
+    /// [`finish`](Self::finish): the workers are gone, so unlike the serial
+    /// scheduler this engine cannot resume a drained stream (silently
+    /// buffering the events would lose them).
+    pub fn process(&mut self, event: &SharedEvent) -> Result<Vec<Alert>, EngineError> {
+        self.ensure_not_drained()?;
         let mut alerts = Vec::new();
         self.ensure_started();
         self.buffer.push(event.clone());
@@ -342,14 +352,17 @@ impl ParallelEngine {
         } else if let Some(running) = &self.running {
             drain_ready(&running.alerts_rx, &mut alerts);
         }
-        alerts
+        Ok(alerts)
     }
 
     /// Drive an entire stream to completion and return all alerts. Unlike
     /// the serial engine, ordering across queries is not stream order —
     /// equality with serial execution holds for the alert *multiset*.
-    pub fn run(&mut self, stream: impl IntoIterator<Item = SharedEvent>) -> Vec<Alert> {
-        self.assert_not_drained();
+    pub fn run(
+        &mut self,
+        stream: impl IntoIterator<Item = SharedEvent>,
+    ) -> Result<Vec<Alert>, EngineError> {
+        self.ensure_not_drained()?;
         let mut alerts = Vec::new();
         self.ensure_started();
         for event in stream {
@@ -360,7 +373,7 @@ impl ParallelEngine {
             }
         }
         alerts.extend(self.finish());
-        alerts
+        Ok(alerts)
     }
 
     /// Drive a stream, delivering every alert to `sink` as it arrives from
@@ -369,8 +382,8 @@ impl ParallelEngine {
         &mut self,
         stream: impl IntoIterator<Item = SharedEvent>,
         sink: &mut dyn AlertSink,
-    ) -> u64 {
-        self.assert_not_drained();
+    ) -> Result<u64, EngineError> {
+        self.ensure_not_drained()?;
         let mut n = 0u64;
         let mut pending = Vec::new();
         self.ensure_started();
@@ -390,7 +403,7 @@ impl ParallelEngine {
             sink.deliver(&alert);
         }
         sink.flush();
-        n
+        Ok(n)
     }
 
     /// End of stream: flush the partial batch, drain the workers, merge
@@ -537,13 +550,15 @@ impl ParallelEngine {
         shard
     }
 
-    fn assert_not_drained(&self) {
-        assert!(
-            self.drained.is_none(),
-            "ParallelEngine cannot process events or lifecycle changes \
-             after finish(): the workers have shut down (create a fresh \
-             engine to run again)"
-        );
+    /// Data-plane and lifecycle calls are rejected once the workers have
+    /// shut down — accepting events or queries then would silently lose
+    /// them (the known PR 3 wart was a panic here).
+    fn ensure_not_drained(&self) -> Result<(), EngineError> {
+        if self.drained.is_some() {
+            Err(EngineError::EngineFinished)
+        } else {
+            Ok(())
+        }
     }
 
     /// Dispatch the buffered partial batch, if any — the barrier that puts
@@ -717,6 +732,11 @@ mod tests {
         keys
     }
 
+    /// Process on a live runtime (tests only hit the error path on purpose).
+    fn par_process(par: &mut ParallelEngine, event: &SharedEvent) -> Vec<Alert> {
+        par.process(event).expect("runtime not finished")
+    }
+
     #[test]
     fn matches_serial_scheduler_across_worker_counts() {
         let mut serial = Scheduler::new();
@@ -741,7 +761,7 @@ mod tests {
             for (name, src) in sources() {
                 par.register(name, src).unwrap();
             }
-            let par_alerts = par.run(events());
+            let par_alerts = par.run(events()).unwrap();
             assert_eq!(
                 sorted(par_alerts),
                 sorted(serial_alerts.clone()),
@@ -767,7 +787,7 @@ mod tests {
         for (name, src) in sources() {
             par.register(name, src).unwrap();
         }
-        par.run(events());
+        par.run(events()).unwrap();
         let got = par.stats();
         assert_eq!(got.events, expect.events);
         assert_eq!(got.master_checks, expect.master_checks);
@@ -786,7 +806,7 @@ mod tests {
             .unwrap();
         }
         assert_eq!(par.group_count(), 1);
-        par.run(vec![start(1, 10, "cmd.exe", "osql.exe")]);
+        par.run(vec![start(1, 10, "cmd.exe", "osql.exe")]).unwrap();
         // One group ⇒ exactly one master check per event, same as serial.
         assert_eq!(par.stats().master_checks, 1);
         assert_eq!(par.stats().deliveries, 8);
@@ -804,13 +824,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot process events or lifecycle changes after finish")]
-    fn process_after_finish_panics_clearly() {
+    fn process_and_lifecycle_after_finish_return_finished_error() {
         let mut par = ParallelEngine::new(ParallelConfig::with_workers(2), QueryConfig::default());
-        par.register("q", "proc p start proc q as e\nreturn p")
+        let id = par
+            .register("q", "proc p start proc q as e\nreturn p")
             .unwrap();
-        par.run(vec![start(1, 10, "a.exe", "b.exe")]);
-        par.process(&start(2, 20, "a.exe", "b.exe"));
+        par.run(vec![start(1, 10, "a.exe", "b.exe")]).unwrap();
+        // The PR 3 wart was a panic here; every data-plane and lifecycle
+        // entry point now reports the finished engine instead.
+        assert!(matches!(
+            par.process(&start(2, 20, "a.exe", "b.exe")),
+            Err(EngineError::EngineFinished)
+        ));
+        assert!(matches!(
+            par.add(rq("late", "proc p start proc q as e\nreturn p")),
+            Err(EngineError::EngineFinished)
+        ));
+        assert!(matches!(par.remove(id), Err(EngineError::EngineFinished)));
+        assert!(matches!(par.pause(id), Err(EngineError::EngineFinished)));
+        assert!(matches!(par.resume(id), Err(EngineError::EngineFinished)));
+        assert!(matches!(
+            par.run(vec![start(3, 30, "a.exe", "b.exe")]),
+            Err(EngineError::EngineFinished)
+        ));
+        let err = par.register("late", "proc p start proc q as e\nreturn p");
+        assert!(err.is_err());
+        // The engine stays inspectable after the rejected calls.
+        assert_eq!(par.stats().events, 1);
     }
 
     #[test]
@@ -830,7 +870,7 @@ mod tests {
         .unwrap();
         let mut alerts = Vec::new();
         for e in events() {
-            alerts.extend(par.process(&e));
+            alerts.extend(par.process(&e).unwrap());
         }
         alerts.extend(par.finish());
         assert_eq!(alerts.len(), 200, "one alert per cmd.exe start");
@@ -845,7 +885,7 @@ mod tests {
         )
         .unwrap();
         let mut sink = crate::sink::CollectSink::default();
-        let n = par.run_with_sink(events(), &mut sink);
+        let n = par.run_with_sink(events(), &mut sink).unwrap();
         assert_eq!(n, 200);
         assert_eq!(sink.alerts.len(), 200);
     }
@@ -868,7 +908,10 @@ mod tests {
         let mut alerts = Vec::new();
         // Start the stream, then attach a compatible query mid-flight.
         for i in 0..10u64 {
-            alerts.extend(par.process(&start(i + 1, (i + 1) * 1_000, "cmd.exe", "osql.exe")));
+            alerts.extend(par_process(
+                &mut par,
+                &start(i + 1, (i + 1) * 1_000, "cmd.exe", "osql.exe"),
+            ));
         }
         let id_b = par
             .register(
@@ -879,7 +922,10 @@ mod tests {
         assert!(par.contains(id_b));
         assert_eq!(par.group_count(), 1, "same compat key joins the group");
         for i in 10..20u64 {
-            alerts.extend(par.process(&start(i + 1, (i + 1) * 1_000, "cmd.exe", "osql.exe")));
+            alerts.extend(par_process(
+                &mut par,
+                &start(i + 1, (i + 1) * 1_000, "cmd.exe", "osql.exe"),
+            ));
         }
         alerts.extend(par.finish());
         let a_count = alerts.iter().filter(|a| a.query == "a").count();
@@ -910,14 +956,14 @@ mod tests {
         par.register("r", "proc p start proc q as e\nreturn distinct p, q")
             .unwrap();
         let mut alerts = Vec::new();
-        alerts.extend(par.process(&send(1, 1_000, "x.exe", "1.1.1.1", 5)));
-        alerts.extend(par.process(&start(2, 2_000, "a.exe", "b.exe")));
+        alerts.extend(par.process(&send(1, 1_000, "x.exe", "1.1.1.1", 5)).unwrap());
+        alerts.extend(par_process(&mut par, &start(2, 2_000, "a.exe", "b.exe")));
         assert_eq!(par.group_count(), 2);
         // Deregister the window query mid-stream: its open window flushes.
-        alerts.extend(par.remove(id_w));
+        alerts.extend(par.remove(id_w).unwrap());
         assert!(!par.contains(id_w));
         assert_eq!(par.group_count(), 1, "write-group dissolved");
-        alerts.extend(par.process(&send(3, 3_000, "x.exe", "1.1.1.1", 5)));
+        alerts.extend(par.process(&send(3, 3_000, "x.exe", "1.1.1.1", 5)).unwrap());
         alerts.extend(par.finish());
         let w_alerts: Vec<_> = alerts.iter().filter(|a| a.query == "w").collect();
         assert_eq!(w_alerts.len(), 1, "{alerts:?}");
@@ -948,13 +994,22 @@ mod tests {
             )
             .unwrap();
         let mut alerts = Vec::new();
-        alerts.extend(par.process(&start(1, 1_000, "cmd.exe", "osql.exe")));
-        alerts.extend(par.pause(id));
+        alerts.extend(par_process(
+            &mut par,
+            &start(1, 1_000, "cmd.exe", "osql.exe"),
+        ));
+        alerts.extend(par.pause(id).unwrap());
         for i in 2..=5u64 {
-            alerts.extend(par.process(&start(i, i * 1_000, "cmd.exe", "osql.exe")));
+            alerts.extend(par_process(
+                &mut par,
+                &start(i, i * 1_000, "cmd.exe", "osql.exe"),
+            ));
         }
-        alerts.extend(par.resume(id));
-        alerts.extend(par.process(&start(6, 6_000, "cmd.exe", "osql.exe")));
+        alerts.extend(par.resume(id).unwrap());
+        alerts.extend(par_process(
+            &mut par,
+            &start(6, 6_000, "cmd.exe", "osql.exe"),
+        ));
         alerts.extend(par.finish());
         assert_eq!(
             alerts.len(),
@@ -971,7 +1026,7 @@ mod tests {
             par.register(name, src).unwrap();
         }
         assert!(par.query_stats().is_empty(), "stats only after finish");
-        par.run(events());
+        par.run(events()).unwrap();
         let stats = par.query_stats();
         assert_eq!(stats.len(), sources().len());
         assert!(stats

@@ -161,14 +161,33 @@ impl<'e> RunSession<'e> {
     /// One pump round, feeding at most `max` merged events to the engine.
     /// Bounding the budget lets callers interleave control-plane changes at
     /// exact stream positions (see the CLI's staged lifecycle flags).
+    ///
+    /// If the engine was explicitly finished mid-session (via
+    /// [`engine`](Self::engine) on a parallel backend), the round ends
+    /// immediately with [`SessionStatus::Done`] — a finished engine can
+    /// absorb no more events.
     pub fn pump_max(&mut self, max: usize) -> Pump {
         self.batch.clear();
         let status = self.merge.poll(&mut self.batch, max);
         let mut alerts = Vec::new();
+        let mut fed = 0u64;
         for event in &self.batch {
-            alerts.extend(self.engine.process(event));
+            match self.engine.process(event) {
+                Ok(fresh) => {
+                    fed += 1;
+                    alerts.extend(fresh);
+                }
+                Err(_) => {
+                    self.processed += fed;
+                    return Pump {
+                        alerts,
+                        events: fed,
+                        status: SessionStatus::Done,
+                    };
+                }
+            }
         }
-        let events = self.batch.len() as u64;
+        let events = fed;
         self.processed += events;
         Pump {
             alerts,
@@ -426,6 +445,7 @@ mod tests {
         direct.register("watch", WATCH).unwrap();
         let via_run: Vec<String> = direct
             .run(events.clone())
+            .unwrap()
             .iter()
             .map(|a| a.to_string())
             .collect();

@@ -13,18 +13,130 @@
 //! bounded history (3 windows here) that alert expressions index as
 //! `ss[0].avg_amount` (current), `ss[1]...` (previous), etc.
 //!
+//! **Group identity is a value tuple.** On the per-event path groups are
+//! keyed by a [`KeyTuple`] — the hashed tuple of interned key values — not
+//! by a joined display string: no formatting, no string allocation per
+//! event. The human-readable joined label survives only as a *lazy alert
+//! label*, computed once per group when its window closes. (A tuple
+//! distinguishes `Int(1)` from `"1"`, which the old display-string identity
+//! conflated; key attributes have stable types, so real queries never see
+//! the difference.)
+//!
+//! Key and field *evaluation* lives with the caller ([`crate::query`]),
+//! which runs either compiled programs or the interpreter oracle —
+//! [`StateMaintainer::observe`] is execution-mode agnostic.
+//!
 //! Groups absent from a past window read that field's *neutral value*
 //! (0 for counts/sums/averages, the empty set for `set(...)`) once the
 //! stream has produced at least that window; indexes reaching before the
 //! stream began yield `Missing`, which keeps alerts quiet during warm-up.
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 
-use saql_lang::ast::{AggFunc, Expr, GroupKey, StateBlock};
+use saql_lang::ast::{AggFunc, StateBlock};
 use saql_model::AttrValue;
 
-use crate::eval::{eval, Scope, StateLookup};
+use crate::eval::{StateLookup, StateSlots};
 use crate::value::{SetValues, Value};
+
+/// FNV-1a: the group maps are internal analytics state (no untrusted-key
+/// DoS surface), and the per-event path hashes a group key on every fold —
+/// SipHash would be the single largest cost left on it.
+struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+type GroupMap<V> = HashMap<KeyTuple, V, BuildHasherDefault<Fnv>>;
+
+/// One hashable component of a group's identity. Strings share the event's
+/// interned `Arc<str>`; floats key by bit pattern (stable identity, no Ord
+/// headaches).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum KeyAtom {
+    Int(i64),
+    Float(u64),
+    Str(Arc<str>),
+    Bool(bool),
+}
+
+impl KeyAtom {
+    pub fn of(v: &AttrValue) -> KeyAtom {
+        match v {
+            AttrValue::Int(i) => KeyAtom::Int(*i),
+            AttrValue::Float(f) => KeyAtom::Float(f.to_bits()),
+            AttrValue::Str(s) => KeyAtom::Str(s.clone()),
+            AttrValue::Bool(b) => KeyAtom::Bool(*b),
+        }
+    }
+
+    /// Take ownership of an attribute value (moves the `Arc` handle — the
+    /// hot path pays exactly one refcount per key).
+    pub fn of_owned(v: AttrValue) -> KeyAtom {
+        match v {
+            AttrValue::Int(i) => KeyAtom::Int(i),
+            AttrValue::Float(f) => KeyAtom::Float(f.to_bits()),
+            AttrValue::Str(s) => KeyAtom::Str(s),
+            AttrValue::Bool(b) => KeyAtom::Bool(b),
+        }
+    }
+
+    /// Back to an attribute value (exact roundtrip; floats by bit pattern).
+    pub fn to_attr(&self) -> AttrValue {
+        match self {
+            KeyAtom::Int(i) => AttrValue::Int(*i),
+            KeyAtom::Float(bits) => AttrValue::Float(f64::from_bits(*bits)),
+            KeyAtom::Str(s) => AttrValue::Str(s.clone()),
+            KeyAtom::Bool(b) => AttrValue::Bool(*b),
+        }
+    }
+}
+
+/// A group's identity: one [`KeyAtom`] per group-by key. The empty tuple is
+/// the global group of a `group by`-less state block.
+pub type KeyTuple = Box<[KeyAtom]>;
+
+/// Build the key tuple of a resolved key-value row.
+pub fn key_tuple(values: &[AttrValue]) -> KeyTuple {
+    values.iter().map(KeyAtom::of).collect()
+}
+
+/// The lazy alert label: key values joined by `|` with duplicate displays
+/// collapsed (`group by p` shows `sqlservr.exe`, not `sqlservr.exe|...`).
+pub fn group_label(values: &[AttrValue]) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for v in values {
+        let s = v.to_string();
+        if !parts.contains(&s) {
+            parts.push(s);
+        }
+    }
+    if parts.is_empty() {
+        "<all>".to_string()
+    } else {
+        parts.join("|")
+    }
+}
 
 /// One field's in-window accumulator.
 #[derive(Debug, Clone)]
@@ -111,43 +223,24 @@ fn neutral(agg: AggFunc) -> Value {
     }
 }
 
-/// Snapshot of one group's state at a window close.
-#[derive(Debug, Clone)]
-pub struct GroupSnapshot {
-    /// Group-key spellings and values (`"p"` / `"p.exe_name"` →
-    /// `"sqlservr.exe"`); used to build evaluation scopes and alert labels.
-    pub keys: Vec<(String, AttrValue)>,
-    /// Field values in block declaration order.
-    pub values: Vec<Value>,
-}
-
-impl GroupSnapshot {
-    /// Human-readable group id (key values joined).
-    pub fn group_id(&self) -> String {
-        group_id_of(&self.keys)
-    }
-}
-
-fn group_id_of(keys: &[(String, AttrValue)]) -> String {
-    let mut parts: Vec<String> = Vec::new();
-    let mut seen = std::collections::HashSet::new();
-    for (_, v) in keys {
-        let s = v.to_string();
-        if seen.insert(s.clone()) {
-            parts.push(s);
-        }
-    }
-    if parts.is_empty() {
-        "<all>".to_string()
-    } else {
-        parts.join("|")
-    }
-}
-
 #[derive(Debug, Clone)]
 struct GroupAccum {
-    keys: Vec<(String, AttrValue)>,
+    /// Key values by group-by slot (what the close-time contexts read).
+    key_vals: Vec<AttrValue>,
     accums: Vec<FieldAccum>,
+}
+
+/// One group at a window close: identity, lazily rendered label, key
+/// values by slot, and finalized field values in declaration order.
+#[derive(Debug, Clone)]
+pub struct ClosedGroup {
+    pub key: KeyTuple,
+    /// The joined display label (alert origin, invariant keying).
+    pub label: String,
+    /// Key values by group-by slot.
+    pub key_vals: Vec<AttrValue>,
+    /// Field values in block declaration order.
+    pub values: Vec<Value>,
 }
 
 /// The state maintainer for one `state[...]` block.
@@ -155,13 +248,12 @@ struct GroupAccum {
 pub struct StateMaintainer {
     name: String,
     history_len: usize,
-    fields: Vec<(String, AggFunc, Expr)>,
-    group_by: Vec<GroupKey>,
-    /// Accumulators for currently open windows: window id → group id → accum.
-    open: BTreeMap<u64, HashMap<String, GroupAccum>>,
-    /// Closed-window history: group id → recent (window id, snapshot),
+    fields: Vec<(String, AggFunc)>,
+    /// Accumulators for currently open windows: window id → group → accum.
+    open: BTreeMap<u64, GroupMap<GroupAccum>>,
+    /// Closed-window history: group → recent (window id, field values),
     /// newest at the back, bounded by `history_len`.
-    history: HashMap<String, VecDeque<(u64, GroupSnapshot)>>,
+    history: GroupMap<VecDeque<(u64, Vec<Value>)>>,
     /// First window id ever observed (warm-up boundary for neutral values).
     first_window: Option<u64>,
 }
@@ -174,11 +266,10 @@ impl StateMaintainer {
             fields: block
                 .fields
                 .iter()
-                .map(|f| (f.name.clone(), f.agg, f.arg.clone()))
+                .map(|f| (f.name.clone(), f.agg))
                 .collect(),
-            group_by: block.group_by.clone(),
             open: BTreeMap::new(),
-            history: HashMap::new(),
+            history: GroupMap::default(),
             first_window: None,
         }
     }
@@ -189,23 +280,16 @@ impl StateMaintainer {
 
     /// Names of the declared fields, in order.
     pub fn field_names(&self) -> impl Iterator<Item = &str> {
-        self.fields.iter().map(|(n, _, _)| n.as_str())
+        self.fields.iter().map(|(n, _)| n.as_str())
     }
 
-    /// Fold one matching event (already wrapped in an evaluation scope) into
-    /// the given windows. Returns `false` if the group key could not be
-    /// computed from this event's bindings.
-    pub fn observe(&mut self, windows: &[u64], scope: &Scope<'_>) -> bool {
-        let Some(keys) = self.group_keys_from(scope) else {
-            return false;
-        };
-        let group = group_id_of(&keys);
-        // Evaluate field arguments once; fold into every containing window.
-        let folded: Vec<Value> = self
-            .fields
-            .iter()
-            .map(|(_, _, arg)| eval(arg, scope))
-            .collect();
+    /// Fold one matching event's evaluated key atoms and field arguments
+    /// into the given windows. The caller evaluated both (compiled program
+    /// or interpreter); this only groups and folds. Allocation-free for
+    /// groups that already exist (the common case): lookups hash the key
+    /// *slice*, and a boxed tuple (plus its display values) is built only
+    /// when a new group appears.
+    pub fn observe(&mut self, windows: &[u64], key: &[KeyAtom], folded: &[Value]) {
         for &k in windows {
             if self.first_window.is_none() || Some(k) < self.first_window {
                 self.first_window = Some(match self.first_window {
@@ -214,79 +298,51 @@ impl StateMaintainer {
                 });
             }
             let groups = self.open.entry(k).or_default();
-            let accum = groups.entry(group.clone()).or_insert_with(|| GroupAccum {
-                keys: keys.clone(),
-                accums: self
-                    .fields
-                    .iter()
-                    .map(|(_, agg, _)| FieldAccum::new(*agg))
-                    .collect(),
-            });
-            for (acc, v) in accum.accums.iter_mut().zip(&folded) {
+            let accum = match groups.get_mut(key) {
+                Some(accum) => accum,
+                None => groups
+                    .entry(key.to_vec().into_boxed_slice())
+                    .or_insert_with(|| GroupAccum {
+                        key_vals: key.iter().map(KeyAtom::to_attr).collect(),
+                        accums: self
+                            .fields
+                            .iter()
+                            .map(|(_, agg)| FieldAccum::new(*agg))
+                            .collect(),
+                    }),
+            };
+            for (acc, v) in accum.accums.iter_mut().zip(folded) {
                 acc.fold(v);
             }
         }
-        true
-    }
-
-    /// Compute the group-key spellings/values for an event scope.
-    ///
-    /// `group by p` binds both `p` and `p.<default_attr>`; `group by i.dstip`
-    /// binds `i.dstip`. An empty `group by` produces the global group.
-    fn group_keys_from(&self, scope: &Scope<'_>) -> Option<Vec<(String, AttrValue)>> {
-        let mut keys = Vec::with_capacity(self.group_by.len() + 1);
-        for gk in &self.group_by {
-            let expr = Expr::Ref(saql_lang::ast::Ref {
-                base: gk.var.clone(),
-                index: None,
-                attr: gk.attr.clone(),
-                span: gk.span,
-            });
-            let value = match eval(&expr, scope) {
-                Value::Attr(a) => a,
-                _ => return None,
-            };
-            match &gk.attr {
-                Some(attr) => keys.push((format!("{}.{}", gk.var, attr), value)),
-                None => {
-                    // Bind the bare var and its default-attribute spelling.
-                    keys.push((gk.var.clone(), value.clone()));
-                    if let Some(entity) = scope.entities.get(gk.var.as_str()) {
-                        let attr = entity.entity_type().default_attr();
-                        keys.push((format!("{}.{}", gk.var, attr), value));
-                    }
-                }
-            }
-        }
-        Some(keys)
     }
 
     /// Close window `k`: snapshot every group that observed events in it,
-    /// push the snapshots into history, and return them sorted by group id.
-    pub fn close(&mut self, k: u64) -> Vec<(String, GroupSnapshot)> {
+    /// push the field values into history, and return the groups sorted by
+    /// their (lazily rendered) labels — the only point where labels exist.
+    pub fn close(&mut self, k: u64) -> Vec<ClosedGroup> {
         let groups = self.open.remove(&k).unwrap_or_default();
-        let mut out: Vec<(String, GroupSnapshot)> = groups
+        let mut out: Vec<ClosedGroup> = groups
             .into_iter()
-            .map(|(gid, accum)| {
+            .map(|(key, accum)| {
                 let values: Vec<Value> = accum
                     .accums
                     .into_iter()
                     .zip(&self.fields)
-                    .map(|(acc, (_, agg, _))| acc.finalize(*agg))
+                    .map(|(acc, (_, agg))| acc.finalize(*agg))
                     .collect();
-                (
-                    gid,
-                    GroupSnapshot {
-                        keys: accum.keys,
-                        values,
-                    },
-                )
+                ClosedGroup {
+                    label: group_label(&accum.key_vals),
+                    key,
+                    key_vals: accum.key_vals,
+                    values,
+                }
             })
             .collect();
-        out.sort_by(|a, b| a.0.cmp(&b.0));
-        for (gid, snap) in &out {
-            let hist = self.history.entry(gid.clone()).or_default();
-            hist.push_back((k, snap.clone()));
+        out.sort_by(|a, b| a.label.cmp(&b.label));
+        for group in &out {
+            let hist = self.history.entry(group.key.clone()).or_default();
+            hist.push_back((k, group.values.clone()));
             // Keep enough history to serve `ss[history_len - 1]` even with
             // sliding windows: entries older than the reachable range drop.
             while hist.len() > self.history_len {
@@ -296,33 +352,17 @@ impl StateMaintainer {
         out
     }
 
-    /// Resolve `name[back].field` for `group` with window `k` as current.
-    pub fn lookup(&self, group: &str, k: u64, back: usize, field: Option<&str>) -> Value {
-        if back >= self.history_len {
+    /// Resolve field `field_idx`, `back` windows before `k`, for `group`.
+    pub fn lookup_idx(&self, group: &KeyTuple, k: u64, back: usize, field_idx: usize) -> Value {
+        if back >= self.history_len || field_idx >= self.fields.len() {
             return Value::Missing;
         }
         let Some(target) = k.checked_sub(back as u64) else {
             return Value::Missing;
         };
-        let field_idx = match field {
-            Some(f) => match self.fields.iter().position(|(n, _, _)| n == f) {
-                Some(i) => i,
-                None => return Value::Missing,
-            },
-            // A bare state reference (`ss`) with exactly one field refers to
-            // it (Query 3's `ss.set_proc` style always names the field, but
-            // invariant updates may use the shorthand).
-            None => {
-                if self.fields.len() == 1 {
-                    0
-                } else {
-                    return Value::Missing;
-                }
-            }
-        };
         if let Some(hist) = self.history.get(group) {
-            if let Some((_, snap)) = hist.iter().rev().find(|(wk, _)| *wk == target) {
-                return snap.values[field_idx].clone();
+            if let Some((_, values)) = hist.iter().rev().find(|(wk, _)| *wk == target) {
+                return values[field_idx].clone();
             }
         }
         // Absent window: neutral value once past warm-up.
@@ -331,13 +371,33 @@ impl StateMaintainer {
             _ => Value::Missing,
         }
     }
+
+    /// Resolve `name[back].field` by field *name* (the interpreter's view).
+    /// A bare reference (`ss`) with exactly one field refers to it.
+    pub fn lookup(&self, group: &KeyTuple, k: u64, back: usize, field: Option<&str>) -> Value {
+        let field_idx = match field {
+            Some(f) => match self.fields.iter().position(|(n, _)| n == f) {
+                Some(i) => i,
+                None => return Value::Missing,
+            },
+            None => {
+                if self.fields.len() == 1 {
+                    0
+                } else {
+                    return Value::Missing;
+                }
+            }
+        };
+        self.lookup_idx(group, k, back, field_idx)
+    }
 }
 
-/// [`StateLookup`] view for evaluating expressions of one group at the close
-/// of window `k`.
+/// State access for evaluating one group at the close of window `k` —
+/// implements both the interpreter's name-based [`StateLookup`] and the
+/// compiled plans' index-based [`StateSlots`].
 pub struct StateView<'a> {
     pub maintainer: &'a StateMaintainer,
-    pub group: &'a str,
+    pub group: &'a KeyTuple,
     pub current_window: u64,
 }
 
@@ -351,32 +411,28 @@ impl StateLookup for StateView<'_> {
     }
 }
 
+impl StateSlots for StateView<'_> {
+    fn field(&self, back: usize, field: usize) -> Value {
+        self.maintainer
+            .lookup_idx(self.group, self.current_window, back, field)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use saql_lang::parse;
-    use saql_model::event::EventBuilder;
-    use saql_model::{Entity, NetworkInfo, ProcessInfo};
 
     fn block(src: &str) -> StateBlock {
         parse(src).unwrap().states.remove(0)
     }
 
-    fn net_event(id: u64, ts: u64, exe: &str, dst: &str, amount: u64) -> saql_model::Event {
-        EventBuilder::new(id, "db-server", ts)
-            .subject(ProcessInfo::new(1, exe, "svc"))
-            .sends(NetworkInfo::new("10.0.0.5", 50000, dst, 443, "tcp"))
-            .amount(amount)
-            .build()
+    fn keys(vals: &[&str]) -> Vec<AttrValue> {
+        vals.iter().map(AttrValue::str).collect()
     }
 
-    /// Scope for a matched `proc p write ip i as evt` event.
-    fn scope<'a>(event: &'a saql_model::Event, subject: &'a Entity) -> Scope<'a> {
-        let mut s = Scope::empty();
-        s.events.insert("evt", event);
-        s.entities.insert("p", subject);
-        s.entities.insert("i", &event.object);
-        s
+    fn atoms(vals: &[&str]) -> Vec<KeyAtom> {
+        keys(vals).iter().map(KeyAtom::of).collect()
     }
 
     const QUERY2_STATE: &str = "proc p write ip i as evt #time(10 min)\nstate[3] ss { avg_amount := avg(evt.amount) } group by p\nreturn p";
@@ -384,74 +440,68 @@ mod tests {
     #[test]
     fn per_group_average_over_one_window() {
         let mut m = StateMaintainer::new(&block(QUERY2_STATE));
-        for (i, amount) in [100u64, 200, 300].into_iter().enumerate() {
-            let e = net_event(i as u64, 1000, "sqlservr.exe", "10.0.0.9", amount);
-            let subj = Entity::Process(e.subject.clone());
-            assert!(m.observe(&[0], &scope(&e, &subj)));
+        for amount in [100i64, 200, 300] {
+            m.observe(&[0], &atoms(&["sqlservr.exe"]), &[Value::int(amount)]);
         }
-        let e = net_event(9, 1500, "chrome.exe", "8.8.8.8", 50);
-        let subj = Entity::Process(e.subject.clone());
-        m.observe(&[0], &scope(&e, &subj));
+        m.observe(&[0], &atoms(&["chrome.exe"]), &[Value::int(50)]);
 
         let snaps = m.close(0);
         assert_eq!(snaps.len(), 2);
-        let sql = snaps.iter().find(|(g, _)| g == "sqlservr.exe").unwrap();
-        assert_eq!(sql.1.values[0].as_f64(), Some(200.0));
-        let chrome = snaps.iter().find(|(g, _)| g == "chrome.exe").unwrap();
-        assert_eq!(chrome.1.values[0].as_f64(), Some(50.0));
+        let sql = snaps.iter().find(|g| g.label == "sqlservr.exe").unwrap();
+        assert_eq!(sql.values[0].as_f64(), Some(200.0));
+        let chrome = snaps.iter().find(|g| g.label == "chrome.exe").unwrap();
+        assert_eq!(chrome.values[0].as_f64(), Some(50.0));
     }
 
     #[test]
     fn history_lookup_and_warmup() {
         let mut m = StateMaintainer::new(&block(QUERY2_STATE));
+        let group = key_tuple(&keys(&["sqlservr.exe"]));
         for k in 0..4u64 {
-            let e = net_event(k, k * 600_000, "sqlservr.exe", "10.0.0.9", (k + 1) * 100);
-            let subj = Entity::Process(e.subject.clone());
-            m.observe(&[k], &scope(&e, &subj));
+            m.observe(
+                &[k],
+                &atoms(&["sqlservr.exe"]),
+                &[Value::int(((k + 1) * 100) as i64)],
+            );
             m.close(k);
         }
         // At window 3: ss[0]=400, ss[1]=300, ss[2]=200.
         assert_eq!(
-            m.lookup("sqlservr.exe", 3, 0, Some("avg_amount")).as_f64(),
+            m.lookup(&group, 3, 0, Some("avg_amount")).as_f64(),
             Some(400.0)
         );
         assert_eq!(
-            m.lookup("sqlservr.exe", 3, 1, Some("avg_amount")).as_f64(),
+            m.lookup(&group, 3, 1, Some("avg_amount")).as_f64(),
             Some(300.0)
         );
         assert_eq!(
-            m.lookup("sqlservr.exe", 3, 2, Some("avg_amount")).as_f64(),
+            m.lookup(&group, 3, 2, Some("avg_amount")).as_f64(),
             Some(200.0)
         );
-        // Beyond declared history: Missing.
-        assert!(m
-            .lookup("sqlservr.exe", 3, 3, Some("avg_amount"))
-            .is_missing());
+        // Beyond declared history: Missing (by name or by index).
+        assert!(m.lookup(&group, 3, 3, Some("avg_amount")).is_missing());
+        assert!(m.lookup_idx(&group, 3, 3, 0).is_missing());
+        assert!(m.lookup_idx(&group, 3, 0, 9).is_missing(), "bad field idx");
         // Before the stream began (window 0 is first): ss[1] at window 0.
-        assert!(m
-            .lookup("sqlservr.exe", 0, 1, Some("avg_amount"))
-            .is_missing());
+        assert!(m.lookup(&group, 0, 1, Some("avg_amount")).is_missing());
     }
 
     #[test]
     fn absent_window_reads_neutral_after_warmup() {
         let mut m = StateMaintainer::new(&block(QUERY2_STATE));
-        let e = net_event(1, 0, "sqlservr.exe", "10.0.0.9", 500);
-        let subj = Entity::Process(e.subject.clone());
-        m.observe(&[0], &scope(&e, &subj));
+        let group = key_tuple(&keys(&["sqlservr.exe"]));
+        m.observe(&[0], &atoms(&["sqlservr.exe"]), &[Value::int(500)]);
         m.close(0);
         // Window 1 passes with no events for the group; window 2 has one.
-        let e2 = net_event(2, 1_200_000, "sqlservr.exe", "10.0.0.9", 900);
-        let subj2 = Entity::Process(e2.subject.clone());
-        m.observe(&[2], &scope(&e2, &subj2));
+        m.observe(&[2], &atoms(&["sqlservr.exe"]), &[Value::int(900)]);
         m.close(2);
         // ss[1] (window 1) is neutral 0.0, not Missing.
         assert_eq!(
-            m.lookup("sqlservr.exe", 2, 1, Some("avg_amount")).as_f64(),
+            m.lookup(&group, 2, 1, Some("avg_amount")).as_f64(),
             Some(0.0)
         );
         assert_eq!(
-            m.lookup("sqlservr.exe", 2, 2, Some("avg_amount")).as_f64(),
+            m.lookup(&group, 2, 2, Some("avg_amount")).as_f64(),
             Some(500.0)
         );
     }
@@ -460,70 +510,56 @@ mod tests {
     fn set_aggregation() {
         let src = "proc p1 start proc p2 as evt #time(10 s)\nstate ss { set_proc := set(p2.exe_name) } group by p1\nreturn p1";
         let mut m = StateMaintainer::new(&block(src));
-        for (i, child) in ["php.exe", "rotatelogs.exe", "php.exe"].iter().enumerate() {
-            let e = EventBuilder::new(i as u64, "web-server", 100)
-                .subject(ProcessInfo::new(80, "apache.exe", "www"))
-                .starts_process(ProcessInfo::new(100 + i as u32, *child, "www"))
-                .build();
-            let subj = Entity::Process(e.subject.clone());
-            let mut s = Scope::empty();
-            s.events.insert("evt", &e);
-            s.entities.insert("p1", &subj);
-            s.entities.insert("p2", &e.object);
-            m.observe(&[0], &s);
+        for child in ["php.exe", "rotatelogs.exe", "php.exe"] {
+            m.observe(&[0], &atoms(&["apache.exe"]), &[Value::str(child)]);
         }
         let snaps = m.close(0);
         assert_eq!(snaps.len(), 1);
-        assert_eq!(
-            snaps[0].1.values[0].to_string(),
-            "{php.exe, rotatelogs.exe}"
-        );
+        assert_eq!(snaps[0].values[0].to_string(), "{php.exe, rotatelogs.exe}");
     }
 
     #[test]
-    fn group_key_spellings_bind_both_forms() {
+    fn tuple_identity_and_lazy_label() {
         let mut m = StateMaintainer::new(&block(QUERY2_STATE));
-        let e = net_event(1, 0, "cmd.exe", "10.0.0.9", 10);
-        let subj = Entity::Process(e.subject.clone());
-        m.observe(&[0], &scope(&e, &subj));
-        let snaps = m.close(0);
-        let keys = &snaps[0].1.keys;
-        assert!(keys.iter().any(|(k, _)| k == "p"));
-        assert!(keys.iter().any(|(k, _)| k == "p.exe_name"));
-    }
-
-    #[test]
-    fn group_by_attr_key() {
-        let src = "proc p write ip i as evt #time(10 min)\nstate ss { amt := sum(evt.amount) } group by i.dstip\nreturn i.dstip";
-        let mut m = StateMaintainer::new(&block(src));
-        for (i, (dst, amount)) in [("10.0.0.9", 100u64), ("10.0.0.9", 150), ("8.8.8.8", 70)]
-            .into_iter()
-            .enumerate()
-        {
-            let e = net_event(i as u64, 0, "sqlservr.exe", dst, amount);
-            let subj = Entity::Process(e.subject.clone());
-            m.observe(&[0], &scope(&e, &subj));
-        }
+        // Identical values, one group; per-event path never built a label.
+        m.observe(&[0], &atoms(&["x.exe"]), &[Value::int(1)]);
+        m.observe(&[0], &atoms(&["x.exe"]), &[Value::int(3)]);
+        m.observe(&[0], &atoms(&["y.exe"]), &[Value::int(5)]);
         let snaps = m.close(0);
         assert_eq!(snaps.len(), 2);
-        let by_ip: HashMap<String, f64> = snaps
-            .iter()
-            .map(|(g, s)| (g.clone(), s.values[0].as_f64().unwrap()))
-            .collect();
-        assert_eq!(by_ip["10.0.0.9"], 250.0);
-        assert_eq!(by_ip["8.8.8.8"], 70.0);
+        // Sorted by label.
+        assert_eq!(snaps[0].label, "x.exe");
+        assert_eq!(snaps[1].label, "y.exe");
+        assert_eq!(snaps[0].values[0].as_f64(), Some(2.0));
+        // Repeated key values collapse in the label, like the legacy
+        // double-spelling join did.
+        assert_eq!(group_label(&keys(&["a", "a"])), "a");
+        assert_eq!(group_label(&keys(&["a", "b"])), "a|b");
+        assert_eq!(group_label(&[]), "<all>");
     }
 
     #[test]
-    fn state_view_implements_lookup() {
+    fn empty_group_by_uses_global_group() {
+        let src = "proc p write ip i as evt #time(10 min)\nstate ss { n := count() }\nreturn p";
+        let mut m = StateMaintainer::new(&block(src));
+        for _ in 0..3 {
+            m.observe(&[0], &[], &[Value::int(1)]);
+        }
+        let snaps = m.close(0);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].label, "<all>");
+        assert_eq!(snaps[0].values[0].as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn state_view_implements_both_lookups() {
         let mut m = StateMaintainer::new(&block(QUERY2_STATE));
-        let e = net_event(1, 0, "x.exe", "1.1.1.1", 42);
-        let subj = Entity::Process(e.subject.clone());
-        m.observe(&[0], &scope(&e, &subj));
+        m.observe(&[0], &atoms(&["x.exe"]), &[Value::int(42)]);
         m.close(0);
+        let group = key_tuple(&keys(&["x.exe"]));
         let view = StateView {
             maintainer: &m,
-            group: "x.exe",
+            group: &group,
             current_window: 0,
         };
         assert_eq!(
@@ -533,20 +569,6 @@ mod tests {
         assert!(view
             .state_value("other", 0, Some("avg_amount"))
             .is_missing());
-    }
-
-    #[test]
-    fn empty_group_by_uses_global_group() {
-        let src = "proc p write ip i as evt #time(10 min)\nstate ss { n := count() }\nreturn p";
-        let mut m = StateMaintainer::new(&block(src));
-        for i in 0..3 {
-            let e = net_event(i, 0, "a.exe", "1.1.1.1", 1);
-            let subj = Entity::Process(e.subject.clone());
-            m.observe(&[0], &scope(&e, &subj));
-        }
-        let snaps = m.close(0);
-        assert_eq!(snaps.len(), 1);
-        assert_eq!(snaps[0].0, "<all>");
-        assert_eq!(snaps[0].1.values[0].as_f64(), Some(3.0));
+        assert_eq!(StateSlots::field(&view, 0, 0).as_f64(), Some(42.0));
     }
 }

@@ -124,13 +124,21 @@ impl WindowDriver {
     /// already closed — are excluded).
     pub fn observe(&mut self, ts: Timestamp) -> Vec<u64> {
         let mut ks = Vec::new();
+        self.observe_into(ts, &mut ks);
+        ks
+    }
+
+    /// [`observe`](Self::observe) into a caller-owned buffer (cleared
+    /// first) — the per-event path reuses one, so window assignment never
+    /// allocates.
+    pub fn observe_into(&mut self, ts: Timestamp, ks: &mut Vec<u64>) {
+        ks.clear();
         for k in self.assigner.windows_for(ts) {
             if !self.due(k) {
                 self.open.insert(k);
                 ks.push(k);
             }
         }
-        ks
     }
 
     /// Close every still-open window (end of stream), ascending.

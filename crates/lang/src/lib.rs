@@ -29,6 +29,7 @@ pub mod error;
 pub mod lexer;
 pub mod parser;
 pub mod pretty;
+pub mod resolve;
 pub mod semantic;
 pub mod token;
 

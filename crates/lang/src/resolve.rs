@@ -1,0 +1,717 @@
+//! Name resolution: the *resolved AST* the execution engine compiles.
+//!
+//! The semantic checker proves a query well-formed; this pass goes one step
+//! further and answers, **once at deployment time**, the question the
+//! engine's tree-walking evaluator used to re-answer on every event: *what
+//! does each name refer to?* Every [`crate::ast::Ref`] is annotated with a
+//! [`Binding`] — an event-alias slot, an entity-variable slot, a state
+//! field index, a group-key slot, an invariant-variable slot, or a cluster
+//! pseudo-field — so the engine can lower expressions into flat register
+//! programs that load from fixed slot arrays instead of probing `HashMap`s
+//! by string.
+//!
+//! Resolution is **context-sensitive**, mirroring the runtime scopes the
+//! interpreter builds:
+//!
+//! * *event contexts* — a matched event is live (rule alert/return,
+//!   state-field arguments): aliases and entity variables resolve; stateful
+//!   names do not exist yet.
+//! * *group contexts* — a window closed for one group (stateful
+//!   alert/return, invariant updates, cluster points): state fields,
+//!   group-key spellings, invariant variables, and the `cluster` outcome
+//!   resolve; events and entities are gone.
+//! * *empty contexts* — invariant initializers: only literals survive.
+//!
+//! Names that cannot resolve in their context bind to [`Binding::Missing`],
+//! which evaluates to the runtime `Missing` value — exactly what the
+//! interpreter's scope-probing produces for them. One deliberate
+//! simplification: the interpreter retries later namespaces when a *state
+//! lookup* yields a missing value (so a state block shadowing a group key
+//! or invariant variable of the same name falls through during warm-up);
+//! static resolution commits to the state binding. The corpus never names a
+//! state after another binding, and the differential suite pins the
+//! equivalence on real queries.
+
+use std::collections::HashMap;
+
+use saql_model::{AttrId, AttrNs, AttrTable, AttrValue, EntityType};
+
+use crate::ast::*;
+use crate::pretty::print_expr;
+
+/// A cluster pseudo-attribute (`cluster.outlier` / `.cluster_id` / `.size`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusterField {
+    Outlier,
+    ClusterId,
+    Size,
+}
+
+impl ClusterField {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ClusterField::Outlier => "outlier",
+            ClusterField::ClusterId => "cluster_id",
+            ClusterField::Size => "size",
+        }
+    }
+}
+
+/// What a name refers to, decided at deployment time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Binding {
+    /// A bare event alias (`evt`): loads the matched event's id.
+    EventAlias { slot: usize },
+    /// An event-level attribute (`evt.amount`).
+    EventAttr { slot: usize, attr: AttrId },
+    /// An entity attribute (`p1.pid`, or bare `p1` with its type's default
+    /// attribute pre-resolved).
+    EntityAttr { slot: usize, attr: AttrId },
+    /// A state field with window-history offset (`ss[1].avg_amount`).
+    State { back: usize, field: usize },
+    /// A group-key slot of the state block (`p`, `p.exe_name`, `i.dstip`).
+    GroupKey { slot: usize },
+    /// An invariant variable.
+    Invariant { slot: usize },
+    /// A `cluster.*` pseudo-attribute.
+    Cluster { field: ClusterField },
+    /// Statically unresolvable in this context: evaluates to `Missing`.
+    Missing,
+}
+
+/// An expression with every reference bound (see [`Binding`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedExpr {
+    /// A literal, pre-converted to its runtime value.
+    Const(AttrValue),
+    EmptySet,
+    Load(Binding),
+    Unary {
+        op: UnaryOp,
+        expr: Box<ResolvedExpr>,
+    },
+    Binary {
+        op: BinOp,
+        lhs: Box<ResolvedExpr>,
+        rhs: Box<ResolvedExpr>,
+    },
+    Card(Box<ResolvedExpr>),
+}
+
+/// How one group-by key is extracted from a matched event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeySource {
+    /// From a bound entity variable. `attr: None` means the spelled
+    /// attribute does not exist for the variable's type — extraction fails
+    /// on every event (as the interpreter's `Missing` did).
+    Entity { slot: usize, attr: Option<AttrId> },
+    /// From the matched event itself (`group by evt.agentid`).
+    Event { slot: usize, attr: Option<AttrId> },
+}
+
+/// One resolved group-by key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedGroupKey {
+    pub source: KeySource,
+    /// Textual forms that refer to this key in group contexts. A bare
+    /// variable binds both itself and its default-attribute spelling
+    /// (`group by p` answers to `p` and `p.exe_name`).
+    pub spellings: Vec<String>,
+}
+
+/// One resolved state field: name, aggregate, and the event-context program
+/// input for its argument.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedField {
+    pub name: String,
+    pub agg: AggFunc,
+    pub arg: ResolvedExpr,
+}
+
+/// One resolved invariant statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedStmt {
+    /// Invariant-variable slot this statement writes.
+    pub slot: usize,
+    /// `:=` initializer (runs once per group, empty context) vs `=` update
+    /// (runs per training window, group context).
+    pub init: bool,
+    pub expr: ResolvedExpr,
+}
+
+/// A resolved return item: display label + group-context expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedItem {
+    pub label: String,
+    pub expr: ResolvedExpr,
+}
+
+/// The fully resolved query: slot layouts plus every expression the engine
+/// evaluates, bound to those slots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedQuery {
+    /// Event-alias slot table (slot = pattern declaration index).
+    pub aliases: Vec<String>,
+    /// Entity-variable slot table, in first-occurrence order
+    /// (subject before object, pattern by pattern).
+    pub entity_vars: Vec<(String, EntityType)>,
+    /// Per pattern: (subject slot, object slot) into `entity_vars`.
+    pub pattern_slots: Vec<(usize, usize)>,
+    /// Resolved group-by keys of the state block (empty without one).
+    pub group_keys: Vec<ResolvedGroupKey>,
+    /// State-field argument expressions (event context), in field order.
+    pub state_fields: Vec<ResolvedField>,
+    /// Invariant-variable slot names, in initialization order.
+    pub invariant_vars: Vec<String>,
+    /// Resolved invariant statements, in block order.
+    pub invariant_stmts: Vec<ResolvedStmt>,
+    /// Cluster point expressions (group context, no invariants/cluster).
+    pub cluster_points: Vec<ResolvedExpr>,
+    /// The alert condition (event context for rule queries, group context
+    /// for stateful ones).
+    pub alert: Option<ResolvedExpr>,
+    /// Return items with their display labels (same context as `alert`).
+    pub ret: Vec<ResolvedItem>,
+}
+
+/// The runtime scope a resolution happens against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResolveCtx {
+    /// A matched event and its bindings are live.
+    Event,
+    /// A closed window's group is live. `invariants`/`cluster` say whether
+    /// those namespaces are populated at this point of the pipeline.
+    Group { invariants: bool, cluster: bool },
+    /// Nothing is live (invariant initializers).
+    Empty,
+}
+
+/// Entity-variable slot names of a query, in first-occurrence order.
+///
+/// This is *the* slot enumeration: the matcher, the resolver, and the plan
+/// compiler all index entity bindings by position in this list.
+pub fn entity_slot_names(q: &Query) -> Vec<String> {
+    let mut slots: Vec<String> = Vec::new();
+    for p in &q.patterns {
+        for var in [&p.subject.var, &p.object.var] {
+            if !slots.iter().any(|s| s == var) {
+                slots.push(var.clone());
+            }
+        }
+    }
+    slots
+}
+
+/// Resolve a checked query. `vars` is the checker's variable-type map.
+///
+/// Only called on queries that passed [`crate::semantic::check`]; names the
+/// checker rejected never reach this pass, and anything merely *dynamic*
+/// (an attribute a context cannot supply) binds to [`Binding::Missing`].
+pub fn resolve(q: &Query, vars: &HashMap<String, EntityType>) -> ResolvedQuery {
+    let table = AttrTable::global();
+    let aliases: Vec<String> = q.patterns.iter().map(|p| p.alias.clone()).collect();
+    let entity_names = entity_slot_names(q);
+    let entity_vars: Vec<(String, EntityType)> = entity_names
+        .iter()
+        .map(|name| {
+            let etype = vars
+                .get(name)
+                .copied()
+                .expect("checker typed every pattern variable");
+            (name.clone(), etype)
+        })
+        .collect();
+    let pattern_slots: Vec<(usize, usize)> = q
+        .patterns
+        .iter()
+        .map(|p| {
+            let slot_of = |var: &str| {
+                entity_names
+                    .iter()
+                    .position(|s| s == var)
+                    .expect("slot table covers every pattern variable")
+            };
+            (slot_of(&p.subject.var), slot_of(&p.object.var))
+        })
+        .collect();
+
+    let state = q.states.first();
+    let mut r = Resolver {
+        table,
+        aliases: &aliases,
+        entity_vars: &entity_vars,
+        state_name: state.map(|s| s.name.clone()),
+        state_fields: state
+            .map(|s| s.fields.iter().map(|f| f.name.clone()).collect())
+            .unwrap_or_default(),
+        group_keys: Vec::new(),
+        invariant_vars: Vec::new(),
+    };
+
+    // Group keys first: their spellings are a namespace of group contexts.
+    if let Some(s) = state {
+        r.group_keys = s
+            .group_by
+            .iter()
+            .map(|gk| r.resolve_group_key(gk))
+            .collect();
+    }
+    // Invariant variables, in initialization order.
+    if let Some(inv) = q.invariants.first() {
+        for stmt in &inv.stmts {
+            if stmt.init {
+                r.invariant_vars.push(stmt.var.clone());
+            }
+        }
+    }
+
+    let state_fields: Vec<ResolvedField> = state
+        .map(|s| {
+            s.fields
+                .iter()
+                .map(|f| ResolvedField {
+                    name: f.name.clone(),
+                    agg: f.agg,
+                    arg: r.expr(&f.arg, ResolveCtx::Event),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let invariant_stmts: Vec<ResolvedStmt> = q
+        .invariants
+        .first()
+        .map(|inv| {
+            inv.stmts
+                .iter()
+                .map(|stmt| ResolvedStmt {
+                    slot: r
+                        .invariant_vars
+                        .iter()
+                        .position(|v| v == &stmt.var)
+                        .expect("checker saw every invariant variable initialized"),
+                    init: stmt.init,
+                    expr: r.expr(
+                        &stmt.expr,
+                        if stmt.init {
+                            ResolveCtx::Empty
+                        } else {
+                            // Updates run at window close, before the
+                            // cluster outcome exists for them (semantic
+                            // rejects cluster refs here anyway).
+                            ResolveCtx::Group {
+                                invariants: true,
+                                cluster: true,
+                            }
+                        },
+                    ),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let cluster_points: Vec<ResolvedExpr> = q
+        .cluster
+        .as_ref()
+        .map(|c| {
+            c.points
+                .iter()
+                // The cluster stage runs before outcomes and invariant
+                // variables are in scope: both namespaces are dark.
+                .map(|p| {
+                    r.expr(
+                        p,
+                        ResolveCtx::Group {
+                            invariants: false,
+                            cluster: false,
+                        },
+                    )
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    // Rule queries evaluate alert/return over the match; stateful queries
+    // over the closed group.
+    let tail_ctx = if state.is_some() {
+        ResolveCtx::Group {
+            invariants: true,
+            cluster: true,
+        }
+    } else {
+        ResolveCtx::Event
+    };
+    let alert = q.alert.as_ref().map(|e| r.expr(e, tail_ctx));
+    let ret: Vec<ResolvedItem> = q
+        .ret
+        .as_ref()
+        .map(|clause| {
+            clause
+                .items
+                .iter()
+                .map(|item| ResolvedItem {
+                    label: match &item.alias {
+                        Some(a) => a.clone(),
+                        None => print_expr(&item.expr),
+                    },
+                    expr: r.expr(&item.expr, tail_ctx),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+
+    let Resolver {
+        group_keys,
+        invariant_vars,
+        ..
+    } = r;
+    ResolvedQuery {
+        aliases,
+        entity_vars,
+        pattern_slots,
+        group_keys,
+        state_fields,
+        invariant_vars,
+        invariant_stmts,
+        cluster_points,
+        alert,
+        ret,
+    }
+}
+
+struct Resolver<'a> {
+    table: &'static AttrTable,
+    aliases: &'a [String],
+    entity_vars: &'a [(String, EntityType)],
+    state_name: Option<String>,
+    state_fields: Vec<String>,
+    group_keys: Vec<ResolvedGroupKey>,
+    invariant_vars: Vec<String>,
+}
+
+impl Resolver<'_> {
+    fn expr(&self, e: &Expr, ctx: ResolveCtx) -> ResolvedExpr {
+        match e {
+            Expr::Lit(l) => ResolvedExpr::Const(l.to_attr()),
+            Expr::EmptySet => ResolvedExpr::EmptySet,
+            Expr::Ref(r) => ResolvedExpr::Load(self.binding(r, ctx)),
+            Expr::Unary { op, expr } => ResolvedExpr::Unary {
+                op: *op,
+                expr: Box::new(self.expr(expr, ctx)),
+            },
+            Expr::Binary { op, lhs, rhs } => ResolvedExpr::Binary {
+                op: *op,
+                lhs: Box::new(self.expr(lhs, ctx)),
+                rhs: Box::new(self.expr(rhs, ctx)),
+            },
+            Expr::Card(expr) => ResolvedExpr::Card(Box::new(self.expr(expr, ctx))),
+            // Aggregate calls evaluate to Missing outside state-field
+            // *positions* (the aggregate itself is applied by the state
+            // maintainer; a nested call inside an argument is inert).
+            Expr::Call { .. } => ResolvedExpr::Load(Binding::Missing),
+        }
+    }
+
+    fn binding(&self, r: &Ref, ctx: ResolveCtx) -> Binding {
+        // `cluster.*` shadows every other namespace (the interpreter checks
+        // it first, so even a variable named `cluster` resolves here).
+        if r.base == "cluster" {
+            let live = matches!(ctx, ResolveCtx::Group { cluster: true, .. });
+            return match (live, r.attr.as_deref()) {
+                (true, Some("outlier")) => Binding::Cluster {
+                    field: ClusterField::Outlier,
+                },
+                (true, Some("cluster_id")) => Binding::Cluster {
+                    field: ClusterField::ClusterId,
+                },
+                (true, Some("size")) => Binding::Cluster {
+                    field: ClusterField::Size,
+                },
+                _ => Binding::Missing,
+            };
+        }
+        match ctx {
+            ResolveCtx::Empty => Binding::Missing,
+            ResolveCtx::Event => self.event_binding(r),
+            ResolveCtx::Group { invariants, .. } => self.group_binding(r, invariants),
+        }
+    }
+
+    /// Resolution against a matched-event scope: alias, then entity
+    /// variable (the interpreter's probe order).
+    fn event_binding(&self, r: &Ref) -> Binding {
+        if r.index.is_some() {
+            // `x[i]` is state indexing; no states are live here.
+            return Binding::Missing;
+        }
+        if let Some(slot) = self.aliases.iter().position(|a| a == &r.base) {
+            return match &r.attr {
+                None => Binding::EventAlias { slot },
+                Some(attr) => match self.table.resolve(AttrNs::Event, attr) {
+                    Some(attr) => Binding::EventAttr { slot, attr },
+                    None => Binding::Missing,
+                },
+            };
+        }
+        if let Some(slot) = self.entity_vars.iter().position(|(v, _)| v == &r.base) {
+            let etype = self.entity_vars[slot].1;
+            let name = r.attr.as_deref().unwrap_or_else(|| etype.default_attr());
+            return match self.table.resolve(AttrNs::of_entity(etype), name) {
+                Some(attr) => Binding::EntityAttr { slot, attr },
+                None => Binding::Missing,
+            };
+        }
+        Binding::Missing
+    }
+
+    /// Resolution against a closed-window group scope: state, group-key
+    /// spelling, then invariant variable (the interpreter's probe order
+    /// with the event/entity maps empty).
+    fn group_binding(&self, r: &Ref, invariants_live: bool) -> Binding {
+        if self.state_name.as_deref() == Some(r.base.as_str()) {
+            let field = match &r.attr {
+                Some(f) => self.state_fields.iter().position(|n| n == f),
+                // A bare state reference names its only field.
+                None if self.state_fields.len() == 1 => Some(0),
+                None => None,
+            };
+            return match field {
+                Some(field) => Binding::State {
+                    back: r.index.unwrap_or(0),
+                    field,
+                },
+                None => Binding::Missing,
+            };
+        }
+        if r.index.is_some() {
+            // Indexing anything but the state block is always missing.
+            return Binding::Missing;
+        }
+        let spelled = match &r.attr {
+            Some(a) => format!("{}.{}", r.base, a),
+            None => r.base.clone(),
+        };
+        if let Some(slot) = self
+            .group_keys
+            .iter()
+            .position(|k| k.spellings.iter().any(|s| s == &spelled))
+        {
+            return Binding::GroupKey { slot };
+        }
+        if invariants_live && r.attr.is_none() {
+            if let Some(slot) = self.invariant_vars.iter().position(|v| v == &r.base) {
+                return Binding::Invariant { slot };
+            }
+        }
+        Binding::Missing
+    }
+
+    fn resolve_group_key(&self, gk: &GroupKey) -> ResolvedGroupKey {
+        // Aliases carry an attribute (the checker enforces it); variables
+        // may use their type's default attribute.
+        if let Some(slot) = self.aliases.iter().position(|a| a == &gk.var) {
+            let attr = gk
+                .attr
+                .as_deref()
+                .and_then(|a| self.table.resolve(AttrNs::Event, a));
+            return ResolvedGroupKey {
+                source: KeySource::Event { slot, attr },
+                spellings: spellings_of(gk, None),
+            };
+        }
+        let slot = self
+            .entity_vars
+            .iter()
+            .position(|(v, _)| v == &gk.var)
+            .expect("checker bound every group-by key");
+        let etype = self.entity_vars[slot].1;
+        let name = gk.attr.as_deref().unwrap_or_else(|| etype.default_attr());
+        ResolvedGroupKey {
+            source: KeySource::Entity {
+                slot,
+                attr: self.table.resolve(AttrNs::of_entity(etype), name),
+            },
+            spellings: spellings_of(gk, Some(etype)),
+        }
+    }
+}
+
+fn spellings_of(gk: &GroupKey, etype: Option<EntityType>) -> Vec<String> {
+    match (&gk.attr, etype) {
+        (Some(attr), _) => vec![format!("{}.{}", gk.var, attr)],
+        // A bare variable answers to itself and its default-attribute form.
+        (None, Some(t)) => vec![gk.var.clone(), format!("{}.{}", gk.var, t.default_attr())],
+        (None, None) => vec![gk.var.clone()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile;
+
+    fn resolved(src: &str) -> ResolvedQuery {
+        compile(src).unwrap().resolved
+    }
+
+    #[test]
+    fn rule_query_slots_and_bindings() {
+        let r = resolved(
+            "proc p1[\"%cmd.exe\"] start proc p2 as e1\nproc p2 write ip i as e2\nwith e1 -> e2\nreturn p1, p2, i.dstip, e2.amount",
+        );
+        assert_eq!(r.aliases, vec!["e1", "e2"]);
+        assert_eq!(
+            r.entity_vars,
+            vec![
+                ("p1".to_string(), EntityType::Process),
+                ("p2".to_string(), EntityType::Process),
+                ("i".to_string(), EntityType::Network),
+            ]
+        );
+        assert_eq!(r.pattern_slots, vec![(0, 1), (1, 2)]);
+        let loads: Vec<&Binding> = r
+            .ret
+            .iter()
+            .map(|item| match &item.expr {
+                ResolvedExpr::Load(b) => b,
+                other => panic!("expected load, got {other:?}"),
+            })
+            .collect();
+        // Bare entity vars pre-resolve their default attribute.
+        assert_eq!(
+            *loads[0],
+            Binding::EntityAttr {
+                slot: 0,
+                attr: AttrId::ExeName
+            }
+        );
+        assert_eq!(
+            *loads[2],
+            Binding::EntityAttr {
+                slot: 2,
+                attr: AttrId::DstIp
+            }
+        );
+        assert_eq!(
+            *loads[3],
+            Binding::EventAttr {
+                slot: 1,
+                attr: AttrId::Amount
+            }
+        );
+        assert_eq!(r.ret[3].label, "e2.amount");
+    }
+
+    #[test]
+    fn stateful_query_group_bindings() {
+        let r = resolved(
+            "proc p write ip i as evt #time(10 min)\nstate[3] ss { avg_amount := avg(evt.amount) } group by p\nalert ss[1].avg_amount > 10000\nreturn p, ss[0].avg_amount",
+        );
+        // Field argument resolves in event context.
+        assert_eq!(
+            r.state_fields[0].arg,
+            ResolvedExpr::Load(Binding::EventAttr {
+                slot: 0,
+                attr: AttrId::Amount
+            })
+        );
+        // Group key: bare `p` binds both spellings and extracts exe_name.
+        assert_eq!(
+            r.group_keys[0].source,
+            KeySource::Entity {
+                slot: 0,
+                attr: Some(AttrId::ExeName)
+            }
+        );
+        assert_eq!(r.group_keys[0].spellings, vec!["p", "p.exe_name"]);
+        // Alert/return resolve in group context: `p` is a group key now.
+        assert_eq!(
+            r.ret[0].expr,
+            ResolvedExpr::Load(Binding::GroupKey { slot: 0 })
+        );
+        match &r.alert {
+            Some(ResolvedExpr::Binary { lhs, .. }) => assert_eq!(
+                **lhs,
+                ResolvedExpr::Load(Binding::State { back: 1, field: 0 })
+            ),
+            other => panic!("unexpected alert shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invariant_and_cluster_bindings() {
+        let r = resolved(
+            "proc p1[\"%apache.exe\"] start proc p2 as evt #time(10 s)\nstate ss { set_proc := set(p2.exe_name) } group by p1\ninvariant[3][offline] {\n a := empty_set\n a = a union ss.set_proc\n}\nalert |ss.set_proc diff a| > 0\nreturn p1, ss.set_proc",
+        );
+        assert_eq!(r.invariant_vars, vec!["a"]);
+        assert_eq!(r.invariant_stmts.len(), 2);
+        assert!(r.invariant_stmts[0].init);
+        // The update reads the invariant slot and the state field.
+        match &r.invariant_stmts[1].expr {
+            ResolvedExpr::Binary { lhs, rhs, .. } => {
+                assert_eq!(**lhs, ResolvedExpr::Load(Binding::Invariant { slot: 0 }));
+                assert_eq!(
+                    **rhs,
+                    ResolvedExpr::Load(Binding::State { back: 0, field: 0 })
+                );
+            }
+            other => panic!("unexpected update shape {other:?}"),
+        }
+
+        let r = resolved(
+            "proc p[\"%sqlservr.exe\"] read || write ip i as evt #time(10 min)\nstate ss { amt := sum(evt.amount) } group by i.dstip\ncluster(points=all(ss.amt), distance=\"ed\", method=\"DBSCAN(100000, 5)\")\nalert cluster.outlier && ss.amt > 1000000\nreturn i.dstip, ss.amt",
+        );
+        assert_eq!(
+            r.cluster_points,
+            vec![ResolvedExpr::Load(Binding::State { back: 0, field: 0 })]
+        );
+        match &r.alert {
+            Some(ResolvedExpr::Binary { lhs, .. }) => assert_eq!(
+                **lhs,
+                ResolvedExpr::Load(Binding::Cluster {
+                    field: ClusterField::Outlier
+                })
+            ),
+            other => panic!("unexpected alert shape {other:?}"),
+        }
+        // `group by i.dstip` has the single explicit spelling.
+        assert_eq!(r.group_keys[0].spellings, vec!["i.dstip"]);
+    }
+
+    #[test]
+    fn dynamic_dead_ends_bind_missing() {
+        // An alias attribute unknown to the event namespace.
+        let r = resolved("proc p start proc q as e\nreturn e.bogus_attr");
+        assert_eq!(r.ret[0].expr, ResolvedExpr::Load(Binding::Missing));
+        // An entity variable referenced at group scope without being a key.
+        let r = resolved(
+            "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nreturn i.dstip, ss[0].n",
+        );
+        assert_eq!(r.ret[0].expr, ResolvedExpr::Load(Binding::Missing));
+        // Invariant initializers resolve nothing.
+        let r = resolved(
+            "proc p1 start proc p2 as evt #time(10 s)\nstate ss { s := set(p2.exe_name) } group by p1\ninvariant[2][offline] {\n a := empty_set\n a = a union ss.s\n}\nalert |ss.s diff a| > 0\nreturn p1",
+        );
+        assert_eq!(r.invariant_stmts[0].expr, ResolvedExpr::EmptySet);
+    }
+
+    #[test]
+    fn group_by_event_attr_key() {
+        let r = resolved(
+            "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by evt.agentid\nreturn evt.agentid, ss[0].n",
+        );
+        assert_eq!(
+            r.group_keys[0].source,
+            KeySource::Event {
+                slot: 0,
+                attr: Some(AttrId::AgentId)
+            }
+        );
+        assert_eq!(r.group_keys[0].spellings, vec!["evt.agentid"]);
+        // In the return (group context) the spelling resolves to the key.
+        assert_eq!(
+            r.ret[0].expr,
+            ResolvedExpr::Load(Binding::GroupKey { slot: 0 })
+        );
+    }
+}

@@ -67,6 +67,9 @@ pub struct CheckedQuery {
     /// types + operations per pattern, and window), so they can share one
     /// copy of the stream via a master query.
     pub compat_key: String,
+    /// The resolved AST: every name bound to its slot at check time (see
+    /// [`crate::resolve`]). This is what the engine's plan compiler lowers.
+    pub resolved: crate::resolve::ResolvedQuery,
 }
 
 /// Validate a query (see [`crate::check`]).
@@ -75,12 +78,14 @@ pub fn check(ast: Query) -> Result<CheckedQuery, LangError> {
     cx.run(&ast)?;
     let kind = classify(&ast);
     let compat_key = compat_key(&ast);
+    let resolved = crate::resolve::resolve(&ast, &cx.vars);
     Ok(CheckedQuery {
         window: ast.window(),
         kind,
         vars: cx.vars,
         aliases: cx.aliases,
         compat_key,
+        resolved,
         ast,
     })
 }

@@ -8,6 +8,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::attr::AttrValue;
+use crate::attr_ref::{AttrId, AttrRef};
 
 /// The kind of a system entity, as written in SAQL queries
 /// (`proc`, `file`, `ip`).
@@ -86,6 +87,27 @@ impl ProcessInfo {
         }
     }
 
+    /// Borrowed attribute view by resolved id (no string compare, no
+    /// clone). Non-process ids yield `None`.
+    pub fn attr_ref(&self, id: AttrId) -> Option<AttrRef<'_>> {
+        match id {
+            AttrId::Pid => Some(AttrRef::Int(self.pid as i64)),
+            AttrId::ExeName => Some(AttrRef::Str(&self.exe_name)),
+            AttrId::User => Some(AttrRef::Str(&self.user)),
+            _ => None,
+        }
+    }
+
+    /// Owned attribute by resolved id (strings clone the `Arc` handle).
+    pub fn attr_value(&self, id: AttrId) -> Option<AttrValue> {
+        match id {
+            AttrId::Pid => Some(AttrValue::Int(self.pid as i64)),
+            AttrId::ExeName => Some(AttrValue::Str(self.exe_name.clone())),
+            AttrId::User => Some(AttrValue::Str(self.user.clone())),
+            _ => None,
+        }
+    }
+
     /// A stable identity key for joins: two event patterns binding the same
     /// process variable must observe the same pid + executable.
     pub fn identity(&self) -> (u32, &str) {
@@ -111,6 +133,22 @@ impl FileInfo {
     pub fn attr(&self, name: &str) -> Option<AttrValue> {
         match name {
             "name" | "path" => Some(AttrValue::Str(self.name.clone())),
+            _ => None,
+        }
+    }
+
+    /// Borrowed attribute view by resolved id.
+    pub fn attr_ref(&self, id: AttrId) -> Option<AttrRef<'_>> {
+        match id {
+            AttrId::FileName => Some(AttrRef::Str(&self.name)),
+            _ => None,
+        }
+    }
+
+    /// Owned attribute by resolved id (strings clone the `Arc` handle).
+    pub fn attr_value(&self, id: AttrId) -> Option<AttrValue> {
+        match id {
+            AttrId::FileName => Some(AttrValue::Str(self.name.clone())),
             _ => None,
         }
     }
@@ -155,6 +193,30 @@ impl NetworkInfo {
             _ => None,
         }
     }
+
+    /// Borrowed attribute view by resolved id.
+    pub fn attr_ref(&self, id: AttrId) -> Option<AttrRef<'_>> {
+        match id {
+            AttrId::SrcIp => Some(AttrRef::Str(&self.src_ip)),
+            AttrId::SrcPort => Some(AttrRef::Int(self.src_port as i64)),
+            AttrId::DstIp => Some(AttrRef::Str(&self.dst_ip)),
+            AttrId::DstPort => Some(AttrRef::Int(self.dst_port as i64)),
+            AttrId::Protocol => Some(AttrRef::Str(&self.protocol)),
+            _ => None,
+        }
+    }
+
+    /// Owned attribute by resolved id (strings clone the `Arc` handle).
+    pub fn attr_value(&self, id: AttrId) -> Option<AttrValue> {
+        match id {
+            AttrId::SrcIp => Some(AttrValue::Str(self.src_ip.clone())),
+            AttrId::SrcPort => Some(AttrValue::Int(self.src_port as i64)),
+            AttrId::DstIp => Some(AttrValue::Str(self.dst_ip.clone())),
+            AttrId::DstPort => Some(AttrValue::Int(self.dst_port as i64)),
+            AttrId::Protocol => Some(AttrValue::Str(self.protocol.clone())),
+            _ => None,
+        }
+    }
 }
 
 /// A system entity: the object of an SVO event (subjects are always
@@ -182,6 +244,25 @@ impl Entity {
             Entity::Process(p) => p.attr(name),
             Entity::File(f) => f.attr(name),
             Entity::Network(n) => n.attr(name),
+        }
+    }
+
+    /// Borrowed attribute view by resolved id. Ids of a different entity
+    /// kind yield `None`, matching [`Entity::attr`] on unknown names.
+    pub fn attr_ref(&self, id: AttrId) -> Option<AttrRef<'_>> {
+        match self {
+            Entity::Process(p) => p.attr_ref(id),
+            Entity::File(f) => f.attr_ref(id),
+            Entity::Network(n) => n.attr_ref(id),
+        }
+    }
+
+    /// Owned attribute by resolved id (strings clone the `Arc` handle).
+    pub fn attr_value(&self, id: AttrId) -> Option<AttrValue> {
+        match self {
+            Entity::Process(p) => p.attr_value(id),
+            Entity::File(f) => f.attr_value(id),
+            Entity::Network(n) => n.attr_value(id),
         }
     }
 

@@ -4,6 +4,7 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::attr::AttrValue;
+use crate::attr_ref::{AttrId, AttrRef};
 use crate::entity::{Entity, EntityType, ProcessInfo};
 use crate::time::Timestamp;
 
@@ -136,6 +137,33 @@ impl Event {
             "ts" | "time" | "starttime" => Some(AttrValue::Int(self.ts.as_millis() as i64)),
             "op" | "operation" => Some(AttrValue::str(self.op.keyword())),
             "id" => Some(AttrValue::Int(self.id as i64)),
+            _ => None,
+        }
+    }
+
+    /// Borrowed view of an *event-level* attribute by resolved id — the
+    /// per-event counterpart of [`Event::attr`]: no string compare, no
+    /// clone. Entity-level ids yield `None` (ask the subject/object).
+    pub fn attr_ref(&self, id: AttrId) -> Option<AttrRef<'_>> {
+        match id {
+            AttrId::Amount => Some(AttrRef::Int(self.amount as i64)),
+            AttrId::AgentId => Some(AttrRef::Str(&self.agent_id)),
+            AttrId::Ts => Some(AttrRef::Int(self.ts.as_millis() as i64)),
+            AttrId::Op => Some(AttrRef::Str(self.op.keyword())),
+            AttrId::EventId => Some(AttrRef::Int(self.id as i64)),
+            _ => None,
+        }
+    }
+
+    /// Owned event-level attribute by resolved id. Strings clone only the
+    /// shared `Arc<str>` handle (except `op`, whose keyword is static).
+    pub fn attr_value(&self, id: AttrId) -> Option<AttrValue> {
+        match id {
+            AttrId::Amount => Some(AttrValue::Int(self.amount as i64)),
+            AttrId::AgentId => Some(AttrValue::Str(self.agent_id.clone())),
+            AttrId::Ts => Some(AttrValue::Int(self.ts.as_millis() as i64)),
+            AttrId::Op => Some(AttrValue::str(self.op.keyword())),
+            AttrId::EventId => Some(AttrValue::Int(self.id as i64)),
             _ => None,
         }
     }

@@ -22,6 +22,7 @@
 //!   and the stream replayer.
 
 pub mod attr;
+pub mod attr_ref;
 pub mod codec;
 pub mod entity;
 pub mod event;
@@ -31,6 +32,7 @@ pub mod json;
 pub mod time;
 
 pub use attr::AttrValue;
+pub use attr_ref::{AttrId, AttrNs, AttrRef, AttrTable};
 pub use entity::{Entity, EntityType, FileInfo, NetworkInfo, ProcessInfo};
 pub use event::{Event, EventId, Operation};
 pub use interner::{Interner, Symbol};

@@ -143,7 +143,7 @@ fn live_session(events: &[SharedEvent]) {
     // First third: only the resident query watches the stream.
     let third = events.len().div_ceil(3);
     for e in &events[..third] {
-        alerts += engine.process(e).len();
+        alerts += engine.process(e).unwrap().len();
     }
 
     // An analyst attaches a tuned variant mid-stream and subscribes to
@@ -157,14 +157,14 @@ fn live_session(events: &[SharedEvent]) {
         engine.query_names().len()
     );
     for e in &events[third..2 * third] {
-        alerts += engine.process(e).len();
+        alerts += engine.process(e).unwrap().len();
     }
 
     // Tuning pass: freeze the resident query, let the probe run alone,
     // then retire the probe and bring the resident back.
     engine.pause(resident).unwrap();
     for e in &events[2 * third..] {
-        alerts += engine.process(e).len();
+        alerts += engine.process(e).unwrap().len();
     }
     engine.deregister(probe).unwrap();
     engine.resume(resident).unwrap();

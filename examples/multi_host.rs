@@ -46,6 +46,7 @@ fn main() {
     }
     let mut expected: Vec<String> = reference
         .run(trace.shared())
+        .unwrap()
         .iter()
         .map(|a| a.to_string())
         .collect();

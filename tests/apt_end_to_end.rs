@@ -171,7 +171,13 @@ fn scheduler_and_standalone_agree_on_detections() {
     for (name, src) in corpus::DEMO_QUERIES {
         let mut engine = Engine::new(EngineConfig::default());
         engine.register(name, src).unwrap();
-        standalone.extend(engine.run(events.clone()).iter().map(|a| a.to_string()));
+        standalone.extend(
+            engine
+                .run(events.clone())
+                .unwrap()
+                .iter()
+                .map(|a| a.to_string()),
+        );
     }
     standalone.sort();
 

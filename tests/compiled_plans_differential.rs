@@ -1,0 +1,242 @@
+//! Differential property suite for the query-compilation layer: on random
+//! corpus deployments over random streams, **compiled register programs
+//! must produce alerts identical to the tree-walking interpreter** — the
+//! oracle the plans replaced on the hot path.
+//!
+//! * Serial backend: the full alert *sequences* are compared (same alerts,
+//!   same order, same rendered rows — not just multiset-equal).
+//! * Parallel backend (1–8 workers): alert delivery interleaves across
+//!   shards, so the compiled parallel runs are compared against the serial
+//!   interpreter oracle as sorted sequences of fully rendered alerts
+//!   (which is multiset equality over every field of every alert).
+//!
+//! The deployments are drawn from `saql_lang::corpus` (the paper's demo
+//! queries — all four anomaly models), and the generated streams speak the
+//! corpus vocabulary (its hosts, processes, files, and the attacker ip),
+//! so global filters, LIKE predicates, windows, invariants, and the
+//! cluster stage all genuinely fire.
+
+use proptest::prelude::*;
+
+use saql::engine::query::{ExecMode, QueryConfig};
+use saql::engine::{Alert, Engine, EngineConfig};
+use saql::lang::corpus::DEMO_QUERIES;
+use saql::model::event::EventBuilder;
+use saql::model::{FileInfo, NetworkInfo, ProcessInfo};
+use saql::stream::SharedEvent;
+use std::sync::Arc;
+
+/// One generated stream step.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    kind: u8,
+    host: u8,
+    actor: u8,
+    peer: u8,
+    amount: u32,
+    gap_ms: u32,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (
+            0u8..5,
+            0u8..3,
+            0u8..8,
+            0u8..8,
+            0u32..3_000_000,
+            0u32..12_000,
+        )
+            .prop_map(|(kind, host, actor, peer, amount, gap_ms)| Step {
+                kind,
+                host,
+                actor,
+                peer,
+                amount,
+                gap_ms,
+            }),
+        1..120,
+    )
+}
+
+/// A non-empty random subset of the demo corpus.
+fn arb_deployment() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..DEMO_QUERIES.len(), 1..DEMO_QUERIES.len() + 1).prop_map(
+        |mut picks| {
+            picks.sort_unstable();
+            picks.dedup();
+            picks
+        },
+    )
+}
+
+/// Materialize steps in the corpus vocabulary so its constraints can match.
+fn materialize(steps: &[Step]) -> Vec<SharedEvent> {
+    const HOSTS: [&str; 3] = ["client-3", "db-server", "web-server"];
+    const PROCS: [&str; 8] = [
+        "outlook.exe",
+        "excel.exe",
+        "cmd.exe",
+        "sqlservr.exe",
+        "sbblv.exe",
+        "apache.exe",
+        "wscript.exe",
+        "chrome.exe",
+    ];
+    const CHILDREN: [&str; 8] = [
+        "cscript.exe",
+        "osql.exe",
+        "gsecdump.exe",
+        "sbblv.exe",
+        "php-cgi.exe",
+        "rotatelogs.exe",
+        "cmd.exe",
+        "calc.exe",
+    ];
+    const FILES: [&str; 8] = [
+        "report.xlsm",
+        "backup1.dmp",
+        "drop.vbs",
+        "notes.txt",
+        "page.html",
+        "invoice.xlsm",
+        "dump2.dmp",
+        "run.vbs",
+    ];
+    const IPS: [&str; 8] = [
+        "172.16.9.129",
+        "10.0.0.9",
+        "8.8.8.8",
+        "172.16.9.1",
+        "10.0.0.50",
+        "10.0.0.51",
+        "10.0.0.52",
+        "1.1.1.1",
+    ];
+    let mut ts = 0u64;
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            ts += s.gap_ms as u64;
+            let subject = ProcessInfo::new(100 + s.actor as u32, PROCS[s.actor as usize], "user");
+            let builder =
+                EventBuilder::new(i as u64 + 1, HOSTS[s.host as usize], ts).subject(subject);
+            let event = match s.kind {
+                0 => builder.starts_process(ProcessInfo::new(
+                    200 + s.peer as u32,
+                    CHILDREN[s.peer as usize],
+                    "user",
+                )),
+                1 => builder
+                    .writes_file(FileInfo::new(FILES[s.peer as usize]))
+                    .amount(s.amount as u64),
+                2 => builder
+                    .reads_file(FileInfo::new(FILES[s.peer as usize]))
+                    .amount(s.amount as u64),
+                3 => builder
+                    .sends(NetworkInfo::new(
+                        "10.0.0.2",
+                        44_000,
+                        IPS[s.peer as usize],
+                        443,
+                        "tcp",
+                    ))
+                    .amount(s.amount as u64),
+                _ => builder
+                    .receives(NetworkInfo::new(
+                        "10.0.0.2",
+                        44_001,
+                        IPS[s.peer as usize],
+                        443,
+                        "tcp",
+                    ))
+                    .amount(s.amount as u64),
+            };
+            Arc::new(event.build())
+        })
+        .collect()
+}
+
+fn engine(mode: ExecMode, workers: usize, deployment: &[usize]) -> Engine {
+    let mut engine = Engine::new(EngineConfig {
+        query: QueryConfig {
+            exec: mode,
+            ..QueryConfig::default()
+        },
+        workers,
+        ..EngineConfig::default()
+    });
+    for &slot in deployment {
+        let (name, src) = DEMO_QUERIES[slot];
+        engine.register(name, src).unwrap();
+    }
+    engine
+}
+
+/// Fully rendered alert lines, in emission order: query id, name, origin,
+/// timestamps, and every returned row.
+fn rendered(alerts: &[Alert]) -> Vec<String> {
+    alerts
+        .iter()
+        .map(|a| format!("{}|{}|{a}", a.query_id, a.query))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Serial backend: compiled plans and the interpreter oracle must emit
+    /// **identical** alert sequences — order included.
+    #[test]
+    fn compiled_plans_match_interpreter(
+        steps in arb_steps(),
+        deployment in arb_deployment(),
+    ) {
+        let events = materialize(&steps);
+
+        let mut compiled = engine(ExecMode::Compiled, 0, &deployment);
+        let got = rendered(&compiled.run(events.clone()).unwrap());
+
+        let mut interp = engine(ExecMode::Interpreted, 0, &deployment);
+        let expected = rendered(&interp.run(events).unwrap());
+
+        prop_assert_eq!(
+            got,
+            expected,
+            "compiled alerts diverged from the interpreter over {} events, deployment {:?}",
+            steps.len(),
+            deployment
+        );
+    }
+
+    /// Parallel backend, 1–8 workers: compiled plans running on the
+    /// sharded runtime must match the serial interpreter oracle (sorted
+    /// rendered-alert comparison — parallel delivery interleaves shards).
+    #[test]
+    fn compiled_plans_match_interpreter_parallel(
+        steps in arb_steps(),
+        deployment in arb_deployment(),
+    ) {
+        let events = materialize(&steps);
+
+        let mut interp = engine(ExecMode::Interpreted, 0, &deployment);
+        let mut expected = rendered(&interp.run(events.clone()).unwrap());
+        expected.sort();
+
+        for workers in 1usize..=8 {
+            let mut compiled = engine(ExecMode::Compiled, workers, &deployment);
+            let mut got = rendered(&compiled.run(events.clone()).unwrap());
+            got.sort();
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "compiled parallel alerts diverged from the interpreter at {} workers over {} events, deployment {:?}",
+                workers,
+                steps.len(),
+                &deployment
+            );
+            prop_assert_eq!(compiled.dropped_alerts(), 0);
+        }
+    }
+}

@@ -35,7 +35,7 @@ fn empty_stream_is_fine() {
     engine
         .register("q", "proc p write ip i as evt #time(1 min)\nstate ss { n := count() } group by p\nalert ss[0].n > 0\nreturn p")
         .unwrap();
-    let alerts = engine.run(Vec::new());
+    let alerts = engine.run(Vec::new()).unwrap();
     assert!(alerts.is_empty());
 }
 
@@ -48,7 +48,7 @@ fn all_events_at_the_same_timestamp() {
     let events: Vec<SharedEvent> = (0..100)
         .map(|i| send(i, 42_000, "h", "a.exe", "1.1.1.1", 1))
         .collect();
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1);
     assert_eq!(alerts[0].get("ss[0].n"), Some("100"));
 }
@@ -62,7 +62,7 @@ fn huge_amounts_do_not_overflow_aggregates() {
     let events: Vec<SharedEvent> = (0..16)
         .map(|i| send(i, 1_000 + i, "h", "a.exe", "1.1.1.1", u64::MAX / 32))
         .collect();
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1);
     // f64 accumulation: large but finite.
     let s: f64 = alerts[0].get("ss[0].s").unwrap().parse().unwrap();
@@ -118,7 +118,7 @@ fn many_groups_in_one_window() {
         .map(|i| send(i, 1_000 + i % 50, "h", "a.exe", &dst(i), 10))
         .collect();
     let distinct: std::collections::HashSet<String> = (0..5_000).map(dst).collect();
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(
         alerts.len(),
         distinct.len(),
@@ -135,7 +135,9 @@ fn alert_comparing_string_to_number_is_quietly_false() {
         .unwrap();
     // `p` is an exe-name string; `p > 5` is incomparable → never alerts,
     // never panics, and the error reporter stays usable.
-    let alerts = engine.run(vec![send(1, 1_000, "h", "a.exe", "1.1.1.1", 1)]);
+    let alerts = engine
+        .run(vec![send(1, 1_000, "h", "a.exe", "1.1.1.1", 1)])
+        .unwrap();
     assert!(alerts.is_empty());
 }
 
@@ -165,7 +167,7 @@ fn zero_amount_events_feed_averages() {
         send(1, 1_000, "h", "a.exe", "1.1.1.1", 0),
         send(2, 2_000, "h", "a.exe", "1.1.1.1", 100),
     ];
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts[0].get("ss[0].a"), Some("50.0"));
 }
 
@@ -179,8 +181,16 @@ fn min_max_aggregates_on_empty_history_stay_missing() {
         .unwrap();
     let mut alerts = Vec::new();
     // Window 0 active, window 1 empty for the group, window 2 active.
-    alerts.extend(engine.process(&send(1, 1_000, "h", "a.exe", "1.1.1.1", 10)));
-    alerts.extend(engine.process(&send(2, 121_000, "h", "a.exe", "1.1.1.1", 50)));
+    alerts.extend(
+        engine
+            .process(&send(1, 1_000, "h", "a.exe", "1.1.1.1", 10))
+            .unwrap(),
+    );
+    alerts.extend(
+        engine
+            .process(&send(2, 121_000, "h", "a.exe", "1.1.1.1", 50))
+            .unwrap(),
+    );
     alerts.extend(engine.finish());
     // Window 2's ss[1] (window 1) is Missing → comparison Missing → quiet.
     // Window 0's ss[1] predates the stream → also quiet.
@@ -198,8 +208,8 @@ fn duplicate_event_ids_do_not_duplicate_rule_alerts() {
         .unwrap();
     let e = start(7, 10, (1, "cmd.exe"), (2, "osql.exe"));
     let mut alerts = Vec::new();
-    alerts.extend(engine.process(&e));
-    alerts.extend(engine.process(&e));
+    alerts.extend(engine.process(&e).unwrap());
+    alerts.extend(engine.process(&e).unwrap());
     assert_eq!(alerts.len(), 1, "same event id must alert once: {alerts:?}");
 }
 
@@ -218,7 +228,11 @@ fn queries_are_isolated_under_one_engine() {
         .unwrap();
     let mut alerts = Vec::new();
     for i in 0..50u64 {
-        alerts.extend(engine.process(&start(i, i * 10, (1, "cmd.exe"), (2, &format!("c{i}.exe")))));
+        alerts.extend(
+            engine
+                .process(&start(i, i * 10, (1, "cmd.exe"), (2, &format!("c{i}.exe"))))
+                .unwrap(),
+        );
     }
     let wide = alerts.iter().filter(|a| a.query == "wide").count();
     let narrow = alerts.iter().filter(|a| a.query == "narrow").count();

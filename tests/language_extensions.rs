@@ -37,7 +37,7 @@ fn median_aggregate_is_robust_to_one_outlier() {
             amount,
         ));
     }
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert!(
         alerts.is_empty(),
         "median must not spike on one outlier: {alerts:?}"
@@ -55,7 +55,7 @@ fn percentile_aggregate_end_to_end() {
         .map(|i| send(i + 1, 1_000 + i, "h", "a.exe", "1.1.1.1", 100))
         .collect();
     events.extend((0..10).map(|i| send(50 + i, 2_000 + i, "h", "a.exe", "1.1.1.1", 1_000)));
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     let p95: f64 = alerts[0].get("ss[0].p95").unwrap().parse().unwrap();
     assert!(p95 > 900.0, "p95 = {p95}");
@@ -115,7 +115,7 @@ return i.dstip, ss.amt"#;
         "172.16.9.129",
         2_000_000_000,
     ));
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
 }
@@ -141,7 +141,7 @@ return i.dstip"#;
             )
         })
         .collect();
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert!(alerts.is_empty(), "{alerts:?}");
 }
 
@@ -157,7 +157,7 @@ fn group_by_event_attribute_crosses_hosts() {
         send(2, 2_000, "client-2", "a.exe", "1.1.1.1", 10),
         send(3, 3_000, "client-1", "b.exe", "1.1.1.1", 10),
     ];
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("evt.agentid"), Some("client-1"));
     assert_eq!(alerts[0].get("ss[0].n"), Some("2"));

@@ -80,7 +80,7 @@ fn query1_detects_exfiltration_chain() {
         ),
     ];
 
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     let a = &alerts[0];
     assert_eq!(a.get("p1"), Some("cmd.exe"));
@@ -125,7 +125,7 @@ fn query1_respects_temporal_order() {
                 .build(),
         ),
     ];
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert!(alerts.is_empty(), "{alerts:?}");
 }
 
@@ -159,7 +159,7 @@ fn query2_detects_moving_average_spike() {
             ) as SharedEvent);
         }
     }
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     let a = &alerts[0];
     assert_eq!(a.get("p"), Some("sqlservr.exe"));
@@ -203,7 +203,7 @@ fn query3_learns_invariant_then_alerts() {
             .starts_process(ProcessInfo::new(6001, "cmd.exe", "www"))
             .build(),
     ));
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("p1"), Some("apache.exe"));
     assert!(alerts[0].get("ss.set_proc").unwrap().contains("cmd.exe"));
@@ -246,7 +246,7 @@ fn query4_flags_outlier_destination() {
             .amount(2_000_000_000)
             .build(),
     ));
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("i.dstip"), Some("XXX.129"));
 }

@@ -203,7 +203,7 @@ fn run_with_schedule(
             apply_op(engine, &pool, &mut ids, sorted[next]);
             next += 1;
         }
-        alerts.extend(engine.process(event));
+        alerts.extend(engine.process(event).unwrap());
     }
     for op in &sorted[next..] {
         apply_op(engine, &pool, &mut ids, *op);
@@ -326,7 +326,7 @@ proptest! {
         for (name, src) in query_set() {
             serial.register(name, src).unwrap();
         }
-        let expected = multiset(serial.run(events.clone()));
+        let expected = multiset(serial.run(events.clone()).unwrap());
 
         for workers in 1usize..=8 {
             let mut parallel = ParallelEngine::new(
@@ -342,7 +342,7 @@ proptest! {
             for (name, src) in query_set() {
                 parallel.register(name, src).unwrap();
             }
-            let got = multiset(parallel.run(events.clone()));
+            let got = multiset(parallel.run(events.clone()).unwrap());
             prop_assert_eq!(
                 &got,
                 &expected,

@@ -129,7 +129,7 @@ fn channel_replay_feeds_engine_across_threads() {
         .unwrap();
     let mut alerts = Vec::new();
     for event in rx {
-        alerts.extend(engine.process(&event));
+        alerts.extend(engine.process(&event).unwrap());
     }
     alerts.extend(engine.finish());
     assert!(alerts.iter().any(|a| a.query == "c5"));

@@ -37,7 +37,7 @@ fn channel_sink_feeds_consumer_thread() {
     for (name, src) in saql::corpus::DEMO_QUERIES {
         engine.register(name, src).unwrap();
     }
-    let delivered = engine.run_with_sink(trace.shared(), &mut sink);
+    let delivered = engine.run_with_sink(trace.shared(), &mut sink).unwrap();
     drop(sink); // close the channel so the consumer finishes
     let c5_seen = consumer.join().unwrap();
 
@@ -61,7 +61,7 @@ fn json_lines_export_round_trips_key_fields() {
         let mut tee = TeeSink {
             sinks: vec![&mut json, &mut collect],
         };
-        engine.run_with_sink(trace.shared(), &mut tee);
+        engine.run_with_sink(trace.shared(), &mut tee).unwrap();
     }
     let text = String::from_utf8(json.into_inner()).unwrap();
     let lines: Vec<&str> = text.lines().collect();
@@ -105,12 +105,14 @@ fn segmented_store_prunes_and_detects() {
         .unwrap();
     let mut sorted = events;
     sorted.sort_by_key(|e| (e.ts, e.id));
-    let alerts = engine.run(
-        sorted
-            .into_iter()
-            .map(std::sync::Arc::new)
-            .collect::<Vec<_>>(),
-    );
+    let alerts = engine
+        .run(
+            sorted
+                .into_iter()
+                .map(std::sync::Arc::new)
+                .collect::<Vec<_>>(),
+        )
+        .unwrap();
     assert!(alerts.iter().any(|a| a.query == "c5"), "{alerts:?}");
     std::fs::remove_dir_all(dir).unwrap();
 }

@@ -26,9 +26,17 @@ fn sliding_windows_count_events_in_every_overlap() {
     let mut engine = Engine::new(EngineConfig::default());
     engine.register("sliding", query).unwrap();
     let mut alerts = Vec::new();
-    alerts.extend(engine.process(&send(1, 50_000, "a.exe", "1.1.1.1", 10)));
+    alerts.extend(
+        engine
+            .process(&send(1, 50_000, "a.exe", "1.1.1.1", 10))
+            .unwrap(),
+    );
     // Push the watermark far ahead so every containing window closes.
-    alerts.extend(engine.process(&send(2, 500_000, "a.exe", "1.1.1.1", 10)));
+    alerts.extend(
+        engine
+            .process(&send(2, 500_000, "a.exe", "1.1.1.1", 10))
+            .unwrap(),
+    );
     alerts.extend(engine.finish());
     let ones: Vec<_> = alerts
         .iter()
@@ -60,7 +68,7 @@ fn sliding_window_history_is_indexed_by_slide_steps() {
     }
     events.push(send(50, 6 * 20_000 + 2_000, "a.exe", "1.1.1.1", 5_000));
     events.push(send(51, 10 * 20_000, "a.exe", "1.1.1.1", 1)); // advance watermark
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert!(
         alerts
             .iter()
@@ -107,7 +115,7 @@ return i.dstip, ss.amt, ss.conns"#;
             300_000_000,
         ));
     }
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
     assert_eq!(alerts[0].get("ss.conns"), Some("10"));
@@ -136,7 +144,7 @@ return i.dstip, ss.amt"#;
     }
     id += 1;
     events.push(send(id, 60_000, "a.exe", "172.16.9.129", 3_000_000_000));
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("i.dstip"), Some("172.16.9.129"));
 }
@@ -147,7 +155,9 @@ fn finish_flushes_partial_windows() {
     let mut engine = Engine::new(EngineConfig::default());
     engine.register("flush", query).unwrap();
     // Single event; the window never closes by watermark.
-    let mid = engine.process(&send(1, 5_000, "a.exe", "1.1.1.1", 10));
+    let mid = engine
+        .process(&send(1, 5_000, "a.exe", "1.1.1.1", 10))
+        .unwrap();
     assert!(mid.is_empty());
     let flushed = engine.finish();
     assert_eq!(flushed.len(), 1);
@@ -169,7 +179,7 @@ return i.dstip, ss.amt"#;
         send(1, 1_000, "a.exe", "10.0.0.1", 2_000_000),
         send(2, 2_000, "a.exe", "10.0.0.2", 500),
     ];
-    let alerts = engine.run(events);
+    let alerts = engine.run(events).unwrap();
     assert_eq!(alerts.len(), 1, "{alerts:?}");
     assert_eq!(alerts[0].get("i.dstip"), Some("10.0.0.1"));
 }
