@@ -5,9 +5,19 @@
 //! end up in no cluster (*noise*) are the peer-comparison outliers that feed
 //! the `cluster.outlier` alert flag.
 //!
-//! Classic algorithm (Ester et al. 1996), O(n²) pairwise region queries —
-//! cluster stages run once per window close over at most a few thousand
-//! group points, so quadratic is well within budget (see bench `e8`).
+//! Two execution paths behind one entry point:
+//!
+//! * classic (Ester et al. 1996), O(n²) pairwise region queries, for
+//!   multi-dimensional or non-finite inputs;
+//! * a sorted 1-D fast path: points are sorted once, every region query
+//!   becomes a binary search for a contiguous key range, O(n log n)
+//!   overall. Both metrics are monotone in |a − b| for one dimension, so
+//!   the range probes evaluate the *same* `distance ≤ eps` predicate as
+//!   the classic path and produce identical labels.
+//!
+//! All working storage (labels, BFS queue, neighbour lists, sort order)
+//! lives in a caller-owned [`DbscanScratch`] so window-close-heavy
+//! outlier queries reuse buffers instead of reallocating per close.
 
 use crate::distance::Metric;
 
@@ -35,32 +45,93 @@ impl DbscanLabel {
     }
 }
 
+// Internal label encoding: 0 = unvisited, 1 = noise, 2+ = cluster id + 2.
+const UNVISITED: usize = 0;
+const NOISE: usize = 1;
+
+/// Reusable working storage for [`dbscan_with`]. Holding one of these
+/// across repeated clustering runs (e.g. per window close) keeps the
+/// label, queue, neighbour-list and sort-order allocations warm.
+#[derive(Debug, Default)]
+pub struct DbscanScratch {
+    labels: Vec<usize>,
+    queue: Vec<usize>,
+    neighbors: Vec<usize>,
+    order: Vec<usize>,
+    lo: Vec<usize>,
+    hi: Vec<usize>,
+    ranks: Vec<usize>,
+    out: Vec<DbscanLabel>,
+}
+
 /// Run DBSCAN over `points` with radius `eps` and density threshold
 /// `min_pts` (minimum neighbourhood size *including the point itself*,
 /// matching the original paper's definition).
 ///
-/// Returns one label per input point, in input order.
+/// Returns one label per input point, in input order. Allocates fresh
+/// scratch; hot callers should hold a [`DbscanScratch`] and use
+/// [`dbscan_with`] instead.
 pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize, metric: Metric) -> Vec<DbscanLabel> {
+    let mut scratch = DbscanScratch::default();
+    dbscan_with(points, eps, min_pts, metric, &mut scratch).to_vec()
+}
+
+/// [`dbscan`] with caller-owned scratch buffers. The returned slice (one
+/// label per input point, in input order) borrows from the scratch and is
+/// valid until its next use.
+pub fn dbscan_with<'s>(
+    points: &[Vec<f64>],
+    eps: f64,
+    min_pts: usize,
+    metric: Metric,
+    scratch: &'s mut DbscanScratch,
+) -> &'s [DbscanLabel] {
     assert!(eps > 0.0, "eps must be positive");
     let n = points.len();
-    // 0 = unvisited, 1 = noise, 2+ = cluster id + 2.
-    const UNVISITED: usize = 0;
-    const NOISE: usize = 1;
-    let mut labels = vec![UNVISITED; n];
-    let mut next_cluster = 0usize;
+    scratch.labels.clear();
+    scratch.labels.resize(n, UNVISITED);
 
-    let neighbours = |i: usize| -> Vec<usize> {
-        (0..n)
-            .filter(|&j| metric.distance(&points[i], &points[j]) <= eps)
-            .collect()
-    };
+    // The sorted fast path requires a total order on keys, so every point
+    // must be finite; anything else falls back to the pairwise classic
+    // expansion (where NaN/∞ distances simply fail the `<= eps` test).
+    if n > 0 && points.iter().all(|p| p.len() == 1 && p[0].is_finite()) {
+        expand_sorted(points, eps, min_pts, metric, scratch);
+    } else {
+        expand_classic(points, eps, min_pts, metric, scratch);
+    }
+
+    scratch.out.clear();
+    scratch.out.extend(scratch.labels.iter().map(|&l| match l {
+        NOISE => DbscanLabel::Noise,
+        id => DbscanLabel::Cluster(id - 2),
+    }));
+    &scratch.out
+}
+
+/// Classic O(n²) expansion: every region query scans all points.
+fn expand_classic(
+    points: &[Vec<f64>],
+    eps: f64,
+    min_pts: usize,
+    metric: Metric,
+    scratch: &mut DbscanScratch,
+) {
+    let n = points.len();
+    let DbscanScratch {
+        labels,
+        queue,
+        neighbors,
+        ..
+    } = scratch;
+    let mut next_cluster = 0usize;
 
     for i in 0..n {
         if labels[i] != UNVISITED {
             continue;
         }
-        let seeds = neighbours(i);
-        if seeds.len() < min_pts {
+        neighbors.clear();
+        neighbors.extend((0..n).filter(|&j| metric.distance(&points[i], &points[j]) <= eps));
+        if neighbors.len() < min_pts {
             labels[i] = NOISE;
             continue;
         }
@@ -68,7 +139,8 @@ pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize, metric: Metric) -> 
         let cluster = next_cluster;
         next_cluster += 1;
         labels[i] = cluster + 2;
-        let mut queue = seeds;
+        queue.clear();
+        queue.extend_from_slice(neighbors);
         let mut qi = 0;
         while qi < queue.len() {
             let j = queue[qi];
@@ -81,20 +153,144 @@ pub fn dbscan(points: &[Vec<f64>], eps: f64, min_pts: usize, metric: Metric) -> 
                 continue;
             }
             labels[j] = cluster + 2;
-            let jn = neighbours(j);
-            if jn.len() >= min_pts {
-                queue.extend(jn);
+            neighbors.clear();
+            neighbors.extend((0..n).filter(|&k| metric.distance(&points[j], &points[k]) <= eps));
+            if neighbors.len() >= min_pts {
+                queue.extend_from_slice(neighbors);
             }
         }
     }
+}
 
-    labels
-        .into_iter()
-        .map(|l| match l {
-            NOISE => DbscanLabel::Noise,
-            id => DbscanLabel::Cluster(id - 2),
-        })
-        .collect()
+/// Sorted 1-D expansion, O(n log n) total and allocation-free after
+/// warm-up:
+///
+/// 1. sort points by key; a two-pointer sweep computes each point's
+///    eps-range `[lo, hi)` (its exact region query, evaluated with the
+///    same `metric.distance(..) <= eps` predicate as the classic path —
+///    monotone in |a − b| for one dimension);
+/// 2. a point is core iff its range holds ≥ `min_pts` points. Consecutive
+///    cores within eps of each other form one density-connected component
+///    (any chain between farther cores must pass through the cores
+///    between them in key order);
+/// 3. components become clusters numbered by the input order of each
+///    component's first core — exactly the order the classic outer loop
+///    creates them;
+/// 4. a non-core point joins the earliest-created cluster with a core
+///    inside its eps-range (the cluster that would have claimed it first),
+///    and candidates reduce to the nearest core on each side: two cores on
+///    the same side of a point, both within eps of it, are within eps of
+///    each other and hence share a component. No candidate → noise.
+///
+/// The result is label-for-label identical to `expand_classic`.
+fn expand_sorted(
+    points: &[Vec<f64>],
+    eps: f64,
+    min_pts: usize,
+    metric: Metric,
+    scratch: &mut DbscanScratch,
+) {
+    let n = points.len();
+    let DbscanScratch {
+        labels,
+        order,
+        lo: lo_arr,
+        hi: hi_arr,
+        ranks,
+        ..
+    } = scratch;
+    order.clear();
+    order.extend(0..n);
+    order.sort_unstable_by(|&a, &b| points[a][0].total_cmp(&points[b][0]));
+
+    // Two-pointer eps-ranges: both bounds are monotone in the sorted
+    // position, so the whole sweep is O(n) distance probes.
+    lo_arr.clear();
+    lo_arr.resize(n, 0);
+    hi_arr.clear();
+    hi_arr.resize(n, 0);
+    let within = |a: usize, b: usize| metric.distance(&points[a], &points[b]) <= eps;
+    let (mut lo, mut hi) = (0usize, 0usize);
+    for s in 0..n {
+        let c = order[s];
+        while !within(order[lo], c) {
+            lo += 1;
+        }
+        if hi < s {
+            hi = s;
+        }
+        while hi < n && within(order[hi], c) {
+            hi += 1;
+        }
+        lo_arr[s] = lo;
+        hi_arr[s] = hi;
+    }
+    let is_core = |s: usize| hi_arr[s] - lo_arr[s] >= min_pts;
+
+    // Core components as runs in sorted order; provisional component ids
+    // (+2) go straight into the label slots.
+    let mut comps = 0usize;
+    let mut last_core: Option<usize> = None;
+    for s in 0..n {
+        if !is_core(s) {
+            continue;
+        }
+        let comp = match last_core {
+            Some(p) if within(order[p], order[s]) => labels[order[p]] - 2,
+            _ => {
+                comps += 1;
+                comps - 1
+            }
+        };
+        labels[order[s]] = comp + 2;
+        last_core = Some(s);
+    }
+
+    // Renumber components by the input order of their first core — the
+    // order the classic outer loop starts clusters in.
+    ranks.clear();
+    ranks.resize(comps, usize::MAX);
+    let mut next_cluster = 0usize;
+    for &l in labels.iter().take(n) {
+        if l >= 2 && ranks[l - 2] == usize::MAX {
+            ranks[l - 2] = next_cluster;
+            next_cluster += 1;
+        }
+    }
+    for l in labels.iter_mut() {
+        if *l >= 2 {
+            *l = ranks[*l - 2] + 2;
+        }
+    }
+
+    // Borders: nearest-core candidates from the right sweep, then the left
+    // sweep keeps whichever cluster was created earlier (smaller label).
+    let mut next_core: Option<usize> = None;
+    for s in (0..n).rev() {
+        if is_core(s) {
+            next_core = Some(s);
+            continue;
+        }
+        labels[order[s]] = match next_core {
+            Some(c) if c < hi_arr[s] => labels[order[c]],
+            _ => NOISE,
+        };
+    }
+    let mut prev_core: Option<usize> = None;
+    for s in 0..n {
+        if is_core(s) {
+            prev_core = Some(s);
+            continue;
+        }
+        if let Some(c) = prev_core {
+            if c >= lo_arr[s] {
+                let cand = labels[order[c]];
+                if labels[order[s]] == NOISE || cand < labels[order[s]] {
+                    labels[order[s]] = cand;
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -182,5 +378,79 @@ mod tests {
         // Degenerate but must not panic or loop.
         let labels = dbscan(&pts(&[1.0, 100.0]), 1.0, 0, Metric::Euclidean);
         assert!(labels.iter().all(|l| !l.is_noise()));
+    }
+
+    /// Force the classic pairwise path regardless of dimensionality.
+    fn dbscan_classic(
+        points: &[Vec<f64>],
+        eps: f64,
+        min_pts: usize,
+        metric: Metric,
+    ) -> Vec<DbscanLabel> {
+        assert!(eps > 0.0, "eps must be positive");
+        let mut scratch = DbscanScratch::default();
+        scratch.labels.resize(points.len(), UNVISITED);
+        expand_classic(points, eps, min_pts, metric, &mut scratch);
+        scratch
+            .labels
+            .iter()
+            .map(|&l| match l {
+                NOISE => DbscanLabel::Noise,
+                id => DbscanLabel::Cluster(id - 2),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sorted_fast_path_matches_classic() {
+        // Deterministic pseudo-random 1-D corpora across metrics and
+        // densities; the fast path must reproduce classic labels exactly.
+        let mut seed = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for trial in 0..40 {
+            let n = 1 + (next() % 60) as usize;
+            let spread = if trial % 2 == 0 { 50.0 } else { 5_000.0 };
+            let points = pts(&(0..n)
+                .map(|_| (next() % 10_000) as f64 / 10_000.0 * spread)
+                .collect::<Vec<_>>());
+            let eps = 1.0 + (next() % 40) as f64;
+            let min_pts = (next() % 6) as usize;
+            for metric in [Metric::Euclidean, Metric::Manhattan] {
+                let fast = dbscan(&points, eps, min_pts, metric);
+                let classic = dbscan_classic(&points, eps, min_pts, metric);
+                assert_eq!(fast, classic, "trial {trial} eps={eps} min_pts={min_pts}");
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_runs() {
+        let mut scratch = DbscanScratch::default();
+        let a = pts(&[0.0, 1.0, 2.0, 100.0]);
+        let first = dbscan_with(&a, 1.5, 2, Metric::Euclidean, &mut scratch).to_vec();
+        assert_eq!(first, dbscan(&a, 1.5, 2, Metric::Euclidean));
+        // Smaller, then larger, inputs through the same scratch.
+        let b = pts(&[7.0]);
+        assert_eq!(
+            dbscan_with(&b, 1.0, 1, Metric::Euclidean, &mut scratch),
+            &[DbscanLabel::Cluster(0)]
+        );
+        let c = pts(&[0.0, 10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert!(dbscan_with(&c, 1.0, 2, Metric::Euclidean, &mut scratch)
+            .iter()
+            .all(DbscanLabel::is_noise));
+    }
+
+    #[test]
+    fn non_finite_points_fall_back_to_classic_noise() {
+        let points = pts(&[1.0, 1.2, f64::NAN, 1.1]);
+        let labels = dbscan(&points, 0.5, 3, Metric::Euclidean);
+        assert!(labels[2].is_noise(), "{labels:?}");
+        assert_eq!(labels[0].cluster_id(), Some(0));
     }
 }

@@ -23,7 +23,7 @@ pub mod moving;
 pub mod robust;
 
 pub use aggregate::OnlineStats;
-pub use dbscan::{dbscan, DbscanLabel};
+pub use dbscan::{dbscan, dbscan_with, DbscanLabel, DbscanScratch};
 pub use distance::Metric;
 pub use histogram::Histogram;
 pub use kmeans::{kmeans, KMeansResult};

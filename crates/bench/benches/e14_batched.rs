@@ -1,0 +1,108 @@
+//! E14 — vectorized batch execution: the batched scheduler spine vs the
+//! per-event compiled path (E13's winner) on identical streams.
+//!
+//! Both sides run compiled register programs through the `Scheduler`; what
+//! changes is the drive granularity — `process` feeds one event at a time,
+//! `process_batch` feeds `EventBatch`es of `BATCH` events so predicate
+//! sets evaluate into bool columns once per batch, matcher probes are
+//! driven off those columns, and stateful group keys/fields precompute
+//! batch-at-a-time (`DESIGN.md` "Batched execution"). Alert streams are
+//! identical by construction (the differential proptest pins this).
+//!
+//! Families are E13's, plus a shared-compat-group workload (8 variants of
+//! one pattern shape) where the per-group `BatchCache` shares predicate
+//! columns across all members.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use saql_bench::{compile_family, stream, variant_queries};
+use saql_engine::Scheduler;
+use saql_stream::{batched, EventBatch, SharedEvent};
+
+const FAMILIES: [&str; 4] = ["rule", "rule-sequence", "time-series", "outlier"];
+
+/// The execution batch size under measurement (the engine default).
+const BATCH: usize = 256;
+
+fn run_per_event(scheduler: &mut Scheduler, events: &[SharedEvent]) -> usize {
+    let mut alerts = 0usize;
+    for e in events {
+        alerts += scheduler.process(e).len();
+    }
+    alerts + scheduler.finish().len()
+}
+
+fn run_batched(scheduler: &mut Scheduler, batches: &[EventBatch]) -> usize {
+    let mut alerts = 0usize;
+    for batch in batches {
+        alerts += scheduler.process_batch(batch).len();
+    }
+    alerts + scheduler.finish().len()
+}
+
+fn bench_batched_families(c: &mut Criterion) {
+    let events = stream(50_000, 42);
+    let batches = batched(events.clone(), BATCH);
+    let mut group = c.benchmark_group("e14_batched");
+    group.throughput(Throughput::Elements(events.len() as u64));
+    group.sample_size(10);
+
+    for family in FAMILIES {
+        group.bench_with_input(
+            BenchmarkId::new(family, "per-event"),
+            &events,
+            |b, events| {
+                b.iter(|| {
+                    let mut s = Scheduler::new();
+                    s.add(compile_family(family));
+                    run_per_event(&mut s, events)
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new(family, "batched"),
+            &batches,
+            |b, batches| {
+                b.iter(|| {
+                    let mut s = Scheduler::new();
+                    s.add(compile_family(family));
+                    run_batched(&mut s, batches)
+                });
+            },
+        );
+    }
+
+    // Shared compat group: 8 shape-compatible variants, one master. The
+    // batched path computes each distinct predicate column once per batch
+    // and shares it across all members via the group's BatchCache.
+    group.bench_with_input(
+        BenchmarkId::new("shared-group", "per-event"),
+        &events,
+        |b, events| {
+            b.iter(|| {
+                let mut s = Scheduler::new();
+                for q in variant_queries(8) {
+                    s.add(q);
+                }
+                run_per_event(&mut s, events)
+            });
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::new("shared-group", "batched"),
+        &batches,
+        |b, batches| {
+            b.iter(|| {
+                let mut s = Scheduler::new();
+                for q in variant_queries(8) {
+                    s.add(q);
+                }
+                run_batched(&mut s, batches)
+            });
+        },
+    );
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_batched_families);
+criterion_main!(benches);

@@ -10,10 +10,13 @@
 //!
 //! Two environment variables serve CI:
 //!
-//! * `SAQL_BENCH_QUICK=1` — quick mode: every benchmark runs a single
-//!   timed sample (after the usual one-iteration warm-up), regardless of
-//!   configured sample sizes. Numbers are smoke-level, but every bench
-//!   body executes, which is what a per-PR perf-tracking job needs.
+//! * `SAQL_BENCH_QUICK=1` — quick mode: every benchmark runs three timed
+//!   samples (after the usual one-iteration warm-up) and reports the
+//!   **minimum**, regardless of configured sample sizes. A single timed
+//!   iteration jitters up to ~2x from cold caches and scheduling; min-of-3
+//!   is a far steadier capability estimate at quarter the cost of the full
+//!   sample sizes. Numbers are still smoke-level, but every bench body
+//!   executes, which is what a per-PR perf-tracking job needs.
 //! * `SAQL_BENCH_JSON=path` — after the last group, the bench binary
 //!   writes a JSON summary of every measurement to `path` (one object
 //!   with a `benches` array; see [`write_json_summary`]).
@@ -86,7 +89,10 @@ impl From<String> for BenchmarkId {
 /// Runs closures under timing; handed to bench bodies.
 pub struct Bencher {
     samples: u64,
-    /// Mean duration of one iteration, filled in by [`Bencher::iter`].
+    /// Quick mode: time each sample separately and keep the fastest,
+    /// instead of the mean over one fused timing loop.
+    min_of_samples: bool,
+    /// Reported duration of one iteration, filled in by [`Bencher::iter`].
     elapsed_per_iter: Duration,
 }
 
@@ -95,11 +101,21 @@ impl Bencher {
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
         // Warm-up: one untimed run (also pre-faults lazy state).
         black_box(routine());
-        let start = Instant::now();
-        for _ in 0..self.samples {
-            black_box(routine());
+        if self.min_of_samples {
+            let mut best = Duration::MAX;
+            for _ in 0..self.samples {
+                let start = Instant::now();
+                black_box(routine());
+                best = best.min(start.elapsed());
+            }
+            self.elapsed_per_iter = best;
+        } else {
+            let start = Instant::now();
+            for _ in 0..self.samples {
+                black_box(routine());
+            }
+            self.elapsed_per_iter = start.elapsed() / (self.samples as u32);
         }
-        self.elapsed_per_iter = start.elapsed() / (self.samples as u32);
     }
 }
 
@@ -181,9 +197,11 @@ fn run_one<F: FnMut(&mut Bencher)>(
     throughput: Option<Throughput>,
     mut f: F,
 ) {
-    let samples = if quick_mode() { 1 } else { samples };
+    let quick = quick_mode();
+    let samples = if quick { 3 } else { samples };
     let mut bencher = Bencher {
         samples,
+        min_of_samples: quick,
         elapsed_per_iter: Duration::ZERO,
     };
     f(&mut bencher);
@@ -301,15 +319,16 @@ mod tests {
     static ENV_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
-    fn quick_mode_runs_single_sample() {
+    fn quick_mode_runs_min_of_three_samples() {
         let _guard = ENV_LOCK.lock().unwrap();
         std::env::set_var("SAQL_BENCH_QUICK", "1");
         let mut c = Criterion::default();
         let mut runs = 0u32;
         c.bench_function("quick-probe", |b| b.iter(|| runs += 1));
         std::env::remove_var("SAQL_BENCH_QUICK");
-        // One warm-up iteration plus exactly one timed sample.
-        assert_eq!(runs, 2, "quick mode must clamp sampling to 1");
+        // One warm-up iteration plus exactly three timed samples (the
+        // reported figure is the fastest of the three).
+        assert_eq!(runs, 4, "quick mode must clamp sampling to min-of-3");
     }
 
     #[test]

@@ -6,10 +6,33 @@
 //! no dense cluster (DBSCAN noise, or tiny k-means clusters) set
 //! `cluster.outlier` for their group's alert evaluation.
 
-use saql_analytics::{dbscan, kmeans, Metric};
+use saql_analytics::{dbscan, kmeans, DbscanScratch, Metric};
 use saql_lang::ast::{ClusterMethod, ClusterSpec, Distance};
 
 use crate::eval::{eval, ClusterOutcome, Scope};
+
+/// Reusable buffers for the cluster stage, held per running query and
+/// recycled across window closes: the DBSCAN working set (visited flags,
+/// BFS queue, neighbour lists, sort order), cluster-size tallies, and the
+/// gathered comparison points themselves.
+#[derive(Debug, Default)]
+pub struct ClusterScratch {
+    dbscan: DbscanScratch,
+    sizes: Vec<usize>,
+    /// Comparison points for the current window close, one per group that
+    /// produced every dimension.
+    pub points: Vec<Vec<f64>>,
+    /// Indices (into the close's group list) aligned with `points`.
+    pub point_groups: Vec<usize>,
+}
+
+impl ClusterScratch {
+    /// Reset the per-close point buffers (capacity is retained).
+    pub fn begin_close(&mut self) {
+        self.points.clear();
+        self.point_groups.clear();
+    }
+}
 
 /// Convert the language-level distance to the analytics metric.
 pub fn metric_of(d: Distance) -> Metric {
@@ -38,13 +61,35 @@ pub fn point_of(spec: &ClusterSpec, scope: &Scope<'_>) -> Option<Vec<f64>> {
 ///   (peer-comparison smallness), k-means has no native noise notion.
 ///
 /// Seeded deterministically (`window id` as seed) so replays reproduce.
+///
+/// Allocates fresh scratch; the engine's hot path holds a
+/// [`ClusterScratch`] per query and calls [`run_cluster_with`].
 pub fn run_cluster(spec: &ClusterSpec, points: &[Vec<f64>], seed: u64) -> Vec<ClusterOutcome> {
+    let mut scratch = ClusterScratch::default();
+    scratch.points.extend(points.iter().cloned());
+    run_cluster_with(spec, seed, &mut scratch)
+}
+
+/// [`run_cluster`] over `scratch.points`, reusing the scratch's DBSCAN
+/// working set and size tallies across calls.
+pub fn run_cluster_with(
+    spec: &ClusterSpec,
+    seed: u64,
+    scratch: &mut ClusterScratch,
+) -> Vec<ClusterOutcome> {
+    let ClusterScratch {
+        dbscan: db,
+        sizes,
+        points,
+        ..
+    } = scratch;
+    let points: &[Vec<f64>] = points;
     let metric = metric_of(spec.distance);
     match &spec.method {
         ClusterMethod::Dbscan { eps, min_pts } => {
-            let labels = dbscan::dbscan(points, *eps, *min_pts, metric);
-            let mut sizes: Vec<usize> = Vec::new();
-            for l in &labels {
+            let labels = dbscan::dbscan_with(points, *eps, *min_pts, metric, db);
+            sizes.clear();
+            for l in labels {
                 if let Some(id) = l.cluster_id() {
                     if sizes.len() <= id {
                         sizes.resize(id + 1, 0);

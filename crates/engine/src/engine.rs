@@ -14,7 +14,7 @@ use std::collections::HashMap;
 
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use saql_lang::{LangError, Span};
-use saql_stream::SharedEvent;
+use saql_stream::{EventBatch, SharedEvent, DEFAULT_BATCH_SIZE};
 
 use crate::alert::Alert;
 use crate::error::EngineError;
@@ -40,6 +40,12 @@ pub struct EngineConfig {
     /// alerts for that subscriber are dropped (and counted in
     /// [`Engine::dropped_alerts`]). Zero clamps to one.
     pub subscription_backlog: usize,
+    /// Events per execution batch — the **one knob** governing batch
+    /// sizing end to end: the session pump chunks merged events into
+    /// [`EventBatch`]es of this size for [`Engine::process_batch`], and the
+    /// parallel runtime dispatches worker batches of the same size. Zero
+    /// clamps to one.
+    pub batch_size: usize,
 }
 
 impl Default for EngineConfig {
@@ -49,6 +55,7 @@ impl Default for EngineConfig {
             record_latency: false,
             workers: 0,
             subscription_backlog: 1024,
+            batch_size: DEFAULT_BATCH_SIZE,
         }
     }
 }
@@ -133,7 +140,10 @@ impl Engine {
             Backend::Serial(scheduler)
         } else {
             Backend::Parallel(Box::new(ParallelEngine::new(
-                ParallelConfig::with_workers(config.workers),
+                ParallelConfig {
+                    batch_size: config.batch_size.max(1),
+                    ..ParallelConfig::with_workers(config.workers)
+                },
                 config.query,
             )))
         };
@@ -536,6 +546,40 @@ impl Engine {
         };
         self.route(&fresh);
         Ok(self.drain_pending(fresh))
+    }
+
+    /// Push a run of consecutive events through all registered queries
+    /// batch-at-a-time. On the serial backend this is the vectorized path
+    /// (see [`crate::scheduler::Scheduler::process_batch`]): predicate
+    /// columns are computed once per batch and shared within compatibility
+    /// groups, and the alert stream is identical — ordered — to feeding
+    /// the same events through [`process`](Self::process) one at a time.
+    /// The parallel runtime re-batches internally at shard boundaries, so
+    /// events are forwarded to it individually; shards then run the same
+    /// vectorized path per dispatch batch.
+    ///
+    /// Same [`EngineError::EngineFinished`] contract as
+    /// [`process`](Self::process).
+    pub fn process_batch(&mut self, batch: &EventBatch) -> Result<Vec<Alert>, EngineError> {
+        let fresh = match &mut self.backend {
+            Backend::Serial(scheduler) => scheduler.process_batch(batch),
+            Backend::Parallel(runtime) => {
+                let mut alerts = Vec::new();
+                for event in batch {
+                    alerts.extend(runtime.process(event)?);
+                }
+                alerts
+            }
+        };
+        self.route(&fresh);
+        Ok(self.drain_pending(fresh))
+    }
+
+    /// Events per execution batch ([`EngineConfig::batch_size`], clamped to
+    /// at least one) — the chunk size the session pump feeds
+    /// [`process_batch`](Self::process_batch) with.
+    pub fn batch_size(&self) -> usize {
+        self.config.batch_size.max(1)
     }
 
     /// Drive an entire stream and flush; returns all alerts. Serial

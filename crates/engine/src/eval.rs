@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use saql_lang::ast::{BinOp, CmpOp, Expr, UnaryOp};
 use saql_lang::resolve::ClusterField;
-use saql_model::{AttrValue, Entity};
+use saql_model::{AttrValue, Entity, Event};
 
 use crate::plan::{ExecCtx, Op, Program};
 use crate::value::Value;
@@ -178,6 +178,159 @@ pub fn run_program(program: &Program, ctx: &ExecCtx<'_>, regs: &mut Vec<Value>) 
         regs[dst as usize] = value;
     }
     regs.pop().unwrap_or(Value::Missing)
+}
+
+/// One row of a batched *event-context* evaluation: the event plus the
+/// alias/entity slots it fills. This is the whole context a state-field or
+/// rule-side program can see per event — everything else (states, group
+/// keys, invariants, cluster) is window-close context and loads `Missing`,
+/// exactly as the per-event path's empty slices do.
+#[derive(Debug, Clone, Copy)]
+pub struct EventRow<'a> {
+    pub event: &'a Event,
+    /// Alias slot this event fills (`events[ev_slot] = Some(event)`).
+    pub ev_slot: usize,
+    /// Entity-variable slot bound to the event's subject process.
+    pub subject_slot: usize,
+    /// Entity-variable slot bound to the event's object entity.
+    pub object_slot: usize,
+}
+
+/// Evaluate a *load* op against one [`EventRow`]. `None` for
+/// register-consuming ops. Mirrors [`load_op`] over the row's implied
+/// context: the object binding is checked before the subject because the
+/// per-event path writes the subject slot first and the object slot
+/// second — on a slot collision the object wins.
+fn load_row(op: &Op, row: &EventRow<'_>, consts: &[Value]) -> Option<Value> {
+    Some(match *op {
+        Op::Const { idx, .. } => consts[idx as usize].clone(),
+        Op::Missing { .. } => Value::Missing,
+        Op::EventId { slot, .. } => {
+            if slot as usize == row.ev_slot {
+                Value::int(row.event.id as i64)
+            } else {
+                Value::Missing
+            }
+        }
+        Op::EventAttr { slot, attr, .. } => {
+            let v = if slot as usize == row.ev_slot {
+                row.event.attr_value(attr)
+            } else {
+                None
+            };
+            match v {
+                Some(v) => Value::Attr(v),
+                None => Value::Missing,
+            }
+        }
+        Op::EntityAttr { slot, attr, .. } => {
+            let slot = slot as usize;
+            let v = if slot == row.object_slot {
+                row.event.object.attr_value(attr)
+            } else if slot == row.subject_slot {
+                row.event.subject.attr_value(attr)
+            } else {
+                None
+            };
+            match v {
+                Some(v) => Value::Attr(v),
+                None => Value::Missing,
+            }
+        }
+        Op::State { .. } | Op::GroupKey { .. } | Op::Invariant { .. } | Op::Cluster { .. } => {
+            Value::Missing
+        }
+        Op::Not { .. } | Op::Neg { .. } | Op::Card { .. } | Op::Bin { .. } => return None,
+    })
+}
+
+/// Execute a compiled program across a whole batch of event rows — the
+/// vectorized counterpart of [`run_program`] for event-context programs
+/// (state fields, rule-side expressions). Ops run *op-major* over register
+/// **columns** (`cols`, register-major: register `r`'s column occupies
+/// `cols[r*n .. (r+1)*n]`), so each op's dispatch is amortized over the
+/// batch. `out` receives the result column, one value per row, identical
+/// to `n` calls of `run_program` with the row's implied context.
+///
+/// Both scratch vectors are caller-owned and reused across batches.
+pub fn run_program_batch(
+    program: &Program,
+    rows: &[EventRow<'_>],
+    cols: &mut Vec<Value>,
+    out: &mut Vec<Value>,
+) {
+    out.clear();
+    let n = rows.len();
+    if n == 0 {
+        return;
+    }
+    if program.ops.is_empty() || program.regs == 0 {
+        out.resize(n, Value::Missing);
+        return;
+    }
+    // Single-op programs (a bare attribute load, a constant) skip the
+    // column file entirely — the common shape of state-field arguments.
+    if let [op] = program.ops.as_slice() {
+        if load_row(op, &rows[0], &program.consts).is_some() {
+            out.extend(
+                rows.iter()
+                    .map(|row| load_row(op, row, &program.consts).expect("load op")),
+            );
+            return;
+        }
+    }
+    cols.clear();
+    cols.resize(program.regs * n, Value::Missing);
+    for op in &program.ops {
+        match *op {
+            Op::Not { dst, src } => {
+                for i in 0..n {
+                    let v = match &cols[src as usize * n + i] {
+                        Value::Missing => Value::Missing,
+                        other => Value::bool(!other.truthy()),
+                    };
+                    cols[dst as usize * n + i] = v;
+                }
+            }
+            Op::Neg { dst, src } => {
+                for i in 0..n {
+                    let v = match cols[src as usize * n + i].as_f64() {
+                        Some(x) => Value::float(-x),
+                        None => Value::Missing,
+                    };
+                    cols[dst as usize * n + i] = v;
+                }
+            }
+            Op::Card { dst, src } => {
+                for i in 0..n {
+                    let v = cols[src as usize * n + i].cardinality();
+                    cols[dst as usize * n + i] = v;
+                }
+            }
+            Op::Bin { dst, op, lhs, rhs } => {
+                for i in 0..n {
+                    // Straight-line registers are consumed once: take the
+                    // operands, as the per-event loop does.
+                    let l = std::mem::replace(&mut cols[lhs as usize * n + i], Value::Missing);
+                    let r = std::mem::replace(&mut cols[rhs as usize * n + i], Value::Missing);
+                    cols[dst as usize * n + i] = combine(op, l, r);
+                }
+            }
+            ref load => {
+                let dst = load.dst() as usize;
+                for (i, row) in rows.iter().enumerate() {
+                    cols[dst * n + i] =
+                        load_row(load, row, &program.consts).expect("load ops carry no registers");
+                }
+            }
+        }
+    }
+    let result = (program.regs - 1) * n;
+    out.extend(
+        cols[result..result + n]
+            .iter_mut()
+            .map(|v| std::mem::replace(v, Value::Missing)),
+    );
 }
 
 /// The binary-operator kernel shared by the interpreter and the program
@@ -524,6 +677,64 @@ mod tests {
         s.group_keys.insert("p".into(), AttrValue::str("cmd.exe"));
         assert_eq!(eval(&expr("i.dstip"), &s).to_string(), "10.0.0.9");
         assert_eq!(eval(&expr("p"), &s).to_string(), "cmd.exe");
+    }
+
+    #[test]
+    fn batched_programs_match_per_event_oracle() {
+        use crate::plan::{EntityBind, QueryPlan};
+        // Field programs exercise loads, arithmetic, and an entity attr.
+        let checked = saql_lang::compile(
+            "proc p write file f as evt #time(10 min)\nstate[3] ss { scaled := sum(evt.amount * 2 + 1); name := count(f.name) } group by p\nalert ss[0].scaled > 10\nreturn p",
+        )
+        .unwrap();
+        let plan = QueryPlan::compile(&checked);
+        let events: Vec<saql_model::Event> = (0..5)
+            .map(|i| {
+                EventBuilder::new(i, "db-server", 100 * i)
+                    .subject(ProcessInfo::new(7, "sqlservr.exe", "svc"))
+                    .writes_file(FileInfo::new(format!("f{i}.dmp")))
+                    .amount(1000 * i)
+                    .build()
+            })
+            .collect();
+        let rows: Vec<EventRow<'_>> = events
+            .iter()
+            .map(|event| EventRow {
+                event,
+                ev_slot: 0,
+                subject_slot: plan.pattern_slots[0].0,
+                object_slot: plan.pattern_slots[0].1,
+            })
+            .collect();
+        let (mut cols, mut out, mut regs) = (Vec::new(), Vec::new(), Vec::new());
+        for program in plan
+            .field_programs
+            .iter()
+            .chain(plan.ret.iter().map(|(_, p)| p))
+        {
+            run_program_batch(program, &rows, &mut cols, &mut out);
+            assert_eq!(out.len(), rows.len());
+            for (row, got) in rows.iter().zip(&out) {
+                let events_slot = [Some(row.event)];
+                let entities = [
+                    Some(EntityBind::Subject(&row.event.subject)),
+                    Some(EntityBind::Entity(&row.event.object)),
+                ];
+                let expected = crate::eval::run_program(
+                    program,
+                    &ExecCtx {
+                        events: &events_slot,
+                        entities: &entities,
+                        group_keys: &[],
+                        states: &NoSlots,
+                        invariants: &[],
+                        cluster: None,
+                    },
+                    &mut regs,
+                );
+                assert_eq!(format!("{got:?}"), format!("{expected:?}"));
+            }
+        }
     }
 
     #[test]

@@ -8,15 +8,31 @@
 //! variables must bind the same entity), maintaining bounded partial-match
 //! state across the stream.
 
-use std::collections::{HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 use saql_lang::ast::{AttrConstraint, CmpOp, EventPattern, GlobalConstraint, Query};
 use saql_lang::resolve::entity_slot_names;
 use saql_model::glob::like_match;
 use saql_model::{
-    AttrId, AttrNs, AttrRef, AttrTable, AttrValue, Duration, Entity, Event, Operation, Timestamp,
+    AttrId, AttrNs, AttrRef, AttrTable, AttrValue, Duration, Entity, Event, Operation, ProcessInfo,
+    Timestamp,
 };
-use saql_stream::SharedEvent;
+use saql_stream::{BatchView, SharedEvent};
+
+/// FNV-1a over a byte run (fold more runs by passing the previous result).
+/// Used for the sub-plan fingerprints the batched scheduler shares on:
+/// deterministic across runs and platforms, unlike `DefaultHasher`, so
+/// fingerprints can appear in explain output and golden fixtures.
+pub(crate) fn fnv1a(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    h
+}
+
+/// FNV-1a offset basis (the seed for [`fnv1a`] chains).
+pub(crate) const FNV_SEED: u64 = 0xcbf2_9ce4_8422_2325;
 
 /// The comparison a predicate performs once its attribute is loaded.
 #[derive(Debug, Clone)]
@@ -154,6 +170,51 @@ impl GlobalFilter {
         self.predicates.iter().all(|pred| pred.check_event(event))
     }
 
+    /// Batched acceptance over a whole [`BatchView`]:
+    /// `out[i] == self.accepts(&batch[i])`, computed predicate-major with a
+    /// shrinking selection vector — each predicate loads its attribute
+    /// column once and only re-tests rows that survived the earlier
+    /// predicates.
+    pub fn fill_accepts(&self, view: &BatchView<'_>, out: &mut Vec<bool>) {
+        out.clear();
+        if self.predicates.is_empty() {
+            out.resize(view.len(), true);
+            return;
+        }
+        out.resize(view.len(), false);
+        let mut sel: Vec<u32> = (0..view.len() as u32).collect();
+        let mut col = Vec::new();
+        for pred in &self.predicates {
+            match pred.attr {
+                Some(id) => {
+                    view.fill_event_attr(id, &mut col);
+                    sel.retain(|&i| pred.check(col[i as usize]));
+                }
+                // Unresolvable attribute: never matches (same as the
+                // per-event path).
+                None => sel.clear(),
+            }
+            if sel.is_empty() {
+                return;
+            }
+        }
+        for &i in &sel {
+            out[i as usize] = true;
+        }
+    }
+
+    /// Deterministic fingerprint of the predicate set — equal fingerprints
+    /// mean identical acceptance vectors, which is what the per-group
+    /// sub-plan cache shares on.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_SEED, b"glob");
+        for pred in &self.predicates {
+            h = fnv1a(h, b"|");
+            h = fnv1a(h, pred.render().as_bytes());
+        }
+        h
+    }
+
     /// The compiled predicates (explain listings).
     pub fn predicates(&self) -> &[Predicate] {
         &self.predicates
@@ -172,6 +233,11 @@ pub struct PatternMatcher {
     pub alias: String,
     ops: Vec<Operation>,
     object_type: saql_model::EntityType,
+    /// Bitmask over event shape codes (see `saql_model::event::shape_code`):
+    /// bit `shape_code(op, object_type)` is set for every accepted `op`.
+    /// `shape_matches` is a single mask test, and the batched path ANDs the
+    /// mask against a whole shape column.
+    shape_mask: u64,
     subject_preds: Vec<Predicate>,
     object_preds: Vec<Predicate>,
 }
@@ -185,12 +251,16 @@ impl PatternMatcher {
                 .position(|s| s == var)
                 .expect("slot table covers every pattern variable")
         };
+        let shape_mask = p.ops.iter().fold(0u64, |mask, &op| {
+            mask | 1u64 << saql_model::event::shape_code(op, p.object.etype)
+        });
         PatternMatcher {
             subject_slot: slot_of(&p.subject.var),
             object_slot: slot_of(&p.object.var),
             alias: p.alias.clone(),
             ops: p.ops.clone(),
             object_type: p.object.etype,
+            shape_mask,
             subject_preds: p
                 .subject
                 .constraints
@@ -222,7 +292,13 @@ impl PatternMatcher {
     /// type and operation alternation), ignoring attribute constraints.
     /// This is the master query's check in the master–dependent scheme.
     pub fn shape_matches(&self, event: &Event) -> bool {
-        event.object.entity_type() == self.object_type && self.ops.contains(&event.op)
+        self.shape_mask & (1u64 << event.shape_code()) != 0
+    }
+
+    /// The shape-code bitmask (batched admission ANDs it against a whole
+    /// shape column; see [`BatchView::shape`]).
+    pub fn shape_mask(&self) -> u64 {
+        self.shape_mask
     }
 
     /// Whether the event satisfies this pattern (types, operation,
@@ -246,6 +322,87 @@ impl PatternMatcher {
         true
     }
 
+    /// Batched [`matches`](Self::matches) over a whole [`BatchView`]:
+    /// `out[i] == self.matches(&batch[i])`. The shape mask prunes the
+    /// selection vector first (one byte test per row). When most rows
+    /// survive, each predicate loads its attribute column once and narrows
+    /// the survivors; when the shape test leaves a sparse selection,
+    /// predicates probe the surviving rows directly instead of gathering
+    /// whole columns.
+    pub fn fill_matches(&self, view: &BatchView<'_>, out: &mut Vec<bool>) {
+        out.clear();
+        out.resize(view.len(), false);
+        let mut sel: Vec<u32> = Vec::with_capacity(view.len());
+        for (i, &code) in view.shape().iter().enumerate() {
+            if self.shape_mask & (1u64 << code) != 0 {
+                sel.push(i as u32);
+            }
+        }
+        if sel.is_empty() {
+            return;
+        }
+        let events = view.events();
+        let dense = sel.len() * 4 >= view.len();
+        let mut col = Vec::new();
+        for pred in &self.subject_preds {
+            match pred.attr() {
+                Some(id) if dense => {
+                    view.fill_subject_attr(id, &mut col);
+                    sel.retain(|&i| pred.check(col[i as usize]));
+                }
+                Some(id) => {
+                    sel.retain(|&i| pred.check(events[i as usize].subject.attr_ref(id)));
+                }
+                None => sel.clear(),
+            }
+            if sel.is_empty() {
+                return;
+            }
+        }
+        for pred in &self.object_preds {
+            match pred.attr() {
+                Some(id) if dense => {
+                    view.fill_object_attr(id, &mut col);
+                    sel.retain(|&i| pred.check(col[i as usize]));
+                }
+                Some(_) => {
+                    sel.retain(|&i| pred.check_entity(&events[i as usize].object));
+                }
+                None => sel.clear(),
+            }
+            if sel.is_empty() {
+                return;
+            }
+        }
+        for &i in &sel {
+            out[i as usize] = true;
+        }
+    }
+
+    /// Deterministic fingerprint of everything [`matches`](Self::matches)
+    /// depends on (shape + predicate sets; slots and alias are excluded —
+    /// they don't affect the match column). Equal fingerprints across
+    /// queries in a compatibility group mean the batched match vector can
+    /// be computed once and shared.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = fnv1a(FNV_SEED, b"pat");
+        h = fnv1a(h, &[self.object_type as u8, self.ops.len() as u8]);
+        for &op in &self.ops {
+            h = fnv1a(h, &[op as u8]);
+        }
+        h = fnv1a(h, b"|s:");
+        for pred in &self.subject_preds {
+            h = fnv1a(h, pred.render().as_bytes());
+            h = fnv1a(h, b";");
+        }
+        h = fnv1a(h, b"|o:");
+        for pred in &self.object_preds {
+            h = fnv1a(h, pred.render().as_bytes());
+            h = fnv1a(h, b";");
+        }
+        h
+    }
+
     /// Compiled predicate sets, `(subject, object)` (explain listings).
     pub fn predicate_sets(&self) -> (&[Predicate], &[Predicate]) {
         (&self.subject_preds, &self.object_preds)
@@ -266,6 +423,11 @@ pub struct FullMatch {
 
 #[derive(Debug, Clone)]
 struct Partial {
+    /// Insertion sequence number: total order over live partials, assigned
+    /// when the partial enters the store. Candidate iteration and eviction
+    /// follow ascending `seq` — exactly the insertion order the legacy
+    /// per-step queues walked.
+    seq: u64,
     /// Next step (index into `order`) to satisfy.
     next: usize,
     /// events[i] = event matched for `order[i]`; `None` until reached.
@@ -274,6 +436,42 @@ struct Partial {
     bindings: Vec<Option<Entity>>,
     last_ts: Timestamp,
 }
+
+/// Live partials waiting on one step, bucketed by the *subject join key*
+/// their next pattern will demand. A partial whose next pattern's subject
+/// slot is already bound can only ever be extended by an event whose
+/// subject **is** that process — so candidate lookup probes one bucket
+/// (`keyed[process_key(event.subject)]`) plus the `unkeyed` partials whose
+/// subject slot is still free, instead of scanning every live partial.
+/// This is what makes unwindowed sequence queries (no TTL ⇒ partials
+/// accumulate) batch-friendly: the scan that was `O(live)` per event
+/// becomes `O(candidates)`.
+///
+/// Key collisions are harmless: `try_extend` re-checks every join.
+#[derive(Debug, Clone, Default)]
+struct StepPartials {
+    keyed: HashMap<u64, Vec<Partial>>,
+    unkeyed: Vec<Partial>,
+    /// Total partials across `keyed` and `unkeyed`.
+    len: usize,
+}
+
+/// Join-key hash of a process identity (pid + exe + user — the fields
+/// `ProcessInfo` equality compares).
+fn process_key(pi: &ProcessInfo) -> u64 {
+    let mut h = fnv1a(FNV_SEED, &[0]);
+    h = fnv1a(h, &pi.pid.to_le_bytes());
+    h = fnv1a(h, pi.exe_name.as_bytes());
+    h = fnv1a(h, &[0xff]);
+    h = fnv1a(h, pi.user.as_bytes());
+    h
+}
+
+/// Bucket for partials whose subject slot is bound to a *non-process*
+/// entity: no event subject can ever satisfy that join, so they can sit in
+/// any keyed bucket — a rare event-key collision just re-runs the join
+/// check, which rejects.
+const STUCK_KEY: u64 = 0x5afe_517e_dead_0000;
 
 /// Partial-match organization strategy (the E10 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -310,11 +508,17 @@ pub struct MultiMatcher {
     mode: MatcherMode,
     /// `partials[s]` = live partials whose next step is `s`
     /// (`s ∈ 1..order.len()`; index 0 is unused — step-0 extensions come
-    /// from the seed).
-    partials: Vec<VecDeque<Partial>>,
+    /// from the seed). In [`MatcherMode::Scan`] everything lives in the
+    /// `unkeyed` side, preserving the ablation's scan-everything cost and
+    /// its deterministic insertion order.
+    partials: Vec<StepPartials>,
+    /// Next insertion sequence number (see [`Partial::seq`]).
+    next_seq: u64,
     live: usize,
     emitted: HashSet<Vec<u64>>,
     overflowed: bool,
+    /// Scratch for [`feed`](Self::feed)'s per-pattern hit vector.
+    hits_buf: Vec<bool>,
 }
 
 impl MultiMatcher {
@@ -366,10 +570,12 @@ impl MultiMatcher {
             ttl,
             cap,
             mode,
-            partials: vec![VecDeque::new(); steps],
+            partials: vec![StepPartials::default(); steps],
+            next_seq: 0,
             live: 0,
             emitted: HashSet::new(),
             overflowed: false,
+            hits_buf: Vec::new(),
         }
     }
 
@@ -390,15 +596,35 @@ impl MultiMatcher {
 
     /// Feed one event; returns any full matches it completes.
     pub fn feed(&mut self, event: &SharedEvent) -> Vec<FullMatch> {
+        let mut hits = std::mem::take(&mut self.hits_buf);
+        hits.clear();
+        hits.extend(self.patterns.iter().map(|p| p.matches(event)));
+        let completed = self.feed_with_hits(event, &hits);
+        self.hits_buf = hits;
+        completed
+    }
+
+    /// [`feed`](Self::feed) with the per-pattern match decisions already
+    /// made: `hits[i]` must equal `self.patterns()[i].matches(event)`
+    /// (declaration order). The batched path computes those columns once
+    /// per batch via [`PatternMatcher::fill_matches`] — possibly shared
+    /// across a compatibility group — and drives the matcher row by row.
+    pub fn feed_with_hits(&mut self, event: &SharedEvent, hits: &[bool]) -> Vec<FullMatch> {
+        debug_assert_eq!(hits.len(), self.patterns.len());
         let mut completed = Vec::new();
 
         // Expire idle partials.
         if let Some(ttl) = self.ttl {
             let deadline = event.ts - ttl;
             let mut live = 0;
-            for queue in &mut self.partials {
-                queue.retain(|p| p.last_ts >= deadline);
-                live += queue.len();
+            for sp in &mut self.partials {
+                sp.keyed.retain(|_, bucket| {
+                    bucket.retain(|p| p.last_ts >= deadline);
+                    !bucket.is_empty()
+                });
+                sp.unkeyed.retain(|p| p.last_ts >= deadline);
+                sp.len = sp.keyed.values().map(Vec::len).sum::<usize>() + sp.unkeyed.len();
+                live += sp.len;
             }
             self.live = live;
         }
@@ -406,6 +632,7 @@ impl MultiMatcher {
         let mut new_partials: Vec<Partial> = Vec::new();
         let mut finished: Vec<Partial> = Vec::new();
         let steps = self.order.len();
+        let event_key = process_key(&event.subject);
 
         // Extend existing partials, highest step first so an extension
         // created this round is never re-extended by the same event
@@ -413,15 +640,36 @@ impl MultiMatcher {
         // later occurrences).
         for step in (0..steps).rev() {
             if step > 0 {
-                // Indexed mode: test the step's pattern once; skip the whole
-                // bucket on mismatch. Scan mode re-tests per partial, like a
-                // naive NFA (kept for the E10 ablation).
-                if self.mode == MatcherMode::Indexed
-                    && !self.patterns[self.order[step]].matches(event)
-                {
+                // Indexed mode: one match decision gates the whole step;
+                // candidates are the event-key bucket merged with the
+                // unkeyed partials, in insertion (seq) order. Scan mode
+                // re-tests per partial, like a naive NFA (kept for the E10
+                // ablation), and keeps everything unkeyed.
+                if self.mode == MatcherMode::Indexed && !hits[self.order[step]] {
                     continue;
                 }
-                for p in &self.partials[step] {
+                let sp = &self.partials[step];
+                let keyed: &[Partial] = match self.mode {
+                    MatcherMode::Indexed => {
+                        sp.keyed.get(&event_key).map(Vec::as_slice).unwrap_or(&[])
+                    }
+                    MatcherMode::Scan => &[],
+                };
+                let unkeyed: &[Partial] = &sp.unkeyed;
+                let (mut i, mut j) = (0usize, 0usize);
+                while i < keyed.len() || j < unkeyed.len() {
+                    let from_keyed = match (keyed.get(i), unkeyed.get(j)) {
+                        (Some(a), Some(b)) => a.seq < b.seq,
+                        (Some(_), None) => true,
+                        _ => false,
+                    };
+                    let p = if from_keyed {
+                        i += 1;
+                        &keyed[i - 1]
+                    } else {
+                        j += 1;
+                        &unkeyed[j - 1]
+                    };
                     if self.mode == MatcherMode::Scan
                         && !self.patterns[self.order[step]].matches(event)
                     {
@@ -437,10 +685,11 @@ impl MultiMatcher {
                 }
             } else {
                 // Step 0: try to start a fresh partial.
-                if !self.patterns[self.order[0]].matches(event) {
+                if !hits[self.order[0]] {
                     continue;
                 }
                 let seed = Partial {
+                    seq: 0,
                     next: 0,
                     events: vec![None; steps],
                     bindings: vec![None; self.n_slots],
@@ -461,25 +710,86 @@ impl MultiMatcher {
         }
 
         for p in new_partials {
-            if self.live >= self.cap {
-                self.evict_one();
-            }
-            let step = p.next;
-            self.partials[step].push_back(p);
-            self.live += 1;
+            self.push_partial(p);
         }
 
         completed
     }
 
+    /// Insert one partial into its step's store (evicting first under cap
+    /// pressure), bucketed by the subject join key its *next* pattern will
+    /// demand — or unkeyed when that slot is still free.
+    fn push_partial(&mut self, mut p: Partial) {
+        if self.live >= self.cap {
+            self.evict_one();
+        }
+        let step = p.next;
+        let key = if self.mode == MatcherMode::Scan {
+            None
+        } else {
+            let pat = &self.patterns[self.order[step]];
+            match &p.bindings[pat.subject_slot] {
+                Some(Entity::Process(pi)) => Some(process_key(pi)),
+                Some(_) => Some(STUCK_KEY),
+                None => None,
+            }
+        };
+        p.seq = self.next_seq;
+        self.next_seq += 1;
+        let sp = &mut self.partials[step];
+        match key {
+            Some(k) => sp.keyed.entry(k).or_default().push(p),
+            None => sp.unkeyed.push(p),
+        }
+        sp.len += 1;
+        self.live += 1;
+    }
+
     /// Drop the oldest partial of the fullest step (cap pressure).
     fn evict_one(&mut self) {
-        if let Some(queue) = self.partials.iter_mut().max_by_key(|q| q.len()) {
-            if queue.pop_front().is_some() {
-                self.live -= 1;
-                self.overflowed = true;
+        let mut fullest = 0;
+        let mut fullest_len = 0;
+        for (i, sp) in self.partials.iter().enumerate() {
+            if sp.len >= fullest_len {
+                fullest = i;
+                fullest_len = sp.len;
             }
         }
+        if fullest_len == 0 {
+            return;
+        }
+        // Oldest = minimum seq; buckets are in insertion order, so only
+        // bucket fronts compete. Seqs are unique, so the winner (and the
+        // eviction) is deterministic despite hash-map iteration order.
+        let sp = &mut self.partials[fullest];
+        let mut min_seq = u64::MAX;
+        let mut in_bucket: Option<u64> = None;
+        if let Some(p) = sp.unkeyed.first() {
+            min_seq = p.seq;
+        }
+        for (&k, bucket) in &sp.keyed {
+            if let Some(p) = bucket.first() {
+                if p.seq < min_seq {
+                    min_seq = p.seq;
+                    in_bucket = Some(k);
+                }
+            }
+        }
+        match in_bucket {
+            Some(k) => {
+                let bucket = sp.keyed.get_mut(&k).expect("bucket just seen");
+                bucket.remove(0);
+                if bucket.is_empty() {
+                    sp.keyed.remove(&k);
+                }
+            }
+            None => {
+                sp.unkeyed.remove(0);
+            }
+        }
+        sp.len -= 1;
+        self.live -= 1;
+        self.overflowed = true;
     }
 
     /// Temporal/gap/join admission of `event` as `p`'s step `step`

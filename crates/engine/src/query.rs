@@ -15,12 +15,12 @@ use std::collections::HashSet;
 use saql_lang::ast::{Expr, Query, Ref};
 use saql_lang::semantic::{CheckedQuery, QueryKind};
 use saql_model::{Entity, Timestamp};
-use saql_stream::SharedEvent;
+use saql_stream::{BatchView, SharedEvent};
 
 use crate::alert::{Alert, AlertOrigin};
-use crate::cluster::run_cluster;
+use crate::cluster::{run_cluster_with, ClusterScratch};
 use crate::error::{EngineError, ErrorReporter};
-use crate::eval::{eval, run_program, ClusterOutcome, NoSlots, Scope};
+use crate::eval::{eval, run_program, run_program_batch, ClusterOutcome, EventRow, NoSlots, Scope};
 use crate::invariant::InvariantRuntime;
 use crate::matcher::{FullMatch, GlobalFilter, MultiMatcher, PatternMatcher};
 use crate::plan::{EntityBind, ExecCtx, QueryPlan};
@@ -111,6 +111,119 @@ pub struct QueryStats {
     pub late_events: u64,
 }
 
+/// Per-compatibility-group **shared sub-plan cache** for batched
+/// execution: predicate-set columns (global-filter acceptance, per-pattern
+/// match vectors) computed once per batch and shared by every member whose
+/// predicate set has the same deterministic fingerprint. Dependent queries
+/// in a group typically share their master's shapes and often whole
+/// predicate sets — with the cache, those prefixes are evaluated once per
+/// batch instead of once per member.
+///
+/// The cache is keyed by content fingerprint ([`GlobalFilter::fingerprint`]
+/// / [`PatternMatcher::fingerprint`]), so equal fingerprints imply equal
+/// columns; hits are linear scans over a handful of entries. Column buffers
+/// recycle across batches.
+#[derive(Debug, Default)]
+pub struct BatchCache {
+    globs: Vec<(u64, Vec<bool>)>,
+    pats: Vec<(u64, Vec<bool>)>,
+    /// Retired column buffers, recycled to keep batches allocation-free
+    /// once warm.
+    spare: Vec<Vec<bool>>,
+    /// Cache hits this batch (columns reused instead of recomputed).
+    shared_hits: u64,
+}
+
+impl BatchCache {
+    /// Invalidate all columns (call once per incoming batch, before any
+    /// member prepares).
+    pub fn begin_batch(&mut self) {
+        self.spare.extend(self.globs.drain(..).map(|(_, col)| col));
+        self.spare.extend(self.pats.drain(..).map(|(_, col)| col));
+    }
+
+    /// Columns reused across members since the cache was created.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    fn buffer(&mut self) -> Vec<bool> {
+        self.spare.pop().unwrap_or_default()
+    }
+
+    /// Index of the acceptance column for this global filter, computing it
+    /// on first demand within the batch.
+    fn glob_column(&mut self, filter: &GlobalFilter, view: &BatchView<'_>) -> usize {
+        let fp = filter.fingerprint();
+        if let Some(i) = self.globs.iter().position(|(k, _)| *k == fp) {
+            self.shared_hits += 1;
+            return i;
+        }
+        let mut col = self.buffer();
+        filter.fill_accepts(view, &mut col);
+        self.globs.push((fp, col));
+        self.globs.len() - 1
+    }
+
+    /// Index of the match column for this pattern, computing it on first
+    /// demand within the batch.
+    fn pat_column(&mut self, pattern: &PatternMatcher, view: &BatchView<'_>) -> usize {
+        let fp = pattern.fingerprint();
+        if let Some(i) = self.pats.iter().position(|(k, _)| *k == fp) {
+            self.shared_hits += 1;
+            return i;
+        }
+        let mut col = self.buffer();
+        pattern.fill_matches(view, &mut col);
+        self.pats.push((fp, col));
+        self.pats.len() - 1
+    }
+
+    fn glob(&self, idx: usize) -> &[bool] {
+        &self.globs[idx].1
+    }
+
+    fn pat(&self, idx: usize) -> &[bool] {
+        &self.pats[idx].1
+    }
+}
+
+/// Stateful-query batch precomputation: everything watermark-independent
+/// about the rows (pattern dispatch, group keys, field-program values),
+/// evaluated column-wise in [`RunningQuery::prepare_batch`]. Window
+/// assignment and `state.observe` stay in the per-row drive loop — the
+/// watermark advances mid-batch, so window membership cannot be hoisted.
+#[derive(Debug, Default)]
+struct StatefulPre {
+    /// Per row: first matching pattern index, `u32::MAX` when none.
+    slot: Vec<u32>,
+    /// Per row: index into the compact arrays below (`u32::MAX` when the
+    /// row didn't survive glob + pattern dispatch).
+    pos: Vec<u32>,
+    /// Compact, row-major group-key atoms (`n_keys` per surviving row).
+    keys: Vec<KeyAtom>,
+    /// Per surviving row: whether every group key resolved.
+    key_ok: Vec<bool>,
+    /// Compact, row-major field-program values (`n_fields` per row).
+    fields: Vec<Value>,
+}
+
+/// Per-query batched-execution state: resolved cache column indices plus
+/// the stateful precomputation. Valid for the current batch only.
+#[derive(Debug, Default)]
+struct BatchState {
+    glob_idx: usize,
+    /// Cache column index per pattern, declaration order.
+    pat_idx: Vec<usize>,
+    pre: StatefulPre,
+    /// Per-row pattern-hit scratch handed to the matcher.
+    hits_buf: Vec<bool>,
+    /// Register-column scratch for `run_program_batch`.
+    cols_buf: Vec<Value>,
+    /// Result-column scratch for `run_program_batch`.
+    out_buf: Vec<Value>,
+}
+
 /// One running query instance.
 pub struct RunningQuery {
     name: String,
@@ -138,6 +251,12 @@ pub struct RunningQuery {
     windows_buf: Vec<u64>,
     key_buf: Vec<KeyAtom>,
     fold_buf: Vec<Value>,
+    /// Batched-execution state for the current batch (column indices into
+    /// the group's [`BatchCache`] plus stateful precomputation).
+    batch: BatchState,
+    /// Cluster-stage buffers (DBSCAN working set, comparison points)
+    /// recycled across window closes.
+    cluster_scratch: ClusterScratch,
 }
 
 impl RunningQuery {
@@ -213,6 +332,8 @@ impl RunningQuery {
             windows_buf: Vec::new(),
             key_buf: Vec::new(),
             fold_buf: Vec::new(),
+            batch: BatchState::default(),
+            cluster_scratch: ClusterScratch::default(),
         }
     }
 
@@ -287,6 +408,13 @@ impl RunningQuery {
         self.patterns.iter().any(|p| p.shape_matches(event))
     }
 
+    /// Combined shape mask over all patterns: bit `c` set iff an event with
+    /// shape code `c` would pass [`Self::shape_matches`]. The batched master
+    /// check tests this against the view's shape column.
+    pub fn shape_mask(&self) -> u64 {
+        self.patterns.iter().fold(0, |m, p| m | p.shape_mask())
+    }
+
     /// Advance event time: closes due windows and may emit window alerts.
     /// Cheap when no window is due (one comparison).
     pub fn advance_time(&mut self, ts: Timestamp) -> Vec<Alert> {
@@ -326,6 +454,180 @@ impl RunningQuery {
         alerts
     }
 
+    // ------------------------------------------------------------------
+    // Batched execution
+    // ------------------------------------------------------------------
+
+    /// Resolve this query's predicate columns against the group's shared
+    /// [`BatchCache`] (computing any missing ones) and precompute the
+    /// watermark-independent stateful work for the batch: pattern dispatch,
+    /// group keys, and field-program values, all evaluated column-wise.
+    ///
+    /// Must be called once per batch, after [`BatchCache::begin_batch`] and
+    /// before any [`Self::process_payload_row`] for that batch.
+    pub(crate) fn prepare_batch(&mut self, view: &BatchView<'_>, cache: &mut BatchCache) {
+        self.batch.glob_idx = cache.glob_column(&self.globals, view);
+        self.batch.pat_idx.clear();
+        for p in &self.patterns {
+            self.batch.pat_idx.push(cache.pat_column(p, view));
+        }
+        if self.checked.kind == QueryKind::Rule || self.mode == ExecMode::Interpreted {
+            return;
+        }
+
+        // Stateful compiled path: precompute everything the per-row drive
+        // loop needs except window assignment (which depends on the
+        // watermark advancing mid-batch).
+        let n = view.len();
+        let plan = &self.plan;
+        let pre = &mut self.batch.pre;
+        pre.slot.clear();
+        pre.slot.resize(n, u32::MAX);
+        for (k, &ci) in self.batch.pat_idx.iter().enumerate() {
+            let col = cache.pat(ci);
+            for (row, s) in pre.slot.iter_mut().enumerate() {
+                if *s == u32::MAX && col[row] {
+                    *s = k as u32;
+                }
+            }
+        }
+
+        // Compact the surviving rows (glob-accepted, some pattern matched).
+        let glob = cache.glob(self.batch.glob_idx);
+        let events = view.events();
+        let mut rows: Vec<EventRow<'_>> = Vec::new();
+        pre.pos.clear();
+        for (row, s) in pre.slot.iter().enumerate() {
+            if *s != u32::MAX && glob[row] {
+                let idx = *s as usize;
+                let (subject_slot, object_slot) = plan.pattern_slots[idx];
+                pre.pos.push(rows.len() as u32);
+                rows.push(EventRow {
+                    event: events[row].as_ref(),
+                    ev_slot: idx,
+                    subject_slot,
+                    object_slot,
+                });
+            } else {
+                pre.pos.push(u32::MAX);
+            }
+        }
+
+        // Group keys per surviving row (padded when unresolvable so
+        // row-major indexing stays aligned; such rows report instead of
+        // observing).
+        let nk = plan.group_keys.len();
+        let n_ev = plan.aliases.len();
+        let n_ent = plan.entity_vars.len();
+        let mut ev_slots: Vec<Option<&saql_model::Event>> = vec![None; n_ev];
+        let mut ent_slots: Vec<Option<EntityBind<'_>>> = vec![None; n_ent];
+        pre.keys.clear();
+        pre.key_ok.clear();
+        for r in &rows {
+            ev_slots.iter_mut().for_each(|s| *s = None);
+            ent_slots.iter_mut().for_each(|s| *s = None);
+            ev_slots[r.ev_slot] = Some(r.event);
+            ent_slots[r.subject_slot] = Some(EntityBind::Subject(&r.event.subject));
+            ent_slots[r.object_slot] = Some(EntityBind::Entity(&r.event.object));
+            let ok = extract_keys(plan, &ev_slots, &ent_slots, &mut self.key_buf);
+            pre.key_ok.push(ok);
+            if ok {
+                pre.keys.append(&mut self.key_buf);
+            } else {
+                pre.keys
+                    .extend(std::iter::repeat_with(|| KeyAtom::Int(0)).take(nk));
+            }
+        }
+
+        // Field programs, batch-at-a-time over the compact rows, scattered
+        // row-major.
+        let nf = plan.field_programs.len();
+        pre.fields.clear();
+        pre.fields.resize(rows.len() * nf, Value::Missing);
+        for (f, prog) in plan.field_programs.iter().enumerate() {
+            run_program_batch(
+                prog,
+                &rows,
+                &mut self.batch.cols_buf,
+                &mut self.batch.out_buf,
+            );
+            for (r, v) in self.batch.out_buf.drain(..).enumerate() {
+                pre.fields[r * nf + f] = v;
+            }
+        }
+    }
+
+    /// Batched counterpart of [`Self::process_payload`]: process row `row`
+    /// of the batch this query was [prepared](Self::prepare_batch) for,
+    /// reading predicate columns from the group's shared cache instead of
+    /// re-probing the event.
+    pub(crate) fn process_payload_row(
+        &mut self,
+        event: &SharedEvent,
+        row: usize,
+        cache: &BatchCache,
+    ) -> Vec<Alert> {
+        self.stats.events_seen += 1;
+        if !cache.glob(self.batch.glob_idx)[row] {
+            return Vec::new();
+        }
+        match self.checked.kind {
+            QueryKind::Rule => {
+                let mut hits = std::mem::take(&mut self.batch.hits_buf);
+                hits.clear();
+                hits.extend(self.batch.pat_idx.iter().map(|&ci| cache.pat(ci)[row]));
+                let matcher = self.matcher.as_mut().expect("rule queries have a matcher");
+                let fulls = matcher.feed_with_hits(event, &hits);
+                self.batch.hits_buf = hits;
+                self.process_rule_core(fulls)
+            }
+            _ => {
+                match self.mode {
+                    ExecMode::Compiled => self.process_stateful_row(event, row),
+                    // Interpreter oracle: no columnar programs, fall back
+                    // per event past the cached global gate.
+                    ExecMode::Interpreted => self.process_stateful(event),
+                }
+                Vec::new()
+            }
+        }
+    }
+
+    /// Stateful drive step for one batch row: window assignment and state
+    /// folding off the precomputed dispatch/keys/fields.
+    fn process_stateful_row(&mut self, event: &SharedEvent, row: usize) {
+        if self.batch.pre.slot[row] == u32::MAX {
+            return;
+        }
+        self.stats.events_matched += 1;
+        let Some(driver) = &mut self.window else {
+            return;
+        };
+        driver.observe_into(event.ts, &mut self.windows_buf);
+        if self.windows_buf.is_empty() {
+            self.stats.late_events += 1;
+            return;
+        }
+        let Some(state) = &mut self.state else { return };
+        let pre = &self.batch.pre;
+        let pos = pre.pos[row] as usize;
+        if pre.key_ok[pos] {
+            let nk = self.plan.group_keys.len();
+            let nf = self.plan.field_programs.len();
+            state.observe(
+                &self.windows_buf,
+                &pre.keys[pos * nk..(pos + 1) * nk],
+                &pre.fields[pos * nf..(pos + 1) * nf],
+            );
+        } else {
+            self.errors.report(EngineError::Eval(format!(
+                "group key of state `{}` unresolvable for event {}",
+                state.name(),
+                event.id
+            )));
+        }
+    }
+
     /// End of stream: close all remaining windows.
     pub fn finish(&mut self) -> Vec<Alert> {
         let mut alerts = Vec::new();
@@ -344,12 +646,22 @@ impl RunningQuery {
     fn process_rule(&mut self, event: &SharedEvent) -> Vec<Alert> {
         let matcher = self.matcher.as_mut().expect("rule queries have a matcher");
         let fulls = matcher.feed(event);
-        if matcher.overflowed() && !self.overflow_reported {
+        self.process_rule_core(fulls)
+    }
+
+    /// Everything after the matcher probe — shared by the per-event path
+    /// ([`Self::process_rule`]) and the batched path, which feeds the
+    /// matcher off precomputed pattern columns.
+    fn process_rule_core(&mut self, fulls: Vec<FullMatch>) -> Vec<Alert> {
+        let (overflowed, live) = {
+            let matcher = self.matcher.as_ref().expect("rule queries have a matcher");
+            (matcher.overflowed(), matcher.live_partials())
+        };
+        if overflowed && !self.overflow_reported {
             self.overflow_reported = true;
-            let cap = matcher.live_partials().max(1);
             self.errors.report(EngineError::PartialMatchOverflow {
                 query: self.name.clone(),
-                cap,
+                cap: live.max(1),
             });
         }
         if fulls.is_empty() {
@@ -574,22 +886,25 @@ impl RunningQuery {
         let plan = &self.plan;
         let ast = &self.checked.ast;
         let scratch = &mut self.scratch;
+        let cluster_scratch = &mut self.cluster_scratch;
         let mut inv_rt = self.invariant.as_mut();
 
         // Cluster stage: one comparison point per group that produced all
-        // dimensions; outcomes align with `closed` by index.
+        // dimensions; outcomes align with `closed` by index. Working
+        // buffers (DBSCAN visited flags/queue/neighbour lists, point
+        // vectors) persist in `cluster_scratch` across closes.
         let mut outcomes: Vec<Option<ClusterOutcome>> = vec![None; closed.len()];
         if let Some(spec) = &ast.cluster {
-            let mut point_groups: Vec<usize> = Vec::new();
-            let mut points: Vec<Vec<f64>> = Vec::new();
+            cluster_scratch.begin_close();
             for (i, group) in closed.iter().enumerate() {
                 let ge = GroupEval::new(mode, plan, ast, state, k, group, None);
                 if let Some(p) = ge.cluster_point(scratch) {
-                    point_groups.push(i);
-                    points.push(p);
+                    cluster_scratch.point_groups.push(i);
+                    cluster_scratch.points.push(p);
                 }
             }
-            for (i, outcome) in point_groups.iter().zip(run_cluster(spec, &points, k)) {
+            let labels = run_cluster_with(spec, k, cluster_scratch);
+            for (i, outcome) in cluster_scratch.point_groups.iter().zip(labels) {
                 outcomes[*i] = Some(outcome);
             }
         }
@@ -758,6 +1073,34 @@ impl RunningQuery {
             for (label, prog) in &plan.ret {
                 let _ = writeln!(out, "  item {label}:");
                 let _ = write!(out, "{}", prog.listing(plan));
+            }
+        }
+        let _ = writeln!(out, "vectorized:");
+        let _ = writeln!(
+            out,
+            "  globals: fp={:016x} (column shared across compat group)",
+            self.globals.fingerprint()
+        );
+        for (i, pattern) in self.patterns.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  pattern[{i}]: fp={:016x} (column shared across compat group)",
+                pattern.fingerprint()
+            );
+        }
+        match (self.checked.kind, self.mode) {
+            (QueryKind::Rule, _) => {
+                let _ = writeln!(out, "  matcher: probes driven off pattern columns");
+            }
+            (_, ExecMode::Compiled) => {
+                let _ = writeln!(
+                    out,
+                    "  state: group keys + {} field program(s) batch-at-a-time",
+                    plan.field_programs.len()
+                );
+            }
+            (_, ExecMode::Interpreted) => {
+                let _ = writeln!(out, "  state: per-event interpreter (oracle mode)");
             }
         }
         out

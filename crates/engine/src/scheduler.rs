@@ -17,10 +17,10 @@
 use std::collections::HashMap;
 
 use saql_model::Timestamp;
-use saql_stream::SharedEvent;
+use saql_stream::{BatchView, EventBatch, SharedEvent};
 
 use crate::alert::Alert;
-use crate::query::{QueryId, RunningQuery};
+use crate::query::{BatchCache, QueryId, RunningQuery};
 
 /// Scheduler execution counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -51,6 +51,10 @@ impl SchedulerStats {
 struct Group {
     key: String,
     members: Vec<RunningQuery>,
+    /// Shared sub-plan cache for batched execution: predicate columns
+    /// computed once per batch and reused by every member whose predicate
+    /// set fingerprints equal (see [`BatchCache`]).
+    cache: BatchCache,
 }
 
 /// Master–dependent concurrent query scheduler.
@@ -95,6 +99,7 @@ impl Scheduler {
                 self.groups.push(Group {
                     key: key.clone(),
                     members: Vec::new(),
+                    cache: BatchCache::default(),
                 });
                 self.by_key.insert(key, gi);
                 gi
@@ -236,6 +241,79 @@ impl Scheduler {
                 }
                 self.stats.deliveries += 1;
                 alerts.extend(q.process_payload(event));
+            }
+        }
+        alerts
+    }
+
+    /// Push a whole batch through every group, batch-at-a-time.
+    ///
+    /// Phase one (prepare) computes each group's predicate columns once
+    /// per batch — shared across members through the group's
+    /// [`BatchCache`] — and each member's program prefixes column-wise.
+    /// Phase two (drive) replays the exact event-major/group-major order of
+    /// [`Self::process`], so the alert stream and stats are identical to
+    /// feeding the events one at a time; only the probe count shrinks.
+    ///
+    /// Latency tracking needs one timestamp pair per event, so it falls
+    /// back to the per-event path.
+    pub fn process_batch(&mut self, batch: &EventBatch) -> Vec<Alert> {
+        if self.latency.is_some() {
+            let mut alerts = Vec::new();
+            for event in batch {
+                alerts.extend(self.process(event));
+            }
+            return alerts;
+        }
+        let view = BatchView::new(batch);
+        for group in &mut self.groups {
+            let Group { members, cache, .. } = group;
+            cache.begin_batch();
+            // Fully-paused groups are skipped per event anyway; paused
+            // members never receive payloads, so only attached ones
+            // prepare. Pause state cannot change mid-batch (control-plane
+            // operations land between engine calls).
+            for q in members.iter_mut() {
+                if !q.is_paused() {
+                    q.prepare_batch(&view, cache);
+                }
+            }
+        }
+        // Master admission masks are constant across the batch: one fold
+        // per group instead of one shape probe per group per event.
+        let masks: Vec<u64> = self
+            .groups
+            .iter()
+            .map(|g| g.members.first().map(|m| m.shape_mask()).unwrap_or(0))
+            .collect();
+        let shapes = view.shape();
+        let mut alerts = Vec::new();
+        for (row, event) in view.events().iter().enumerate() {
+            self.stats.events += 1;
+            for (gi, group) in self.groups.iter_mut().enumerate() {
+                let mut attached = 0usize;
+                for q in &mut group.members {
+                    if q.is_paused() {
+                        continue;
+                    }
+                    attached += 1;
+                    alerts.extend(q.advance_time(event.ts));
+                }
+                if attached == 0 {
+                    continue;
+                }
+                self.stats.master_checks += 1;
+                if masks[gi] & (1u64 << shapes[row]) == 0 {
+                    continue;
+                }
+                let Group { members, cache, .. } = group;
+                for q in members.iter_mut() {
+                    if q.is_paused() {
+                        continue;
+                    }
+                    self.stats.deliveries += 1;
+                    alerts.extend(q.process_payload_row(event, row, cache));
+                }
             }
         }
         alerts
@@ -534,6 +612,51 @@ mod tests {
         assert_eq!(alerts[0].query, "b");
         assert_eq!(s.stats().master_checks, 1);
         assert_eq!(s.stats().deliveries, 1, "paused member not delivered to");
+    }
+
+    #[test]
+    fn batched_processing_matches_per_event() {
+        let sources = [
+            ("q1", "proc p1[\"%cmd.exe\"] start proc p2[\"%osql.exe\"] as e\nreturn distinct p1, p2"),
+            ("q2", "proc p1[\"%excel.exe\"] start proc p2 as e\nreturn distinct p1, p2"),
+            ("q3", "proc p write ip i as evt #time(1 min)\nstate ss { amt := sum(evt.amount) } group by p\nalert ss[0].amt > 100\nreturn p, ss[0].amt"),
+            ("q4", "proc p write ip i as evt #time(1 min)\nstate ss { amt := sum(evt.amount) } group by p\nalert ss[0].amt > 400\nreturn p"),
+        ];
+        let events: Vec<SharedEvent> = vec![
+            start(1, 1_000, "cmd.exe", "osql.exe"),
+            start(2, 2_000, "excel.exe", "cscript.exe"),
+            send(3, 3_000, "sqlservr.exe", "10.0.0.9", 500),
+            start(4, 61_000, "cmd.exe", "calc.exe"),
+            send(5, 62_000, "sqlservr.exe", "10.0.0.9", 50),
+            send(6, 200_000, "chrome.exe", "8.8.8.8", 10),
+        ];
+
+        let mut per_event = Scheduler::new();
+        let mut batched_s = Scheduler::new();
+        for (name, src) in sources {
+            per_event.add(rq(name, src));
+            batched_s.add(rq(name, src));
+        }
+        let mut expected = Vec::new();
+        for e in &events {
+            expected.extend(per_event.process(e));
+        }
+        expected.extend(per_event.finish());
+
+        let mut got = Vec::new();
+        for batch in saql_stream::batched(events.clone(), 4) {
+            got.extend(batched_s.process_batch(&batch));
+        }
+        got.extend(batched_s.finish());
+
+        let render = |v: &[Alert]| v.iter().map(|a| a.to_string()).collect::<Vec<_>>();
+        assert_eq!(render(&expected), render(&got), "ordered alert streams");
+        assert_eq!(per_event.stats().events, batched_s.stats().events);
+        assert_eq!(
+            per_event.stats().master_checks,
+            batched_s.stats().master_checks
+        );
+        assert_eq!(per_event.stats().deliveries, batched_s.stats().deliveries);
     }
 
     #[test]

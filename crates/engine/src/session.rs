@@ -21,7 +21,7 @@ use saql_stream::merge::{
     Lateness, MergeConfig, MergeStatus, SourceId, SourceStats, WatermarkMerge,
 };
 use saql_stream::source::EventSource;
-use saql_stream::SharedEvent;
+use saql_stream::{EventBatch, SharedEvent};
 
 use crate::alert::Alert;
 use crate::engine::Engine;
@@ -162,6 +162,11 @@ impl<'e> RunSession<'e> {
     /// Bounding the budget lets callers interleave control-plane changes at
     /// exact stream positions (see the CLI's staged lifecycle flags).
     ///
+    /// Merged events are fed in [`EventBatch`]es of the engine's execution
+    /// batch size ([`Engine::batch_size`] — the one
+    /// [`crate::EngineConfig::batch_size`] knob), so the session pump and
+    /// the vectorized execution path agree on chunking.
+    ///
     /// If the engine was explicitly finished mid-session (via
     /// [`engine`](Self::engine) on a parallel backend), the round ends
     /// immediately with [`SessionStatus::Done`] — a finished engine can
@@ -171,10 +176,13 @@ impl<'e> RunSession<'e> {
         let status = self.merge.poll(&mut self.batch, max);
         let mut alerts = Vec::new();
         let mut fed = 0u64;
-        for event in &self.batch {
-            match self.engine.process(event) {
+        for chunk in self.batch.chunks(self.engine.batch_size()) {
+            match self
+                .engine
+                .process_batch(&EventBatch::from_events(chunk.to_vec()))
+            {
                 Ok(fresh) => {
-                    fed += 1;
+                    fed += chunk.len() as u64;
                     alerts.extend(fresh);
                 }
                 Err(_) => {

@@ -114,12 +114,11 @@ impl Shard {
         self.scheduler.query_count()
     }
 
-    /// Push one batch through the shard's groups, forwarding every alert.
+    /// Push one batch through the shard's groups batch-at-a-time (see
+    /// [`Scheduler::process_batch`]), forwarding every alert.
     pub fn process_batch(&mut self, batch: &EventBatch, sink: &mut dyn AlertSink) {
-        for event in batch {
-            for alert in self.scheduler.process(event) {
-                sink.deliver(&alert);
-            }
+        for alert in self.scheduler.process_batch(batch) {
+            sink.deliver(&alert);
         }
     }
 

@@ -172,6 +172,20 @@ impl Event {
     pub fn family(&self) -> EntityType {
         self.object.entity_type()
     }
+
+    /// Dense code for the event's *shape* — the `(operation, object type)`
+    /// pair that master-query admission and pattern shape tests key on.
+    /// Codes are `< Operation::ALL.len() * 3 = 27`, so a set of shapes fits
+    /// a `u64` bitmask (see `shape_mask` users in the engine).
+    pub fn shape_code(&self) -> u8 {
+        shape_code(self.op, self.object.entity_type())
+    }
+}
+
+/// The shape code for an `(operation, object type)` pair (see
+/// [`Event::shape_code`]).
+pub fn shape_code(op: Operation, object: EntityType) -> u8 {
+    op as u8 * 3 + object as u8
 }
 
 impl fmt::Display for Event {

@@ -8,6 +8,8 @@
 //! This preserves the master–dependent-query invariant that every consumer
 //! observes the *same allocation* of every event.
 
+use saql_model::{AttrId, AttrRef, Timestamp};
+
 use crate::SharedEvent;
 
 /// Default number of events per batch when callers don't specify one.
@@ -108,6 +110,83 @@ impl IntoIterator for EventBatch {
 
     fn into_iter(self) -> Self::IntoIter {
         self.events.into_iter()
+    }
+}
+
+/// A columnar view over one [`EventBatch`]: the per-event scalars the
+/// batched execution path probes on every row — timestamps and shape codes
+/// — materialized once as dense columns, plus on-demand fillers for
+/// attribute columns (borrowed [`AttrRef`] views resolved through the
+/// deploy-time [`AttrId`] tables, so batched predicate evaluation never
+/// re-probes attribute names or clones values).
+///
+/// The view borrows the batch; columns of `AttrRef`s therefore borrow the
+/// events and stay valid for the whole batch dispatch.
+#[derive(Debug)]
+pub struct BatchView<'a> {
+    events: &'a [SharedEvent],
+    ts: Vec<Timestamp>,
+    shape: Vec<u8>,
+}
+
+impl<'a> BatchView<'a> {
+    /// Materialize the scalar columns (one pass over the batch).
+    pub fn new(batch: &'a EventBatch) -> BatchView<'a> {
+        Self::over(batch.events())
+    }
+
+    /// A view over any run of events (tests and the session pump use runs
+    /// that are not wrapped in an [`EventBatch`]).
+    pub fn over(events: &'a [SharedEvent]) -> BatchView<'a> {
+        BatchView {
+            events,
+            ts: events.iter().map(|e| e.ts).collect(),
+            shape: events.iter().map(|e| e.shape_code()).collect(),
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The underlying events, in stream order.
+    pub fn events(&self) -> &'a [SharedEvent] {
+        self.events
+    }
+
+    /// Event-time column.
+    pub fn ts(&self) -> &[Timestamp] {
+        &self.ts
+    }
+
+    /// Shape-code column (see `saql_model::event::shape_code`): the batched
+    /// counterpart of per-event shape tests — admission masks AND against
+    /// `1 << shape[i]`.
+    pub fn shape(&self) -> &[u8] {
+        &self.shape
+    }
+
+    /// Fill `out` with the *event-level* attribute column for `id`
+    /// (`None` where the event does not supply it).
+    pub fn fill_event_attr(&self, id: AttrId, out: &mut Vec<Option<AttrRef<'a>>>) {
+        out.clear();
+        out.extend(self.events.iter().map(|e| e.attr_ref(id)));
+    }
+
+    /// Fill `out` with the *subject process* attribute column for `id`.
+    pub fn fill_subject_attr(&self, id: AttrId, out: &mut Vec<Option<AttrRef<'a>>>) {
+        out.clear();
+        out.extend(self.events.iter().map(|e| e.subject.attr_ref(id)));
+    }
+
+    /// Fill `out` with the *object entity* attribute column for `id`.
+    pub fn fill_object_attr(&self, id: AttrId, out: &mut Vec<Option<AttrRef<'a>>>) {
+        out.clear();
+        out.extend(self.events.iter().map(|e| e.object.attr_ref(id)));
     }
 }
 
@@ -215,5 +294,44 @@ mod tests {
     fn batched_clamps_zero_size() {
         let batches = batched((0..3).map(ev).collect::<Vec<_>>(), 0);
         assert_eq!(batches.len(), 3);
+    }
+
+    #[test]
+    fn view_materializes_scalar_columns() {
+        let mut b = EventBatch::with_capacity(4);
+        b.push(ev(1));
+        b.push(ev(2));
+        let view = BatchView::new(&b);
+        assert_eq!(view.len(), 2);
+        assert_eq!(
+            view.ts().iter().map(|t| t.as_millis()).collect::<Vec<_>>(),
+            vec![10, 20]
+        );
+        // Both events are `start proc`: one shape code, matching per-event.
+        assert_eq!(view.shape()[0], b.events()[0].shape_code());
+        assert_eq!(view.shape()[0], view.shape()[1]);
+    }
+
+    #[test]
+    fn view_attr_columns_match_per_event_probes() {
+        use saql_model::AttrId;
+        let mut b = EventBatch::with_capacity(2);
+        b.push(ev(3));
+        let view = BatchView::new(&b);
+        let mut col = Vec::new();
+        view.fill_event_attr(AttrId::Amount, &mut col);
+        assert_eq!(col, vec![b.events()[0].attr_ref(AttrId::Amount)]);
+        view.fill_subject_attr(AttrId::ExeName, &mut col);
+        assert_eq!(
+            col[0].and_then(|r| r.as_str().map(String::from)),
+            Some("a.exe".into())
+        );
+        view.fill_object_attr(AttrId::ExeName, &mut col);
+        assert_eq!(
+            col[0].and_then(|r| r.as_str().map(String::from)),
+            Some("b.exe".into())
+        );
+        view.fill_object_attr(AttrId::DstIp, &mut col);
+        assert_eq!(col, vec![None], "process object has no dstip");
     }
 }

@@ -34,7 +34,7 @@ use saql_model::Event;
 /// The unit flowing through every SAQL stream: shared, immutable events.
 pub type SharedEvent = Arc<Event>;
 
-pub use batch::EventBatch;
+pub use batch::{batched, BatchView, EventBatch, DEFAULT_BATCH_SIZE};
 pub use merge::{Lateness, MergeConfig, MergeStatus, SourceId, SourceStats, WatermarkMerge};
 pub use source::{EventSource, SourcePoll};
 

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare quick-mode criterion JSON against the
+committed baseline and fail on a >20% relative throughput drop.
+
+Usage:
+    python3 scripts/bench_regression.py \
+        --baseline bench/baseline --current bench-out [--threshold 0.8]
+
+Both directories hold ``BENCH_<id>.json`` files as written by the vendored
+criterion shim (``SAQL_BENCH_JSON``): ``{"quick": bool, "benches":
+[{"id": "group/func/param", "ns_per_iter": N, "throughput_per_sec": F}]}``.
+
+Quick-mode numbers are single-iteration smoke measurements and the
+baseline is typically recorded on a different machine than the CI runner,
+so absolute throughputs are not comparable, and single shots jitter up to
+~2x. The gate compensates twice over:
+
+* **best-of-N**: when a directory holds several measurements of the same
+  bench id (CI runs each bench binary three times, writing
+  ``BENCH_<id>_r<n>.json``), the per-id *maximum* is used — max-of-N
+  approximates the machine's low-noise capability number on both sides;
+* **median normalization**: the median current/baseline ratio across
+  *all* matched bench ids estimates the machine-speed factor, and a bench
+  regresses only if its own ratio falls below ``threshold × median``. A
+  localized slowdown (one family, one subsystem) moves few entries and
+  stands out against the median; a uniform machine-speed difference moves
+  the median itself and cancels out.
+
+Exit status: 0 = no regression, 1 = at least one bench regressed (or the
+inputs were unusable).
+"""
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_throughputs(directory: Path) -> dict:
+    """Map ``bench id -> best throughput_per_sec`` over every BENCH_*.json.
+
+    A bench id appearing in several files (repeated quick runs) keeps its
+    maximum — see the best-of-N rationale in the module docstring.
+    """
+    out = {}
+    for path in sorted(directory.glob("BENCH_*.json")):
+        with open(path) as f:
+            data = json.load(f)
+        for bench in data.get("benches", []):
+            tps = bench.get("throughput_per_sec")
+            if tps:
+                bid = bench["id"]
+                out[bid] = max(out.get(bid, 0.0), float(tps))
+    return out
+
+
+def median(values):
+    values = sorted(values)
+    mid = len(values) // 2
+    if len(values) % 2:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--current", type=Path, required=True)
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.8,
+        help="fail when normalized ratio drops below this (default 0.8 = >20%% drop)",
+    )
+    args = parser.parse_args()
+
+    baseline = load_throughputs(args.baseline)
+    current = load_throughputs(args.current)
+    if not baseline:
+        print(f"error: no baseline measurements under {args.baseline}", file=sys.stderr)
+        return 1
+    if not current:
+        print(f"error: no current measurements under {args.current}", file=sys.stderr)
+        return 1
+
+    matched = sorted(set(baseline) & set(current))
+    if not matched:
+        print("error: no bench ids in common between baseline and current", file=sys.stderr)
+        return 1
+    for missing in sorted(set(baseline) - set(current)):
+        print(f"warning: bench `{missing}` in baseline but not in current run")
+    for fresh in sorted(set(current) - set(baseline)):
+        print(f"note: bench `{fresh}` has no baseline yet (add it on the next reseed)")
+
+    ratios = {bid: current[bid] / baseline[bid] for bid in matched}
+    factor = median(ratios.values())
+    print(f"machine-speed factor (median current/baseline ratio): {factor:.3f}")
+    print(f"regression threshold: normalized ratio < {args.threshold:.2f}")
+    print()
+
+    failures = []
+    width = max(len(bid) for bid in matched)
+    for bid in matched:
+        normalized = ratios[bid] / factor
+        status = "ok"
+        if normalized < args.threshold:
+            status = "REGRESSED"
+            failures.append(bid)
+        print(
+            f"{bid:<{width}}  base {baseline[bid]:>14.0f}/s  "
+            f"now {current[bid]:>14.0f}/s  norm {normalized:5.2f}  {status}"
+        )
+
+    if failures:
+        print(
+            f"\n{len(failures)} bench(es) dropped >{(1 - args.threshold) * 100:.0f}% "
+            f"relative throughput: {', '.join(failures)}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"\nall {len(matched)} matched benches within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

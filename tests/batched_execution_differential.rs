@@ -1,0 +1,271 @@
+//! Differential property suite for the vectorized batch-execution spine:
+//! on random corpus deployments over random streams, **batched execution
+//! must produce alerts identical to the per-event path** — at every batch
+//! size, in both execution modes, on both backends.
+//!
+//! * Serial backend: `Engine::run` (which pumps the stream through
+//!   `process_batch` in `EngineConfig::batch_size` chunks) is compared
+//!   against feeding the same engine one event at a time — full alert
+//!   *sequences*, order included — for the compiled path and the
+//!   interpreter oracle, across batch sizes {1, 2, 7, 64, 1024}.
+//! * Parallel backend (1–8 workers): shards re-batch internally, so
+//!   batched parallel runs are compared against the serial per-event
+//!   stream as sorted sequences of fully rendered alerts (multiset
+//!   equality over every field of every alert).
+//!
+//! The deployments are drawn from `saql_lang::corpus` (the paper's demo
+//! queries — all four anomaly models), and the generated streams speak the
+//! corpus vocabulary (its hosts, processes, files, and the attacker ip),
+//! so predicate columns, matcher probes, window states, and the cluster
+//! stage all genuinely exercise the batched code.
+
+use proptest::prelude::*;
+
+use saql::engine::query::{ExecMode, QueryConfig};
+use saql::engine::{Alert, Engine, EngineConfig};
+use saql::lang::corpus::DEMO_QUERIES;
+use saql::model::event::EventBuilder;
+use saql::model::{FileInfo, NetworkInfo, ProcessInfo};
+use saql::stream::SharedEvent;
+use std::sync::Arc;
+
+/// Batch sizes under test: degenerate (1), tiny, prime-odd, mid, and
+/// larger than most generated streams (so one batch swallows everything).
+const BATCH_SIZES: [usize; 5] = [1, 2, 7, 64, 1024];
+
+/// One generated stream step.
+#[derive(Debug, Clone, Copy)]
+struct Step {
+    kind: u8,
+    host: u8,
+    actor: u8,
+    peer: u8,
+    amount: u32,
+    gap_ms: u32,
+}
+
+fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (
+            0u8..5,
+            0u8..3,
+            0u8..8,
+            0u8..8,
+            0u32..3_000_000,
+            0u32..12_000,
+        )
+            .prop_map(|(kind, host, actor, peer, amount, gap_ms)| Step {
+                kind,
+                host,
+                actor,
+                peer,
+                amount,
+                gap_ms,
+            }),
+        1..120,
+    )
+}
+
+/// A non-empty random subset of the demo corpus.
+fn arb_deployment() -> impl Strategy<Value = Vec<usize>> {
+    proptest::collection::vec(0usize..DEMO_QUERIES.len(), 1..DEMO_QUERIES.len() + 1).prop_map(
+        |mut picks| {
+            picks.sort_unstable();
+            picks.dedup();
+            picks
+        },
+    )
+}
+
+/// Materialize steps in the corpus vocabulary so its constraints can match.
+fn materialize(steps: &[Step]) -> Vec<SharedEvent> {
+    const HOSTS: [&str; 3] = ["client-3", "db-server", "web-server"];
+    const PROCS: [&str; 8] = [
+        "outlook.exe",
+        "excel.exe",
+        "cmd.exe",
+        "sqlservr.exe",
+        "sbblv.exe",
+        "apache.exe",
+        "wscript.exe",
+        "chrome.exe",
+    ];
+    const CHILDREN: [&str; 8] = [
+        "cscript.exe",
+        "osql.exe",
+        "gsecdump.exe",
+        "sbblv.exe",
+        "php-cgi.exe",
+        "rotatelogs.exe",
+        "cmd.exe",
+        "calc.exe",
+    ];
+    const FILES: [&str; 8] = [
+        "report.xlsm",
+        "backup1.dmp",
+        "drop.vbs",
+        "notes.txt",
+        "page.html",
+        "invoice.xlsm",
+        "dump2.dmp",
+        "run.vbs",
+    ];
+    const IPS: [&str; 8] = [
+        "172.16.9.129",
+        "10.0.0.9",
+        "8.8.8.8",
+        "172.16.9.1",
+        "10.0.0.50",
+        "10.0.0.51",
+        "10.0.0.52",
+        "1.1.1.1",
+    ];
+    let mut ts = 0u64;
+    steps
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            ts += s.gap_ms as u64;
+            let subject = ProcessInfo::new(100 + s.actor as u32, PROCS[s.actor as usize], "user");
+            let builder =
+                EventBuilder::new(i as u64 + 1, HOSTS[s.host as usize], ts).subject(subject);
+            let event = match s.kind {
+                0 => builder.starts_process(ProcessInfo::new(
+                    200 + s.peer as u32,
+                    CHILDREN[s.peer as usize],
+                    "user",
+                )),
+                1 => builder
+                    .writes_file(FileInfo::new(FILES[s.peer as usize]))
+                    .amount(s.amount as u64),
+                2 => builder
+                    .reads_file(FileInfo::new(FILES[s.peer as usize]))
+                    .amount(s.amount as u64),
+                3 => builder
+                    .sends(NetworkInfo::new(
+                        "10.0.0.2",
+                        44_000,
+                        IPS[s.peer as usize],
+                        443,
+                        "tcp",
+                    ))
+                    .amount(s.amount as u64),
+                _ => builder
+                    .receives(NetworkInfo::new(
+                        "10.0.0.2",
+                        44_001,
+                        IPS[s.peer as usize],
+                        443,
+                        "tcp",
+                    ))
+                    .amount(s.amount as u64),
+            };
+            Arc::new(event.build())
+        })
+        .collect()
+}
+
+fn engine(mode: ExecMode, workers: usize, batch_size: usize, deployment: &[usize]) -> Engine {
+    let mut engine = Engine::new(EngineConfig {
+        query: QueryConfig {
+            exec: mode,
+            ..QueryConfig::default()
+        },
+        workers,
+        batch_size,
+        ..EngineConfig::default()
+    });
+    for &slot in deployment {
+        let (name, src) = DEMO_QUERIES[slot];
+        engine.register(name, src).unwrap();
+    }
+    engine
+}
+
+/// The per-event reference: one `process` call per event, then the flush —
+/// exactly what `Engine::run` does minus the batching.
+fn run_per_event(engine: &mut Engine, events: &[SharedEvent]) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    for event in events {
+        alerts.extend(engine.process(event).unwrap());
+    }
+    alerts.extend(engine.finish());
+    alerts
+}
+
+/// Fully rendered alert lines, in emission order: query id, name, origin,
+/// timestamps, and every returned row.
+fn rendered(alerts: &[Alert]) -> Vec<String> {
+    alerts
+        .iter()
+        .map(|a| format!("{}|{}|{a}", a.query_id, a.query))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Serial backend, both execution modes: batched runs at every batch
+    /// size must emit alert sequences **identical** — order included — to
+    /// the per-event path.
+    #[test]
+    fn batched_matches_per_event_serial(
+        steps in arb_steps(),
+        deployment in arb_deployment(),
+    ) {
+        let events = materialize(&steps);
+
+        for mode in [ExecMode::Compiled, ExecMode::Interpreted] {
+            let mut reference = engine(mode, 0, 1, &deployment);
+            let expected = rendered(&run_per_event(&mut reference, &events));
+
+            for batch_size in BATCH_SIZES {
+                let mut batched = engine(mode, 0, batch_size, &deployment);
+                let got = rendered(&batched.run(events.clone()).unwrap());
+                prop_assert_eq!(
+                    &got,
+                    &expected,
+                    "batched ({:?}, batch_size {}) diverged from per-event over {} events, deployment {:?}",
+                    mode,
+                    batch_size,
+                    steps.len(),
+                    &deployment
+                );
+            }
+        }
+    }
+
+    /// Parallel backend, 1–8 workers: batched dispatch through the sharded
+    /// runtime must match the serial per-event stream as a sorted multiset
+    /// of fully rendered alerts, with nothing dropped.
+    #[test]
+    fn batched_matches_per_event_parallel(
+        steps in arb_steps(),
+        deployment in arb_deployment(),
+    ) {
+        let events = materialize(&steps);
+
+        let mut reference = engine(ExecMode::Compiled, 0, 1, &deployment);
+        let mut expected = rendered(&run_per_event(&mut reference, &events));
+        expected.sort();
+
+        for workers in 1usize..=8 {
+            // Batch size also feeds ParallelConfig::batch_size (the shard
+            // dispatch unit); vary it with the worker count.
+            let batch_size = BATCH_SIZES[workers % BATCH_SIZES.len()];
+            let mut batched = engine(ExecMode::Compiled, workers, batch_size, &deployment);
+            let mut got = rendered(&batched.run(events.clone()).unwrap());
+            got.sort();
+            prop_assert_eq!(
+                &got,
+                &expected,
+                "batched parallel alerts diverged at {} workers (batch_size {}) over {} events, deployment {:?}",
+                workers,
+                batch_size,
+                steps.len(),
+                &deployment
+            );
+            prop_assert_eq!(batched.dropped_alerts(), 0);
+        }
+    }
+}
