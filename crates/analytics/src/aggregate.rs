@@ -61,6 +61,25 @@ impl OnlineStats {
         self.max = self.max.max(other.max);
     }
 
+    /// The raw accumulator fields `(count, sum, min, max, mean, m2)`, for
+    /// serializing the accumulator (engine checkpoints). Pair with
+    /// [`OnlineStats::from_raw_parts`]; the round trip is exact.
+    pub fn raw_parts(&self) -> (u64, f64, f64, f64, f64, f64) {
+        (self.count, self.sum, self.min, self.max, self.mean, self.m2)
+    }
+
+    /// Rebuild an accumulator from [`OnlineStats::raw_parts`] output.
+    pub fn from_raw_parts(count: u64, sum: f64, min: f64, max: f64, mean: f64, m2: f64) -> Self {
+        OnlineStats {
+            count,
+            sum,
+            min,
+            max,
+            mean,
+            m2,
+        }
+    }
+
     pub fn count(&self) -> u64 {
         self.count
     }

@@ -34,14 +34,14 @@ fn bench_store_roundtrip(c: &mut Criterion) {
 
     group.bench_function("replay-all-50k", |b| {
         b.iter(|| {
-            let replayer = Replayer::new(EventStore::open(&path).unwrap());
+            let replayer = Replayer::open(&path).unwrap();
             replayer.replay_iter(&Selection::all()).unwrap().count()
         });
     });
 
     group.bench_function("replay-host-selected-50k", |b| {
         b.iter(|| {
-            let replayer = Replayer::new(EventStore::open(&path).unwrap());
+            let replayer = Replayer::open(&path).unwrap();
             replayer
                 .replay_iter(&Selection::host("host-3"))
                 .unwrap()

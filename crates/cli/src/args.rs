@@ -12,7 +12,13 @@ pub struct Flags {
 }
 
 /// Flag names that take no value.
-const SWITCHES: &[&str] = &["no-attack", "demo-queries", "follow"];
+const SWITCHES: &[&str] = &[
+    "no-attack",
+    "demo-queries",
+    "follow",
+    "durable-store",
+    "resume",
+];
 
 impl Flags {
     /// Parse an argv slice. Unknown flags are collected too; commands

@@ -1,16 +1,38 @@
 //! CLI subcommand implementations.
 
 use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
 
 use saql_collector::{AttackConfig, SimConfig, Simulator, TraceSource};
-use saql_engine::{Engine, EngineConfig, RunSession, SessionStatus};
+use saql_engine::{Checkpoint, CheckpointConfig, Engine, EngineConfig, RunSession, SessionStatus};
 use saql_lang::corpus;
 use saql_model::Timestamp;
 use saql_stream::replayer::{Replayer, Speed};
 use saql_stream::source::{ChannelSource, EventSource, JsonLinesSource, StoreSource};
-use saql_stream::store::{EventStore, Selection};
+use saql_stream::store::Selection;
+use saql_stream::{StoreFormat, StoreReader, StoreWriter};
 
 use crate::args::Flags;
+
+/// The one store-opening surface for reads: every command that consumes a
+/// store — `--source store:F`, `replay --store F`, `export --store F`,
+/// `repl --store F` — resolves its path here, so both on-disk layouts
+/// (single file, durable segment directory) work everywhere.
+fn open_reader(path: &str) -> Result<StoreReader, String> {
+    StoreReader::open(path).map_err(|e| format!("cannot open store {path}: {e}"))
+}
+
+/// The matching writing surface: `--durable-store` selects the segmented
+/// WAL-backed layout (path is a directory), default is the classic single
+/// file.
+fn create_writer(path: &str, durable: bool) -> Result<StoreWriter, String> {
+    let writer = if durable {
+        StoreWriter::create_segmented(path)
+    } else {
+        StoreWriter::create(path)
+    };
+    writer.map_err(|e| format!("cannot create store {path}: {e}"))
+}
 
 /// Parse `--workers N` into an engine config (0 = serial, the default).
 fn engine_config(flags: &Flags, record_latency: bool) -> Result<EngineConfig, String> {
@@ -235,11 +257,11 @@ fn source_from_spec(
     };
     match kind {
         "store" => {
-            let store = EventStore::open(rest).map_err(|e| format!("--source {spec}: {e}"))?;
+            let reader = open_reader(rest).map_err(|e| format!("--source {spec}: {e}"))?;
             if follow {
                 let source = ChannelSource::replay(
                     format!("store:{rest}"),
-                    &Replayer::new(store),
+                    &Replayer::new(reader),
                     selection,
                     speed,
                     4096,
@@ -247,7 +269,7 @@ fn source_from_spec(
                 .map_err(|e| format!("--source {spec}: {e}"))?;
                 Ok(Box::new(source))
             } else {
-                let source = StoreSource::open(format!("store:{rest}"), &store, selection)
+                let source = StoreSource::open(format!("store:{rest}"), &reader, selection)
                     .map_err(|e| format!("--source {spec}: {e}"))?;
                 Ok(Box::new(source))
             }
@@ -439,18 +461,26 @@ pub fn simulate(argv: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
     let trace = Simulator::generate(&config);
-    let store = match EventStore::create(out) {
+    let mut store = match create_writer(out, flags.switch("durable-store")) {
         Ok(s) => s,
-        Err(e) => return fail(&format!("cannot create {out}: {e}")),
+        Err(e) => return fail(&e),
     };
-    if let Err(e) = store.append(&trace.events) {
+    let written = store
+        .append(&trace.events)
+        .and_then(|_| store.seal())
+        .and_then(|_| store.sync());
+    if let Err(e) = written {
         return fail(&format!("write failed: {e}"));
     }
     println!(
-        "wrote {} events ({} hosts, attack: {}) to {out}",
+        "wrote {} events ({} hosts, attack: {}) to {out}{}",
         trace.events.len(),
         trace.topology.hosts.len(),
         if config.attack.is_some() { "yes" } else { "no" },
+        match store.format() {
+            StoreFormat::Segmented => " (segmented, durable)",
+            StoreFormat::File => "",
+        },
     );
     print!(
         "{}",
@@ -462,6 +492,13 @@ pub fn simulate(argv: &[String]) -> i32 {
 /// `saql replay` — replay stored (or piped, or simulated) data through
 /// queries: one or more event sources fused by the session's watermarked
 /// merge.
+///
+/// Durability flags: `--checkpoint-dir DIR` writes an engine checkpoint
+/// every `--checkpoint-every N` events (default 4096); `--resume` restarts
+/// from the checkpoint in that directory, replaying only the store suffix.
+/// Checkpoints address events by stored-order offset, so a checkpointed or
+/// resumed run takes exactly one `--store FILE` input, streamed in stored
+/// order (no `--follow` pacing, no `--host`/`--from`/`--until` selection).
 pub fn replay(argv: &[String]) -> i32 {
     let flags = match Flags::parse(argv) {
         Ok(f) => f,
@@ -481,24 +518,72 @@ pub fn replay(argv: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
 
+    // Durable-run flags (see the command docs for the offset contract).
+    let ckpt_dir = flags.get("checkpoint-dir");
+    let resume = flags.switch("resume");
+    let ckpt_every = match flags.get_u64("checkpoint-every", 4096) {
+        Ok(n) => n,
+        Err(e) => return fail(&e),
+    };
+    if resume && ckpt_dir.is_none() {
+        return fail("--resume requires --checkpoint-dir DIR");
+    }
+    let durable_run = ckpt_dir.is_some();
+    if durable_run {
+        if flags.get("store").is_none() || !flags.get_all("source").is_empty() {
+            return fail(
+                "checkpointed runs take exactly one --store FILE input \
+                 (offsets are per-store, not per-merge)",
+            );
+        }
+        if follow {
+            return fail(
+                "--follow replays in time-sorted order; checkpoint offsets \
+                 are stored-order — drop --follow",
+            );
+        }
+        if !selection.hosts.is_empty() || selection.from.is_some() || selection.until.is_some() {
+            return fail(
+                "--host/--from/--until change stream offsets; checkpointed \
+                 runs replay the whole store",
+            );
+        }
+    }
+    let checkpoint = match ckpt_dir {
+        Some(dir) if resume => match Checkpoint::load(Path::new(dir)) {
+            Ok(c) => Some(c),
+            Err(e) => return fail(&format!("cannot resume from {dir}: {e}")),
+        },
+        _ => None,
+    };
+    let resume_offset = checkpoint.as_ref().map(|c| c.offset).unwrap_or(0);
+
     // `--store FILE` is the classic single-store form: replayed through the
-    // sorting replayer, paced by `--speed`. `--source KIND:...` attaches
-    // additional (or alternative) feeds.
+    // sorting replayer, paced by `--speed` — or, on a checkpointed run,
+    // streamed directly in stored order so offsets are replayable.
+    // `--source KIND:...` attaches additional (or alternative) feeds.
     let mut sources: Vec<Box<dyn EventSource>> = Vec::new();
     if let Some(path) = flags.get("store") {
-        let store = match EventStore::open(path) {
-            Ok(s) => s,
-            Err(e) => return fail(&format!("cannot open {path}: {e}")),
+        let reader = match open_reader(path) {
+            Ok(r) => r,
+            Err(e) => return fail(&e),
         };
-        match ChannelSource::replay(
-            format!("replay:{path}"),
-            &Replayer::new(store),
-            &selection,
-            speed,
-            4096,
-        ) {
-            Ok(source) => sources.push(Box::new(source)),
-            Err(e) => return fail(&format!("replay failed: {e}")),
+        if durable_run {
+            match StoreSource::open_at(format!("replay:{path}"), &reader, resume_offset) {
+                Ok(source) => sources.push(Box::new(source)),
+                Err(e) => return fail(&format!("cannot read {path}: {e}")),
+            }
+        } else {
+            match ChannelSource::replay(
+                format!("replay:{path}"),
+                &Replayer::new(reader),
+                &selection,
+                speed,
+                4096,
+            ) {
+                Ok(source) => sources.push(Box::new(source)),
+                Err(e) => return fail(&format!("replay failed: {e}")),
+            }
         }
     }
     for spec in flags.get_all("source") {
@@ -519,7 +604,24 @@ pub fn replay(argv: &[String]) -> i32 {
         Ok(s) => s,
         Err(e) => return fail(&e),
     };
-    let mut engine = Engine::new(engine_cfg);
+    let base = checkpoint.as_ref().map(|c| (c.offset, c.frontier));
+    let mut engine = match checkpoint {
+        Some(ckpt) => {
+            // The checkpoint carries the query set and its exact state;
+            // a fresh registration would fork the resumed alert stream.
+            if flags.switch("demo-queries") || !flags.get_all("query").is_empty() {
+                return fail(
+                    "--resume restores the checkpointed query set; \
+                     drop --demo-queries/--query",
+                );
+            }
+            match Engine::resume_from(ckpt, engine_cfg) {
+                Ok(e) => e,
+                Err(e) => return fail(&format!("cannot resume: {e}")),
+            }
+        }
+        None => Engine::new(engine_cfg),
+    };
     if flags.switch("demo-queries") {
         for (name, src) in corpus::DEMO_QUERIES {
             engine.register(name, src).expect("demo queries compile");
@@ -538,17 +640,33 @@ pub fn replay(argv: &[String]) -> i32 {
     if engine.query_names().is_empty() && schedule.is_empty() {
         return fail("no queries deployed (use --demo-queries, --query FILE, or --register-at)");
     }
-    println!(
-        "replaying {} source(s) ({} queries, {} group(s))...",
-        sources.len(),
-        engine.query_names().len(),
-        engine.group_count()
-    );
+    match base {
+        Some((offset, _)) => println!(
+            "resuming {} queries at offset {offset} ({} group(s))...",
+            engine.query_names().len(),
+            engine.group_count()
+        ),
+        None => println!(
+            "replaying {} source(s) ({} queries, {} group(s))...",
+            sources.len(),
+            engine.query_names().len(),
+            engine.group_count()
+        ),
+    }
 
     let mut session = engine.session_with(saql_stream::MergeConfig {
         lateness: saql_model::Duration::from_millis(lateness_ms),
         ..saql_stream::MergeConfig::default()
     });
+    if let Some((offset, frontier)) = base {
+        session.resume_at_position(offset, frontier);
+    }
+    if let Some(dir) = ckpt_dir {
+        session.enable_checkpoints(CheckpointConfig {
+            dir: PathBuf::from(dir),
+            every_events: ckpt_every,
+        });
+    }
     for source in sources {
         session.attach(source);
     }
@@ -558,7 +676,17 @@ pub fn replay(argv: &[String]) -> i32 {
     };
     let events = session.processed();
     println!("\nreplayed {events} events, {alerts} alert(s)");
-    let degraded = report_sources(&session);
+    let mut degraded = report_sources(&session);
+    if let Some(offset) = session.last_checkpoint() {
+        println!(
+            "last checkpoint at offset {offset} in {}",
+            ckpt_dir.unwrap_or("?")
+        );
+    }
+    if let Some(e) = session.checkpoint_failure() {
+        eprintln!("warning: checkpointing stopped: {e}");
+        degraded = true;
+    }
     drop(session);
     print_stats(&engine);
     // A failed source means the run completed on partial data.
@@ -580,11 +708,11 @@ pub fn export(argv: &[String]) -> i32 {
         Ok(s) => s,
         Err(e) => return fail(&e),
     };
-    let store = match EventStore::open(path) {
-        Ok(s) => s,
-        Err(e) => return fail(&format!("cannot open {path}: {e}")),
+    let reader = match open_reader(path) {
+        Ok(r) => r,
+        Err(e) => return fail(&e),
     };
-    let iter = match store.iter(&selection) {
+    let iter = match reader.iter(&selection) {
         Ok(it) => it,
         Err(e) => return fail(&format!("cannot read {path}: {e}")),
     };
@@ -701,9 +829,9 @@ pub fn repl(argv: &[String], input: &mut dyn BufRead, out: &mut dyn Write) -> i3
         Err(e) => return fail(&e),
     };
     let store = match flags.get("store") {
-        Some(path) => match EventStore::open(path) {
+        Some(path) => match open_reader(path) {
             Ok(s) => Some(s),
-            Err(e) => return fail(&format!("cannot open {path}: {e}")),
+            Err(e) => return fail(&e),
         },
         None => None,
     };
@@ -711,7 +839,7 @@ pub fn repl(argv: &[String], input: &mut dyn BufRead, out: &mut dyn Write) -> i3
 }
 
 /// The REPL proper, I/O-parameterized for tests.
-pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<EventStore>) -> i32 {
+pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<StoreReader>) -> i32 {
     let mut engine = Engine::new(EngineConfig::default());
     let mut sources: Vec<(String, String)> = Vec::new();
     // Monotonic ad-hoc query counter: live-count-based names would collide
@@ -781,13 +909,14 @@ pub fn repl_loop(input: &mut dyn BufRead, out: &mut dyn Write, store: Option<Eve
                     let _ = writeln!(out, "no store attached (start with --store FILE)");
                 }
                 Some(store) => {
-                    let replayer = Replayer::new(match EventStore::open(store.path()) {
-                        Ok(s) => s,
+                    // Re-open so a `run` sees events appended since attach.
+                    let replayer = match Replayer::open(store.path()) {
+                        Ok(r) => r,
                         Err(e) => {
                             let _ = writeln!(out, "store error: {e}");
                             continue;
                         }
-                    });
+                    };
                     match replayer.replay_iter(&Selection::all()) {
                         Ok(events) => {
                             let mut n = 0u64;
@@ -1096,12 +1225,18 @@ mod tests {
         });
         let mut path = std::env::temp_dir();
         path.push(format!("saql-cli-repl-{}.bin", std::process::id()));
-        let store = EventStore::create(&path).unwrap();
+        let mut store = StoreWriter::create(path.to_str().unwrap()).unwrap();
         store.append(&trace.events).unwrap();
+        store.sync().unwrap();
+        drop(store);
 
         let mut input = Cursor::new("deploy-demo\nrun\nstats\nquit\n");
         let mut out = Vec::new();
-        let code = repl_loop(&mut input, &mut out, Some(EventStore::open(&path).unwrap()));
+        let code = repl_loop(
+            &mut input,
+            &mut out,
+            Some(StoreReader::open(&path).unwrap()),
+        );
         assert_eq!(code, 0);
         let shown = String::from_utf8(out).unwrap();
         assert!(shown.contains("ALERT c5-exfiltration"), "{shown}");

@@ -56,10 +56,12 @@ USAGE:
     saql demo       [--clients N] [--minutes M] [--seed S] [--workers W]
                     [LIFECYCLE]...
     saql simulate   --out FILE [--clients N] [--minutes M] [--seed S] [--no-attack]
+                    [--durable-store]
     saql replay     [--store FILE] [--source KIND:...]... [--follow]
                     [--host H]... [--from MS] [--until MS] [--lateness MS]
                     [--speed FACTOR|max] [--demo-queries] [--query FILE]...
-                    [--workers W] [LIFECYCLE]...
+                    [--workers W] [--checkpoint-dir DIR] [--checkpoint-every N]
+                    [--resume] [LIFECYCLE]...
     saql export     --store FILE [--out FILE|-] [--host H]... [--from MS] [--until MS]
     saql check      FILE...
     saql explain    FILE...
@@ -89,6 +91,17 @@ are dropped and counted per source; a source that fails mid-stream
 (corrupt record, read error) finishes the run on partial data, warns on
 stderr, and exits 1.
 
+DURABILITY (store paths accept both layouts everywhere: a single file, or
+the segmented WAL-backed directory `simulate --durable-store` writes):
+    --durable-store              simulate: write a segmented store (DIR)
+    --checkpoint-dir DIR         replay: checkpoint engine state into DIR
+    --checkpoint-every N         checkpoint cadence in events (default 4096)
+    --resume                     replay: restore from DIR's checkpoint and
+                                 continue from its exact stream offset
+Checkpointed runs take exactly one --store input, streamed in stored
+order; a resumed run re-emits the same alerts the uninterrupted run would
+have produced from the checkpoint on.
+
 LIFECYCLE (repeatable; staged query control-plane operations, applied live
 mid-stream once N events have been processed — on both backends):
     --register-at N:NAME=FILE    attach the query in FILE as NAME
@@ -105,6 +118,9 @@ EXAMPLES:
     saql replay --source store:/tmp/a.bin --source jsonl:/tmp/b.jsonl --demo-queries
     saql replay --source store:/tmp/trace.saql --follow --speed 60 --demo-queries
     saql export --store /tmp/trace.saql --out /tmp/trace.jsonl
+    saql simulate --out /tmp/trace.d --durable-store
+    saql replay --store /tmp/trace.d --demo-queries --checkpoint-dir /tmp/ckpt
+    saql replay --store /tmp/trace.d --checkpoint-dir /tmp/ckpt --resume
     saql check my-query.saql
 ";
 
@@ -112,7 +128,7 @@ EXAMPLES:
 pub fn repl_loop(
     input: &mut dyn BufRead,
     out: &mut dyn Write,
-    store: Option<saql_stream::store::EventStore>,
+    store: Option<saql_stream::StoreReader>,
 ) -> i32 {
     commands::repl_loop(input, out, store)
 }

@@ -351,6 +351,139 @@ fn replay_rejects_unknown_source_specs() {
 }
 
 #[test]
+fn durable_store_checkpoint_and_resume_round_trip() {
+    // simulate --durable-store writes a segmented directory store; a
+    // checkpointed replay streams it in stored order and records progress;
+    // --resume restores the engine and replays only the suffix.
+    let mut store = std::env::temp_dir();
+    store.push(format!("saql-cli-smoke-{}-durable.d", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store);
+    let mut ckpt = std::env::temp_dir();
+    ckpt.push(format!("saql-cli-smoke-{}-ckpt", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    std::fs::create_dir_all(&ckpt).unwrap();
+
+    let out = saql(&[
+        "simulate",
+        "--out",
+        store.to_str().unwrap(),
+        "--clients",
+        "3",
+        "--minutes",
+        "30",
+        "--seed",
+        "77",
+        "--durable-store",
+    ]);
+    assert!(out.status.success(), "simulate --durable-store: {out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("(segmented, durable)"), "{text}");
+    assert!(store.is_dir(), "durable store must be a directory");
+
+    let ckpted = saql(&[
+        "replay",
+        "--store",
+        store.to_str().unwrap(),
+        "--demo-queries",
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--checkpoint-every",
+        "500",
+    ]);
+    assert!(ckpted.status.success(), "checkpointed replay: {ckpted:?}");
+    let text = String::from_utf8_lossy(&ckpted.stdout);
+    assert!(text.contains("last checkpoint at offset"), "{text}");
+    assert!(
+        ckpt.join("checkpoint.saqlckp").is_file(),
+        "checkpoint file missing"
+    );
+
+    // The checkpointed run streams in stored order — its alerts must match
+    // the plain stored-order streaming path over the same store.
+    let streamed = saql(&[
+        "replay",
+        "--source",
+        &format!("store:{}", store.to_str().unwrap()),
+        "--demo-queries",
+    ]);
+    assert!(streamed.status.success(), "{streamed:?}");
+    let ckpt_alerts = alert_lines(&ckpted.stdout);
+    assert!(!ckpt_alerts.is_empty(), "attack trace must alert");
+    assert_eq!(
+        ckpt_alerts,
+        alert_lines(&streamed.stdout),
+        "checkpointing changed the alert stream"
+    );
+
+    let resumed = saql(&[
+        "replay",
+        "--store",
+        store.to_str().unwrap(),
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--resume",
+    ]);
+    assert!(resumed.status.success(), "resume failed: {resumed:?}");
+    let text = String::from_utf8_lossy(&resumed.stdout);
+    assert!(text.contains("resuming"), "{text}");
+    assert!(text.contains("at offset"), "{text}");
+
+    let _ = std::fs::remove_dir_all(&store);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+#[test]
+fn replay_rejects_inconsistent_durability_flags() {
+    let store = simulate_store("durflags");
+    let s = store.to_str().unwrap();
+    for (args, needle) in [
+        (
+            vec!["replay", "--store", s, "--resume"],
+            "--resume requires",
+        ),
+        (
+            vec![
+                "replay",
+                "--store",
+                s,
+                "--checkpoint-dir",
+                "/tmp/x",
+                "--follow",
+            ],
+            "drop --follow",
+        ),
+        (
+            vec![
+                "replay",
+                "--source",
+                "sim:minutes=1",
+                "--checkpoint-dir",
+                "/tmp/x",
+            ],
+            "exactly one --store",
+        ),
+        (
+            vec![
+                "replay",
+                "--store",
+                s,
+                "--checkpoint-dir",
+                "/tmp/x",
+                "--host",
+                "h1",
+            ],
+            "change stream offsets",
+        ),
+    ] {
+        let out = saql(&args);
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let err = String::from_utf8(out.stderr).unwrap();
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+    let _ = std::fs::remove_file(&store);
+}
+
+#[test]
 fn simulate_then_check_store_exists() {
     let mut store = std::env::temp_dir();
     store.push(format!("saql-cli-smoke-{}-trace.bin", std::process::id()));

@@ -29,7 +29,9 @@ pub use crate::query::QueryId;
 pub struct EngineConfig {
     pub query: QueryConfig,
     /// Track per-event end-to-end latency (one clock read pair per event).
-    /// Serial execution only; the parallel runtime reports no histogram.
+    /// On the parallel backend every shard records its own histogram and
+    /// they merge at [`Engine::finish`] (forces the per-event execution
+    /// path on the shards).
     pub record_latency: bool,
     /// Worker threads for the parallel sharded runtime. `0` (the default)
     /// runs the serial scheduler on the calling thread; any other value
@@ -71,6 +73,9 @@ enum QueryStatus {
 /// One registry row; the row index is the query's [`QueryId`].
 struct QueryEntry {
     name: String,
+    /// Retained SAQL source text, so checkpoints can recompile the exact
+    /// plan on [`Engine::resume_from`].
+    source: String,
     status: QueryStatus,
 }
 
@@ -110,6 +115,8 @@ pub struct Engine {
     retired_subscriptions: Vec<QueryId>,
     /// Alerts dropped because a subscription channel was full.
     subscription_drops: u64,
+    /// Subscription drops attributed to the emitting query.
+    subscription_drops_by_query: HashMap<QueryId, u64>,
     /// Alerts produced by control-plane operations (e.g. the window flush
     /// of a deregistered query) waiting to be returned by the next
     /// [`process`](Self::process)/[`finish`](Self::finish) call. Already
@@ -142,6 +149,7 @@ impl Engine {
             Backend::Parallel(Box::new(ParallelEngine::new(
                 ParallelConfig {
                     batch_size: config.batch_size.max(1),
+                    record_latency: config.record_latency,
                     ..ParallelConfig::with_workers(config.workers)
                 },
                 config.query,
@@ -153,6 +161,7 @@ impl Engine {
             subscriptions: HashMap::new(),
             retired_subscriptions: Vec::new(),
             subscription_drops: 0,
+            subscription_drops_by_query: HashMap::new(),
             pending: Vec::new(),
             finished: false,
             config,
@@ -176,14 +185,15 @@ impl Engine {
     /// Per-event latency histogram (ns), when
     /// [`EngineConfig::record_latency`] is on.
     ///
-    /// **Serial backend only.** The parallel runtime overlaps events across
-    /// worker threads, so a single wall-clock pair per event is not
-    /// meaningful there; this always returns `None` when `workers > 0`,
-    /// regardless of the config flag.
+    /// Serial execution exposes it live; on the parallel backend each shard
+    /// records the *processing* latency of its own slice (shards overlap in
+    /// wall-clock time, so the merged histogram measures per-shard work,
+    /// not end-to-end delivery) and the merge surfaces after
+    /// [`finish`](Self::finish).
     pub fn latency(&self) -> Option<&saql_analytics::Histogram> {
         match &self.backend {
             Backend::Serial(scheduler) => scheduler.latency(),
-            Backend::Parallel(_) => None,
+            Backend::Parallel(runtime) => runtime.latency(),
         }
     }
 
@@ -273,6 +283,7 @@ impl Engine {
         self.absorb(drained);
         self.registry.push(QueryEntry {
             name: name.to_string(),
+            source: source.to_string(),
             status: QueryStatus::Active,
         });
         Ok(id)
@@ -487,6 +498,22 @@ impl Engine {
         backend + self.subscription_drops
     }
 
+    /// [`dropped_alerts`](Self::dropped_alerts) attributed to the emitting
+    /// query, `(id, drops)` sorted by id. Subscription-channel drops count
+    /// live on both backends; parallel worker-sink drops join after
+    /// [`finish`](Self::finish). Queries with no drops are absent.
+    pub fn dropped_alerts_by_query(&self) -> Vec<(QueryId, u64)> {
+        let mut merged: HashMap<QueryId, u64> = self.subscription_drops_by_query.clone();
+        if let Backend::Parallel(runtime) = &self.backend {
+            for (id, n) in runtime.dropped_alerts_by_query() {
+                *merged.entry(id).or_insert(0) += n;
+            }
+        }
+        let mut out: Vec<(QueryId, u64)> = merged.into_iter().collect();
+        out.sort_by_key(|(id, _)| id.index());
+        out
+    }
+
     /// Per-query execution stats, `(name, stats)` in arbitrary order, for
     /// live queries (deregistered queries leave with their stats). In
     /// parallel mode the shards own the queries while the stream is live,
@@ -522,6 +549,147 @@ impl Engine {
                 .collect(),
             Backend::Parallel(runtime) => runtime.recent_errors(),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Checkpoint / resume
+    // ------------------------------------------------------------------
+
+    /// Capture the engine's full dynamic state at the current stream
+    /// position: every registered query's window/group/invariant/
+    /// partial-match state plus its name, source text, and lifecycle
+    /// status (tombstones included, so resumed [`QueryId`]s align with the
+    /// original run's). `offset` is the position of the next unprocessed
+    /// event in the durable store; `frontier` is the session's merge
+    /// frontier at that position — both are carried verbatim so
+    /// [`resume_from`](Self::resume_from) can reattach the store exactly
+    /// where this run left off.
+    ///
+    /// Must be taken at a batch boundary (between `process*` calls —
+    /// [`crate::RunSession`] checkpoints there). On the parallel backend
+    /// the partial dispatch batch is flushed and the snapshot request rides
+    /// the shard channels in-band, so the captured state is identical to
+    /// the serial scheduler's at the same position. Alerts arriving during
+    /// the barrier surface on the next data-plane call, as with any
+    /// control-plane operation.
+    ///
+    /// Subscriptions are not part of a checkpoint (channels cannot outlive
+    /// the process); resumed engines start with none.
+    pub fn checkpoint(
+        &mut self,
+        offset: u64,
+        frontier: saql_model::Timestamp,
+    ) -> Result<crate::checkpoint::Checkpoint, EngineError> {
+        use crate::checkpoint::{Checkpoint, CheckpointRow, RowStatus};
+        self.expect_mutable()?;
+        let (snaps, drained) = match &mut self.backend {
+            Backend::Serial(scheduler) => (scheduler.query_snapshots(), Vec::new()),
+            Backend::Parallel(runtime) => runtime.query_snapshots()?,
+        };
+        self.absorb(drained);
+        let mut by_id: HashMap<usize, crate::query::QuerySnapshot> =
+            snaps.into_iter().map(|(id, s)| (id.index(), s)).collect();
+        let mut rows = Vec::with_capacity(self.registry.len());
+        for (i, entry) in self.registry.iter().enumerate() {
+            let (status, snapshot) = match entry.status {
+                QueryStatus::Removed => (RowStatus::Removed, None),
+                live => {
+                    let snap = by_id.remove(&i).ok_or_else(|| {
+                        EngineError::Checkpoint(format!(
+                            "state for query `{}` is missing from the backend \
+                             (a shard worker died?)",
+                            entry.name
+                        ))
+                    })?;
+                    let status = if live == QueryStatus::Paused {
+                        RowStatus::Paused
+                    } else {
+                        RowStatus::Active
+                    };
+                    (status, Some(snap))
+                }
+            };
+            rows.push(CheckpointRow {
+                name: entry.name.clone(),
+                source: entry.source.clone(),
+                status,
+                snapshot,
+            });
+        }
+        Ok(Checkpoint {
+            offset,
+            frontier,
+            config: self.config.query,
+            rows,
+        })
+    }
+
+    /// Reconstruct an engine from a [`checkpoint`](Self::checkpoint):
+    /// every query is recompiled from its retained source under the
+    /// checkpoint's [`QueryConfig`] (plan identity), its dynamic state is
+    /// restored exactly, and its [`QueryId`] is its original registry
+    /// index (tombstones are replayed so ids align). Feeding the resumed
+    /// engine the event suffix from the checkpoint's `offset` yields the
+    /// same alerts the uninterrupted run would have produced from that
+    /// position — ordered on the serial backend, as a multiset on the
+    /// parallel one.
+    ///
+    /// `config.query` is ignored in favor of the checkpoint's (changing
+    /// execution semantics mid-resume would fork the alert stream); the
+    /// backend choice (`workers`), batch size, and other knobs are free.
+    pub fn resume_from(
+        checkpoint: crate::checkpoint::Checkpoint,
+        config: EngineConfig,
+    ) -> Result<Engine, EngineError> {
+        use crate::checkpoint::RowStatus;
+        let config = EngineConfig {
+            query: checkpoint.config,
+            ..config
+        };
+        let mut engine = Engine::new(config);
+        for (i, row) in checkpoint.rows.into_iter().enumerate() {
+            let status = match row.status {
+                RowStatus::Removed => QueryStatus::Removed,
+                RowStatus::Paused => QueryStatus::Paused,
+                RowStatus::Active => QueryStatus::Active,
+            };
+            if status != QueryStatus::Removed {
+                let mut query = RunningQuery::compile(&row.name, &row.source, checkpoint.config)
+                    .map_err(|e| {
+                        EngineError::Checkpoint(format!(
+                            "query `{}` no longer compiles: {}",
+                            row.name, e.message
+                        ))
+                    })?;
+                query.set_id(QueryId::new(i));
+                let snap = row.snapshot.ok_or_else(|| {
+                    EngineError::Checkpoint(format!(
+                        "checkpoint row for live query `{}` carries no state",
+                        row.name
+                    ))
+                })?;
+                query.restore(snap);
+                if status == QueryStatus::Paused {
+                    query.set_paused(true);
+                }
+                match &mut engine.backend {
+                    Backend::Serial(scheduler) => {
+                        scheduler.add(query);
+                    }
+                    Backend::Parallel(runtime) => {
+                        runtime
+                            .add(query)
+                            .expect("fresh runtime: workers not started, add cannot fail");
+                    }
+                }
+            }
+            engine.registry.push(QueryEntry {
+                name: row.name,
+                source: row.source,
+                status,
+            });
+        }
+        Ok(engine)
     }
 
     // ------------------------------------------------------------------
@@ -677,10 +845,11 @@ impl Engine {
         let mut pruned = false;
         for alert in alerts {
             if let Some(senders) = self.subscriptions.get_mut(&alert.query_id) {
+                let mut lost = 0u64;
                 senders.retain(|tx| match tx.try_send(alert.clone()) {
                     Ok(()) => true,
                     Err(TrySendError::Full(_)) => {
-                        dropped += 1;
+                        lost += 1;
                         true
                     }
                     Err(TrySendError::Disconnected(_)) => {
@@ -688,6 +857,13 @@ impl Engine {
                         false
                     }
                 });
+                if lost > 0 {
+                    dropped += lost;
+                    *self
+                        .subscription_drops_by_query
+                        .entry(alert.query_id)
+                        .or_insert(0) += lost;
+                }
             }
         }
         if pruned {

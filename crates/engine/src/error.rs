@@ -28,6 +28,10 @@ pub enum EngineError {
     /// backend: the worker threads have shut down, so the deployment can
     /// no longer change (create a fresh engine to run again).
     EngineFinished,
+    /// Taking or restoring an engine checkpoint failed (message explains
+    /// what — a dead shard with lost query state, a snapshot/registry
+    /// mismatch, a query that no longer compiles).
+    Checkpoint(String),
 }
 
 impl fmt::Display for EngineError {
@@ -50,6 +54,7 @@ impl fmt::Display for EngineError {
                 "engine already finished: the parallel workers have shut \
                  down (create a fresh engine to run again)"
             ),
+            EngineError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }
     }
 }

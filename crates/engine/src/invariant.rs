@@ -137,6 +137,56 @@ impl InvariantRuntime {
             }
         }
     }
+
+    /// Capture per-group training state (engine checkpoints); rows sorted
+    /// by group label so snapshots are deterministic. The block structure
+    /// is static — recompiled from the query source.
+    pub fn snapshot(&self) -> InvariantSnapshot {
+        let mut groups: Vec<InvariantGroupSnapshot> = self
+            .groups
+            .iter()
+            .map(|(label, g)| InvariantGroupSnapshot {
+                label: label.clone(),
+                vars: g.vars.clone(),
+                phase: g.phase,
+            })
+            .collect();
+        groups.sort_by(|a, b| a.label.cmp(&b.label));
+        InvariantSnapshot { groups }
+    }
+
+    /// Restore the state captured by [`snapshot`](Self::snapshot) onto a
+    /// freshly compiled runtime for the same block.
+    pub fn restore(&mut self, snap: InvariantSnapshot) {
+        self.groups = snap
+            .groups
+            .into_iter()
+            .map(|g| {
+                (
+                    g.label,
+                    GroupInvariant {
+                        vars: g.vars,
+                        phase: g.phase,
+                    },
+                )
+            })
+            .collect();
+    }
+}
+
+/// One group's invariant state in an [`InvariantSnapshot`].
+#[derive(Debug, Clone)]
+pub struct InvariantGroupSnapshot {
+    pub label: String,
+    /// Invariant variables, slot-indexed.
+    pub vars: Vec<Value>,
+    pub phase: Phase,
+}
+
+/// Dynamic state of an [`InvariantRuntime`], exact under snapshot → restore.
+#[derive(Debug, Clone)]
+pub struct InvariantSnapshot {
+    pub groups: Vec<InvariantGroupSnapshot>,
 }
 
 fn run_updates(stmts: &[StmtRow], vars: &mut [Value], eval: &mut StmtEval<'_>) {

@@ -38,6 +38,7 @@
 //! which attaches and detaches queries mid-stream on both backends.
 
 pub mod alert;
+pub mod checkpoint;
 pub mod cluster;
 pub mod engine;
 pub mod error;
@@ -56,10 +57,11 @@ pub mod value;
 pub mod window;
 
 pub use alert::Alert;
+pub use checkpoint::Checkpoint;
 pub use engine::{Engine, EngineConfig};
 pub use error::{EngineError, ErrorReporter};
 pub use query::{QueryId, RunningQuery};
 pub use runtime::{ParallelConfig, ParallelEngine};
 pub use scheduler::Scheduler;
-pub use session::{Pump, RunSession, SessionStatus};
+pub use session::{CheckpointConfig, Pump, RunSession, SessionStatus};
 pub use value::Value;

@@ -836,6 +836,86 @@ impl MultiMatcher {
         Some(ext)
     }
 
+    /// Capture every live partial match plus the dedup/eviction bookkeeping
+    /// (engine checkpoints). Partials are flattened in ascending `seq`
+    /// order; [`restore`](Self::restore) re-buckets them, and because both
+    /// candidate iteration and eviction are `seq`-driven, a restored
+    /// matcher replays the exact decisions the uninterrupted one makes.
+    pub fn snapshot(&self) -> MatcherSnapshot {
+        let snap_partial = |p: &Partial| PartialSnapshot {
+            seq: p.seq,
+            next: p.next,
+            events: p
+                .events
+                .iter()
+                .map(|e| e.as_ref().map(|e| (**e).clone()))
+                .collect(),
+            bindings: p.bindings.clone(),
+            last_ts: p.last_ts,
+        };
+        let mut partials = Vec::with_capacity(self.live);
+        for sp in &self.partials {
+            for bucket in sp.keyed.values() {
+                partials.extend(bucket.iter().map(snap_partial));
+            }
+            partials.extend(sp.unkeyed.iter().map(snap_partial));
+        }
+        partials.sort_by_key(|p| p.seq);
+        let mut emitted: Vec<Vec<u64>> = self.emitted.iter().cloned().collect();
+        emitted.sort();
+        MatcherSnapshot {
+            partials,
+            next_seq: self.next_seq,
+            emitted,
+            overflowed: self.overflowed,
+        }
+    }
+
+    /// Restore the state captured by [`snapshot`](Self::snapshot) onto a
+    /// freshly compiled matcher for the same query and mode. Sequence
+    /// numbers are preserved exactly — never reassigned — so insertion
+    /// order, candidate order, and eviction order all survive the restart.
+    pub fn restore(&mut self, snap: MatcherSnapshot) {
+        for sp in &mut self.partials {
+            *sp = StepPartials::default();
+        }
+        self.live = 0;
+        for row in snap.partials {
+            let p = Partial {
+                seq: row.seq,
+                next: row.next,
+                events: row
+                    .events
+                    .into_iter()
+                    .map(|e| e.map(std::sync::Arc::new))
+                    .collect(),
+                bindings: row.bindings,
+                last_ts: row.last_ts,
+            };
+            // Same keying as push_partial, but keeping the snapshot's seq.
+            let key = if self.mode == MatcherMode::Scan {
+                None
+            } else {
+                let pat = &self.patterns[self.order[p.next]];
+                match &p.bindings[pat.subject_slot] {
+                    Some(Entity::Process(pi)) => Some(process_key(pi)),
+                    Some(_) => Some(STUCK_KEY),
+                    None => None,
+                }
+            };
+            let sp = &mut self.partials[p.next];
+            match key {
+                Some(k) => sp.keyed.entry(k).or_default().push(p),
+                None => sp.unkeyed.push(p),
+            }
+            sp.len += 1;
+            self.live += 1;
+        }
+        self.next_seq = snap.next_seq;
+        self.emitted = snap.emitted.into_iter().collect();
+        self.overflowed = snap.overflowed;
+    }
+
     fn complete(&mut self, p: Partial, out: &mut Vec<FullMatch>) {
         // Reorder events from temporal order back to declaration order.
         let mut by_decl: Vec<Option<SharedEvent>> = vec![None; self.patterns.len()];
@@ -854,6 +934,33 @@ impl MultiMatcher {
             });
         }
     }
+}
+
+/// One live partial match in a [`MatcherSnapshot`]. Events are stored owned
+/// (re-shared on restore); `seq` is the partial's original insertion
+/// sequence number and is preserved exactly across the round trip.
+#[derive(Debug, Clone)]
+pub struct PartialSnapshot {
+    pub seq: u64,
+    /// Next temporal step to satisfy (the step store it sits in).
+    pub next: usize,
+    /// `events[i]` = event matched for temporal step `i`, if reached.
+    pub events: Vec<Option<Event>>,
+    /// Entity bindings by variable slot.
+    pub bindings: Vec<Option<Entity>>,
+    pub last_ts: Timestamp,
+}
+
+/// Dynamic state of a [`MultiMatcher`], exact under snapshot → restore:
+/// live partials (ascending `seq`), the next sequence number, the emitted
+/// dedup set, and the overflow latch.
+#[derive(Debug, Clone)]
+pub struct MatcherSnapshot {
+    pub partials: Vec<PartialSnapshot>,
+    pub next_seq: u64,
+    /// Emitted full-match event-id tuples (dedup set), sorted.
+    pub emitted: Vec<Vec<u64>>,
+    pub overflowed: bool,
 }
 
 #[cfg(test)]

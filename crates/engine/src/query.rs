@@ -21,12 +21,12 @@ use crate::alert::{Alert, AlertOrigin};
 use crate::cluster::{run_cluster_with, ClusterScratch};
 use crate::error::{EngineError, ErrorReporter};
 use crate::eval::{eval, run_program, run_program_batch, ClusterOutcome, EventRow, NoSlots, Scope};
-use crate::invariant::InvariantRuntime;
-use crate::matcher::{FullMatch, GlobalFilter, MultiMatcher, PatternMatcher};
+use crate::invariant::{InvariantRuntime, InvariantSnapshot};
+use crate::matcher::{FullMatch, GlobalFilter, MatcherSnapshot, MultiMatcher, PatternMatcher};
 use crate::plan::{EntityBind, ExecCtx, QueryPlan};
-use crate::state::{ClosedGroup, KeyAtom, StateMaintainer, StateView};
+use crate::state::{ClosedGroup, KeyAtom, StateMaintainer, StateSnapshot, StateView};
 use crate::value::Value;
-use crate::window::WindowDriver;
+use crate::window::{WindowDriver, WindowSnapshot};
 
 /// Handle to a registered query: the key of the engine's control plane.
 ///
@@ -109,6 +109,24 @@ pub struct QueryStats {
     pub alerts: u64,
     /// Events arriving after their windows already closed.
     pub late_events: u64,
+}
+
+/// Full dynamic state of one [`RunningQuery`], exact under
+/// [`RunningQuery::snapshot`] → [`RunningQuery::restore`]. Each component
+/// is present iff the query family uses it (rule queries carry a matcher,
+/// stateful ones a window/state, invariant ones the training groups).
+#[derive(Debug, Clone)]
+pub struct QuerySnapshot {
+    pub matcher: Option<MatcherSnapshot>,
+    pub window: Option<WindowSnapshot>,
+    pub state: Option<StateSnapshot>,
+    pub invariant: Option<InvariantSnapshot>,
+    /// `return distinct` dedup rows, sorted.
+    pub distinct_seen: Vec<Vec<String>>,
+    pub stats: QueryStats,
+    /// Whether the partial-match overflow was already reported (prevents a
+    /// resumed query from double-reporting).
+    pub overflow_reported: bool,
 }
 
 /// Per-compatibility-group **shared sub-plan cache** for batched
@@ -399,6 +417,49 @@ impl RunningQuery {
 
     pub fn errors(&self) -> &ErrorReporter {
         &self.errors
+    }
+
+    /// Capture all of this query's dynamic state at the current stream
+    /// position (engine checkpoints). Everything static — patterns, plans,
+    /// programs — is recompiled from the retained query source on resume;
+    /// the snapshot carries only what events have built up. Batch-transient
+    /// scratch is excluded: checkpoints are taken at batch boundaries,
+    /// where it is dead. Error history is intentionally not checkpointed —
+    /// it is diagnostics, not stream state.
+    pub fn snapshot(&self) -> QuerySnapshot {
+        let mut distinct_seen: Vec<Vec<String>> = self.distinct_seen.iter().cloned().collect();
+        distinct_seen.sort();
+        QuerySnapshot {
+            matcher: self.matcher.as_ref().map(MultiMatcher::snapshot),
+            window: self.window.as_ref().map(WindowDriver::snapshot),
+            state: self.state.as_ref().map(StateMaintainer::snapshot),
+            invariant: self.invariant.as_ref().map(InvariantRuntime::snapshot),
+            distinct_seen,
+            stats: self.stats,
+            overflow_reported: self.overflow_reported,
+        }
+    }
+
+    /// Restore the state captured by [`snapshot`](Self::snapshot) onto a
+    /// freshly compiled instance of the same query source and config. After
+    /// this, feeding the stream suffix from the checkpoint position yields
+    /// exactly the alerts the uninterrupted run would have produced.
+    pub fn restore(&mut self, snap: QuerySnapshot) {
+        if let (Some(m), Some(s)) = (self.matcher.as_mut(), snap.matcher) {
+            m.restore(s);
+        }
+        if let (Some(w), Some(s)) = (self.window.as_mut(), snap.window) {
+            w.restore(s);
+        }
+        if let (Some(st), Some(s)) = (self.state.as_mut(), snap.state) {
+            st.restore(s);
+        }
+        if let (Some(inv), Some(s)) = (self.invariant.as_mut(), snap.invariant) {
+            inv.restore(s);
+        }
+        self.distinct_seen = snap.distinct_seen.into_iter().collect();
+        self.stats = snap.stats;
+        self.overflow_reported = snap.overflow_reported;
     }
 
     /// Whether the event matches any of this query's pattern shapes —

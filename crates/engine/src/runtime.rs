@@ -46,10 +46,14 @@ use std::thread::JoinHandle;
 
 use crate::alert::Alert;
 use crate::error::EngineError;
-use crate::query::{QueryConfig, QueryId, QueryStats, RunningQuery};
+use crate::query::{QueryConfig, QueryId, QuerySnapshot, QueryStats, RunningQuery};
 use crate::scheduler::SchedulerStats;
 use crate::shard::{run_worker, ControlMsg, Shard, ShardMsg, ShardReport};
 use crate::sink::{AlertSink, ChannelSink};
+
+/// Per-query state snapshots plus the alerts that surfaced while the
+/// snapshot barrier drained (see [`ParallelEngine::query_snapshots`]).
+type SnapshotsAndAlerts = (Vec<(QueryId, QuerySnapshot)>, Vec<Alert>);
 
 /// Tuning knobs for the parallel runtime.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +67,10 @@ pub struct ParallelConfig {
     pub batch_backlog: usize,
     /// Alerts buffered in the merged channel before workers block.
     pub alert_backlog: usize,
+    /// Track per-event processing latency on every shard (forces the
+    /// per-event execution path there; histograms merge at
+    /// [`ParallelEngine::finish`]).
+    pub record_latency: bool,
 }
 
 impl Default for ParallelConfig {
@@ -72,6 +80,7 @@ impl Default for ParallelConfig {
             batch_size: DEFAULT_BATCH_SIZE,
             batch_backlog: 4,
             alert_backlog: 4096,
+            record_latency: false,
         }
     }
 }
@@ -118,6 +127,8 @@ struct Drained {
     error_count: u64,
     recent_errors: Vec<String>,
     dropped_alerts: u64,
+    dropped_by_query: HashMap<QueryId, u64>,
+    latency: Option<saql_analytics::Histogram>,
 }
 
 /// A sharded, multi-threaded counterpart to the serial [`crate::Engine`]
@@ -453,6 +464,15 @@ impl ParallelEngine {
             drained.error_count += report.error_count;
             drained.recent_errors.extend(report.recent_errors);
             drained.dropped_alerts += report.dropped_alerts;
+            for (id, n) in report.dropped_by_query {
+                *drained.dropped_by_query.entry(id).or_insert(0) += n;
+            }
+            if let Some(shard_hist) = report.latency {
+                match drained.latency.as_mut() {
+                    Some(merged) => merged.merge(&shard_hist),
+                    None => drained.latency = Some(shard_hist),
+                }
+            }
         }
         self.drained = Some(drained);
         alerts
@@ -501,12 +521,96 @@ impl ParallelEngine {
         self.drained.as_ref().map(|d| d.dropped_alerts).unwrap_or(0)
     }
 
+    /// Forwarding drops attributed to the emitting query, after
+    /// [`finish`](Self::finish) (empty in normal runs).
+    pub fn dropped_alerts_by_query(&self) -> Vec<(QueryId, u64)> {
+        let mut out: Vec<(QueryId, u64)> = self
+            .drained
+            .as_ref()
+            .map(|d| d.dropped_by_query.iter().map(|(id, n)| (*id, *n)).collect())
+            .unwrap_or_default();
+        out.sort_by_key(|(id, _)| id.index());
+        out
+    }
+
+    /// Per-event latency histogram merged across shards, after
+    /// [`finish`](Self::finish), when [`ParallelConfig::record_latency`]
+    /// was on and events were seen.
+    pub fn latency(&self) -> Option<&saql_analytics::Histogram> {
+        self.drained.as_ref().and_then(|d| d.latency.as_ref())
+    }
+
+    /// Capture every live query's dynamic state at the current stream
+    /// position (engine checkpoints). On a running stream this flushes the
+    /// coordinator's partial batch and ships an in-band snapshot request to
+    /// every shard, so the captured state is exactly "all dispatched events
+    /// processed, nothing after" — identical to snapshotting the serial
+    /// scheduler at that position. Alerts that arrive while the barrier
+    /// drains are returned alongside (delivery is asynchronous, as with
+    /// [`process`](Self::process)).
+    pub fn query_snapshots(&mut self) -> Result<SnapshotsAndAlerts, EngineError> {
+        self.ensure_not_drained()?;
+        let mut alerts = Vec::new();
+        if self.running.is_none() {
+            // Workers not spawned yet: the pending queries hold all state.
+            let snaps = self
+                .pending
+                .iter()
+                .map(|q| (q.id(), q.snapshot()))
+                .collect();
+            return Ok((snaps, alerts));
+        }
+        self.flush_partial(&mut alerts);
+        let running = self
+            .running
+            .as_ref()
+            .expect("running checked above; flush keeps workers alive");
+        let expected = running.shard_txs.len();
+        let (reply_tx, reply_rx) = bounded::<Vec<(QueryId, QuerySnapshot)>>(expected);
+        for tx in &running.shard_txs {
+            send_draining(
+                tx,
+                ShardMsg::Control(ControlMsg::Snapshot(reply_tx.clone())),
+                &running.alerts_rx,
+                &mut alerts,
+            );
+        }
+        drop(reply_tx);
+        let mut snaps = Vec::new();
+        let mut replies = 0usize;
+        // Workers ahead of the snapshot message may be blocked on a full
+        // alert channel; keep draining it while waiting so the barrier
+        // cannot deadlock. A disconnected reply channel means every live
+        // worker answered (a panicked worker's queries are lost — finish()
+        // reports the dead shard).
+        while replies < expected {
+            match reply_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok(batch) => {
+                    snaps.extend(batch);
+                    replies += 1;
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    drain_ready(&running.alerts_rx, &mut alerts);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        drain_ready(&running.alerts_rx, &mut alerts);
+        snaps.sort_by_key(|(id, _)| id.index());
+        Ok((snaps, alerts))
+    }
+
     /// Partition pending groups over shards and spawn the workers.
     fn ensure_started(&mut self) {
         if self.running.is_some() || self.drained.is_some() {
             return;
         }
         let mut shards: Vec<Shard> = (0..self.config.workers).map(Shard::new).collect();
+        if self.config.record_latency {
+            for shard in &mut shards {
+                shard.enable_latency_tracking();
+            }
+        }
         for query in std::mem::take(&mut self.pending) {
             let key = query.compat_key().to_string();
             let shard_idx = self.shard_for(&key);

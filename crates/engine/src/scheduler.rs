@@ -20,7 +20,7 @@ use saql_model::Timestamp;
 use saql_stream::{BatchView, EventBatch, SharedEvent};
 
 use crate::alert::Alert;
-use crate::query::{BatchCache, QueryId, RunningQuery};
+use crate::query::{BatchCache, QueryId, QuerySnapshot, RunningQuery};
 
 /// Scheduler execution counters.
 #[derive(Debug, Clone, Copy, Default)]
@@ -190,6 +190,13 @@ impl Scheduler {
     /// Iterate over registered queries.
     pub fn queries(&self) -> impl Iterator<Item = &RunningQuery> {
         self.groups.iter().flat_map(|g| g.members.iter())
+    }
+
+    /// Capture each registered query's dynamic state, keyed by id (engine
+    /// checkpoints). Must be called at a batch boundary — batch-transient
+    /// caches are not part of the snapshot.
+    pub fn query_snapshots(&self) -> Vec<(QueryId, QuerySnapshot)> {
+        self.queries().map(|q| (q.id(), q.snapshot())).collect()
     }
 
     /// Push one event through every group.

@@ -12,10 +12,18 @@
 //! function of the per-source event sequences, so serial and parallel
 //! backends agree on multi-source runs.
 //!
-//! The classic entry points survive as thin wrappers: `Engine::run` and
-//! `run_with_sink` are a session with one [`Lateness::ArrivalOrder`]
-//! iterator source, which is an exact pass-through — existing callers see
-//! identical behavior.
+//! **[`RunSession`] is the primary run entry point.** The classic entry
+//! points survive as thin wrappers with the same `Result<_, EngineError>`
+//! contract on both backends: `Engine::run` and `run_with_sink` are a
+//! session with one [`Lateness::ArrivalOrder`] iterator source, which is an
+//! exact pass-through — existing callers see identical behavior — and
+//! `Engine::process`/`process_batch` are the single-step data-plane calls
+//! the pump itself uses. Anything beyond a one-shot pre-merged stream —
+//! multi-source merges, live feeds, mid-stream control-plane changes, and
+//! durable checkpoints ([`RunSession::enable_checkpoints`]) — talks to the
+//! session directly.
+
+use std::path::PathBuf;
 
 use saql_stream::merge::{
     Lateness, MergeConfig, MergeStatus, SourceId, SourceStats, WatermarkMerge,
@@ -24,9 +32,35 @@ use saql_stream::source::EventSource;
 use saql_stream::{EventBatch, SharedEvent};
 
 use crate::alert::Alert;
+use crate::checkpoint::Checkpoint;
 use crate::engine::Engine;
 use crate::error::EngineError;
 use crate::sink::AlertSink;
+
+/// Cadence and destination for automatic checkpoints
+/// ([`RunSession::enable_checkpoints`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory the checkpoint file lives in (created if absent). Each
+    /// checkpoint atomically replaces the previous one.
+    pub dir: PathBuf,
+    /// Take a checkpoint after at least this many events since the last
+    /// one, at the next pump-round boundary. Zero disables the cadence
+    /// (only explicit [`RunSession::checkpoint_now`] calls write).
+    pub every_events: u64,
+}
+
+/// Checkpoint bookkeeping inside a session.
+struct CheckpointState {
+    config: CheckpointConfig,
+    /// Events fed since the last checkpoint (cadence trigger).
+    since_last: u64,
+    /// Offset of the last checkpoint written, if any.
+    last_offset: Option<u64>,
+    /// The first cadence failure; auto-checkpointing stops on it (an
+    /// explicit [`RunSession::checkpoint_now`] retries and clears it).
+    failure: Option<EngineError>,
+}
 
 /// Progress of a [`RunSession::pump`] round.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,6 +140,13 @@ pub struct RunSession<'e> {
     merge: WatermarkMerge<'e>,
     batch: Vec<SharedEvent>,
     processed: u64,
+    /// Stream offset this session started at: `0` for a fresh run, the
+    /// checkpoint's offset after [`resume_at`](Self::resume_at) — so
+    /// [`offset`](Self::offset) is always a *global* store position.
+    base_offset: u64,
+    /// Merge frontier carried over from a resumed checkpoint.
+    base_frontier: saql_model::Timestamp,
+    checkpoints: Option<CheckpointState>,
 }
 
 impl Engine {
@@ -122,6 +163,9 @@ impl Engine {
             merge: WatermarkMerge::new(config),
             batch: Vec::new(),
             processed: 0,
+            base_offset: 0,
+            base_frontier: saql_model::Timestamp::ZERO,
+            checkpoints: None,
         }
     }
 }
@@ -197,6 +241,25 @@ impl<'e> RunSession<'e> {
         }
         let events = fed;
         self.processed += events;
+        // Cadence checkpoints land here — a pump-round boundary, so the
+        // engine is between `process_batch` calls and the captured state
+        // corresponds exactly to `offset()` events consumed.
+        if let Some(ck) = self.checkpoints.as_mut() {
+            ck.since_last += events;
+            if ck.config.every_events > 0
+                && ck.since_last >= ck.config.every_events
+                && ck.failure.is_none()
+            {
+                if let Err(e) = self.checkpoint_now() {
+                    // Remember the first failure instead of failing the
+                    // pump: the stream keeps flowing, explicit
+                    // `checkpoint_now` retries.
+                    if let Some(ck) = self.checkpoints.as_mut() {
+                        ck.failure = Some(e);
+                    }
+                }
+            }
+        }
         Pump {
             alerts,
             events,
@@ -250,14 +313,99 @@ impl<'e> RunSession<'e> {
         n
     }
 
-    /// Events fed to the engine so far.
+    // ------------------------------------------------------------------
+    // Checkpoint / resume
+    // ------------------------------------------------------------------
+
+    /// Write a checkpoint into `config.dir` every `config.every_events`
+    /// events, at pump-round boundaries. Combine with a durable store
+    /// source so the recorded offsets are replayable (see
+    /// [`resume_at`](Self::resume_at) for the restart side).
+    pub fn enable_checkpoints(&mut self, config: CheckpointConfig) {
+        self.checkpoints = Some(CheckpointState {
+            config,
+            since_last: 0,
+            last_offset: None,
+            failure: None,
+        });
+    }
+
+    /// Prime a resumed session with the stream position of the checkpoint
+    /// its engine was [restored from](Engine::resume_from): subsequent
+    /// [`offset`](Self::offset)s, [`frontier`](Self::frontier)s, and
+    /// checkpoints continue the original run's numbering. Attach the event
+    /// suffix with
+    /// [`StoreSource::open_at`](saql_stream::source::StoreSource::open_at)
+    /// at `checkpoint.offset`.
+    pub fn resume_at(&mut self, checkpoint: &Checkpoint) {
+        self.resume_at_position(checkpoint.offset, checkpoint.frontier);
+    }
+
+    /// [`resume_at`](Self::resume_at) from a bare position — for callers
+    /// that consumed the checkpoint in [`Engine::resume_from`] and kept
+    /// only its coordinates.
+    pub fn resume_at_position(&mut self, offset: u64, frontier: saql_model::Timestamp) {
+        self.base_offset = offset;
+        self.base_frontier = frontier;
+    }
+
+    /// Take a checkpoint right now (regardless of cadence) and write it
+    /// atomically into the configured directory. Requires
+    /// [`enable_checkpoints`](Self::enable_checkpoints); clears any
+    /// recorded cadence [`checkpoint_failure`](Self::checkpoint_failure)
+    /// on success.
+    pub fn checkpoint_now(&mut self) -> Result<std::path::PathBuf, EngineError> {
+        let Some(ck) = self.checkpoints.as_ref() else {
+            return Err(EngineError::Checkpoint(
+                "checkpoints are not enabled on this session \
+                 (call enable_checkpoints first)"
+                    .to_string(),
+            ));
+        };
+        let dir = ck.config.dir.clone();
+        let offset = self.offset();
+        let frontier = self.frontier();
+        let checkpoint = self.engine.checkpoint(offset, frontier)?;
+        let path = checkpoint.write_atomic(&dir)?;
+        let ck = self.checkpoints.as_mut().expect("checked above");
+        ck.since_last = 0;
+        ck.last_offset = Some(offset);
+        ck.failure = None;
+        Ok(path)
+    }
+
+    /// Stream offset of the last checkpoint written by this session.
+    pub fn last_checkpoint(&self) -> Option<u64> {
+        self.checkpoints.as_ref().and_then(|c| c.last_offset)
+    }
+
+    /// The first cadence-checkpoint failure, if any. Automatic
+    /// checkpointing pauses on failure (the stream itself keeps running);
+    /// a successful [`checkpoint_now`](Self::checkpoint_now) clears it and
+    /// re-arms the cadence.
+    pub fn checkpoint_failure(&self) -> Option<&EngineError> {
+        self.checkpoints.as_ref().and_then(|c| c.failure.as_ref())
+    }
+
+    /// Events fed to the engine so far *by this session* (excludes events
+    /// a resumed run's predecessor processed; see [`offset`](Self::offset)
+    /// for the global position).
     pub fn processed(&self) -> u64 {
         self.processed
     }
 
-    /// Timestamp of the last event released by the merge.
+    /// Global stream position: events processed across this run and every
+    /// checkpointed predecessor — the index of the next unprocessed event
+    /// in the durable store.
+    pub fn offset(&self) -> u64 {
+        self.base_offset + self.processed
+    }
+
+    /// Timestamp of the last event released by the merge — or, on a
+    /// resumed session that hasn't passed it yet, the checkpoint's
+    /// carried-over frontier.
     pub fn frontier(&self) -> saql_model::Timestamp {
-        self.merge.frontier()
+        self.merge.frontier().max(self.base_frontier)
     }
 
     /// Whether every attached source has ended and drained.
@@ -438,6 +586,114 @@ mod tests {
         assert!(stats.done);
         alerts.extend(session.engine().finish());
         assert_eq!(alerts.len(), 2);
+    }
+
+    #[test]
+    fn checkpoint_cadence_and_exact_resume() {
+        let dir = std::env::temp_dir().join(format!("saql-session-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stateful = "proc p write ip i as evt #time(1 min)\n\
+                        state ss { n := count() } group by p\n\
+                        return p, ss[0].n";
+        let write = |id: u64, ts: u64, exe: &str| -> SharedEvent {
+            Arc::new(
+                EventBuilder::new(id, "h", ts)
+                    .subject(ProcessInfo::new(1, exe, "u"))
+                    .sends(saql_model::NetworkInfo::new(
+                        "10.0.0.2", 44000, "1.1.1.1", 443, "tcp",
+                    ))
+                    .amount(5)
+                    .build(),
+            )
+        };
+        let events: Vec<SharedEvent> = (0..20u64)
+            .map(|i| {
+                write(
+                    i + 1,
+                    (i + 1) * 20_000,
+                    if i % 2 == 0 { "a.exe" } else { "b.exe" },
+                )
+            })
+            .collect();
+
+        // Uninterrupted reference run.
+        let mut full = Engine::new(EngineConfig::default());
+        full.register("w", stateful).unwrap();
+        let full_alerts: Vec<String> = full
+            .run(events.clone())
+            .unwrap()
+            .iter()
+            .map(|a| a.to_string())
+            .collect();
+
+        // Interrupted run: checkpoint every 4 events, stop after 11.
+        let mut first = Engine::new(EngineConfig::default());
+        first.register("w", stateful).unwrap();
+        let mut session = first.session();
+        session.enable_checkpoints(CheckpointConfig {
+            dir: dir.clone(),
+            every_events: 4,
+        });
+        session.attach_with(
+            IterSource::new("feed", events.clone()),
+            Lateness::ArrivalOrder,
+        );
+        while session.processed() < 11 {
+            session.pump_max(1);
+        }
+        assert_eq!(session.checkpoint_failure(), None);
+        assert_eq!(
+            session.last_checkpoint(),
+            Some(8),
+            "cadence fired at 4 and 8"
+        );
+        drop(session);
+        drop(first); // the "crash": engine dropped, never finished
+
+        // Resume from the on-disk checkpoint and replay the suffix.
+        let ckpt = Checkpoint::load(&dir).unwrap();
+        assert_eq!(ckpt.offset, 8);
+        let mut resumed = Engine::resume_from(ckpt.clone(), EngineConfig::default()).unwrap();
+        assert_eq!(resumed.query_names(), vec!["w".to_string()]);
+        let mut session = resumed.session();
+        session.resume_at(&ckpt);
+        assert_eq!(session.offset(), 8, "position carries over");
+        session.attach_with(
+            IterSource::new("feed", events[ckpt.offset as usize..].to_vec()),
+            Lateness::ArrivalOrder,
+        );
+        let resumed_alerts: Vec<String> = session.drain().iter().map(|a| a.to_string()).collect();
+
+        // The resumed stream must equal the uninterrupted run's suffix:
+        // alerts from the checkpoint prefix (events 1..=8 through a fresh,
+        // un-finished engine) plus the resumed alerts reproduce the full
+        // run exactly, in order.
+        let mut combined: Vec<String> = Vec::new();
+        let mut pre = Engine::new(EngineConfig::default());
+        pre.register("w", stateful).unwrap();
+        let mut pre_session = pre.session();
+        pre_session.attach_with(
+            IterSource::new("feed", events[..8].to_vec()),
+            Lateness::ArrivalOrder,
+        );
+        let mut fed = 0;
+        while fed < 8 {
+            let round = pre_session.pump_max(8);
+            fed += round.events;
+            combined.extend(round.alerts.iter().map(|a| a.to_string()));
+        }
+        combined.extend(resumed_alerts);
+        assert_eq!(combined, full_alerts, "prefix + resumed suffix == full run");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoint_now_requires_enablement() {
+        let mut engine = Engine::new(EngineConfig::default());
+        let mut session = engine.session();
+        let err = session.checkpoint_now().unwrap_err();
+        assert!(err.to_string().contains("not enabled"), "{err}");
+        assert_eq!(session.last_checkpoint(), None);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crossbeam::channel::{Receiver, Sender};
 use saql_stream::EventBatch;
 
-use crate::query::{QueryId, QueryStats, RunningQuery};
+use crate::query::{QueryId, QuerySnapshot, QueryStats, RunningQuery};
 use crate::scheduler::{Scheduler, SchedulerStats};
 use crate::sink::{AlertSink, ChannelSink};
 
@@ -41,6 +41,10 @@ pub enum ControlMsg {
     Pause(QueryId),
     /// Re-attach a paused query.
     Resume(QueryId),
+    /// Capture every hosted query's dynamic state and send it back on the
+    /// reply channel. Because this travels in-band with event batches, the
+    /// snapshot lands at an exact stream position (engine checkpoints).
+    Snapshot(Sender<Vec<(QueryId, QuerySnapshot)>>),
 }
 
 impl std::fmt::Debug for ControlMsg {
@@ -51,6 +55,7 @@ impl std::fmt::Debug for ControlMsg {
             ControlMsg::RemoveQuery(id) => write!(f, "RemoveQuery({id})"),
             ControlMsg::Pause(id) => write!(f, "Pause({id})"),
             ControlMsg::Resume(id) => write!(f, "Resume({id})"),
+            ControlMsg::Snapshot(_) => write!(f, "Snapshot"),
         }
     }
 }
@@ -84,6 +89,10 @@ pub struct ShardReport {
     pub recent_errors: Vec<String>,
     /// Alerts this shard failed to forward (receiver hung up).
     pub dropped_alerts: u64,
+    /// Forwarding drops attributed to the emitting query.
+    pub dropped_by_query: Vec<(QueryId, u64)>,
+    /// Per-event latency histogram (ns), when tracking was enabled.
+    pub latency: Option<saql_analytics::Histogram>,
 }
 
 impl Shard {
@@ -96,6 +105,13 @@ impl Shard {
 
     pub fn id(&self) -> usize {
         self.id
+    }
+
+    /// Record per-event processing latency on this shard's scheduler
+    /// (forces the per-event execution path; see
+    /// [`Scheduler::enable_latency_tracking`]).
+    pub fn enable_latency_tracking(&mut self) {
+        self.scheduler.enable_latency_tracking();
     }
 
     /// Host a query on this shard. Compatible queries assigned to the same
@@ -143,6 +159,11 @@ impl Shard {
             ControlMsg::Resume(id) => {
                 self.scheduler.resume(id);
             }
+            ControlMsg::Snapshot(reply) => {
+                // The coordinator may have hung up (engine dropped
+                // mid-checkpoint); a lost snapshot is fine then.
+                let _ = reply.send(self.scheduler.query_snapshots());
+            }
         }
     }
 
@@ -171,6 +192,8 @@ impl Shard {
                 })
                 .collect(),
             dropped_alerts: 0,
+            dropped_by_query: Vec::new(),
+            latency: self.scheduler.latency().cloned(),
         }
     }
 }
@@ -193,6 +216,7 @@ pub(crate) fn run_worker(
     }
     let mut report = shard.finish(&mut sink);
     report.dropped_alerts = sink.dropped;
+    report.dropped_by_query = sink.dropped_by_query.into_iter().collect();
     // The runtime may already be gone (engine dropped mid-stream); a lost
     // report is fine then.
     let _ = reports.send(report);

@@ -71,8 +71,9 @@ type GroupMap<V> = HashMap<KeyTuple, V, BuildHasherDefault<Fnv>>;
 
 /// One hashable component of a group's identity. Strings share the event's
 /// interned `Arc<str>`; floats key by bit pattern (stable identity, no Ord
-/// headaches).
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// headaches — the derived `Ord` over bit patterns is only used to make
+/// checkpoint snapshots deterministic, never for value comparison).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub enum KeyAtom {
     Int(i64),
     Float(u64),
@@ -177,6 +178,41 @@ impl FieldAccum {
                 }
                 Value::Missing => {}
             },
+        }
+    }
+
+    fn snapshot(&self) -> AccumSnapshot {
+        match self {
+            FieldAccum::Stats(s) => {
+                let (count, sum, min, max, mean, m2) = s.raw_parts();
+                AccumSnapshot::Stats {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    mean,
+                    m2,
+                }
+            }
+            FieldAccum::Set(s) => AccumSnapshot::Set(s.iter().cloned().collect()),
+            FieldAccum::Buffer(b) => AccumSnapshot::Buffer(b.clone()),
+        }
+    }
+
+    fn from_snapshot(snap: AccumSnapshot) -> FieldAccum {
+        match snap {
+            AccumSnapshot::Stats {
+                count,
+                sum,
+                min,
+                max,
+                mean,
+                m2,
+            } => FieldAccum::Stats(saql_analytics::OnlineStats::from_raw_parts(
+                count, sum, min, max, mean, m2,
+            )),
+            AccumSnapshot::Set(items) => FieldAccum::Set(items.into_iter().collect()),
+            AccumSnapshot::Buffer(buf) => FieldAccum::Buffer(buf),
         }
     }
 
@@ -372,6 +408,77 @@ impl StateMaintainer {
         }
     }
 
+    /// Capture every group's dynamic state (engine checkpoints): open
+    /// accumulators, closed-window history, and the warm-up boundary. Rows
+    /// are key-sorted so snapshots are deterministic; the block structure
+    /// is static and recompiled from the query source.
+    pub fn snapshot(&self) -> StateSnapshot {
+        let open = self
+            .open
+            .iter()
+            .map(|(&k, groups)| {
+                let mut rows: Vec<(&KeyTuple, &GroupAccum)> = groups.iter().collect();
+                rows.sort_by(|a, b| a.0.cmp(b.0));
+                let groups = rows
+                    .into_iter()
+                    .map(|(_, g)| GroupAccumSnapshot {
+                        key_vals: g.key_vals.clone(),
+                        accums: g.accums.iter().map(FieldAccum::snapshot).collect(),
+                    })
+                    .collect();
+                (k, groups)
+            })
+            .collect();
+        let mut hist: Vec<_> = self.history.iter().collect();
+        hist.sort_by(|a, b| a.0.cmp(b.0));
+        let history = hist
+            .into_iter()
+            .map(|(key, entries)| GroupHistorySnapshot {
+                key_vals: key.iter().map(KeyAtom::to_attr).collect(),
+                windows: entries.iter().cloned().collect(),
+            })
+            .collect();
+        StateSnapshot {
+            open,
+            history,
+            first_window: self.first_window,
+        }
+    }
+
+    /// Restore the state captured by [`snapshot`](Self::snapshot) onto a
+    /// freshly compiled maintainer for the same block.
+    pub fn restore(&mut self, snap: StateSnapshot) {
+        self.open = snap
+            .open
+            .into_iter()
+            .map(|(k, groups)| {
+                let map: GroupMap<GroupAccum> = groups
+                    .into_iter()
+                    .map(|g| {
+                        (
+                            key_tuple(&g.key_vals),
+                            GroupAccum {
+                                key_vals: g.key_vals,
+                                accums: g
+                                    .accums
+                                    .into_iter()
+                                    .map(FieldAccum::from_snapshot)
+                                    .collect(),
+                            },
+                        )
+                    })
+                    .collect();
+                (k, map)
+            })
+            .collect();
+        self.history = snap
+            .history
+            .into_iter()
+            .map(|g| (key_tuple(&g.key_vals), g.windows.into_iter().collect()))
+            .collect();
+        self.first_window = snap.first_window;
+    }
+
     /// Resolve `name[back].field` by field *name* (the interpreter's view).
     /// A bare reference (`ss`) with exactly one field refers to it.
     pub fn lookup(&self, group: &KeyTuple, k: u64, back: usize, field: Option<&str>) -> Value {
@@ -390,6 +497,49 @@ impl StateMaintainer {
         };
         self.lookup_idx(group, k, back, field_idx)
     }
+}
+
+/// One field accumulator's contents in a [`StateSnapshot`]. `Stats` carries
+/// the raw Welford parts (see [`saql_analytics::OnlineStats::raw_parts`]);
+/// the round trip through restore is bit-exact.
+#[derive(Debug, Clone)]
+pub enum AccumSnapshot {
+    Stats {
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        mean: f64,
+        m2: f64,
+    },
+    Set(Vec<String>),
+    Buffer(Vec<f64>),
+}
+
+/// One open group's accumulators in a [`StateSnapshot`]. The key tuple is
+/// rebuilt from `key_vals` on restore (exact — floats key by bit pattern).
+#[derive(Debug, Clone)]
+pub struct GroupAccumSnapshot {
+    pub key_vals: Vec<AttrValue>,
+    /// Accumulators in field declaration order.
+    pub accums: Vec<AccumSnapshot>,
+}
+
+/// One group's closed-window history in a [`StateSnapshot`].
+#[derive(Debug, Clone)]
+pub struct GroupHistorySnapshot {
+    pub key_vals: Vec<AttrValue>,
+    /// `(window id, finalized field values)`, oldest first.
+    pub windows: Vec<(u64, Vec<Value>)>,
+}
+
+/// Dynamic state of a [`StateMaintainer`], exact under snapshot → restore.
+#[derive(Debug, Clone)]
+pub struct StateSnapshot {
+    /// Open-window accumulators: `(window id, groups)`, windows ascending.
+    pub open: Vec<(u64, Vec<GroupAccumSnapshot>)>,
+    pub history: Vec<GroupHistorySnapshot>,
+    pub first_window: Option<u64>,
 }
 
 /// State access for evaluating one group at the close of window `k` —

@@ -157,6 +157,33 @@ impl WindowDriver {
     pub fn watermark(&self) -> Timestamp {
         self.watermark
     }
+
+    /// Capture the driver's dynamic state (engine checkpoints). The window
+    /// spec itself is static — it is recompiled from the query source.
+    pub fn snapshot(&self) -> WindowSnapshot {
+        WindowSnapshot {
+            watermark: self.watermark,
+            open: self.open.iter().copied().collect(),
+            closed: self.closed,
+        }
+    }
+
+    /// Restore the dynamic state captured by [`snapshot`](Self::snapshot)
+    /// onto a freshly compiled driver with the same spec.
+    pub fn restore(&mut self, snap: WindowSnapshot) {
+        self.watermark = snap.watermark;
+        self.open = snap.open.into_iter().collect();
+        self.closed = snap.closed;
+    }
+}
+
+/// Dynamic state of a [`WindowDriver`], exact under snapshot → restore.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WindowSnapshot {
+    pub watermark: Timestamp,
+    /// Open window ids, ascending.
+    pub open: Vec<u64>,
+    pub closed: u64,
 }
 
 #[cfg(test)]

@@ -173,6 +173,39 @@ fn get_entity(buf: &mut Bytes) -> Result<Entity, DecodeError> {
     }
 }
 
+/// Append one varint-encoded `u64` to `buf` (7-bit little-endian groups,
+/// the same encoding every record field uses). Public so higher layers —
+/// the engine's checkpoint codec, the durable store's WAL — speak one wire
+/// dialect instead of inventing their own.
+pub fn put_u64(buf: &mut BytesMut, v: u64) {
+    put_varint(buf, v);
+}
+
+/// Decode one varint `u64` from the front of `buf`, advancing it.
+pub fn get_u64(buf: &mut Bytes) -> Result<u64, DecodeError> {
+    get_varint(buf)
+}
+
+/// Append one length-prefixed UTF-8 string to `buf`.
+pub fn put_string(buf: &mut BytesMut, s: &str) {
+    put_str(buf, s);
+}
+
+/// Decode one length-prefixed string from the front of `buf`.
+pub fn get_string(buf: &mut Bytes) -> Result<std::sync::Arc<str>, DecodeError> {
+    get_str(buf)
+}
+
+/// Append one encoded entity (tag + payload) to `buf`.
+pub fn encode_entity(buf: &mut BytesMut, e: &Entity) {
+    put_entity(buf, e);
+}
+
+/// Decode one entity from the front of `buf`, advancing it.
+pub fn decode_entity(buf: &mut Bytes) -> Result<Entity, DecodeError> {
+    get_entity(buf)
+}
+
 /// Append one encoded event record to `buf`.
 pub fn encode_event(buf: &mut BytesMut, e: &Event) {
     buf.put_u8(FORMAT_VERSION);

@@ -15,12 +15,17 @@
 //!   push-handle channels;
 //! * [`store`] — a file-backed event store (the databases behind the demo's
 //!   replayer), using the compact binary codec from `saql-model`;
+//! * [`durable`] — the [`StoreWriter`]/[`StoreReader`] split over both store
+//!   layouts: WAL-disciplined segmented appends, recovery-on-open that
+//!   truncates a torn tail, and global-offset reads for exact session
+//!   resume;
 //! * [`replayer`] — the stream replayer (paper Fig. 4): select hosts and a
 //!   time range, then replay stored data as a stream at a configurable
 //!   speed.
 
 pub mod batch;
 pub mod channel;
+pub mod durable;
 pub mod merge;
 pub mod replayer;
 pub mod segment;
@@ -35,6 +40,7 @@ use saql_model::Event;
 pub type SharedEvent = Arc<Event>;
 
 pub use batch::{batched, BatchView, EventBatch, DEFAULT_BATCH_SIZE};
+pub use durable::{StoreFormat, StoreIter, StoreReader, StoreWriter};
 pub use merge::{Lateness, MergeConfig, MergeStatus, SourceId, SourceStats, WatermarkMerge};
 pub use source::{EventSource, SourcePoll};
 

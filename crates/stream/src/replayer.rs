@@ -12,7 +12,8 @@ use std::time::{Duration as WallDuration, Instant};
 use saql_model::Event;
 
 use crate::channel::{event_channel, EventReceiver};
-use crate::store::{EventStore, Selection, StoreError};
+use crate::durable::StoreReader;
+use crate::store::{Selection, StoreError};
 use crate::SharedEvent;
 
 /// Replay pacing.
@@ -32,15 +33,21 @@ impl Speed {
     }
 }
 
-/// Replays events from a store as a stream.
+/// Replays events from a store as a stream — either layout a
+/// [`StoreReader`] resolves (single file or segmented directory).
 #[derive(Debug)]
 pub struct Replayer {
-    store: EventStore,
+    reader: StoreReader,
 }
 
 impl Replayer {
-    pub fn new(store: EventStore) -> Self {
-        Replayer { store }
+    pub fn new(reader: StoreReader) -> Self {
+        Replayer { reader }
+    }
+
+    /// Open a store path and wrap it in a replayer (the common one-liner).
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, StoreError> {
+        Ok(Replayer::new(StoreReader::open(path)?))
     }
 
     /// Load the selected events, sorted by timestamp (stored order may
@@ -54,7 +61,7 @@ impl Replayer {
     /// being a pure function of the data.)
     pub fn load(&self, selection: &Selection) -> Result<Vec<Event>, StoreError> {
         let mut events: Vec<Event> = Vec::new();
-        for event in self.store.iter(selection)? {
+        for event in self.reader.iter(selection)? {
             events.push(event?);
         }
         // Stable sort: stored position is the final tie-break.
@@ -105,6 +112,8 @@ impl Replayer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::durable::StoreWriter;
+    use crate::store::EventStore;
     use saql_model::event::EventBuilder;
     use saql_model::{ProcessInfo, Timestamp};
     use std::path::PathBuf;
@@ -128,13 +137,33 @@ mod tests {
     }
 
     #[test]
+    fn segmented_store_replays_sorted() {
+        // The replayer rides the unified reader, so a segmented directory
+        // store replays exactly like the classic single file.
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("saql-replayer-test-{}-segdir", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut w = StoreWriter::create_segmented_with(&dir, 2).unwrap();
+        w.append(&[ev(2, "h2", 200), ev(1, "h1", 100), ev(3, "h1", 300)])
+            .unwrap();
+        let r = Replayer::open(&dir).unwrap();
+        let ids: Vec<u64> = r
+            .replay_iter(&Selection::all())
+            .unwrap()
+            .map(|e| e.id)
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
     fn replay_sorts_by_timestamp() {
         // Stored out of order (hosts interleave); replay must sort.
-        let (store, path) = store_with(
+        let (_store, path) = store_with(
             "sort",
             &[ev(2, "h2", 200), ev(1, "h1", 100), ev(3, "h1", 300)],
         );
-        let r = Replayer::new(store);
+        let r = Replayer::open(&path).unwrap();
         let ids: Vec<u64> = r
             .replay_iter(&Selection::all())
             .unwrap()
@@ -146,11 +175,11 @@ mod tests {
 
     #[test]
     fn replay_respects_selection() {
-        let (store, path) = store_with(
+        let (_store, path) = store_with(
             "select",
             &[ev(1, "h1", 100), ev(2, "h2", 200), ev(3, "h1", 300)],
         );
-        let r = Replayer::new(store);
+        let r = Replayer::open(&path).unwrap();
         let sel =
             Selection::host("h1").between(Timestamp::from_millis(0), Timestamp::from_millis(250));
         let ids: Vec<u64> = r.replay_iter(&sel).unwrap().map(|e| e.id).collect();
@@ -161,8 +190,8 @@ mod tests {
     #[test]
     fn channel_replay_unlimited_delivers_all() {
         let events: Vec<Event> = (0..50).map(|i| ev(i, "h", i * 10)).collect();
-        let (store, path) = store_with("chan", &events);
-        let r = Replayer::new(store);
+        let (_store, path) = store_with("chan", &events);
+        let r = Replayer::open(&path).unwrap();
         let rx = r
             .replay_channel(&Selection::all(), Speed::Unlimited, 16)
             .unwrap();
@@ -176,8 +205,8 @@ mod tests {
     fn compressed_replay_paces_emission() {
         // 3 events spanning 200ms of trace time at 10x compression ≈ 20ms.
         let events = vec![ev(1, "h", 0), ev(2, "h", 100), ev(3, "h", 200)];
-        let (store, path) = store_with("paced", &events);
-        let r = Replayer::new(store);
+        let (_store, path) = store_with("paced", &events);
+        let r = Replayer::open(&path).unwrap();
         let start = Instant::now();
         let rx = r
             .replay_channel(&Selection::all(), Speed::Compressed { factor: 10.0 }, 4)
@@ -208,13 +237,15 @@ mod tests {
         };
         let (store_a, path_a) = store_with("hoststable-a", &batch_h1);
         store_a.append(&batch_h2).unwrap();
-        let a: Vec<SharedEvent> = Replayer::new(store_a)
+        let a: Vec<SharedEvent> = Replayer::open(&path_a)
+            .unwrap()
             .replay_iter(&Selection::all())
             .unwrap()
             .collect();
         let (store_b, path_b) = store_with("hoststable-b", &batch_h2);
         store_b.append(&batch_h1).unwrap();
-        let b: Vec<SharedEvent> = Replayer::new(store_b)
+        let b: Vec<SharedEvent> = Replayer::open(&path_b)
+            .unwrap()
             .replay_iter(&Selection::all())
             .unwrap()
             .collect();
@@ -232,8 +263,8 @@ mod tests {
 
     #[test]
     fn empty_selection_yields_empty_stream() {
-        let (store, path) = store_with("none", &[ev(1, "h1", 100)]);
-        let r = Replayer::new(store);
+        let (_store, path) = store_with("none", &[ev(1, "h1", 100)]);
+        let r = Replayer::open(&path).unwrap();
         let rx = r
             .replay_channel(&Selection::host("h9"), Speed::Unlimited, 4)
             .unwrap();

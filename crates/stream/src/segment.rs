@@ -161,7 +161,7 @@ impl SegmentedStore {
     }
 }
 
-fn write_segment(path: &Path, events: &[Event]) -> Result<(), StoreError> {
+pub(crate) fn write_segment(path: &Path, events: &[Event]) -> Result<(), StoreError> {
     let mut hosts: BTreeSet<&str> = BTreeSet::new();
     let mut min_ts = u64::MAX;
     let mut max_ts = 0u64;
@@ -185,6 +185,9 @@ fn write_segment(path: &Path, events: &[Event]) -> Result<(), StoreError> {
     }
     let mut f = File::create(path)?;
     f.write_all(&buf)?;
+    // Sealed segments are the durability boundary: they must hit disk
+    // before any rename publishes them (see `crate::durable`).
+    f.sync_all()?;
     Ok(())
 }
 
@@ -230,12 +233,12 @@ fn parse_header(data: &mut Bytes, path: &Path) -> Result<SegmentMeta, StoreError
     })
 }
 
-fn read_meta(path: &Path) -> Result<SegmentMeta, StoreError> {
+pub(crate) fn read_meta(path: &Path) -> Result<SegmentMeta, StoreError> {
     let mut data = read_file(path)?;
     parse_header(&mut data, path)
 }
 
-fn read_segment_events(path: &Path) -> Result<Vec<Event>, StoreError> {
+pub(crate) fn read_segment_events(path: &Path) -> Result<Vec<Event>, StoreError> {
     let mut data = read_file(path)?;
     let meta = parse_header(&mut data, path)?;
     let mut out = Vec::with_capacity(meta.events as usize);

@@ -19,8 +19,9 @@ use saql_model::json::{decode_event_json, JsonError};
 use saql_model::Timestamp;
 
 use crate::channel::{event_channel, EventReceiver, EventSender};
+use crate::durable::{StoreIter, StoreReader};
 use crate::replayer::{Replayer, Speed};
-use crate::store::{EventIter, EventStore, Selection, StoreError};
+use crate::store::{Selection, StoreError};
 use crate::SharedEvent;
 
 /// Result of one [`EventSource::poll`].
@@ -242,25 +243,42 @@ pub fn push_source(name: impl Into<String>, capacity: usize) -> (PushHandle, Cha
 // Event store source
 // ---------------------------------------------------------------------
 
-/// Streams an [`EventStore`] selection in stored order without ever
+/// Streams a [`StoreReader`] selection in stored order without ever
 /// materializing the store — the streaming replacement for
-/// `EventStore::read` in ingestion paths.
+/// `EventStore::read` in ingestion paths, over either store layout.
+///
+/// [`EventStore`]: crate::store::EventStore
 pub struct StoreSource {
     name: String,
-    iter: Option<EventIter>,
+    iter: Option<StoreIter>,
     error: Option<StoreError>,
 }
 
 impl StoreSource {
-    /// Open a streaming source over `store` (header validated eagerly).
+    /// Open a streaming source over `reader` (headers validated eagerly).
     pub fn open(
         name: impl Into<String>,
-        store: &EventStore,
+        reader: &StoreReader,
         selection: &Selection,
     ) -> Result<StoreSource, StoreError> {
         Ok(StoreSource {
             name: name.into(),
-            iter: Some(store.iter(selection)?),
+            iter: Some(reader.iter(selection)?),
+            error: None,
+        })
+    }
+
+    /// Open a streaming source at a global event offset — the resume path:
+    /// replays everything from `offset` (the position an engine checkpoint
+    /// recorded) to the end of the store.
+    pub fn open_at(
+        name: impl Into<String>,
+        reader: &StoreReader,
+        offset: u64,
+    ) -> Result<StoreSource, StoreError> {
+        Ok(StoreSource {
+            name: name.into(),
+            iter: Some(reader.iter_from(offset)?),
             error: None,
         })
     }
@@ -519,14 +537,18 @@ mod tests {
     fn store_source_streams_a_selection() {
         let mut path = std::env::temp_dir();
         path.push(format!("saql-source-store-{}.bin", std::process::id()));
-        let store = EventStore::create(&path).unwrap();
-        store
+        crate::store::EventStore::create(&path)
+            .unwrap()
             .append(&[ev(1, "h1", 10), ev(2, "h2", 20), ev(3, "h1", 30)])
             .unwrap();
-        let mut source = StoreSource::open("store", &store, &Selection::host("h1")).unwrap();
+        let reader = StoreReader::open(&path).unwrap();
+        let mut source = StoreSource::open("store", &reader, &Selection::host("h1")).unwrap();
         let out = drain(&mut source);
         assert_eq!(out.iter().map(|e| e.id).collect::<Vec<_>>(), vec![1, 3]);
         assert!(source.error().is_none());
+        let mut resumed = StoreSource::open_at("store", &reader, 1).unwrap();
+        let rest = drain(&mut resumed);
+        assert_eq!(rest.iter().map(|e| e.id).collect::<Vec<_>>(), vec![2, 3]);
         std::fs::remove_file(path).unwrap();
     }
 }

@@ -25,6 +25,9 @@ pub enum StoreError {
     /// File did not begin with the store magic.
     BadMagic,
     Decode(DecodeError),
+    /// Store-level invariant violation (e.g. a WAL that disagrees with the
+    /// sealed segments it should extend).
+    Corrupt(String),
 }
 
 impl std::fmt::Display for StoreError {
@@ -33,6 +36,7 @@ impl std::fmt::Display for StoreError {
             StoreError::Io(e) => write!(f, "store I/O error: {e}"),
             StoreError::BadMagic => write!(f, "not a SAQL event store (bad magic)"),
             StoreError::Decode(e) => write!(f, "corrupt store record: {e}"),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store: {msg}"),
         }
     }
 }

@@ -32,7 +32,7 @@ fn main() {
 
     // 2. Replay only the database server for the second half hour — the
     //    replayer UI's host + time-range selection.
-    let replayer = Replayer::new(EventStore::open(&path).expect("open store"));
+    let replayer = Replayer::open(&path).expect("open store");
     let selection = Selection::host("db-server").between(
         Timestamp::from_millis(30 * 60_000),
         Timestamp::from_millis(60 * 60_000),

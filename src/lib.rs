@@ -44,6 +44,64 @@
 //!
 //! Pre-merged in-memory streams still run through the thin wrapper
 //! [`SaqlSystem::run_events`] / [`Engine::run`].
+//!
+//! ## Durability & resume
+//!
+//! Traces persist in a segmented WAL-backed store (`sync()` is the durable
+//! ack; a torn tail is repaired on open), and a running session can
+//! checkpoint the engine's full state at an exact stream offset. Resuming
+//! from the checkpoint and replaying the store suffix reproduces exactly
+//! the alerts the uninterrupted run would have emitted:
+//!
+//! ```
+//! use saql::engine::{Checkpoint, CheckpointConfig, Engine, EngineConfig};
+//! use saql::collector::{SimConfig, Simulator};
+//! use saql::stream::source::StoreSource;
+//! use saql::stream::store::Selection;
+//! use saql::stream::{StoreReader, StoreWriter};
+//!
+//! let dir = std::env::temp_dir().join(format!("saql-doc-durable-{}", std::process::id()));
+//! let _ = std::fs::remove_dir_all(&dir);
+//! let (store_dir, ckpt_dir) = (dir.join("trace.d"), dir.join("ckpt"));
+//!
+//! // Persist the trace durably: append + sync = acked on disk.
+//! let trace = Simulator::generate(&SimConfig { clients: 3, ..SimConfig::default() });
+//! let mut store = StoreWriter::create_segmented(&store_dir).unwrap();
+//! store.append(&trace.events).unwrap();
+//! store.sync().unwrap();
+//! drop(store);
+//!
+//! // A checkpointed run, "crashed" mid-stream (dropped, never finished).
+//! const COUNT: &str = "proc p write ip i as evt #time(60 s)\n\
+//!     state ss { n := count() } group by p\n\
+//!     return p, ss[0].n";
+//! let reader = StoreReader::open(&store_dir).unwrap();
+//! let mut engine = Engine::new(EngineConfig::default());
+//! engine.register("count-writes", COUNT).unwrap();
+//! let mut session = engine.session();
+//! session.enable_checkpoints(CheckpointConfig { dir: ckpt_dir.clone(), every_events: 0 });
+//! session.attach(StoreSource::open("trace", &reader, &Selection::all()).unwrap());
+//! let before = session.pump_max(500).alerts;
+//! session.checkpoint_now().unwrap();
+//! drop(session);
+//! drop(engine);
+//!
+//! // Restore the engine and continue from the checkpoint's exact offset.
+//! let ckpt = Checkpoint::load(&ckpt_dir).unwrap();
+//! let mut engine = Engine::resume_from(ckpt.clone(), EngineConfig::default()).unwrap();
+//! let mut session = engine.session();
+//! session.resume_at(&ckpt);
+//! session.attach(StoreSource::open_at("trace", &reader, ckpt.offset).unwrap());
+//! let after = session.drain();
+//!
+//! // Crashed prefix + resumed suffix == the uninterrupted run, exactly.
+//! let mut oracle = Engine::new(EngineConfig::default());
+//! oracle.register("count-writes", COUNT).unwrap();
+//! let full = oracle.run(saql::stream::share(trace.events.clone())).unwrap();
+//! let spliced: Vec<String> = before.iter().chain(&after).map(|a| a.to_string()).collect();
+//! assert_eq!(spliced, full.iter().map(|a| a.to_string()).collect::<Vec<_>>());
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
 
 pub use saql_analytics as analytics;
 pub use saql_baseline as baseline;

@@ -274,7 +274,9 @@ proptest! {
         } else {
             Selection::all()
         };
-        let replayed: Vec<saql::model::Event> = Replayer::new(store)
+        drop(store);
+        let replayed: Vec<saql::model::Event> = Replayer::open(&path)
+            .unwrap()
             .replay_iter(&selection)
             .unwrap()
             .map(|e| (*e).clone())

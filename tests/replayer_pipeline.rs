@@ -45,7 +45,7 @@ fn live_and_replayed_streams_produce_identical_alerts() {
     let path = store_path("identical");
     let store = EventStore::create(&path).unwrap();
     store.append(&trace.events).unwrap();
-    let replayer = Replayer::new(EventStore::open(&path).unwrap());
+    let replayer = Replayer::open(&path).unwrap();
     let replayed: Vec<_> = replayer.replay_iter(&Selection::all()).unwrap().collect();
 
     let mut replay_sys = SaqlSystem::new();
@@ -70,7 +70,7 @@ fn host_selection_replays_only_that_hosts_detections() {
 
     // Replay only the DB server: the c5 rule query still fires, the
     // client-side c1–c3 queries cannot.
-    let replayer = Replayer::new(EventStore::open(&path).unwrap());
+    let replayer = Replayer::open(&path).unwrap();
     let events: Vec<_> = replayer
         .replay_iter(&Selection::host("db-server"))
         .unwrap()
@@ -95,7 +95,7 @@ fn time_range_selection_cuts_the_attack_out() {
     store.append(&trace.events).unwrap();
 
     // Replay only the pre-attack prefix: everything must stay quiet.
-    let replayer = Replayer::new(EventStore::open(&path).unwrap());
+    let replayer = Replayer::open(&path).unwrap();
     let selection = Selection::all().between(saql::model::Timestamp::ZERO, attack_start);
     let events: Vec<_> = replayer.replay_iter(&selection).unwrap().collect();
     assert!(!events.is_empty());
@@ -118,7 +118,7 @@ fn channel_replay_feeds_engine_across_threads() {
     let store = EventStore::create(&path).unwrap();
     store.append(&trace.events).unwrap();
 
-    let replayer = Replayer::new(EventStore::open(&path).unwrap());
+    let replayer = Replayer::open(&path).unwrap();
     let rx = replayer
         .replay_channel(&Selection::all(), Speed::Unlimited, 1024)
         .unwrap();
