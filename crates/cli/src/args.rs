@@ -18,6 +18,9 @@ const SWITCHES: &[&str] = &[
     "follow",
     "durable-store",
     "resume",
+    "quiet",
+    "lossless",
+    "arrival",
 ];
 
 impl Flags {

@@ -1055,6 +1055,238 @@ fn fail(msg: &str) -> i32 {
     2
 }
 
+// ---------------------------------------------------------------------
+// serve / client — the networked serving layer (saql-serve)
+// ---------------------------------------------------------------------
+
+/// `saql serve`: stand the engine up as a resident multi-tenant service.
+pub fn serve(argv: &[String]) -> i32 {
+    let flags = match Flags::parse(argv) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let cfg = match serve_config(&flags) {
+        Ok(cfg) => cfg,
+        Err(e) => return fail(&e),
+    };
+
+    saql_serve::install_signal_shutdown();
+    let server = match saql_serve::Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    eprintln!("[serve] listening on {}", server.addr());
+    loop {
+        if saql_serve::signalled() {
+            eprintln!("[serve] signal received, draining...");
+            server.request_shutdown();
+            break;
+        }
+        if server.is_finished() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    match server.wait() {
+        Ok(summary) => {
+            let ckpt = summary
+                .checkpoint
+                .as_ref()
+                .map(|p| format!(", checkpoint {}", p.display()))
+                .unwrap_or_default();
+            let store = summary
+                .store_len
+                .map(|n| format!(", {n} events durable"))
+                .unwrap_or_default();
+            eprintln!(
+                "[serve] stopped: {} events, {} alerts{store}{ckpt}",
+                summary.events, summary.alerts
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            1
+        }
+    }
+}
+
+/// Parse `saql serve` flags into a [`saql_serve::ServeConfig`].
+fn serve_config(flags: &Flags) -> Result<saql_serve::ServeConfig, String> {
+    let engine = engine_config(flags, true)?;
+    let mut initial_queries: Vec<(String, String)> = Vec::new();
+    if flags.switch("demo-queries") {
+        for (name, src) in corpus::DEMO_QUERIES {
+            initial_queries.push((name.to_string(), src.to_string()));
+        }
+    }
+    for file in flags.get_all("query") {
+        let src = std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+        let name = Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(file)
+            .to_string();
+        initial_queries.push((name, src));
+    }
+
+    let quota = saql_serve::TenantQuota {
+        max_live_queries: flags.get_usize("max-queries", 64)?,
+        events_per_sec: flags.get_u64("events-per-sec", 0)?,
+        burst: flags.get_u64("burst", 0)?,
+    };
+    let mut tenant_quotas = Vec::new();
+    for spec in flags.get_all("tenant-quota") {
+        tenant_quotas.push(parse_tenant_quota(spec, &quota)?);
+    }
+
+    let checkpoint_dir = flags.get("checkpoint-dir").map(PathBuf::from);
+    if flags.switch("resume") && checkpoint_dir.is_none() {
+        return Err("--resume needs --checkpoint-dir".into());
+    }
+    Ok(saql_serve::ServeConfig {
+        listen: flags.get("listen").unwrap_or("127.0.0.1:7878").to_string(),
+        engine,
+        lateness: saql_model::Duration::from_millis(flags.get_u64("lateness", 1000)?),
+        ingest_buffer: flags.get_usize("ingest-buffer", 4096)?,
+        quota,
+        tenant_quotas,
+        durable_store: flags.get("store").map(PathBuf::from),
+        checkpoint_dir,
+        checkpoint_every: flags.get_u64("checkpoint-every", 4096)?,
+        resume: flags.switch("resume"),
+        initial_queries,
+        print_alerts: !flags.switch("quiet"),
+        drain_grace: std::time::Duration::from_millis(flags.get_u64("grace", 5000)?),
+        ..saql_serve::ServeConfig::default()
+    })
+}
+
+/// `TENANT:EVENTS_PER_SEC[:BURST]`, inheriting the default quota's
+/// live-query ceiling.
+fn parse_tenant_quota(
+    spec: &str,
+    default: &saql_serve::TenantQuota,
+) -> Result<(String, saql_serve::TenantQuota), String> {
+    let mut parts = spec.split(':');
+    let tenant = parts
+        .next()
+        .filter(|t| !t.is_empty())
+        .ok_or_else(|| format!("bad --tenant-quota `{spec}` (TENANT:EPS[:BURST])"))?;
+    let eps: u64 = parts
+        .next()
+        .and_then(|v| v.parse().ok())
+        .ok_or_else(|| format!("bad --tenant-quota `{spec}` (TENANT:EPS[:BURST])"))?;
+    let burst: u64 = match parts.next() {
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("bad --tenant-quota `{spec}` (TENANT:EPS[:BURST])"))?,
+        None => 0,
+    };
+    Ok((
+        tenant.to_string(),
+        saql_serve::TenantQuota {
+            max_live_queries: default.max_live_queries,
+            events_per_sec: eps,
+            burst,
+        },
+    ))
+}
+
+/// `saql client`: talk to a running `saql serve` (ingest / tail / ctl).
+pub fn client(argv: &[String]) -> i32 {
+    let Some(verb) = argv.first().map(String::as_str) else {
+        return fail("client needs a verb: ingest, tail, or ctl");
+    };
+    let flags = match Flags::parse(&argv[1..]) {
+        Ok(f) => f,
+        Err(e) => return fail(&e),
+    };
+    let addr = flags.get("addr").unwrap_or("127.0.0.1:7878").to_string();
+    let tenant = flags
+        .get("tenant")
+        .unwrap_or(saql_serve::DEFAULT_TENANT)
+        .to_string();
+    match verb {
+        "ingest" => {
+            let source = flags.get("source").unwrap_or("cli").to_string();
+            let file = flags.get("file").unwrap_or("-");
+            let lossless = flags.switch("lossless");
+            let arrival = flags.switch("arrival");
+            let result = if file == "-" {
+                let stdin = std::io::stdin();
+                let mut lock = stdin.lock();
+                saql_serve::ingest_reader(&addr, &tenant, &source, &mut lock, lossless, arrival)
+            } else {
+                saql_serve::ingest_file(&addr, &tenant, &source, Path::new(file), lossless, arrival)
+            };
+            match result {
+                Ok(report) => {
+                    println!("{}", report.summary);
+                    0
+                }
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        "tail" => {
+            let Some(query) = flags.get("query") else {
+                return fail("client tail needs --query NAME");
+            };
+            let max = flags
+                .get("max")
+                .map(|_| flags.get_u64("max", 0).unwrap_or(0));
+            let mut out = std::io::stdout();
+            match saql_serve::tail_alerts(&addr, &tenant, query, &mut out, max) {
+                Ok(_) => 0,
+                Err(e) => fail(&e.to_string()),
+            }
+        }
+        "ctl" => match client_ctl_line(&flags) {
+            Err(e) => fail(&e),
+            Ok(line) => match saql_serve::ctl(&addr, &tenant, &line) {
+                Ok(response) => {
+                    println!("{response}");
+                    if response.contains("\"ok\":false") {
+                        1
+                    } else {
+                        0
+                    }
+                }
+                Err(e) => fail(&e.to_string()),
+            },
+        },
+        other => fail(&format!("unknown client verb `{other}`")),
+    }
+}
+
+/// Build the control line: raw JSON passthrough, or the
+/// `CMD [NAME] [FILE]` shorthand (`register exfil q.saql`, `stats`, ...).
+fn client_ctl_line(flags: &Flags) -> Result<String, String> {
+    let pos = &flags.positional;
+    let Some(first) = pos.first() else {
+        return Err("client ctl needs a command (JSON or `CMD [NAME] [FILE]`)".into());
+    };
+    if first.trim_start().starts_with('{') {
+        return Ok(first.clone());
+    }
+    let obj = saql_serve::protocol::JsonObj::new().str("cmd", first);
+    match first.as_str() {
+        "list" | "stats" | "checkpoint" | "shutdown" => Ok(obj.finish()),
+        "deregister" | "pause" | "resume" => {
+            let name = pos.get(1).ok_or(format!("`{first}` needs NAME"))?;
+            Ok(obj.str("name", name).finish())
+        }
+        "register" => {
+            let name = pos.get(1).ok_or("`register` needs NAME FILE")?;
+            let file = pos.get(2).ok_or("`register` needs NAME FILE")?;
+            let src =
+                std::fs::read_to_string(file).map_err(|e| format!("cannot read {file}: {e}"))?;
+            Ok(obj.str("name", name).str("query", &src).finish())
+        }
+        other => Err(format!("unknown control command `{other}`")),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

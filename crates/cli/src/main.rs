@@ -31,6 +31,8 @@ fn run(argv: &[String]) -> i32 {
         Some("simulate") => commands::simulate(&argv[1..]),
         Some("replay") => commands::replay(&argv[1..]),
         Some("export") => commands::export(&argv[1..]),
+        Some("serve") => commands::serve(&argv[1..]),
+        Some("client") => commands::client(&argv[1..]),
         Some("check") => commands::check(&argv[1..]),
         Some("explain") => commands::explain(&argv[1..]),
         Some("repl") => {
@@ -63,6 +65,15 @@ USAGE:
                     [--workers W] [--checkpoint-dir DIR] [--checkpoint-every N]
                     [--resume] [LIFECYCLE]...
     saql export     --store FILE [--out FILE|-] [--host H]... [--from MS] [--until MS]
+    saql serve      [--listen ADDR] [--query FILE]... [--demo-queries] [--workers W]
+                    [--lateness MS] [--ingest-buffer N] [--store PATH]
+                    [--checkpoint-dir DIR] [--checkpoint-every N] [--resume]
+                    [--max-queries N] [--events-per-sec N] [--burst N]
+                    [--tenant-quota T:EPS[:BURST]]... [--grace MS] [--quiet]
+    saql client     ingest [--addr A] [--tenant T] [--source NAME] [--file F|-]
+                           [--lossless] [--arrival]
+    saql client     tail   [--addr A] [--tenant T] --query NAME [--max N]
+    saql client     ctl    [--addr A] [--tenant T] CMD [NAME] [FILE]
     saql check      FILE...
     saql explain    FILE...
     saql repl       [--store FILE]
@@ -101,6 +112,31 @@ the segmented WAL-backed directory `simulate --durable-store` writes):
 Checkpointed runs take exactly one --store input, streamed in stored
 order; a resumed run re-emits the same alerts the uninterrupted run would
 have produced from the checkpoint on.
+
+SERVING (`saql serve` keeps the engine resident behind a TCP line protocol;
+`saql client` is the matching thin client):
+    Connections speak newline-delimited JSON and open with a hello line
+    declaring a role — ingest (push JSONL events; `--lossless` blocks the
+    connection instead of shedding on a full buffer, `--arrival` trusts
+    connection order), control (register/deregister/pause/resume/list/
+    stats/checkpoint/shutdown; query names are namespaced per tenant), or
+    subscribe (stream a query's alerts as JSONL). A first line starting
+    with `GET ` returns the metrics page (curl works): counters, gauges,
+    per-query throughput and delivery-latency histograms, per-source lag.
+    Per-tenant quotas (`--max-queries`, `--events-per-sec`/`--burst`, or
+    per-tenant `--tenant-quota`) shed over-rate events — counted, never
+    blocking the engine. With `--store` every accepted event is appended
+    and fsynced to a durable store before the engine consumes it; with
+    `--checkpoint-dir` the server checkpoints on cadence and writes one
+    final checkpoint on graceful shutdown (SIGTERM/SIGINT or the
+    `shutdown` control command), so `saql serve --resume` restores the
+    engine and continues at the exact acknowledged offset.
+
+    saql serve --demo-queries --store /tmp/events.d --checkpoint-dir /tmp/ck
+    saql client ingest --addr 127.0.0.1:7878 --file trace.jsonl --lossless
+    saql client tail --query c5-exfiltration --max 10
+    saql client ctl register exfil my-query.saql
+    saql client ctl stats
 
 LIFECYCLE (repeatable; staged query control-plane operations, applied live
 mid-stream once N events have been processed — on both backends):

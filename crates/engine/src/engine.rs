@@ -126,8 +126,16 @@ pub struct Engine {
     /// fully operable afterwards; the parallel backend's workers are gone,
     /// so its control plane rejects further changes.
     finished: bool,
+    /// Facade-level observer invoked for every alert as it is routed —
+    /// the metrics tap serving layers hang per-query counters and
+    /// delivery-latency histograms on. See [`set_alert_hook`](Self::set_alert_hook).
+    alert_hook: Option<AlertHook>,
     config: EngineConfig,
 }
+
+/// Observer installed with [`Engine::set_alert_hook`]: called once per
+/// alert, in emission order, on the engine thread.
+pub type AlertHook = Box<dyn FnMut(&Alert) + Send>;
 
 /// Execution strategy behind the facade: the single-threaded scheduler, or
 /// the sharded multi-threaded runtime.
@@ -164,8 +172,25 @@ impl Engine {
             subscription_drops_by_query: HashMap::new(),
             pending: Vec::new(),
             finished: false,
+            alert_hook: None,
             config,
         }
+    }
+
+    /// Install an observer called once per alert, in emission order, on the
+    /// engine thread, as alerts are routed to subscribers (data-plane
+    /// batches, control-plane flushes, and [`finish`](Self::finish) alike).
+    /// At most one hook is live; installing replaces the previous one, and
+    /// `clear_alert_hook` removes it. The hook runs regardless of whether
+    /// any subscription exists — it observes, it cannot veto or mutate.
+    pub fn set_alert_hook(&mut self, hook: AlertHook) {
+        self.alert_hook = Some(hook);
+    }
+
+    /// Remove the alert observer installed by
+    /// [`set_alert_hook`](Self::set_alert_hook).
+    pub fn clear_alert_hook(&mut self) {
+        self.alert_hook = None;
     }
 
     /// An engine on the parallel sharded runtime with `workers` threads
@@ -838,6 +863,11 @@ impl Engine {
     /// (and counts) rather than stalling the stream; a disconnected
     /// receiver unsubscribes.
     fn route(&mut self, alerts: &[Alert]) {
+        if let Some(hook) = self.alert_hook.as_mut() {
+            for alert in alerts {
+                hook(alert);
+            }
+        }
         if self.subscriptions.is_empty() {
             return;
         }

@@ -64,4 +64,5 @@ pub use query::{QueryId, RunningQuery};
 pub use runtime::{ParallelConfig, ParallelEngine};
 pub use scheduler::Scheduler;
 pub use session::{CheckpointConfig, Pump, RunSession, SessionStatus};
+pub use sink::render_alert_json;
 pub use value::Value;

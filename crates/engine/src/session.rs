@@ -216,8 +216,23 @@ impl<'e> RunSession<'e> {
     /// immediately with [`SessionStatus::Done`] — a finished engine can
     /// absorb no more events.
     pub fn pump_max(&mut self, max: usize) -> Pump {
+        self.pump_tapped(max, &mut |_, _| {})
+    }
+
+    /// [`pump_max`](Self::pump_max) with a write-ahead tap: `tap` is called
+    /// once per non-empty round with the absolute stream offset of the
+    /// round's first event and the round's merged events, *before* any of
+    /// them reach the engine. This is the durable-serving hook — appending
+    /// the tapped slice to an event store persists exactly the engine's
+    /// consumption order, so a store offset and [`offset`](Self::offset)
+    /// denote the same position and checkpoints taken at round boundaries
+    /// line up with the store ahead of the state they describe.
+    pub fn pump_tapped(&mut self, max: usize, tap: &mut dyn FnMut(u64, &[SharedEvent])) -> Pump {
         self.batch.clear();
         let status = self.merge.poll(&mut self.batch, max);
+        if !self.batch.is_empty() {
+            tap(self.base_offset + self.processed, &self.batch);
+        }
         let mut alerts = Vec::new();
         let mut fed = 0u64;
         for chunk in self.batch.chunks(self.engine.batch_size()) {

@@ -102,49 +102,58 @@ impl<W: Write> JsonLinesSink<W> {
     }
 
     fn render(alert: &Alert) -> String {
-        let mut out = String::with_capacity(160);
-        out.push_str("{\"query\":");
-        json_string(&mut out, &alert.query);
-        // Standalone queries carry no id; omit the field rather than emit a
-        // sentinel.
-        if alert.query_id != crate::query::QueryId::UNASSIGNED {
-            out.push_str(",\"query_id\":");
-            out.push_str(&alert.query_id.index().to_string());
-        }
-        out.push_str(",\"ts_ms\":");
-        out.push_str(&alert.ts.as_millis().to_string());
-        match &alert.origin {
-            AlertOrigin::Match { event_ids } => {
-                out.push_str(",\"origin\":\"match\",\"event_ids\":[");
-                for (i, id) in event_ids.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    out.push_str(&id.to_string());
-                }
-                out.push(']');
-            }
-            AlertOrigin::Window { start, end, group } => {
-                out.push_str(",\"origin\":\"window\",\"window_start_ms\":");
-                out.push_str(&start.as_millis().to_string());
-                out.push_str(",\"window_end_ms\":");
-                out.push_str(&end.as_millis().to_string());
-                out.push_str(",\"group\":");
-                json_string(&mut out, group);
-            }
-        }
-        out.push_str(",\"rows\":{");
-        for (i, (label, value)) in alert.rows.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            json_string(&mut out, label);
-            out.push(':');
-            json_string(&mut out, value);
-        }
-        out.push_str("}}\n");
+        let mut out = render_alert_json(alert);
+        out.push('\n');
         out
     }
+}
+
+/// Render one alert as a single-line JSON object (no trailing newline) —
+/// the shape [`JsonLinesSink`] writes, shared with the serving layer's
+/// subscribe streams so file sinks and sockets emit identical records.
+pub fn render_alert_json(alert: &Alert) -> String {
+    let mut out = String::with_capacity(160);
+    out.push_str("{\"query\":");
+    json_string(&mut out, &alert.query);
+    // Standalone queries carry no id; omit the field rather than emit a
+    // sentinel.
+    if alert.query_id != crate::query::QueryId::UNASSIGNED {
+        out.push_str(",\"query_id\":");
+        out.push_str(&alert.query_id.index().to_string());
+    }
+    out.push_str(",\"ts_ms\":");
+    out.push_str(&alert.ts.as_millis().to_string());
+    match &alert.origin {
+        AlertOrigin::Match { event_ids } => {
+            out.push_str(",\"origin\":\"match\",\"event_ids\":[");
+            for (i, id) in event_ids.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&id.to_string());
+            }
+            out.push(']');
+        }
+        AlertOrigin::Window { start, end, group } => {
+            out.push_str(",\"origin\":\"window\",\"window_start_ms\":");
+            out.push_str(&start.as_millis().to_string());
+            out.push_str(",\"window_end_ms\":");
+            out.push_str(&end.as_millis().to_string());
+            out.push_str(",\"group\":");
+            json_string(&mut out, group);
+        }
+    }
+    out.push_str(",\"rows\":{");
+    for (i, (label, value)) in alert.rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_string(&mut out, label);
+        out.push(':');
+        json_string(&mut out, value);
+    }
+    out.push_str("}}");
+    out
 }
 
 /// Escape a string into a JSON string literal appended to `out`.

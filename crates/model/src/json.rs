@@ -27,7 +27,7 @@ use crate::entity::{Entity, FileInfo, NetworkInfo, ProcessInfo};
 use crate::event::{Event, Operation};
 use crate::time::Timestamp;
 
-/// Error decoding a JSON event line.
+/// Error decoding a JSON line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct JsonError {
     /// Byte offset in the line where decoding failed.
@@ -38,11 +38,7 @@ pub struct JsonError {
 
 impl fmt::Display for JsonError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "invalid event JSON at byte {}: {}",
-            self.at, self.message
-        )
+        write!(f, "invalid JSON at byte {}: {}", self.at, self.message)
     }
 }
 
@@ -117,7 +113,9 @@ fn push_process_fields(out: &mut String, p: &ProcessInfo) {
     push_json_string(out, &p.user);
 }
 
-fn push_json_string(out: &mut String, s: &str) {
+/// Escape a string into a JSON string literal appended to `out` — shared
+/// with every hand-rolled JSON writer in the workspace.
+pub fn push_json_string(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -162,20 +160,99 @@ pub fn decode_event_json(line: &str) -> Result<Event, JsonError> {
     event_from_fields(fields)
 }
 
-enum JsonValue {
+/// A parsed JSON value — the workspace's one hand-rolled JSON reader,
+/// shared by the event codec and the serving layer's wire protocol.
+///
+/// Numbers are unsigned 64-bit integers: every schema in this system (event
+/// fields, protocol counters, offsets, timestamps) is non-negative and
+/// integral, so fractions, exponents, and signs are rejected rather than
+/// silently rounded. Object fields keep their arrival order and duplicates;
+/// [`get`](Self::get) returns the first match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonValue {
     Str(String),
     Num(u64),
+    Bool(bool),
+    Null,
+    Array(Vec<JsonValue>),
     Object(Vec<(String, JsonValue)>),
 }
 
 impl JsonValue {
-    fn kind(&self) -> &'static str {
+    /// The value's type name, for error messages.
+    pub fn kind(&self) -> &'static str {
         match self {
             JsonValue::Str(_) => "string",
             JsonValue::Num(_) => "number",
+            JsonValue::Bool(_) => "boolean",
+            JsonValue::Null => "null",
+            JsonValue::Array(_) => "array",
             JsonValue::Object(_) => "object",
         }
     }
+
+    /// First value of an object field, if this is an object that has it.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one line as a standalone JSON value (rejecting trailing data) —
+/// the entry point protocol layers build on.
+pub fn parse_json(line: &str) -> Result<JsonValue, JsonError> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err(p.err("trailing data after the JSON value"));
+    }
+    Ok(value)
 }
 
 struct Parser<'a> {
@@ -219,13 +296,48 @@ impl Parser<'_> {
     fn value(&mut self) -> Result<JsonValue, JsonError> {
         match self.peek() {
             Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
             Some(b'"') => Ok(JsonValue::Str(self.string()?)),
             Some(b'0'..=b'9') => Ok(JsonValue::Num(self.number()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
             Some(other) => Err(self.err(format!(
-                "expected an object, string, or unsigned number, found `{}`",
+                "expected a JSON value (object, array, string, unsigned number, \
+                 true/false/null), found `{}`",
                 other as char
             ))),
             None => Err(self.err("unexpected end of line")),
+        }
+    }
+
+    fn literal(&mut self, word: &'static str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(format!("expected `{word}`")))
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
         }
     }
 
@@ -598,6 +710,22 @@ mod tests {
             .build();
         let line = event_to_json(&e);
         assert_eq!(decode_event_json(line.trim_end()).unwrap(), e);
+    }
+
+    #[test]
+    fn parse_json_value_surface() {
+        let v = parse_json(r#"{"cmd":"register","live":true,"ids":[1,2,3],"none":null}"#).unwrap();
+        assert_eq!(v.get("cmd").and_then(JsonValue::as_str), Some("register"));
+        assert_eq!(v.get("live").and_then(JsonValue::as_bool), Some(true));
+        assert_eq!(
+            v.get("ids").and_then(JsonValue::as_array).map(<[_]>::len),
+            Some(3)
+        );
+        assert_eq!(v.get("none"), Some(&JsonValue::Null));
+        assert_eq!(v.get("missing"), None);
+        assert!(parse_json("[1, 2] tail").is_err(), "trailing data rejected");
+        assert!(parse_json("tru").is_err(), "truncated literal rejected");
+        assert!(parse_json("-5").is_err(), "signed numbers rejected");
     }
 
     #[test]

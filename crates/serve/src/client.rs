@@ -1,0 +1,209 @@
+//! A thin line-protocol client for `saql serve`, used by the `saql client`
+//! subcommand and the integration tests. One connection per call; blocking
+//! std networking, no retries — the server's summaries and error lines are
+//! returned verbatim so callers can make their own decisions.
+
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{Shutdown, TcpStream};
+use std::path::Path;
+
+use saql_model::json::{parse_json, JsonValue};
+
+use crate::protocol::JsonObj;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket / file IO.
+    Io(io::Error),
+    /// The server answered with `{"ok":false,...}` or closed early.
+    Server(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Server(msg) => write!(f, "server: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// What an [`ingest_file`] call pushed, plus the server's final summary.
+#[derive(Debug)]
+pub struct IngestReport {
+    /// Non-blank lines sent.
+    pub sent: u64,
+    /// The server's final summary line, verbatim JSON
+    /// (`events`/`decode_errors`/`shed_quota`/`shed_buffer`/`durable`/...).
+    pub summary: String,
+}
+
+impl IngestReport {
+    /// A `u64` field from the summary line, when present.
+    pub fn field(&self, key: &str) -> Option<u64> {
+        parse_json(&self.summary)
+            .ok()?
+            .get(key)
+            .and_then(JsonValue::as_u64)
+    }
+
+    /// The server acknowledged the events as durably stored.
+    pub fn durable(&self) -> bool {
+        parse_json(&self.summary)
+            .ok()
+            .and_then(|v| v.get("durable").and_then(JsonValue::as_bool))
+            .unwrap_or(false)
+    }
+}
+
+fn connect(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), ClientError> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true).ok();
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((reader, stream))
+}
+
+fn send_line(stream: &mut TcpStream, line: &str) -> Result<(), ClientError> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    Ok(())
+}
+
+fn recv_line(reader: &mut BufReader<TcpStream>) -> Result<String, ClientError> {
+    let mut line = String::new();
+    if reader.read_line(&mut line)? == 0 {
+        return Err(ClientError::Server("connection closed".into()));
+    }
+    Ok(line.trim_end().to_string())
+}
+
+/// Bail on a `{"ok":false,"error":...}` line, pass anything else through.
+fn expect_ok(line: String) -> Result<String, ClientError> {
+    if let Ok(v) = parse_json(&line) {
+        if v.get("ok").and_then(JsonValue::as_bool) == Some(false) {
+            let msg = v
+                .get("error")
+                .and_then(JsonValue::as_str)
+                .unwrap_or("request refused")
+                .to_string();
+            return Err(ClientError::Server(msg));
+        }
+    }
+    Ok(line)
+}
+
+fn ingest_hello(tenant: &str, source: &str, lossless: bool, arrival_order: bool) -> String {
+    let mut hello = JsonObj::new()
+        .str("role", "ingest")
+        .str("tenant", tenant)
+        .str("source", source);
+    if lossless {
+        hello = hello.bool("lossless", true);
+    }
+    if arrival_order {
+        hello = hello.str("order", "arrival");
+    }
+    hello.finish()
+}
+
+/// Stream a JSONL event file (or any reader) into the server, half-close,
+/// and wait for the drain acknowledgement.
+pub fn ingest_reader(
+    addr: &str,
+    tenant: &str,
+    source: &str,
+    input: &mut dyn Read,
+    lossless: bool,
+    arrival_order: bool,
+) -> Result<IngestReport, ClientError> {
+    let (mut reader, mut stream) = connect(addr)?;
+    send_line(
+        &mut stream,
+        &ingest_hello(tenant, source, lossless, arrival_order),
+    )?;
+    expect_ok(recv_line(&mut reader)?)?;
+
+    let mut sent = 0u64;
+    for line in BufReader::new(input).lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        send_line(&mut stream, line.trim())?;
+        sent += 1;
+    }
+    // Half-close: EOF to the server, response channel stays open.
+    stream.shutdown(Shutdown::Write)?;
+    let summary = expect_ok(recv_line(&mut reader)?)?;
+    Ok(IngestReport { sent, summary })
+}
+
+/// [`ingest_reader`] over a file path.
+pub fn ingest_file(
+    addr: &str,
+    tenant: &str,
+    source: &str,
+    path: &Path,
+    lossless: bool,
+    arrival_order: bool,
+) -> Result<IngestReport, ClientError> {
+    let mut file = std::fs::File::open(path)?;
+    ingest_reader(addr, tenant, source, &mut file, lossless, arrival_order)
+}
+
+/// Subscribe to a query and copy its alert JSONL to `out` until the server
+/// ends the stream (or `max` alerts arrived). Returns the alert count.
+pub fn tail_alerts(
+    addr: &str,
+    tenant: &str,
+    query: &str,
+    out: &mut dyn Write,
+    max: Option<u64>,
+) -> Result<u64, ClientError> {
+    let (mut reader, mut stream) = connect(addr)?;
+    let hello = JsonObj::new()
+        .str("role", "subscribe")
+        .str("tenant", tenant)
+        .str("query", query)
+        .finish();
+    send_line(&mut stream, &hello)?;
+    expect_ok(recv_line(&mut reader)?)?;
+    let mut count = 0u64;
+    let mut line = String::new();
+    loop {
+        if max.is_some_and(|m| count >= m) {
+            break;
+        }
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        out.write_all(line.as_bytes())?;
+        count += 1;
+    }
+    Ok(count)
+}
+
+/// Send one control command line (already-formed JSON) and return the
+/// response line.
+pub fn ctl(addr: &str, tenant: &str, command: &str) -> Result<String, ClientError> {
+    let (mut reader, mut stream) = connect(addr)?;
+    let hello = JsonObj::new()
+        .str("role", "control")
+        .str("tenant", tenant)
+        .finish();
+    send_line(&mut stream, &hello)?;
+    expect_ok(recv_line(&mut reader)?)?;
+    send_line(&mut stream, command.trim())?;
+    recv_line(&mut reader)
+}

@@ -1,0 +1,186 @@
+//! The serving layer's metrics registry: counters, gauges, and histograms
+//! under dimensioned names, exposed as a text exposition page and embedded
+//! in `stats` control responses.
+//!
+//! Names follow the Prometheus convention the wp-reactor runtime-metrics
+//! design uses: `family{label="value",...}`. The registry is deliberately
+//! schema-free — the server registers series as traffic creates them
+//! (per-tenant, per-query, per-source) — and keys are `BTreeMap`-ordered so
+//! the exposition page is stable across scrapes.
+//!
+//! Counters and gauges are shared `AtomicU64`s: hot paths (the ingest
+//! threads, the pump loop) hold on to the `Arc` handle and bump it without
+//! touching the registry lock again. Histograms wrap
+//! [`saql_analytics::Histogram`] behind the registry lock — recording is a
+//! lock + push, which the pump loop amortizes by recording per alert, not
+//! per event.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use saql_analytics::Histogram;
+
+/// A shared counter/gauge cell.
+pub type Cell = Arc<AtomicU64>;
+
+/// The registry. Cheap to clone handles out of; one per server.
+#[derive(Default)]
+pub struct Metrics {
+    counters: Mutex<BTreeMap<String, Cell>>,
+    gauges: Mutex<BTreeMap<String, Cell>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+/// Quantiles a histogram series expands to on the exposition page.
+const HIST_QUANTILES: &[(&str, f64)] = &[("p50", 0.50), ("p95", 0.95), ("p99", 0.99)];
+
+impl Metrics {
+    pub fn new() -> Arc<Metrics> {
+        Arc::new(Metrics::default())
+    }
+
+    /// The counter cell under `name`, created at zero on first use. Hold
+    /// the handle on hot paths; `fetch_add` to bump.
+    pub fn counter(&self, name: &str) -> Cell {
+        let mut map = self.counters.lock().unwrap();
+        Arc::clone(map.entry(name.to_string()).or_default())
+    }
+
+    /// Bump a counter by `n` without keeping the handle.
+    pub fn add(&self, name: &str, n: u64) {
+        if n > 0 {
+            self.counter(name).fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value of a counter (zero if never touched).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+
+    /// Set a gauge to an absolute value.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        let mut map = self.gauges.lock().unwrap();
+        map.entry(name.to_string())
+            .or_default()
+            .store(value, Ordering::Relaxed);
+    }
+
+    /// Record one observation into a histogram series.
+    pub fn record(&self, name: &str, value: u64) {
+        let mut map = self.histograms.lock().unwrap();
+        map.entry(name.to_string()).or_default().record(value);
+    }
+
+    /// Observation count of a histogram series (zero if absent).
+    pub fn histogram_count(&self, name: &str) -> u64 {
+        self.histograms
+            .lock()
+            .unwrap()
+            .get(name)
+            .map_or(0, Histogram::count)
+    }
+
+    /// Render the whole registry as a text exposition page: one
+    /// `name value` line per counter/gauge, histograms expanded into
+    /// `count`/`mean`/quantile/`max` sub-series via a `stat` label.
+    pub fn render_text(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        for (name, cell) in self.counters.lock().unwrap().iter() {
+            push_line(&mut out, name, cell.load(Ordering::Relaxed).to_string());
+        }
+        for (name, cell) in self.gauges.lock().unwrap().iter() {
+            push_line(&mut out, name, cell.load(Ordering::Relaxed).to_string());
+        }
+        for (name, hist) in self.histograms.lock().unwrap().iter() {
+            push_line(
+                &mut out,
+                &with_label(name, "stat", "count"),
+                hist.count().to_string(),
+            );
+            if let Some(mean) = hist.mean() {
+                push_line(
+                    &mut out,
+                    &with_label(name, "stat", "mean"),
+                    format!("{mean:.1}"),
+                );
+            }
+            for &(stat, q) in HIST_QUANTILES {
+                if let Some(v) = hist.quantile(q) {
+                    push_line(&mut out, &with_label(name, "stat", stat), v.to_string());
+                }
+            }
+            if let Some(max) = hist.max() {
+                push_line(&mut out, &with_label(name, "stat", "max"), max.to_string());
+            }
+        }
+        out
+    }
+}
+
+fn push_line(out: &mut String, name: &str, value: String) {
+    out.push_str(name);
+    out.push(' ');
+    out.push_str(&value);
+    out.push('\n');
+}
+
+/// Add one `label="value"` pair to a series name, merging into an existing
+/// `{...}` suffix when present.
+fn with_label(name: &str, label: &str, value: &str) -> String {
+    match name.strip_suffix('}') {
+        Some(head) => format!("{head},{label}=\"{value}\"}}"),
+        None => format!("{name}{{{label}=\"{value}\"}}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_render_sorted() {
+        let m = Metrics::new();
+        m.add("b_total", 2);
+        m.add("a_total{tenant=\"t\"}", 1);
+        m.set_gauge("lag_ms", 7);
+        m.set_gauge("lag_ms", 9);
+        let page = m.render_text();
+        let lines: Vec<&str> = page.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["a_total{tenant=\"t\"} 1", "b_total 2", "lag_ms 9"]
+        );
+    }
+
+    #[test]
+    fn counter_handles_share_the_cell() {
+        let m = Metrics::new();
+        let h = m.counter("x_total");
+        h.fetch_add(5, Ordering::Relaxed);
+        assert_eq!(m.counter_value("x_total"), 5);
+    }
+
+    #[test]
+    fn histograms_expand_with_stat_label() {
+        let m = Metrics::new();
+        for v in [1, 2, 3, 100] {
+            m.record("lat_us{query=\"q\"}", v);
+        }
+        assert_eq!(m.histogram_count("lat_us{query=\"q\"}"), 4);
+        let page = m.render_text();
+        assert!(
+            page.contains("lat_us{query=\"q\",stat=\"count\"} 4"),
+            "{page}"
+        );
+        assert!(
+            page.contains("lat_us{query=\"q\",stat=\"max\"} 100"),
+            "{page}"
+        );
+    }
+}

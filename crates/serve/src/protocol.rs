@@ -1,0 +1,295 @@
+//! The newline-delimited JSON wire protocol.
+//!
+//! Every connection opens with one **hello** line declaring its role:
+//!
+//! ```json
+//! {"role":"ingest","tenant":"acme","source":"agent-7","lossless":true}
+//! {"role":"control","tenant":"acme"}
+//! {"role":"subscribe","tenant":"acme","query":"exfil"}
+//! ```
+//!
+//! * **ingest** — every following line is one event in the
+//!   `saql_model::json` schema; the server answers the hello with
+//!   `{"ok":true}` and, after the client half-closes, a final summary line
+//!   once the events are drained (and durably synced, when the server runs
+//!   a durable store). `"order":"arrival"` trusts the connection's own
+//!   ordering (no reordering, no late drops); the default is the
+//!   watermarked merge under the server's lateness bound. `"lossless":true`
+//!   blocks the *connection* (never the pump) on a full ingest buffer
+//!   instead of shedding.
+//! * **control** — request/response lines (`cmd`:
+//!   `register`/`deregister`/`pause`/`resume`/`list`/`stats`/`checkpoint`/
+//!   `shutdown`); query names are namespaced per tenant.
+//! * **subscribe** — after an `{"ok":true}` ack the server streams the
+//!   named query's alerts as JSONL (the `JsonLinesSink` shape) until the
+//!   query is gone or the client hangs up.
+//!
+//! A first line starting with `GET ` is answered as a minimal HTTP text
+//! exposition of the metrics registry instead (so `curl` works).
+//!
+//! Parsing reuses [`saql_model::json::parse_json`] — the workspace's one
+//! hand-rolled JSON reader — and all responses are built through the same
+//! escaper the event codec uses.
+
+use saql_model::json::{parse_json, push_json_string, JsonValue};
+
+/// Tenant used when a hello omits the field.
+pub const DEFAULT_TENANT: &str = "default";
+
+/// A connection's declared role.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Hello {
+    Ingest {
+        tenant: String,
+        source: String,
+        /// Trust the connection's own event order (no late drops).
+        arrival_order: bool,
+        /// Block the connection on a full ingest buffer instead of
+        /// shedding.
+        lossless: bool,
+    },
+    Control {
+        tenant: String,
+    },
+    Subscribe {
+        tenant: String,
+        query: String,
+    },
+}
+
+/// One control request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ControlCmd {
+    Register { name: String, query: String },
+    Deregister { name: String },
+    Pause { name: String },
+    Resume { name: String },
+    List,
+    Stats,
+    Checkpoint,
+    Shutdown,
+}
+
+fn field_str(v: &JsonValue, key: &str) -> Option<String> {
+    v.get(key).and_then(JsonValue::as_str).map(str::to_string)
+}
+
+fn tenant_of(v: &JsonValue) -> Result<String, String> {
+    let tenant = field_str(v, "tenant").unwrap_or_else(|| DEFAULT_TENANT.to_string());
+    if tenant.is_empty() || tenant.contains('/') {
+        return Err("tenant must be non-empty and must not contain `/`".into());
+    }
+    Ok(tenant)
+}
+
+/// Parse a hello line.
+pub fn parse_hello(line: &str) -> Result<Hello, String> {
+    let v = parse_json(line.trim()).map_err(|e| e.to_string())?;
+    let role = field_str(&v, "role").ok_or("hello needs a string `role` field")?;
+    let tenant = tenant_of(&v)?;
+    match role.as_str() {
+        "ingest" => Ok(Hello::Ingest {
+            source: field_str(&v, "source").unwrap_or_else(|| "ingest".to_string()),
+            arrival_order: matches!(v.get("order").and_then(JsonValue::as_str), Some("arrival")),
+            lossless: v
+                .get("lossless")
+                .and_then(JsonValue::as_bool)
+                .unwrap_or(false),
+            tenant,
+        }),
+        "control" => Ok(Hello::Control { tenant }),
+        "subscribe" => Ok(Hello::Subscribe {
+            query: field_str(&v, "query").ok_or("subscribe hello needs `query`")?,
+            tenant,
+        }),
+        other => Err(format!(
+            "unknown role `{other}` (expected ingest, control, or subscribe)"
+        )),
+    }
+}
+
+/// Parse one control request line.
+pub fn parse_control(line: &str) -> Result<ControlCmd, String> {
+    let v = parse_json(line.trim()).map_err(|e| e.to_string())?;
+    let cmd = field_str(&v, "cmd").ok_or("control request needs a string `cmd` field")?;
+    let name = || field_str(&v, "name").ok_or_else(|| format!("`{cmd}` needs `name`"));
+    match cmd.as_str() {
+        "register" => Ok(ControlCmd::Register {
+            name: name()?,
+            query: field_str(&v, "query").ok_or("`register` needs `query` (SAQL text)")?,
+        }),
+        "deregister" => Ok(ControlCmd::Deregister { name: name()? }),
+        "pause" => Ok(ControlCmd::Pause { name: name()? }),
+        "resume" => Ok(ControlCmd::Resume { name: name()? }),
+        "list" => Ok(ControlCmd::List),
+        "stats" => Ok(ControlCmd::Stats),
+        "checkpoint" => Ok(ControlCmd::Checkpoint),
+        "shutdown" => Ok(ControlCmd::Shutdown),
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Response building
+// ---------------------------------------------------------------------
+
+/// Incremental single-line JSON object writer (no nesting bookkeeping —
+/// nested values go in through [`field_raw`](Self::field_raw)).
+pub struct JsonObj {
+    out: String,
+    first: bool,
+}
+
+impl JsonObj {
+    pub fn new() -> JsonObj {
+        JsonObj {
+            out: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.out.push(',');
+        }
+        self.first = false;
+        push_json_string(&mut self.out, key);
+        self.out.push(':');
+    }
+
+    pub fn str(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        push_json_string(&mut self.out, value);
+        self
+    }
+
+    pub fn u64(mut self, key: &str, value: u64) -> Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    pub fn bool(mut self, key: &str, value: bool) -> Self {
+        self.key(key);
+        self.out.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// A pre-rendered JSON value (array, object, …).
+    pub fn raw(mut self, key: &str, value: &str) -> Self {
+        self.key(key);
+        self.out.push_str(value);
+        self
+    }
+
+    /// Optional string: emits `null` when absent.
+    pub fn opt_str(mut self, key: &str, value: Option<&str>) -> Self {
+        self.key(key);
+        match value {
+            Some(s) => push_json_string(&mut self.out, s),
+            None => self.out.push_str("null"),
+        }
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.out.push('}');
+        self.out
+    }
+}
+
+impl Default for JsonObj {
+    fn default() -> Self {
+        JsonObj::new()
+    }
+}
+
+/// Render a JSON array from pre-rendered element strings.
+pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+/// `{"ok":true}` — the plain ack.
+pub fn ok_line() -> String {
+    JsonObj::new().bool("ok", true).finish()
+}
+
+/// `{"ok":false,"error":...}`.
+pub fn err_line(message: &str) -> String {
+    JsonObj::new()
+        .bool("ok", false)
+        .str("error", message)
+        .finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hello_roles_parse() {
+        assert_eq!(
+            parse_hello(r#"{"role":"ingest","tenant":"t1","source":"a","order":"arrival"}"#),
+            Ok(Hello::Ingest {
+                tenant: "t1".into(),
+                source: "a".into(),
+                arrival_order: true,
+                lossless: false,
+            })
+        );
+        assert_eq!(
+            parse_hello(r#"{"role":"control"}"#),
+            Ok(Hello::Control {
+                tenant: DEFAULT_TENANT.into()
+            })
+        );
+        assert_eq!(
+            parse_hello(r#"{"role":"subscribe","tenant":"t","query":"q"}"#),
+            Ok(Hello::Subscribe {
+                tenant: "t".into(),
+                query: "q".into()
+            })
+        );
+        assert!(parse_hello(r#"{"role":"mystery"}"#).is_err());
+        assert!(parse_hello(r#"{"role":"control","tenant":"a/b"}"#).is_err());
+        assert!(parse_hello("not json").is_err());
+    }
+
+    #[test]
+    fn control_commands_parse() {
+        assert_eq!(
+            parse_control(r#"{"cmd":"register","name":"q","query":"agg ..."}"#),
+            Ok(ControlCmd::Register {
+                name: "q".into(),
+                query: "agg ...".into()
+            })
+        );
+        assert_eq!(parse_control(r#"{"cmd":"list"}"#), Ok(ControlCmd::List));
+        assert!(parse_control(r#"{"cmd":"pause"}"#).is_err(), "missing name");
+        assert!(parse_control(r#"{"cmd":"evaporate"}"#).is_err());
+    }
+
+    #[test]
+    fn json_obj_builds_escaped_lines() {
+        let line = JsonObj::new()
+            .bool("ok", false)
+            .str("error", "bad \"thing\"\n")
+            .u64("at", 7)
+            .opt_str("extra", None)
+            .finish();
+        assert_eq!(
+            line,
+            r#"{"ok":false,"error":"bad \"thing\"\n","at":7,"extra":null}"#
+        );
+        // Round-trips through the model parser.
+        assert!(saql_model::json::parse_json(&line).is_ok());
+    }
+}

@@ -1,0 +1,1439 @@
+//! The serving core: a TCP listener, per-connection threads, and **one**
+//! pump thread that owns the engine.
+//!
+//! ## Threading model
+//!
+//! ```text
+//!   accept thread ──spawns──▶ connection threads
+//!        │                        │ ingest: push_source channel ──┐
+//!        │                        │ control: Req over ctrl chan ──┤
+//!        │                        │ subscribe: Alert receiver ◀───┤
+//!        ▼                        ▼                               ▼
+//!                         core thread: drain ctrl → pump_tapped → repeat
+//! ```
+//!
+//! The core thread is the only one touching the [`Engine`] / [`RunSession`].
+//! Connection threads never block it: ingest goes through bounded
+//! `push_source` channels (shed-and-count by default, connection-blocking
+//! in lossless mode), control requests queue on a bounded channel drained
+//! between pump rounds, and slow subscribers drop alerts (counted) inside
+//! the engine's routing layer.
+//!
+//! ## Durability
+//!
+//! With a durable store configured, every pump round's merged batch is
+//! appended **and synced** before the engine consumes it (the
+//! [`RunSession::pump_tapped`] write-ahead tap), so the store offset equals
+//! the session offset at every round boundary and any checkpoint the
+//! session writes is covered by synced events. An ingest connection's final
+//! summary line (`"durable":true`) is therefore a real acknowledgement:
+//! those events survive a crash. On graceful shutdown the server seals the
+//! store and writes one final checkpoint — restart with `resume` and the
+//! session continues at the exact event it stopped at, open windows and
+//! matcher state included. A store write failure is treated as fatal: the
+//! server stops checkpointing, drains, and reports the error rather than
+//! acknowledging events it can no longer persist.
+
+use std::collections::{HashMap, HashSet};
+use std::io::{self, BufRead, BufReader, Write as IoWrite};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use saql_engine::{
+    render_alert_json, Alert, Checkpoint, CheckpointConfig, Engine, EngineConfig, RunSession,
+    SessionStatus,
+};
+use saql_model::event::Event;
+use saql_model::json::decode_event_json;
+use saql_model::time::{Duration, Timestamp};
+use saql_stream::merge::{Lateness, MergeConfig, SourceId, SourceStats};
+use saql_stream::source::{push_source, ChannelSource, StoreSource};
+use saql_stream::{PushError, StoreReader, StoreWriter};
+
+use crate::metrics::{Cell, Metrics};
+use crate::protocol::{self, err_line, json_array, ok_line, ControlCmd, Hello, JsonObj};
+use crate::quota::{Clock, MonotonicClock, TenantQuota, TokenBucket};
+
+/// Events fed per pump round before the control plane gets a turn.
+const ROUND_BUDGET: usize = 65_536;
+/// Accept-loop poll interval while idle.
+const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+/// Socket read timeout — the granularity at which blocked connection
+/// threads notice shutdown.
+const READ_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(100);
+/// Minimum spacing between observability refreshes (gauges, failure log).
+const OBSERVE_EVERY: std::time::Duration = std::time::Duration::from_millis(100);
+
+// ---------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------
+
+/// Everything a [`Server`] needs to stand up.
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port — see
+    /// [`Server::addr`]).
+    pub listen: String,
+    pub engine: EngineConfig,
+    /// Default lateness bound for watermark-merged ingest connections.
+    pub lateness: Duration,
+    /// Events pulled per source per merge poll.
+    pub pull_batch: usize,
+    /// Capacity of each ingest connection's event channel.
+    pub ingest_buffer: usize,
+    /// Quota applied to tenants without an explicit override.
+    pub quota: TenantQuota,
+    /// Per-tenant quota overrides.
+    pub tenant_quotas: Vec<(String, TenantQuota)>,
+    /// Write-ahead event store path (file or segment directory); `None`
+    /// serves memory-only.
+    pub durable_store: Option<PathBuf>,
+    /// Checkpoint directory; enables cadence + shutdown checkpoints.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Cadence: checkpoint after at least this many events (0 = only at
+    /// shutdown / explicit `checkpoint` commands).
+    pub checkpoint_every: u64,
+    /// Resume from the checkpoint in `checkpoint_dir`, replaying the
+    /// durable store suffix before serving live traffic.
+    pub resume: bool,
+    /// Queries registered under the default tenant before serving
+    /// (ignored on resume — the checkpoint carries the registry).
+    pub initial_queries: Vec<(String, String)>,
+    /// Print every alert to stdout (the smoke-test surface).
+    pub print_alerts: bool,
+    /// Time source for quotas and latency metrics.
+    pub clock: Arc<dyn Clock>,
+    /// How long shutdown waits for live sources to drain.
+    pub drain_grace: std::time::Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:7878".to_string(),
+            engine: EngineConfig {
+                record_latency: true,
+                ..EngineConfig::default()
+            },
+            lateness: Duration::from_secs(1),
+            pull_batch: 256,
+            ingest_buffer: 4096,
+            quota: TenantQuota::default(),
+            tenant_quotas: Vec::new(),
+            durable_store: None,
+            checkpoint_dir: None,
+            checkpoint_every: 0,
+            resume: false,
+            initial_queries: Vec::new(),
+            print_alerts: false,
+            clock: Arc::new(MonotonicClock::new()),
+            drain_grace: std::time::Duration::from_secs(5),
+        }
+    }
+}
+
+/// What a finished server did, returned by [`Server::wait`].
+#[derive(Debug, Default)]
+pub struct ServeSummary {
+    /// Events fed to the engine (including resume replay).
+    pub events: u64,
+    /// Alerts raised.
+    pub alerts: u64,
+    /// Final checkpoint written at shutdown, if checkpointing was on.
+    pub checkpoint: Option<PathBuf>,
+    /// Durable store length at shutdown, if a store was configured.
+    pub store_len: Option<u64>,
+}
+
+// ---------------------------------------------------------------------
+// Shared state
+// ---------------------------------------------------------------------
+
+/// Per-connection ingest accounting, kept after the connection closes so
+/// `stats` shows the full picture.
+struct ConnStat {
+    tenant: String,
+    source: String,
+    events: AtomicU64,
+    decode_errors: AtomicU64,
+    shed_quota: AtomicU64,
+    shed_buffer: AtomicU64,
+    done: AtomicBool,
+}
+
+/// One tenant's governance state.
+struct Tenant {
+    quota: TenantQuota,
+    bucket: Mutex<TokenBucket>,
+    shed_quota: AtomicU64,
+}
+
+impl Tenant {
+    fn try_take(&self, clock: &dyn Clock) -> bool {
+        self.bucket.lock().unwrap().try_take(clock.now_ns())
+    }
+}
+
+/// The tenant registry: default quota plus per-name overrides, tenants
+/// materialized on first contact.
+struct Tenants {
+    map: Mutex<HashMap<String, Arc<Tenant>>>,
+    default_quota: TenantQuota,
+    overrides: HashMap<String, TenantQuota>,
+    clock: Arc<dyn Clock>,
+}
+
+impl Tenants {
+    fn get(&self, name: &str) -> Arc<Tenant> {
+        let mut map = self.map.lock().unwrap();
+        if let Some(t) = map.get(name) {
+            return Arc::clone(t);
+        }
+        let quota = self
+            .overrides
+            .get(name)
+            .copied()
+            .unwrap_or(self.default_quota);
+        let tenant = Arc::new(Tenant {
+            quota,
+            bucket: Mutex::new(TokenBucket::for_quota(&quota, self.clock.now_ns())),
+            shed_quota: AtomicU64::new(0),
+        });
+        map.insert(name.to_string(), Arc::clone(&tenant));
+        tenant
+    }
+}
+
+/// State shared by the accept loop, connection threads, and core thread.
+struct Shared {
+    ctrl: Sender<Req>,
+    metrics: Arc<Metrics>,
+    tenants: Tenants,
+    conns: Mutex<Vec<Arc<ConnStat>>>,
+    shutdown: AtomicBool,
+    ingest_buffer: usize,
+    clock: Arc<dyn Clock>,
+    conn_seq: AtomicU64,
+}
+
+impl Shared {
+    fn stopping(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
+    }
+}
+
+/// A request from a connection thread to the core thread. Replies travel
+/// over per-request bounded(1) channels; a dropped reply sender means the
+/// core is gone.
+enum Req {
+    Attach {
+        source: ChannelSource,
+        arrival_order: bool,
+        reply: Sender<SourceId>,
+    },
+    WaitDrained {
+        id: SourceId,
+        reply: Sender<DrainReport>,
+    },
+    Control {
+        tenant: String,
+        cmd: ControlCmd,
+        reply: Sender<String>,
+    },
+    Subscribe {
+        tenant: String,
+        query: String,
+        reply: Sender<Result<Receiver<Alert>, String>>,
+    },
+}
+
+/// Final per-source accounting handed back when an ingest connection's
+/// source drains.
+struct DrainReport {
+    stats: SourceStats,
+    /// The events are in a synced durable store.
+    durable: bool,
+}
+
+// ---------------------------------------------------------------------
+// Server handle
+// ---------------------------------------------------------------------
+
+/// A running serving instance. [`start`](Server::start) spawns the accept
+/// and core threads and returns immediately; [`wait`](Server::wait) joins
+/// them (blocking until something — a control `shutdown`, a signal relay
+/// via [`request_shutdown`](Server::request_shutdown), or a fatal store
+/// error — stops the core).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    core: Option<JoinHandle<Result<ServeSummary, String>>>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
+        let metrics = Metrics::new();
+        let round_anchor = Arc::new(AtomicU64::new(0));
+
+        // Engine: fresh, or restored from the checkpoint.
+        let mut resume_state: Option<(u64, Timestamp, StoreReader)> = None;
+        let mut engine = if cfg.resume {
+            let dir = cfg
+                .checkpoint_dir
+                .as_ref()
+                .ok_or("resume requires a checkpoint dir")?;
+            let store_path = cfg
+                .durable_store
+                .as_ref()
+                .ok_or("resume requires a durable store")?;
+            let ckpt = Checkpoint::load(&Checkpoint::path_in(dir)).map_err(|e| e.to_string())?;
+            let reader = StoreReader::open(store_path).map_err(|e| e.to_string())?;
+            let (offset, frontier) = (ckpt.offset, ckpt.frontier);
+            let engine = Engine::resume_from(ckpt, cfg.engine).map_err(|e| e.to_string())?;
+            resume_state = Some((offset, frontier, reader));
+            engine
+        } else {
+            let mut engine = Engine::new(cfg.engine);
+            for (name, text) in &cfg.initial_queries {
+                let full = format!("{}/{name}", protocol::DEFAULT_TENANT);
+                engine
+                    .register(&full, text)
+                    .map_err(|e| format!("query `{name}`: {}", e.message))?;
+            }
+            engine
+        };
+        install_alert_hook(&mut engine, &metrics, &cfg.clock, &round_anchor);
+
+        // Durable store writer.
+        let store = match &cfg.durable_store {
+            Some(path) => Some(
+                if path.exists() {
+                    StoreWriter::open(path)
+                } else {
+                    StoreWriter::create_segmented(path)
+                }
+                .map_err(|e| e.to_string())?,
+            ),
+            None => None,
+        };
+        let persisted = store.as_ref().map_or(0, StoreWriter::len);
+        if let Some((offset, _, _)) = &resume_state {
+            if *offset > persisted {
+                return Err(format!(
+                    "checkpoint offset {offset} is ahead of the durable store ({persisted} events) — \
+                     the store and checkpoint dir do not belong together"
+                ));
+            }
+        }
+
+        let listener = TcpListener::bind(&cfg.listen).map_err(|e| e.to_string())?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+
+        let (ctrl_tx, ctrl_rx) = bounded::<Req>(1024);
+        let shared = Arc::new(Shared {
+            ctrl: ctrl_tx,
+            metrics: Arc::clone(&metrics),
+            tenants: Tenants {
+                map: Mutex::new(HashMap::new()),
+                default_quota: cfg.quota,
+                overrides: cfg.tenant_quotas.iter().cloned().collect(),
+                clock: Arc::clone(&cfg.clock),
+            },
+            conns: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            ingest_buffer: cfg.ingest_buffer.max(1),
+            clock: Arc::clone(&cfg.clock),
+            conn_seq: AtomicU64::new(0),
+        });
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("saql-serve-accept".into())
+                .spawn(move || run_accept(listener, shared))
+                .map_err(|e| e.to_string())?
+        };
+        let core = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("saql-serve-core".into())
+                .spawn(move || {
+                    let out = run_core(
+                        engine,
+                        store,
+                        persisted,
+                        resume_state,
+                        cfg,
+                        &shared,
+                        ctrl_rx,
+                        round_anchor,
+                    );
+                    // Whatever stopped the core stops the listener too.
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    out
+                })
+                .map_err(|e| e.to_string())?
+        };
+
+        Ok(Server {
+            addr,
+            shared,
+            core: Some(core),
+            accept: Some(accept),
+        })
+    }
+
+    /// The bound address (resolves `:0` binds).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Begin graceful shutdown: stop accepting, drain live sources (within
+    /// the grace period), seal the store, write the final checkpoint.
+    pub fn request_shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// The core thread has exited (shutdown finished or a fatal error).
+    pub fn is_finished(&self) -> bool {
+        match &self.core {
+            Some(handle) => handle.is_finished(),
+            None => true,
+        }
+    }
+
+    /// Join the server, blocking until it stops, and return its summary.
+    pub fn wait(mut self) -> Result<ServeSummary, String> {
+        let core = self.core.take();
+        let out = match core {
+            Some(handle) => handle
+                .join()
+                .unwrap_or_else(|_| Err("serve core thread panicked".into())),
+            None => Ok(ServeSummary::default()),
+        };
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        out
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.core.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Per-alert engine hook: delivered-alert counters and ingest-to-delivery
+/// latency histograms, keyed by query name. The latency anchor is the
+/// timestamp the core thread stamps at the start of each pump round — the
+/// moment the round's events left the merge and entered the engine.
+fn install_alert_hook(
+    engine: &mut Engine,
+    metrics: &Arc<Metrics>,
+    clock: &Arc<dyn Clock>,
+    round_anchor: &Arc<AtomicU64>,
+) {
+    let metrics = Arc::clone(metrics);
+    let clock = Arc::clone(clock);
+    let anchor = Arc::clone(round_anchor);
+    let mut series: HashMap<String, (Cell, String)> = HashMap::new();
+    engine.set_alert_hook(Box::new(move |alert| {
+        let (counter, latency_series) = series.entry(alert.query.clone()).or_insert_with(|| {
+            (
+                metrics.counter(&format!(
+                    "saql_alerts_delivered_total{{query=\"{}\"}}",
+                    alert.query
+                )),
+                format!("saql_delivery_latency_us{{query=\"{}\"}}", alert.query),
+            )
+        });
+        counter.fetch_add(1, Ordering::Relaxed);
+        let start = anchor.load(Ordering::Relaxed);
+        if start > 0 {
+            let us = clock.now_ns().saturating_sub(start) / 1_000;
+            metrics.record(latency_series, us);
+        }
+    }));
+}
+
+// ---------------------------------------------------------------------
+// Core thread
+// ---------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+fn run_core(
+    mut engine: Engine,
+    mut store: Option<StoreWriter>,
+    mut persisted: u64,
+    resume: Option<(u64, Timestamp, StoreReader)>,
+    cfg: ServeConfig,
+    sh: &Shared,
+    ctrl_rx: Receiver<Req>,
+    round_anchor: Arc<AtomicU64>,
+) -> Result<ServeSummary, String> {
+    let mut summary = ServeSummary::default();
+    let mut fatal: Option<String> = None;
+    let checkpointing = cfg.checkpoint_dir.is_some();
+    // `finish()` flushes open windows to subscribers — correct when the
+    // stream truly ends here, wrong when a checkpoint means "to be
+    // continued": a resumed session must find those windows still open.
+    let finish_at_end = !checkpointing;
+
+    {
+        let mut session = engine.session_with(MergeConfig {
+            lateness: cfg.lateness,
+            pull_batch: cfg.pull_batch,
+        });
+        if let Some(dir) = &cfg.checkpoint_dir {
+            // Cadence 0: the core loop drives cadence itself so a store
+            // write failure can veto checkpoints before one is written.
+            session.enable_checkpoints(CheckpointConfig {
+                dir: dir.clone(),
+                every_events: 0,
+            });
+        }
+
+        // Durable write-ahead tap: append + sync each round's merged batch
+        // before the engine consumes it. `persisted` skips the prefix a
+        // previous run already stored (the resume replay).
+        let mut store_err: Option<String> = None;
+        macro_rules! pump {
+            ($session:expr) => {{
+                round_anchor.store(sh.clock.now_ns().max(1), Ordering::Relaxed);
+                let store = &mut store;
+                let persisted = &mut persisted;
+                let store_err = &mut store_err;
+                $session.pump_tapped(ROUND_BUDGET, &mut |offset, events| {
+                    let Some(writer) = store.as_mut() else { return };
+                    if store_err.is_some() {
+                        return;
+                    }
+                    let skip = persisted.saturating_sub(offset).min(events.len() as u64) as usize;
+                    if skip == events.len() {
+                        return;
+                    }
+                    let owned: Vec<Event> =
+                        events[skip..].iter().map(|e| Event::clone(e)).collect();
+                    match writer.append(&owned).and_then(|_| writer.sync()) {
+                        Ok(()) => *persisted = offset + events.len() as u64,
+                        Err(e) => *store_err = Some(e.to_string()),
+                    }
+                })
+            }};
+        }
+
+        // Resume: replay the store suffix past the checkpoint to exactly
+        // the pre-shutdown state *before* opening for live traffic (live
+        // attaches stay queued on the control channel meanwhile, so the
+        // replay cannot interleave with — or re-read — fresh appends).
+        match resume {
+            Some((offset, frontier, reader)) => {
+                session.resume_at_position(offset, frontier);
+                match StoreSource::open_at("_resume/store", &reader, offset) {
+                    Ok(src) => {
+                        session.attach_with(src, Lateness::ArrivalOrder);
+                        loop {
+                            let round = pump!(session);
+                            summary.events += round.events;
+                            summary.alerts += round.alerts.len() as u64;
+                            if cfg.print_alerts {
+                                for alert in &round.alerts {
+                                    println!("{alert}");
+                                }
+                            }
+                            if round.status != SessionStatus::Active {
+                                break;
+                            }
+                        }
+                        eprintln!(
+                            "[serve] resumed at offset {offset}, replayed {} stored events",
+                            summary.events
+                        );
+                    }
+                    Err(e) => fatal = Some(format!("resume replay failed: {e}")),
+                }
+            }
+            None => {
+                if persisted > 0 {
+                    // Fresh engine over a non-empty store: continue the
+                    // store's offset space so appended rounds line up.
+                    session.resume_at_position(persisted, Timestamp::from_millis(0));
+                }
+            }
+        }
+
+        let mut waiters: Vec<(SourceId, Sender<DrainReport>)> = Vec::new();
+        let mut degraded: HashSet<String> = HashSet::new();
+        let mut since_checkpoint: u64 = 0;
+        let mut last_observe = Instant::now();
+        let mut drain_deadline: Option<Instant> = None;
+        let mut observed_any = false;
+
+        while fatal.is_none() {
+            // Control plane between rounds.
+            while let Ok(req) = ctrl_rx.try_recv() {
+                handle_req(req, &mut session, &mut waiters, sh, checkpointing, &store);
+            }
+
+            if sh.stopping() && drain_deadline.is_none() {
+                drain_deadline = Some(Instant::now() + cfg.drain_grace);
+            }
+
+            let round = pump!(session);
+            summary.events += round.events;
+            summary.alerts += round.alerts.len() as u64;
+            if cfg.print_alerts {
+                for alert in &round.alerts {
+                    println!("{alert}");
+                }
+            }
+            if let Some(e) = store_err.clone() {
+                // Durability is the contract; without it, stop rather than
+                // acknowledge events the store will not remember.
+                fatal = Some(format!("durable store write failed: {e}"));
+                break;
+            }
+
+            since_checkpoint += round.events;
+            if checkpointing && cfg.checkpoint_every > 0 && since_checkpoint >= cfg.checkpoint_every
+            {
+                // The tap already synced everything the engine consumed, so
+                // the checkpoint offset is covered by durable events.
+                if session.checkpoint_now().is_ok() {
+                    since_checkpoint = 0;
+                }
+            }
+
+            if last_observe.elapsed() >= OBSERVE_EVERY || !observed_any {
+                observed_any = true;
+                last_observe = Instant::now();
+                observe(&mut session, sh, &mut degraded);
+            }
+
+            if !waiters.is_empty() {
+                let stats = session.source_stats();
+                let durable = store.is_some() && store_err.is_none();
+                waiters.retain(
+                    |(id, reply)| match stats.iter().find(|(sid, _)| sid == id) {
+                        // `done` alone is not drained: the exhausted source's
+                        // tail can still sit buffered in the K-way merge,
+                        // gated by another source's watermark — and events
+                        // still buffered there have not reached the durable
+                        // tap, so acking them would overstate coverage.
+                        Some((_, ss)) if ss.done && ss.buffered == 0 => {
+                            let _ = reply.send(DrainReport {
+                                stats: ss.clone(),
+                                durable,
+                            });
+                            false
+                        }
+                        Some(_) => true,
+                        // Unknown source: drop the reply; the waiter sees a
+                        // disconnect and reports "not drained".
+                        None => false,
+                    },
+                );
+            }
+
+            if let Some(deadline) = drain_deadline {
+                let drained = session.live_sources() == 0 && ctrl_rx.is_empty();
+                if drained || Instant::now() >= deadline {
+                    break;
+                }
+            }
+
+            if round.status != SessionStatus::Active {
+                // Nothing flowed: park briefly on the control channel
+                // instead of spinning (new events wake us next round).
+                if let Ok(req) = ctrl_rx.recv_timeout(std::time::Duration::from_millis(2)) {
+                    handle_req(req, &mut session, &mut waiters, sh, checkpointing, &store);
+                }
+            }
+        }
+
+        // Flush remaining waiters with whatever state their source reached.
+        let stats = session.source_stats();
+        let durable = store.is_some() && store_err.is_none();
+        for (id, reply) in waiters.drain(..) {
+            if let Some((_, ss)) = stats.iter().find(|(sid, _)| *sid == id) {
+                let _ = reply.send(DrainReport {
+                    stats: ss.clone(),
+                    durable: durable && ss.done && ss.buffered == 0,
+                });
+            }
+        }
+        observe(&mut session, sh, &mut degraded);
+
+        if let Some(writer) = store.as_mut() {
+            let sealed = writer.seal().and_then(|_| writer.sync());
+            if let (Err(e), None) = (sealed, &fatal) {
+                fatal = Some(format!("sealing the durable store failed: {e}"));
+            }
+            summary.store_len = Some(writer.len());
+        }
+        if checkpointing && fatal.is_none() {
+            match session.checkpoint_now() {
+                Ok(path) => summary.checkpoint = Some(path),
+                Err(e) => fatal = Some(format!("final checkpoint failed: {e}")),
+            }
+        }
+    }
+
+    if finish_at_end && fatal.is_none() {
+        for alert in engine.finish() {
+            summary.alerts += 1;
+            if cfg.print_alerts {
+                println!("{alert}");
+            }
+        }
+    }
+    // Dropping the engine disconnects subscriber channels; their
+    // connection threads notice and exit.
+    drop(engine);
+
+    match fatal {
+        Some(e) => Err(e),
+        None => Ok(summary),
+    }
+}
+
+/// Handle one control-plane request on the core thread, between rounds.
+fn handle_req(
+    req: Req,
+    session: &mut RunSession<'_>,
+    waiters: &mut Vec<(SourceId, Sender<DrainReport>)>,
+    sh: &Shared,
+    checkpointing: bool,
+    store: &Option<StoreWriter>,
+) {
+    match req {
+        Req::Attach {
+            source,
+            arrival_order,
+            reply,
+        } => {
+            let id = if arrival_order {
+                session.attach_with(source, Lateness::ArrivalOrder)
+            } else {
+                // Session default: the configured lateness bound.
+                session.attach(source)
+            };
+            let _ = reply.send(id);
+        }
+        Req::WaitDrained { id, reply } => waiters.push((id, reply)),
+        Req::Subscribe {
+            tenant,
+            query,
+            reply,
+        } => {
+            let full = format!("{tenant}/{query}");
+            let engine = session.engine();
+            let result = match engine.find(&full) {
+                Some(id) => engine.subscribe(id).map_err(|e| e.to_string()),
+                None => Err(format!("no query `{query}` for tenant `{tenant}`")),
+            };
+            let _ = reply.send(result);
+        }
+        Req::Control { tenant, cmd, reply } => {
+            let line = control_response(&tenant, cmd, session, sh, checkpointing, store);
+            let _ = reply.send(line);
+        }
+    }
+}
+
+/// Render the response line for one control command.
+fn control_response(
+    tenant: &str,
+    cmd: ControlCmd,
+    session: &mut RunSession<'_>,
+    sh: &Shared,
+    checkpointing: bool,
+    store: &Option<StoreWriter>,
+) -> String {
+    let prefix = format!("{tenant}/");
+    match cmd {
+        ControlCmd::Register { name, query } => {
+            if name.is_empty() || name.contains('/') {
+                return err_line("query name must be non-empty and must not contain `/`");
+            }
+            let full = format!("{prefix}{name}");
+            let tenant_gov = sh.tenants.get(tenant);
+            let engine = session.engine();
+            if engine.find(&full).is_some() {
+                return err_line(&format!("query `{name}` is already registered"));
+            }
+            let live = engine
+                .query_names()
+                .iter()
+                .filter(|n| n.starts_with(&prefix))
+                .count();
+            if live >= tenant_gov.quota.max_live_queries {
+                return err_line(&format!(
+                    "tenant `{tenant}` is at its live-query quota ({live})"
+                ));
+            }
+            match engine.register(&full, &query) {
+                Ok(id) => JsonObj::new()
+                    .bool("ok", true)
+                    .str("name", &name)
+                    .u64("id", id.index() as u64)
+                    .finish(),
+                Err(e) => err_line(&e.message),
+            }
+        }
+        ControlCmd::Deregister { name } => with_query(session, &prefix, &name, |engine, id| {
+            engine.deregister(id).map_err(|e| e.to_string())?;
+            Ok(ok_line())
+        }),
+        ControlCmd::Pause { name } => with_query(session, &prefix, &name, |engine, id| {
+            engine.pause(id).map_err(|e| e.to_string())?;
+            Ok(ok_line())
+        }),
+        ControlCmd::Resume { name } => with_query(session, &prefix, &name, |engine, id| {
+            engine.resume(id).map_err(|e| e.to_string())?;
+            Ok(ok_line())
+        }),
+        ControlCmd::List => {
+            let engine = session.engine();
+            let items: Vec<String> = engine
+                .query_names()
+                .into_iter()
+                .filter_map(|full| {
+                    let bare = full.strip_prefix(&prefix)?.to_string();
+                    let id = engine.find(&full)?;
+                    Some(
+                        JsonObj::new()
+                            .str("name", &bare)
+                            .u64("id", id.index() as u64)
+                            .bool("paused", engine.is_paused(id))
+                            .finish(),
+                    )
+                })
+                .collect();
+            JsonObj::new()
+                .bool("ok", true)
+                .raw("queries", &json_array(items))
+                .finish()
+        }
+        ControlCmd::Stats => render_stats(tenant, session, sh, store),
+        ControlCmd::Checkpoint => {
+            if !checkpointing {
+                return err_line("server is running without a checkpoint dir");
+            }
+            let offset = session.offset();
+            match session.checkpoint_now() {
+                Ok(path) => JsonObj::new()
+                    .bool("ok", true)
+                    .str("path", &path.display().to_string())
+                    .u64("offset", offset)
+                    .finish(),
+                Err(e) => err_line(&e.to_string()),
+            }
+        }
+        ControlCmd::Shutdown => {
+            sh.shutdown.store(true, Ordering::SeqCst);
+            JsonObj::new()
+                .bool("ok", true)
+                .bool("draining", true)
+                .finish()
+        }
+    }
+}
+
+/// Look up `prefix + name` and run `op` on it, rendering the error shapes
+/// uniformly.
+fn with_query(
+    session: &mut RunSession<'_>,
+    prefix: &str,
+    name: &str,
+    op: impl FnOnce(&mut Engine, saql_engine::QueryId) -> Result<String, String>,
+) -> String {
+    let full = format!("{prefix}{name}");
+    let engine = session.engine();
+    match engine.find(&full) {
+        Some(id) => op(engine, id).unwrap_or_else(|e| err_line(&e)),
+        None => err_line(&format!("no query `{name}` in this tenant")),
+    }
+}
+
+/// The `stats` control response: engine position, this tenant's queries,
+/// sources, connections, and quota standing.
+fn render_stats(
+    tenant: &str,
+    session: &mut RunSession<'_>,
+    sh: &Shared,
+    store: &Option<StoreWriter>,
+) -> String {
+    let prefix = format!("{tenant}/");
+    let offset = session.offset();
+    let frontier = session.frontier().as_millis();
+    let live_sources = session.live_sources() as u64;
+    let sources = session.source_stats();
+    let engine = session.engine();
+
+    let stats_by_name: HashMap<String, saql_engine::query::QueryStats> =
+        engine.query_stats().into_iter().collect();
+    let drops_by_id: HashMap<usize, u64> = engine
+        .dropped_alerts_by_query()
+        .into_iter()
+        .map(|(id, n)| (id.index(), n))
+        .collect();
+    let queries: Vec<String> = engine
+        .query_names()
+        .into_iter()
+        .filter_map(|full| {
+            let bare = full.strip_prefix(&prefix)?.to_string();
+            let id = engine.find(&full)?;
+            let qs = stats_by_name.get(&full).copied().unwrap_or_default();
+            Some(
+                JsonObj::new()
+                    .str("name", &bare)
+                    .u64("id", id.index() as u64)
+                    .bool("paused", engine.is_paused(id))
+                    .u64("events_seen", qs.events_seen)
+                    .u64("events_matched", qs.events_matched)
+                    .u64("windows_closed", qs.windows_closed)
+                    .u64("alerts", qs.alerts)
+                    .u64("late_events", qs.late_events)
+                    .u64(
+                        "dropped_alerts",
+                        drops_by_id.get(&id.index()).copied().unwrap_or(0),
+                    )
+                    .finish(),
+            )
+        })
+        .collect();
+
+    let source_items: Vec<String> = sources
+        .iter()
+        .filter(|(_, ss)| ss.name.starts_with(&prefix) || ss.name.starts_with("_resume/"))
+        .map(|(_, ss)| {
+            JsonObj::new()
+                .str("name", &ss.name)
+                .u64("events", ss.events)
+                .u64("pulled", ss.pulled)
+                .u64("dropped_late", ss.dropped_late)
+                .u64("buffered", ss.buffered as u64)
+                .u64("watermark_ms", ss.watermark.as_millis())
+                .u64("lag_ms", ss.lag.as_millis())
+                .bool("done", ss.done)
+                .opt_str("failure", ss.failure.as_deref())
+                .finish()
+        })
+        .collect();
+
+    let conns: Vec<String> = sh
+        .conns
+        .lock()
+        .unwrap()
+        .iter()
+        .filter(|c| c.tenant == tenant)
+        .map(|c| {
+            JsonObj::new()
+                .str("source", &c.source)
+                .u64("events", c.events.load(Ordering::Relaxed))
+                .u64("decode_errors", c.decode_errors.load(Ordering::Relaxed))
+                .u64("shed_quota", c.shed_quota.load(Ordering::Relaxed))
+                .u64("shed_buffer", c.shed_buffer.load(Ordering::Relaxed))
+                .bool("done", c.done.load(Ordering::Relaxed))
+                .finish()
+        })
+        .collect();
+
+    let tenant_gov = sh.tenants.get(tenant);
+    let quota = JsonObj::new()
+        .u64("max_live_queries", tenant_gov.quota.max_live_queries as u64)
+        .u64("events_per_sec", tenant_gov.quota.events_per_sec)
+        .u64("burst", tenant_gov.quota.effective_burst())
+        .u64("shed", tenant_gov.shed_quota.load(Ordering::Relaxed))
+        .finish();
+    let engine_obj = JsonObj::new()
+        .u64("offset", offset)
+        .u64("frontier_ms", frontier)
+        .u64("live_sources", live_sources)
+        .u64("dropped_alerts", engine.dropped_alerts())
+        .u64("durable_events", store.as_ref().map_or(0, StoreWriter::len))
+        .bool("durable", store.is_some())
+        .finish();
+
+    JsonObj::new()
+        .bool("ok", true)
+        .str("tenant", tenant)
+        .raw("engine", &engine_obj)
+        .raw("queries", &json_array(queries))
+        .raw("sources", &json_array(source_items))
+        .raw("connections", &json_array(conns))
+        .raw("quota", &quota)
+        .finish()
+}
+
+/// Refresh gauges and surface newly degraded sources (satellite: live
+/// decode-failure visibility — a failed source must not look like a clean
+/// short stream).
+fn observe(session: &mut RunSession<'_>, sh: &Shared, degraded: &mut HashSet<String>) {
+    let m = &sh.metrics;
+    m.set_gauge("saql_engine_offset", session.offset());
+    m.set_gauge("saql_engine_frontier_ms", session.frontier().as_millis());
+    m.set_gauge("saql_engine_live_sources", session.live_sources() as u64);
+    let sources = session.source_stats();
+    for (_, ss) in &sources {
+        let label = format!("{{source=\"{}\"}}", ss.name);
+        m.set_gauge(&format!("saql_source_events_total{label}"), ss.events);
+        m.set_gauge(&format!("saql_source_lag_ms{label}"), ss.lag.as_millis());
+        m.set_gauge(
+            &format!("saql_source_watermark_ms{label}"),
+            ss.watermark.as_millis(),
+        );
+        m.set_gauge(
+            &format!("saql_source_dropped_late_total{label}"),
+            ss.dropped_late,
+        );
+        if let Some(failure) = &ss.failure {
+            if degraded.insert(ss.name.clone()) {
+                m.add("saql_source_failures_total", 1);
+                eprintln!("[serve] source {} degraded: {failure}", ss.name);
+            }
+        }
+    }
+    let engine = session.engine();
+    m.set_gauge("saql_engine_dropped_alerts_total", engine.dropped_alerts());
+    m.set_gauge(
+        "saql_engine_live_queries",
+        engine.query_names().len() as u64,
+    );
+    for (name, qs) in engine.query_stats() {
+        let label = format!("{{query=\"{name}\"}}");
+        m.set_gauge(&format!("saql_query_events_total{label}"), qs.events_seen);
+        m.set_gauge(&format!("saql_query_alerts_total{label}"), qs.alerts);
+        m.set_gauge(
+            &format!("saql_query_late_events_total{label}"),
+            qs.late_events,
+        );
+    }
+}
+
+// ---------------------------------------------------------------------
+// Accept loop and connection handlers
+// ---------------------------------------------------------------------
+
+fn run_accept(listener: TcpListener, sh: Arc<Shared>) {
+    let mut handles: Vec<JoinHandle<()>> = Vec::new();
+    while !sh.stopping() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let sh = Arc::clone(&sh);
+                if let Ok(handle) = thread::Builder::new()
+                    .name("saql-serve-conn".into())
+                    .spawn(move || handle_conn(stream, &sh))
+                {
+                    handles.push(handle);
+                }
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+}
+
+/// What one tolerant line read produced.
+enum LineRead {
+    Line,
+    Eof,
+    /// Shutdown was flagged while waiting.
+    Stop,
+}
+
+/// Read one line, riding out read-timeout ticks (so blocked reads notice
+/// shutdown) while preserving any partial line already buffered.
+fn read_net_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut String,
+    sh: &Shared,
+) -> io::Result<LineRead> {
+    line.clear();
+    loop {
+        match reader.read_line(line) {
+            Ok(0) => return Ok(LineRead::Eof),
+            Ok(_) => return Ok(LineRead::Line),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if sh.stopping() {
+                    return Ok(LineRead::Stop);
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+fn handle_conn(stream: TcpStream, sh: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    match read_net_line(&mut reader, &mut line, sh) {
+        Ok(LineRead::Line) => {}
+        _ => return,
+    }
+    if line.starts_with("GET ") {
+        serve_metrics(&mut reader, &mut writer, sh);
+        return;
+    }
+    match protocol::parse_hello(&line) {
+        Err(e) => {
+            let _ = write_line(&mut writer, &err_line(&e));
+        }
+        Ok(Hello::Ingest {
+            tenant,
+            source,
+            arrival_order,
+            lossless,
+        }) => run_ingest(
+            &mut reader,
+            &mut writer,
+            sh,
+            tenant,
+            source,
+            arrival_order,
+            lossless,
+        ),
+        Ok(Hello::Control { tenant }) => run_control(&mut reader, &mut writer, sh, tenant),
+        Ok(Hello::Subscribe { tenant, query }) => {
+            run_subscribe(&mut writer, sh, tenant, query);
+        }
+    }
+}
+
+/// Minimal HTTP/1.0 exposition so `curl addr/metrics` works.
+fn serve_metrics(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, sh: &Shared) {
+    // Swallow the request headers (bounded) so the client sees a clean
+    // response instead of a reset.
+    let mut line = String::new();
+    for _ in 0..64 {
+        match read_net_line(reader, &mut line, sh) {
+            Ok(LineRead::Line) if line.trim().is_empty() => break,
+            Ok(LineRead::Line) => {}
+            _ => break,
+        }
+    }
+    let body = sh.metrics.render_text();
+    let response = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = writer.write_all(response.as_bytes());
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_ingest(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    sh: &Shared,
+    tenant: String,
+    source: String,
+    arrival_order: bool,
+    lossless: bool,
+) {
+    let tenant_gov = sh.tenants.get(&tenant);
+    let seq = sh.conn_seq.fetch_add(1, Ordering::Relaxed);
+    let source_name = format!("{tenant}/{source}#{seq}");
+    let (push, channel) = push_source(&source_name, sh.ingest_buffer);
+
+    let (reply_tx, reply_rx) = bounded(1);
+    let attach = Req::Attach {
+        source: channel,
+        arrival_order,
+        reply: reply_tx,
+    };
+    if sh.ctrl.send(attach).is_err() {
+        let _ = write_line(writer, &err_line("server is shutting down"));
+        return;
+    }
+    let Ok(source_id) = reply_rx.recv() else {
+        let _ = write_line(writer, &err_line("server is shutting down"));
+        return;
+    };
+    let stat = Arc::new(ConnStat {
+        tenant: tenant.clone(),
+        source: source_name.clone(),
+        events: AtomicU64::new(0),
+        decode_errors: AtomicU64::new(0),
+        shed_quota: AtomicU64::new(0),
+        shed_buffer: AtomicU64::new(0),
+        done: AtomicBool::new(false),
+    });
+    sh.conns.lock().unwrap().push(Arc::clone(&stat));
+    if write_line(writer, &ok_line()).is_err() {
+        return;
+    }
+
+    let tenant_label = format!("{{tenant=\"{tenant}\"}}");
+    let accepted = sh
+        .metrics
+        .counter(&format!("saql_ingest_events_total{tenant_label}"));
+    let decode_failed = sh
+        .metrics
+        .counter(&format!("saql_ingest_decode_failures_total{tenant_label}"));
+    let shed_quota = sh.metrics.counter(&format!(
+        "saql_ingest_shed_total{{tenant=\"{tenant}\",reason=\"quota\"}}"
+    ));
+    let shed_buffer = sh.metrics.counter(&format!(
+        "saql_ingest_shed_total{{tenant=\"{tenant}\",reason=\"buffer\"}}"
+    ));
+
+    let mut line = String::new();
+    let mut line_no: u64 = 0;
+    let mut first_decode_err: Option<(u64, String)> = None;
+    while let Ok(LineRead::Line) = read_net_line(reader, &mut line, sh) {
+        line_no += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let event = match decode_event_json(trimmed) {
+            Ok(event) => Arc::new(event),
+            Err(e) => {
+                stat.decode_errors.fetch_add(1, Ordering::Relaxed);
+                decode_failed.fetch_add(1, Ordering::Relaxed);
+                let (first_line, first_msg) =
+                    first_decode_err.get_or_insert_with(|| (line_no, e.to_string()));
+                // Live degradation surface: the paired ChannelSource's
+                // failure() — and so the session's per-source stats —
+                // reports this while the stream keeps flowing.
+                push.report_failure(format!(
+                    "{} undecodable line(s); first at line {first_line}: {first_msg}",
+                    stat.decode_errors.load(Ordering::Relaxed)
+                ));
+                continue;
+            }
+        };
+        if !tenant_gov.try_take(sh.clock.as_ref()) {
+            stat.shed_quota.fetch_add(1, Ordering::Relaxed);
+            shed_quota.fetch_add(1, Ordering::Relaxed);
+            tenant_gov.shed_quota.fetch_add(1, Ordering::Relaxed);
+            continue;
+        }
+        if lossless {
+            // Blocks this connection thread only; the pump keeps running
+            // and TCP backpressure reaches the producer.
+            if !push.push(event) {
+                break;
+            }
+            stat.events.fetch_add(1, Ordering::Relaxed);
+            accepted.fetch_add(1, Ordering::Relaxed);
+        } else {
+            match push.try_push(event) {
+                Ok(()) => {
+                    stat.events.fetch_add(1, Ordering::Relaxed);
+                    accepted.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(PushError::Full(_)) => {
+                    stat.shed_buffer.fetch_add(1, Ordering::Relaxed);
+                    shed_buffer.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(PushError::Closed(_)) => break,
+            }
+        }
+    }
+    // End the source (all handles dropped) and wait for the engine to
+    // drain it, then acknowledge with the final accounting.
+    drop(push);
+    let (reply_tx, reply_rx) = bounded(1);
+    let report = if sh
+        .ctrl
+        .send(Req::WaitDrained {
+            id: source_id,
+            reply: reply_tx,
+        })
+        .is_ok()
+    {
+        reply_rx.recv().ok()
+    } else {
+        None
+    };
+    stat.done.store(true, Ordering::Relaxed);
+
+    let mut summary = JsonObj::new()
+        .bool("ok", true)
+        .bool("done", true)
+        .u64("events", stat.events.load(Ordering::Relaxed))
+        .u64("decode_errors", stat.decode_errors.load(Ordering::Relaxed))
+        .u64("shed_quota", stat.shed_quota.load(Ordering::Relaxed))
+        .u64("shed_buffer", stat.shed_buffer.load(Ordering::Relaxed));
+    summary = match &report {
+        Some(r) => summary
+            .bool("durable", r.durable)
+            .u64("released", r.stats.events)
+            .u64("dropped_late", r.stats.dropped_late)
+            .opt_str("failure", r.stats.failure.as_deref()),
+        None => summary.bool("durable", false),
+    };
+    let _ = write_line(writer, &summary.finish());
+}
+
+fn run_control(
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    sh: &Shared,
+    tenant: String,
+) {
+    if write_line(writer, &ok_line()).is_err() {
+        return;
+    }
+    let mut line = String::new();
+    while let Ok(LineRead::Line) = read_net_line(reader, &mut line, sh) {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match protocol::parse_control(&line) {
+            Err(e) => err_line(&e),
+            Ok(cmd) => {
+                let (reply_tx, reply_rx) = bounded(1);
+                if sh
+                    .ctrl
+                    .send(Req::Control {
+                        tenant: tenant.clone(),
+                        cmd,
+                        reply: reply_tx,
+                    })
+                    .is_err()
+                {
+                    err_line("server is shutting down")
+                } else {
+                    reply_rx
+                        .recv()
+                        .unwrap_or_else(|_| err_line("server is shutting down"))
+                }
+            }
+        };
+        if write_line(writer, &response).is_err() {
+            break;
+        }
+    }
+}
+
+fn run_subscribe(writer: &mut TcpStream, sh: &Shared, tenant: String, query: String) {
+    let (reply_tx, reply_rx) = bounded(1);
+    if sh
+        .ctrl
+        .send(Req::Subscribe {
+            tenant,
+            query,
+            reply: reply_tx,
+        })
+        .is_err()
+    {
+        let _ = write_line(writer, &err_line("server is shutting down"));
+        return;
+    }
+    let receiver = match reply_rx.recv() {
+        Ok(Ok(receiver)) => receiver,
+        Ok(Err(e)) => {
+            let _ = write_line(writer, &err_line(&e));
+            return;
+        }
+        Err(_) => {
+            let _ = write_line(writer, &err_line("server is shutting down"));
+            return;
+        }
+    };
+    if write_line(writer, &ok_line()).is_err() {
+        return;
+    }
+    loop {
+        match receiver.recv_timeout(std::time::Duration::from_millis(200)) {
+            Ok(alert) => {
+                if write_line(writer, &render_alert_json(&alert)).is_err() {
+                    return;
+                }
+            }
+            Err(crossbeam::channel::RecvTimeoutError::Timeout) => {}
+            Err(crossbeam::channel::RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Signals
+// ---------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sig {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    pub(super) static SIGNALLED: AtomicBool = AtomicBool::new(false);
+
+    type Handler = extern "C" fn(i32);
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+    extern "C" fn mark(_sig: i32) {
+        SIGNALLED.store(true, Ordering::SeqCst);
+    }
+
+    pub(super) fn install() {
+        // SIGINT and SIGTERM; the handler only flips an atomic, which the
+        // serve loop polls — everything heavier (drain, seal, checkpoint)
+        // happens on normal threads.
+        unsafe {
+            signal(2, mark);
+            signal(15, mark);
+        }
+    }
+}
+
+/// Install SIGINT/SIGTERM handlers that request graceful shutdown; poll
+/// [`signalled`] and relay to [`Server::request_shutdown`]. No-op off unix.
+pub fn install_signal_shutdown() {
+    #[cfg(unix)]
+    sig::install();
+}
+
+/// A termination signal has been received since
+/// [`install_signal_shutdown`].
+pub fn signalled() -> bool {
+    #[cfg(unix)]
+    {
+        sig::SIGNALLED.load(std::sync::atomic::Ordering::SeqCst)
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}

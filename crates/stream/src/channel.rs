@@ -32,17 +32,45 @@ pub fn event_channel(capacity: usize) -> (EventSender, EventReceiver) {
     (EventSender { tx }, EventReceiver { rx })
 }
 
+/// Why a non-blocking send was rejected. `Full` means the consumer is alive
+/// but behind — shedding or retrying are both sane; `Closed` means every
+/// receiver is gone and no send can ever succeed again. Both hand the
+/// undelivered event back.
+#[derive(Debug)]
+pub enum PushError {
+    /// Channel at capacity.
+    Full(SharedEvent),
+    /// All receivers dropped.
+    Closed(SharedEvent),
+}
+
+impl PushError {
+    /// Recover the undelivered event.
+    pub fn into_event(self) -> SharedEvent {
+        match self {
+            PushError::Full(ev) | PushError::Closed(ev) => ev,
+        }
+    }
+
+    /// `true` when the consuming side is gone for good.
+    pub fn is_closed(&self) -> bool {
+        matches!(self, PushError::Closed(_))
+    }
+}
+
 impl EventSender {
     /// Blocking send; returns `false` if all receivers are gone.
     pub fn send(&self, event: SharedEvent) -> bool {
         self.tx.send(event).is_ok()
     }
 
-    /// Non-blocking send; returns the event back if the channel is full or
-    /// disconnected.
-    pub fn try_send(&self, event: SharedEvent) -> Result<(), SharedEvent> {
+    /// Non-blocking send; distinguishes a momentarily full channel from a
+    /// permanently closed one so producers can shed load without mistaking
+    /// backpressure for shutdown.
+    pub fn try_send(&self, event: SharedEvent) -> Result<(), PushError> {
         self.tx.try_send(event).map_err(|e| match e {
-            TrySendError::Full(ev) | TrySendError::Disconnected(ev) => ev,
+            TrySendError::Full(ev) => PushError::Full(ev),
+            TrySendError::Disconnected(ev) => PushError::Closed(ev),
         })
     }
 }
@@ -129,7 +157,19 @@ mod tests {
     fn try_send_reports_full() {
         let (tx, _rx) = event_channel(1);
         assert!(tx.try_send(ev(1)).is_ok());
-        assert!(tx.try_send(ev(2)).is_err());
+        match tx.try_send(ev(2)) {
+            Err(PushError::Full(returned)) => assert_eq!(returned.id, 2),
+            other => panic!("expected Full, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_send_distinguishes_closed_from_full() {
+        let (tx, rx) = event_channel(1);
+        drop(rx);
+        let err = tx.try_send(ev(3)).unwrap_err();
+        assert!(err.is_closed());
+        assert_eq!(err.into_event().id, 3);
     }
 
     #[test]

@@ -40,6 +40,7 @@ use saql_model::Event;
 pub type SharedEvent = Arc<Event>;
 
 pub use batch::{batched, BatchView, EventBatch, DEFAULT_BATCH_SIZE};
+pub use channel::PushError;
 pub use durable::{StoreFormat, StoreIter, StoreReader, StoreWriter};
 pub use merge::{Lateness, MergeConfig, MergeStatus, SourceId, SourceStats, WatermarkMerge};
 pub use source::{EventSource, SourcePoll};

@@ -252,6 +252,10 @@ struct Slot<'a> {
     emitted: u64,
     dropped_late: u64,
     name: String,
+    /// Last failure the source reported, captured when it ends or detaches
+    /// so degraded feeds stay visible in [`WatermarkMerge::source_stats`]
+    /// after the source itself is gone.
+    failure: Option<String>,
 }
 
 impl Slot<'_> {
@@ -358,6 +362,7 @@ impl<'a> WatermarkMerge<'a> {
             pulled: 0,
             emitted: 0,
             dropped_late: 0,
+            failure: None,
         });
         id
     }
@@ -375,6 +380,7 @@ impl<'a> WatermarkMerge<'a> {
         }
         let stats = self.stats_of(id.index());
         let slot = &mut self.slots[id.index()];
+        slot.failure = stats.failure.clone();
         slot.source = None;
         slot.heap.clear();
         slot.fifo.clear();
@@ -430,6 +436,7 @@ impl<'a> WatermarkMerge<'a> {
                 SourcePoll::End => {
                     any_ready |= !self.scratch.is_empty();
                     slot.done = true;
+                    slot.failure = source.failure();
                 }
                 SourcePoll::Idle => {}
             }
@@ -546,7 +553,11 @@ impl<'a> WatermarkMerge<'a> {
             watermark,
             lag,
             done: slot.done,
-            failure: slot.source.as_ref().and_then(|s| s.failure()),
+            failure: slot
+                .source
+                .as_ref()
+                .and_then(|s| s.failure())
+                .or_else(|| slot.failure.clone()),
         }
     }
 

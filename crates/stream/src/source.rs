@@ -18,7 +18,7 @@ use std::sync::Arc;
 use saql_model::json::{decode_event_json, JsonError};
 use saql_model::Timestamp;
 
-use crate::channel::{event_channel, EventReceiver, EventSender};
+use crate::channel::{event_channel, EventReceiver, EventSender, PushError};
 use crate::durable::{StoreIter, StoreReader};
 use crate::replayer::{Replayer, Speed};
 use crate::store::{Selection, StoreError};
@@ -133,22 +133,30 @@ impl<I: Iterator<Item = SharedEvent>> EventSource for IterSource<I> {
 pub struct PushHandle {
     tx: EventSender,
     watermark: Arc<AtomicU64>,
+    failure: Arc<std::sync::Mutex<Option<String>>>,
 }
 
 impl PushHandle {
     /// Blocking push; `false` once the consuming session is gone.
     pub fn push(&self, event: SharedEvent) -> bool {
-        self.watermark
-            .fetch_max(event.ts.as_millis(), Ordering::Relaxed);
-        self.tx.send(event)
+        let ts = event.ts.as_millis();
+        if self.tx.send(event) {
+            self.watermark.fetch_max(ts, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
     }
 
-    /// Non-blocking push; hands the event back when the channel is full or
-    /// the session is gone.
-    pub fn try_push(&self, event: SharedEvent) -> Result<(), SharedEvent> {
-        self.watermark
-            .fetch_max(event.ts.as_millis(), Ordering::Relaxed);
-        self.tx.try_send(event)
+    /// Non-blocking push; [`PushError`] says whether the event was shed by
+    /// a full channel (consumer alive, retry or drop as policy dictates) or
+    /// refused because the session is gone. The watermark only advances on
+    /// delivery — a shed event makes no ordering promise.
+    pub fn try_push(&self, event: SharedEvent) -> Result<(), PushError> {
+        let ts = event.ts.as_millis();
+        self.tx.try_send(event)?;
+        self.watermark.fetch_max(ts, Ordering::Relaxed);
+        Ok(())
     }
 
     /// Advance the source's watermark without sending data: "nothing
@@ -157,6 +165,15 @@ impl PushHandle {
     pub fn advance_watermark(&self, ts: Timestamp) {
         self.watermark.fetch_max(ts.as_millis(), Ordering::Relaxed);
     }
+
+    /// Report (or update) a producer-side degradation — undecodable input
+    /// lines, a lost upstream — so it surfaces *live* through the paired
+    /// [`ChannelSource`]'s [`EventSource::failure`] and the session's
+    /// per-source stats, the same way pull-source failures do. The stream
+    /// keeps flowing; this is visibility, not teardown.
+    pub fn report_failure(&self, message: impl Into<String>) {
+        *self.failure.lock().unwrap() = Some(message.into());
+    }
 }
 
 /// A source fed from a bounded event channel ([`EventReceiver`]).
@@ -164,6 +181,7 @@ pub struct ChannelSource {
     name: String,
     rx: EventReceiver,
     watermark: Arc<AtomicU64>,
+    failure: Arc<std::sync::Mutex<Option<String>>>,
     ended: bool,
 }
 
@@ -173,6 +191,7 @@ impl ChannelSource {
             name: name.into(),
             rx,
             watermark: Arc::new(AtomicU64::new(0)),
+            failure: Arc::new(std::sync::Mutex::new(None)),
             ended: false,
         }
     }
@@ -227,6 +246,10 @@ impl EventSource for ChannelSource {
             ms => Some(Timestamp::from_millis(ms)),
         }
     }
+
+    fn failure(&self) -> Option<String> {
+        self.failure.lock().unwrap().clone()
+    }
 }
 
 /// A bounded channel source plus its [`PushHandle`]: the push-style entry
@@ -236,7 +259,15 @@ pub fn push_source(name: impl Into<String>, capacity: usize) -> (PushHandle, Cha
     let mut source = ChannelSource::new(name, rx);
     let watermark = Arc::new(AtomicU64::new(0));
     source.watermark = Arc::clone(&watermark);
-    (PushHandle { tx, watermark }, source)
+    let failure = Arc::clone(&source.failure);
+    (
+        PushHandle {
+            tx,
+            watermark,
+            failure,
+        },
+        source,
+    )
 }
 
 // ---------------------------------------------------------------------

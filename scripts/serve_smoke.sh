@@ -1,0 +1,136 @@
+#!/usr/bin/env bash
+# CI smoke for the serving layer (`saql serve` / `saql client`): stand the
+# server up with the demo queries and a durable store, ingest a simulated
+# trace over TCP in two halves with a SIGTERM + `--resume` restart between
+# them, and require that
+#   * every ingest batch is acknowledged durable,
+#   * the metrics page shows nonzero per-query throughput, delivery-latency
+#     histograms, and per-source lag gauges,
+#   * a subscriber stream sees exactly the alerts the server printed,
+#   * the rule-query alerts across both server incarnations equal the same
+#     trace through the offline engine (`saql replay`) — no event lost or
+#     duplicated across the restart.
+# Rule queries (c1–c5) are the comparison surface because their alerts are
+# purely event-driven; windowed queries flush open windows only when a
+# stream *finishes*, which a to-be-continued checkpoint deliberately does
+# not do.
+#
+# Usage: scripts/serve_smoke.sh  (SAQL_BIN overrides the binary path)
+set -euo pipefail
+
+BIN=${SAQL_BIN:-target/release/saql}
+TMP=$(mktemp -d)
+PIDS=()
+cleanup() {
+    for pid in "${PIDS[@]:-}"; do kill "$pid" 2>/dev/null || true; done
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+ADDR=127.0.0.1:$((21000 + RANDOM % 20000))
+
+fail() { echo "serve smoke FAILED: $*" >&2; exit 1; }
+
+# Event-driven rule-query alerts only, with the serve-side tenant
+# namespace stripped so both surfaces compare apples to apples.
+rule_alerts() { grep -E '^\[ALERT (default/)?c[0-9]-' "$1" | sed 's|ALERT default/|ALERT |' | sort > "$2" || true; }
+
+wait_listening() { # logfile
+    for _ in $(seq 1 100); do
+        grep -q "listening on" "$1" && return 0
+        sleep 0.1
+    done
+    fail "server did not start ($1)"
+}
+
+scrape_metrics() { # outfile
+    exec 3<>"/dev/tcp/${ADDR%:*}/${ADDR#*:}" || fail "cannot reach metrics endpoint"
+    printf 'GET /metrics HTTP/1.0\r\n\r\n' >&3
+    cat <&3 > "$1"
+    exec 3<&- 3>&-
+}
+
+echo "== simulate a trace and export it as ingestable JSONL"
+"$BIN" simulate --out "$TMP/trace.saql" --minutes 30 --seed 7
+"$BIN" export --store "$TMP/trace.saql" --out "$TMP/trace.jsonl"
+total=$(wc -l < "$TMP/trace.jsonl")
+[ "$total" -gt 100 ] || fail "trace too small ($total events)"
+half=$((total / 2))
+head -n "$half" "$TMP/trace.jsonl" > "$TMP/half1.jsonl"
+tail -n +"$((half + 1))" "$TMP/trace.jsonl" > "$TMP/half2.jsonl"
+
+echo "== offline baseline: the same trace through saql replay"
+"$BIN" replay --store "$TMP/trace.saql" --demo-queries > "$TMP/offline.raw"
+rule_alerts "$TMP/offline.raw" "$TMP/offline.alerts"
+[ -s "$TMP/offline.alerts" ] || fail "offline run produced no rule alerts"
+
+echo "== serve #1: demo queries, durable store, checkpointing"
+"$BIN" serve --listen "$ADDR" --demo-queries \
+    --store "$TMP/events.d" --checkpoint-dir "$TMP/ckpt" --checkpoint-every 500 \
+    > "$TMP/serve1.raw" 2> "$TMP/serve1.err" &
+SERVE1=$!
+PIDS+=("$SERVE1")
+wait_listening "$TMP/serve1.err"
+
+echo "== ingest the first half over TCP (lossless, arrival order)"
+"$BIN" client ingest --addr "$ADDR" --file "$TMP/half1.jsonl" \
+    --lossless --arrival > "$TMP/ack1.json"
+grep -q '"durable":true' "$TMP/ack1.json" || fail "first half not acknowledged durable: $(cat "$TMP/ack1.json")"
+grep -q "\"events\":$half" "$TMP/ack1.json" || fail "first half event count: $(cat "$TMP/ack1.json")"
+"$BIN" client ctl --addr "$ADDR" stats | grep -q '"ok":true' || fail "stats refused"
+
+echo "== SIGTERM: drain, seal, final checkpoint"
+kill -TERM "$SERVE1"
+wait "$SERVE1" || fail "serve #1 exited nonzero"
+[ -f "$TMP/ckpt/checkpoint.saqlckp" ] || fail "no checkpoint written on SIGTERM"
+
+echo "== serve #2: resume from the checkpoint, exact position"
+"$BIN" serve --listen "$ADDR" --resume \
+    --store "$TMP/events.d" --checkpoint-dir "$TMP/ckpt" --checkpoint-every 500 \
+    > "$TMP/serve2.raw" 2> "$TMP/serve2.err" &
+SERVE2=$!
+PIDS+=("$SERVE2")
+wait_listening "$TMP/serve2.err"
+grep -q "resumed at offset $half" "$TMP/serve2.err" \
+    || fail "resume position wrong: $(grep resumed "$TMP/serve2.err" || echo none)"
+
+echo "== subscribe to c1 alerts while ingesting the second half"
+"$BIN" client tail --addr "$ADDR" --query c1-initial-compromise > "$TMP/tail.jsonl" &
+TAIL=$!
+PIDS+=("$TAIL")
+sleep 0.3
+"$BIN" client ingest --addr "$ADDR" --file "$TMP/half2.jsonl" \
+    --lossless --arrival > "$TMP/ack2.json"
+grep -q '"durable":true' "$TMP/ack2.json" || fail "second half not acknowledged durable: $(cat "$TMP/ack2.json")"
+
+echo "== metrics: per-query throughput, latency histograms, source lag"
+scrape_metrics "$TMP/metrics.txt"
+grep -Eq 'saql_query_events_total\{[^}]*\} [1-9]' "$TMP/metrics.txt" \
+    || fail "no nonzero per-query throughput on the metrics page"
+grep -Eq 'saql_delivery_latency_us\{[^}]*stat="count"\} [1-9]' "$TMP/metrics.txt" \
+    || fail "no delivery-latency histogram observations"
+grep -q 'saql_source_lag_ms{' "$TMP/metrics.txt" \
+    || fail "no per-source lag gauges"
+grep -Eq 'saql_ingest_events_total\{tenant="default"\} [1-9]' "$TMP/metrics.txt" \
+    || fail "no per-tenant ingest counters"
+
+echo "== graceful shutdown via the control plane"
+"$BIN" client ctl --addr "$ADDR" checkpoint | grep -q '"ok":true' || fail "checkpoint command refused"
+"$BIN" client ctl --addr "$ADDR" shutdown | grep -q '"draining":true' || fail "shutdown command refused"
+wait "$SERVE2" || fail "serve #2 exited nonzero"
+wait "$TAIL" || true
+PIDS=()
+
+echo "== subscriber saw exactly the alerts the server printed for c1"
+tail_n=$(wc -l < "$TMP/tail.jsonl")
+printed_n=$(grep -c '^\[ALERT default/c1-initial-compromise ' "$TMP/serve2.raw" || true)
+[ "$tail_n" -eq "$printed_n" ] \
+    || fail "subscriber saw $tail_n c1 alerts, server printed $printed_n"
+
+echo "== both incarnations together equal the offline run"
+cat "$TMP/serve1.raw" "$TMP/serve2.raw" > "$TMP/served.raw"
+rule_alerts "$TMP/served.raw" "$TMP/served.alerts"
+diff -u "$TMP/offline.alerts" "$TMP/served.alerts" \
+    || fail "served rule alerts diverge from the offline engine"
+
+echo "serve smoke OK ($total events, $(wc -l < "$TMP/served.alerts") rule alerts, restart at $half)"

@@ -109,6 +109,7 @@ pub use saql_collector as collector;
 pub use saql_engine as engine;
 pub use saql_lang as lang;
 pub use saql_model as model;
+pub use saql_serve as serve;
 pub use saql_stream as stream;
 
 pub use saql_engine::{Alert, Engine, EngineConfig, QueryId};

@@ -1,0 +1,425 @@
+//! End-to-end tests of the serving layer (`saql-serve`) over real loopback
+//! sockets: multi-tenant ingest equivalence against the offline engine,
+//! deterministic quota shedding under an injected clock, live decode-failure
+//! surfacing, and shutdown → checkpoint → resume exactness.
+
+use std::io::Cursor;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use saql::model::event::{Event, EventBuilder};
+use saql::model::json::encode_event_json;
+use saql::model::{FileInfo, ProcessInfo};
+use saql::serve::{
+    ctl, ingest_reader, protocol, tail_alerts, ManualClock, ServeConfig, Server, TenantQuota,
+};
+use saql::{Engine, EngineConfig};
+
+/// One write-file event on `host`, with a per-event-unique file path so
+/// `return distinct` never dedupes and alert multisets compare exactly.
+fn event(id: u64, ts: u64, host: &str) -> Event {
+    EventBuilder::new(id, host, ts)
+        .subject(ProcessInfo::new(7, "writer.exe", "svc"))
+        .writes_file(FileInfo::new(format!("/data/out-{id}.dat")))
+        .build()
+}
+
+fn jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        encode_event_json(&mut out, e);
+        out.push('\n');
+    }
+    out
+}
+
+/// A per-event rule query scoped to one host.
+fn rule_query(host: &str) -> String {
+    format!("agentid = \"{host}\"\nproc p1 write file f1 as evt1\nreturn distinct p1, f1")
+}
+
+fn register_line(name: &str, query: &str) -> String {
+    protocol::JsonObj::new()
+        .str("cmd", "register")
+        .str("name", name)
+        .str("query", query)
+        .finish()
+}
+
+/// Unique scratch dir per call (tests run concurrently in one process).
+fn scratch(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "saql-serve-{tag}-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Render offline alerts for `queries` over `events`, exactly as the
+/// subscribe role streams them.
+fn offline_alert_lines(queries: &[(String, String)], events: Vec<Event>) -> Vec<String> {
+    let mut engine = Engine::new(EngineConfig::default());
+    for (name, text) in queries {
+        engine.register(name, text).expect("query compiles offline");
+    }
+    engine
+        .run(saql::stream::share(events))
+        .unwrap()
+        .iter()
+        .map(saql::engine::render_alert_json)
+        .collect()
+}
+
+fn sorted(mut v: Vec<String>) -> Vec<String> {
+    v.sort();
+    v
+}
+
+#[test]
+fn two_tenants_over_sockets_match_offline_engine() {
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        print_alerts: false,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Each tenant registers the same-named query, scoped to its own host.
+    let q1 = rule_query("host-t1");
+    let q2 = rule_query("host-t2");
+    assert!(ctl(&addr, "t1", &register_line("q", &q1))
+        .unwrap()
+        .contains("\"ok\":true"));
+    assert!(ctl(&addr, "t2", &register_line("q", &q2))
+        .unwrap()
+        .contains("\"ok\":true"));
+    // Cross-tenant control isolation: t2 cannot touch t1's query beyond
+    // its namespace (same bare name resolves to its own query), and an
+    // unknown name is refused.
+    assert!(ctl(&addr, "t2", r#"{"cmd":"pause","name":"nope"}"#)
+        .unwrap()
+        .contains("\"ok\":false"));
+
+    // Subscribe before ingest so every alert is observed.
+    let tails: Vec<_> = ["t1", "t2"]
+        .iter()
+        .map(|tenant| {
+            let addr = addr.clone();
+            let tenant = tenant.to_string();
+            thread::spawn(move || {
+                let mut buf = Vec::new();
+                tail_alerts(&addr, &tenant, "q", &mut buf, None).unwrap();
+                String::from_utf8(buf).unwrap()
+            })
+        })
+        .collect();
+    // Give the subscribe hellos a moment to be acked before events flow.
+    thread::sleep(std::time::Duration::from_millis(100));
+
+    let corpus_t1: Vec<Event> = (0..200)
+        .map(|i| event(i, 1000 + i * 10, "host-t1"))
+        .collect();
+    let corpus_t2: Vec<Event> = (0..200)
+        .map(|i| event(1000 + i, 1000 + i * 10, "host-t2"))
+        .collect();
+
+    // Concurrent socket ingest, one connection per tenant. Lossless (no
+    // shed) + arrival order (no late drops): every event reaches the
+    // engine exactly once.
+    let ingests: Vec<_> = [("t1", jsonl(&corpus_t1)), ("t2", jsonl(&corpus_t2))]
+        .into_iter()
+        .map(|(tenant, body)| {
+            let addr = addr.clone();
+            thread::spawn(move || {
+                ingest_reader(&addr, tenant, "feed", &mut Cursor::new(body), true, true).unwrap()
+            })
+        })
+        .collect();
+    for handle in ingests {
+        let report = handle.join().unwrap();
+        assert_eq!(report.field("events"), Some(200), "{}", report.summary);
+        assert_eq!(report.field("released"), Some(200), "{}", report.summary);
+        assert_eq!(report.field("dropped_late"), Some(0), "{}", report.summary);
+    }
+
+    // Per-tenant stats see the tenant's own query and sources.
+    let stats = ctl(&addr, "t1", r#"{"cmd":"stats"}"#).unwrap();
+    assert!(stats.contains("\"tenant\":\"t1\""), "{stats}");
+    assert!(stats.contains("\"name\":\"q\""), "{stats}");
+    assert!(stats.contains("t1/feed#"), "{stats}");
+    assert!(!stats.contains("t2/feed#"), "{stats}");
+
+    assert!(ctl(&addr, "t1", r#"{"cmd":"shutdown"}"#)
+        .unwrap()
+        .contains("\"draining\":true"));
+    let summary = server.wait().unwrap();
+    assert_eq!(summary.events, 400);
+
+    // The subscribed alert multiset equals the same corpus through the
+    // offline engine, per tenant.
+    let mut merged = corpus_t1.clone();
+    merged.extend(corpus_t2.clone());
+    let offline = offline_alert_lines(
+        &[("t1/q".to_string(), q1), ("t2/q".to_string(), q2)],
+        merged,
+    );
+    let tenant_lines: Vec<Vec<String>> = tails
+        .into_iter()
+        .map(|t| {
+            t.join()
+                .unwrap()
+                .lines()
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    for (tenant, lines) in ["t1", "t2"].iter().zip(&tenant_lines) {
+        let want: Vec<String> = offline
+            .iter()
+            .filter(|l| l.contains(&format!("\"query\":\"{tenant}/q\"")))
+            .cloned()
+            .collect();
+        assert_eq!(
+            want.len(),
+            200,
+            "offline produced {} for {tenant}",
+            want.len()
+        );
+        assert_eq!(sorted(lines.clone()), sorted(want), "tenant {tenant}");
+    }
+    assert_eq!(summary.alerts, 400);
+}
+
+#[test]
+fn quota_sheds_deterministically_and_never_wedges_the_pump() {
+    let clock = ManualClock::new();
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        print_alerts: false,
+        quota: TenantQuota {
+            max_live_queries: 2,
+            events_per_sec: 10,
+            burst: 5,
+        },
+        clock: clock.clone(),
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    assert!(
+        ctl(&addr, "acme", &register_line("q", &rule_query("host-a")))
+            .unwrap()
+            .contains("\"ok\":true")
+    );
+
+    // Frozen clock: exactly the burst passes, the rest sheds — and the
+    // connection keeps streaming (shedding never blocks anything).
+    let corpus: Vec<Event> = (0..50).map(|i| event(i, 1000 + i * 10, "host-a")).collect();
+    let report = ingest_reader(
+        &addr,
+        "acme",
+        "burst",
+        &mut Cursor::new(jsonl(&corpus)),
+        false,
+        true,
+    )
+    .unwrap();
+    assert_eq!(report.field("events"), Some(5), "{}", report.summary);
+    assert_eq!(report.field("shed_quota"), Some(45), "{}", report.summary);
+
+    // One second of injected time refills one second of rate (capped at
+    // burst): exactly 5 more pass.
+    clock.advance_ms(1000);
+    let report = ingest_reader(
+        &addr,
+        "acme",
+        "refill",
+        &mut Cursor::new(jsonl(&corpus[..20])),
+        false,
+        true,
+    )
+    .unwrap();
+    assert_eq!(report.field("events"), Some(5), "{}", report.summary);
+    assert_eq!(report.field("shed_quota"), Some(15), "{}", report.summary);
+
+    // Shed counters surface on the metrics registry and in stats.
+    assert_eq!(
+        server
+            .metrics()
+            .counter_value("saql_ingest_shed_total{tenant=\"acme\",reason=\"quota\"}"),
+        60
+    );
+    let stats = ctl(&addr, "acme", r#"{"cmd":"stats"}"#).unwrap();
+    assert!(stats.contains("\"shed\":60"), "{stats}");
+
+    // The pump survived: the control plane answers and the granted events
+    // were processed.
+    assert!(stats.contains("\"events_seen\":10"), "{stats}");
+
+    // Live-query quota: the ceiling counts, the refusal is clean.
+    assert!(
+        ctl(&addr, "acme", &register_line("q2", &rule_query("host-a")))
+            .unwrap()
+            .contains("\"ok\":true")
+    );
+    let refused = ctl(&addr, "acme", &register_line("q3", &rule_query("host-a"))).unwrap();
+    assert!(refused.contains("live-query quota"), "{refused}");
+
+    assert!(ctl(&addr, "acme", r#"{"cmd":"shutdown"}"#)
+        .unwrap()
+        .contains("\"ok\":true"));
+    server.wait().unwrap();
+}
+
+#[test]
+fn decode_failures_surface_live_in_summary_and_stats() {
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        print_alerts: false,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+    assert!(
+        ctl(&addr, "default", &register_line("q", &rule_query("host-x")))
+            .unwrap()
+            .contains("\"ok\":true")
+    );
+
+    let good: Vec<Event> = (0..3).map(|i| event(i, 1000 + i, "host-x")).collect();
+    let mut body = jsonl(&good[..2]);
+    body.push_str("this is not json\n");
+    body.push_str("{\"also\":\"not an event\"}\n");
+    body.push_str(&jsonl(&good[2..]));
+
+    let report = ingest_reader(
+        &addr,
+        "default",
+        "noisy",
+        &mut Cursor::new(body),
+        true,
+        true,
+    )
+    .unwrap();
+    assert_eq!(report.field("events"), Some(3), "{}", report.summary);
+    assert_eq!(report.field("decode_errors"), Some(2), "{}", report.summary);
+    // The failure note names the first bad line.
+    assert!(report.summary.contains("line 3"), "{}", report.summary);
+
+    // The degraded source is visible in per-source stats — not just a
+    // clean, short stream.
+    let stats = ctl(&addr, "default", r#"{"cmd":"stats"}"#).unwrap();
+    assert!(stats.contains("undecodable"), "{stats}");
+    assert_eq!(
+        server
+            .metrics()
+            .counter_value("saql_ingest_decode_failures_total{tenant=\"default\"}"),
+        2
+    );
+
+    assert!(ctl(&addr, "default", r#"{"cmd":"shutdown"}"#)
+        .unwrap()
+        .contains("\"ok\":true"));
+    server.wait().unwrap();
+}
+
+#[test]
+fn shutdown_checkpoint_resume_loses_nothing() {
+    let root = scratch("resume");
+    let store = root.join("events.d");
+    let ckpt = root.join("ckpt");
+    let corpus: Vec<Event> = (0..300).map(|i| event(i, 1000 + i * 10, "hr")).collect();
+    let query = rule_query("hr");
+
+    let serve_cfg = |resume: bool| ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        print_alerts: false,
+        durable_store: Some(store.clone()),
+        checkpoint_dir: Some(ckpt.clone()),
+        checkpoint_every: 64,
+        resume,
+        ..ServeConfig::default()
+    };
+
+    // First incarnation: register, ingest half, SIGTERM-equivalent.
+    let server = Server::start(serve_cfg(false)).unwrap();
+    let addr = server.addr().to_string();
+    assert!(ctl(&addr, "default", &register_line("q", &query))
+        .unwrap()
+        .contains("\"ok\":true"));
+    let tail = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let mut buf = Vec::new();
+            tail_alerts(&addr, "default", "q", &mut buf, None).unwrap();
+            String::from_utf8(buf).unwrap()
+        })
+    };
+    thread::sleep(std::time::Duration::from_millis(100));
+    let report = ingest_reader(
+        &addr,
+        "default",
+        "feed",
+        &mut Cursor::new(jsonl(&corpus[..150])),
+        true,
+        true,
+    )
+    .unwrap();
+    assert!(report.durable(), "{}", report.summary);
+    assert_eq!(report.field("events"), Some(150), "{}", report.summary);
+    server.request_shutdown();
+    let summary = server.wait().unwrap();
+    assert!(summary.checkpoint.is_some(), "no final checkpoint written");
+    assert_eq!(summary.store_len, Some(150));
+    let first_alerts: Vec<String> = tail.join().unwrap().lines().map(str::to_string).collect();
+
+    // Second incarnation: resume restores the registry and the exact
+    // stream position; the remaining half continues seamlessly.
+    let server = Server::start(serve_cfg(true)).unwrap();
+    let addr = server.addr().to_string();
+    let list = ctl(&addr, "default", r#"{"cmd":"list"}"#).unwrap();
+    assert!(list.contains("\"name\":\"q\""), "resumed registry: {list}");
+
+    let tail = {
+        let addr = addr.clone();
+        thread::spawn(move || {
+            let mut buf = Vec::new();
+            tail_alerts(&addr, "default", "q", &mut buf, None).unwrap();
+            String::from_utf8(buf).unwrap()
+        })
+    };
+    thread::sleep(std::time::Duration::from_millis(100));
+    let report = ingest_reader(
+        &addr,
+        "default",
+        "feed",
+        &mut Cursor::new(jsonl(&corpus[150..])),
+        true,
+        true,
+    )
+    .unwrap();
+    assert!(report.durable(), "{}", report.summary);
+    assert_eq!(report.field("events"), Some(150), "{}", report.summary);
+    assert!(ctl(&addr, "default", r#"{"cmd":"shutdown"}"#)
+        .unwrap()
+        .contains("\"ok\":true"));
+    let summary = server.wait().unwrap();
+    assert_eq!(summary.store_len, Some(300));
+    assert!(summary.checkpoint.is_some());
+    let second_alerts: Vec<String> = tail.join().unwrap().lines().map(str::to_string).collect();
+
+    // Union of both incarnations == the uninterrupted offline run.
+    let offline = offline_alert_lines(&[("default/q".to_string(), query.clone())], corpus.clone());
+    assert_eq!(offline.len(), 300);
+    let mut served = first_alerts;
+    served.extend(second_alerts);
+    assert_eq!(sorted(served), sorted(offline));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
