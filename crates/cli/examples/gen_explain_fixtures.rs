@@ -19,4 +19,14 @@ fn main() {
         std::fs::write(&path, query.explain()).expect("write fixture");
         println!("wrote {path}");
     }
+    // The multi-stage pipeline fixture: topology header + per-stage plans,
+    // exactly what `saql explain` prints for a `|>` file (minus the
+    // `# <file>` header the golden test strips).
+    let name = saql_lang::corpus::DEMO_TIERED_PIPELINE_NAME;
+    let text =
+        saql_engine::pipeline::explain_pipeline(name, saql_lang::corpus::DEMO_TIERED_PIPELINE)
+            .unwrap_or_else(|e| panic!("demo pipeline failed: {e}"));
+    let path = format!("{dir}/{name}.txt");
+    std::fs::write(&path, text).expect("write fixture");
+    println!("wrote {path}");
 }

@@ -15,6 +15,7 @@ pub struct Flags {
 const SWITCHES: &[&str] = &[
     "no-attack",
     "demo-queries",
+    "pipeline",
     "follow",
     "durable-store",
     "resume",

@@ -125,9 +125,16 @@ impl Schedule {
                 StagedOp::Register { name, path } => {
                     let src = std::fs::read_to_string(path)
                         .map_err(|e| format!("--register-at {name}: cannot read {path}: {e}"))?;
-                    match engine.register(name, &src) {
-                        Ok(id) => println!(
-                            "[control +{at}] registered `{name}` as {id} ({} group(s) now)",
+                    match saql_engine::register_pipeline(engine, name, &src) {
+                        Ok(stages) if stages.len() == 1 => println!(
+                            "[control +{at}] registered `{name}` as {} ({} group(s) now)",
+                            stages[0].1,
+                            engine.group_count()
+                        ),
+                        Ok(stages) => println!(
+                            "[control +{at}] registered pipeline `{name}` \
+                             ({} stages, {} group(s) now)",
+                            stages.len(),
                             engine.group_count()
                         ),
                         Err(e) => return Err(format!("--register-at {name}:\n{}", e.render(&src))),
@@ -135,10 +142,12 @@ impl Schedule {
                 }
                 StagedOp::Deregister { name } => {
                     let id = live_id(engine, "deregister-at", name)?;
-                    engine
-                        .deregister(id)
+                    let removed = saql_engine::deregister_pipeline(engine, id)
                         .map_err(|e| format!("--deregister-at {name}: {e}"))?;
-                    println!("[control +{at}] deregistered `{name}` ({id}); open windows flushed");
+                    println!(
+                        "[control +{at}] deregistered `{}` ({id}); open windows flushed",
+                        removed.join("`, `")
+                    );
                 }
                 StagedOp::Pause { name } => {
                     let id = live_id(engine, "pause-at", name)?;
@@ -325,36 +334,111 @@ fn source_from_spec(
     }
 }
 
+/// Manual checkpoint cadence for pipeline runs (the session's built-in
+/// `enable_checkpoints` counts derived events and knows nothing about
+/// adapter positions, so wired runs drive [`PipelineWiring::checkpoint`]
+/// themselves).
+struct PipelineCadence<'a> {
+    dir: &'a Path,
+    every: u64,
+    /// Base-stream offset of the last checkpoint written.
+    last: u64,
+    written: Option<u64>,
+}
+
 /// Drive a session to completion: staged lifecycle operations land at
-/// their exact event positions, alerts print as they fire, and the engine
-/// is flushed at the end. Returns the alert count.
-fn pump_to_end(session: &mut RunSession<'_>, schedule: &mut Schedule) -> Result<u64, String> {
+/// their exact event positions, pipeline edges transfer between pump
+/// rounds, alerts print as they fire, and the engine is flushed at the end
+/// (stages layer-by-layer first, then everything). Returns the alert count
+/// and the offset of the last pipeline checkpoint written, if any.
+fn pump_to_end(
+    session: &mut RunSession<'_>,
+    schedule: &mut Schedule,
+    wiring: &mut saql_engine::PipelineWiring,
+    mut cadence: Option<PipelineCadence<'_>>,
+) -> Result<(u64, Option<u64>), String> {
     let mut alerts = 0u64;
+    let print = |batch: &[saql_engine::Alert], alerts: &mut u64| {
+        for alert in batch {
+            *alerts += 1;
+            println!("{alert}");
+        }
+    };
     loop {
         schedule.apply_due(session.processed(), session.engine())?;
+        // A staged register/deregister may have changed the pipeline
+        // topology; rewire so new `from query` edges flow.
+        if wiring.stale(session) {
+            let drained = wiring.quiesce(session);
+            print(&drained, &mut alerts);
+            wiring
+                .reconnect(session)
+                .map_err(|e| format!("pipeline rewire failed: {e}"))?;
+        }
+        let moved = if wiring.is_empty() {
+            0
+        } else {
+            wiring.transfer(session)
+        };
         // Never pump past the next staged operation.
         let budget = match schedule.next_position() {
             Some(at) => (at.saturating_sub(session.processed())).max(1) as usize,
             None => usize::MAX,
         };
         let round = session.pump_max(budget);
-        for alert in &round.alerts {
-            alerts += 1;
-            println!("{alert}");
+        print(&round.alerts, &mut alerts);
+        if let Some(c) = cadence.as_mut() {
+            let base = session.offset().saturating_sub(wiring.derived_pushed());
+            if base >= c.last + c.every {
+                let (ckpt, drained) = wiring
+                    .checkpoint(session)
+                    .map_err(|e| format!("pipeline checkpoint failed: {e}"))?;
+                print(&drained, &mut alerts);
+                ckpt.write_atomic(c.dir)
+                    .map_err(|e| format!("cannot write checkpoint: {e}"))?;
+                c.last = ckpt.offset;
+                c.written = Some(ckpt.offset);
+            }
         }
         match round.status {
             SessionStatus::Done => break,
             SessionStatus::Active => {}
-            SessionStatus::Idle => std::thread::sleep(std::time::Duration::from_millis(2)),
+            SessionStatus::Idle => {
+                // A wired session never reports Done while the derived
+                // channels are open; the run is over once the *base*
+                // sources are exhausted and a full round moved nothing.
+                let base_done = !wiring.is_empty()
+                    && moved == 0
+                    && round.events == 0
+                    && session
+                        .source_stats()
+                        .iter()
+                        .all(|(_, s)| s.done || s.name.starts_with("pipe:"));
+                if base_done {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
         }
     }
     // Operations staged past the end of the stream apply before the flush.
     schedule.apply_due(u64::MAX, session.engine())?;
-    for alert in session.engine().finish() {
-        alerts += 1;
-        println!("{alert}");
+    if !wiring.is_empty() {
+        // Layered drain: upstream stages flush first, their final window
+        // alerts cascade to dependents, then the channels close.
+        let drained = wiring.finish_stages(session);
+        print(&drained, &mut alerts);
+        loop {
+            let round = session.pump();
+            print(&round.alerts, &mut alerts);
+            if matches!(round.status, SessionStatus::Done) || round.events == 0 {
+                break;
+            }
+        }
     }
-    Ok(alerts)
+    let finished = session.engine().finish();
+    print(&finished, &mut alerts);
+    Ok((alerts, cadence.and_then(|c| c.written)))
 }
 
 /// Print per-source stats; failures and late drops also go to stderr.
@@ -424,6 +508,22 @@ pub fn demo(argv: &[String]) -> i32 {
             return fail(&format!("demo query {name}: {e}"));
         }
     }
+    if flags.switch("pipeline") {
+        let name = corpus::DEMO_TIERED_PIPELINE_NAME;
+        match saql_engine::register_pipeline(&mut engine, name, corpus::DEMO_TIERED_PIPELINE) {
+            Ok(stages) => println!(
+                "deployed tiered pipeline `{name}` ({} stages: per-host bursts |> \
+                 cross-host correlation)",
+                stages.len()
+            ),
+            Err(e) => {
+                return fail(&format!(
+                    "demo pipeline {name}:\n{}",
+                    e.render(corpus::DEMO_TIERED_PIPELINE)
+                ))
+            }
+        }
+    }
     println!(
         "deployed {} queries in {} scheduler group(s){}\n",
         corpus::DEMO_QUERIES.len(),
@@ -436,10 +536,15 @@ pub fn demo(argv: &[String]) -> i32 {
 
     let mut session = engine.session();
     session.attach(TraceSource::whole(&trace));
-    let alert_count = match pump_to_end(&mut session, &mut schedule) {
+    let mut wiring = match saql_engine::PipelineWiring::connect(&mut session) {
+        Ok(w) => w,
+        Err(e) => return fail(&format!("pipeline wiring failed: {e}")),
+    };
+    let (alert_count, _) = match pump_to_end(&mut session, &mut schedule, &mut wiring, None) {
         Ok(n) => n,
         Err(e) => return fail(&e),
     };
+    drop(wiring);
     drop(session);
 
     println!("\n{alert_count} alert(s) total");
@@ -605,6 +710,12 @@ pub fn replay(argv: &[String]) -> i32 {
         Err(e) => return fail(&e),
     };
     let base = checkpoint.as_ref().map(|c| (c.offset, c.frontier));
+    // Adapter positions survive into the rebuilt wiring (the engine's
+    // checkpoint machinery only transports them).
+    let adapters = checkpoint
+        .as_ref()
+        .map(|c| c.adapters.clone())
+        .unwrap_or_default();
     let mut engine = match checkpoint {
         Some(ckpt) => {
             // The checkpoint carries the query set and its exact state;
@@ -632,7 +743,17 @@ pub fn replay(argv: &[String]) -> i32 {
             Ok(s) => s,
             Err(e) => return fail(&format!("cannot read {file}: {e}")),
         };
-        if let Err(e) = engine.register(file, &src) {
+        // Multi-stage (`|>`) files deploy as pipelines under the file stem,
+        // so auto-generated stage names don't carry temp paths.
+        let name = if src.contains("|>") {
+            Path::new(file)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(file)
+        } else {
+            file
+        };
+        if let Err(e) = saql_engine::register_pipeline(&mut engine, name, &src) {
             eprintln!("{}", e.render(&src));
             return 1;
         }
@@ -661,23 +782,41 @@ pub fn replay(argv: &[String]) -> i32 {
     if let Some((offset, frontier)) = base {
         session.resume_at_position(offset, frontier);
     }
-    if let Some(dir) = ckpt_dir {
-        session.enable_checkpoints(CheckpointConfig {
-            dir: PathBuf::from(dir),
-            every_events: ckpt_every,
-        });
-    }
     for source in sources {
         session.attach(source);
     }
-    let alerts = match pump_to_end(&mut session, &mut schedule) {
-        Ok(n) => n,
-        Err(e) => return fail(&e),
+    let mut wiring = match saql_engine::PipelineWiring::connect_with(&mut session, &adapters) {
+        Ok(w) => w,
+        Err(e) => return fail(&format!("pipeline wiring failed: {e}")),
     };
+    // Pipeline runs checkpoint through the wiring (base-stream offsets,
+    // adapter positions); plain runs keep the session's exact-position
+    // cadence.
+    let mut cadence = None;
+    if let Some(dir) = ckpt_dir {
+        if wiring.is_empty() {
+            session.enable_checkpoints(CheckpointConfig {
+                dir: PathBuf::from(dir),
+                every_events: ckpt_every,
+            });
+        } else {
+            cadence = Some(PipelineCadence {
+                dir: Path::new(dir),
+                every: ckpt_every,
+                last: resume_offset,
+                written: None,
+            });
+        }
+    }
+    let (alerts, pipeline_ckpt) =
+        match pump_to_end(&mut session, &mut schedule, &mut wiring, cadence) {
+            Ok(n) => n,
+            Err(e) => return fail(&e),
+        };
     let events = session.processed();
     println!("\nreplayed {events} events, {alerts} alert(s)");
     let mut degraded = report_sources(&session);
-    if let Some(offset) = session.last_checkpoint() {
+    if let Some(offset) = session.last_checkpoint().or(pipeline_ckpt) {
         println!(
             "last checkpoint at offset {offset} in {}",
             ckpt_dir.unwrap_or("?")
@@ -767,6 +906,26 @@ pub fn explain(argv: &[String]) -> i32 {
                 continue;
             }
         };
+        // Multi-stage (`|>`) files explain as a pipeline: topology header,
+        // then each stage's plan. The pipeline is named after the file
+        // stem so stage names (and the golden fixtures) stay path-free.
+        let stem = Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(file.as_str());
+        if matches!(saql_lang::split_stages(stem, &src), Ok(stages) if stages.len() > 1) {
+            match saql_engine::pipeline::explain_pipeline(stem, &src) {
+                Ok(text) => {
+                    println!("# {file}");
+                    print!("{text}");
+                }
+                Err(e) => {
+                    eprint!("{file}: {e}");
+                    failures += 1;
+                }
+            }
+            continue;
+        }
         match saql_engine::RunningQuery::compile(file.as_str(), &src, Default::default()) {
             Ok(query) => {
                 println!("# {file}");
@@ -804,6 +963,49 @@ pub fn check(argv: &[String]) -> i32 {
                 continue;
             }
         };
+        // Multi-stage (`|>`) files: validate the topology against an empty
+        // registry (cycles, dangling `from query` refs), then every stage.
+        let stem = Path::new(file)
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or(file.as_str());
+        if let Ok(stages) = saql_lang::split_stages(stem, &src) {
+            if stages.len() > 1 {
+                let engine = Engine::new(EngineConfig::default());
+                if let Err(e) = saql_engine::pipeline::validate_stages(&stages, &engine) {
+                    eprint!("{file}: {}", e.render(&src));
+                    failures += 1;
+                    continue;
+                }
+                let mut ok = true;
+                let mut kinds = Vec::new();
+                for stage in &stages {
+                    match saql_lang::compile(&stage.source) {
+                        Ok(checked) => {
+                            kinds.push(format!("{} ({})", stage.name, checked.kind.name()))
+                        }
+                        Err(e) => {
+                            eprint!(
+                                "{file}: stage `{}`: {}",
+                                stage.name,
+                                e.render(&stage.source)
+                            );
+                            ok = false;
+                        }
+                    }
+                }
+                if ok {
+                    println!(
+                        "{file}: OK ({} pipeline stages: {})",
+                        stages.len(),
+                        kinds.join(" |> ")
+                    );
+                } else {
+                    failures += 1;
+                }
+                continue;
+            }
+        }
         match saql_lang::compile(&src) {
             Ok(checked) => {
                 println!("{file}: OK ({} anomaly model)", checked.kind.name());

@@ -56,7 +56,7 @@ SAQL — stream-based anomaly query system over system monitoring data
 
 USAGE:
     saql demo       [--clients N] [--minutes M] [--seed S] [--workers W]
-                    [LIFECYCLE]...
+                    [--pipeline] [LIFECYCLE]...
     saql simulate   --out FILE [--clients N] [--minutes M] [--seed S] [--no-attack]
                     [--durable-store]
     saql replay     [--store FILE] [--source KIND:...]... [--follow]
@@ -138,6 +138,25 @@ SERVING (`saql serve` keeps the engine resident behind a TCP line protocol;
     saql client ctl register exfil my-query.saql
     saql client ctl stats
 
+PIPELINES (multi-stage queries — alerts as an event stream):
+    A query file may chain stages with `|>`: each downstream stage reads
+    its upstream's *alert stream* as `_in` instead of raw events (e.g.
+    per-host burst summaries feeding one enterprise-wide correlation).
+    A stage can also name its input explicitly with `from query NAME`.
+    Everywhere a query file is accepted (`replay --query`, `serve
+    --query`, `client ctl register`, `--register-at`), a multi-stage file
+    registers every stage under the file stem: intermediate stages as
+    `stem.s1`, `stem.s2`, ..., the final stage as `stem` — each alerting
+    independently (tail `stem.s1` to watch the intermediate stream).
+    Cyclic or dangling `from query` references are rejected at
+    registration with spanned errors. `saql explain` prints the topology
+    (stage DAG) followed by each stage's compiled plan; `saql check`
+    validates all stages. Checkpoints capture the whole topology —
+    in-flight inter-stage alerts are quiesced first and adapter positions
+    travel in the checkpoint — so `--resume` rewires every stage and
+    replays exactly. `saql demo --pipeline` deploys a tiered two-stage
+    detection alongside the demo queries.
+
 LIFECYCLE (repeatable; staged query control-plane operations, applied live
 mid-stream once N events have been processed — on both backends):
     --register-at N:NAME=FILE    attach the query in FILE as NAME
@@ -157,6 +176,9 @@ EXAMPLES:
     saql simulate --out /tmp/trace.d --durable-store
     saql replay --store /tmp/trace.d --demo-queries --checkpoint-dir /tmp/ckpt
     saql replay --store /tmp/trace.d --checkpoint-dir /tmp/ckpt --resume
+    saql demo --pipeline
+    saql replay --store /tmp/trace.d --query tiered.saql --checkpoint-dir /tmp/ck
+    saql explain tiered.saql
     saql check my-query.saql
 ";
 

@@ -50,6 +50,43 @@ fn explain_output_matches_goldens_for_demo_corpus() {
 }
 
 #[test]
+fn explain_renders_pipeline_topology_matching_golden() {
+    let name = saql_lang::corpus::DEMO_TIERED_PIPELINE_NAME;
+    // The pipeline is named after the file *stem*, so write the source as
+    // `<name>.saql` in a scratch dir — the stage names in the output (and
+    // the fixture) must match the corpus name, not a temp path.
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("saql-explain-golden-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let query_file = dir.join(format!("{name}.saql"));
+    std::fs::write(&query_file, saql_lang::corpus::DEMO_TIERED_PIPELINE).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_saql"))
+        .args(["explain", query_file.to_str().unwrap()])
+        .output()
+        .expect("spawn saql binary");
+    let _ = std::fs::remove_file(&query_file);
+    let _ = std::fs::remove_dir(&dir);
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).unwrap();
+    let body: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+    assert!(
+        body.contains("pipeline `tiered-write-correlation`: 2 stage(s)"),
+        "{body}"
+    );
+    assert!(
+        body.contains("tiered-write-correlation <- tiered-write-correlation.s1"),
+        "{body}"
+    );
+    let expected = fixture(name);
+    assert_eq!(
+        body, expected,
+        "pipeline plan dump diverged from its golden fixture \
+         (regenerate with `cargo run -p saql-cli --example gen_explain_fixtures` \
+          if the change is intentional)"
+    );
+}
+
+#[test]
 fn goldens_cover_all_four_anomaly_models() {
     let kinds: Vec<String> = saql_lang::corpus::DEMO_QUERIES
         .iter()

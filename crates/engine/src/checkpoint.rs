@@ -25,6 +25,8 @@
 //!   status: u8 (0 active / 1 paused / 2 removed)
 //!   name, source: string          retained SAQL text for recompilation
 //!   snapshot (live rows only):    QuerySnapshot blob, see below
+//! n_adapters, then per pipeline edge (v2+):
+//!   upstream: string, seq         alert→event adapter position
 //! ```
 //!
 //! Floats are stored as their IEEE-754 bit patterns (fixed 8-byte LE), so
@@ -56,7 +58,7 @@ use crate::window::WindowSnapshot;
 pub const CHECKPOINT_MAGIC: &[u8; 8] = b"SAQLCKP1";
 
 /// Format version byte written after the magic.
-pub const CHECKPOINT_VERSION: u8 = 1;
+pub const CHECKPOINT_VERSION: u8 = 2;
 
 /// File name a checkpoint occupies inside its directory.
 pub const CHECKPOINT_FILE: &str = "checkpoint.saqlckp";
@@ -98,6 +100,13 @@ pub struct Checkpoint {
     /// resume recompiles under exactly this config.
     pub config: QueryConfig,
     pub rows: Vec<CheckpointRow>,
+    /// Pipeline alert→event adapter positions: `(upstream query name,
+    /// next adapted-event sequence number)` per live pipeline edge, so a
+    /// resumed topology keeps minting the same deterministic derived
+    /// event ids. Empty for engines without pipelines (and for version-1
+    /// checkpoints). The engine itself ignores this field — the pipeline
+    /// wiring layer fills and consumes it.
+    pub adapters: Vec<(String, u64)>,
 }
 
 impl Checkpoint {
@@ -135,6 +144,11 @@ impl Checkpoint {
                     .expect("live checkpoint rows carry state");
                 put_query_snapshot(&mut buf, snap);
             }
+        }
+        put_u64(&mut buf, self.adapters.len() as u64);
+        for (upstream, seq) in &self.adapters {
+            put_string(&mut buf, upstream);
+            put_u64(&mut buf, *seq);
         }
         buf.freeze()
     }
@@ -733,7 +747,8 @@ fn decode_impl(mut buf: Bytes) -> Result<Checkpoint, String> {
     }
     buf.advance(CHECKPOINT_MAGIC.len());
     let version = get_u8(&mut buf).map_err(|e| e.to_string())?;
-    if version != CHECKPOINT_VERSION {
+    // Version 1 is version 2 without the trailing adapter table.
+    if version != CHECKPOINT_VERSION && version != 1 {
         return Err(format!(
             "version {version} (this build reads {CHECKPOINT_VERSION})"
         ));
@@ -773,11 +788,21 @@ fn decode_impl(mut buf: Bytes) -> Result<Checkpoint, String> {
                 snapshot,
             });
         }
+        let mut adapters = Vec::new();
+        if version >= 2 {
+            let n = get_len(buf)?;
+            for _ in 0..n {
+                let upstream = get_string(buf)?.to_string();
+                let seq = get_u64(buf)?;
+                adapters.push((upstream, seq));
+            }
+        }
         Ok(Checkpoint {
             offset,
             frontier,
             config,
             rows,
+            adapters,
         })
     };
     let ckpt = body(&mut buf).map_err(|e| e.to_string())?;
@@ -886,6 +911,7 @@ mod tests {
             offset: 12_345,
             frontier: Timestamp::from_millis(98_765),
             config: QueryConfig::default(),
+            adapters: vec![("burst".into(), 7)],
             rows: vec![
                 CheckpointRow {
                     name: "live".into(),

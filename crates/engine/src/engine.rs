@@ -77,6 +77,10 @@ struct QueryEntry {
     /// plan on [`Engine::resume_from`].
     source: String,
     status: QueryStatus,
+    /// Upstream query name when this row is a pipeline stage (`from query
+    /// NAME`) — deregistration of an upstream with live dependents is
+    /// refused.
+    input: Option<String>,
 }
 
 /// The SAQL anomaly query engine.
@@ -293,6 +297,19 @@ impl Engine {
             ));
         }
         let mut query = RunningQuery::compile(name, source, self.config.query)?;
+        if let Some(up) = query.pipeline_input() {
+            if self.find(up).is_none() {
+                let span = query.pipeline_input_span().unwrap_or_default();
+                return Err(LangError::semantic(
+                    format!(
+                        "`from query {up}` references no registered query \
+                         (register the upstream stage first)"
+                    ),
+                    span,
+                ));
+            }
+        }
+        let input = query.pipeline_input().map(str::to_string);
         let id = QueryId::new(self.registry.len());
         query.set_id(id);
         let drained = match &mut self.backend {
@@ -310,6 +327,7 @@ impl Engine {
             name: name.to_string(),
             source: source.to_string(),
             status: QueryStatus::Active,
+            input,
         });
         Ok(id)
     }
@@ -323,6 +341,19 @@ impl Engine {
     pub fn deregister(&mut self, id: QueryId) -> Result<(), EngineError> {
         self.expect_mutable()?;
         self.expect_live(id)?;
+        let name = &self.registry[id.index()].name;
+        let dependents: Vec<&str> = self
+            .registry
+            .iter()
+            .filter(|e| e.status != QueryStatus::Removed && e.input.as_deref() == Some(name))
+            .map(|e| e.name.as_str())
+            .collect();
+        if !dependents.is_empty() {
+            return Err(EngineError::PipelineDependents {
+                query: name.clone(),
+                dependents: dependents.iter().map(|d| d.to_string()).collect(),
+            });
+        }
         let serial = matches!(self.backend, Backend::Serial(_));
         let drained = match &mut self.backend {
             Backend::Serial(scheduler) => {
@@ -344,6 +375,46 @@ impl Engine {
         } else {
             self.retired_subscriptions.push(id);
         }
+        Ok(())
+    }
+
+    /// Flush one live query's open windows at the current stream position
+    /// without deregistering it — the pipeline layered drain: upstream
+    /// stages flush first so their final window alerts can still feed
+    /// dependents before *those* flush in turn. The flushed alerts are
+    /// returned, and also routed to subscribers and buffered for the next
+    /// data-plane call like any control-plane alert.
+    pub fn flush_query(&mut self, id: QueryId) -> Result<Vec<Alert>, EngineError> {
+        self.expect_mutable()?;
+        self.expect_live(id)?;
+        let flushed = match &mut self.backend {
+            Backend::Serial(scheduler) => scheduler
+                .flush_member(id)
+                .expect("facade registry and scheduler agree on live ids"),
+            Backend::Parallel(runtime) => {
+                let (flushed, drained) = runtime.flush_query(id)?;
+                self.absorb(drained);
+                flushed
+            }
+        };
+        self.absorb(flushed.clone());
+        Ok(flushed)
+    }
+
+    /// Synchronize with the data plane: when this returns, every event fed
+    /// so far has been fully processed and every alert it produced has been
+    /// routed (to subscribers) and buffered for the next data-plane call.
+    /// The serial backend is always synchronous, so this is a no-op there;
+    /// the parallel backend runs a worker barrier. The pipeline wiring
+    /// syncs before punctuating a derived stream, so a punctuation can
+    /// never outrun an upstream alert still being computed on a worker.
+    pub fn sync(&mut self) -> Result<(), EngineError> {
+        self.expect_mutable()?;
+        let drained = match &mut self.backend {
+            Backend::Serial(_) => Vec::new(),
+            Backend::Parallel(runtime) => runtime.sync()?,
+        };
+        self.absorb(drained);
         Ok(())
     }
 
@@ -444,6 +515,43 @@ impl Engine {
             .iter()
             .filter(|e| e.status != QueryStatus::Removed)
             .map(|e| e.name.clone())
+            .collect()
+    }
+
+    /// The name of a live query.
+    pub fn name_of(&self, id: QueryId) -> Option<&str> {
+        self.registry
+            .get(id.index())
+            .filter(|e| e.status != QueryStatus::Removed)
+            .map(|e| e.name.as_str())
+    }
+
+    /// The engine-wide configuration this engine was built with.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// The upstream a live query consumes (`from query NAME`), if it is a
+    /// pipeline stage.
+    pub fn input_of(&self, id: QueryId) -> Option<&str> {
+        self.registry
+            .get(id.index())
+            .filter(|e| e.status != QueryStatus::Removed)
+            .and_then(|e| e.input.as_deref())
+    }
+
+    /// Live pipeline edges as `(downstream, upstream)` ids, in
+    /// registration order — the topology the session-level pipeline
+    /// wiring (and `saql explain`) reconstructs after a resume.
+    pub fn pipeline_edges(&self) -> Vec<(QueryId, QueryId)> {
+        self.registry
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.status != QueryStatus::Removed)
+            .filter_map(|(i, e)| {
+                let up = e.input.as_deref()?;
+                Some((QueryId::new(i), self.find(up)?))
+            })
             .collect()
     }
 
@@ -646,6 +754,9 @@ impl Engine {
             frontier,
             config: self.config.query,
             rows,
+            // Pipeline adapter positions are session-level state: the
+            // wiring layer stamps them before the checkpoint is written.
+            adapters: Vec::new(),
         })
     }
 
@@ -678,6 +789,7 @@ impl Engine {
                 RowStatus::Paused => QueryStatus::Paused,
                 RowStatus::Active => QueryStatus::Active,
             };
+            let mut input = None;
             if status != QueryStatus::Removed {
                 let mut query = RunningQuery::compile(&row.name, &row.source, checkpoint.config)
                     .map_err(|e| {
@@ -686,6 +798,7 @@ impl Engine {
                             row.name, e.message
                         ))
                     })?;
+                input = query.pipeline_input().map(str::to_string);
                 query.set_id(QueryId::new(i));
                 let snap = row.snapshot.ok_or_else(|| {
                     EngineError::Checkpoint(format!(
@@ -712,6 +825,7 @@ impl Engine {
                 name: row.name,
                 source: row.source,
                 status,
+                input,
             });
         }
         Ok(engine)

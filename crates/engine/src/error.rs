@@ -28,6 +28,12 @@ pub enum EngineError {
     /// backend: the worker threads have shut down, so the deployment can
     /// no longer change (create a fresh engine to run again).
     EngineFinished,
+    /// Deregistration refused: the query is a pipeline upstream whose
+    /// alert stream still feeds live dependent stages.
+    PipelineDependents {
+        query: String,
+        dependents: Vec<String>,
+    },
     /// Taking or restoring an engine checkpoint failed (message explains
     /// what — a dead shard with lost query state, a snapshot/registry
     /// mismatch, a query that no longer compiles).
@@ -53,6 +59,16 @@ impl fmt::Display for EngineError {
                 f,
                 "engine already finished: the parallel workers have shut \
                  down (create a fresh engine to run again)"
+            ),
+            EngineError::PipelineDependents { query, dependents } => write!(
+                f,
+                "cannot deregister `{query}`: pipeline stage(s) {} still \
+                 consume its alert stream (deregister them first)",
+                dependents
+                    .iter()
+                    .map(|d| format!("`{d}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
             ),
             EngineError::Checkpoint(msg) => write!(f, "checkpoint error: {msg}"),
         }

@@ -45,6 +45,7 @@ pub mod error;
 pub mod eval;
 pub mod invariant;
 pub mod matcher;
+pub mod pipeline;
 pub mod plan;
 pub mod query;
 pub mod runtime;
@@ -60,6 +61,7 @@ pub use alert::Alert;
 pub use checkpoint::Checkpoint;
 pub use engine::{Engine, EngineConfig};
 pub use error::{EngineError, ErrorReporter};
+pub use pipeline::{deregister_pipeline, register_pipeline, AlertAdapter, PipelineWiring};
 pub use query::{QueryId, RunningQuery};
 pub use runtime::{ParallelConfig, ParallelEngine};
 pub use scheduler::Scheduler;

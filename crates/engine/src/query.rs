@@ -411,6 +411,36 @@ impl RunningQuery {
         &self.checked.compat_key
     }
 
+    /// Upstream query whose alert stream this query consumes (`from query
+    /// NAME`), if this is a pipeline stage.
+    pub fn pipeline_input(&self) -> Option<&str> {
+        self.checked
+            .pipeline_input
+            .as_ref()
+            .map(|(n, _)| n.as_str())
+    }
+
+    /// Span of the `from query` clause within this query's source, for
+    /// error reporting against the stage text.
+    pub fn pipeline_input_span(&self) -> Option<saql_lang::Span> {
+        self.checked.pipeline_input.as_ref().map(|(_, s)| *s)
+    }
+
+    /// Whether `event` advances this query's clock. Base queries run on
+    /// stream time (every event). A pipeline stage runs on *its upstream's*
+    /// time: only that upstream's adapted alert events (including watermark
+    /// punctuations) tick the clock, so its windows close exactly as they
+    /// would in a dedicated engine fed only the upstream's alerts —
+    /// interleaved raw events never close a stage window early.
+    pub fn accepts_time(&self, event: &saql_model::Event) -> bool {
+        match &self.checked.pipeline_input {
+            None => true,
+            Some((up, _)) => {
+                event.op == saql_model::Operation::Alert && &*event.subject.exe_name == up.as_str()
+            }
+        }
+    }
+
     pub fn stats(&self) -> QueryStats {
         self.stats
     }
@@ -1026,6 +1056,9 @@ impl RunningQuery {
         let mut out = String::new();
         let plan = &self.plan;
         let _ = writeln!(out, "kind: {}", self.checked.kind.name());
+        if let Some((up, _)) = &self.checked.pipeline_input {
+            let _ = writeln!(out, "input: alert stream of query `{up}` (as `_in`)");
+        }
         let _ = writeln!(out, "compat key: {}", self.compat_key());
         if let Some(w) = self.checked.window {
             let _ = writeln!(

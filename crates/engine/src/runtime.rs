@@ -278,6 +278,93 @@ impl ParallelEngine {
         Ok(alerts)
     }
 
+    /// Flush one query's open windows in place — it stays registered and
+    /// keeps running (the pipeline layered drain). Returns
+    /// `(flushed, drained)`: the flushed window alerts of *this* query at
+    /// the current stream position, plus any unrelated alerts that arrived
+    /// while the barrier waited.
+    pub fn flush_query(&mut self, id: QueryId) -> Result<(Vec<Alert>, Vec<Alert>), EngineError> {
+        self.ensure_not_drained()?;
+        let mut alerts = Vec::new();
+        let Some((_, info)) = self.queries.iter().find(|(qid, _)| *qid == id) else {
+            return Err(EngineError::UnknownQuery(id));
+        };
+        if self.running.is_none() {
+            let flushed = self
+                .pending
+                .iter_mut()
+                .find(|q| q.id() == id)
+                .map(|q| q.finish())
+                .unwrap_or_default();
+            return Ok((flushed, alerts));
+        }
+        let shard = self.assignment[&info.key];
+        self.flush_partial(&mut alerts);
+        let (reply_tx, reply_rx) = bounded::<Vec<Alert>>(1);
+        self.send_control(shard, ControlMsg::Flush(id, reply_tx), &mut alerts);
+        let running = self
+            .running
+            .as_ref()
+            .expect("running checked above; flush keeps workers alive");
+        // Same non-deadlocking barrier as `query_snapshots`: the owning
+        // worker may be blocked on a full alert channel ahead of the flush
+        // message, so keep draining alerts while waiting for the reply.
+        let flushed = loop {
+            match reply_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok(batch) => break batch,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    drain_ready(&running.alerts_rx, &mut alerts);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break Vec::new(),
+            }
+        };
+        drain_ready(&running.alerts_rx, &mut alerts);
+        Ok((flushed, alerts))
+    }
+
+    /// Barrier: dispatch the partial batch and wait until every worker has
+    /// processed everything queued so far. Returns the alerts that arrived
+    /// in the meantime. After `sync` returns, every query's clock reflects
+    /// every event fed to the engine — the precondition for watermark
+    /// punctuation on a derived (pipeline) stream.
+    pub fn sync(&mut self) -> Result<Vec<Alert>, EngineError> {
+        self.ensure_not_drained()?;
+        let mut alerts = Vec::new();
+        if self.running.is_none() {
+            return Ok(alerts);
+        }
+        self.flush_partial(&mut alerts);
+        let running = self
+            .running
+            .as_ref()
+            .expect("running checked above; sync keeps workers alive");
+        let expected = running.shard_txs.len();
+        let (reply_tx, reply_rx) = bounded::<()>(expected);
+        for tx in &running.shard_txs {
+            send_draining(
+                tx,
+                ShardMsg::Control(ControlMsg::Sync(reply_tx.clone())),
+                &running.alerts_rx,
+                &mut alerts,
+            );
+        }
+        drop(reply_tx);
+        let mut replies = 0usize;
+        // Same non-deadlocking barrier as `query_snapshots`: workers ahead
+        // of the sync message may be blocked on a full alert channel.
+        while replies < expected {
+            match reply_rx.recv_timeout(std::time::Duration::from_millis(1)) {
+                Ok(()) => replies += 1,
+                Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
+                    drain_ready(&running.alerts_rx, &mut alerts);
+                }
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        drain_ready(&running.alerts_rx, &mut alerts);
+        Ok(alerts)
+    }
+
     /// Detach a live query from the stream until [`resume`](Self::resume):
     /// it sees no events and no time, and emits nothing. Unknown ids are a
     /// no-op.

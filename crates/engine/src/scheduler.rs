@@ -223,7 +223,11 @@ impl Scheduler {
                     continue;
                 }
                 attached += 1;
-                alerts.extend(q.advance_time(event.ts));
+                // Pipeline stages run on their upstream's clock
+                // (`accepts_time`); everything else on stream time.
+                if q.accepts_time(event) {
+                    alerts.extend(q.advance_time(event.ts));
+                }
             }
             // A fully-paused group has no one to deliver to, so its master
             // check would be pure waste.
@@ -304,7 +308,9 @@ impl Scheduler {
                         continue;
                     }
                     attached += 1;
-                    alerts.extend(q.advance_time(event.ts));
+                    if q.accepts_time(event) {
+                        alerts.extend(q.advance_time(event.ts));
+                    }
                 }
                 if attached == 0 {
                     continue;
@@ -324,6 +330,18 @@ impl Scheduler {
             }
         }
         alerts
+    }
+
+    /// Flush one member's open windows in place without removing it (the
+    /// layered pipeline drain: upstream stages flush first so their final
+    /// alerts can still feed dependents). Returns `None` for an unknown id.
+    pub fn flush_member(&mut self, id: QueryId) -> Option<Vec<Alert>> {
+        for group in &mut self.groups {
+            if let Some(q) = group.members.iter_mut().find(|q| q.id() == id) {
+                return Some(q.finish());
+            }
+        }
+        None
     }
 
     /// End of stream: flush all members — including paused ones, whose

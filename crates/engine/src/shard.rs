@@ -45,6 +45,16 @@ pub enum ControlMsg {
     /// reply channel. Because this travels in-band with event batches, the
     /// snapshot lands at an exact stream position (engine checkpoints).
     Snapshot(Sender<Vec<(QueryId, QuerySnapshot)>>),
+    /// Flush one query's open windows *in place* (it stays registered) and
+    /// send the flushed alerts back on the reply channel — the pipeline
+    /// layered drain. Alerts travel on the reply, not the shard sink, so
+    /// the coordinator can route them to dependents at a known point.
+    Flush(QueryId, Sender<Vec<crate::alert::Alert>>),
+    /// Pure barrier: acknowledge once every batch queued before this
+    /// message has been processed. The pipeline wiring syncs before
+    /// punctuating a derived stream — a punctuation must not outrun alerts
+    /// still being computed on the workers.
+    Sync(Sender<()>),
 }
 
 impl std::fmt::Debug for ControlMsg {
@@ -56,6 +66,8 @@ impl std::fmt::Debug for ControlMsg {
             ControlMsg::Pause(id) => write!(f, "Pause({id})"),
             ControlMsg::Resume(id) => write!(f, "Resume({id})"),
             ControlMsg::Snapshot(_) => write!(f, "Snapshot"),
+            ControlMsg::Flush(id, _) => write!(f, "Flush({id})"),
+            ControlMsg::Sync(_) => write!(f, "Sync"),
         }
     }
 }
@@ -163,6 +175,14 @@ impl Shard {
                 // The coordinator may have hung up (engine dropped
                 // mid-checkpoint); a lost snapshot is fine then.
                 let _ = reply.send(self.scheduler.query_snapshots());
+            }
+            ControlMsg::Flush(id, reply) => {
+                let alerts = self.scheduler.flush_member(id).unwrap_or_default();
+                let _ = reply.send(alerts);
+            }
+            ControlMsg::Sync(reply) => {
+                // In-band: everything queued before this is already applied.
+                let _ = reply.send(());
             }
         }
     }

@@ -1,0 +1,417 @@
+//! End-to-end pipeline tests: a two-stage `|>` pipeline running inside one
+//! engine must produce exactly the alerts of two hand-chained engines —
+//! stage 1 in the first, its alert stream adapted by hand and fed to
+//! stage 2 in the second.
+
+use std::sync::Arc;
+
+use saql_engine::alert::AlertOrigin;
+use saql_engine::pipeline::{register_pipeline, AlertAdapter, PipelineWiring};
+use saql_engine::{Alert, Engine, EngineConfig, EngineError, SessionStatus};
+use saql_model::event::EventBuilder;
+use saql_model::{NetworkInfo, ProcessInfo, Timestamp};
+use saql_stream::merge::Lateness;
+use saql_stream::source::{push_source, IterSource};
+use saql_stream::SharedEvent;
+
+/// Tiered detection: stage 1 summarizes write bursts per host in 10 s
+/// windows; stage 2 counts how many distinct hosts burst inside 30 s and
+/// fires when the anomaly is enterprise-wide.
+const TIERED: &str = "\
+proc p write ip i as evt #time(10 s)
+state ss { writes := count() } group by evt.agentid
+alert ss[0].writes >= 3
+return evt.agentid as host, ss[0].writes as amount
+|>
+from #time(30 s)
+state es { hosts := distinct_count(_in.agentid) }
+alert es[0].hosts >= 2
+return es[0].hosts as hosts";
+
+/// The two stage sources exactly as `split_stages` produces them, for the
+/// hand-chained reference run.
+fn stage_sources() -> (String, String) {
+    let stages = saql_lang::split_stages("tiered", TIERED).expect("pipeline splits");
+    assert_eq!(stages.len(), 2);
+    (stages[0].source.clone(), stages[1].source.clone())
+}
+
+/// A burst trace: hosts web-1 and web-2 each write 4 times inside the
+/// first 10 s window (both burst), web-3 writes once (quiet). A second
+/// round 40 s later has only web-1 bursting (stage 2 must NOT fire).
+fn trace() -> Vec<SharedEvent> {
+    let mut events = Vec::new();
+    let mut id = 0u64;
+    let mut push = |host: &str, ts: u64| {
+        id += 1;
+        events.push(Arc::new(
+            EventBuilder::new(id, host, ts)
+                .subject(ProcessInfo::new(100, "worker", "svc"))
+                .sends(NetworkInfo::new("10.0.0.1", 9999, "172.16.0.9", 443, "tcp"))
+                .amount(1024)
+                .build(),
+        ));
+    };
+    for k in 0..4 {
+        push("web-1", 1_000 + k * 2_000);
+        push("web-2", 1_100 + k * 2_000);
+    }
+    push("web-3", 2_500);
+    for k in 0..4 {
+        push("web-1", 41_000 + k * 2_000);
+    }
+    push("web-2", 43_000);
+    // Trailing quiet traffic moves the frontier so the 30 s correlation
+    // window provably closes in-stream, not only at drain.
+    push("web-3", 95_000);
+    events
+}
+
+/// Salient alert identity, ignoring engine-local query ids.
+fn key(a: &Alert) -> (String, u64, String, Vec<(String, String)>) {
+    (
+        a.query.clone(),
+        a.ts.as_millis(),
+        format!("{:?}", a.origin),
+        a.rows.clone(),
+    )
+}
+
+/// Run the pipeline inside one engine and return all alerts.
+fn run_pipeline(config: EngineConfig) -> Vec<Alert> {
+    let mut engine = Engine::new(config);
+    register_pipeline(&mut engine, "tiered", TIERED).expect("registers");
+    let mut session = engine.session();
+    session.attach_with(IterSource::new("trace", trace()), Lateness::ArrivalOrder);
+    let mut wiring = PipelineWiring::connect(&mut session).expect("wires");
+    let mut alerts = Vec::new();
+    loop {
+        let round = session.pump_max(64);
+        alerts.extend(round.alerts);
+        let moved = wiring.transfer(&mut session);
+        if round.events == 0 && moved == 0 && round.status != SessionStatus::Active {
+            break;
+        }
+    }
+    alerts.extend(wiring.finish_stages(&mut session));
+    alerts.extend(session.drain());
+    alerts
+}
+
+/// Hand-chain two engines: stage 1 alone in the first; its ordered alert
+/// stream adapted (same adapter code) and fed to stage 2 in the second.
+fn run_hand_chained(config: EngineConfig) -> Vec<Alert> {
+    let (s1, s2) = stage_sources();
+    // Engine 1: stage 1 only, fed the raw trace.
+    let mut e1 = Engine::new(config);
+    e1.register("tiered.s1", &s1).expect("stage 1 registers");
+    let mut stage1 = Vec::new();
+    for event in trace() {
+        stage1.extend(e1.process(&event).expect("processes"));
+    }
+    stage1.extend(e1.finish());
+
+    // Engine 2: stage 2, fed only the adapted alert stream. The upstream
+    // must exist for `from query` to validate, so stage 1 rides along —
+    // it never matches an adapted event, and with no raw traffic it never
+    // alerts.
+    let mut e2 = Engine::new(config);
+    e2.register("tiered.s1", &s1).expect("upstream registers");
+    let up = e2.find("tiered.s1").expect("registered");
+    e2.register("tiered", &s2).expect("stage 2 registers");
+    let mut adapter = AlertAdapter::new("tiered.s1", up);
+    let mut out: Vec<Alert> = stage1.clone();
+    for alert in &stage1 {
+        let derived = adapter.adapt(alert);
+        out.extend(e2.process(&derived).expect("processes"));
+    }
+    out.extend(e2.finish());
+    out
+}
+
+#[test]
+fn pipeline_matches_hand_chained_serial() {
+    let config = EngineConfig::default();
+    let piped = run_pipeline(config);
+    let chained = run_hand_chained(config);
+
+    let split = |alerts: &[Alert]| -> (Vec<_>, Vec<_>) {
+        (
+            alerts
+                .iter()
+                .filter(|a| a.query == "tiered.s1")
+                .map(key)
+                .collect(),
+            alerts
+                .iter()
+                .filter(|a| a.query == "tiered")
+                .map(key)
+                .collect(),
+        )
+    };
+    let (p1, p2) = split(&piped);
+    let (c1, c2) = split(&chained);
+    assert!(!p1.is_empty(), "stage 1 must fire on the burst trace");
+    assert!(!p2.is_empty(), "stage 2 must fire on the correlated burst");
+    assert_eq!(p1, c1, "stage 1 alert stream diverged");
+    assert_eq!(p2, c2, "stage 2 alert stream diverged");
+    // The second burst round involves one host only: stage 2 fired for
+    // the first round alone.
+    assert_eq!(p2.len(), 1);
+    assert!(p2[0].3.iter().any(|(l, v)| l == "hosts" && v == "2"));
+}
+
+#[test]
+fn pipeline_matches_hand_chained_parallel() {
+    for workers in [1usize, 2, 4, 8] {
+        let par = EngineConfig {
+            workers,
+            ..Default::default()
+        };
+        let mut piped: Vec<_> = run_pipeline(par).iter().map(key).collect();
+        let mut chained: Vec<_> = run_hand_chained(EngineConfig::default())
+            .iter()
+            .map(key)
+            .collect();
+        piped.sort();
+        chained.sort();
+        assert_eq!(
+            piped, chained,
+            "parallel ({workers} workers) pipeline diverged from the serial hand-chained run"
+        );
+    }
+}
+
+#[test]
+fn stage2_windows_close_in_stream_via_punctuation() {
+    // Without end-of-stream flushes, the correlation window must still
+    // close: the trailing quiet event advances the frontier past the 30 s
+    // window, and the punctuation carries that time into stage 2.
+    let mut engine = Engine::new(EngineConfig::default());
+    register_pipeline(&mut engine, "tiered", TIERED).expect("registers");
+    let mut session = engine.session();
+    session.attach_with(IterSource::new("trace", trace()), Lateness::ArrivalOrder);
+    let mut wiring = PipelineWiring::connect(&mut session).expect("wires");
+    let mut stage2_before_drain = 0;
+    loop {
+        let round = session.pump_max(64);
+        stage2_before_drain += round.alerts.iter().filter(|a| a.query == "tiered").count();
+        let moved = wiring.transfer(&mut session);
+        if round.events == 0 && moved == 0 && round.status != SessionStatus::Active {
+            break;
+        }
+    }
+    assert!(
+        stage2_before_drain >= 1,
+        "stage 2 should alert while the stream is still flowing"
+    );
+}
+
+#[test]
+fn advance_watermark_closes_windows_under_a_silent_upstream() {
+    // A hand-wired topology whose upstream has gone quiet: nothing moves
+    // the derived channel, so stage 2's open window would wait forever.
+    // `AlertAdapter::advance_watermark` is the surfaced fix — it raises
+    // the channel watermark (so the quiet channel never gates the merge)
+    // and punctuates, carrying downstream time forward without an alert.
+    let (s1, s2) = stage_sources();
+    let mut engine = Engine::new(EngineConfig::default());
+    engine
+        .register("tiered.s1", &s1)
+        .expect("upstream registers");
+    let up = engine.find("tiered.s1").expect("registered");
+    engine.register("tiered", &s2).expect("stage 2 registers");
+    let mut session = engine.session();
+    let (push, source) = push_source("pipe:tiered.s1", 64);
+    session.attach_with(source, Lateness::ArrivalOrder);
+    let mut adapter = AlertAdapter::new("tiered.s1", up);
+
+    // Two distinct hosts burst inside stage 2's first 30 s window.
+    for (host, ts) in [("web-1", 9_000u64), ("web-2", 11_000)] {
+        let alert = Alert {
+            query: "tiered.s1".into(),
+            query_id: up,
+            ts: Timestamp::from_millis(ts),
+            origin: AlertOrigin::Window {
+                start: Timestamp::from_millis(0),
+                end: Timestamp::from_millis(ts),
+                group: host.into(),
+            },
+            rows: vec![("host".into(), host.into()), ("amount".into(), "4".into())],
+        };
+        assert!(push.push(adapter.adapt(&alert)));
+    }
+    let mut alerts = Vec::new();
+    loop {
+        let round = session.pump();
+        alerts.extend(round.alerts);
+        if round.events == 0 {
+            break;
+        }
+    }
+    assert!(
+        alerts.is_empty(),
+        "the 30 s window cannot close while the upstream is silent"
+    );
+
+    assert!(adapter.advance_watermark(&push, Timestamp::from_millis(60_000)));
+    loop {
+        let round = session.pump();
+        alerts.extend(round.alerts);
+        if round.events == 0 {
+            break;
+        }
+    }
+    let stage2: Vec<_> = alerts.iter().filter(|a| a.query == "tiered").collect();
+    assert_eq!(stage2.len(), 1, "the punctuation alone closed the window");
+    assert!(stage2[0].rows.iter().any(|(l, v)| l == "hosts" && v == "2"));
+}
+
+/// Ordered per-stage alert keys: loss, duplication, and reordering within
+/// a stage all show up as inequality.
+fn per_stage(
+    alerts: &[Alert],
+) -> (
+    Vec<impl Eq + std::fmt::Debug>,
+    Vec<impl Eq + std::fmt::Debug>,
+) {
+    (
+        alerts
+            .iter()
+            .filter(|a| a.query == "tiered.s1")
+            .map(key)
+            .collect(),
+        alerts
+            .iter()
+            .filter(|a| a.query == "tiered")
+            .map(key)
+            .collect(),
+    )
+}
+
+#[test]
+fn pipeline_survives_checkpoint_crash_and_resume() {
+    let uninterrupted = run_pipeline(EngineConfig::default());
+
+    // Interrupted run: feed the first burst round only, checkpoint with
+    // stage 1's window still OPEN (frontier 7.1 s < the 10 s close), then
+    // drop everything — the "crash" — and resume into a fresh engine.
+    let events = trace();
+    let cut = 9;
+    let mut alerts: Vec<Alert> = Vec::new();
+    let checkpoint = {
+        let mut engine = Engine::new(EngineConfig::default());
+        register_pipeline(&mut engine, "tiered", TIERED).expect("registers");
+        let mut session = engine.session();
+        session.attach_with(
+            IterSource::new("trace", events[..cut].to_vec()),
+            Lateness::ArrivalOrder,
+        );
+        let mut wiring = PipelineWiring::connect(&mut session).expect("wires");
+        loop {
+            let round = session.pump_max(4);
+            alerts.extend(round.alerts);
+            let moved = wiring.transfer(&mut session);
+            if round.events == 0 && moved == 0 && round.status != SessionStatus::Active {
+                break;
+            }
+        }
+        let (ck, more) = wiring.checkpoint(&mut session).expect("checkpoints");
+        alerts.extend(more);
+        assert_eq!(
+            ck.offset, cut as u64,
+            "checkpoint offset counts base events only, not derived ones"
+        );
+        assert!(!ck.adapters.is_empty(), "adapter positions are stamped");
+        // Through the wire format, as a real restart would read it back.
+        saql_engine::Checkpoint::decode(ck.encode()).expect("roundtrips")
+    };
+
+    let mut engine =
+        Engine::resume_from(checkpoint.clone(), EngineConfig::default()).expect("resumes");
+    let mut session = engine.session();
+    session.resume_at(&checkpoint);
+    session.attach_with(
+        IterSource::new("trace", events[checkpoint.offset as usize..].to_vec()),
+        Lateness::ArrivalOrder,
+    );
+    let mut wiring =
+        PipelineWiring::connect_with(&mut session, &checkpoint.adapters).expect("rewires");
+    loop {
+        let round = session.pump_max(4);
+        alerts.extend(round.alerts);
+        let moved = wiring.transfer(&mut session);
+        if round.events == 0 && moved == 0 && round.status != SessionStatus::Active {
+            break;
+        }
+    }
+    alerts.extend(wiring.finish_stages(&mut session));
+    alerts.extend(session.drain());
+
+    let (r1, r2) = per_stage(&alerts);
+    let (u1, u2) = per_stage(&uninterrupted);
+    assert_eq!(
+        r1, u1,
+        "stage 1 lost or duplicated alerts across the resume"
+    );
+    assert_eq!(
+        r2, u2,
+        "stage 2 lost or duplicated alerts across the resume"
+    );
+    assert_eq!(r2.len(), 1, "the enterprise-wide alert fires exactly once");
+}
+
+#[test]
+fn dangling_from_query_is_rejected_with_span() {
+    let mut engine = Engine::new(EngineConfig::default());
+    let err = engine
+        .register(
+            "orphan",
+            "from query ghost #time(10 s)\nstate ss { n := count() }\nalert ss[0].n > 0\nreturn ss[0].n as n",
+        )
+        .expect_err("dangling upstream must be rejected");
+    let msg = err.to_string();
+    assert!(msg.contains("ghost"), "names the missing upstream: {msg}");
+}
+
+#[test]
+fn deregistering_a_live_upstream_is_refused() {
+    let mut engine = Engine::new(EngineConfig::default());
+    let stages = register_pipeline(&mut engine, "tiered", TIERED).expect("registers");
+    let (up_id, down_id) = (stages[0].1, stages[1].1);
+    match engine.deregister(up_id) {
+        Err(EngineError::PipelineDependents { query, dependents }) => {
+            assert_eq!(query, "tiered.s1");
+            assert_eq!(dependents, vec!["tiered".to_string()]);
+        }
+        other => panic!("expected PipelineDependents, got {other:?}"),
+    }
+    // Dependents first, then the upstream: both succeed.
+    engine.deregister(down_id).expect("dependent deregisters");
+    engine.deregister(up_id).expect("then the upstream");
+}
+
+#[test]
+fn cyclic_stage_batch_is_rejected() {
+    let engine = Engine::new(EngineConfig::default());
+    // Two stages naming each other: a |> chain cannot express this, but
+    // explicit `from query` clauses can try.
+    let a = "from query \"b\" #time(10 s)\nstate ss { n := count() }\nalert ss[0].n > 0\nreturn ss[0].n as n";
+    let b = "from query \"a\" #time(10 s)\nstate ss { n := count() }\nalert ss[0].n > 0\nreturn ss[0].n as n";
+    let stages = vec![
+        saql_lang::Stage {
+            name: "a".into(),
+            source: a.into(),
+            input: Some(("b".into(), Default::default())),
+        },
+        saql_lang::Stage {
+            name: "b".into(),
+            source: b.into(),
+            input: Some(("a".into(), Default::default())),
+        },
+    ];
+    let err = saql_engine::pipeline::validate_stages(&stages, &engine).expect_err("cycle");
+    assert!(err.to_string().contains("cycle"), "{err}");
+    // And a failed batch leaves the engine untouched.
+    assert!(engine.query_names().is_empty());
+}

@@ -416,9 +416,29 @@ impl Expr {
     }
 }
 
+/// A pipeline input clause: `from query NAME #time(30 s)`.
+///
+/// Declares that this query consumes another query's *alert stream* (as
+/// adapted events) instead of raw collector events. Inside a `|>` chain the
+/// upstream name may be omitted (`from #time(30 s)` or no clause at all) —
+/// the stage splitter fills in the previous stage's name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromClause {
+    /// Upstream query name; `None` until the stage splitter resolves the
+    /// implicit previous-stage reference of a `|>` chain.
+    pub name: Option<String>,
+    /// Window applied to the injected `_in` pattern (stateful stages need
+    /// one, pure rule stages do not).
+    pub window: Option<WindowSpec>,
+    pub span: Span,
+}
+
 /// A full SAQL query.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct Query {
+    /// Pipeline input (`from query NAME`): this query reads an upstream
+    /// query's alert stream rather than raw events.
+    pub from_query: Option<FromClause>,
     pub globals: Vec<GlobalConstraint>,
     pub patterns: Vec<EventPattern>,
     pub temporal: Option<TemporalClause>,

@@ -170,6 +170,27 @@ alert cluster.outlier && ss.amt > 1000000
 return i.dstip, ss.amt
 "#;
 
+/// Demo **pipeline** (tiered detection, two `|>` stages): stage 1
+/// summarizes per-host network-write bursts in 10-minute windows; stage 2
+/// consumes stage 1's *alert stream* and fires when enough distinct hosts
+/// burst inside the same half hour — the enterprise-wide correlation a
+/// flat per-host query cannot express. Deployed by `saql demo --pipeline`
+/// and the pipeline smoke script.
+pub const DEMO_TIERED_PIPELINE: &str = r#"
+proc p write ip i as evt #time(10 min)
+state ss { writes := count() } group by evt.agentid
+alert ss[0].writes >= 20
+return evt.agentid as host, ss[0].writes as amount
+|>
+from #time(30 min)
+state es { hosts := distinct_count(_in.agentid) }
+alert es[0].hosts >= 3
+return es[0].hosts as hosts
+"#;
+
+/// The name `saql demo --pipeline` deploys [`DEMO_TIERED_PIPELINE`] under.
+pub const DEMO_TIERED_PIPELINE_NAME: &str = "tiered-write-correlation";
+
 /// All eight demonstration queries with human-readable names, in the order
 /// the demo deploys them.
 pub const DEMO_QUERIES: [(&str, &str); 8] = [
@@ -207,6 +228,23 @@ mod tests {
         for (name, q) in DEMO_QUERIES {
             crate::compile(q)
                 .unwrap_or_else(|e| panic!("demo query {name} failed: {}", e.render(q)));
+        }
+    }
+
+    #[test]
+    fn demo_pipeline_splits_and_every_stage_checks() {
+        let stages = crate::split_stages(DEMO_TIERED_PIPELINE_NAME, DEMO_TIERED_PIPELINE)
+            .unwrap_or_else(|e| panic!("pipeline split failed: {e}"));
+        assert_eq!(stages.len(), 2);
+        assert_eq!(stages[0].name, "tiered-write-correlation.s1");
+        assert_eq!(stages[1].name, DEMO_TIERED_PIPELINE_NAME);
+        assert_eq!(
+            stages[1].input.as_ref().map(|(n, _)| n.as_str()),
+            Some("tiered-write-correlation.s1")
+        );
+        for s in &stages {
+            crate::compile(&s.source)
+                .unwrap_or_else(|e| panic!("stage {} failed: {}", s.name, e.render(&s.source)));
         }
     }
 }

@@ -68,6 +68,8 @@ impl<'a> Lexer<'a> {
                 b'|' => {
                     if self.peek(1) == Some(b'|') {
                         self.two(Tok::PipePipe)
+                    } else if self.peek(1) == Some(b'>') {
+                        self.two(Tok::PipeGt)
                     } else {
                         self.one(Tok::Pipe)
                     }

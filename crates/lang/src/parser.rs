@@ -158,6 +158,15 @@ impl Parser {
                         q.patterns.push(self.event_pattern()?);
                     } else {
                         match kw.as_str() {
+                            "from" => {
+                                let f = self.parse_from_clause()?;
+                                if q.from_query.replace(f).is_some() {
+                                    return Err(LangError::parse(
+                                        "duplicate `from` clause",
+                                        self.prev_span(),
+                                    ));
+                                }
+                            }
                             "with" => {
                                 let t = self.temporal_clause()?;
                                 if q.temporal.replace(t).is_some() {
@@ -305,6 +314,37 @@ impl Parser {
             ops,
             object,
             alias,
+            window,
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// `from [query NAME] [#time(...)]` — pipeline input clause. The
+    /// upstream name is an identifier or a quoted string (auto-generated
+    /// stage names like `tiered.s0` are not identifiers); omitting `query
+    /// NAME` is only legal inside a `|>` chain, where the stage splitter
+    /// fills in the previous stage's name.
+    fn parse_from_clause(&mut self) -> Result<crate::ast::FromClause, LangError> {
+        let start = self.span();
+        self.bump(); // `from`
+        let name = if self.eat_kw("query") {
+            match self.peek().clone() {
+                Tok::Str(s) => {
+                    self.bump();
+                    Some(s)
+                }
+                _ => Some(self.expect_ident("upstream query name")?.0),
+            }
+        } else {
+            None
+        };
+        let window = if self.peek() == &Tok::Hash {
+            Some(self.window_spec()?)
+        } else {
+            None
+        };
+        Ok(crate::ast::FromClause {
+            name,
             window,
             span: start.to(self.prev_span()),
         })

@@ -12,6 +12,20 @@ use crate::ast::*;
 /// Render a query as canonical SAQL text.
 pub fn print_query(q: &Query) -> String {
     let mut out = String::new();
+    if let Some(f) = &q.from_query {
+        out.push_str("from");
+        if let Some(n) = &f.name {
+            write!(out, " query \"{n}\"").unwrap();
+        }
+        if let Some(w) = &f.window {
+            write!(out, " #time({}", w.size).unwrap();
+            if w.slide != w.size {
+                write!(out, ", {}", w.slide).unwrap();
+            }
+            out.push(')');
+        }
+        out.push('\n');
+    }
     for g in &q.globals {
         writeln!(
             out,

@@ -70,10 +70,21 @@ pub struct CheckedQuery {
     /// The resolved AST: every name bound to its slot at check time (see
     /// [`crate::resolve`]). This is what the engine's plan compiler lowers.
     pub resolved: crate::resolve::ResolvedQuery,
+    /// Pipeline input: the upstream query whose alert stream this stage
+    /// consumes (`from query NAME`), with the clause span for error
+    /// reporting. `None` for base queries reading raw collector events.
+    pub pipeline_input: Option<(String, Span)>,
 }
 
+/// Reserved `user` value on the *object* of adapter-synthesized watermark
+/// punctuation events. The injected `_in` pattern excludes it, so
+/// punctuations advance a downstream stage's clock without ever matching as
+/// payload.
+pub const PIPELINE_WM_USER: &str = "\u{1}wm";
+
 /// Validate a query (see [`crate::check`]).
-pub fn check(ast: Query) -> Result<CheckedQuery, LangError> {
+pub fn check(mut ast: Query) -> Result<CheckedQuery, LangError> {
+    let pipeline_input = inject_pipeline_input(&mut ast)?;
     let mut cx = Checker::default();
     cx.run(&ast)?;
     let kind = classify(&ast);
@@ -87,7 +98,66 @@ pub fn check(ast: Query) -> Result<CheckedQuery, LangError> {
         compat_key,
         resolved,
         ast,
+        pipeline_input,
     })
+}
+
+/// Desugar a `from query NAME` clause into the reserved `_in` event
+/// pattern: the stage consumes its upstream's *adapted alert events*
+/// (subject = the emitting query's process identity, object = the alert's
+/// group) exactly as if the user had written
+/// `proc _in_src[NAME] alert proc _in_grp as _in #time(...)`.
+///
+/// Because injection happens at check time, recompiling the stored stage
+/// source (checkpoint resume, registry introspection) reproduces the same
+/// expanded plan.
+fn inject_pipeline_input(ast: &mut Query) -> Result<Option<(String, Span)>, LangError> {
+    use saql_model::Operation;
+    let Some(from) = ast.from_query.clone() else {
+        return Ok(None);
+    };
+    let Some(name) = from.name.clone() else {
+        return Err(LangError::semantic(
+            "bare `from` has no upstream query: only `|>` chain stages may omit `query NAME`",
+            from.span,
+        ));
+    };
+    if !ast.patterns.is_empty() {
+        return Err(LangError::semantic(
+            "a `from query` stage reads its upstream's alert stream and \
+             declares no event patterns of its own",
+            ast.patterns[0].span,
+        ));
+    }
+    ast.patterns.push(EventPattern {
+        subject: EntityDecl {
+            etype: EntityType::Process,
+            var: "_in_src".into(),
+            constraints: vec![AttrConstraint {
+                attr: None,
+                op: CmpOp::Eq,
+                value: Literal::Str(name.clone()),
+                span: from.span,
+            }],
+            span: from.span,
+        },
+        ops: vec![Operation::Alert],
+        object: EntityDecl {
+            etype: EntityType::Process,
+            var: "_in_grp".into(),
+            constraints: vec![AttrConstraint {
+                attr: Some("user".into()),
+                op: CmpOp::Ne,
+                value: Literal::Str(PIPELINE_WM_USER.into()),
+                span: from.span,
+            }],
+            span: from.span,
+        },
+        alias: "_in".into(),
+        window: from.window,
+        span: from.span,
+    });
+    Ok(Some((name, from.span)))
 }
 
 fn classify(q: &Query) -> QueryKind {
@@ -122,6 +192,12 @@ fn compat_key(q: &Query) -> String {
     }
     if let Some(w) = q.window() {
         write!(key, "#{}ms/{}ms", w.size.as_millis(), w.slide.as_millis()).unwrap();
+    }
+    // Pipeline stages advance event time only on their own upstream's
+    // adapted alerts, so stages of different upstreams are *not*
+    // time-compatible: isolate their scheduler groups by upstream name.
+    if let Some(n) = q.from_query.as_ref().and_then(|f| f.name.as_ref()) {
+        write!(key, "<{n}").unwrap();
     }
     key
 }

@@ -28,6 +28,7 @@ pub enum Tok {
     Hash,
     Pipe,     // |
     PipePipe, // ||
+    PipeGt,   // |> (pipeline stage separator)
     AmpAmp,   // &&
     Bang,     // !
     Arrow,    // ->
@@ -76,6 +77,7 @@ impl Tok {
             Tok::Hash => "#",
             Tok::Pipe => "|",
             Tok::PipePipe => "||",
+            Tok::PipeGt => "|>",
             Tok::AmpAmp => "&&",
             Tok::Bang => "!",
             Tok::Arrow => "->",

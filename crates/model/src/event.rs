@@ -38,11 +38,18 @@ pub enum Operation {
     Connect,
     /// Subject accepts the object connection.
     Accept,
+    /// A query emitted a detection alert (pipeline-internal derived
+    /// events: the subject is the emitting query, the object carries the
+    /// alert's group). Collectors never produce this operation; the
+    /// alert→event adapter does.
+    Alert,
 }
 
 impl Operation {
     /// All operations, in a stable order (used by the codec and by tests).
-    pub const ALL: [Operation; 9] = [
+    /// `Alert` is appended last so the positional codec tags of the nine
+    /// collector operations are unchanged on the wire.
+    pub const ALL: [Operation; 10] = [
         Operation::Start,
         Operation::End,
         Operation::Execute,
@@ -52,6 +59,7 @@ impl Operation {
         Operation::Rename,
         Operation::Connect,
         Operation::Accept,
+        Operation::Alert,
     ];
 
     /// SAQL keyword for the operation.
@@ -66,6 +74,7 @@ impl Operation {
             Operation::Rename => "rename",
             Operation::Connect => "connect",
             Operation::Accept => "accept",
+            Operation::Alert => "alert",
         }
     }
 
@@ -79,7 +88,10 @@ impl Operation {
     pub fn valid_for(&self, object: EntityType) -> bool {
         match object {
             EntityType::Process => {
-                matches!(self, Operation::Start | Operation::End | Operation::Execute)
+                matches!(
+                    self,
+                    Operation::Start | Operation::End | Operation::Execute | Operation::Alert
+                )
             }
             EntityType::File => matches!(
                 self,
@@ -175,7 +187,7 @@ impl Event {
 
     /// Dense code for the event's *shape* — the `(operation, object type)`
     /// pair that master-query admission and pattern shape tests key on.
-    /// Codes are `< Operation::ALL.len() * 3 = 27`, so a set of shapes fits
+    /// Codes are `< Operation::ALL.len() * 3 = 30`, so a set of shapes fits
     /// a `u64` bitmask (see `shape_mask` users in the engine).
     pub fn shape_code(&self) -> u8 {
         shape_code(self.op, self.object.entity_type())

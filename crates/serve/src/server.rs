@@ -48,7 +48,7 @@ use saql_engine::{
     render_alert_json, Alert, Checkpoint, CheckpointConfig, Engine, EngineConfig, RunSession,
     SessionStatus,
 };
-use saql_model::event::Event;
+use saql_model::event::{Event, Operation};
 use saql_model::json::decode_event_json;
 use saql_model::time::{Duration, Timestamp};
 use saql_stream::merge::{Lateness, MergeConfig, SourceId, SourceStats};
@@ -259,6 +259,15 @@ struct DrainReport {
     durable: bool,
 }
 
+/// What a resume needs: where the checkpoint stopped, the store to replay
+/// the suffix from, and the pipeline adapter positions to restore.
+struct ResumeState {
+    offset: u64,
+    frontier: Timestamp,
+    reader: StoreReader,
+    adapters: Vec<(String, u64)>,
+}
+
 // ---------------------------------------------------------------------
 // Server handle
 // ---------------------------------------------------------------------
@@ -281,7 +290,7 @@ impl Server {
         let round_anchor = Arc::new(AtomicU64::new(0));
 
         // Engine: fresh, or restored from the checkpoint.
-        let mut resume_state: Option<(u64, Timestamp, StoreReader)> = None;
+        let mut resume_state: Option<ResumeState> = None;
         let mut engine = if cfg.resume {
             let dir = cfg
                 .checkpoint_dir
@@ -293,16 +302,18 @@ impl Server {
                 .ok_or("resume requires a durable store")?;
             let ckpt = Checkpoint::load(&Checkpoint::path_in(dir)).map_err(|e| e.to_string())?;
             let reader = StoreReader::open(store_path).map_err(|e| e.to_string())?;
-            let (offset, frontier) = (ckpt.offset, ckpt.frontier);
-            let engine = Engine::resume_from(ckpt, cfg.engine).map_err(|e| e.to_string())?;
-            resume_state = Some((offset, frontier, reader));
-            engine
+            resume_state = Some(ResumeState {
+                offset: ckpt.offset,
+                frontier: ckpt.frontier,
+                reader,
+                adapters: ckpt.adapters.clone(),
+            });
+            Engine::resume_from(ckpt, cfg.engine).map_err(|e| e.to_string())?
         } else {
             let mut engine = Engine::new(cfg.engine);
             for (name, text) in &cfg.initial_queries {
                 let full = format!("{}/{name}", protocol::DEFAULT_TENANT);
-                engine
-                    .register(&full, text)
+                saql_engine::register_pipeline(&mut engine, &full, text)
                     .map_err(|e| format!("query `{name}`: {}", e.message))?;
             }
             engine
@@ -322,7 +333,7 @@ impl Server {
             None => None,
         };
         let persisted = store.as_ref().map_or(0, StoreWriter::len);
-        if let Some((offset, _, _)) = &resume_state {
+        if let Some(ResumeState { offset, .. }) = &resume_state {
             if *offset > persisted {
                 return Err(format!(
                     "checkpoint offset {offset} is ahead of the durable store ({persisted} events) — \
@@ -482,7 +493,7 @@ fn run_core(
     mut engine: Engine,
     mut store: Option<StoreWriter>,
     mut persisted: u64,
-    resume: Option<(u64, Timestamp, StoreReader)>,
+    resume: Option<ResumeState>,
     cfg: ServeConfig,
     sh: &Shared,
     ctrl_rx: Receiver<Req>,
@@ -511,31 +522,124 @@ fn run_core(
         }
 
         // Durable write-ahead tap: append + sync each round's merged batch
-        // before the engine consumes it. `persisted` skips the prefix a
-        // previous run already stored (the resume replay).
+        // before the engine consumes it. `base_seen` counts *base* (non
+        // derived) events only — adapted pipeline alerts (`op = alert`)
+        // never enter the store, because a resume re-derives them from the
+        // replayed base stream; storing them too would double-feed every
+        // downstream stage. `persisted` (base events already on disk)
+        // makes replayed prefixes skip the append.
         let mut store_err: Option<String> = None;
+        let mut base_seen: u64 = resume.as_ref().map(|r| r.offset).unwrap_or(persisted);
         macro_rules! pump {
             ($session:expr) => {{
                 round_anchor.store(sh.clock.now_ns().max(1), Ordering::Relaxed);
                 let store = &mut store;
                 let persisted = &mut persisted;
                 let store_err = &mut store_err;
-                $session.pump_tapped(ROUND_BUDGET, &mut |offset, events| {
+                let base_seen = &mut base_seen;
+                $session.pump_tapped(ROUND_BUDGET, &mut |_offset, events| {
+                    let mut fresh: Vec<Event> = Vec::new();
+                    for event in events {
+                        if event.op == Operation::Alert {
+                            continue;
+                        }
+                        *base_seen += 1;
+                        if *base_seen > *persisted {
+                            fresh.push(Event::clone(event));
+                        }
+                    }
                     let Some(writer) = store.as_mut() else { return };
-                    if store_err.is_some() {
+                    if store_err.is_some() || fresh.is_empty() {
                         return;
                     }
-                    let skip = persisted.saturating_sub(offset).min(events.len() as u64) as usize;
-                    if skip == events.len() {
-                        return;
-                    }
-                    let owned: Vec<Event> =
-                        events[skip..].iter().map(|e| Event::clone(e)).collect();
-                    match writer.append(&owned).and_then(|_| writer.sync()) {
-                        Ok(()) => *persisted = offset + events.len() as u64,
+                    match writer.append(&fresh).and_then(|_| writer.sync()) {
+                        Ok(()) => *persisted = *base_seen,
                         Err(e) => *store_err = Some(e.to_string()),
                     }
                 })
+            }};
+        }
+
+        // Pipeline wiring: subscriptions + adapters + push channels for
+        // every `from query` edge, adapter positions restored from the
+        // checkpoint. Connected *before* the resume replay so downstream
+        // stages re-derive the post-checkpoint alert stream exactly.
+        let mut wiring = match saql_engine::PipelineWiring::connect_with(
+            &mut session,
+            resume
+                .as_ref()
+                .map(|r| r.adapters.as_slice())
+                .unwrap_or(&[]),
+        ) {
+            Ok(w) => w,
+            Err(e) => {
+                fatal = Some(format!("pipeline wiring failed: {e}"));
+                saql_engine::PipelineWiring::default()
+            }
+        };
+        // Tapped transfer+pump rounds until no alert is in flight between
+        // stages — the pipeline-aware quiet point a checkpoint needs.
+        macro_rules! pipeline_quiesce {
+            ($session:expr) => {{
+                loop {
+                    let moved = wiring.transfer(&mut $session);
+                    let round = pump!($session);
+                    summary.events += round.events;
+                    summary.alerts += round.alerts.len() as u64;
+                    if cfg.print_alerts {
+                        for alert in &round.alerts {
+                            println!("{alert}");
+                        }
+                    }
+                    if moved == 0 && round.events == 0 {
+                        break;
+                    }
+                }
+            }};
+        }
+        // Checkpoint capturing the whole pipeline: quiesce, then snapshot
+        // at the *base* offset (session offset minus derived events) with
+        // the adapter positions stamped in.
+        macro_rules! pipeline_checkpoint {
+            ($session:expr) => {{
+                pipeline_quiesce!($session);
+                let offset = $session.offset().saturating_sub(wiring.derived_pushed());
+                let frontier = $session.frontier();
+                match $session.engine().checkpoint(offset, frontier) {
+                    Ok(mut ckpt) => {
+                        ckpt.adapters = wiring.adapter_seqs();
+                        ckpt.write_atomic(cfg.checkpoint_dir.as_ref().expect("checkpointing on"))
+                            .map_err(|e| e.to_string())
+                            .map(|path| (path, offset))
+                    }
+                    Err(e) => Err(e.to_string()),
+                }
+            }};
+        }
+        let mut waiters: Vec<(SourceId, Sender<DrainReport>)> = Vec::new();
+        // Control dispatch: `checkpoint` on a pipelined engine needs the
+        // tap and the wiring, so the core loop answers it in place;
+        // everything else goes through the plain handler.
+        macro_rules! dispatch_req {
+            ($req:expr) => {{
+                match $req {
+                    Req::Control {
+                        tenant: _,
+                        cmd: ControlCmd::Checkpoint,
+                        reply,
+                    } if checkpointing && !wiring.is_empty() => {
+                        let line = match pipeline_checkpoint!(session) {
+                            Ok((path, offset)) => JsonObj::new()
+                                .bool("ok", true)
+                                .str("path", &path.display().to_string())
+                                .u64("offset", offset)
+                                .finish(),
+                            Err(e) => err_line(&e),
+                        };
+                        let _ = reply.send(line);
+                    }
+                    req => handle_req(req, &mut session, &mut waiters, sh, checkpointing, &store),
+                }
             }};
         }
 
@@ -544,12 +648,22 @@ fn run_core(
         // attaches stay queued on the control channel meanwhile, so the
         // replay cannot interleave with — or re-read — fresh appends).
         match resume {
-            Some((offset, frontier, reader)) => {
+            Some(ResumeState {
+                offset,
+                frontier,
+                reader,
+                ..
+            }) => {
                 session.resume_at_position(offset, frontier);
                 match StoreSource::open_at("_resume/store", &reader, offset) {
                     Ok(src) => {
                         session.attach_with(src, Lateness::ArrivalOrder);
                         loop {
+                            let moved = if wiring.is_empty() {
+                                0
+                            } else {
+                                wiring.transfer(&mut session)
+                            };
                             let round = pump!(session);
                             summary.events += round.events;
                             summary.alerts += round.alerts.len() as u64;
@@ -558,7 +672,10 @@ fn run_core(
                                     println!("{alert}");
                                 }
                             }
-                            if round.status != SessionStatus::Active {
+                            if round.status != SessionStatus::Active
+                                && moved == 0
+                                && round.events == 0
+                            {
                                 break;
                             }
                         }
@@ -579,7 +696,6 @@ fn run_core(
             }
         }
 
-        let mut waiters: Vec<(SourceId, Sender<DrainReport>)> = Vec::new();
         let mut degraded: HashSet<String> = HashSet::new();
         let mut since_checkpoint: u64 = 0;
         let mut last_observe = Instant::now();
@@ -589,13 +705,27 @@ fn run_core(
         while fatal.is_none() {
             // Control plane between rounds.
             while let Ok(req) = ctrl_rx.try_recv() {
-                handle_req(req, &mut session, &mut waiters, sh, checkpointing, &store);
+                dispatch_req!(req);
+            }
+
+            // A register/deregister may have changed the pipeline
+            // topology: settle in-flight alerts on the old wiring, then
+            // rebuild the edge set against the live registry.
+            if wiring.stale(&mut session) {
+                pipeline_quiesce!(session);
+                if let Err(e) = wiring.reconnect(&mut session) {
+                    fatal = Some(format!("pipeline rewire failed: {e}"));
+                    break;
+                }
             }
 
             if sh.stopping() && drain_deadline.is_none() {
                 drain_deadline = Some(Instant::now() + cfg.drain_grace);
             }
 
+            if !wiring.is_empty() {
+                wiring.transfer(&mut session);
+            }
             let round = pump!(session);
             summary.events += round.events;
             summary.alerts += round.alerts.len() as u64;
@@ -616,7 +746,12 @@ fn run_core(
             {
                 // The tap already synced everything the engine consumed, so
                 // the checkpoint offset is covered by durable events.
-                if session.checkpoint_now().is_ok() {
+                let ok = if wiring.is_empty() {
+                    session.checkpoint_now().is_ok()
+                } else {
+                    pipeline_checkpoint!(session).is_ok()
+                };
+                if ok {
                     since_checkpoint = 0;
                 }
             }
@@ -653,7 +788,10 @@ fn run_core(
             }
 
             if let Some(deadline) = drain_deadline {
-                let drained = session.live_sources() == 0 && ctrl_rx.is_empty();
+                // Pipeline push sources never report done while the wiring
+                // holds their handles, so "drained" means only those
+                // internal edges are left.
+                let drained = session.live_sources() <= wiring.edge_count() && ctrl_rx.is_empty();
                 if drained || Instant::now() >= deadline {
                     break;
                 }
@@ -663,7 +801,7 @@ fn run_core(
                 // Nothing flowed: park briefly on the control channel
                 // instead of spinning (new events wake us next round).
                 if let Ok(req) = ctrl_rx.recv_timeout(std::time::Duration::from_millis(2)) {
-                    handle_req(req, &mut session, &mut waiters, sh, checkpointing, &store);
+                    dispatch_req!(req);
                 }
             }
         }
@@ -681,6 +819,29 @@ fn run_core(
         }
         observe(&mut session, sh, &mut degraded);
 
+        // Settle the pipeline before sealing: in-flight adapted alerts
+        // must reach their downstream stages (and the base events that
+        // produced them must reach the tap) while the store is writable.
+        if !wiring.is_empty() && fatal.is_none() {
+            pipeline_quiesce!(session);
+            if finish_at_end {
+                // Flush open upstream windows through the stages. The
+                // internal pumps here are untapped, but after the tapped
+                // quiesce above only derived (never-persisted) events
+                // remain to move.
+                let alerts = wiring.finish_stages(&mut session);
+                summary.alerts += alerts.len() as u64;
+                if cfg.print_alerts {
+                    for alert in &alerts {
+                        println!("{alert}");
+                    }
+                }
+            }
+            if let (Some(e), None) = (store_err.clone(), &fatal) {
+                fatal = Some(format!("durable store write failed: {e}"));
+            }
+        }
+
         if let Some(writer) = store.as_mut() {
             let sealed = writer.seal().and_then(|_| writer.sync());
             if let (Err(e), None) = (sealed, &fatal) {
@@ -689,7 +850,12 @@ fn run_core(
             summary.store_len = Some(writer.len());
         }
         if checkpointing && fatal.is_none() {
-            match session.checkpoint_now() {
+            let written = if wiring.is_empty() {
+                session.checkpoint_now().map_err(|e| e.to_string())
+            } else {
+                pipeline_checkpoint!(session).map(|(path, _)| path)
+            };
+            match written {
                 Ok(path) => summary.checkpoint = Some(path),
                 Err(e) => fatal = Some(format!("final checkpoint failed: {e}")),
             }
@@ -789,17 +955,29 @@ fn control_response(
                     "tenant `{tenant}` is at its live-query quota ({live})"
                 ));
             }
-            match engine.register(&full, &query) {
-                Ok(id) => JsonObj::new()
-                    .bool("ok", true)
-                    .str("name", &name)
-                    .u64("id", id.index() as u64)
-                    .finish(),
-                Err(e) => err_line(&e.message),
+            // `register_pipeline` handles both shapes: a plain query is a
+            // one-stage pipeline. Multi-stage sources register every stage
+            // under the tenant prefix; the core loop notices the new edges
+            // (`PipelineWiring::stale`) and rewires between rounds.
+            match saql_engine::register_pipeline(engine, &full, &query) {
+                Ok(stages) => {
+                    let head = stages
+                        .iter()
+                        .find(|(s, _)| s.name == full)
+                        .map(|(_, id)| *id)
+                        .expect("register_pipeline always registers the named stage");
+                    JsonObj::new()
+                        .bool("ok", true)
+                        .str("name", &name)
+                        .u64("id", head.index() as u64)
+                        .u64("stages", stages.len() as u64)
+                        .finish()
+                }
+                Err(e) => err_line(&e.render(&query)),
             }
         }
         ControlCmd::Deregister { name } => with_query(session, &prefix, &name, |engine, id| {
-            engine.deregister(id).map_err(|e| e.to_string())?;
+            saql_engine::deregister_pipeline(engine, id).map_err(|e| e.to_string())?;
             Ok(ok_line())
         }),
         ControlCmd::Pause { name } => with_query(session, &prefix, &name, |engine, id| {

@@ -8,6 +8,7 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::thread;
 
+use saql::engine::{PipelineWiring, SessionStatus};
 use saql::model::event::{Event, EventBuilder};
 use saql::model::json::encode_event_json;
 use saql::model::{FileInfo, ProcessInfo};
@@ -417,6 +418,273 @@ fn shutdown_checkpoint_resume_loses_nothing() {
     // Union of both incarnations == the uninterrupted offline run.
     let offline = offline_alert_lines(&[("default/q".to_string(), query.clone())], corpus.clone());
     assert_eq!(offline.len(), 300);
+    let mut served = first_alerts;
+    served.extend(second_alerts);
+    assert_eq!(sorted(served), sorted(offline));
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Tiered detection as a served pipeline: stage 1 counts write bursts per
+/// host in 10 s windows; stage 2 correlates distinct bursting hosts in
+/// 30 s windows over stage 1's alert stream.
+const TIERED_PIPELINE: &str = "\
+proc p write file f as evt #time(10 s)
+state ss { writes := count() } group by evt.agentid
+alert ss[0].writes >= 3
+return evt.agentid as host, ss[0].writes as amount
+|>
+from #time(30 s)
+state es { hosts := distinct_count(_in.agentid) }
+alert es[0].hosts >= 2
+return es[0].hosts as hosts";
+
+/// Burst trace for [`TIERED_PIPELINE`]: web-1 and web-2 both burst in the
+/// first 10 s window (stage 2 fires, hosts=2); only web-1 bursts in the
+/// [40 s, 50 s) window (stage 2 stays quiet); a trailing quiet event at
+/// 95 s closes every window in-stream, so end-of-stream flushes add
+/// nothing and runs with and without a final flush emit identical alerts.
+fn pipeline_trace() -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut id = 0u64;
+    let mut push = |host: &str, ts: u64| {
+        id += 1;
+        events.push(event(id, ts, host));
+    };
+    for k in 0..4 {
+        push("web-1", 1_000 + k * 2_000);
+        push("web-2", 1_100 + k * 2_000);
+    }
+    push("web-3", 2_500);
+    for k in 0..4 {
+        push("web-1", 41_000 + k * 2_000);
+    }
+    push("web-2", 43_000);
+    push("web-3", 95_000);
+    events
+}
+
+/// Run `source` as a pipeline in one offline engine and render every alert
+/// exactly as the subscribe role streams them.
+fn offline_pipeline_alert_lines(name: &str, source: &str, events: Vec<Event>) -> Vec<String> {
+    let mut engine = Engine::new(EngineConfig::default());
+    saql::engine::register_pipeline(&mut engine, name, source).expect("pipeline registers");
+    let mut session = engine.session();
+    session.attach_with(
+        saql::stream::source::IterSource::new("trace", saql::stream::share(events)),
+        saql::stream::merge::Lateness::ArrivalOrder,
+    );
+    let mut wiring = PipelineWiring::connect(&mut session).expect("wires");
+    let mut alerts = Vec::new();
+    loop {
+        let round = session.pump_max(64);
+        alerts.extend(round.alerts);
+        let moved = wiring.transfer(&mut session);
+        if round.events == 0 && moved == 0 && round.status != SessionStatus::Active {
+            break;
+        }
+    }
+    alerts.extend(wiring.finish_stages(&mut session));
+    alerts.extend(session.drain());
+    alerts.iter().map(saql::engine::render_alert_json).collect()
+}
+
+#[test]
+fn served_pipeline_fans_alert_stream_out_to_every_subscriber() {
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        print_alerts: false,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    // Registering a `|>` source through the control plane deploys every
+    // stage; the core loop rewires between rounds.
+    let reply = ctl(&addr, "acme", &register_line("tiered", TIERED_PIPELINE)).unwrap();
+    assert!(reply.contains("\"ok\":true"), "{reply}");
+    assert!(reply.contains("\"stages\":2"), "{reply}");
+
+    // Fan-out: two independent subscribers on the final stage, plus one on
+    // the intermediate stage — each must see its query's full stream.
+    let tails: Vec<_> = ["tiered", "tiered", "tiered.s1"]
+        .iter()
+        .map(|query| {
+            let addr = addr.clone();
+            let query = query.to_string();
+            thread::spawn(move || {
+                let mut buf = Vec::new();
+                tail_alerts(&addr, "acme", &query, &mut buf, None).unwrap();
+                String::from_utf8(buf).unwrap()
+            })
+        })
+        .collect();
+    thread::sleep(std::time::Duration::from_millis(100));
+
+    let corpus = pipeline_trace();
+    let report = ingest_reader(
+        &addr,
+        "acme",
+        "feed",
+        &mut Cursor::new(jsonl(&corpus)),
+        true,
+        true,
+    )
+    .unwrap();
+    assert_eq!(
+        report.field("events"),
+        Some(corpus.len() as u64),
+        "{}",
+        report.summary
+    );
+
+    assert!(ctl(&addr, "acme", r#"{"cmd":"shutdown"}"#)
+        .unwrap()
+        .contains("\"draining\":true"));
+    server.wait().unwrap();
+
+    let offline = offline_pipeline_alert_lines("acme/tiered", TIERED_PIPELINE, corpus);
+    let stage2: Vec<String> = offline
+        .iter()
+        .filter(|l| l.contains("\"query\":\"acme/tiered\""))
+        .cloned()
+        .collect();
+    let stage1: Vec<String> = offline
+        .iter()
+        .filter(|l| l.contains("\"query\":\"acme/tiered.s1\""))
+        .cloned()
+        .collect();
+    assert_eq!(stage1.len(), 3, "{offline:?}");
+    assert_eq!(stage2.len(), 1, "{offline:?}");
+
+    let got: Vec<Vec<String>> = tails
+        .into_iter()
+        .map(|t| t.join().unwrap().lines().map(str::to_string).collect())
+        .collect();
+    // Both final-stage subscribers see the identical, complete stream —
+    // fan-out duplicates, it never load-balances.
+    assert_eq!(sorted(got[0].clone()), sorted(stage2.clone()));
+    assert_eq!(sorted(got[1].clone()), sorted(stage2));
+    assert_eq!(sorted(got[2].clone()), sorted(stage1));
+}
+
+#[test]
+fn served_pipeline_survives_shutdown_checkpoint_resume() {
+    let root = scratch("pipe-resume");
+    let store = root.join("events.d");
+    let ckpt = root.join("ckpt");
+    let corpus = pipeline_trace();
+    // Cut mid-trace with stage 1's [40 s, 50 s) window OPEN and stage-1
+    // alerts already adapted + pushed downstream: the checkpoint must
+    // capture cross-stage state, not just the base stream position.
+    let cut = 11;
+
+    let serve_cfg = |resume: bool| ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        print_alerts: false,
+        durable_store: Some(store.clone()),
+        checkpoint_dir: Some(ckpt.clone()),
+        checkpoint_every: 4,
+        resume,
+        ..ServeConfig::default()
+    };
+
+    // Tail both stages concurrently (tail_alerts blocks until the server
+    // disconnects, so sequential subscribes would miss the first stream).
+    let tail_lines = |addr: &str| {
+        let addr = addr.to_string();
+        thread::spawn(move || {
+            let inner = {
+                let addr = addr.clone();
+                thread::spawn(move || {
+                    let mut buf = Vec::new();
+                    tail_alerts(&addr, "acme", "tiered.s1", &mut buf, None).unwrap();
+                    buf
+                })
+            };
+            let mut buf = Vec::new();
+            tail_alerts(&addr, "acme", "tiered", &mut buf, None).unwrap();
+            buf.extend(inner.join().unwrap());
+            String::from_utf8(buf).unwrap()
+        })
+    };
+
+    // First incarnation: deploy the pipeline, feed the prefix, shut down.
+    let server = Server::start(serve_cfg(false)).unwrap();
+    let addr = server.addr().to_string();
+    assert!(
+        ctl(&addr, "acme", &register_line("tiered", TIERED_PIPELINE))
+            .unwrap()
+            .contains("\"ok\":true")
+    );
+    let tail = tail_lines(&addr);
+    thread::sleep(std::time::Duration::from_millis(100));
+    let report = ingest_reader(
+        &addr,
+        "acme",
+        "feed",
+        &mut Cursor::new(jsonl(&corpus[..cut])),
+        true,
+        true,
+    )
+    .unwrap();
+    assert!(report.durable(), "{}", report.summary);
+    assert_eq!(
+        report.field("events"),
+        Some(cut as u64),
+        "{}",
+        report.summary
+    );
+    server.request_shutdown();
+    let summary = server.wait().unwrap();
+    assert!(summary.checkpoint.is_some(), "no final checkpoint written");
+    // The store holds *base* events only: the adapted stage-1 alerts that
+    // flowed between stages never reach disk (a resume re-derives them).
+    assert_eq!(summary.store_len, Some(cut as u64));
+    let first_alerts: Vec<String> = tail.join().unwrap().lines().map(str::to_string).collect();
+    assert!(
+        first_alerts
+            .iter()
+            .any(|l| l.contains("\"query\":\"acme/tiered\"")),
+        "stage 2 should fire before the cut: {first_alerts:?}"
+    );
+
+    // Second incarnation: the registry (all stages), the stream position,
+    // AND the adapter positions come back from the checkpoint.
+    let server = Server::start(serve_cfg(true)).unwrap();
+    let addr = server.addr().to_string();
+    let list = ctl(&addr, "acme", r#"{"cmd":"list"}"#).unwrap();
+    assert!(
+        list.contains("\"name\":\"tiered\""),
+        "resumed registry: {list}"
+    );
+    assert!(
+        list.contains("\"name\":\"tiered.s1\""),
+        "resumed registry: {list}"
+    );
+    let tail = tail_lines(&addr);
+    thread::sleep(std::time::Duration::from_millis(100));
+    let report = ingest_reader(
+        &addr,
+        "acme",
+        "feed",
+        &mut Cursor::new(jsonl(&corpus[cut..])),
+        true,
+        true,
+    )
+    .unwrap();
+    assert!(report.durable(), "{}", report.summary);
+    assert!(ctl(&addr, "acme", r#"{"cmd":"shutdown"}"#)
+        .unwrap()
+        .contains("\"ok\":true"));
+    let summary = server.wait().unwrap();
+    assert_eq!(summary.store_len, Some(corpus.len() as u64));
+    let second_alerts: Vec<String> = tail.join().unwrap().lines().map(str::to_string).collect();
+
+    // Union of both incarnations == the uninterrupted offline pipeline:
+    // no stage-2 alert lost, none derived twice.
+    let offline = offline_pipeline_alert_lines("acme/tiered", TIERED_PIPELINE, corpus);
+    assert_eq!(offline.len(), 4, "{offline:?}");
     let mut served = first_alerts;
     served.extend(second_alerts);
     assert_eq!(sorted(served), sorted(offline));
