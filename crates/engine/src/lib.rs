@@ -61,7 +61,9 @@ pub use alert::Alert;
 pub use checkpoint::Checkpoint;
 pub use engine::{Engine, EngineConfig};
 pub use error::{EngineError, ErrorReporter};
-pub use pipeline::{deregister_pipeline, register_pipeline, AlertAdapter, PipelineWiring};
+pub use pipeline::{
+    deregister_pipeline, register_pipeline, register_pipeline_scoped, AlertAdapter, PipelineWiring,
+};
 pub use query::{QueryId, RunningQuery};
 pub use runtime::{ParallelConfig, ParallelEngine};
 pub use scheduler::Scheduler;

@@ -109,6 +109,11 @@ impl AlertAdapter {
         &self.upstream
     }
 
+    /// The upstream query's id (wiring staleness checks).
+    pub fn upstream_id(&self) -> QueryId {
+        self.upstream_id
+    }
+
     /// Adapt one alert into a derived event.
     pub fn adapt(&mut self, alert: &Alert) -> SharedEvent {
         let id = ((self.upstream_id.index() as u64 + 1) << 40) | self.seq;
@@ -277,6 +282,80 @@ pub fn register_pipeline(
     source: &str,
 ) -> Result<Vec<(Stage, QueryId)>, LangError> {
     let stages = saql_lang::split_stages(name, source)?;
+    register_stages(engine, stages)
+}
+
+/// [`register_pipeline`] with every explicit `from query` reference
+/// confined to a name scope (the serving layer's `{tenant}/` prefix).
+///
+/// Implicit `|>` edges already carry the scope through the pipeline name
+/// and are left alone. An explicit bare reference (`from query "q"`) is
+/// resolved *under* the scope — the stage's stored source is rewritten to
+/// `from query "{scope}q"`, so recompiles from the registry or a
+/// checkpoint resolve identically — and a reference containing `/` is
+/// rejected with a spanned error: registered names never contain `/`
+/// inside a scope, so such a reference could only reach another scope's
+/// queries (a cross-tenant alert-stream leak).
+pub fn register_pipeline_scoped(
+    engine: &mut Engine,
+    name: &str,
+    source: &str,
+    scope: &str,
+) -> Result<Vec<(Stage, QueryId)>, LangError> {
+    let mut stages = saql_lang::split_stages(name, source)?;
+    scope_stage_inputs(&mut stages, scope)?;
+    register_stages(engine, stages)
+}
+
+/// Confine each stage's explicit `from query` reference to `scope` (see
+/// [`register_pipeline_scoped`]). Rewrites both the parsed input name and
+/// the quoted literal inside the stage source.
+fn scope_stage_inputs(stages: &mut [Stage], scope: &str) -> Result<(), LangError> {
+    let batch: Vec<String> = stages.iter().map(|s| s.name.clone()).collect();
+    for stage in stages.iter_mut() {
+        let Some((up, span)) = stage.input.clone() else {
+            continue;
+        };
+        if batch.contains(&up) {
+            continue;
+        }
+        if up.contains('/') {
+            return Err(LangError::semantic(
+                format!(
+                    "stage `{}`: `from query \"{up}\"` reaches outside the \
+                     tenant scope — reference queries by their bare name",
+                    stage.name
+                ),
+                span,
+            ));
+        }
+        let needle = format!("\"{up}\"");
+        let clause = &stage.source[span.start..span.end.min(stage.source.len())];
+        let rel = clause.find(&needle).ok_or_else(|| {
+            LangError::semantic(
+                format!(
+                    "stage `{}`: cannot scope `from query \"{up}\"` — the \
+                     upstream name is not a plain string literal",
+                    stage.name
+                ),
+                span,
+            )
+        })?;
+        stage.source.insert_str(span.start + rel + 1, scope);
+        let mut scoped_span = span;
+        scoped_span.end += scope.len();
+        stage.input = Some((format!("{scope}{up}"), scoped_span));
+    }
+    Ok(())
+}
+
+/// Validate a pre-split stage batch and register it upstream-first,
+/// rolling back on failure — the shared tail of [`register_pipeline`] and
+/// [`register_pipeline_scoped`].
+fn register_stages(
+    engine: &mut Engine,
+    stages: Vec<Stage>,
+) -> Result<Vec<(Stage, QueryId)>, LangError> {
     let order = validate_stages(&stages, engine)?;
     let mut registered: Vec<(Stage, QueryId)> = Vec::new();
     for i in order {
@@ -482,7 +561,17 @@ impl PipelineWiring {
             .collect();
         ups.sort_by_key(|id| id.index());
         ups.dedup();
+        // Compare the id *sets*, not just the counts: a deregister+register
+        // pair drained in one control round (replacing a pipeline under the
+        // same name) keeps the count equal while changing the upstream ids
+        // — the registry never reuses a retired id, so the id set always
+        // reflects such a swap. Edges are built sorted by upstream id
+        // (`connect_with`), so a positional compare is a set compare.
         ups.len() != self.edges.len()
+            || ups
+                .iter()
+                .zip(&self.edges)
+                .any(|(id, e)| e.adapter.upstream_id() != *id)
     }
 
     /// Rebuild the edge set in place after a mid-run topology change,

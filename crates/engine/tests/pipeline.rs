@@ -6,7 +6,9 @@
 use std::sync::Arc;
 
 use saql_engine::alert::AlertOrigin;
-use saql_engine::pipeline::{register_pipeline, AlertAdapter, PipelineWiring};
+use saql_engine::pipeline::{
+    deregister_pipeline, register_pipeline, register_pipeline_scoped, AlertAdapter, PipelineWiring,
+};
 use saql_engine::{Alert, Engine, EngineConfig, EngineError, SessionStatus};
 use saql_model::event::EventBuilder;
 use saql_model::{NetworkInfo, ProcessInfo, Timestamp};
@@ -414,4 +416,88 @@ fn cyclic_stage_batch_is_rejected() {
     assert!(err.to_string().contains("cycle"), "{err}");
     // And a failed batch leaves the engine untouched.
     assert!(engine.query_names().is_empty());
+}
+
+/// Stage 1 of [`TIERED`] as a standalone upstream query.
+const BURST: &str = "\
+proc p write ip i as evt #time(10 s)
+state ss { writes := count() } group by evt.agentid
+alert ss[0].writes >= 3
+return evt.agentid as host, ss[0].writes as amount";
+
+/// A correlation stage consuming `upstream`'s alert stream explicitly.
+fn correlation(upstream: &str) -> String {
+    format!(
+        "from query \"{upstream}\" #time(30 s)\n\
+         state es {{ hosts := distinct_count(_in.agentid) }}\n\
+         alert es[0].hosts >= 2\n\
+         return es[0].hosts as hosts"
+    )
+}
+
+#[test]
+fn scoped_register_confines_explicit_refs_to_the_scope() {
+    let mut engine = Engine::new(EngineConfig::default());
+    register_pipeline_scoped(&mut engine, "acme/burst", BURST, "acme/")
+        .expect("upstream registers");
+
+    // A bare reference resolves under the caller's scope, and the stored
+    // stage source is rewritten so recompiles resolve identically.
+    let stages = register_pipeline_scoped(&mut engine, "acme/corr", &correlation("burst"), "acme/")
+        .expect("bare in-scope reference resolves");
+    assert_eq!(stages.len(), 1);
+    assert!(
+        stages[0].0.source.contains("from query \"acme/burst\""),
+        "stage source is rewritten to the scoped name: {}",
+        stages[0].0.source
+    );
+    let down = engine.find("acme/corr").expect("registered");
+    assert_eq!(engine.input_of(down), Some("acme/burst"));
+
+    // A reference spelling another scope's prefixed name is rejected, so
+    // no tenant can consume another tenant's alert stream.
+    let err = register_pipeline_scoped(
+        &mut engine,
+        "evil/corr",
+        &correlation("acme/burst"),
+        "evil/",
+    )
+    .expect_err("cross-scope reference must be rejected");
+    assert!(err.message.contains("tenant scope"), "{}", err.message);
+    assert!(engine.find("evil/corr").is_none(), "nothing was registered");
+
+    // A bare name with no in-scope target dangles instead of resolving
+    // across scopes.
+    let err = register_pipeline_scoped(&mut engine, "evil/corr", &correlation("burst"), "evil/")
+        .expect_err("an out-of-scope upstream must not resolve");
+    assert!(
+        err.message.contains("references neither"),
+        "{}",
+        err.message
+    );
+}
+
+#[test]
+fn rewire_detects_same_count_pipeline_replacement() {
+    let mut engine = Engine::new(EngineConfig::default());
+    register_pipeline(&mut engine, "tiered", TIERED).expect("registers");
+    let mut session = engine.session();
+    let mut wiring = PipelineWiring::connect(&mut session).expect("wires");
+    assert!(!wiring.stale(&mut session), "freshly wired");
+
+    // Replace the pipeline under the same name between wiring checks: the
+    // edge *count* is unchanged, but the upstream ids are new — the old
+    // wiring still subscribes to the removed queries.
+    let head = session.engine().find("tiered").expect("head is live");
+    deregister_pipeline(session.engine(), head).expect("deregisters");
+    register_pipeline(session.engine(), "tiered", TIERED).expect("re-registers");
+    assert!(
+        wiring.stale(&mut session),
+        "a same-count replacement must be detected"
+    );
+    wiring.reconnect(&mut session).expect("rewires");
+    assert!(
+        !wiring.stale(&mut session),
+        "fresh edges match the registry"
+    );
 }

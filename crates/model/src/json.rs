@@ -456,10 +456,27 @@ fn event_from_fields(fields: Vec<(String, JsonValue)>) -> Result<Event, JsonErro
             "amount" => amount = num(&key, value)?,
             "op" => {
                 let kw = string(&key, value)?;
-                op = Some(Operation::from_keyword(&kw).ok_or_else(|| JsonError {
+                let parsed = Operation::from_keyword(&kw).ok_or_else(|| JsonError {
                     at: 0,
                     message: format!("unknown operation `{kw}`"),
-                })?);
+                })?;
+                // `alert` events exist only inside a pipeline: the
+                // alert→event adapter synthesizes them, and downstream
+                // stages identify their upstream purely by `op == alert` +
+                // subject identity. Accepting them from a collector line
+                // would let any producer spoof a query's alert stream (or
+                // force-advance a stage's clock), so the JSON boundary —
+                // serve ingest and file/replay sources alike — rejects
+                // them outright.
+                if parsed == Operation::Alert {
+                    return Err(JsonError {
+                        at: 0,
+                        message: "operation `alert` is reserved for \
+                                  pipeline-derived events and cannot be ingested"
+                            .into(),
+                    });
+                }
+                op = Some(parsed);
             }
             "subject" => subject = Some(process_from(value, "subject")?),
             "object" => object = Some(entity_from(value)?),
@@ -691,6 +708,10 @@ mod tests {
             (
                 r#"{"id":1,"host":"h","ts_ms":0,"subject":{"pid":1,"exe":"a","user":"u"},"op":"delete","object":{"kind":"network","src_ip":"a","src_port":1,"dst_ip":"b","dst_port":2,"protocol":"tcp"},"amount":0}"#,
                 "invalid for",
+            ),
+            (
+                r#"{"id":1,"host":"h","ts_ms":0,"subject":{"pid":1,"exe":"acme/q","user":"saql"},"op":"alert","object":{"kind":"process","pid":0,"exe":"g","user":""},"amount":0}"#,
+                "reserved for pipeline-derived events",
             ),
         ];
         for (line, needle) in cases {

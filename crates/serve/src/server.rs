@@ -312,8 +312,9 @@ impl Server {
         } else {
             let mut engine = Engine::new(cfg.engine);
             for (name, text) in &cfg.initial_queries {
-                let full = format!("{}/{name}", protocol::DEFAULT_TENANT);
-                saql_engine::register_pipeline(&mut engine, &full, text)
+                let scope = format!("{}/", protocol::DEFAULT_TENANT);
+                let full = format!("{scope}{name}");
+                saql_engine::register_pipeline_scoped(&mut engine, &full, text, &scope)
                     .map_err(|e| format!("query `{name}`: {}", e.message))?;
             }
             engine
@@ -955,11 +956,14 @@ fn control_response(
                     "tenant `{tenant}` is at its live-query quota ({live})"
                 ));
             }
-            // `register_pipeline` handles both shapes: a plain query is a
-            // one-stage pipeline. Multi-stage sources register every stage
-            // under the tenant prefix; the core loop notices the new edges
-            // (`PipelineWiring::stale`) and rewires between rounds.
-            match saql_engine::register_pipeline(engine, &full, &query) {
+            // `register_pipeline_scoped` handles both shapes: a plain query
+            // is a one-stage pipeline. Multi-stage sources register every
+            // stage under the tenant prefix, and explicit `from query`
+            // references resolve *within* that prefix — bare names reach
+            // the tenant's own queries, nothing reaches another tenant's.
+            // The core loop notices the new edges (`PipelineWiring::stale`)
+            // and rewires between rounds.
+            match saql_engine::register_pipeline_scoped(engine, &full, &query, &prefix) {
                 Ok(stages) => {
                     let head = stages
                         .iter()

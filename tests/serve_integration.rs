@@ -331,6 +331,71 @@ fn decode_failures_surface_live_in_summary_and_stats() {
 }
 
 #[test]
+fn pipeline_tenancy_is_sealed_at_both_boundaries() {
+    let server = Server::start(ServeConfig {
+        listen: "127.0.0.1:0".into(),
+        print_alerts: false,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+    let addr = server.addr().to_string();
+
+    assert!(
+        ctl(&addr, "acme", &register_line("q", &rule_query("host-a")))
+            .unwrap()
+            .contains("\"ok\":true")
+    );
+    let steal = |upstream: &str| {
+        format!(
+            "from query \"{upstream}\" #time(30 s)\nstate es {{ n := count() }}\n\
+             alert es[0].n > 0\nreturn es[0].n as n"
+        )
+    };
+
+    // Control boundary: another tenant cannot consume acme's alert
+    // stream, whether the reference spells the internal prefixed name...
+    let refused = ctl(&addr, "evil", &register_line("tap", &steal("acme/q"))).unwrap();
+    assert!(refused.contains("\"ok\":false"), "{refused}");
+    assert!(refused.contains("tenant scope"), "{refused}");
+    // ...or hopes a bare name resolves globally (it dangles in-scope).
+    let refused = ctl(&addr, "evil", &register_line("tap", &steal("q"))).unwrap();
+    assert!(refused.contains("\"ok\":false"), "{refused}");
+
+    // The same bare name works for the tenant that owns the upstream, and
+    // the dependency edge is live (the upstream refuses to deregister).
+    assert!(ctl(&addr, "acme", &register_line("corr", &steal("q")))
+        .unwrap()
+        .contains("\"ok\":true"));
+    let dep = ctl(&addr, "acme", r#"{"cmd":"deregister","name":"q"}"#).unwrap();
+    assert!(dep.contains("\"ok\":false"), "{dep}");
+
+    // Ingest boundary: a crafted `op = alert` line impersonating the
+    // upstream's derived events is refused at decode, not fed downstream.
+    let spoof = concat!(
+        r#"{"id":9,"host":"saql","ts_ms":1000,"#,
+        r#""subject":{"pid":0,"exe":"acme/q","user":"saql"},"op":"alert","#,
+        r#""object":{"kind":"process","pid":0,"exe":"g","user":""},"amount":0}"#,
+        "\n"
+    );
+    let report = ingest_reader(
+        &addr,
+        "acme",
+        "spoof",
+        &mut Cursor::new(spoof.to_string()),
+        true,
+        true,
+    )
+    .unwrap();
+    assert_eq!(report.field("events"), Some(0), "{}", report.summary);
+    assert_eq!(report.field("decode_errors"), Some(1), "{}", report.summary);
+
+    assert!(ctl(&addr, "acme", r#"{"cmd":"shutdown"}"#)
+        .unwrap()
+        .contains("\"ok\":true"));
+    server.wait().unwrap();
+}
+
+#[test]
 fn shutdown_checkpoint_resume_loses_nothing() {
     let root = scratch("resume");
     let store = root.join("events.d");
