@@ -48,6 +48,13 @@ pub struct EngineConfig {
     /// parallel runtime dispatches worker batches of the same size. Zero
     /// clamps to one.
     pub batch_size: usize,
+    /// Key-partitioned execution on the parallel backend: partitionable
+    /// queries (state keyed purely by group key) are replicated across all
+    /// shards, each replica owning the groups whose key tuple hashes to
+    /// its shard — one heavy query's work splits ~1/N per worker. Ignored
+    /// on the serial backend (`workers == 0`). Off by default; see
+    /// [`crate::runtime::ParallelConfig::key_partitioning`].
+    pub key_partitioning: bool,
 }
 
 impl Default for EngineConfig {
@@ -58,6 +65,7 @@ impl Default for EngineConfig {
             workers: 0,
             subscription_backlog: 1024,
             batch_size: DEFAULT_BATCH_SIZE,
+            key_partitioning: false,
         }
     }
 }
@@ -162,6 +170,7 @@ impl Engine {
                 ParallelConfig {
                     batch_size: config.batch_size.max(1),
                     record_latency: config.record_latency,
+                    key_partitioning: config.key_partitioning,
                     ..ParallelConfig::with_workers(config.workers)
                 },
                 config.query,

@@ -24,7 +24,9 @@ use crate::eval::{eval, run_program, run_program_batch, ClusterOutcome, EventRow
 use crate::invariant::{InvariantRuntime, InvariantSnapshot};
 use crate::matcher::{FullMatch, GlobalFilter, MatcherSnapshot, MultiMatcher, PatternMatcher};
 use crate::plan::{EntityBind, ExecCtx, QueryPlan};
-use crate::state::{ClosedGroup, KeyAtom, StateMaintainer, StateSnapshot, StateView};
+use crate::state::{
+    partition_of, ClosedGroup, KeyAtom, StateMaintainer, StateSnapshot, StateView,
+};
 use crate::value::Value;
 use crate::window::{WindowDriver, WindowSnapshot};
 
@@ -111,6 +113,21 @@ pub struct QueryStats {
     pub late_events: u64,
 }
 
+impl QueryStats {
+    /// Fold one partition replica's counters into this one. Replica row
+    /// slices are disjoint, so the per-event counters sum; window closures
+    /// overlap across replicas (each closes the windows its owned rows
+    /// opened, under one shared clock), so `windows_closed` merges as a
+    /// maximum — a lower bound on the serial count, never a double-count.
+    pub fn absorb_replica(&mut self, part: &QueryStats) {
+        self.events_seen += part.events_seen;
+        self.events_matched += part.events_matched;
+        self.alerts += part.alerts;
+        self.late_events += part.late_events;
+        self.windows_closed = self.windows_closed.max(part.windows_closed);
+    }
+}
+
 /// Full dynamic state of one [`RunningQuery`], exact under
 /// [`RunningQuery::snapshot`] → [`RunningQuery::restore`]. Each component
 /// is present iff the query family uses it (rule queries carry a matcher,
@@ -127,6 +144,91 @@ pub struct QuerySnapshot {
     /// Whether the partial-match overflow was already reported (prevents a
     /// resumed query from double-reporting).
     pub overflow_reported: bool,
+}
+
+/// One slice of a key-partitioned query: this replica owns the groups whose
+/// key tuple hashes to `index` under [`partition_of`]`(key, of)`. Rows whose
+/// group key fails to resolve are owned by replica 0, so the serial run's
+/// single key-resolution error is reported exactly once.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Partition {
+    /// This replica's slice, `0..of`.
+    pub index: u32,
+    /// Total partition count (the parallel runtime's worker count).
+    pub of: u32,
+}
+
+impl QuerySnapshot {
+    /// Split a canonical snapshot into `n` per-partition replica snapshots
+    /// for the key-partitioned runtime. Keyed state splits disjointly by
+    /// the routing hash; the window clock is replicated (every replica sees
+    /// the full stream's time); replica 0 carries the accumulated stats,
+    /// the matcher/invariant components (always `None` for partitionable
+    /// queries, carried defensively), and the distinct-dedup rows.
+    pub fn split(&self, n: usize) -> Vec<QuerySnapshot> {
+        let n = n.max(1);
+        let states: Vec<Option<StateSnapshot>> = match &self.state {
+            Some(s) => s.split(n).into_iter().map(Some).collect(),
+            None => vec![None; n],
+        };
+        states
+            .into_iter()
+            .enumerate()
+            .map(|(i, state)| QuerySnapshot {
+                matcher: (i == 0).then(|| self.matcher.clone()).flatten(),
+                window: self.window.clone(),
+                state,
+                invariant: (i == 0).then(|| self.invariant.clone()).flatten(),
+                distinct_seen: if i == 0 {
+                    self.distinct_seen.clone()
+                } else {
+                    Vec::new()
+                },
+                stats: if i == 0 {
+                    self.stats
+                } else {
+                    QueryStats::default()
+                },
+                overflow_reported: self.overflow_reported,
+            })
+            .collect()
+    }
+
+    /// Merge per-partition replica snapshots back into the canonical form a
+    /// serial run would capture: disjoint keyed state re-gathered and
+    /// key-sorted, the per-replica window views folded (union of open
+    /// windows — each replica opens only the windows its owned rows landed
+    /// in — under the shared broadcast watermark), per-event stats summed
+    /// (each replica saw only its owned rows) and `windows_closed` taken as
+    /// the max. `None` for an empty input.
+    pub fn merge(parts: Vec<QuerySnapshot>) -> Option<QuerySnapshot> {
+        let mut iter = parts.into_iter();
+        let mut out = iter.next()?;
+        let mut states: Vec<StateSnapshot> = out.state.take().into_iter().collect();
+        for part in iter {
+            states.extend(part.state);
+            if out.matcher.is_none() {
+                out.matcher = part.matcher;
+            }
+            match (&mut out.window, part.window) {
+                (Some(w), Some(pw)) => w.absorb_replica(&pw),
+                (w @ None, pw) => *w = pw,
+                _ => {}
+            }
+            if out.invariant.is_none() {
+                out.invariant = part.invariant;
+            }
+            out.distinct_seen.extend(part.distinct_seen);
+            out.stats.absorb_replica(&part.stats);
+            out.overflow_reported |= part.overflow_reported;
+        }
+        if !states.is_empty() {
+            out.state = Some(StateSnapshot::merge(states));
+        }
+        out.distinct_seen.sort();
+        out.distinct_seen.dedup();
+        Some(out)
+    }
 }
 
 /// Per-compatibility-group **shared sub-plan cache** for batched
@@ -224,6 +326,11 @@ struct StatefulPre {
     key_ok: Vec<bool>,
     /// Compact, row-major field-program values (`n_fields` per row).
     fields: Vec<Value>,
+    /// Per row (partitioned replicas only): which partition owns it —
+    /// `hash(key) % of` for rows with a resolved key, 0 otherwise. The
+    /// scheduler consults this through [`RunningQuery::owns_row`] before
+    /// counting a delivery, so partitioned deliveries are disjoint.
+    owner: Vec<u32>,
 }
 
 /// Per-query batched-execution state: resolved cache column indices plus
@@ -248,6 +355,13 @@ pub struct RunningQuery {
     id: QueryId,
     paused: bool,
     mode: ExecMode,
+    /// Retained build config, so [`Self::replicas`] can reconstruct
+    /// plan-identical instances for the key-partitioned runtime.
+    config: QueryConfig,
+    /// `Some` when this instance is one replica of a key-partitioned query:
+    /// it owns only the groups hashing to its slice and skips every other
+    /// row before field programs and state folding.
+    partition: Option<Partition>,
     checked: CheckedQuery,
     plan: QueryPlan,
     globals: GlobalFilter,
@@ -331,6 +445,8 @@ impl RunningQuery {
             id: QueryId::UNASSIGNED,
             paused: false,
             mode: config.exec,
+            config,
+            partition: None,
             checked,
             plan,
             globals,
@@ -443,6 +559,112 @@ impl RunningQuery {
 
     pub fn stats(&self) -> QueryStats {
         self.stats
+    }
+
+    // ------------------------------------------------------------------
+    // Key-partitioned execution
+    // ------------------------------------------------------------------
+
+    /// The partitionability analysis: whether this query's state is keyed
+    /// *purely* by its group key, so its groups can be hash-sharded across
+    /// workers with no cross-shard coupling. `Err` carries the reason the
+    /// query must stay group-sharded — `saql explain` reports it verbatim.
+    ///
+    /// The plan-shape half of the analysis lives with the plan
+    /// ([`QueryPlan::key_partition_safe`]); this adds the query-level
+    /// conditions the plan cannot see (kind, distinct, pipeline role,
+    /// execution mode).
+    pub fn partition_decision(&self) -> Result<(), &'static str> {
+        if self.checked.kind == QueryKind::Rule {
+            return Err("rule queries key partial matches by bindings, not group key");
+        }
+        if self.checked.pipeline_input.is_some() {
+            return Err("pipeline stages run on upstream alert time");
+        }
+        if self.checked.ast.ret.as_ref().is_some_and(|r| r.distinct) {
+            return Err("`return distinct` dedups across all groups");
+        }
+        if self.mode == ExecMode::Interpreted {
+            return Err("interpreter oracle runs per event, unpartitioned");
+        }
+        self.plan.key_partition_safe()
+    }
+
+    /// Mark this instance as one replica of a key-partitioned query (the
+    /// parallel runtime hosts one replica per worker). Only meaningful when
+    /// [`partition_decision`](Self::partition_decision) allows it.
+    pub fn set_partition(&mut self, index: u32, of: u32) {
+        self.partition = Some(Partition { index, of });
+    }
+
+    /// This instance's partition slice, when it is a partitioned replica.
+    pub fn partition(&self) -> Option<Partition> {
+        self.partition
+    }
+
+    /// Build the `n` partitioned replicas of this query: plan-identical
+    /// instances sharing its id, name, and paused state, each restored with
+    /// the disjoint slice of dynamic state its partition owns (so a resumed
+    /// query re-splits exactly) and stamped with its slice.
+    pub fn replicas(&self, n: usize) -> Vec<RunningQuery> {
+        let n = n.max(1);
+        self.snapshot()
+            .split(n)
+            .into_iter()
+            .enumerate()
+            .map(|(i, part)| {
+                let mut replica =
+                    RunningQuery::new(self.name.clone(), self.checked.clone(), self.config);
+                replica.set_id(self.id);
+                replica.set_paused(self.paused);
+                replica.set_partition(i as u32, n as u32);
+                replica.restore(part);
+                replica
+            })
+            .collect()
+    }
+
+    /// Whether this instance owns batch row `row` (valid after
+    /// [`prepare_batch`](Self::prepare_batch)). Non-partitioned queries own
+    /// every row; a partitioned replica owns exactly the rows whose group
+    /// key hashes to its slice — the scheduler skips delivery (and the
+    /// delivery counter) for the rest, so each row folds on one shard.
+    pub(crate) fn owns_row(&self, row: usize) -> bool {
+        match self.partition {
+            None => true,
+            Some(p) => self
+                .batch
+                .pre
+                .owner
+                .get(row)
+                .map_or(p.index == 0, |&o| o == p.index),
+        }
+    }
+
+    /// Per-event counterpart of [`owns_row`](Self::owns_row) for the
+    /// unbatched path (latency tracking): resolve the event's group key and
+    /// test the routing hash. Events that fail the global gate, match no
+    /// pattern, or have an unresolvable key belong to replica 0, mirroring
+    /// the batched owner column.
+    pub(crate) fn owns_event(&mut self, event: &SharedEvent) -> bool {
+        let Some(p) = self.partition else { return true };
+        if !self.globals.accepts(event) {
+            return p.index == 0;
+        }
+        let Some(idx) = self.patterns.iter().position(|pat| pat.matches(event)) else {
+            return p.index == 0;
+        };
+        let plan = &self.plan;
+        let mut ev_slots: Vec<Option<&saql_model::Event>> = vec![None; plan.aliases.len()];
+        let mut ent_slots: Vec<Option<EntityBind<'_>>> = vec![None; plan.entity_vars.len()];
+        ev_slots[idx] = Some(event.as_ref());
+        let (subject_slot, object_slot) = plan.pattern_slots[idx];
+        ent_slots[subject_slot] = Some(EntityBind::Subject(&event.subject));
+        ent_slots[object_slot] = Some(EntityBind::Entity(&event.object));
+        if !extract_keys(plan, &ev_slots, &ent_slots, &mut self.key_buf) {
+            return p.index == 0;
+        }
+        partition_of(&self.key_buf, p.of as usize) as u32 == p.index
     }
 
     pub fn errors(&self) -> &ErrorReporter {
@@ -583,44 +805,63 @@ impl RunningQuery {
             }
         }
 
-        // Compact the surviving rows (glob-accepted, some pattern matched).
+        // Compact the surviving rows (glob-accepted, some pattern matched),
+        // extracting group keys as we go. A partitioned replica resolves
+        // every row's owner here and keeps only its own rows, so field
+        // programs and state folding below pay ~1/N of the serial work —
+        // this early exclusion *is* the data parallelism. Keys are padded
+        // when unresolvable so row-major indexing stays aligned; such rows
+        // report instead of observing, and belong to replica 0 so the
+        // serial run's single error is reported exactly once.
         let glob = cache.glob(self.batch.glob_idx);
         let events = view.events();
-        let mut rows: Vec<EventRow<'_>> = Vec::new();
-        pre.pos.clear();
-        for (row, s) in pre.slot.iter().enumerate() {
-            if *s != u32::MAX && glob[row] {
-                let idx = *s as usize;
-                let (subject_slot, object_slot) = plan.pattern_slots[idx];
-                pre.pos.push(rows.len() as u32);
-                rows.push(EventRow {
-                    event: events[row].as_ref(),
-                    ev_slot: idx,
-                    subject_slot,
-                    object_slot,
-                });
-            } else {
-                pre.pos.push(u32::MAX);
-            }
-        }
-
-        // Group keys per surviving row (padded when unresolvable so
-        // row-major indexing stays aligned; such rows report instead of
-        // observing).
         let nk = plan.group_keys.len();
         let n_ev = plan.aliases.len();
         let n_ent = plan.entity_vars.len();
         let mut ev_slots: Vec<Option<&saql_model::Event>> = vec![None; n_ev];
         let mut ent_slots: Vec<Option<EntityBind<'_>>> = vec![None; n_ent];
+        let part = self.partition;
+        let mut rows: Vec<EventRow<'_>> = Vec::new();
+        pre.pos.clear();
         pre.keys.clear();
         pre.key_ok.clear();
-        for r in &rows {
+        pre.owner.clear();
+        for (row, s) in pre.slot.iter().enumerate() {
+            if *s == u32::MAX || !glob[row] {
+                pre.pos.push(u32::MAX);
+                pre.owner.push(0);
+                continue;
+            }
+            let idx = *s as usize;
+            let (subject_slot, object_slot) = plan.pattern_slots[idx];
+            let event = events[row].as_ref();
             ev_slots.iter_mut().for_each(|s| *s = None);
             ent_slots.iter_mut().for_each(|s| *s = None);
-            ev_slots[r.ev_slot] = Some(r.event);
-            ent_slots[r.subject_slot] = Some(EntityBind::Subject(&r.event.subject));
-            ent_slots[r.object_slot] = Some(EntityBind::Entity(&r.event.object));
+            ev_slots[idx] = Some(event);
+            ent_slots[subject_slot] = Some(EntityBind::Subject(&event.subject));
+            ent_slots[object_slot] = Some(EntityBind::Entity(&event.object));
             let ok = extract_keys(plan, &ev_slots, &ent_slots, &mut self.key_buf);
+            if let Some(p) = part {
+                let owner = if ok {
+                    partition_of(&self.key_buf, p.of as usize) as u32
+                } else {
+                    0
+                };
+                pre.owner.push(owner);
+                if owner != p.index {
+                    pre.pos.push(u32::MAX);
+                    continue;
+                }
+            } else {
+                pre.owner.push(0);
+            }
+            pre.pos.push(rows.len() as u32);
+            rows.push(EventRow {
+                event,
+                ev_slot: idx,
+                subject_slot,
+                object_slot,
+            });
             pre.key_ok.push(ok);
             if ok {
                 pre.keys.append(&mut self.key_buf);
@@ -687,7 +928,10 @@ impl RunningQuery {
     /// Stateful drive step for one batch row: window assignment and state
     /// folding off the precomputed dispatch/keys/fields.
     fn process_stateful_row(&mut self, event: &SharedEvent, row: usize) {
-        if self.batch.pre.slot[row] == u32::MAX {
+        // `pos == MAX` covers rows that matched no pattern *and* rows a
+        // partitioned replica does not own (the scheduler skips the latter
+        // via `owns_row`; this guard keeps direct callers safe too).
+        if self.batch.pre.pos[row] == u32::MAX {
             return;
         }
         self.stats.events_matched += 1;
@@ -948,8 +1192,16 @@ impl RunningQuery {
             }
         };
         if resolved {
+            // A partitioned replica folds only the groups it owns (the
+            // scheduler already gates delivery via `owns_event`; this keeps
+            // direct per-event callers consistent too).
+            if let Some(p) = self.partition {
+                if partition_of(key_buf, p.of as usize) as u32 != p.index {
+                    return;
+                }
+            }
             state.observe(&self.windows_buf, key_buf, fold_buf);
-        } else {
+        } else if self.partition.map_or(true, |p| p.index == 0) {
             self.errors.report(EngineError::Eval(format!(
                 "group key of state `{}` unresolvable for event {}",
                 state.name(),
@@ -1195,6 +1447,19 @@ impl RunningQuery {
             }
             (_, ExecMode::Interpreted) => {
                 let _ = writeln!(out, "  state: per-event interpreter (oracle mode)");
+            }
+        }
+        match self.partition_decision() {
+            Ok(()) => {
+                let _ = writeln!(
+                    out,
+                    "partitioned: yes (state keyed purely by {} group key(s); \
+                     groups hash-shard across workers)",
+                    plan.group_keys.len()
+                );
+            }
+            Err(why) => {
+                let _ = writeln!(out, "partitioned: no ({why})");
             }
         }
         out
@@ -1472,6 +1737,39 @@ mod tests {
                 .amount(amount)
                 .build(),
         )
+    }
+
+    /// Regression: replicas open disjoint window subsets (only the windows
+    /// their owned rows land in), so the merged snapshot must carry the
+    /// *union* of open windows — not whichever replica's view arrives
+    /// first. Taking-first silently dropped the other replicas' pending
+    /// windows, losing their groups' close alerts after a resume.
+    #[test]
+    fn snapshot_merge_unions_replica_open_windows() {
+        use crate::window::WindowSnapshot;
+        let replica = |open: Vec<u64>, closed: u64| QuerySnapshot {
+            matcher: None,
+            window: Some(WindowSnapshot {
+                watermark: saql_model::Timestamp::from_millis(320_000),
+                open,
+                closed,
+            }),
+            state: None,
+            invariant: None,
+            distinct_seen: Vec::new(),
+            stats: QueryStats::default(),
+            overflow_reported: false,
+        };
+        let merged = QuerySnapshot::merge(vec![
+            replica(vec![], 3),
+            replica(vec![5], 2),
+            replica(vec![4, 6], 3),
+        ])
+        .unwrap();
+        let window = merged.window.unwrap();
+        assert_eq!(window.open, vec![4, 5, 6], "union of replica open sets");
+        assert_eq!(window.closed, 3);
+        assert_eq!(window.watermark.as_millis(), 320_000);
     }
 
     #[test]

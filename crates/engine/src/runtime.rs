@@ -18,6 +18,21 @@
 //!   shard cannot skip events that miss its shapes; the coordinator
 //!   broadcasts each [`EventBatch`] to all workers. Batches carry
 //!   `Arc<Event>`s, so the broadcast clones handles, never payloads.
+//! * **Key-partitioned queries** (opt-in via
+//!   [`ParallelConfig::key_partitioning`]). A query whose state is keyed
+//!   purely by group key ([`RunningQuery::partition_decision`]) is
+//!   replicated to *every* shard instead of being pinned to one; replica
+//!   `i` owns the rows whose key tuple hashes to `i mod workers` and
+//!   skips the rest before field evaluation. Batches still broadcast in
+//!   full — every replica's window clock then evolves exactly as the
+//!   serial scheduler's, which is what keeps the serial/parallel alert
+//!   multiset equivalence intact under lateness — but the per-row field
+//!   programs, state observes, and deliveries split ~1/N per shard with
+//!   zero duplicates. Control messages fan out to all shards for such
+//!   queries, and [`query_snapshots`](ParallelEngine::query_snapshots)
+//!   merges the per-replica [`QuerySnapshot`]s back into one canonical
+//!   snapshot, so checkpoints are worker-count independent (resume may
+//!   re-split at a different width).
 //! * **Batched dispatch.** Events buffer into an [`EventBatch`] and ship
 //!   when full, amortizing channel synchronization over
 //!   [`ParallelConfig::batch_size`] events.
@@ -47,7 +62,7 @@ use std::thread::JoinHandle;
 use crate::alert::Alert;
 use crate::error::EngineError;
 use crate::query::{QueryConfig, QueryId, QuerySnapshot, QueryStats, RunningQuery};
-use crate::scheduler::SchedulerStats;
+use crate::scheduler::{SchedulerStats, ShardMerge};
 use crate::shard::{run_worker, ControlMsg, Shard, ShardMsg, ShardReport};
 use crate::sink::{AlertSink, ChannelSink};
 
@@ -71,6 +86,13 @@ pub struct ParallelConfig {
     /// per-event execution path there; histograms merge at
     /// [`ParallelEngine::finish`]).
     pub record_latency: bool,
+    /// Replicate partitionable queries across all shards, each replica
+    /// owning the groups whose key tuple hashes to its shard index — one
+    /// heavy query's work then splits ~1/N per worker. Off by default:
+    /// replicated groups run one master check per shard, so merged
+    /// `master_checks` exceed the serial scheduler's (the group-sharded
+    /// audit invariant).
+    pub key_partitioning: bool,
 }
 
 impl Default for ParallelConfig {
@@ -81,6 +103,7 @@ impl Default for ParallelConfig {
             batch_backlog: 4,
             alert_backlog: 4096,
             record_latency: false,
+            key_partitioning: false,
         }
     }
 }
@@ -116,6 +139,9 @@ struct Running {
 struct QueryInfo {
     name: String,
     key: String,
+    /// Key-partitioned queries are replicated to every shard; control
+    /// messages fan out instead of routing to one owner.
+    partitioned: bool,
 }
 
 /// Merged end-of-stream state, available after [`ParallelEngine::finish`].
@@ -227,24 +253,41 @@ impl ParallelEngine {
     pub fn add(&mut self, query: RunningQuery) -> Result<Vec<Alert>, EngineError> {
         self.ensure_not_drained()?;
         let mut alerts = Vec::new();
+        let partitioned = self.partitions(&query);
         self.queries.push((
             query.id(),
             QueryInfo {
                 name: query.name().to_string(),
                 key: query.compat_key().to_string(),
+                partitioned,
             },
         ));
         self.next_id = self.next_id.max(query.id().index().saturating_add(1));
         if self.running.is_some() {
             self.flush_partial(&mut alerts);
             let key = query.compat_key().to_string();
-            let shard = self.shard_for(&key);
-            *self.key_members.entry(key).or_insert(0) += 1;
-            self.send_control(shard, ControlMsg::AddQuery(Box::new(query)), &mut alerts);
+            *self.key_members.entry(key.clone()).or_insert(0) += 1;
+            if partitioned {
+                // One replica per shard, each restored with a disjoint
+                // slice of the query's (possibly restored) group state.
+                for (shard, replica) in
+                    query.replicas(self.config.workers).into_iter().enumerate()
+                {
+                    self.send_control(shard, ControlMsg::AddQuery(Box::new(replica)), &mut alerts);
+                }
+            } else {
+                let shard = self.shard_for(&key);
+                self.send_control(shard, ControlMsg::AddQuery(Box::new(query)), &mut alerts);
+            }
         } else {
             self.pending.push(query);
         }
         Ok(alerts)
+    }
+
+    /// Whether this query runs key-partitioned under the current config.
+    fn partitions(&self, query: &RunningQuery) -> bool {
+        self.config.key_partitioning && query.partition_decision().is_ok()
     }
 
     /// Deregister a live query at the current stream position. Its pending
@@ -261,7 +304,9 @@ impl ParallelEngine {
         let (_, info) = self.queries.remove(pos);
         if self.running.is_some() {
             self.flush_partial(&mut alerts);
-            let shard = self.assignment[&info.key];
+            // A partitioned query has a replica on every shard, not an
+            // owning shard in the assignment map.
+            let shard = (!info.partitioned).then(|| self.assignment[&info.key]);
             let members = self
                 .key_members
                 .get_mut(&info.key)
@@ -271,7 +316,14 @@ impl ParallelEngine {
                 self.key_members.remove(&info.key);
                 self.assignment.remove(&info.key);
             }
-            self.send_control(shard, ControlMsg::RemoveQuery(id), &mut alerts);
+            match shard {
+                Some(shard) => self.send_control(shard, ControlMsg::RemoveQuery(id), &mut alerts),
+                None => {
+                    for shard in 0..self.config.workers {
+                        self.send_control(shard, ControlMsg::RemoveQuery(id), &mut alerts);
+                    }
+                }
+            }
         } else {
             self.pending.retain(|q| q.id() != id);
         }
@@ -298,26 +350,40 @@ impl ParallelEngine {
                 .unwrap_or_default();
             return Ok((flushed, alerts));
         }
-        let shard = self.assignment[&info.key];
+        // Partitioned queries host one replica per shard, owning disjoint
+        // groups — flush all of them and concatenate the disjoint results.
+        let shards: Vec<usize> = if info.partitioned {
+            (0..self.config.workers).collect()
+        } else {
+            vec![self.assignment[&info.key]]
+        };
         self.flush_partial(&mut alerts);
-        let (reply_tx, reply_rx) = bounded::<Vec<Alert>>(1);
-        self.send_control(shard, ControlMsg::Flush(id, reply_tx), &mut alerts);
+        let (reply_tx, reply_rx) = bounded::<Vec<Alert>>(shards.len());
+        for &shard in &shards {
+            self.send_control(shard, ControlMsg::Flush(id, reply_tx.clone()), &mut alerts);
+        }
+        drop(reply_tx);
         let running = self
             .running
             .as_ref()
             .expect("running checked above; flush keeps workers alive");
         // Same non-deadlocking barrier as `query_snapshots`: the owning
         // worker may be blocked on a full alert channel ahead of the flush
-        // message, so keep draining alerts while waiting for the reply.
-        let flushed = loop {
+        // message, so keep draining alerts while waiting for the replies.
+        let mut flushed = Vec::new();
+        let mut replies = 0usize;
+        while replies < shards.len() {
             match reply_rx.recv_timeout(std::time::Duration::from_millis(1)) {
-                Ok(batch) => break batch,
+                Ok(batch) => {
+                    flushed.extend(batch);
+                    replies += 1;
+                }
                 Err(crossbeam::channel::RecvTimeoutError::Timeout) => {
                     drain_ready(&running.alerts_rx, &mut alerts);
                 }
-                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break Vec::new(),
+                Err(crossbeam::channel::RecvTimeoutError::Disconnected) => break,
             }
-        };
+        }
         drain_ready(&running.alerts_rx, &mut alerts);
         Ok((flushed, alerts))
     }
@@ -384,14 +450,20 @@ impl ParallelEngine {
             return Ok(alerts);
         };
         if self.running.is_some() {
-            let shard = self.assignment[&info.key];
-            self.flush_partial(&mut alerts);
-            let msg = if paused {
-                ControlMsg::Pause(id)
+            let shards: Vec<usize> = if info.partitioned {
+                (0..self.config.workers).collect()
             } else {
-                ControlMsg::Resume(id)
+                vec![self.assignment[&info.key]]
             };
-            self.send_control(shard, msg, &mut alerts);
+            self.flush_partial(&mut alerts);
+            for shard in shards {
+                let msg = if paused {
+                    ControlMsg::Pause(id)
+                } else {
+                    ControlMsg::Resume(id)
+                };
+                self.send_control(shard, msg, &mut alerts);
+            }
         } else if let Some(q) = self.pending.iter_mut().find(|q| q.id() == id) {
             q.set_paused(paused);
         }
@@ -544,10 +616,25 @@ impl ParallelEngine {
             ));
         }
         reports.sort_by_key(|r| r.id);
+        // Partitioned queries report once per shard under the same id;
+        // their per-query stats fold into one row (replica slices are
+        // disjoint, so counters sum; windows close on every replica, so
+        // `windows_closed` takes the max).
+        let mut stat_row: HashMap<QueryId, usize> = HashMap::new();
         for report in reports {
-            drained.stats.absorb_shard(report.stats);
+            // Batches broadcast to every shard (even in partitioned mode),
+            // so `events` merges as a maximum.
+            drained.stats.absorb_shard(report.stats, ShardMerge::Broadcast);
             drained.shard_stats.push((report.id, report.stats));
-            drained.query_stats.extend(report.query_stats);
+            for (qid, name, stats) in report.query_stats {
+                match stat_row.get(&qid) {
+                    Some(&row) => drained.query_stats[row].1.absorb_replica(&stats),
+                    None => {
+                        stat_row.insert(qid, drained.query_stats.len());
+                        drained.query_stats.push((name, stats));
+                    }
+                }
+            }
             drained.error_count += report.error_count;
             drained.recent_errors.extend(report.recent_errors);
             drained.dropped_alerts += report.dropped_alerts;
@@ -684,7 +771,38 @@ impl ParallelEngine {
         }
         drain_ready(&running.alerts_rx, &mut alerts);
         snaps.sort_by_key(|(id, _)| id.index());
-        Ok((snaps, alerts))
+        // A partitioned query answered once per shard under the same id;
+        // merge the replica snapshots back into one canonical snapshot, so
+        // checkpoints are independent of the worker count that took them.
+        let mut merged: Vec<(QueryId, QuerySnapshot)> = Vec::with_capacity(snaps.len());
+        let mut parts: Vec<QuerySnapshot> = Vec::new();
+        for (id, snap) in snaps {
+            match merged.last() {
+                Some((last, _)) if *last == id => parts.push(snap),
+                _ => {
+                    if let Some((id, base)) = merged.pop() {
+                        merged.push((id, Self::fold_snapshot(base, std::mem::take(&mut parts))));
+                    }
+                    merged.push((id, snap));
+                }
+            }
+        }
+        if let Some((id, base)) = merged.pop() {
+            merged.push((id, Self::fold_snapshot(base, parts)));
+        }
+        Ok((merged, alerts))
+    }
+
+    /// Merge trailing replica parts into a base snapshot (no-op for the
+    /// common unpartitioned single-part case).
+    fn fold_snapshot(base: QuerySnapshot, rest: Vec<QuerySnapshot>) -> QuerySnapshot {
+        if rest.is_empty() {
+            return base;
+        }
+        let mut parts = Vec::with_capacity(rest.len() + 1);
+        parts.push(base);
+        parts.extend(rest);
+        QuerySnapshot::merge(parts).expect("nonempty replica set merges")
     }
 
     /// Partition pending groups over shards and spawn the workers.
@@ -700,9 +818,17 @@ impl ParallelEngine {
         }
         for query in std::mem::take(&mut self.pending) {
             let key = query.compat_key().to_string();
-            let shard_idx = self.shard_for(&key);
-            *self.key_members.entry(key).or_insert(0) += 1;
-            shards[shard_idx].assign(query);
+            *self.key_members.entry(key.clone()).or_insert(0) += 1;
+            if self.partitions(&query) {
+                // Replica i owns the groups hashing to shard i; restored
+                // state (resume at a new worker count) re-splits here.
+                for (i, replica) in query.replicas(self.config.workers).into_iter().enumerate() {
+                    shards[i].assign(replica);
+                }
+            } else {
+                let shard_idx = self.shard_for(&key);
+                shards[shard_idx].assign(query);
+            }
         }
 
         let (alert_sink, alerts_rx) = ChannelSink::new(self.config.alert_backlog);
@@ -1208,6 +1334,180 @@ mod tests {
             "events 2..=5 fell in the pause: {alerts:?}"
         );
         assert!(alerts.iter().all(|a| a.query_id == id));
+    }
+
+    /// A heavy stateful-aggregation stream over `keys` distinct group keys
+    /// — the key-partitioning target workload.
+    fn keyed_events(n: u64, keys: u64) -> Vec<SharedEvent> {
+        (0..n)
+            .map(|i| {
+                send(
+                    i + 1,
+                    i * 700,
+                    &format!("p{}.exe", i % keys),
+                    "10.0.0.9",
+                    40 + (i % 90),
+                )
+            })
+            .collect()
+    }
+
+    const HOT: &str = "proc p write ip i as evt #time(1 min)\nstate ss { amt := sum(evt.amount); n := count() } group by p\nalert ss[0].amt > 120\nreturn p, ss[0].amt, ss[0].n";
+
+    #[test]
+    fn partitioned_matches_serial_multiset_across_worker_counts() {
+        let mut serial = Scheduler::new();
+        serial.add(rq("hot", HOT));
+        let mut serial_alerts = Vec::new();
+        for e in keyed_events(400, 37) {
+            serial_alerts.extend(serial.process(&e));
+        }
+        serial_alerts.extend(serial.finish());
+        let expect = serial.stats();
+        let expect_q = serial.queries().next().unwrap().stats();
+        assert!(!serial_alerts.is_empty(), "workload must alert");
+
+        for workers in [1usize, 2, 3, 8] {
+            let mut par = ParallelEngine::new(
+                ParallelConfig {
+                    workers,
+                    batch_size: 16,
+                    key_partitioning: true,
+                    ..ParallelConfig::default()
+                },
+                QueryConfig::default(),
+            );
+            par.register("hot", HOT).unwrap();
+            let par_alerts = par.run(keyed_events(400, 37)).unwrap();
+            assert_eq!(
+                sorted(par_alerts),
+                sorted(serial_alerts.clone()),
+                "alert multiset diverged at {workers} workers"
+            );
+            let got = par.stats();
+            // Each row is owned by exactly one replica, so deliveries stay
+            // disjoint and sum to the serial count — the work-partition
+            // audit's "0 duplicated deliveries".
+            assert_eq!(got.deliveries, expect.deliveries);
+            assert_eq!(got.events, expect.events);
+            // The replication cost: one master check per shard per row.
+            assert_eq!(got.master_checks, expect.master_checks * workers as u64);
+            assert_eq!(got.data_copies, 0);
+            if workers > 1 {
+                let busy = par
+                    .shard_stats()
+                    .iter()
+                    .filter(|(_, s)| s.deliveries > 0)
+                    .count();
+                assert!(busy > 1, "work did not spread across shards");
+            }
+            // Replica stats folded back into one row matching serial.
+            let qs = par.query_stats();
+            assert_eq!(qs.len(), 1);
+            assert_eq!(qs[0].1.events_seen, expect_q.events_seen);
+            assert_eq!(qs[0].1.events_matched, expect_q.events_matched);
+            assert_eq!(qs[0].1.alerts, expect_q.alerts);
+            assert_eq!(qs[0].1.windows_closed, expect_q.windows_closed);
+        }
+    }
+
+    #[test]
+    fn partitioned_checkpoint_resumes_at_different_worker_count() {
+        let evs = keyed_events(400, 37);
+        let mut serial = Scheduler::new();
+        serial.add(rq("hot", HOT));
+        let mut expected = Vec::new();
+        for e in &evs {
+            expected.extend(serial.process(e));
+        }
+        expected.extend(serial.finish());
+
+        // First half at 3 workers, snapshot mid-stream, resume at 5.
+        let mut par = ParallelEngine::new(
+            ParallelConfig {
+                workers: 3,
+                batch_size: 8,
+                key_partitioning: true,
+                ..ParallelConfig::default()
+            },
+            QueryConfig::default(),
+        );
+        let id = par.register("hot", HOT).unwrap();
+        let mut got = Vec::new();
+        for e in &evs[..200] {
+            got.extend(par_process(&mut par, e));
+        }
+        let (snaps, alerts) = par.query_snapshots().unwrap();
+        got.extend(alerts);
+        assert_eq!(snaps.len(), 1, "replica snapshots merge to one per query");
+        let (snap_id, snap) = snaps.into_iter().next().unwrap();
+        assert_eq!(snap_id, id);
+        // Dropping the old engine discards its unflushed windows — the
+        // resumed engine owns that state now.
+        drop(par);
+
+        let mut par = ParallelEngine::new(
+            ParallelConfig {
+                workers: 5,
+                batch_size: 8,
+                key_partitioning: true,
+                ..ParallelConfig::default()
+            },
+            QueryConfig::default(),
+        );
+        let mut q = rq("hot", HOT);
+        q.set_id(id);
+        q.restore(snap);
+        par.add(q).unwrap();
+        for e in &evs[200..] {
+            got.extend(par_process(&mut par, e));
+        }
+        got.extend(par.finish());
+        assert_eq!(
+            sorted(got),
+            sorted(expected),
+            "checkpoint at 3 workers + resume at 5 diverged from serial"
+        );
+    }
+
+    #[test]
+    fn partitioned_lifecycle_controls_fan_out() {
+        let mut par = ParallelEngine::new(
+            ParallelConfig {
+                workers: 4,
+                batch_size: 4,
+                key_partitioning: true,
+                ..ParallelConfig::default()
+            },
+            QueryConfig::default(),
+        );
+        let id = par.register("hot", HOT).unwrap();
+        let evs = keyed_events(100, 11);
+        let mut got = Vec::new();
+        for e in &evs[..50] {
+            got.extend(par_process(&mut par, e));
+        }
+        // In-place flush touches every replica; each owns disjoint groups,
+        // so no group key appears twice in the flushed rows.
+        let (flushed, rest) = par.flush_query(id).unwrap();
+        got.extend(rest);
+        assert!(!flushed.is_empty(), "open window per key expected");
+        let mut rows: Vec<String> = flushed.iter().map(|a| a.to_string()).collect();
+        let total = rows.len();
+        rows.sort();
+        rows.dedup();
+        assert_eq!(rows.len(), total, "a replica duplicated a group flush");
+        // Pause/resume/remove route to all shards without wedging.
+        got.extend(par.pause(id).unwrap());
+        for e in &evs[50..60] {
+            got.extend(par_process(&mut par, e));
+        }
+        got.extend(par.resume(id).unwrap());
+        got.extend(par.remove(id).unwrap());
+        assert!(!par.contains(id));
+        par.finish();
+        assert_eq!(par.dropped_alerts(), 0);
+        assert_eq!(par.error_count(), 0);
     }
 
     #[test]

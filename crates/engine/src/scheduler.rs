@@ -35,13 +35,35 @@ pub struct SchedulerStats {
     pub data_copies: u64,
 }
 
+/// How a shard's counters relate to the whole stream's, for
+/// [`SchedulerStats::absorb_shard`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardMerge {
+    /// Every shard observed the full event stream (the parallel runtime's
+    /// dispatch, including key-partitioned mode — full batches broadcast so
+    /// every replica's watermark evolves exactly as serial): `events`
+    /// merges as a maximum.
+    Broadcast,
+    /// Each shard observed a disjoint slice of the stream (schedulers fed
+    /// pre-routed sub-batches, e.g. via
+    /// [`EventBatch::split_by_owner`](saql_stream::EventBatch::split_by_owner)):
+    /// `events` sums, like the work counters.
+    Disjoint,
+}
+
 impl SchedulerStats {
-    /// Fold one shard's counters into an engine-wide view. Every shard of
-    /// the parallel runtime observes the full event stream, so `events`
-    /// merges as a maximum, while the per-group work counters — checks,
-    /// deliveries, copies — add up across the disjoint group subsets.
-    pub fn absorb_shard(&mut self, shard: SchedulerStats) {
-        self.events = self.events.max(shard.events);
+    /// Fold one shard's counters into an engine-wide view. The per-group
+    /// work counters — checks, deliveries, copies — always add up across
+    /// shards (group subsets and partitioned row slices are disjoint), but
+    /// `events` depends on what each shard *saw*: the max under
+    /// [`ShardMerge::Broadcast`], the sum under [`ShardMerge::Disjoint`].
+    /// Taking the max over disjoint sub-streams would undercount the
+    /// stream, which is exactly what a mode-unaware merge used to do.
+    pub fn absorb_shard(&mut self, shard: SchedulerStats, mode: ShardMerge) {
+        self.events = match mode {
+            ShardMerge::Broadcast => self.events.max(shard.events),
+            ShardMerge::Disjoint => self.events + shard.events,
+        };
         self.master_checks += shard.master_checks;
         self.deliveries += shard.deliveries;
         self.data_copies += shard.data_copies;
@@ -250,6 +272,12 @@ impl Scheduler {
                 if q.is_paused() {
                     continue;
                 }
+                // A key-partitioned replica receives only the rows it owns
+                // (always true for unpartitioned members), keeping
+                // deliveries disjoint across shards.
+                if !q.owns_event(event) {
+                    continue;
+                }
                 self.stats.deliveries += 1;
                 alerts.extend(q.process_payload(event));
             }
@@ -322,6 +350,12 @@ impl Scheduler {
                 let Group { members, cache, .. } = group;
                 for q in members.iter_mut() {
                     if q.is_paused() {
+                        continue;
+                    }
+                    // Partitioned replicas own a disjoint row slice (the
+                    // owner column was resolved in `prepare_batch`);
+                    // unpartitioned members own every row.
+                    if !q.owns_row(row) {
                         continue;
                     }
                     self.stats.deliveries += 1;
@@ -637,6 +671,36 @@ mod tests {
         assert_eq!(alerts[0].query, "b");
         assert_eq!(s.stats().master_checks, 1);
         assert_eq!(s.stats().deliveries, 1, "paused member not delivered to");
+    }
+
+    #[test]
+    fn absorb_shard_merges_events_by_mode() {
+        let a = SchedulerStats {
+            events: 100,
+            master_checks: 10,
+            deliveries: 5,
+            data_copies: 0,
+        };
+        let b = SchedulerStats {
+            events: 40,
+            master_checks: 7,
+            deliveries: 3,
+            data_copies: 1,
+        };
+        let mut broadcast = a;
+        broadcast.absorb_shard(b, ShardMerge::Broadcast);
+        assert_eq!(broadcast.events, 100, "every shard saw the full stream");
+        let mut disjoint = a;
+        disjoint.absorb_shard(b, ShardMerge::Disjoint);
+        assert_eq!(
+            disjoint.events, 140,
+            "disjoint sub-streams sum; a max would undercount"
+        );
+        for merged in [broadcast, disjoint] {
+            assert_eq!(merged.master_checks, 17);
+            assert_eq!(merged.deliveries, 8);
+            assert_eq!(merged.data_copies, 1);
+        }
     }
 
     #[test]

@@ -93,8 +93,10 @@ pub struct ShardReport {
     pub id: usize,
     /// The shard scheduler's execution counters.
     pub stats: SchedulerStats,
-    /// Per-query `(name, stats)` for the queries this shard hosted.
-    pub query_stats: Vec<(String, QueryStats)>,
+    /// Per-query `(id, name, stats)` for the queries this shard hosted.
+    /// The id lets the runtime fold the per-shard rows of a partitioned
+    /// query (one replica per shard, same id) back into one.
+    pub query_stats: Vec<(QueryId, String, QueryStats)>,
     /// Total runtime errors across the shard's queries.
     pub error_count: u64,
     /// Recent runtime error messages, `name: message` formatted.
@@ -199,7 +201,7 @@ impl Shard {
             query_stats: self
                 .scheduler
                 .queries()
-                .map(|q| (q.name().to_string(), q.stats()))
+                .map(|q| (q.id(), q.name().to_string(), q.stats()))
                 .collect(),
             error_count: self.scheduler.queries().map(|q| q.errors().total()).sum(),
             recent_errors: self

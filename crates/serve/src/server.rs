@@ -66,6 +66,22 @@ const ACCEPT_POLL: std::time::Duration = std::time::Duration::from_millis(25);
 /// Socket read timeout — the granularity at which blocked connection
 /// threads notice shutdown.
 const READ_TIMEOUT: std::time::Duration = std::time::Duration::from_millis(100);
+
+/// Lines per job shipped to the ingest decode pool. Chunks also flush
+/// whenever the connection's read buffer drains, so batching only ever
+/// groups lines that are already in memory — it never delays a quiet
+/// stream waiting for a full chunk.
+const DECODE_CHUNK: usize = 64;
+
+/// Decode worker threads per ingest connection: JSON decode moves off the
+/// read loop (the measured single-connection durable ceiling was
+/// decode-bound), while quota and backpressure accounting stay on one
+/// apply stage in strict line order.
+const DECODE_WORKERS: usize = 2;
+
+/// Decode jobs in flight between the read loop, the pool, and the apply
+/// stage before the reader backs off (TCP backpressure to the producer).
+const DECODE_BACKLOG: usize = 8;
 /// Minimum spacing between observability refreshes (gauges, failure log).
 const OBSERVE_EVERY: std::time::Duration = std::time::Duration::from_millis(100);
 
@@ -1399,60 +1415,146 @@ fn run_ingest(
         "saql_ingest_shed_total{{tenant=\"{tenant}\",reason=\"buffer\"}}"
     ));
 
-    let mut line = String::new();
-    let mut line_no: u64 = 0;
-    let mut first_decode_err: Option<(u64, String)> = None;
-    while let Ok(LineRead::Line) = read_net_line(reader, &mut line, sh) {
-        line_no += 1;
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            continue;
-        }
-        let event = match decode_event_json(trimmed) {
-            Ok(event) => Arc::new(event),
-            Err(e) => {
-                stat.decode_errors.fetch_add(1, Ordering::Relaxed);
-                decode_failed.fetch_add(1, Ordering::Relaxed);
-                let (first_line, first_msg) =
-                    first_decode_err.get_or_insert_with(|| (line_no, e.to_string()));
-                // Live degradation surface: the paired ChannelSource's
-                // failure() — and so the session's per-source stats —
-                // reports this while the stream keeps flowing.
-                push.report_failure(format!(
-                    "{} undecodable line(s); first at line {first_line}: {first_msg}",
-                    stat.decode_errors.load(Ordering::Relaxed)
-                ));
-                continue;
-            }
-        };
-        if !tenant_gov.try_take(sh.clock.as_ref()) {
-            stat.shed_quota.fetch_add(1, Ordering::Relaxed);
-            shed_quota.fetch_add(1, Ordering::Relaxed);
-            tenant_gov.shed_quota.fetch_add(1, Ordering::Relaxed);
-            continue;
-        }
-        if lossless {
-            // Blocks this connection thread only; the pump keeps running
-            // and TCP backpressure reaches the producer.
-            if !push.push(event) {
-                break;
-            }
-            stat.events.fetch_add(1, Ordering::Relaxed);
-            accepted.fetch_add(1, Ordering::Relaxed);
-        } else {
-            match push.try_push(event) {
-                Ok(()) => {
-                    stat.events.fetch_add(1, Ordering::Relaxed);
-                    accepted.fetch_add(1, Ordering::Relaxed);
+    // Three-stage decode pipeline, all scoped to this connection:
+    //
+    //   read loop ──chunks──► decode pool (N) ──chunks──► apply stage
+    //
+    // The read loop only pulls lines off the socket and batches the ones
+    // already buffered; the pool runs `decode_event_json` (the measured
+    // single-connection bottleneck) in parallel; the apply stage reorders
+    // finished chunks and applies quota/backpressure/accounting strictly
+    // in line order — so `decode_errors`, the first-error message, and
+    // per-tenant quota semantics are bit-identical to the old inline loop.
+    type DecodedChunk = (u64, Vec<(u64, Result<Event, String>)>);
+    let closed = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let (job_tx, job_rx) = bounded::<(u64, Vec<(u64, String)>)>(DECODE_BACKLOG);
+        let (done_tx, done_rx) = bounded::<DecodedChunk>(DECODE_BACKLOG);
+        for _ in 0..DECODE_WORKERS {
+            let job_rx = job_rx.clone();
+            let done_tx = done_tx.clone();
+            scope.spawn(move || {
+                while let Ok((chunk_no, lines)) = job_rx.recv() {
+                    let decoded = lines
+                        .into_iter()
+                        .map(|(line_no, line)| {
+                            (line_no, decode_event_json(&line).map_err(|e| e.to_string()))
+                        })
+                        .collect();
+                    if done_tx.send((chunk_no, decoded)).is_err() {
+                        return; // apply stage gone: connection closing
+                    }
                 }
-                Err(PushError::Full(_)) => {
-                    stat.shed_buffer.fetch_add(1, Ordering::Relaxed);
-                    shed_buffer.fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        drop(job_rx);
+        drop(done_tx);
+
+        let stat = &stat;
+        let push = &push;
+        let closed = &closed;
+        let (accepted, decode_failed, shed_quota, shed_buffer) =
+            (&accepted, &decode_failed, &shed_quota, &shed_buffer);
+        let tenant_gov = &tenant_gov;
+        scope.spawn(move || {
+            let mut pending: HashMap<u64, Vec<(u64, Result<Event, String>)>> = HashMap::new();
+            let mut next_chunk: u64 = 0;
+            let mut first_decode_err: Option<(u64, String)> = None;
+            while let Ok((chunk_no, decoded)) = done_rx.recv() {
+                pending.insert(chunk_no, decoded);
+                while let Some(decoded) = pending.remove(&next_chunk) {
+                    next_chunk += 1;
+                    for (line_no, item) in decoded {
+                        let event = match item {
+                            Ok(event) => Arc::new(event),
+                            Err(e) => {
+                                stat.decode_errors.fetch_add(1, Ordering::Relaxed);
+                                decode_failed.fetch_add(1, Ordering::Relaxed);
+                                let (first_line, first_msg) =
+                                    first_decode_err.get_or_insert_with(|| (line_no, e));
+                                // Live degradation surface: the paired
+                                // ChannelSource's failure() — and so the
+                                // session's per-source stats — reports this
+                                // while the stream keeps flowing.
+                                push.report_failure(format!(
+                                    "{} undecodable line(s); first at line {first_line}: {first_msg}",
+                                    stat.decode_errors.load(Ordering::Relaxed)
+                                ));
+                                continue;
+                            }
+                        };
+                        if !tenant_gov.try_take(sh.clock.as_ref()) {
+                            stat.shed_quota.fetch_add(1, Ordering::Relaxed);
+                            shed_quota.fetch_add(1, Ordering::Relaxed);
+                            tenant_gov.shed_quota.fetch_add(1, Ordering::Relaxed);
+                            continue;
+                        }
+                        if lossless {
+                            // Blocks the apply stage only; the pipeline's
+                            // bounded channels stall the read loop and TCP
+                            // backpressure reaches the producer.
+                            if !push.push(event) {
+                                closed.store(true, Ordering::Relaxed);
+                                return;
+                            }
+                            stat.events.fetch_add(1, Ordering::Relaxed);
+                            accepted.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            match push.try_push(event) {
+                                Ok(()) => {
+                                    stat.events.fetch_add(1, Ordering::Relaxed);
+                                    accepted.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(PushError::Full(_)) => {
+                                    stat.shed_buffer.fetch_add(1, Ordering::Relaxed);
+                                    shed_buffer.fetch_add(1, Ordering::Relaxed);
+                                }
+                                Err(PushError::Closed(_)) => {
+                                    closed.store(true, Ordering::Relaxed);
+                                    return;
+                                }
+                            }
+                        }
+                    }
                 }
-                Err(PushError::Closed(_)) => break,
+            }
+        });
+
+        let mut line = String::new();
+        let mut line_no: u64 = 0;
+        let mut chunk_no: u64 = 0;
+        let mut chunk: Vec<(u64, String)> = Vec::with_capacity(DECODE_CHUNK);
+        while !closed.load(Ordering::Relaxed) {
+            match read_net_line(reader, &mut line, sh) {
+                Ok(LineRead::Line) => {}
+                _ => break,
+            }
+            line_no += 1;
+            let trimmed = line.trim();
+            if !trimmed.is_empty() {
+                chunk.push((line_no, trimmed.to_string()));
+            }
+            // Flush when full, or as soon as the buffered input drains —
+            // never hold decoded work hostage to a quiet socket.
+            if chunk.len() >= DECODE_CHUNK || (reader.buffer().is_empty() && !chunk.is_empty()) {
+                if job_tx
+                    .send((chunk_no, std::mem::take(&mut chunk)))
+                    .is_err()
+                {
+                    break;
+                }
+                chunk_no += 1;
+                chunk.reserve(DECODE_CHUNK);
             }
         }
-    }
+        if !chunk.is_empty() {
+            let _ = job_tx.send((chunk_no, chunk));
+        }
+        // Dropping the job channel drains the pipeline: workers exit, the
+        // done channel closes, the apply stage applies the tail and
+        // returns; the scope joins everything.
+        drop(job_tx);
+    });
     // End the source (all handles dropped) and wait for the engine to
     // drain it, then acknowledge with the final accounting.
     drop(push);

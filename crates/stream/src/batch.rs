@@ -93,6 +93,26 @@ impl EventBatch {
             Some(self.take())
         }
     }
+
+    /// Partition this batch into `n` sub-batches by a per-row owner column
+    /// (`owners[i]` names the sub-batch for `self.events()[i]`), preserving
+    /// stream order within each. Rows beyond the owner column's length or
+    /// with an out-of-range owner are dropped. Like [`Clone`], this copies
+    /// `Arc` handles only — event payloads are never re-cloned — so routed
+    /// dispatch costs one handle move per event instead of one full batch
+    /// clone per worker.
+    pub fn split_by_owner(&self, owners: &[u32], n: usize) -> Vec<EventBatch> {
+        let n = n.max(1);
+        let mut parts: Vec<EventBatch> = (0..n)
+            .map(|_| EventBatch::with_capacity(self.capacity))
+            .collect();
+        for (event, &owner) in self.events.iter().zip(owners) {
+            if let Some(part) = parts.get_mut(owner as usize) {
+                part.events.push(event.clone());
+            }
+        }
+        parts
+    }
 }
 
 impl<'a> IntoIterator for &'a EventBatch {
@@ -273,6 +293,27 @@ mod tests {
         b.push(ev(7));
         let c = b.clone();
         assert!(Arc::ptr_eq(&b.events()[0], &c.events()[0]));
+    }
+
+    #[test]
+    fn split_by_owner_routes_without_payload_clones() {
+        let mut b = EventBatch::with_capacity(8);
+        for i in 0..6 {
+            b.push(ev(i));
+        }
+        // Owner column shorter than the batch: the unrouted tail drops.
+        let owners = [0u32, 1, 0, 2, 9]; // 9 is out of range at n=3
+        let parts = b.split_by_owner(&owners, 3);
+        assert_eq!(parts.len(), 3);
+        let ids = |p: &EventBatch| p.iter().map(|e| e.id).collect::<Vec<_>>();
+        assert_eq!(ids(&parts[0]), vec![0, 2], "stream order preserved");
+        assert_eq!(ids(&parts[1]), vec![1]);
+        assert_eq!(ids(&parts[2]), vec![3]);
+        // Handles are shared with the source batch, payloads never cloned.
+        assert!(Arc::ptr_eq(&parts[0].events()[0], &b.events()[0]));
+        assert_eq!(parts.iter().map(EventBatch::len).sum::<usize>(), 4);
+        // Zero partitions clamp to one.
+        assert_eq!(b.split_by_owner(&[0, 0], 0).len(), 1);
     }
 
     #[test]

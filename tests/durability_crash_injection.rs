@@ -248,6 +248,55 @@ proptest! {
         let _ = std::fs::remove_dir_all(&store_dir);
         let _ = std::fs::remove_dir_all(&ckpt_dir);
     }
+
+    /// Key-partitioned mode: the checkpointed query runs as per-shard
+    /// replicas, so the checkpoint exercises the snapshot merge (replicas →
+    /// one canonical snapshot on disk) and the resume re-splits it at an
+    /// independently chosen worker count — including `w_resume == 0`, a
+    /// *serial* resume of a partitioned run (the merged snapshot must be
+    /// exactly what the serial scheduler would restore).
+    #[test]
+    fn partitioned_resume_reproduces_suffix_multiset(
+        seed in any::<u64>(),
+        n_acked in 1usize..24,
+        extra in 0usize..6,
+        seg in 1usize..8,
+        cut_seed in any::<u64>(),
+        k_seed in any::<u64>(),
+        w_run in 1usize..9,
+        w_resume in 0usize..9,
+    ) {
+        let n_unsynced = extra.min(seg - 1 - (n_acked % seg).min(seg - 1));
+        let events = stream(seed, n_acked + n_unsynced);
+        let store_dir = scratch("part-store");
+        let ckpt_dir = scratch("part-ckpt");
+        let recovered = write_and_tear(&store_dir, &events, n_acked, seg, cut_seed);
+
+        let k = (k_seed % (recovered.len() as u64 + 1)) as usize;
+        let (_, suffix) = serial_reference(&recovered, k);
+        let resumed = crash_and_resume(
+            &store_dir,
+            &ckpt_dir,
+            k,
+            EngineConfig { workers: w_run, key_partitioning: true, ..EngineConfig::default() },
+            EngineConfig { workers: w_resume, key_partitioning: true, ..EngineConfig::default() },
+        );
+        let mut expected = suffix;
+        expected.sort();
+        let mut got = resumed;
+        got.sort();
+        prop_assert_eq!(
+            got,
+            expected,
+            "partitioned multiset diverges at offset {} ({} -> {} workers)",
+            k,
+            w_run,
+            w_resume
+        );
+
+        let _ = std::fs::remove_dir_all(&store_dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
 }
 
 proptest! {
